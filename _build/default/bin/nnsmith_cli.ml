@@ -1,0 +1,235 @@
+(* The nnsmith command-line interface.
+
+     nnsmith generate --seed 1 --nodes 10
+     nnsmith fuzz --system oxrt --budget 5 --bugs
+     nnsmith cov --budget 5
+     nnsmith ops
+     nnsmith bugs *)
+
+open Cmdliner
+module Config = Nnsmith_core.Config
+module Gen = Nnsmith_core.Gen
+module Graph = Nnsmith_ir.Graph
+module Search = Nnsmith_grad.Search
+module Cov = Nnsmith_coverage.Coverage
+module Faults = Nnsmith_faults.Faults
+module D = Nnsmith_difftest
+
+(* ---- generate ----------------------------------------------------- *)
+
+let generate seed nodes count search =
+  for k = 0 to count - 1 do
+    match Gen.generate_with_stats { Config.default with seed = seed + k; max_nodes = nodes } with
+    | exception Gen.Gen_failure m -> Printf.printf "generation failed: %s\n" m
+    | g, stats ->
+        Printf.printf "# seed %d: %d nodes, %.1f ms\n%s\n" (seed + k)
+          stats.nodes_total stats.gen_ms (Graph.to_string g);
+        if search then begin
+          let rng = Random.State.make [| seed + k |] in
+          let o = Search.search ~budget_ms:64. ~method_:Search.Gradient rng g in
+          Printf.printf "# input search: %s (%d iterations, %.2f ms)\n"
+            (if o.binding <> None then "ok" else "failed")
+            o.iterations o.elapsed_ms
+        end;
+        print_newline ()
+  done;
+  0
+
+let seed_t =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+
+let nodes_t =
+  Arg.(value & opt int 10 & info [ "nodes" ] ~docv:"N" ~doc:"Operators per model.")
+
+let count_t =
+  Arg.(value & opt int 1 & info [ "count" ] ~docv:"N" ~doc:"Number of models.")
+
+let search_t =
+  Arg.(value & flag & info [ "search" ] ~doc:"Also run the gradient input search.")
+
+let generate_cmd =
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate valid random models and print them")
+    Term.(const generate $ seed_t $ nodes_t $ count_t $ search_t)
+
+(* ---- fuzz --------------------------------------------------------- *)
+
+let system_of_name = function
+  | "oxrt" -> Some D.Systems.oxrt
+  | "lotus" -> Some D.Systems.lotus
+  | "trt" -> Some D.Systems.trt
+  | _ -> None
+
+let fuzz system_name budget_s bugs seed =
+  match system_of_name system_name with
+  | None ->
+      Printf.eprintf "unknown system %s (oxrt | lotus | trt)\n" system_name;
+      1
+  | Some system ->
+      if bugs then Faults.activate_all () else Faults.deactivate_all ();
+      let gen = D.Generators.nnsmith ~seed () in
+      let rng = Random.State.make [| seed |] in
+      let start = Unix.gettimeofday () in
+      let verdicts = Hashtbl.create 8 in
+      let bump k =
+        Hashtbl.replace verdicts k
+          (1 + Option.value ~default:0 (Hashtbl.find_opt verdicts k))
+      in
+      let crashes = Hashtbl.create 8 in
+      while Unix.gettimeofday () -. start < budget_s do
+        match gen.next () with
+        | None -> bump "genfail"
+        | Some g -> (
+            let binding = D.Campaign.find_binding rng g in
+            let exported, fired = D.Exporter.export g in
+            List.iter (fun id -> bump ("export:" ^ id)) fired;
+            match D.Harness.test ~exported system g binding with
+            | D.Harness.Pass -> bump "pass"
+            | Skipped _ -> bump "skipped"
+            | Semantic _ -> bump "semantic"
+            | Crash m ->
+                bump "crash";
+                Hashtbl.replace crashes m ()
+            | exception _ -> bump "harness-error")
+      done;
+      Printf.printf "fuzzed %s for %.0f s:\n" system.s_name budget_s;
+      Hashtbl.iter (fun k v -> Printf.printf "  %-12s %d\n" k v) verdicts;
+      Printf.printf "unique crashes: %d\n" (Hashtbl.length crashes);
+      Hashtbl.iter (fun m () -> Printf.printf "  %s\n" m) crashes;
+      0
+
+let system_t =
+  Arg.(value & opt string "oxrt" & info [ "system" ] ~docv:"SYS" ~doc:"oxrt | lotus | trt.")
+
+let budget_t =
+  Arg.(value & opt float 5. & info [ "budget" ] ~docv:"SECONDS" ~doc:"Time budget.")
+
+let bugs_t =
+  Arg.(value & flag & info [ "bugs" ] ~doc:"Activate the seeded defects.")
+
+let fuzz_cmd =
+  Cmd.v
+    (Cmd.info "fuzz" ~doc:"Differentially fuzz one compiler")
+    Term.(const fuzz $ system_t $ budget_t $ bugs_t $ seed_t)
+
+(* ---- cov ---------------------------------------------------------- *)
+
+let cov budget_s seed =
+  Faults.deactivate_all ();
+  List.iter
+    (fun (system : D.Systems.t) ->
+      List.iter
+        (fun gen ->
+          let r =
+            D.Campaign.coverage ~budget_ms:(budget_s *. 1000.) ~system gen
+          in
+          Printf.printf "%-6s %-12s tests=%-5d total=%-5d pass-only=%-5d\n%!"
+            system.s_name r.fuzzer r.tests (Cov.count r.final)
+            (Cov.count_pass r.final))
+        [
+          D.Generators.nnsmith ~seed ();
+          D.Generators.graphfuzzer ~seed ();
+          D.Generators.lemon ~seed ();
+        ])
+    D.Systems.open_source;
+  0
+
+let cov_cmd =
+  Cmd.v
+    (Cmd.info "cov" ~doc:"Coverage comparison of all fuzzers on all systems")
+    Term.(const cov $ budget_t $ seed_t)
+
+(* ---- reduce ------------------------------------------------------- *)
+
+let reduce bug_id budget_s seed out_path =
+  match Faults.find bug_id with
+  | None ->
+      Printf.eprintf "unknown bug id %s (see `nnsmith bugs`)\n" bug_id;
+      1
+  | Some bug -> (
+      let system =
+        match bug.system with
+        | "OxRT" | "Exporter" -> D.Systems.oxrt
+        | "Lotus" -> D.Systems.lotus
+        | "TRT" -> D.Systems.trt
+        | _ -> D.Systems.oxrt
+      in
+      let rng = Random.State.make [| seed |] in
+      let predicate = D.Reduce.still_triggers system ~bug_id rng in
+      (* fuzz until a model triggers the bug *)
+      let gen = D.Generators.nnsmith ~seed () in
+      let start = Unix.gettimeofday () in
+      let rec find () =
+        if Unix.gettimeofday () -. start > budget_s then None
+        else
+          match gen.next () with
+          | Some g when predicate g -> Some g
+          | _ -> find ()
+      in
+      match find () with
+      | None ->
+          Printf.printf "no model triggered %s within %.0f s\n" bug_id budget_s;
+          1
+      | Some g ->
+          Printf.printf "found a %d-node reproducer; reducing...\n%!"
+            (Graph.size g);
+          let reduced, stats = D.Reduce.minimize ~predicate g in
+          Printf.printf
+            "reduced %d -> %d nodes (%d/%d mutations accepted):\n%s\n"
+            stats.initial_size stats.final_size stats.accepted stats.attempts
+            (Graph.to_string reduced);
+          (match out_path with
+          | Some path ->
+              Nnsmith_ir.Serial.save path reduced;
+              Printf.printf "saved to %s\n" path
+          | None -> ());
+          0)
+
+let bug_id_t =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "bug" ] ~docv:"ID" ~doc:"Seeded bug id (see `nnsmith bugs`).")
+
+let out_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out" ] ~docv:"FILE" ~doc:"Save the reduced model here.")
+
+let reduce_cmd =
+  Cmd.v
+    (Cmd.info "reduce"
+       ~doc:"Find a model triggering a seeded bug and minimize it")
+    Term.(const reduce $ bug_id_t $ budget_t $ seed_t $ out_t)
+
+(* ---- ops / bugs --------------------------------------------------- *)
+
+let ops () =
+  List.iter print_endline (Nnsmith_ops.Registry.names ());
+  0
+
+let ops_cmd =
+  Cmd.v (Cmd.info "ops" ~doc:"List registered operator specifications")
+    Term.(const ops $ const ())
+
+let bugs () =
+  List.iter
+    (fun (b : Faults.bug) ->
+      Printf.printf "%-36s %-9s %-13s %-8s %s\n" b.b_id b.system
+        (Faults.category_name b.category)
+        (Faults.effect_name b.effect)
+        b.description)
+    Faults.catalogue;
+  0
+
+let bugs_cmd =
+  Cmd.v (Cmd.info "bugs" ~doc:"List the seeded bug catalogue")
+    Term.(const bugs $ const ())
+
+let () =
+  let info =
+    Cmd.info "nnsmith" ~version:"1.0.0"
+      ~doc:"Generate diverse and valid test cases for deep-learning compilers"
+  in
+  exit (Cmd.eval' (Cmd.group info [ generate_cmd; fuzz_cmd; cov_cmd; reduce_cmd; ops_cmd; bugs_cmd ]))

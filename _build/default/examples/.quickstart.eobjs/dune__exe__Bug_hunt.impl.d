@@ -1,0 +1,1 @@
+examples/bug_hunt.ml: Hashtbl List Nnsmith_difftest Nnsmith_faults Printf

@@ -1,0 +1,1 @@
+examples/corpus_fuzz.ml: Filename List Nnsmith_difftest Nnsmith_faults Nnsmith_ir Printf Random Unix

@@ -1,0 +1,1 @@
+examples/coverage_race.ml: List Nnsmith_coverage Nnsmith_difftest Nnsmith_faults Printf

@@ -1,0 +1,1 @@
+examples/custom_op.ml: Array List Nnsmith_core Nnsmith_ir Nnsmith_ops Nnsmith_smt Nnsmith_tensor Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Nnsmith_core Nnsmith_difftest Nnsmith_faults Nnsmith_grad Nnsmith_ir Nnsmith_ops Printf Random

@@ -1,0 +1,1 @@
+lib/baselines/builder.ml: List Nnsmith_ir Nnsmith_ops Nnsmith_tensor

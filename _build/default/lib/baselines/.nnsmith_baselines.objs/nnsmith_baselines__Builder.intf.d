@@ -1,0 +1,1 @@
+lib/baselines/builder.mli: Nnsmith_ir Nnsmith_tensor

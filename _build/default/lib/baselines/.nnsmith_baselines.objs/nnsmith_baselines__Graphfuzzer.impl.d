@@ -1,0 +1,1 @@
+lib/baselines/graphfuzzer.ml: Builder Fun List Nnsmith_ir Nnsmith_tensor Random

@@ -1,0 +1,1 @@
+lib/baselines/graphfuzzer.mli: Nnsmith_ir

@@ -1,0 +1,1 @@
+lib/baselines/lemon.ml: Builder List Nnsmith_ir Nnsmith_tensor Random

@@ -1,0 +1,1 @@
+lib/baselines/lemon.mli: Nnsmith_ir

@@ -1,0 +1,1 @@
+lib/baselines/tzer.ml: Array List Nnsmith_coverage Nnsmith_faults Nnsmith_ir Nnsmith_tensor Nnsmith_tvmlike Random

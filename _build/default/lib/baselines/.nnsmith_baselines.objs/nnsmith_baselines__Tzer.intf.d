@@ -1,0 +1,1 @@
+lib/baselines/tzer.mli: Nnsmith_tvmlike Random

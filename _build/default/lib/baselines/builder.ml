@@ -1,0 +1,38 @@
+(** Concrete-graph construction helpers for the baseline generators: nodes
+    are appended with types derived from {!Nnsmith_ops.Infer}, so every
+    baseline-built graph is valid by the same type checker the compilers
+    apply. *)
+
+module Op = Nnsmith_ir.Op
+module Conc = Nnsmith_ir.Ttype.Conc
+module Graph = Nnsmith_ir.Graph
+module Infer = Nnsmith_ops.Infer
+module Dtype = Nnsmith_tensor.Dtype
+
+exception Build_error of string
+
+let leaf g kind dtype dims =
+  Graph.add_node g ~op:(Op.Leaf kind) ~inputs:[]
+    ~out_type:(Conc.make dtype dims)
+
+let input g dtype dims = leaf g Op.Model_input dtype dims
+let weight g dtype dims = leaf g Op.Model_weight dtype dims
+
+(** Append an operator node, inferring its output type.
+    @raise Build_error when the operator rejects its inputs. *)
+let op g operator inputs =
+  let in_types =
+    List.map (fun i -> (Graph.find g i).Graph.out_type) inputs
+  in
+  match Infer.infer operator in_types with
+  | Ok out_type -> Graph.add_node g ~op:operator ~inputs ~out_type
+  | Error e -> raise (Build_error e)
+
+let op_opt g operator inputs =
+  match op g operator inputs with
+  | result -> Some result
+  | exception Build_error _ -> None
+
+let out_type g id = (Graph.find g id).Graph.out_type
+let dims g id = Conc.dims (out_type g id)
+let dtype g id = Conc.dtype (out_type g id)

@@ -1,0 +1,34 @@
+(** Concrete-graph construction helpers: nodes are appended with types
+    derived from {!Nnsmith_ops.Infer}, so every built graph is valid by the
+    same type checker the compilers apply. *)
+
+exception Build_error of string
+
+val leaf :
+  Nnsmith_ir.Graph.t ->
+  Nnsmith_ir.Op.leaf_kind ->
+  Nnsmith_tensor.Dtype.t ->
+  int list ->
+  Nnsmith_ir.Graph.t * int
+
+val input :
+  Nnsmith_ir.Graph.t -> Nnsmith_tensor.Dtype.t -> int list ->
+  Nnsmith_ir.Graph.t * int
+
+val weight :
+  Nnsmith_ir.Graph.t -> Nnsmith_tensor.Dtype.t -> int list ->
+  Nnsmith_ir.Graph.t * int
+
+val op :
+  Nnsmith_ir.Graph.t -> int Nnsmith_ir.Op.t -> int list ->
+  Nnsmith_ir.Graph.t * int
+(** Append an operator node, inferring its output type.
+    @raise Build_error when the operator rejects its inputs. *)
+
+val op_opt :
+  Nnsmith_ir.Graph.t -> int Nnsmith_ir.Op.t -> int list ->
+  (Nnsmith_ir.Graph.t * int) option
+
+val out_type : Nnsmith_ir.Graph.t -> int -> Nnsmith_ir.Ttype.Conc.t
+val dims : Nnsmith_ir.Graph.t -> int -> int list
+val dtype : Nnsmith_ir.Graph.t -> int -> Nnsmith_tensor.Dtype.t

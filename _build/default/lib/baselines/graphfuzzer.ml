@@ -1,0 +1,142 @@
+(** GraphFuzzer-style baseline (reimplemented from the paper's description,
+    as the paper itself did): random stitching of operator blocks over a
+    pool of concrete tensors, with tensor shapes aligned by *slicing and
+    padding* instead of constraint solving, and non-shape-preserving
+    operators restricted to shape-preserving attribute instances (Conv2d
+    with 1x1 kernels and stride 1, pooling with unit kernels, ...).
+
+    Consequences measured by the paper and reproduced here: generated graphs
+    are biased toward Slice/Pad nodes, broadcasting never occurs, and the
+    attribute space of shape-changing operators is never explored. *)
+
+module Op = Nnsmith_ir.Op
+module Conc = Nnsmith_ir.Ttype.Conc
+module Graph = Nnsmith_ir.Graph
+module Dtype = Nnsmith_tensor.Dtype
+
+type t = { rng : Random.State.t; size : int }
+
+let create ?(seed = 1) ?(size = 10) () =
+  { rng = Random.State.make [| seed |]; size }
+
+let pick rng xs = List.nth xs (Random.State.int rng (List.length xs))
+
+(* Align tensor [src] to shape [target] (same rank) by slicing dims that are
+   too large and zero-padding dims that are too small — the "fixing" strategy
+   of Listing 1's M1. Returns the graph and the aligned node id. *)
+let align rng g src target =
+  ignore rng;
+  let dims = Builder.dims g src in
+  if dims = target then (g, src)
+  else begin
+    let rank = List.length dims in
+    (* slice down *)
+    let g, sliced =
+      List.fold_left
+        (fun (g, cur) axis ->
+          let d = List.nth (Builder.dims g cur) axis
+          and t = List.nth target axis in
+          if d > t then
+            Builder.op g
+              (Op.Slice { s_axis = axis; s_start = 0; s_stop = t })
+              [ cur ]
+          else (g, cur))
+        (g, src) (List.init rank Fun.id)
+    in
+    (* pad up *)
+    let dims' = Builder.dims g sliced in
+    if dims' = target then (g, sliced)
+    else begin
+      let before = List.map (fun _ -> 0) dims' in
+      let after = List.map2 (fun d t -> max 0 (t - d)) dims' target in
+      Builder.op g
+        (Op.Pad (Op.Pad_constant 0., { pad_before = before; pad_after = after }))
+        [ sliced ]
+    end
+  end
+
+let unaries =
+  [
+    Op.Unary Op.Relu; Op.Unary Op.Sigmoid; Op.Unary Op.Tanh; Op.Unary Op.Abs;
+    Op.Unary Op.Exp; Op.Unary Op.Sqrt; Op.Unary Op.Sin; Op.Unary Op.Neg;
+    Op.Unary Op.Erf; Op.Leaky_relu { alpha = 0.05 };
+    Op.Clip { c_lo = -3.; c_hi = 3. };
+  ]
+
+let binaries = [ Op.Binary Op.Add; Op.Binary Op.Sub; Op.Binary Op.Mul;
+                 Op.Binary Op.Div; Op.Binary Op.Max2; Op.Binary Op.Min2 ]
+
+(* Pool of float tensors currently available (node ids). *)
+let float_nodes g =
+  List.filter_map
+    (fun (n : Graph.node) ->
+      if
+        Dtype.is_float (Conc.dtype n.out_type) && Conc.rank n.out_type >= 1
+      then Some n.Graph.id
+      else None)
+    (Graph.nodes g)
+
+let insert_block t g =
+  let rng = t.rng in
+  let pool = float_nodes g in
+  let x = pick rng pool in
+  match Random.State.int rng 6 with
+  | 0 ->
+      (* unary block *)
+      fst (Builder.op g (pick rng unaries) [ x ])
+  | 1 ->
+      (* binary block with slice/pad alignment to the first operand *)
+      let y = pick rng pool in
+      let target = Builder.dims g x in
+      if List.length (Builder.dims g y) <> List.length target then g
+      else begin
+        let g, y' = align rng g y target in
+        fst (Builder.op g (pick rng binaries) [ x; y' ])
+      end
+  | 2 when Conc.rank (Builder.out_type g x) = 4 ->
+      (* shape-preserving Conv2d instance: 1x1 kernel, stride 1, no pad *)
+      let c = List.nth (Builder.dims g x) 1 in
+      let g, w = Builder.weight g (Builder.dtype g x) [ c; c; 1; 1 ] in
+      fst
+        (Builder.op g
+           (Op.Conv2d { out_channels = c; kh = 1; kw = 1; stride = 1; padding = 0 })
+           [ x; w ])
+  | 3 when Conc.rank (Builder.out_type g x) = 4 ->
+      (* shape-preserving pooling instance: unit kernel *)
+      fst
+        (Builder.op g
+           (Op.Pool2d
+              ( (if Random.State.bool rng then Op.P_max else Op.P_avg),
+                { p_kh = 1; p_kw = 1; p_stride = 1; p_padding = 0 } ))
+           [ x ])
+  | 4 ->
+      (* softmax (shape preserving) *)
+      let axis = Random.State.int rng (Conc.rank (Builder.out_type g x)) in
+      fst (Builder.op g (Op.Softmax { sm_axis = axis }) [ x ])
+  | _ ->
+      (* concat with itself along axis 0 then slice back: a GraphFuzzer-ish
+         block that keeps the shape *)
+      let axis = 0 in
+      let g, cat =
+        Builder.op g (Op.Concat { cat_axis = axis; cat_n = 2 }) [ x; x ]
+      in
+      let d = List.nth (Builder.dims g x) axis in
+      fst
+        (Builder.op g (Op.Slice { s_axis = axis; s_start = 0; s_stop = d }) [ cat ])
+
+let next (t : t) : Graph.t =
+  let rank = 1 + Random.State.int t.rng 4 in
+  let dims =
+    if rank = 4 then
+      [ 1; 4 * (1 + Random.State.int t.rng 2); 4 + Random.State.int t.rng 8;
+        4 + Random.State.int t.rng 8 ]
+    else List.init rank (fun _ -> 1 + Random.State.int t.rng 12)
+  in
+  let g, _ = Builder.input Graph.empty Dtype.F32 dims in
+  let rec grow g k =
+    if k = 0 then g
+    else
+      let g' = try insert_block t g with Builder.Build_error _ -> g in
+      grow g' (k - 1)
+  in
+  grow g t.size

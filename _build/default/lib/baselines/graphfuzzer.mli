@@ -1,0 +1,13 @@
+(** GraphFuzzer-style baseline (reimplemented from the paper's description):
+    random stitching of operator blocks over concrete tensors, aligning
+    mismatched shapes by slicing and padding, with non-shape-preserving
+    operators restricted to shape-preserving attribute instances (1x1
+    stride-1 convolutions, unit pooling kernels). *)
+
+type t
+
+val create : ?seed:int -> ?size:int -> unit -> t
+(** [size] is the number of block insertions per model (default 10). *)
+
+val next : t -> Nnsmith_ir.Graph.t
+(** Generate one model; always valid (each block is type checked). *)

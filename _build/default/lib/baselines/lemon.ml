@@ -1,0 +1,176 @@
+(** LEMON-style baseline: mutate seed "pre-trained" models with
+    shape-preserving layer insertions, deletions and duplications.
+
+    Faithful to the design restriction the paper describes: only
+    type-preserving unary operators are touched, so non-shape-preserving
+    connections (broadcasting, Conv2d attribute changes, reshapes) are out
+    of reach.  Seeds are comparatively large, which also reproduces LEMON's
+    low test throughput (§5.2). *)
+
+module Op = Nnsmith_ir.Op
+module Graph = Nnsmith_ir.Graph
+module Dtype = Nnsmith_tensor.Dtype
+
+type t = { rng : Random.State.t; mutable pool : Graph.t list }
+
+(* Seed 1: a small convnet head (conv -> relu -> pool -> conv -> relu). *)
+let seed_convnet () =
+  let g = Graph.empty in
+  let g, x = Builder.input g Dtype.F32 [ 1; 8; 28; 28 ] in
+  let g, w1 = Builder.weight g Dtype.F32 [ 8; 8; 5; 5 ] in
+  let g, c1 =
+    Builder.op g
+      (Op.Conv2d { out_channels = 8; kh = 5; kw = 5; stride = 1; padding = 2 })
+      [ x; w1 ]
+  in
+  let g, r1 = Builder.op g (Op.Unary Op.Relu) [ c1 ] in
+  let g, p1 =
+    Builder.op g
+      (Op.Pool2d
+         (Op.P_max, { p_kh = 2; p_kw = 2; p_stride = 2; p_padding = 0 }))
+      [ r1 ]
+  in
+  let g, w2 = Builder.weight g Dtype.F32 [ 8; 8; 3; 3 ] in
+  let g, c2 =
+    Builder.op g
+      (Op.Conv2d { out_channels = 8; kh = 3; kw = 3; stride = 1; padding = 1 })
+      [ p1; w2 ]
+  in
+  let g, _ = Builder.op g (Op.Unary Op.Tanh) [ c2 ] in
+  g
+
+(* Seed 2: an MLP (matmul -> add -> activations -> matmul -> softmax). *)
+let seed_mlp () =
+  let g = Graph.empty in
+  let g, x = Builder.input g Dtype.F32 [ 8; 64 ] in
+  let g, w1 = Builder.weight g Dtype.F32 [ 64; 64 ] in
+  let g, m1 = Builder.op g Op.Mat_mul [ x; w1 ] in
+  let g, b1 = Builder.weight g Dtype.F32 [ 8; 64 ] in
+  let g, a1 = Builder.op g (Op.Binary Op.Add) [ m1; b1 ] in
+  let g, r1 = Builder.op g (Op.Unary Op.Sigmoid) [ a1 ] in
+  let g, w2 = Builder.weight g Dtype.F32 [ 64; 64 ] in
+  let g, m2 = Builder.op g Op.Mat_mul [ r1; w2 ] in
+  let g, _ = Builder.op g (Op.Softmax { sm_axis = 1 }) [ m2 ] in
+  g
+
+(* Seed 3: elementwise tower over a rank-3 tensor. *)
+let seed_tower () =
+  let g = Graph.empty in
+  let g, x = Builder.input g Dtype.F32 [ 4; 24; 24 ] in
+  let g, a = Builder.op g (Op.Unary Op.Tanh) [ x ] in
+  let g, b = Builder.op g (Op.Unary Op.Abs) [ a ] in
+  let g, c = Builder.op g (Op.Unary Op.Sqrt) [ b ] in
+  let g, d = Builder.op g (Op.Clip { c_lo = -1.; c_hi = 1. }) [ c ] in
+  let g, _ = Builder.op g (Op.Unary Op.Sin) [ d ] in
+  g
+
+let shape_preserving_unaries =
+  [
+    Op.Unary Op.Relu;
+    Op.Unary Op.Sigmoid;
+    Op.Unary Op.Tanh;
+    Op.Unary Op.Abs;
+    Op.Unary Op.Neg;
+    Op.Unary Op.Sin;
+    Op.Unary Op.Cos;
+    Op.Unary Op.Exp;
+    Op.Unary Op.Erf;
+    Op.Unary Op.Gelu;
+    Op.Unary Op.Round;
+    Op.Leaky_relu { alpha = 0.1 };
+    Op.Clip { c_lo = -2.; c_hi = 2. };
+  ]
+
+let create ?(seed = 1) () =
+  {
+    rng = Random.State.make [| seed |];
+    pool = [ seed_convnet (); seed_mlp (); seed_tower () ];
+  }
+
+let pick rng xs = List.nth xs (Random.State.int rng (List.length xs))
+
+(* Layer addition: splice a shape-preserving unary after a random float
+   node, rebuilding the graph with consumers redirected. *)
+let insert_layer rng (g : Graph.t) : Graph.t option =
+  let floats =
+    List.filter
+      (fun (n : Graph.node) ->
+        Dtype.is_float (Nnsmith_ir.Ttype.Conc.dtype n.out_type))
+      (Graph.nodes g)
+  in
+  match floats with
+  | [] -> None
+  | _ ->
+      let target = (pick rng floats).Graph.id in
+      let new_op = pick rng shape_preserving_unaries in
+      let fresh = ref None in
+      let rebuilt =
+        List.concat_map
+          (fun (n : Graph.node) ->
+            let redirect i =
+              match !fresh with
+              | Some f when i = target -> f
+              | _ -> i
+            in
+            let n' = { n with inputs = List.map redirect n.inputs } in
+            if n.id = target then begin
+              let new_id = 1 + List.fold_left (fun a (m : Graph.node) -> max a m.id) 0 (Graph.nodes g) in
+              fresh := Some new_id;
+              [
+                n';
+                {
+                  Graph.id = new_id;
+                  op = new_op;
+                  inputs = [ target ];
+                  out_type = n.out_type;
+                };
+              ]
+            end
+            else [ n' ])
+          (Graph.nodes g)
+      in
+      Some (Graph.of_nodes rebuilt)
+
+(* Layer deletion: remove a shape-preserving unary, rerouting consumers. *)
+let delete_layer rng (g : Graph.t) : Graph.t option =
+  let removable =
+    List.filter
+      (fun (n : Graph.node) ->
+        List.mem n.op shape_preserving_unaries
+        && List.length n.inputs = 1
+        && Graph.consumers g n.id <> [])
+      (Graph.nodes g)
+  in
+  match removable with
+  | [] -> None
+  | _ ->
+      let victim = pick rng removable in
+      let src = List.hd victim.inputs in
+      let rebuilt =
+        List.filter_map
+          (fun (n : Graph.node) ->
+            if n.id = victim.id then None
+            else
+              Some
+                {
+                  n with
+                  inputs =
+                    List.map (fun i -> if i = victim.id then src else i) n.inputs;
+                })
+          (Graph.nodes g)
+      in
+      Some (Graph.of_nodes rebuilt)
+
+(** One mutant model per call; LEMON keeps mutants in the pool so mutations
+    accumulate. *)
+let next (t : t) : Graph.t =
+  let parent = pick t.rng t.pool in
+  let mutant =
+    let attempt =
+      if Random.State.int t.rng 4 = 0 then delete_layer t.rng parent
+      else insert_layer t.rng parent
+    in
+    match attempt with Some m -> m | None -> parent
+  in
+  if List.length t.pool < 64 then t.pool <- mutant :: t.pool;
+  mutant

@@ -1,0 +1,19 @@
+(** LEMON-style baseline: mutate seed "pre-trained" models with
+    shape-preserving layer insertions, deletions and duplications — the
+    design restriction that keeps non-shape-preserving connections
+    (broadcasting, Conv2d attribute changes, reshapes) out of its reach. *)
+
+type t
+
+val seed_convnet : unit -> Nnsmith_ir.Graph.t
+val seed_mlp : unit -> Nnsmith_ir.Graph.t
+val seed_tower : unit -> Nnsmith_ir.Graph.t
+(** The "pre-trained" seed models. *)
+
+val shape_preserving_unaries : int Nnsmith_ir.Op.t list
+(** The only layer kinds mutations may insert or delete. *)
+
+val create : ?seed:int -> unit -> t
+
+val next : t -> Nnsmith_ir.Graph.t
+(** One mutant per call; mutants accumulate in the pool, as in LEMON. *)

@@ -1,0 +1,159 @@
+(** TZer-style baseline: coverage-guided joint mutation of Lotus's low-level
+    TIR and its pass pipeline (the paper's Figure 8 comparison).
+
+    TZer never sees the graph level, so graph-level transforms stay
+    uncovered; conversely its mutations reach low-level simplifier and
+    loop-annotation branches that lowered NNSmith models rarely produce —
+    both effects are visible in the fig8 bench. *)
+
+module Tir = Nnsmith_tvmlike.Tir
+module Lower = Nnsmith_tvmlike.Lower
+module Conc = Nnsmith_ir.Ttype.Conc
+module Op = Nnsmith_ir.Op
+module Dtype = Nnsmith_tensor.Dtype
+module Cov = Nnsmith_coverage.Coverage
+
+type t = {
+  rng : Random.State.t;
+  mutable corpus : Tir.func list;
+  mutable covered : int;  (** coverage count when the corpus last grew *)
+  mutable executed : int;
+}
+
+let seed_funcs () =
+  let f32 dims = Conc.make Dtype.F32 dims in
+  [
+    Lower.lower_node ~name:"seed_relu" (Op.Unary Op.Relu) [ f32 [ 4; 6 ] ]
+      (f32 [ 4; 6 ]);
+    Lower.lower_node ~name:"seed_add" (Op.Binary Op.Add)
+      [ f32 [ 2; 3; 4 ]; f32 [ 3; 4 ] ]
+      (f32 [ 2; 3; 4 ]);
+    Lower.lower_node ~name:"seed_mul" (Op.Binary Op.Mul)
+      [ f32 [ 8 ]; f32 [ 1 ] ]
+      (f32 [ 8 ]);
+    Lower.lower_node ~name:"seed_clip" (Op.Clip { c_lo = -1.; c_hi = 1. })
+      [ f32 [ 5; 5 ] ] (f32 [ 5; 5 ]);
+    Lower.lower_node ~name:"seed_bcast4" (Op.Binary Op.Sub)
+      [ f32 [ 2; 1; 3; 8 ]; f32 [ 2; 2; 1; 8 ] ]
+      (f32 [ 2; 2; 3; 8 ]);
+    Lower.lower_node ~name:"seed_leaky" (Op.Leaky_relu { alpha = 0.1 })
+      [ f32 [ 7 ] ] (f32 [ 7 ]);
+  ]
+
+let create ?(seed = 1) () =
+  {
+    rng = Random.State.make [| seed |];
+    corpus = seed_funcs ();
+    covered = 0;
+    executed = 0;
+  }
+
+let pick rng xs = List.nth xs (Random.State.int rng (List.length xs))
+
+(* ---- IR mutations ------------------------------------------------- *)
+
+let wrap_iexpr rng (e : Tir.iexpr) : Tir.iexpr =
+  match Random.State.int rng 6 with
+  | 0 -> Tir.Iadd (e, Tir.Iconst 0)
+  | 1 -> Tir.Imul (e, Tir.Iconst 1)
+  | 2 -> Tir.Idiv (e, Tir.Iconst 1)
+  | 3 -> Tir.Imod (e, Tir.Iconst (1 + Random.State.int rng 8))
+  | 4 ->
+      let c = 1 + Random.State.int rng 4 in
+      let d = 1 + Random.State.int rng 4 in
+      (* the div/mul/mod shape the simplifier (and its seeded bug) targets *)
+      Tir.Imul (Tir.Imod (Tir.Idiv (e, Tir.Iconst c), Tir.Iconst d), Tir.Iconst c)
+  | _ -> Tir.Iadd (Tir.Iconst 0, e)
+
+let mutate_indices rng (f : Tir.func) : Tir.func =
+  let mutate_one = ref (Random.State.int rng 4) in
+  let fi e =
+    if !mutate_one = 0 then begin
+      decr mutate_one;
+      wrap_iexpr rng e
+    end
+    else begin
+      decr mutate_one;
+      e
+    end
+  in
+  { f with body = List.map (Tir.map_iexpr_stmt fi) f.body }
+
+let rec mutate_loops rng (stmts : Tir.stmt list) : Tir.stmt list =
+  List.map
+    (fun (s : Tir.stmt) ->
+      match s with
+      | Tir.For { v; extent; kind; body } ->
+          let extent, kind =
+            match Random.State.int rng 4 with
+            | 0 -> (max 1 (extent - 1), kind)
+            | 1 -> (extent + 1, kind)  (* may go out of bounds *)
+            | 2 -> (extent, pick rng [ Tir.Serial; Tir.Unrolled; Tir.Vectorized ])
+            | _ -> (extent, kind)
+          in
+          Tir.For { v; extent; kind; body = mutate_loops rng body }
+      | Tir.Store _ -> s)
+    stmts
+
+let mutate_value rng (f : Tir.func) : Tir.func =
+  let unaries =
+    [
+      Op.Relu; Op.Abs; Op.Sqrt; Op.Exp; Op.Tanh; Op.Floor; Op.Ceil; Op.Round;
+      Op.Sign; Op.Log; Op.Log2; Op.Sin; Op.Cos; Op.Tan; Op.Asin; Op.Acos;
+      Op.Atan; Op.Sigmoid; Op.Gelu; Op.Reciprocal; Op.Erf; Op.Neg;
+    ]
+  in
+  let rec mv (v : Tir.vexpr) : Tir.vexpr =
+    match v with
+    | Tir.Vun (_, a) when Random.State.int rng 3 = 0 ->
+        Tir.Vun (pick rng unaries, mv a)
+    | Tir.Vun (u, a) -> Tir.Vun (u, mv a)
+    | Tir.Vbin (b, a, c) -> Tir.Vbin (b, mv a, mv c)
+    | Tir.Vclip (lo, hi, a) -> Tir.Vclip (lo, hi, mv a)
+    | Tir.Vleaky (al, a) -> Tir.Vleaky (al, mv a)
+    | Tir.Vconst _ | Tir.Vload _ ->
+        if Random.State.int rng 8 = 0 then
+          Tir.Vun (pick rng unaries, v)
+        else v
+  in
+  let rec ms (s : Tir.stmt) : Tir.stmt =
+    match s with
+    | Tir.For r -> Tir.For { r with body = List.map ms r.body }
+    | Tir.Store { index; value } -> Tir.Store { index; value = mv value }
+  in
+  { f with body = List.map ms f.body }
+
+let mutate rng f =
+  match Random.State.int rng 3 with
+  | 0 -> mutate_indices rng f
+  | 1 -> { f with Tir.body = mutate_loops rng f.Tir.body }
+  | _ -> mutate_value rng f
+
+(* Joint pass mutation: a random subsequence (possibly reordered) of the
+   low-level pass pipeline. *)
+let mutate_passes rng =
+  let all = Tir.default_passes in
+  let chosen = List.filter (fun _ -> Random.State.bool rng) all in
+  if Random.State.bool rng then List.rev chosen else chosen
+
+(** One fuzzing iteration: pick a parent, mutate IR and passes, optimise,
+    execute, and keep the mutant when coverage grew. *)
+let step (t : t) : unit =
+  let parent = pick t.rng t.corpus in
+  let mutant = mutate t.rng parent in
+  let passes = mutate_passes t.rng in
+  t.executed <- t.executed + 1;
+  (try
+     let optimised = Tir.optimize ~passes mutant in
+     let inputs =
+       Array.init (max 1 optimised.Tir.n_inputs) (fun _ ->
+           Array.init 4096 (fun i -> float_of_int (i mod 17) /. 4.))
+     in
+     let out = Array.make 4096 0. in
+     Tir.run optimised inputs out
+   with Tir.Tir_error _ | Nnsmith_faults.Faults.Compiler_bug _ -> ());
+  let now = Cov.count (Cov.snapshot ()) in
+  if now > t.covered then begin
+    t.covered <- now;
+    if List.length t.corpus < 256 then t.corpus <- mutant :: t.corpus
+  end

@@ -1,0 +1,1 @@
+lib/core/config.ml: Nnsmith_ops Nnsmith_tensor

@@ -1,0 +1,1 @@
+lib/core/config.mli: Nnsmith_ops Nnsmith_tensor

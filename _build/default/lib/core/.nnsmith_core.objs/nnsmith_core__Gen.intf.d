@@ -1,0 +1,1 @@
+lib/core/gen.mli: Config Nnsmith_ir

@@ -1,0 +1,34 @@
+(** Generation configuration, defaults matching the paper's evaluation
+    setup (§5.1): graph size 10, k = 7 bins, equal forward/backward
+    probability. *)
+
+module Dtype = Nnsmith_tensor.Dtype
+
+type t = {
+  max_nodes : int;  (** number of operator nodes to insert *)
+  seed : int;
+  leaf_dtypes : Dtype.t list;  (** dtypes for fresh placeholders *)
+  templates : Nnsmith_ops.Spec.template list;
+  bins : int;  (** k of Algorithm 2 *)
+  binning : bool;  (** disable for the fig9/fig10 ablation *)
+  max_numel : int;  (** element-count cap per tensor (see DESIGN.md) *)
+  forward_prob : float;
+  combo_tries : int;  (** input combinations sampled per insertion attempt *)
+  insert_tries : int;  (** insertion attempts per operator *)
+  solver_max_steps : int;
+}
+
+let default =
+  {
+    max_nodes = 10;
+    seed = 20230325;
+    leaf_dtypes = [ Dtype.F32 ];
+    templates = Nnsmith_ops.Registry.all;
+    bins = 7;
+    binning = true;
+    max_numel = 4096;
+    forward_prob = 0.5;
+    combo_tries = 8;
+    insert_tries = 10;
+    solver_max_steps = 2000;
+  }

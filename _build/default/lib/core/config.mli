@@ -1,0 +1,19 @@
+(** Generation configuration; defaults match the paper's evaluation setup
+    (§5.1): graph size 10, k = 7 bins, equal forward/backward insertion
+    probability. *)
+
+type t = {
+  max_nodes : int;  (** operator nodes to insert *)
+  seed : int;
+  leaf_dtypes : Nnsmith_tensor.Dtype.t list;  (** dtypes for placeholders *)
+  templates : Nnsmith_ops.Spec.template list;
+  bins : int;  (** k of Algorithm 2 *)
+  binning : bool;  (** disable for the fig9/fig10 ablation *)
+  max_numel : int;  (** element-count cap per tensor (see DESIGN.md) *)
+  forward_prob : float;  (** probability of trying forward insertion first *)
+  combo_tries : int;  (** input combinations sampled per insertion attempt *)
+  insert_tries : int;  (** insertion attempts per operator *)
+  solver_max_steps : int;
+}
+
+val default : t

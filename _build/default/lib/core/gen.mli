@@ -1,0 +1,22 @@
+(** NNSmith's model generator: incremental valid-by-construction symbolic
+    graph generation (Algorithm 1), attribute binning (Algorithm 2), and
+    concretisation against the solver's model. *)
+
+exception Gen_failure of string
+(** Raised when no operator can be inserted or the final constraint system
+    has no model; callers treat it as "skip this seed". *)
+
+type stats = {
+  gen_ms : float;  (** wall-clock generation time *)
+  solver_steps : int;  (** search steps of the final check *)
+  ops : int;  (** operator nodes inserted *)
+  nodes_total : int;  (** operators + leaves *)
+}
+
+val generate_with_stats : Config.t -> Nnsmith_ir.Graph.t * stats
+(** Generate one model.  The result is valid by construction (it satisfies
+    {!Nnsmith_ops.Validate.check}), connected, and has at least one
+    [Model_input] leaf.
+    @raise Gen_failure as described above. *)
+
+val generate : Config.t -> Nnsmith_ir.Graph.t

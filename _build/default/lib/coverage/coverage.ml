@@ -1,0 +1,59 @@
+(** Branch-coverage instrumentation for the compilers under test.
+
+    This substitutes for the gcov/Clang source-coverage instrumentation of
+    the paper (§5.1): compiler passes call {!branch}/{!hit} at their decision
+    points, each registering a *site* identified by file and tag.  Snapshots
+    support the total / unique / pass-only metrics of the evaluation. *)
+
+module Sset = Set.Make (String)
+
+type snapshot = { all : Sset.t; pass : Sset.t }
+
+(* Global hit table: site key -> is_pass_file. *)
+let hits : (string, bool) Hashtbl.t = Hashtbl.create 1024
+
+(* Every site ever observed across the process, for upper-limit estimates. *)
+let universe : (string, bool) Hashtbl.t = Hashtbl.create 1024
+
+let reset () = Hashtbl.reset hits
+
+let hit ?(pass = false) ~file tag =
+  let key = file ^ ":" ^ tag in
+  if not (Hashtbl.mem hits key) then Hashtbl.replace hits key pass;
+  if not (Hashtbl.mem universe key) then Hashtbl.replace universe key pass
+
+(** [branch ~file tag cond] records the taken arm of a two-way branch and
+    returns [cond], so instrumentation wraps conditions transparently:
+    [if Coverage.branch ~file "is_scalar" (rank = 0) then ...]. *)
+let branch ?pass ~file tag cond =
+  hit ?pass ~file (tag ^ if cond then ":t" else ":f");
+  cond
+
+(** Record which of several match arms was taken. *)
+let arm ?pass ~file tag which = hit ?pass ~file (tag ^ ":" ^ which)
+
+let snapshot () : snapshot =
+  Hashtbl.fold
+    (fun key is_pass acc ->
+      {
+        all = Sset.add key acc.all;
+        pass = (if is_pass then Sset.add key acc.pass else acc.pass);
+      })
+    hits
+    { all = Sset.empty; pass = Sset.empty }
+
+let empty = { all = Sset.empty; pass = Sset.empty }
+let count s = Sset.cardinal s.all
+let count_pass s = Sset.cardinal s.pass
+
+let union a b = { all = Sset.union a.all b.all; pass = Sset.union a.pass b.pass }
+let inter a b = { all = Sset.inter a.all b.all; pass = Sset.inter a.pass b.pass }
+let diff a b = { all = Sset.diff a.all b.all; pass = Sset.diff a.pass b.pass }
+
+(** Sites hit by [a] and by none of [others] — the "unique" coverage
+    metric. *)
+let unique a others = List.fold_left diff a others
+
+let universe_size () = Hashtbl.length universe
+
+let sites s = Sset.elements s.all

@@ -1,0 +1,36 @@
+(** Branch-coverage instrumentation for the compilers under test — the
+    stand-in for the gcov/Clang source coverage of §5.1.  Passes call
+    {!branch}/{!hit}/{!arm} at their decision points; snapshots support the
+    total / unique / pass-only metrics. *)
+
+type snapshot
+
+val reset : unit -> unit
+(** Clear the global hit table (start of a campaign). *)
+
+val hit : ?pass:bool -> file:string -> string -> unit
+(** Record one site, keyed by [file] and tag; [pass] marks optimizer files
+    for the pass-only metric. *)
+
+val branch : ?pass:bool -> file:string -> string -> bool -> bool
+(** [branch ~file tag cond] records the taken arm and returns [cond], so it
+    wraps conditions transparently. *)
+
+val arm : ?pass:bool -> file:string -> string -> string -> unit
+(** [arm ~file tag which] records which of several match arms was taken. *)
+
+val snapshot : unit -> snapshot
+val empty : snapshot
+val count : snapshot -> int
+val count_pass : snapshot -> int
+val union : snapshot -> snapshot -> snapshot
+val inter : snapshot -> snapshot -> snapshot
+val diff : snapshot -> snapshot -> snapshot
+
+val unique : snapshot -> snapshot list -> snapshot
+(** Sites hit by the first snapshot and by none of the others. *)
+
+val universe_size : unit -> int
+(** Distinct sites ever observed in this process (survives {!reset}). *)
+
+val sites : snapshot -> string list

@@ -1,0 +1,1 @@
+lib/difftest/bughunt.ml: Campaign Exporter Generators Harness Hashtbl List Nnsmith_faults Nnsmith_ir Nnsmith_ops Option Random Systems Unix

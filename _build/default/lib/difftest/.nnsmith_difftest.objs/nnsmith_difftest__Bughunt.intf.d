@@ -1,0 +1,1 @@
+lib/difftest/bughunt.mli: Generators Hashtbl

@@ -1,0 +1,1 @@
+lib/difftest/campaign.mli: Generators Nnsmith_coverage Nnsmith_ir Nnsmith_ops Random Systems

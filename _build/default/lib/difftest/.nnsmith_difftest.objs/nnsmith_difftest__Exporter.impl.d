@@ -1,0 +1,1 @@
+lib/difftest/exporter.ml: List Nnsmith_faults Nnsmith_ir Nnsmith_tensor

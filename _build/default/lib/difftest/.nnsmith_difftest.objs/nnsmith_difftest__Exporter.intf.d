@@ -1,0 +1,1 @@
+lib/difftest/exporter.mli: Nnsmith_ir

@@ -1,0 +1,1 @@
+lib/difftest/generators.mli: Nnsmith_ir

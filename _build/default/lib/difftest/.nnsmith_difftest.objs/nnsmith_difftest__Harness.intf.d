@@ -1,0 +1,1 @@
+lib/difftest/harness.mli: Nnsmith_ir Nnsmith_ops Systems

@@ -1,0 +1,1 @@
+lib/difftest/opinst.ml: Format Hashtbl List Nnsmith_ir String

@@ -1,0 +1,1 @@
+lib/difftest/opinst.mli: Nnsmith_ir

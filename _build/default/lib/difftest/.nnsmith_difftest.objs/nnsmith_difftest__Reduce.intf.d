@@ -1,0 +1,1 @@
+lib/difftest/reduce.mli: Nnsmith_ir Random Systems

@@ -1,0 +1,1 @@
+lib/difftest/support.ml: List Nnsmith_ir Nnsmith_ops Nnsmith_smt Nnsmith_tensor Random Systems

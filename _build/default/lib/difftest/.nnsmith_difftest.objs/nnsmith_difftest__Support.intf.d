@@ -1,0 +1,1 @@
+lib/difftest/support.mli: Nnsmith_ir Nnsmith_ops Nnsmith_tensor Random Systems

@@ -1,0 +1,1 @@
+lib/difftest/systems.ml: Nnsmith_ir Nnsmith_ortlike Nnsmith_tensor Nnsmith_tvmlike

@@ -1,0 +1,1 @@
+lib/difftest/systems.mli: Nnsmith_ir Nnsmith_tensor

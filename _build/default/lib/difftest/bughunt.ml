@@ -1,0 +1,104 @@
+(** The seeded-bug study behind Table 3: run every fuzzer against every
+    system with all seeded defects active and record which defects each
+    fuzzer can trigger. *)
+
+module Graph = Nnsmith_ir.Graph
+module Runner = Nnsmith_ops.Runner
+module Faults = Nnsmith_faults.Faults
+
+let now_ms () = Unix.gettimeofday () *. 1000.
+
+type result = {
+  fuzzer : string;
+  tests : int;
+  triggered : (string, int) Hashtbl.t;  (** seeded bug id -> hit count *)
+  unique_crashes : (string, int) Hashtbl.t;  (** crash message -> count *)
+}
+
+let incr_count tbl key =
+  Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+
+let semantic_candidates (system : Systems.t) =
+  List.filter
+    (fun (b : Faults.bug) ->
+      b.effect = Faults.Semantic
+      && (b.system = system.s_name || b.system = "Exporter"))
+    Faults.catalogue
+
+(* A semantic mismatch does not name its defect; re-run with each candidate
+   defect enabled in isolation to attribute it. *)
+let attribute_semantic (system : Systems.t) g binding triggered =
+  List.iter
+    (fun (b : Faults.bug) ->
+      Faults.with_bugs [ b.b_id ] (fun () ->
+          let exported, _ = Exporter.export g in
+          match Harness.test ~exported system g binding with
+          | Harness.Semantic _ -> incr_count triggered b.b_id
+          | Harness.Pass | Crash _ | Skipped _ -> ()
+          | exception _ -> ()))
+    (semantic_candidates system)
+
+(** Hunt with every seeded defect active for [budget_ms]. *)
+let hunt ~budget_ms (gen : Generators.t) : result =
+  let rng = Random.State.make [| Hashtbl.hash gen.g_name |] in
+  let triggered = Hashtbl.create 32 in
+  let unique_crashes = Hashtbl.create 32 in
+  let tests = ref 0 in
+  let start = now_ms () in
+  Faults.with_bugs
+    (List.map (fun (b : Faults.bug) -> b.b_id) Faults.catalogue)
+    (fun () ->
+      while now_ms () -. start < budget_ms do
+        incr tests;
+        match gen.next () with
+        | None -> ()
+        | Some g -> (
+            match
+              let binding = Campaign.find_binding rng g in
+              let exported, export_bugs = Exporter.export g in
+              (binding, exported, export_bugs)
+            with
+            | exception _ -> ()
+            | binding, exported, export_bugs ->
+                List.iter (fun id -> incr_count triggered id) export_bugs;
+                List.iter
+                  (fun system ->
+                    match Harness.test ~exported system g binding with
+                    | Harness.Pass | Skipped _ -> ()
+                    | Harness.Crash m -> (
+                        incr_count unique_crashes (Harness.dedup_key m);
+                        match Harness.bug_id_of_message m with
+                        | Some id -> incr_count triggered id
+                        | None -> ())
+                    | Harness.Semantic _ ->
+                        attribute_semantic system g binding triggered
+                    | exception _ -> ())
+                  Systems.all)
+      done);
+  { fuzzer = gen.g_name; tests = !tests; triggered; unique_crashes }
+
+(** Rows of Table 3 restricted to the given triggered set: per system, the
+    count per category plus crash/semantic split. *)
+let distribution (triggered : (string, int) Hashtbl.t) =
+  let systems = [ "OxRT"; "Lotus"; "TRT"; "Exporter" ] in
+  List.map
+    (fun sys ->
+      let bugs =
+        List.filter
+          (fun (b : Faults.bug) ->
+            b.system = sys && Hashtbl.mem triggered b.b_id)
+          Faults.catalogue
+      in
+      let count cat =
+        List.length (List.filter (fun (b : Faults.bug) -> b.category = cat) bugs)
+      in
+      let effect e =
+        List.length (List.filter (fun (b : Faults.bug) -> b.effect = e) bugs)
+      in
+      ( sys,
+        count Faults.Transformation,
+        count Faults.Conversion,
+        count Faults.Unclassified,
+        effect Faults.Crash,
+        effect Faults.Semantic ))
+    systems

@@ -1,0 +1,22 @@
+(** The seeded-bug study behind Table 3: run a fuzzer against every system
+    with all seeded defects active and record which defects it triggers. *)
+
+type result = {
+  fuzzer : string;
+  tests : int;
+  triggered : (string, int) Hashtbl.t;  (** seeded bug id -> hit count *)
+  unique_crashes : (string, int) Hashtbl.t;
+      (** crash dedup-key -> count (includes non-seeded rejections) *)
+}
+
+val hunt : budget_ms:float -> Generators.t -> result
+(** Fuzz for [budget_ms] with every catalogued defect active.  Crash
+    verdicts are attributed by their embedded bug id; semantic verdicts are
+    attributed by re-running with each candidate semantic defect enabled in
+    isolation. *)
+
+val distribution :
+  (string, int) Hashtbl.t ->
+  (string * int * int * int * int * int) list
+(** Table 3 rows restricted to a triggered set:
+    [(system, transformation, conversion, unclassified, crash, semantic)]. *)

@@ -1,0 +1,143 @@
+(** Fuzzing campaigns: time-budgeted loops that generate models, search for
+    numerically valid inputs, exercise a compiler, and sample coverage —
+    the machinery behind Figures 4–10 (scaled from the paper's 4 hours to
+    seconds). *)
+
+module Graph = Nnsmith_ir.Graph
+module Runner = Nnsmith_ops.Runner
+module Search = Nnsmith_grad.Search
+module Cov = Nnsmith_coverage.Coverage
+
+let now_ms () = Unix.gettimeofday () *. 1000.
+
+type sample = {
+  at_ms : float;
+  tests : int;
+  cov_total : int;
+  cov_pass : int;
+  extra : int;  (** campaign-specific counter (e.g. unique op instances) *)
+}
+
+type result = {
+  fuzzer : string;
+  system : string;
+  samples : sample list;  (** chronological *)
+  final : Cov.snapshot;
+  tests : int;
+  crashes : (string * int) list;  (** dedup message -> count *)
+}
+
+let incr_count tbl key =
+  Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+
+(* Inputs for a test case: gradient search with a small budget; fall back to
+   the last random binding (still useful for coverage) when it fails. *)
+let find_binding rng g =
+  match
+    (Search.search ~budget_ms:16. ~method_:Search.Gradient rng g).binding
+  with
+  | Some b -> b
+  | None -> Runner.random_binding rng g
+
+(** Coverage campaign of one generator against one system.  Resets global
+    coverage first.  Seeded faults should normally be disabled for coverage
+    runs (crashes would truncate executions). *)
+let coverage ~budget_ms ~(system : Systems.t) (gen : Generators.t) : result =
+  Cov.reset ();
+  let rng = Random.State.make [| Hashtbl.hash (gen.g_name, system.s_name) |] in
+  let start = now_ms () in
+  let samples = ref [] in
+  let crashes = Hashtbl.create 8 in
+  let tests = ref 0 in
+  let record () =
+    let snap = Cov.snapshot () in
+    samples :=
+      {
+        at_ms = now_ms () -. start;
+        tests = !tests;
+        cov_total = Cov.count snap;
+        cov_pass = Cov.count_pass snap;
+        extra = 0;
+      }
+      :: !samples
+  in
+  while now_ms () -. start < budget_ms do
+    incr tests;
+    (match gen.next () with
+    | None -> ()
+    | Some g -> (
+        let binding = find_binding rng g in
+        match Harness.test system g binding with
+        | Harness.Pass | Semantic _ | Skipped _ -> ()
+        | Harness.Crash m -> incr_count crashes (Harness.dedup_key m)
+        | exception _ -> ()));
+    record ()
+  done;
+  {
+    fuzzer = gen.g_name;
+    system = system.s_name;
+    samples = List.rev !samples;
+    final = Cov.snapshot ();
+    tests = !tests;
+    crashes = Hashtbl.fold (fun k v acc -> (k, v) :: acc) crashes [];
+  }
+
+(** TZer campaign: mutates Lotus's low-level IR directly. *)
+let tzer ~budget_ms ~seed : result =
+  Cov.reset ();
+  let st = Nnsmith_baselines.Tzer.create ~seed () in
+  let start = now_ms () in
+  let samples = ref [] in
+  let tests = ref 0 in
+  while now_ms () -. start < budget_ms do
+    incr tests;
+    Nnsmith_baselines.Tzer.step st;
+    let snap = Cov.snapshot () in
+    samples :=
+      {
+        at_ms = now_ms () -. start;
+        tests = !tests;
+        cov_total = Cov.count snap;
+        cov_pass = Cov.count_pass snap;
+        extra = 0;
+      }
+      :: !samples
+  done;
+  {
+    fuzzer = "TZer";
+    system = "Lotus";
+    samples = List.rev !samples;
+    final = Cov.snapshot ();
+    tests = !tests;
+    crashes = [];
+  }
+
+(** Unique-operator-instance campaign (Figure 9): generation only. *)
+let op_instances ~budget_ms (gen : Generators.t) : result =
+  let start = now_ms () in
+  let samples = ref [] in
+  let tests = ref 0 in
+  let insts = Opinst.create () in
+  while now_ms () -. start < budget_ms do
+    incr tests;
+    (match gen.next () with
+    | None -> ()
+    | Some g -> ignore (Opinst.add insts g));
+    samples :=
+      {
+        at_ms = now_ms () -. start;
+        tests = !tests;
+        cov_total = 0;
+        cov_pass = 0;
+        extra = Opinst.count insts;
+      }
+      :: !samples
+  done;
+  {
+    fuzzer = gen.g_name;
+    system = "-";
+    samples = List.rev !samples;
+    final = Cov.empty;
+    tests = !tests;
+    crashes = [];
+  }

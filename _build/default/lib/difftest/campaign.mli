@@ -1,0 +1,38 @@
+(** Fuzzing campaigns: time-budgeted loops that generate models, search for
+    numerically valid inputs, exercise a compiler, and sample coverage —
+    the machinery behind Figures 4–10 (scaled from the paper's 4 hours to
+    seconds). *)
+
+type sample = {
+  at_ms : float;
+  tests : int;
+  cov_total : int;
+  cov_pass : int;
+  extra : int;  (** campaign-specific counter (e.g. unique op instances) *)
+}
+
+type result = {
+  fuzzer : string;
+  system : string;
+  samples : sample list;  (** chronological *)
+  final : Nnsmith_coverage.Coverage.snapshot;
+  tests : int;
+  crashes : (string * int) list;  (** crash dedup-key -> count *)
+}
+
+val find_binding :
+  Random.State.t -> Nnsmith_ir.Graph.t -> Nnsmith_ops.Runner.binding
+(** Inputs for a test case: a short gradient search, falling back to the
+    last random binding (still useful for coverage). *)
+
+val coverage :
+  budget_ms:float -> system:Systems.t -> Generators.t -> result
+(** One generator against one system; resets global coverage first.  Run
+    with seeded faults disabled so crashes don't truncate executions. *)
+
+val tzer : budget_ms:float -> seed:int -> result
+(** The TZer campaign mutates Lotus's low-level IR directly. *)
+
+val op_instances : budget_ms:float -> Generators.t -> result
+(** Generation-only campaign counting unique operator instances
+    (Figure 9); the count is in each sample's [extra]. *)

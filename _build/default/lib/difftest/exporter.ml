@@ -1,0 +1,54 @@
+(** The model-export stage (PyTorch-exporter analogue).
+
+    Generated models pass through this exporter before reaching any
+    compiler, as they pass through [torch.onnx.export] in the paper; its
+    seeded conversion defects reproduce the paper's by-product findings
+    (e.g. the Log2-scalar and int32-Clip export bugs). *)
+
+module Op = Nnsmith_ir.Op
+module Conc = Nnsmith_ir.Ttype.Conc
+module Graph = Nnsmith_ir.Graph
+module Dtype = Nnsmith_tensor.Dtype
+module Faults = Nnsmith_faults.Faults
+
+(** Export the model.  Returns the (possibly corrupted) exported graph and
+    the ids of the seeded exporter defects that fired on it. *)
+let export (g : Graph.t) : Graph.t * string list =
+  let fired = ref [] in
+  let fire id = if not (List.mem id !fired) then fired := id :: !fired in
+  let g =
+    Graph.map_nodes
+      (fun n ->
+        match n.Graph.op with
+        | Op.Unary Op.Log2
+          when Faults.enabled "export.log2_scalar_rank1"
+               && Conc.rank n.out_type = 0 ->
+            (* scalar output wrongly marked rank-1 *)
+            fire "export.log2_scalar_rank1";
+            { n with out_type = Conc.make (Conc.dtype n.out_type) [ 1 ] }
+        | Op.Clip _
+          when Faults.enabled "export.clip_i32_silent"
+               && Dtype.is_float (Conc.dtype n.out_type) ->
+            (* silently exported at int32: the ill-formed model most
+               compilers reject and TRT mis-compiles *)
+            fire "export.clip_i32_silent";
+            { n with out_type = Conc.make Dtype.I32 (Conc.dims n.out_type) }
+        | Op.Squeeze { sq_axis = 0 }
+          when Faults.enabled "export.squeeze_axis0_drop" ->
+            (* axis attribute dropped: all unit dims squeezed instead *)
+            fire "export.squeeze_axis0_drop";
+            let in_dims =
+              match n.inputs with
+              | [ i ] -> Conc.dims (Graph.find g i).Graph.out_type
+              | _ -> Conc.dims n.out_type
+            in
+            {
+              n with
+              out_type =
+                Conc.make (Conc.dtype n.out_type)
+                  (List.filter (fun d -> d <> 1) in_dims);
+            }
+        | _ -> n)
+      g
+  in
+  (g, !fired)

@@ -1,0 +1,8 @@
+(** The model-export stage (PyTorch-exporter analogue).  Generated models
+    pass through here before reaching any compiler, as they pass through
+    [torch.onnx.export] in the paper; its seeded conversion defects
+    reproduce the paper's by-product findings. *)
+
+val export : Nnsmith_ir.Graph.t -> Nnsmith_ir.Graph.t * string list
+(** Returns the (possibly corrupted) exported graph and the ids of the
+    exporter defects that fired on it. *)

@@ -1,0 +1,59 @@
+(** The model generators under comparison, behind one interface. *)
+
+module Graph = Nnsmith_ir.Graph
+module Config = Nnsmith_core.Config
+module Gen = Nnsmith_core.Gen
+
+type t = {
+  g_name : string;
+  next : unit -> Graph.t option;
+      (** [None] when a single generation attempt failed (counted as a
+          produced-but-useless test, as a crashed generation would be) *)
+}
+
+let nnsmith ?(binning = true) ?(max_nodes = 10) ?forward_prob ?name ~seed () =
+  let counter = ref 0 in
+  {
+    g_name =
+      (match name with
+      | Some n -> n
+      | None -> if binning then "NNSmith" else "NNSmith-nobin");
+    next =
+      (fun () ->
+        incr counter;
+        let cfg =
+          {
+            Config.default with
+            seed = seed + (!counter * 7919);
+            max_nodes;
+            binning;
+            forward_prob =
+              Option.value ~default:Config.default.forward_prob forward_prob;
+          }
+        in
+        match Gen.generate cfg with
+        | g -> Some g
+        | exception Gen.Gen_failure _ -> None);
+  }
+
+let graphfuzzer ?(size = 10) ~seed () =
+  let st = Nnsmith_baselines.Graphfuzzer.create ~seed ~size () in
+  {
+    g_name = "GraphFuzzer";
+    next =
+      (fun () ->
+        match Nnsmith_baselines.Graphfuzzer.next st with
+        | g -> Some g
+        | exception _ -> None);
+  }
+
+let lemon ~seed () =
+  let st = Nnsmith_baselines.Lemon.create ~seed () in
+  {
+    g_name = "LEMON";
+    next =
+      (fun () ->
+        match Nnsmith_baselines.Lemon.next st with
+        | g -> Some g
+        | exception _ -> None);
+  }

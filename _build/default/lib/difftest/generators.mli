@@ -1,0 +1,22 @@
+(** The model generators under comparison, behind one interface. *)
+
+type t = {
+  g_name : string;
+  next : unit -> Nnsmith_ir.Graph.t option;
+      (** [None] when one generation attempt failed (still counted as a
+          produced test, like a crashed generation would be) *)
+}
+
+val nnsmith :
+  ?binning:bool ->
+  ?max_nodes:int ->
+  ?forward_prob:float ->
+  ?name:string ->
+  seed:int ->
+  unit ->
+  t
+(** The constraint-guided generator; [binning:false] and [forward_prob] are
+    the ablation knobs. *)
+
+val graphfuzzer : ?size:int -> seed:int -> unit -> t
+val lemon : seed:int -> unit -> t

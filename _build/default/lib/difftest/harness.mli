@@ -1,0 +1,44 @@
+(** One differential test: reference vs compiled execution, with O0
+    re-compilation for fault localisation (§4) and high error tolerance to
+    suppress floating-point false alarms (§5.4). *)
+
+type verdict =
+  | Pass
+  | Crash of string  (** the exception message (see {!dedup_key}) *)
+  | Semantic of { sem_kind : [ `Optimization | `Frontend ]; rel_err : float }
+      (** outputs disagree with the reference; [`Optimization] iff the O0
+          build disagrees with the optimized one *)
+  | Skipped of string
+      (** the reference produced NaN/Inf — excluded per §2.3 *)
+
+val rtol : float
+val atol : float
+
+val message_of_exn : exn -> string
+
+val test :
+  ?exported:Nnsmith_ir.Graph.t ->
+  Systems.t ->
+  Nnsmith_ir.Graph.t ->
+  Nnsmith_ops.Runner.binding ->
+  verdict
+(** [test ?exported system g binding]: reference semantics come from the
+    pre-export model [g] (the "PyTorch" results); [exported] (default [g])
+    is what the compiler receives. *)
+
+val cross_check :
+  Systems.t ->
+  Systems.t ->
+  Nnsmith_ir.Graph.t ->
+  Nnsmith_ops.Runner.binding ->
+  [ `Agree | `Disagree of float ] option
+(** Compiler cross-checking — the alternative oracle design §4 argues
+    against.  [None] when either side crashes. *)
+
+val dedup_key : string -> string
+(** Crash-dedup key: digits are masked so the same defect reported against
+    different nodes counts once. *)
+
+val bug_id_of_message : string -> string option
+(** Seeded-bug id from a crash message ("[id] ..."), if the id is in the
+    {!Nnsmith_faults.Faults.catalogue}. *)

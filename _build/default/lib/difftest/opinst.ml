@@ -1,0 +1,37 @@
+(** Unique operator-instance accounting for the binning ablation (Figure 9):
+    instances are distinguished by operator, attributes and input types,
+    as the paper does with Relay's type system. *)
+
+module Op = Nnsmith_ir.Op
+module Conc = Nnsmith_ir.Ttype.Conc
+module Graph = Nnsmith_ir.Graph
+
+type t = (string, unit) Hashtbl.t
+
+let create () : t = Hashtbl.create 256
+
+let instance_key (g : Graph.t) (n : Graph.node) =
+  let in_types =
+    List.map
+      (fun i -> Conc.to_string (Graph.find g i).Graph.out_type)
+      n.Graph.inputs
+  in
+  Format.asprintf "%a(%s)" Op.pp_concrete n.Graph.op
+    (String.concat "," in_types)
+
+(** Record all operator instances of a model; returns how many were new. *)
+let add (t : t) (g : Graph.t) : int =
+  List.fold_left
+    (fun fresh (n : Graph.node) ->
+      match n.Graph.op with
+      | Op.Leaf _ -> fresh
+      | _ ->
+          let key = instance_key g n in
+          if Hashtbl.mem t key then fresh
+          else begin
+            Hashtbl.replace t key ();
+            fresh + 1
+          end)
+    0 (Graph.nodes g)
+
+let count (t : t) = Hashtbl.length t

@@ -1,0 +1,149 @@
+(** Test-case reduction: shrink a failing model to a minimal reproducer
+    while a caller-supplied predicate ("still triggers the bug") holds.
+
+    Two mutation kinds, applied greedily to fixpoint:
+    - {e cut}: replace an operator node with a fresh model input of the same
+      type, dropping everything that only fed it;
+    - {e bypass}: forward one of a node's same-typed inputs in its place.
+
+    This is the standard delta-debugging loop the original NNSmith tooling
+    pairs with its bug reports. *)
+
+module Op = Nnsmith_ir.Op
+module Graph = Nnsmith_ir.Graph
+module Conc = Nnsmith_ir.Ttype.Conc
+
+(* Drop nodes that no longer feed any of the given output ids. *)
+let garbage_collect (g : Graph.t) ~(keep_outputs : int list) : Graph.t =
+  let live = Hashtbl.create 16 in
+  let rec mark id =
+    if not (Hashtbl.mem live id) then begin
+      Hashtbl.replace live id ();
+      List.iter mark (Graph.find g id).Graph.inputs
+    end
+  in
+  List.iter
+    (fun id -> if List.exists (fun (n : Graph.node) -> n.id = id) (Graph.nodes g) then mark id)
+    keep_outputs;
+  Graph.of_nodes
+    (List.filter (fun (n : Graph.node) -> Hashtbl.mem live n.id) (Graph.nodes g))
+
+let cut (g : Graph.t) id : Graph.t =
+  let outputs = List.map (fun (n : Graph.node) -> n.Graph.id) (Graph.outputs g) in
+  let g' =
+    Graph.map_nodes
+      (fun n ->
+        if n.Graph.id = id then
+          { n with op = Op.Leaf Op.Model_input; inputs = [] }
+        else n)
+      g
+  in
+  garbage_collect g' ~keep_outputs:outputs
+
+let bypass (g : Graph.t) id : Graph.t option =
+  let node = Graph.find g id in
+  let same_typed =
+    List.find_opt
+      (fun i -> Conc.equal (Graph.find g i).Graph.out_type node.out_type)
+      node.inputs
+  in
+  match same_typed with
+  | None -> None
+  | Some src ->
+      let outputs =
+        List.map (fun (n : Graph.node) -> n.Graph.id) (Graph.outputs g)
+      in
+      let outputs = List.map (fun o -> if o = id then src else o) outputs in
+      let g' =
+        Graph.of_nodes
+          (List.filter_map
+             (fun (n : Graph.node) ->
+               if n.id = id then None
+               else
+                 Some
+                   {
+                     n with
+                     inputs =
+                       List.map (fun i -> if i = id then src else i) n.inputs;
+                   })
+             (Graph.nodes g))
+      in
+      Some (garbage_collect g' ~keep_outputs:outputs)
+
+type stats = { attempts : int; accepted : int; initial_size : int; final_size : int }
+
+(** [minimize ~predicate g] greedily shrinks [g] while [predicate] holds on
+    the shrunken model.  [predicate g] must be true for the input graph.
+    Returns the reduced graph and reduction statistics. *)
+let minimize ?(max_rounds = 20) ~(predicate : Graph.t -> bool) (g : Graph.t) :
+    Graph.t * stats =
+  let attempts = ref 0 and accepted = ref 0 in
+  let initial_size = Graph.size g in
+  let try_candidate current candidate =
+    incr attempts;
+    if
+      Graph.size candidate < Graph.size current
+      && Graph.size candidate > 0
+      && predicate candidate
+    then begin
+      incr accepted;
+      Some candidate
+    end
+    else None
+  in
+  let shrink_once current =
+    let ids =
+      List.rev
+        (List.filter_map
+           (fun (n : Graph.node) ->
+             match n.Graph.op with Op.Leaf _ -> None | _ -> Some n.Graph.id)
+           (Graph.nodes current))
+    in
+    let rec go = function
+      | [] -> None
+      | id :: rest -> (
+          match try_candidate current (cut current id) with
+          | Some c -> Some c
+          | None -> (
+              match bypass current id with
+              | Some candidate -> (
+                  match try_candidate current candidate with
+                  | Some c -> Some c
+                  | None -> go rest)
+              | None -> go rest))
+    in
+    go ids
+  in
+  let rec loop current rounds =
+    if rounds = 0 then current
+    else
+      match shrink_once current with
+      | Some smaller -> loop smaller (rounds - 1)
+      | None -> current
+  in
+  let reduced = loop g max_rounds in
+  ( reduced,
+    {
+      attempts = !attempts;
+      accepted = !accepted;
+      initial_size;
+      final_size = Graph.size reduced;
+    } )
+
+(** Convenience predicate: the given seeded bug still fires on the model
+    (crash attributed to it, or a semantic difference while it is the only
+    active defect). *)
+let still_triggers (system : Systems.t) ~bug_id rng (g : Graph.t) : bool =
+  Nnsmith_faults.Faults.with_bugs [ bug_id ] (fun () ->
+      match Nnsmith_ops.Validate.check g with
+      | Error _ -> false
+      | Ok () -> (
+          let binding = Campaign.find_binding rng g in
+          let exported, fired = Exporter.export g in
+          List.mem bug_id fired
+          ||
+          match Harness.test ~exported system g binding with
+          | Harness.Crash m -> Harness.bug_id_of_message m = Some bug_id
+          | Harness.Semantic _ -> true
+          | Harness.Pass | Harness.Skipped _ -> false
+          | exception _ -> false))

@@ -1,0 +1,39 @@
+(** Test-case reduction: shrink a failing model to a minimal reproducer
+    while a caller-supplied predicate ("still triggers the bug") holds —
+    the delta-debugging loop paired with bug reports. *)
+
+val garbage_collect :
+  Nnsmith_ir.Graph.t -> keep_outputs:int list -> Nnsmith_ir.Graph.t
+(** Drop nodes that no longer feed any of the given output ids. *)
+
+val cut : Nnsmith_ir.Graph.t -> int -> Nnsmith_ir.Graph.t
+(** Replace a node with a fresh model input of the same type, dropping
+    everything that only fed it. *)
+
+val bypass : Nnsmith_ir.Graph.t -> int -> Nnsmith_ir.Graph.t option
+(** Forward one of a node's same-typed inputs in its place; [None] when no
+    input matches the node's type. *)
+
+type stats = {
+  attempts : int;
+  accepted : int;
+  initial_size : int;
+  final_size : int;
+}
+
+val minimize :
+  ?max_rounds:int ->
+  predicate:(Nnsmith_ir.Graph.t -> bool) ->
+  Nnsmith_ir.Graph.t ->
+  Nnsmith_ir.Graph.t * stats
+(** Greedy shrinking to a fixpoint (or [max_rounds]).  [predicate] must hold
+    on the input graph and is re-checked on every candidate. *)
+
+val still_triggers :
+  Systems.t ->
+  bug_id:string ->
+  Random.State.t ->
+  Nnsmith_ir.Graph.t ->
+  bool
+(** Convenience predicate: the seeded bug still fires on the model when it
+    is the only active defect. *)

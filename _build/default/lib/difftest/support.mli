@@ -1,0 +1,20 @@
+(** Operator-support probing (§4): infer the operators a compiler supports
+    by compiling single-operator models, so generation avoids
+    Not-Implemented rejections. *)
+
+val probe_model :
+  Random.State.t ->
+  Nnsmith_ops.Spec.template ->
+  (Nnsmith_tensor.Dtype.t * int) list ->
+  Nnsmith_ir.Graph.t option
+(** A minimal single-operator model for one template and input signature,
+    when the signature is accepted and its constraints are satisfiable. *)
+
+val template_supported : Systems.t -> Nnsmith_ops.Spec.template -> bool
+(** Does the system compile at least one single-operator probe? *)
+
+val supported_templates : Systems.t -> Nnsmith_ops.Spec.template list
+(** The registry restricted to operators the system compiles — what the
+    generator should be configured with for that system. *)
+
+val unsupported_names : Systems.t -> string list

@@ -1,0 +1,66 @@
+(** The compilers under differential test, behind one interface. *)
+
+module Nd = Nnsmith_tensor.Nd
+module Graph = Nnsmith_ir.Graph
+
+type opt_level = O0 | O2
+
+type t = {
+  s_name : string;
+  closed_source : bool;  (** excluded from coverage studies, like TensorRT *)
+  compile_and_run :
+    opt_level -> Graph.t -> (int * Nd.t) list -> (int * Nd.t) list;
+      (** May raise {!Nnsmith_faults.Faults.Compiler_bug} or any compiler/
+          runtime exception. *)
+}
+
+let oxrt =
+  {
+    s_name = "OxRT";
+    closed_source = false;
+    compile_and_run =
+      (fun opt g binding ->
+        let opt_level =
+          match opt with
+          | O0 -> Nnsmith_ortlike.Compiler.O0
+          | O2 -> Nnsmith_ortlike.Compiler.O2
+        in
+        let c = Nnsmith_ortlike.Compiler.compile ~opt_level g in
+        Nnsmith_ortlike.Compiler.run c binding);
+  }
+
+let lotus =
+  {
+    s_name = "Lotus";
+    closed_source = false;
+    compile_and_run =
+      (fun opt g binding ->
+        let opt_level =
+          match opt with
+          | O0 -> Nnsmith_tvmlike.Compiler.O0
+          | O2 -> Nnsmith_tvmlike.Compiler.O2
+        in
+        let c = Nnsmith_tvmlike.Compiler.compile ~opt_level g in
+        Nnsmith_tvmlike.Compiler.run c binding);
+  }
+
+let trt =
+  {
+    s_name = "TRT";
+    closed_source = true;
+    compile_and_run =
+      (fun opt g binding ->
+        let opt_level =
+          match opt with
+          | O0 -> Nnsmith_ortlike.Compiler.O0
+          | O2 -> Nnsmith_ortlike.Compiler.O2
+        in
+        let c =
+          Nnsmith_ortlike.Compiler.compile
+            ~profile:Nnsmith_ortlike.Compiler.Trt_strict ~opt_level g
+        in
+        Nnsmith_ortlike.Compiler.run c binding);
+  }
+
+let all = [ oxrt; lotus; trt ]
+let open_source = [ oxrt; lotus ]

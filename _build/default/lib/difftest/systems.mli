@@ -1,0 +1,27 @@
+(** The compilers under differential test, behind one interface. *)
+
+type opt_level = O0 | O2
+
+type t = {
+  s_name : string;
+  closed_source : bool;  (** excluded from coverage studies, like TensorRT *)
+  compile_and_run :
+    opt_level ->
+    Nnsmith_ir.Graph.t ->
+    (int * Nnsmith_tensor.Nd.t) list ->
+    (int * Nnsmith_tensor.Nd.t) list;
+      (** May raise {!Nnsmith_faults.Faults.Compiler_bug} or any compiler or
+          runtime exception. *)
+}
+
+val oxrt : t
+(** The ONNXRuntime-style graph-optimising runtime. *)
+
+val lotus : t
+(** The TVM-style two-level compiler. *)
+
+val trt : t
+(** The closed-source strict profile (TensorRT analogue). *)
+
+val all : t list
+val open_source : t list

@@ -1,0 +1,1 @@
+lib/faults/faults.ml: Fun Hashtbl List Printf

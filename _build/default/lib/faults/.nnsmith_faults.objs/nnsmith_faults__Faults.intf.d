@@ -1,0 +1,1 @@
+lib/faults/faults.mli:

@@ -1,0 +1,39 @@
+(** The seeded-bug registry: each bug class from the paper's §5.4 study is
+    modelled as an injectable defect in the simulated compilers, guarded by
+    {!enabled}.  The bug study (Table 3) measures which generator designs
+    can trigger which classes. *)
+
+type category = Transformation | Conversion | Unclassified
+type effect = Crash | Semantic
+
+type bug = {
+  b_id : string;  (** unique key: "oxrt." / "lotus." / "trt." / "export." *)
+  system : string;  (** "OxRT" | "Lotus" | "TRT" | "Exporter" *)
+  category : category;
+  effect : effect;
+  description : string;
+}
+
+exception Compiler_bug of string
+(** Raised by a compiler when a seeded crash defect fires; the message is
+    the dedup key. *)
+
+val catalogue : bug list
+val find : string -> bug option
+
+val set_active : string list -> unit
+(** Raises [Invalid_argument] on unknown ids. *)
+
+val activate_all : unit -> unit
+val deactivate_all : unit -> unit
+val enabled : string -> bool
+
+val with_bugs : string list -> (unit -> 'a) -> 'a
+(** Run with exactly this active set, restoring the previous one after. *)
+
+val crash : string -> string -> 'a
+(** [crash b_id detail] raises {!Compiler_bug} with the canonical
+    ["\[b_id\] detail"] message. *)
+
+val category_name : category -> string
+val effect_name : effect -> string

@@ -1,0 +1,1 @@
+lib/grad/adam.ml: Float Hashtbl Nnsmith_tensor

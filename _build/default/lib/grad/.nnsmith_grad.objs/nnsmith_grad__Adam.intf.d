@@ -1,0 +1,1 @@
+lib/grad/adam.mli: Nnsmith_tensor

@@ -1,0 +1,1 @@
+lib/grad/backprop.ml: Hashtbl List Nnsmith_ir Nnsmith_tensor Option Vjp

@@ -1,0 +1,1 @@
+lib/grad/backprop.mli: Hashtbl Nnsmith_ir Nnsmith_tensor

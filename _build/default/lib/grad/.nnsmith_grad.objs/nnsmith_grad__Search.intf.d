@@ -1,0 +1,1 @@
+lib/grad/search.mli: Hashtbl Nnsmith_ir Nnsmith_ops Nnsmith_tensor Random

@@ -1,0 +1,1 @@
+lib/grad/vjp.ml: Array Float Fun List Nnsmith_ir Nnsmith_ops Nnsmith_tensor

@@ -1,0 +1,1 @@
+lib/grad/vjp.mli: Nnsmith_ir Nnsmith_tensor

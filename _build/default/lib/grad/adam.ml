@@ -1,0 +1,52 @@
+(** The Adam optimiser (Kingma & Ba), used by Algorithm 3 because loss
+    magnitudes vary by orders of magnitude across operators. *)
+
+module Nd = Nnsmith_tensor.Nd
+module Dtype = Nnsmith_tensor.Dtype
+
+type state = {
+  lr : float;
+  beta1 : float;
+  beta2 : float;
+  eps : float;
+  mutable step_count : int;
+  moments : (int, Nd.t * Nd.t) Hashtbl.t;  (** leaf id -> (m, v) *)
+}
+
+let create ?(lr = 0.5) ?(beta1 = 0.9) ?(beta2 = 0.999) ?(eps = 1e-8) () =
+  { lr; beta1; beta2; eps; step_count = 0; moments = Hashtbl.create 8 }
+
+(** Reset all moments — done whenever the search switches loss functions
+    (i.e. targets a different operator), per §3.3. *)
+let reset st =
+  st.step_count <- 0;
+  Hashtbl.reset st.moments
+
+(** One update of a single leaf tensor: returns the new value.  [param] keeps
+    its own dtype; moments are F64. *)
+let update st ~id ~(param : Nd.t) ~(grad : Nd.t) : Nd.t =
+  let shape = Nd.shape param in
+  let m, v =
+    match Hashtbl.find_opt st.moments id with
+    | Some mv -> mv
+    | None -> (Nd.create Dtype.F64 shape, Nd.create Dtype.F64 shape)
+  in
+  let t = float_of_int (st.step_count + 1) in
+  let m' =
+    Nd.init_f Dtype.F64 shape (fun i ->
+        (st.beta1 *. Nd.get_f m i) +. ((1. -. st.beta1) *. Nd.to_float grad i))
+  in
+  let v' =
+    Nd.init_f Dtype.F64 shape (fun i ->
+        let gi = Nd.to_float grad i in
+        (st.beta2 *. Nd.get_f v i) +. ((1. -. st.beta2) *. gi *. gi))
+  in
+  Hashtbl.replace st.moments id (m', v');
+  let bc1 = 1. -. Float.pow st.beta1 t and bc2 = 1. -. Float.pow st.beta2 t in
+  Nd.init_f (Nd.dtype param) shape (fun i ->
+      let mhat = Nd.get_f m' i /. bc1 and vhat = Nd.get_f v' i /. bc2 in
+      Nd.to_float param i -. (st.lr *. mhat /. (Float.sqrt vhat +. st.eps)))
+
+(** Advance the shared step counter (call once per optimisation step, after
+    updating every leaf). *)
+let tick st = st.step_count <- st.step_count + 1

@@ -1,0 +1,25 @@
+(** The Adam optimiser (Kingma & Ba), used by Algorithm 3 because loss
+    magnitudes vary by orders of magnitude across operators. *)
+
+type state
+
+val create :
+  ?lr:float -> ?beta1:float -> ?beta2:float -> ?eps:float -> unit -> state
+(** Default learning rate 0.5, per the paper's setup (§5.1). *)
+
+val reset : state -> unit
+(** Clear all moments — done whenever the search switches loss functions
+    (i.e. retargets a different operator), per §3.3. *)
+
+val update :
+  state ->
+  id:int ->
+  param:Nnsmith_tensor.Nd.t ->
+  grad:Nnsmith_tensor.Nd.t ->
+  Nnsmith_tensor.Nd.t
+(** One Adam update of the leaf tensor identified by [id]; returns the new
+    value (the parameter keeps its dtype; moments are f64). *)
+
+val tick : state -> unit
+(** Advance the shared step counter — call once per optimisation step, after
+    updating every leaf. *)

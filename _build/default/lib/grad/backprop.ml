@@ -1,0 +1,55 @@
+(** Reverse-mode gradient propagation over a concrete graph.
+
+    Given cotangent seeds on some nodes' outputs, walk the graph in reverse
+    topological order accumulating gradients down to the model's leaves
+    (inputs and weights). *)
+
+module Nd = Nnsmith_tensor.Nd
+module Dtype = Nnsmith_tensor.Dtype
+module Graph = Nnsmith_ir.Graph
+module Op = Nnsmith_ir.Op
+
+let add_into tbl id (g : Nd.t) =
+  match Hashtbl.find_opt tbl id with
+  | None -> Hashtbl.replace tbl id g
+  | Some prev -> Hashtbl.replace tbl id (Nd.map2_f Dtype.F64 ( +. ) prev g)
+
+(** [grad_wrt_leaves ~proxy g ~values ~seeds] back-propagates the cotangents
+    in [seeds] (node id -> gradient of the loss w.r.t. that node's output)
+    and returns the gradient at each trainable leaf (inputs and weights;
+    constant fills are frozen).  [values] must contain the forward value of
+    every node that is an ancestor of a seed. *)
+let grad_wrt_leaves ~proxy (g : Graph.t) ~(values : (int, Nd.t) Hashtbl.t)
+    ~(seeds : (int * Nd.t) list) : (int * Nd.t) list =
+  let cot : (int, Nd.t) Hashtbl.t = Hashtbl.create 32 in
+  List.iter (fun (id, t) -> add_into cot id t) seeds;
+  let rev_nodes = List.rev (Graph.nodes g) in
+  List.iter
+    (fun (n : Graph.node) ->
+      match Hashtbl.find_opt cot n.id with
+      | None -> ()
+      | Some gout -> (
+          match n.op with
+          | Op.Leaf _ -> ()
+          | op -> (
+              match Hashtbl.find_opt values n.id with
+              | None -> ()
+              | Some out ->
+                  let ins =
+                    List.map (fun i -> Hashtbl.find values i) n.inputs
+                  in
+                  let grads = Vjp.vjp ~proxy op ~ins ~out ~gout in
+                  List.iter2
+                    (fun input_id grad ->
+                      match grad with
+                      | Some gr -> add_into cot input_id gr
+                      | None -> ())
+                    n.inputs grads)))
+    rev_nodes;
+  List.filter_map
+    (fun (n : Graph.node) ->
+      match n.op with
+      | Op.Leaf (Op.Model_input | Op.Model_weight) ->
+          Option.map (fun g -> (n.id, g)) (Hashtbl.find_opt cot n.id)
+      | _ -> None)
+    (Graph.nodes g)

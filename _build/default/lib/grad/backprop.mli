@@ -1,0 +1,14 @@
+(** Reverse-mode gradient propagation over a concrete graph. *)
+
+val grad_wrt_leaves :
+  proxy:bool ->
+  Nnsmith_ir.Graph.t ->
+  values:(int, Nnsmith_tensor.Nd.t) Hashtbl.t ->
+  seeds:(int * Nnsmith_tensor.Nd.t) list ->
+  (int * Nnsmith_tensor.Nd.t) list
+(** Back-propagate the cotangent [seeds] (node id -> gradient of the loss
+    w.r.t. that node's output) through the graph and return the gradient at
+    each trainable leaf (inputs and weights; constant fills are frozen).
+    [values] must hold the forward value of every ancestor of a seed;
+    [proxy] selects the §3.3 proxy derivatives for non-differentiable
+    operators. *)

@@ -1,0 +1,154 @@
+(** Gradient-guided value search (Algorithm 3): find model inputs and weights
+    under which no operator produces NaN/Inf. *)
+
+module Nd = Nnsmith_tensor.Nd
+module Dtype = Nnsmith_tensor.Dtype
+module Graph = Nnsmith_ir.Graph
+module Op = Nnsmith_ir.Op
+module Runner = Nnsmith_ops.Runner
+module Vulnerability = Nnsmith_ops.Vulnerability
+
+type method_ =
+  | Sampling  (** re-draw random values until valid (baseline) *)
+  | Gradient_no_proxy  (** gradient search without proxy derivatives *)
+  | Gradient  (** the full method of §3.3 *)
+
+type outcome = {
+  binding : Runner.binding option;  (** [Some] iff the search succeeded *)
+  iterations : int;
+  restarts : int;
+  elapsed_ms : float;
+}
+
+let now_ms () = Unix.gettimeofday () *. 1000.
+
+(* Forward pass recording every value, stopping at the first NaN/Inf. *)
+let forward_until_bad g binding =
+  let values : (int, Nd.t) Hashtbl.t = Hashtbl.create 32 in
+  let bad = ref None in
+  (try
+     List.iter
+       (fun (n : Graph.node) ->
+         let ins = List.map (Hashtbl.find values) n.inputs in
+         let v =
+           match n.Graph.op with
+           | Op.Leaf _ -> List.assoc n.id binding
+           | op -> Nnsmith_ops.Eval.eval op ins
+         in
+         Hashtbl.replace values n.id v;
+         if Nd.has_bad v then begin
+           bad := Some (n, ins);
+           raise Exit
+         end)
+       (Graph.nodes g)
+   with Exit -> ());
+  (values, !bad)
+
+(** Does any node produce NaN/Inf under this binding?  Used for the paper's
+    "56.8% of 20-node models" statistic. *)
+let binding_is_bad g binding =
+  match forward_until_bad g binding with _, Some _ -> true | _, None -> false
+
+let fresh_leaf rng g id ~lo ~hi =
+  let n = Graph.find g id in
+  match n.Graph.op with
+  | Op.Leaf kind -> Runner.tensor_of_leaf rng kind n.out_type ~lo ~hi
+  | _ -> assert false
+
+let replace binding id v = (id, v) :: List.remove_assoc id binding
+
+let search ?(budget_ms = 64.) ?(lr = 0.5) ?(lo = 1.) ?(hi = 9.) ~method_ rng
+    (g : Graph.t) : outcome =
+  let start = now_ms () in
+  let adam = Adam.create ~lr () in
+  let iterations = ref 0 and restarts = ref 0 in
+  let last_target = ref None in
+  let random_binding () = Runner.random_binding ~lo ~hi rng g in
+  let restart () =
+    incr restarts;
+    Adam.reset adam;
+    last_target := None;
+    random_binding ()
+  in
+  let rec loop binding =
+    incr iterations;
+    if now_ms () -. start > budget_ms then
+      {
+        binding = None;
+        iterations = !iterations;
+        restarts = !restarts;
+        elapsed_ms = now_ms () -. start;
+      }
+    else begin
+      let values, bad = forward_until_bad g binding in
+      match bad with
+      | None ->
+          {
+            binding = Some binding;
+            iterations = !iterations;
+            restarts = !restarts;
+            elapsed_ms = now_ms () -. start;
+          }
+      | Some (node, ins) -> (
+          match method_ with
+          | Sampling -> loop (restart ())
+          | Gradient | Gradient_no_proxy -> (
+              let proxy = method_ = Gradient in
+              match Vulnerability.of_op node.op with
+              | None -> loop (restart ())
+              | Some entry -> (
+                  (* reset the learning-rate schedule on target switch *)
+                  if !last_target <> Some node.id then begin
+                    Adam.reset adam;
+                    last_target := Some node.id
+                  end;
+                  (* first positive loss (its predicate is the violated one) *)
+                  match
+                    List.find_opt
+                      (fun (l : Vulnerability.loss) -> l.value ins > 0.)
+                      entry.losses
+                  with
+                  | None -> loop (restart ())
+                  | Some loss -> (
+                      let input_grads = loss.grad ins in
+                      let seeds =
+                        List.concat
+                          (List.map2
+                             (fun producer grad ->
+                               match grad with
+                               | Some gr -> [ (producer, gr) ]
+                               | None -> [])
+                             node.inputs input_grads)
+                      in
+                      match
+                        Backprop.grad_wrt_leaves ~proxy g ~values ~seeds
+                      with
+                      | [] -> loop (restart ())
+                      | leaf_grads ->
+                          let changed = ref false in
+                          let binding' =
+                            List.fold_left
+                              (fun b (id, grad) ->
+                                let param = List.assoc id b in
+                                if Dtype.is_float (Nd.dtype param) then begin
+                                  let updated =
+                                    Adam.update adam ~id ~param ~grad
+                                  in
+                                  let updated =
+                                    if Nd.has_bad updated then
+                                      fresh_leaf rng g id ~lo ~hi
+                                    else updated
+                                  in
+                                  if not (Nd.equal updated param) then
+                                    changed := true;
+                                  replace b id updated
+                                end
+                                else b)
+                              binding leaf_grads
+                          in
+                          Adam.tick adam;
+                          if !changed then loop binding'
+                          else loop (restart ())))))
+    end
+  in
+  loop (random_binding ())

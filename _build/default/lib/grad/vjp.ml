@@ -1,0 +1,470 @@
+(** Vector-Jacobian products for every differentiable operator, with the
+    proxy derivatives of §3.3 for operators that are non-differentiable
+    (Floor, Ceil, Round, Sign) or have zero-gradient regions (Relu, Clip).
+
+    [proxy:false] disables the proxies (they return true, often zero,
+    derivatives), which reproduces the paper's "Gradient (no proxy)"
+    ablation of Figure 11. *)
+
+module Nd = Nnsmith_tensor.Nd
+module Dtype = Nnsmith_tensor.Dtype
+module Shape = Nnsmith_tensor.Shape
+module Linalg = Nnsmith_tensor.Linalg
+module Reduce = Nnsmith_tensor.Reduce
+module Transform = Nnsmith_tensor.Transform
+module Op = Nnsmith_ir.Op
+
+let proxy_alpha = 0.01
+(** Magnitude of proxy derivatives, kept small as for LeakyReLU (§3.3). *)
+
+let sqrt2pi = Float.sqrt (2. *. Float.pi)
+
+(* Sum a gradient down to a (possibly broadcast) source shape. *)
+let reduce_to (g : Nd.t) (target : Shape.t) : Nd.t =
+  let g = ref g in
+  while Nd.rank !g > Array.length target do
+    g := Reduce.sum ~axes:[ 0 ] !g
+  done;
+  Array.iteri
+    (fun i d ->
+      if d = 1 && (Nd.shape !g).(i) > 1 then
+        g := Reduce.sum ~keepdims:true ~axes:[ i ] !g)
+    target;
+  !g
+
+(* Elementwise unary derivative as a function of (x, y). *)
+let unary_derivative ~proxy (u : Op.unary) (x : float) (y : float) : float =
+  match u with
+  | Op.Abs -> if x >= 0. then 1. else -1.
+  | Neg -> -1.
+  | Exp -> y
+  | Log -> 1. /. x
+  | Log2 -> 1. /. (x *. Float.log 2.)
+  | Sqrt -> 1. /. (2. *. Float.sqrt x)
+  | Sin -> Float.cos x
+  | Cos -> -.Float.sin x
+  | Tan -> 1. +. (y *. y)
+  | Asin -> 1. /. Float.sqrt (1. -. (x *. x))
+  | Acos -> -1. /. Float.sqrt (1. -. (x *. x))
+  | Atan -> 1. /. (1. +. (x *. x))
+  | Tanh -> 1. -. (y *. y)
+  | Sigmoid -> y *. (1. -. y)
+  | Relu -> if x > 0. then 1. else if proxy then proxy_alpha else 0.
+  | Gelu ->
+      let phi = Float.exp (-.(x *. x) /. 2.) /. sqrt2pi in
+      (0.5 *. (1. +. Nnsmith_ops.Eval.erf (x /. Float.sqrt 2.))) +. (x *. phi)
+  | Floor | Ceil | Round -> if proxy then 1. else 0.
+  | Sign -> if proxy then proxy_alpha else 0.
+  | Reciprocal -> -.(y *. y)
+  | Erf -> 2. /. Float.sqrt Float.pi *. Float.exp (-.(x *. x))
+  | Softplus -> 1. /. (1. +. Float.exp (-.x))
+  | Softsign ->
+      let d = 1. +. Float.abs x in
+      1. /. (d *. d)
+  | Elu -> if x > 0. then 1. else Float.exp x
+  | Selu ->
+      if x > 0. then Nnsmith_ops.Eval.selu_lambda
+      else Nnsmith_ops.Eval.selu_lambda *. Nnsmith_ops.Eval.selu_alpha *. Float.exp x
+  | Hardswish ->
+      if x <= -3. then if proxy then proxy_alpha else 0.
+      else if x >= 3. then 1.
+      else ((2. *. x) +. 3.) /. 6.
+  | Hardsigmoid ->
+      if x > -3. && x < 3. then 1. /. 6.
+      else if proxy then proxy_alpha
+      else 0.
+
+(* Per-element binary partials (dz/dx, dz/dy). *)
+let binary_partials ~proxy (b : Op.binary) (x : float) (y : float) :
+    float * float =
+  match b with
+  | Op.Add -> (1., 1.)
+  | Sub -> (1., -1.)
+  | Mul -> (y, x)
+  | Div -> (1. /. y, -.x /. (y *. y))
+  | Pow ->
+      let dz_dx = if x = 0. then 0. else y *. Float.pow x (y -. 1.) in
+      let dz_dy = if x > 0. then Float.pow x y *. Float.log x else 0. in
+      (dz_dx, dz_dy)
+  | Max2 ->
+      if x > y then (1., 0.)
+      else if x < y then (0., 1.)
+      else (0.5, 0.5)
+  | Min2 ->
+      if x < y then (1., 0.)
+      else if x > y then (0., 1.)
+      else (0.5, 0.5)
+  | Mod2 ->
+      let q = if proxy then -.Float.trunc (x /. y) else 0. in
+      (1., q)
+
+let elementwise_unary ~proxy u x out gout =
+  Nd.init_f Dtype.F64 (Nd.shape x) (fun i ->
+      Nd.to_float gout i
+      *. unary_derivative ~proxy u (Nd.to_float x i) (Nd.to_float out i))
+
+let broadcast_binary_grads ~proxy b x y gout =
+  let out_shape = Nd.shape gout in
+  let ox = Nd.broadcast_offsets ~src:(Nd.shape x) ~dst:out_shape
+  and oy = Nd.broadcast_offsets ~src:(Nd.shape y) ~dst:out_shape in
+  let gx = Nd.create Dtype.F64 (Nd.shape x)
+  and gy = Nd.create Dtype.F64 (Nd.shape y) in
+  for i = 0 to Nd.numel gout - 1 do
+    let xv = Nd.to_float x (ox i) and yv = Nd.to_float y (oy i) in
+    let dx, dy = binary_partials ~proxy b xv yv in
+    let g = Nd.to_float gout i in
+    Nd.set_f gx (ox i) (Nd.get_f gx (ox i) +. (g *. dx));
+    Nd.set_f gy (oy i) (Nd.get_f gy (oy i) +. (g *. dy))
+  done;
+  (gx, gy)
+
+let swap_last_two t =
+  let r = Nd.rank t in
+  let perm = Array.init r Fun.id in
+  perm.(r - 1) <- r - 2;
+  perm.(r - 2) <- r - 1;
+  Transform.transpose t perm
+
+let matmul_grads a b gout =
+  let ra = Nd.rank a and rb = Nd.rank b in
+  let a2 = if ra = 1 then Transform.unsqueeze a 0 else a in
+  let b2 = if rb = 1 then Transform.unsqueeze b 1 else b in
+  let sa = Nd.shape a2 and sb = Nd.shape b2 in
+  let ra2 = Array.length sa and rb2 = Array.length sb in
+  let m = sa.(ra2 - 2) and n = sb.(rb2 - 1) in
+  let batch =
+    match
+      Shape.broadcast (Array.sub sa 0 (ra2 - 2)) (Array.sub sb 0 (rb2 - 2))
+    with
+    | Some s -> s
+    | None -> [||]
+  in
+  let out2_shape = Array.append batch [| m; n |] in
+  let gout2 = Transform.reshape (Nd.cast gout Dtype.F64) out2_shape in
+  let a64 = Nd.cast a2 Dtype.F64 and b64 = Nd.cast b2 Dtype.F64 in
+  let ga2 = Linalg.matmul gout2 (swap_last_two b64) in
+  let gb2 = Linalg.matmul (swap_last_two a64) gout2 in
+  let ga = Transform.reshape (reduce_to ga2 sa) (Nd.shape a) in
+  let gb = Transform.reshape (reduce_to gb2 sb) (Nd.shape b) in
+  (ga, gb)
+
+let conv2d_grads ~stride ~padding x w gout =
+  let sx = Nd.shape x and sw = Nd.shape w in
+  let n = sx.(0) and c = sx.(1) and h = sx.(2) and wd = sx.(3) in
+  let f = sw.(0) and kh = sw.(2) and kw = sw.(3) in
+  let so = Nd.shape gout in
+  let oh = so.(2) and ow = so.(3) in
+  let gx = Nd.create Dtype.F64 sx and gw = Nd.create Dtype.F64 sw in
+  for ni = 0 to n - 1 do
+    for fi = 0 to f - 1 do
+      for ohi = 0 to oh - 1 do
+        for owi = 0 to ow - 1 do
+          let g = Nd.to_float gout ((((ni * f) + fi) * oh + ohi) * ow + owi) in
+          if g <> 0. then
+            for ci = 0 to c - 1 do
+              for ki = 0 to kh - 1 do
+                for kj = 0 to kw - 1 do
+                  let hi = (ohi * stride) - padding + ki
+                  and wi = (owi * stride) - padding + kj in
+                  if hi >= 0 && hi < h && wi >= 0 && wi < wd then begin
+                    let xoff = (((ni * c) + ci) * h + hi) * wd + wi in
+                    let woff = (((fi * c) + ci) * kh + ki) * kw + kj in
+                    Nd.set_f gx xoff
+                      (Nd.get_f gx xoff +. (g *. Nd.to_float w woff));
+                    Nd.set_f gw woff
+                      (Nd.get_f gw woff +. (g *. Nd.to_float x xoff))
+                  end
+                done
+              done
+            done
+        done
+      done
+    done
+  done;
+  (gx, gw)
+
+let pool2d_grads ~kind ~kernel ~stride ~padding x gout =
+  let sx = Nd.shape x in
+  let n = sx.(0) and c = sx.(1) and h = sx.(2) and w = sx.(3) in
+  let kh, kw = kernel in
+  let so = Nd.shape gout in
+  let oh = so.(2) and ow = so.(3) in
+  let gx = Nd.create Dtype.F64 sx in
+  for ni = 0 to n - 1 do
+    for ci = 0 to c - 1 do
+      for ohi = 0 to oh - 1 do
+        for owi = 0 to ow - 1 do
+          let g = Nd.to_float gout ((((ni * c) + ci) * oh + ohi) * ow + owi) in
+          if g <> 0. then begin
+            (* collect in-bounds window cells *)
+            let cells = ref [] in
+            for ki = 0 to kh - 1 do
+              for kj = 0 to kw - 1 do
+                let hi = (ohi * stride) - padding + ki
+                and wi = (owi * stride) - padding + kj in
+                if hi >= 0 && hi < h && wi >= 0 && wi < w then
+                  cells := ((((ni * c) + ci) * h + hi) * w + wi) :: !cells
+              done
+            done;
+            match kind with
+            | Linalg.Avg_pool ->
+                let share = g /. float_of_int (max 1 (List.length !cells)) in
+                List.iter
+                  (fun off -> Nd.set_f gx off (Nd.get_f gx off +. share))
+                  !cells
+            | Linalg.Max_pool -> (
+                match !cells with
+                | [] -> ()
+                | first :: rest ->
+                    let best = ref first and best_v = ref (Nd.to_float x first) in
+                    List.iter
+                      (fun off ->
+                        let v = Nd.to_float x off in
+                        if v > !best_v then begin
+                          best := off;
+                          best_v := v
+                        end)
+                      rest;
+                    Nd.set_f gx !best (Nd.get_f gx !best +. g))
+          end
+        done
+      done
+    done
+  done;
+  gx
+
+let softmax_grad ~axis out gout =
+  (* dx = y * (g - sum(g * y, axis)) *)
+  let gy = Nd.map2_f Dtype.F64 ( *. ) gout out in
+  let s = Reduce.sum ~keepdims:true ~axes:[ axis ] gy in
+  let centered = Nd.map2_f Dtype.F64 ( -. ) (Nd.cast gout Dtype.F64) s in
+  Nd.map2_f Dtype.F64 ( *. ) centered out
+
+let reduce_grads (r : Op.reduce) ~axes ~keepdims x out gout =
+  let in_shape = Nd.shape x in
+  let rank = Array.length in_shape in
+  (* re-insert reduced axes as size-1 so gout broadcasts over the input *)
+  let expand t =
+    if keepdims then t
+    else begin
+      let dims = ref (Array.to_list (Nd.shape t)) in
+      List.iter
+        (fun a ->
+          let before = List.filteri (fun i _ -> i < a) !dims in
+          let after = List.filteri (fun i _ -> i >= a) !dims in
+          dims := before @ [ 1 ] @ after)
+        (List.sort compare axes);
+      Transform.reshape t (Array.of_list !dims)
+    end
+  in
+  ignore rank;
+  let g = expand (Nd.cast gout Dtype.F64) in
+  let window =
+    List.fold_left (fun acc a -> acc * in_shape.(a)) 1 axes
+  in
+  match r with
+  | Op.R_sum -> Nd.broadcast_to g in_shape
+  | R_mean ->
+      Nd.map_f (fun v -> v /. float_of_int window) (Nd.broadcast_to g in_shape)
+  | R_max | R_min ->
+      let o = expand out in
+      let go = Nd.broadcast_offsets ~src:(Nd.shape o) ~dst:in_shape in
+      Nd.init_f Dtype.F64 in_shape (fun i ->
+          if Nd.to_float x i = Nd.to_float o (go i) then Nd.to_float g (go i)
+          else 0.)
+  | R_prod ->
+      let o = expand out in
+      let go = Nd.broadcast_offsets ~src:(Nd.shape o) ~dst:in_shape in
+      Nd.init_f Dtype.F64 in_shape (fun i ->
+          let xi = Nd.to_float x i in
+          if xi = 0. then 0.
+          else Nd.to_float g (go i) *. Nd.to_float o (go i) /. xi)
+
+(** Gradients of [gout . op(ins)] w.r.t. each input; [None] marks inputs with
+    no (or discarded) gradient. *)
+let vjp ~proxy (op : int Op.t) ~(ins : Nd.t list) ~(out : Nd.t)
+    ~(gout : Nd.t) : Nd.t option list =
+  match (op, ins) with
+  | Op.Leaf _, _ -> []
+  | Op.Unary u, [ x ] ->
+      if Dtype.is_float (Nd.dtype x) then
+        [ Some (elementwise_unary ~proxy u x out gout) ]
+      else [ None ]
+  | Op.Binary b, [ x; y ] ->
+      if Dtype.is_float (Nd.dtype x) then begin
+        let gx, gy = broadcast_binary_grads ~proxy b x y gout in
+        [ Some gx; Some gy ]
+      end
+      else [ None; None ]
+  | Op.Compare _, [ _; _ ] | Op.Logical _, [ _; _ ] -> [ None; None ]
+  | Op.Not, [ _ ] -> [ None ]
+  | Op.Clip { c_lo; c_hi }, [ x ] ->
+      [
+        Some
+          (Nd.init_f Dtype.F64 (Nd.shape x) (fun i ->
+               let v = Nd.to_float x i in
+               let d =
+                 if v >= c_lo && v <= c_hi then 1.
+                 else if proxy then proxy_alpha
+                 else 0.
+               in
+               Nd.to_float gout i *. d));
+      ]
+  | Op.Leaky_relu { alpha }, [ x ] ->
+      [
+        Some
+          (Nd.init_f Dtype.F64 (Nd.shape x) (fun i ->
+               let d = if Nd.to_float x i >= 0. then 1. else alpha in
+               Nd.to_float gout i *. d));
+      ]
+  | Op.Cast target, [ x ] ->
+      if Dtype.is_float target && Dtype.is_float (Nd.dtype x) then
+        [ Some (Nd.cast gout Dtype.F64) ]
+      else [ None ]
+  | Op.Softmax { sm_axis }, [ _ ] -> [ Some (softmax_grad ~axis:sm_axis out gout) ]
+  | Op.Arg_max _, [ _ ] | Op.Arg_min _, [ _ ] -> [ None ]
+  | Op.Reduce (r, { r_axes; r_keepdims }), [ x ] ->
+      if Dtype.is_float (Nd.dtype x) then
+        [ Some (reduce_grads r ~axes:r_axes ~keepdims:r_keepdims x out gout) ]
+      else [ None ]
+  | Op.Mat_mul, [ a; b ] ->
+      let ga, gb = matmul_grads a b gout in
+      [ Some ga; Some gb ]
+  | Op.Conv2d { stride; padding; _ }, [ x; w ] ->
+      let gx, gw = conv2d_grads ~stride ~padding x w gout in
+      [ Some gx; Some gw ]
+  | Op.Pool2d (kind, { p_kh; p_kw; p_stride; p_padding }), [ x ] ->
+      let kind =
+        match kind with Op.P_max -> Linalg.Max_pool | P_avg -> Linalg.Avg_pool
+      in
+      [
+        Some
+          (pool2d_grads ~kind ~kernel:(p_kh, p_kw) ~stride:p_stride
+             ~padding:p_padding x gout);
+      ]
+  | Op.Reshape _, [ x ]
+  | Op.Flatten _, [ x ]
+  | Op.Squeeze _, [ x ]
+  | Op.Unsqueeze _, [ x ] ->
+      if Dtype.is_float (Nd.dtype x) then
+        [ Some (Transform.reshape (Nd.cast gout Dtype.F64) (Nd.shape x)) ]
+      else [ None ]
+  | Op.Transpose perm, [ x ] ->
+      if Dtype.is_float (Nd.dtype x) then begin
+        let inv = Array.make (Array.length perm) 0 in
+        Array.iteri (fun i p -> inv.(p) <- i) perm;
+        [ Some (Transform.transpose (Nd.cast gout Dtype.F64) inv) ]
+      end
+      else [ None ]
+  | Op.Slice { s_axis; s_start; _ }, [ x ] ->
+      if Dtype.is_float (Nd.dtype x) then begin
+        let gx = Nd.create Dtype.F64 (Nd.shape x) in
+        let out_shape = Nd.shape gout in
+        let n = Nd.numel gout in
+        for i = 0 to n - 1 do
+          let idx = Shape.unravel out_shape i in
+          idx.(s_axis) <- idx.(s_axis) + s_start;
+          let off = Shape.ravel (Nd.shape x) idx in
+          Nd.set_f gx off (Nd.to_float gout i)
+        done;
+        [ Some gx ]
+      end
+      else [ None ]
+  | Op.Pad (_, { pad_before; _ }), [ x ] ->
+      if Dtype.is_float (Nd.dtype x) then begin
+        (* interior extraction; border replication contributions are dropped
+           (a proxy, adequate for loss steering) *)
+        let gx = Nd.create Dtype.F64 (Nd.shape x) in
+        let sx = Nd.shape x in
+        let sg = Nd.shape gout in
+        let before = Array.of_list pad_before in
+        for i = 0 to Nd.numel x - 1 do
+          let idx = Shape.unravel sx i in
+          let gidx = Array.mapi (fun k v -> v + before.(k)) idx in
+          if
+            Array.for_all2 (fun v d -> v >= 0 && v < d) gidx sg
+          then Nd.set_f gx i (Nd.to_float gout (Shape.ravel sg gidx))
+        done;
+        [ Some gx ]
+      end
+      else [ None ]
+  | Op.Concat { cat_axis; _ }, xs ->
+      if List.for_all (fun x -> Dtype.is_float (Nd.dtype x)) xs then begin
+        let offset = ref 0 in
+        List.map
+          (fun x ->
+            let d = (Nd.shape x).(cat_axis) in
+            let r = Nd.rank x in
+            let starts = Array.make r 0
+            and stops = Array.copy (Nd.shape gout)
+            and steps = Array.make r 1 in
+            starts.(cat_axis) <- !offset;
+            stops.(cat_axis) <- !offset + d;
+            offset := !offset + d;
+            Some
+              (Transform.slice (Nd.cast gout Dtype.F64) ~starts ~stops ~steps))
+          xs
+      end
+      else List.map (fun _ -> None) xs
+  | Op.Where, [ c; t; f ] ->
+      if Dtype.is_float (Nd.dtype t) then begin
+        let out_shape = Nd.shape gout in
+        let oc = Nd.broadcast_offsets ~src:(Nd.shape c) ~dst:out_shape
+        and ot = Nd.broadcast_offsets ~src:(Nd.shape t) ~dst:out_shape
+        and of_ = Nd.broadcast_offsets ~src:(Nd.shape f) ~dst:out_shape in
+        let gt = Nd.create Dtype.F64 (Nd.shape t)
+        and gf = Nd.create Dtype.F64 (Nd.shape f) in
+        for i = 0 to Nd.numel gout - 1 do
+          let g = Nd.to_float gout i in
+          if Nd.get_b c (oc i) then Nd.set_f gt (ot i) (Nd.get_f gt (ot i) +. g)
+          else Nd.set_f gf (of_ i) (Nd.get_f gf (of_ i) +. g)
+        done;
+        [ None; Some gt; Some gf ]
+      end
+      else [ None; None; None ]
+  | Op.Expand _, [ x ] ->
+      if Dtype.is_float (Nd.dtype x) then
+        [ Some (reduce_to (Nd.cast gout Dtype.F64) (Nd.shape x)) ]
+      else [ None ]
+  | Op.Gather { g_axis }, [ data; indices ] ->
+      if Dtype.is_float (Nd.dtype data) then begin
+        (* scatter-add the output gradient back through the (clamped) index *)
+        let sd = Nd.shape data in
+        let rank = Array.length sd in
+        let si = Nd.shape indices in
+        let ri = Array.length si in
+        let out_shape = Nd.shape gout in
+        let gd = Nd.create Dtype.F64 sd in
+        for out_i = 0 to Nd.numel gout - 1 do
+          let oidx = Shape.unravel out_shape out_i in
+          let iidx = Array.sub oidx g_axis ri in
+          let raw = Nd.to_int indices (Shape.ravel si iidx) in
+          let j = max 0 (min (sd.(g_axis) - 1) raw) in
+          let didx =
+            Array.init rank (fun k ->
+                if k < g_axis then oidx.(k)
+                else if k = g_axis then j
+                else oidx.(k + ri - 1))
+          in
+          let off = Shape.ravel sd didx in
+          Nd.set_f gd off (Nd.get_f gd off +. Nd.to_float gout out_i)
+        done;
+        [ Some gd; None ]
+      end
+      else [ None; None ]
+  | Op.Tile _, [ x ] ->
+      if Dtype.is_float (Nd.dtype x) then begin
+        (* accumulate over repetitions by index modulo *)
+        let sx = Nd.shape x in
+        let out_shape = Nd.shape gout in
+        let gx = Nd.create Dtype.F64 sx in
+        for out_i = 0 to Nd.numel gout - 1 do
+          let oidx = Shape.unravel out_shape out_i in
+          let sidx = Array.mapi (fun k v -> v mod sx.(k)) oidx in
+          let off = Shape.ravel sx sidx in
+          Nd.set_f gx off (Nd.get_f gx off +. Nd.to_float gout out_i)
+        done;
+        [ Some gx ]
+      end
+      else [ None ]
+  | _, _ -> List.map (fun _ -> None) ins

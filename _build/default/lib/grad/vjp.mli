@@ -1,0 +1,23 @@
+(** Vector-Jacobian products for every differentiable operator, with the
+    §3.3 proxy derivatives for operators that are non-differentiable (Floor,
+    Ceil, Round, Sign) or have zero-gradient regions (Relu, Clip, the
+    saturated arms of Hardswish/Hardsigmoid). *)
+
+val proxy_alpha : float
+(** Magnitude of proxy derivatives; kept small as for LeakyReLU. *)
+
+val unary_derivative : proxy:bool -> Nnsmith_ir.Op.unary -> float -> float -> float
+(** [unary_derivative ~proxy u x y] is du/dx at [x] where [y = u x]. *)
+
+val reduce_to : Nnsmith_tensor.Nd.t -> Nnsmith_tensor.Shape.t -> Nnsmith_tensor.Nd.t
+(** Sum a gradient down to a (possibly broadcast) source shape. *)
+
+val vjp :
+  proxy:bool ->
+  int Nnsmith_ir.Op.t ->
+  ins:Nnsmith_tensor.Nd.t list ->
+  out:Nnsmith_tensor.Nd.t ->
+  gout:Nnsmith_tensor.Nd.t ->
+  Nnsmith_tensor.Nd.t option list
+(** Gradients of [gout . op ins] w.r.t. each input, in input order; [None]
+    marks inputs with no (or discarded, when [proxy:false]) gradient. *)

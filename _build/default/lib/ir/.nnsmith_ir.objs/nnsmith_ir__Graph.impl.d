@@ -1,0 +1,1 @@
+lib/ir/graph.ml: Fmt Hashtbl Int List Map Op Printf Queue Ttype

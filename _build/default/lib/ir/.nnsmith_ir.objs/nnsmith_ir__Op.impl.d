@@ -1,0 +1,1 @@
+lib/ir/op.ml: Fmt List Nnsmith_tensor Printf

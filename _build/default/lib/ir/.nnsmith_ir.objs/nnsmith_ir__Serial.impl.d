@@ -1,0 +1,1 @@
+lib/ir/serial.ml: Array Format Fun Graph List Nnsmith_tensor Op Printf String Ttype

@@ -1,0 +1,1 @@
+lib/ir/ttype.ml: Array Fmt List Nnsmith_smt Nnsmith_tensor Printf

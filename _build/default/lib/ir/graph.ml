@@ -1,0 +1,105 @@
+type node = {
+  id : int;
+  op : int Op.t;
+  inputs : int list;
+  out_type : Ttype.Conc.t;
+}
+
+module Imap = Map.Make (Int)
+
+type t = { order : int list (* reverse topological *); by_id : node Imap.t }
+
+let empty = { order = []; by_id = Imap.empty }
+
+let add_node g ~op ~inputs ~out_type =
+  List.iter
+    (fun i ->
+      if not (Imap.mem i g.by_id) then
+        invalid_arg (Printf.sprintf "Graph.add_node: unknown input %%%d" i))
+    inputs;
+  let id = match g.order with [] -> 0 | last :: _ -> last + 1 in
+  let node = { id; op; inputs; out_type } in
+  ({ order = id :: g.order; by_id = Imap.add id node g.by_id }, id)
+
+let of_nodes ns =
+  let g =
+    List.fold_left
+      (fun g n ->
+        List.iter
+          (fun i ->
+            if not (Imap.mem i g.by_id) then
+              invalid_arg
+                (Printf.sprintf "Graph.of_nodes: node %%%d uses undefined %%%d"
+                   n.id i))
+          n.inputs;
+        if Imap.mem n.id g.by_id then
+          invalid_arg (Printf.sprintf "Graph.of_nodes: duplicate id %%%d" n.id);
+        { order = n.id :: g.order; by_id = Imap.add n.id n g.by_id })
+      empty ns
+  in
+  g
+
+let nodes g = List.rev_map (fun id -> Imap.find id g.by_id) g.order
+let find g id = match Imap.find_opt id g.by_id with
+  | Some n -> n
+  | None -> raise Not_found
+
+let size g = Imap.cardinal g.by_id
+
+let leaves g =
+  List.filter (fun n -> match n.op with Op.Leaf _ -> true | _ -> false) (nodes g)
+
+let inputs g =
+  List.filter
+    (fun n -> match n.op with Op.Leaf Op.Model_input -> true | _ -> false)
+    (nodes g)
+
+let weights g =
+  List.filter
+    (fun n -> match n.op with Op.Leaf Op.Model_weight -> true | _ -> false)
+    (nodes g)
+
+let consumers g id =
+  List.filter (fun n -> List.mem id n.inputs) (nodes g)
+
+let outputs g =
+  let consumed =
+    List.concat_map (fun n -> n.inputs) (nodes g) |> List.sort_uniq compare
+  in
+  List.filter (fun n -> not (List.mem n.id consumed)) (nodes g)
+
+let is_connected g =
+  match nodes g with
+  | [] -> true
+  | first :: _ ->
+      (* undirected BFS over input edges *)
+      let visited = Hashtbl.create 16 in
+      let queue = Queue.create () in
+      Queue.add first.id queue;
+      Hashtbl.replace visited first.id ();
+      while not (Queue.is_empty queue) do
+        let id = Queue.pop queue in
+        let n = Imap.find id g.by_id in
+        let neighbours =
+          n.inputs @ List.map (fun c -> c.id) (consumers g id)
+        in
+        List.iter
+          (fun m ->
+            if not (Hashtbl.mem visited m) then begin
+              Hashtbl.replace visited m ();
+              Queue.add m queue
+            end)
+          neighbours
+      done;
+      Hashtbl.length visited = size g
+
+let map_nodes f g =
+  { g with by_id = Imap.map f g.by_id }
+
+let pp_node ppf n =
+  Fmt.pf ppf "%%%d = %a(%a) : %a" n.id Op.pp_concrete n.op
+    Fmt.(list ~sep:comma (fun ppf i -> Fmt.pf ppf "%%%d" i))
+    n.inputs Ttype.Conc.pp n.out_type
+
+let pp ppf g = Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut pp_node) (nodes g)
+let to_string g = Fmt.str "%a" pp g

@@ -1,0 +1,55 @@
+(** Concrete computation graphs — the IR every compiler under test consumes,
+    playing the role ONNX plays in the paper.
+
+    Nodes are single-output and stored in topological order.  Leaves
+    ({!Op.Leaf}) are the graph's inputs, weights and constants. *)
+
+type node = {
+  id : int;
+  op : int Op.t;
+  inputs : int list;  (** producer node ids, in argument order *)
+  out_type : Ttype.Conc.t;
+}
+
+type t
+
+val empty : t
+val add_node : t -> op:int Op.t -> inputs:int list -> out_type:Ttype.Conc.t -> t * int
+(** Append a node (inputs must already exist); returns the new node's id. *)
+
+val of_nodes : node list -> t
+(** Build from a topologically sorted node list.
+    Raises [Invalid_argument] if an input refers to a later or missing id. *)
+
+val nodes : t -> node list
+(** In topological order. *)
+
+val find : t -> int -> node
+(** @raise Not_found *)
+
+val size : t -> int
+val inputs : t -> node list
+(** Leaves with kind [Model_input], in id order. *)
+
+val weights : t -> node list
+(** Leaves with kind [Model_weight]. *)
+
+val leaves : t -> node list
+val outputs : t -> node list
+(** Nodes whose result is consumed by no other node. *)
+
+val consumers : t -> int -> node list
+(** Nodes reading the given node's output. *)
+
+val is_connected : t -> bool
+(** Weak connectivity of the underlying undirected graph (single-node graphs
+    are connected); generated models must satisfy this. *)
+
+val map_nodes : (node -> node) -> t -> t
+(** Rebuild with rewritten nodes; ids and order are preserved. *)
+
+val pp : Format.formatter -> t -> unit
+(** Textual form, one node per line, e.g.
+    [%3 = Conv2d<kh=3,...>(%0, %1) : f32[1x2x4x4]]. *)
+
+val to_string : t -> string

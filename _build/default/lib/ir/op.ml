@@ -1,0 +1,289 @@
+(** The operator vocabulary of the computation-graph IR.
+
+    Operators are parameterised by the integer type ['i] used for
+    shape-valued attributes: during generation ['i = Nnsmith_smt.Expr.t]
+    (symbolic, solved by the constraint solver) and after concretisation
+    ['i = int].  Rank- and axis-valued attributes are always concrete, as in
+    the paper (ranks are fixed at insertion time; only dimension magnitudes
+    are symbolic). *)
+
+type unary =
+  | Abs
+  | Neg
+  | Exp
+  | Log
+  | Log2
+  | Sqrt
+  | Sin
+  | Cos
+  | Tan
+  | Asin
+  | Acos
+  | Atan
+  | Tanh
+  | Sigmoid
+  | Relu
+  | Gelu
+  | Floor
+  | Ceil
+  | Round
+  | Sign
+  | Reciprocal
+  | Erf
+  | Softplus
+  | Softsign
+  | Elu
+  | Selu
+  | Hardswish
+  | Hardsigmoid
+
+type binary = Add | Sub | Mul | Div | Pow | Max2 | Min2 | Mod2
+type compare = Equal | Greater | Less
+type logical = L_and | L_or | L_xor
+type reduce = R_sum | R_mean | R_max | R_min | R_prod
+
+type reduce_attrs = { r_axes : int list; r_keepdims : bool }
+
+type pool = P_max | P_avg
+
+type pad_mode = Pad_constant of float | Pad_reflect | Pad_replicate
+
+(** How a graph leaf obtains its value at run time. *)
+type leaf_kind =
+  | Model_input  (** fed by the test harness *)
+  | Model_weight  (** trainable constant, searched by Algorithm 3 *)
+  | Const_fill of float  (** e.g. the paper's [Ones(1,1,48)] pattern *)
+
+type 'i conv_attrs = {
+  out_channels : 'i;
+  kh : 'i;
+  kw : 'i;
+  stride : 'i;
+  padding : 'i;
+}
+
+type 'i pool_attrs = { p_kh : 'i; p_kw : 'i; p_stride : 'i; p_padding : 'i }
+type 'i slice_attrs = { s_axis : int; s_start : 'i; s_stop : 'i }
+type 'i pad_attrs = { pad_before : 'i list; pad_after : 'i list }
+
+type 'i t =
+  | Leaf of leaf_kind
+  | Unary of unary
+  | Binary of binary
+  | Compare of compare
+  | Logical of logical
+  | Not
+  | Clip of { c_lo : float; c_hi : float }
+  | Leaky_relu of { alpha : float }
+  | Cast of Nnsmith_tensor.Dtype.t
+  | Softmax of { sm_axis : int }
+  | Arg_max of { am_axis : int }
+  | Arg_min of { am_axis : int }
+  | Reduce of reduce * reduce_attrs
+  | Mat_mul
+  | Conv2d of 'i conv_attrs
+  | Pool2d of pool * 'i pool_attrs
+  | Reshape of 'i list
+  | Flatten of { f_axis : int }
+  | Transpose of int array
+  | Squeeze of { sq_axis : int }
+  | Unsqueeze of { usq_axis : int }
+  | Slice of 'i slice_attrs
+  | Pad of pad_mode * 'i pad_attrs
+  | Concat of { cat_axis : int; cat_n : int }
+  | Where
+  | Expand of 'i list
+  | Gather of { g_axis : int }
+      (** inputs: data, integer indices (values clamped into range at run
+          time, torch-style, so validity never depends on runtime values) *)
+  | Tile of 'i list  (** per-axis repetition counts *)
+
+let unary_name = function
+  | Abs -> "Abs"
+  | Neg -> "Neg"
+  | Exp -> "Exp"
+  | Log -> "Log"
+  | Log2 -> "Log2"
+  | Sqrt -> "Sqrt"
+  | Sin -> "Sin"
+  | Cos -> "Cos"
+  | Tan -> "Tan"
+  | Asin -> "Asin"
+  | Acos -> "Acos"
+  | Atan -> "Atan"
+  | Tanh -> "Tanh"
+  | Sigmoid -> "Sigmoid"
+  | Relu -> "Relu"
+  | Gelu -> "Gelu"
+  | Floor -> "Floor"
+  | Ceil -> "Ceil"
+  | Round -> "Round"
+  | Sign -> "Sign"
+  | Reciprocal -> "Reciprocal"
+  | Erf -> "Erf"
+  | Softplus -> "Softplus"
+  | Softsign -> "Softsign"
+  | Elu -> "Elu"
+  | Selu -> "Selu"
+  | Hardswish -> "Hardswish"
+  | Hardsigmoid -> "Hardsigmoid"
+
+let binary_name = function
+  | Add -> "Add"
+  | Sub -> "Sub"
+  | Mul -> "Mul"
+  | Div -> "Div"
+  | Pow -> "Pow"
+  | Max2 -> "Max"
+  | Min2 -> "Min"
+  | Mod2 -> "Mod"
+
+let compare_name = function
+  | Equal -> "Equal"
+  | Greater -> "Greater"
+  | Less -> "Less"
+
+let logical_name = function L_and -> "And" | L_or -> "Or" | L_xor -> "Xor"
+
+let reduce_name = function
+  | R_sum -> "ReduceSum"
+  | R_mean -> "ReduceMean"
+  | R_max -> "ReduceMax"
+  | R_min -> "ReduceMin"
+  | R_prod -> "ReduceProd"
+
+let pool_name = function P_max -> "MaxPool" | P_avg -> "AveragePool"
+
+let pad_mode_name = function
+  | Pad_constant _ -> "ConstPad"
+  | Pad_reflect -> "ReflectPad"
+  | Pad_replicate -> "ReplicatePad"
+
+(** Operator name, used for coverage bucketing, binning specialisation keys
+    and printing.  Attribute values are not part of the name. *)
+let name : 'i t -> string = function
+  | Leaf Model_input -> "Input"
+  | Leaf Model_weight -> "Weight"
+  | Leaf (Const_fill _) -> "ConstFill"
+  | Unary u -> unary_name u
+  | Binary b -> binary_name b
+  | Compare c -> compare_name c
+  | Logical l -> logical_name l
+  | Not -> "Not"
+  | Clip _ -> "Clip"
+  | Leaky_relu _ -> "LeakyRelu"
+  | Cast _ -> "Cast"
+  | Softmax _ -> "Softmax"
+  | Arg_max _ -> "ArgMax"
+  | Arg_min _ -> "ArgMin"
+  | Reduce (r, _) -> reduce_name r
+  | Mat_mul -> "MatMul"
+  | Conv2d _ -> "Conv2d"
+  | Pool2d (p, _) -> pool_name p
+  | Reshape _ -> "Reshape"
+  | Flatten _ -> "Flatten"
+  | Transpose _ -> "Transpose"
+  | Squeeze _ -> "Squeeze"
+  | Unsqueeze _ -> "Unsqueeze"
+  | Slice _ -> "Slice"
+  | Pad (m, _) -> pad_mode_name m
+  | Concat _ -> "Concat"
+  | Where -> "Where"
+  | Expand _ -> "Expand"
+  | Gather _ -> "Gather"
+  | Tile _ -> "Tile"
+
+(** Number of tensor inputs. *)
+let arity : 'i t -> int = function
+  | Leaf _ -> 0
+  | Unary _ | Not | Clip _ | Leaky_relu _ | Cast _ | Softmax _ | Arg_max _
+  | Arg_min _ | Reduce _ | Reshape _ | Flatten _ | Transpose _ | Squeeze _
+  | Unsqueeze _ | Slice _ | Pad _ | Expand _ | Tile _ ->
+      1
+  | Binary _ | Compare _ | Logical _ | Mat_mul | Conv2d _ | Gather _ -> 2
+  | Pool2d _ -> 1
+  | Where -> 3
+  | Concat { cat_n; _ } -> cat_n
+
+(** Map the shape-valued attributes; used to concretise a solved graph. *)
+let map_attrs (f : 'a -> 'b) : 'a t -> 'b t = function
+  | Leaf k -> Leaf k
+  | Unary u -> Unary u
+  | Binary b -> Binary b
+  | Compare c -> Compare c
+  | Logical l -> Logical l
+  | Not -> Not
+  | Clip { c_lo; c_hi } -> Clip { c_lo; c_hi }
+  | Leaky_relu { alpha } -> Leaky_relu { alpha }
+  | Cast d -> Cast d
+  | Softmax { sm_axis } -> Softmax { sm_axis }
+  | Arg_max { am_axis } -> Arg_max { am_axis }
+  | Arg_min { am_axis } -> Arg_min { am_axis }
+  | Reduce (r, a) -> Reduce (r, a)
+  | Mat_mul -> Mat_mul
+  | Conv2d { out_channels; kh; kw; stride; padding } ->
+      Conv2d
+        {
+          out_channels = f out_channels;
+          kh = f kh;
+          kw = f kw;
+          stride = f stride;
+          padding = f padding;
+        }
+  | Pool2d (p, { p_kh; p_kw; p_stride; p_padding }) ->
+      Pool2d
+        ( p,
+          {
+            p_kh = f p_kh;
+            p_kw = f p_kw;
+            p_stride = f p_stride;
+            p_padding = f p_padding;
+          } )
+  | Reshape dims -> Reshape (List.map f dims)
+  | Flatten { f_axis } -> Flatten { f_axis }
+  | Transpose perm -> Transpose perm
+  | Squeeze { sq_axis } -> Squeeze { sq_axis }
+  | Unsqueeze { usq_axis } -> Unsqueeze { usq_axis }
+  | Slice { s_axis; s_start; s_stop } ->
+      Slice { s_axis; s_start = f s_start; s_stop = f s_stop }
+  | Pad (m, { pad_before; pad_after }) ->
+      Pad (m, { pad_before = List.map f pad_before; pad_after = List.map f pad_after })
+  | Concat { cat_axis; cat_n } -> Concat { cat_axis; cat_n }
+  | Where -> Where
+  | Expand dims -> Expand (List.map f dims)
+  | Gather { g_axis } -> Gather { g_axis }
+  | Tile reps -> Tile (List.map f reps)
+
+(** The shape-valued attributes of an operator, with stable labels — the
+    [(op, alpha)] pairs iterated by Algorithm 2. *)
+let shape_attrs (op : 'i t) : (string * 'i) list =
+  match op with
+  | Conv2d { out_channels; kh; kw; stride; padding } ->
+      [
+        ("out_channels", out_channels);
+        ("kh", kh);
+        ("kw", kw);
+        ("stride", stride);
+        ("padding", padding);
+      ]
+  | Pool2d (_, { p_kh; p_kw; p_stride; p_padding }) ->
+      [ ("kh", p_kh); ("kw", p_kw); ("stride", p_stride); ("padding", p_padding) ]
+  | Reshape dims | Expand dims ->
+      List.mapi (fun i d -> (Printf.sprintf "dim%d" i, d)) dims
+  | Tile reps -> List.mapi (fun i r -> (Printf.sprintf "rep%d" i, r)) reps
+  | Slice { s_start; s_stop; _ } -> [ ("start", s_start); ("stop", s_stop) ]
+  | Pad (_, { pad_before; pad_after }) ->
+      List.mapi (fun i d -> (Printf.sprintf "before%d" i, d)) pad_before
+      @ List.mapi (fun i d -> (Printf.sprintf "after%d" i, d)) pad_after
+  | Leaf _ | Unary _ | Binary _ | Compare _ | Logical _ | Not | Clip _
+  | Leaky_relu _ | Cast _ | Softmax _ | Arg_max _ | Arg_min _ | Reduce _
+  | Mat_mul | Flatten _ | Transpose _ | Squeeze _ | Unsqueeze _ | Concat _
+  | Where | Gather _ ->
+      []
+
+let pp_concrete ppf (op : int t) =
+  let attrs = shape_attrs op in
+  let pp_attr ppf (k, v) = Fmt.pf ppf "%s=%d" k v in
+  match attrs with
+  | [] -> Fmt.string ppf (name op)
+  | _ -> Fmt.pf ppf "%s<%a>" (name op) Fmt.(list ~sep:comma pp_attr) attrs

@@ -1,0 +1,345 @@
+(** Textual serialization of concrete graphs — the stand-in for the ONNX
+    files the paper's pipeline exchanges between generator and compilers.
+    The format is line-based and round-trips exactly (floats are encoded in
+    hex):
+
+    {v
+    node 2 Conv2d oc=4 kh=3 kw=3 stride=1 padding=1 : f32[1x4x6x6] <- 0 1
+    v} *)
+
+module Dtype = Nnsmith_tensor.Dtype
+
+exception Parse_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Attribute encoding: each operator kind owns a flat key=value list.  *)
+
+let fstr v = Printf.sprintf "%h" v
+
+let fparse s =
+  match float_of_string_opt s with
+  | Some v -> v
+  | None -> fail "bad float %S" s
+
+let ints_str xs = String.concat ";" (List.map string_of_int xs)
+
+let ints_parse s =
+  if s = "" then []
+  else
+    String.split_on_char ';' s
+    |> List.map (fun x ->
+           match int_of_string_opt x with
+           | Some v -> v
+           | None -> fail "bad int %S" x)
+
+let encode_op (op : int Op.t) : string * (string * string) list =
+  match op with
+  | Op.Leaf Op.Model_input -> ("Input", [])
+  | Op.Leaf Op.Model_weight -> ("Weight", [])
+  | Op.Leaf (Op.Const_fill v) -> ("ConstFill", [ ("v", fstr v) ])
+  | Op.Unary u -> ("Unary", [ ("f", Op.unary_name u) ])
+  | Op.Binary b -> ("Binary", [ ("f", Op.binary_name b) ])
+  | Op.Compare c -> ("Compare", [ ("f", Op.compare_name c) ])
+  | Op.Logical l -> ("Logical", [ ("f", Op.logical_name l) ])
+  | Op.Not -> ("Not", [])
+  | Op.Clip { c_lo; c_hi } -> ("Clip", [ ("lo", fstr c_lo); ("hi", fstr c_hi) ])
+  | Op.Leaky_relu { alpha } -> ("LeakyRelu", [ ("alpha", fstr alpha) ])
+  | Op.Cast d -> ("Cast", [ ("to", Dtype.to_string d) ])
+  | Op.Softmax { sm_axis } -> ("Softmax", [ ("axis", string_of_int sm_axis) ])
+  | Op.Arg_max { am_axis } -> ("ArgMax", [ ("axis", string_of_int am_axis) ])
+  | Op.Arg_min { am_axis } -> ("ArgMin", [ ("axis", string_of_int am_axis) ])
+  | Op.Reduce (r, { r_axes; r_keepdims }) ->
+      ( "Reduce",
+        [
+          ("f", Op.reduce_name r);
+          ("axes", ints_str r_axes);
+          ("keepdims", string_of_bool r_keepdims);
+        ] )
+  | Op.Mat_mul -> ("MatMul", [])
+  | Op.Conv2d { out_channels; kh; kw; stride; padding } ->
+      ( "Conv2d",
+        [
+          ("oc", string_of_int out_channels);
+          ("kh", string_of_int kh);
+          ("kw", string_of_int kw);
+          ("stride", string_of_int stride);
+          ("padding", string_of_int padding);
+        ] )
+  | Op.Pool2d (p, { p_kh; p_kw; p_stride; p_padding }) ->
+      ( "Pool2d",
+        [
+          ("f", Op.pool_name p);
+          ("kh", string_of_int p_kh);
+          ("kw", string_of_int p_kw);
+          ("stride", string_of_int p_stride);
+          ("padding", string_of_int p_padding);
+        ] )
+  | Op.Reshape dims -> ("Reshape", [ ("dims", ints_str dims) ])
+  | Op.Flatten { f_axis } -> ("Flatten", [ ("axis", string_of_int f_axis) ])
+  | Op.Transpose perm ->
+      ("Transpose", [ ("perm", ints_str (Array.to_list perm)) ])
+  | Op.Squeeze { sq_axis } -> ("Squeeze", [ ("axis", string_of_int sq_axis) ])
+  | Op.Unsqueeze { usq_axis } ->
+      ("Unsqueeze", [ ("axis", string_of_int usq_axis) ])
+  | Op.Slice { s_axis; s_start; s_stop } ->
+      ( "Slice",
+        [
+          ("axis", string_of_int s_axis);
+          ("start", string_of_int s_start);
+          ("stop", string_of_int s_stop);
+        ] )
+  | Op.Pad (mode, { pad_before; pad_after }) ->
+      let mode_kv =
+        match mode with
+        | Op.Pad_constant v -> [ ("mode", "constant"); ("v", fstr v) ]
+        | Op.Pad_reflect -> [ ("mode", "reflect") ]
+        | Op.Pad_replicate -> [ ("mode", "replicate") ]
+      in
+      ( "Pad",
+        mode_kv @ [ ("before", ints_str pad_before); ("after", ints_str pad_after) ]
+      )
+  | Op.Concat { cat_axis; cat_n } ->
+      ("Concat", [ ("axis", string_of_int cat_axis); ("n", string_of_int cat_n) ])
+  | Op.Where -> ("Where", [])
+  | Op.Expand dims -> ("Expand", [ ("dims", ints_str dims) ])
+  | Op.Gather { g_axis } -> ("Gather", [ ("axis", string_of_int g_axis) ])
+  | Op.Tile reps -> ("Tile", [ ("reps", ints_str reps) ])
+
+let lookup kvs k =
+  match List.assoc_opt k kvs with
+  | Some v -> v
+  | None -> fail "missing attribute %s" k
+
+let iattr kvs k =
+  match int_of_string_opt (lookup kvs k) with
+  | Some v -> v
+  | None -> fail "bad int attribute %s" k
+
+let unary_of_name s =
+  let all =
+    [
+      Op.Abs; Neg; Exp; Log; Log2; Sqrt; Sin; Cos; Tan; Asin; Acos; Atan; Tanh;
+      Sigmoid; Relu; Gelu; Floor; Ceil; Round; Sign; Reciprocal; Erf;
+      Softplus; Softsign; Elu; Selu; Hardswish; Hardsigmoid;
+    ]
+  in
+  match List.find_opt (fun u -> Op.unary_name u = s) all with
+  | Some u -> u
+  | None -> fail "unknown unary %s" s
+
+let binary_of_name s =
+  let all = [ Op.Add; Sub; Mul; Div; Pow; Max2; Min2; Mod2 ] in
+  match List.find_opt (fun b -> Op.binary_name b = s) all with
+  | Some b -> b
+  | None -> fail "unknown binary %s" s
+
+let decode_op tag kvs : int Op.t =
+  match tag with
+  | "Input" -> Op.Leaf Op.Model_input
+  | "Weight" -> Op.Leaf Op.Model_weight
+  | "ConstFill" -> Op.Leaf (Op.Const_fill (fparse (lookup kvs "v")))
+  | "Unary" -> Op.Unary (unary_of_name (lookup kvs "f"))
+  | "Binary" -> Op.Binary (binary_of_name (lookup kvs "f"))
+  | "Compare" -> (
+      match lookup kvs "f" with
+      | "Equal" -> Op.Compare Op.Equal
+      | "Greater" -> Op.Compare Op.Greater
+      | "Less" -> Op.Compare Op.Less
+      | s -> fail "unknown compare %s" s)
+  | "Logical" -> (
+      match lookup kvs "f" with
+      | "And" -> Op.Logical Op.L_and
+      | "Or" -> Op.Logical Op.L_or
+      | "Xor" -> Op.Logical Op.L_xor
+      | s -> fail "unknown logical %s" s)
+  | "Not" -> Op.Not
+  | "Clip" ->
+      Op.Clip { c_lo = fparse (lookup kvs "lo"); c_hi = fparse (lookup kvs "hi") }
+  | "LeakyRelu" -> Op.Leaky_relu { alpha = fparse (lookup kvs "alpha") }
+  | "Cast" -> (
+      match Dtype.of_string (lookup kvs "to") with
+      | Some d -> Op.Cast d
+      | None -> fail "bad cast dtype")
+  | "Softmax" -> Op.Softmax { sm_axis = iattr kvs "axis" }
+  | "ArgMax" -> Op.Arg_max { am_axis = iattr kvs "axis" }
+  | "ArgMin" -> Op.Arg_min { am_axis = iattr kvs "axis" }
+  | "Reduce" ->
+      let r =
+        match lookup kvs "f" with
+        | "ReduceSum" -> Op.R_sum
+        | "ReduceMean" -> Op.R_mean
+        | "ReduceMax" -> Op.R_max
+        | "ReduceMin" -> Op.R_min
+        | "ReduceProd" -> Op.R_prod
+        | s -> fail "unknown reduce %s" s
+      in
+      Op.Reduce
+        ( r,
+          {
+            r_axes = ints_parse (lookup kvs "axes");
+            r_keepdims = bool_of_string (lookup kvs "keepdims");
+          } )
+  | "MatMul" -> Op.Mat_mul
+  | "Conv2d" ->
+      Op.Conv2d
+        {
+          out_channels = iattr kvs "oc";
+          kh = iattr kvs "kh";
+          kw = iattr kvs "kw";
+          stride = iattr kvs "stride";
+          padding = iattr kvs "padding";
+        }
+  | "Pool2d" ->
+      let p =
+        match lookup kvs "f" with
+        | "MaxPool" -> Op.P_max
+        | "AveragePool" -> Op.P_avg
+        | s -> fail "unknown pool %s" s
+      in
+      Op.Pool2d
+        ( p,
+          {
+            p_kh = iattr kvs "kh";
+            p_kw = iattr kvs "kw";
+            p_stride = iattr kvs "stride";
+            p_padding = iattr kvs "padding";
+          } )
+  | "Reshape" -> Op.Reshape (ints_parse (lookup kvs "dims"))
+  | "Flatten" -> Op.Flatten { f_axis = iattr kvs "axis" }
+  | "Transpose" -> Op.Transpose (Array.of_list (ints_parse (lookup kvs "perm")))
+  | "Squeeze" -> Op.Squeeze { sq_axis = iattr kvs "axis" }
+  | "Unsqueeze" -> Op.Unsqueeze { usq_axis = iattr kvs "axis" }
+  | "Slice" ->
+      Op.Slice
+        {
+          s_axis = iattr kvs "axis";
+          s_start = iattr kvs "start";
+          s_stop = iattr kvs "stop";
+        }
+  | "Pad" ->
+      let mode =
+        match lookup kvs "mode" with
+        | "constant" -> Op.Pad_constant (fparse (lookup kvs "v"))
+        | "reflect" -> Op.Pad_reflect
+        | "replicate" -> Op.Pad_replicate
+        | s -> fail "unknown pad mode %s" s
+      in
+      Op.Pad
+        ( mode,
+          {
+            pad_before = ints_parse (lookup kvs "before");
+            pad_after = ints_parse (lookup kvs "after");
+          } )
+  | "Concat" -> Op.Concat { cat_axis = iattr kvs "axis"; cat_n = iattr kvs "n" }
+  | "Where" -> Op.Where
+  | "Expand" -> Op.Expand (ints_parse (lookup kvs "dims"))
+  | "Gather" -> Op.Gather { g_axis = iattr kvs "axis" }
+  | "Tile" -> Op.Tile (ints_parse (lookup kvs "reps"))
+  | _ -> fail "unknown operator tag %s" tag
+
+(* ------------------------------------------------------------------ *)
+(* Whole-graph text form.                                              *)
+
+let ttype_str (t : Ttype.Conc.t) =
+  Printf.sprintf "%s[%s]"
+    (Dtype.to_string (Ttype.Conc.dtype t))
+    (String.concat "x" (List.map string_of_int (Ttype.Conc.dims t)))
+
+let ttype_parse s =
+  match String.index_opt s '[' with
+  | None -> fail "bad type %S" s
+  | Some i ->
+      let dts = String.sub s 0 i in
+      let dims_s = String.sub s (i + 1) (String.length s - i - 2) in
+      let dtype =
+        match Dtype.of_string dts with
+        | Some d -> d
+        | None -> fail "bad dtype %S" dts
+      in
+      let dims =
+        if dims_s = "" then []
+        else
+          String.split_on_char 'x' dims_s
+          |> List.map (fun d ->
+                 match int_of_string_opt d with
+                 | Some v -> v
+                 | None -> fail "bad dim %S" d)
+      in
+      Ttype.Conc.make dtype dims
+
+let node_line (n : Graph.node) =
+  let tag, kvs = encode_op n.Graph.op in
+  Printf.sprintf "node %d %s%s : %s <- %s" n.Graph.id tag
+    (String.concat ""
+       (List.map (fun (k, v) -> Printf.sprintf " %s=%s" k v) kvs))
+    (ttype_str n.out_type)
+    (String.concat " " (List.map string_of_int n.inputs))
+
+let to_string (g : Graph.t) : string =
+  String.concat "\n" (List.map node_line (Graph.nodes g)) ^ "\n"
+
+let parse_line line : Graph.node =
+  match String.split_on_char ':' line with
+  | [ head; tail ] -> (
+      match String.split_on_char '<' tail with
+      | [ type_s; inputs_s ] -> (
+          let inputs_s =
+            (* strip the leading "- " of "<- " *)
+            String.trim
+              (String.sub inputs_s 1 (String.length inputs_s - 1))
+          in
+          let inputs =
+            if inputs_s = "" then []
+            else
+              String.split_on_char ' ' inputs_s
+              |> List.filter (fun s -> s <> "")
+              |> List.map (fun s ->
+                     match int_of_string_opt s with
+                     | Some v -> v
+                     | None -> fail "bad input id %S" s)
+          in
+          let out_type = ttype_parse (String.trim type_s) in
+          match
+            String.split_on_char ' ' (String.trim head)
+            |> List.filter (fun s -> s <> "")
+          with
+          | "node" :: id_s :: tag :: attr_tokens ->
+              let id =
+                match int_of_string_opt id_s with
+                | Some v -> v
+                | None -> fail "bad node id %S" id_s
+              in
+              let kvs =
+                List.map
+                  (fun tok ->
+                    match String.index_opt tok '=' with
+                    | Some i ->
+                        ( String.sub tok 0 i,
+                          String.sub tok (i + 1) (String.length tok - i - 1) )
+                    | None -> fail "bad attribute %S" tok)
+                  attr_tokens
+              in
+              { Graph.id; op = decode_op tag kvs; inputs; out_type }
+          | _ -> fail "bad node line %S" line)
+      | _ -> fail "missing inputs in %S" line)
+  | _ -> fail "bad line %S" line
+
+let of_string (s : string) : Graph.t =
+  String.split_on_char '\n' s
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.map parse_line
+  |> Graph.of_nodes
+
+let save path g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string g))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))

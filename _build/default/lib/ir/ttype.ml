@@ -1,0 +1,53 @@
+(** Tensor types: an element dtype plus a shape.
+
+    [Sym.t] carries symbolic dimensions during generation; [Conc.t] carries
+    concrete dimensions after the solver's model is substituted in. *)
+
+module Dtype = Nnsmith_tensor.Dtype
+
+module Sym = struct
+  type t = { dtype : Dtype.t; dims : Nnsmith_smt.Expr.t list }
+
+  let make dtype dims = { dtype; dims }
+  let rank t = List.length t.dims
+  let dtype t = t.dtype
+
+  (** Fresh symbolic type with one variable per dimension. *)
+  let fresh ?(prefix = "d") dtype rank =
+    {
+      dtype;
+      dims =
+        List.init rank (fun i ->
+            Nnsmith_smt.Expr.fresh (Printf.sprintf "%s%d" prefix i));
+    }
+
+  let numel t = Nnsmith_smt.Expr.product t.dims
+
+  let concretize (model : Nnsmith_smt.Model.t) t : Dtype.t * int list =
+    (t.dtype, List.map (Nnsmith_smt.Model.eval_expr model) t.dims)
+
+  let pp ppf t =
+    Fmt.pf ppf "%a[%a]" Dtype.pp t.dtype
+      Fmt.(list ~sep:(any "x") Nnsmith_smt.Expr.pp)
+      t.dims
+end
+
+module Conc = struct
+  type t = { dtype : Dtype.t; dims : int list }
+
+  let make dtype dims = { dtype; dims }
+  let rank t = List.length t.dims
+  let dtype t = t.dtype
+  let dims t = t.dims
+  let shape t = Array.of_list t.dims
+  let numel t = List.fold_left ( * ) 1 t.dims
+  let equal a b = Dtype.equal a.dtype b.dtype && a.dims = b.dims
+
+  let of_tensor (nd : Nnsmith_tensor.Nd.t) =
+    { dtype = Nnsmith_tensor.Nd.dtype nd; dims = Array.to_list (Nnsmith_tensor.Nd.shape nd) }
+
+  let pp ppf t =
+    Fmt.pf ppf "%a[%a]" Dtype.pp t.dtype Fmt.(list ~sep:(any "x") int) t.dims
+
+  let to_string t = Fmt.str "%a" pp t
+end

@@ -1,0 +1,1 @@
+lib/ops/eval.ml: Array Float Format List Nnsmith_ir Nnsmith_tensor

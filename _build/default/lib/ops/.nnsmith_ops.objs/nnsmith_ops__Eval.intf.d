@@ -1,0 +1,1 @@
+lib/ops/eval.mli: Nnsmith_ir Nnsmith_tensor

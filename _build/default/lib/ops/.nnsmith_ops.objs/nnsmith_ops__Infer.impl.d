@@ -1,0 +1,1 @@
+lib/ops/infer.ml: Array Format List Nnsmith_ir Nnsmith_tensor Result

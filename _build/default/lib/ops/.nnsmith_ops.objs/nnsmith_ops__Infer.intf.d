@@ -1,0 +1,1 @@
+lib/ops/infer.mli: Nnsmith_ir Nnsmith_tensor

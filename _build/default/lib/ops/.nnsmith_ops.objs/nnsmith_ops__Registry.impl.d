@@ -1,0 +1,1 @@
+lib/ops/registry.ml: List Spec Tpl_elementwise Tpl_nn Tpl_shape

@@ -1,0 +1,1 @@
+lib/ops/runner.ml: Eval Hashtbl List Nnsmith_ir Nnsmith_tensor Random

@@ -1,0 +1,1 @@
+lib/ops/runner.mli: Nnsmith_ir Nnsmith_tensor Random

@@ -1,0 +1,1 @@
+lib/ops/shapegen.ml: Array Fun List Nnsmith_smt Random

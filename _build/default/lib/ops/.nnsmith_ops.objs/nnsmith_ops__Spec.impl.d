@@ -1,0 +1,1 @@
+lib/ops/spec.ml: List Nnsmith_ir Nnsmith_smt Nnsmith_tensor Printf Random

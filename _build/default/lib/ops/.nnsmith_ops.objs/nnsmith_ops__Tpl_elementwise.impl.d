@@ -1,0 +1,1 @@
+lib/ops/tpl_elementwise.ml: Array List Nnsmith_ir Nnsmith_smt Nnsmith_tensor Random Shapegen Spec

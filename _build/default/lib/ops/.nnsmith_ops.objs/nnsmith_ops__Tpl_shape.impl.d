@@ -1,0 +1,1 @@
+lib/ops/tpl_shape.ml: Array List Nnsmith_ir Nnsmith_smt Nnsmith_tensor Printf Random Shapegen Spec Tpl_nn

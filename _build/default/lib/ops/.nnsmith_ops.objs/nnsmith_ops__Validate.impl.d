@@ -1,0 +1,1 @@
+lib/ops/validate.ml: Infer List Nnsmith_ir Printf Result

@@ -1,0 +1,1 @@
+lib/ops/validate.mli: Nnsmith_ir

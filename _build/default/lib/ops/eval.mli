@@ -1,0 +1,32 @@
+(** The reference interpreter: concrete evaluation of every operator.  This
+    plays the role PyTorch plays in the paper — the trusted oracle compiled
+    results are compared against. *)
+
+exception Eval_error of string
+
+val erf : float -> float
+(** Abramowitz & Stegun 7.1.26 approximation (|error| < 1.5e-7). *)
+
+val gelu : float -> float
+val softplus : float -> float
+val softsign : float -> float
+val elu : float -> float
+val selu : float -> float
+val selu_lambda : float
+val selu_alpha : float
+val hardswish : float -> float
+val hardsigmoid : float -> float
+
+val unary_float_fn : Nnsmith_ir.Op.unary -> float -> float
+(** Scalar kernel of each unary operator (also used by Lotus's TIR
+    interpreter). *)
+
+val unary_int_fn : Nnsmith_ir.Op.unary -> (int -> int) option
+(** Integer kernel when the operator supports integer tensors. *)
+
+val binary_float_fn : Nnsmith_ir.Op.binary -> float -> float -> float
+val binary_int_fn : Nnsmith_ir.Op.binary -> (int -> int -> int) option
+
+val eval : int Nnsmith_ir.Op.t -> Nnsmith_tensor.Nd.t list -> Nnsmith_tensor.Nd.t
+(** Evaluate one operator.
+    @raise Eval_error on arity/dtype misuse (leaves have no rule). *)

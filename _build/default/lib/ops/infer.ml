@@ -1,0 +1,348 @@
+(** Concrete type inference — the "type checking" a DL compiler front end
+    performs on every operator.  Compilers under test call this to validate
+    incoming graphs and to re-derive types after rewrites; the graph
+    {!Validate} pass uses it to reject invalid models. *)
+
+module Dtype = Nnsmith_tensor.Dtype
+module Shape = Nnsmith_tensor.Shape
+module Op = Nnsmith_ir.Op
+module Conc = Nnsmith_ir.Ttype.Conc
+
+type error = string
+
+let err fmt = Format.kasprintf (fun s -> Error s) fmt
+
+let unary_dtypes (u : Op.unary) =
+  match u with
+  | Op.Abs | Neg | Sign -> Dtype.floats @ Dtype.ints
+  | Exp | Log | Log2 | Sqrt | Sin | Cos | Tan | Asin | Acos | Atan | Tanh
+  | Sigmoid | Relu | Gelu | Floor | Ceil | Round | Reciprocal | Erf
+  | Softplus | Softsign | Elu | Selu | Hardswish | Hardsigmoid ->
+      Dtype.floats
+
+let binary_dtypes (b : Op.binary) =
+  match b with
+  | Op.Add | Sub | Mul | Max2 | Min2 -> Dtype.floats @ Dtype.ints
+  | Div | Pow | Mod2 -> Dtype.floats
+
+let broadcast2 name a b =
+  match Shape.broadcast (Array.of_list (Conc.dims a)) (Array.of_list (Conc.dims b)) with
+  | Some s -> Ok (Array.to_list s)
+  | None ->
+      err "%s: shapes %s and %s do not broadcast" name (Conc.to_string a)
+        (Conc.to_string b)
+
+let ( let* ) = Result.bind
+
+let conv_like_out ~name ~h ~w ~kh ~kw ~stride ~padding =
+  if kh < 1 || kw < 1 then err "%s: kernel < 1" name
+  else if stride < 1 then err "%s: stride < 1" name
+  else if padding < 0 then err "%s: negative padding" name
+  else if kh > h + (2 * padding) || kw > w + (2 * padding) then
+    err "%s: kernel %dx%d larger than padded input %dx%d" name kh kw
+      (h + (2 * padding))
+      (w + (2 * padding))
+  else begin
+    let oh = ((h + (2 * padding) - kh) / stride) + 1
+    and ow = ((w + (2 * padding) - kw) / stride) + 1 in
+    if oh < 1 || ow < 1 then err "%s: empty output" name else Ok (oh, ow)
+  end
+
+let infer (op : int Op.t) (ins : Conc.t list) : (Conc.t, error) result =
+  let name = Op.name op in
+  match (op, ins) with
+  | Op.Leaf _, _ -> err "Leaf: type is given, not inferred"
+  | Op.Unary u, [ x ] ->
+      if List.mem (Conc.dtype x) (unary_dtypes u) then Ok x
+      else err "%s: unsupported dtype %s" name (Dtype.to_string (Conc.dtype x))
+  | Op.Binary b, [ x; y ] ->
+      if Conc.dtype x <> Conc.dtype y then err "%s: dtype mismatch" name
+      else if not (List.mem (Conc.dtype x) (binary_dtypes b)) then
+        err "%s: unsupported dtype %s" name (Dtype.to_string (Conc.dtype x))
+      else
+        let* dims = broadcast2 name x y in
+        Ok (Conc.make (Conc.dtype x) dims)
+  | Op.Compare _, [ x; y ] ->
+      if Conc.dtype x <> Conc.dtype y then err "%s: dtype mismatch" name
+      else if Conc.dtype x = Dtype.Bool then err "%s: bool operands" name
+      else
+        let* dims = broadcast2 name x y in
+        Ok (Conc.make Dtype.Bool dims)
+  | Op.Logical _, [ x; y ] ->
+      if Conc.dtype x <> Dtype.Bool || Conc.dtype y <> Dtype.Bool then
+        err "%s: operands must be bool" name
+      else
+        let* dims = broadcast2 name x y in
+        Ok (Conc.make Dtype.Bool dims)
+  | Op.Not, [ x ] ->
+      if Conc.dtype x = Dtype.Bool then Ok x
+      else err "Not: operand must be bool"
+  | Op.Clip { c_lo; c_hi }, [ x ] ->
+      if not (Dtype.is_float (Conc.dtype x)) then err "Clip: not float"
+      else if c_lo > c_hi then err "Clip: lo > hi"
+      else Ok x
+  | Op.Leaky_relu _, [ x ] ->
+      if Dtype.is_float (Conc.dtype x) then Ok x else err "LeakyRelu: not float"
+  | Op.Cast target, [ x ] -> Ok (Conc.make target (Conc.dims x))
+  | Op.Softmax { sm_axis }, [ x ] ->
+      if not (Dtype.is_float (Conc.dtype x)) then err "Softmax: not float"
+      else if sm_axis < 0 || sm_axis >= Conc.rank x then err "Softmax: bad axis"
+      else Ok x
+  | Op.Arg_max { am_axis }, [ x ] | Op.Arg_min { am_axis }, [ x ] ->
+      if Conc.dtype x = Dtype.Bool then err "%s: bool operand" name
+      else if am_axis < 0 || am_axis >= Conc.rank x then err "%s: bad axis" name
+      else
+        Ok
+          (Conc.make Dtype.I64
+             (List.filteri (fun i _ -> i <> am_axis) (Conc.dims x)))
+  | Op.Reduce (r, { r_axes; r_keepdims }), [ x ] ->
+      let dt = Conc.dtype x in
+      if dt = Dtype.Bool then err "%s: bool operand" name
+      else if r = Op.R_mean && not (Dtype.is_float dt) then
+        err "ReduceMean: not float"
+      else if r_axes = [] then err "%s: no axes" name
+      else if List.exists (fun a -> a < 0 || a >= Conc.rank x) r_axes then
+        err "%s: bad axis" name
+      else begin
+        let dims =
+          if r_keepdims then
+            List.mapi
+              (fun i d -> if List.mem i r_axes then 1 else d)
+              (Conc.dims x)
+          else List.filteri (fun i _ -> not (List.mem i r_axes)) (Conc.dims x)
+        in
+        Ok (Conc.make dt dims)
+      end
+  | Op.Mat_mul, [ a; b ] ->
+      if Conc.dtype a <> Conc.dtype b || not (Dtype.is_float (Conc.dtype a))
+      then err "MatMul: operands must share a float dtype"
+      else begin
+        let da = Conc.dims a and db = Conc.dims b in
+        let ra = List.length da and rb = List.length db in
+        if ra < 1 || rb < 1 then err "MatMul: scalar operand"
+        else begin
+          let arr_a = Array.of_list da and arr_b = Array.of_list db in
+          let ka = arr_a.(ra - 1) in
+          let kb = if rb >= 2 then arr_b.(rb - 2) else arr_b.(0) in
+          if ka <> kb then
+            err "MatMul: contraction mismatch (%d vs %d)" ka kb
+          else begin
+            let batch_a = Array.sub arr_a 0 (max 0 (ra - 2))
+            and batch_b = Array.sub arr_b 0 (max 0 (rb - 2)) in
+            match Shape.broadcast batch_a batch_b with
+            | None -> err "MatMul: batch dims do not broadcast"
+            | Some batch ->
+                let m = if ra >= 2 then [ arr_a.(ra - 2) ] else []
+                and n = if rb >= 2 then [ arr_b.(rb - 1) ] else [] in
+                Ok (Conc.make (Conc.dtype a) (Array.to_list batch @ m @ n))
+          end
+        end
+      end
+  | Op.Conv2d { out_channels; kh; kw; stride; padding }, [ x; w ] ->
+      if Conc.dtype x <> Conc.dtype w || not (Dtype.is_float (Conc.dtype x))
+      then err "Conv2d: operands must share a float dtype"
+      else if Conc.rank x <> 4 || Conc.rank w <> 4 then
+        err "Conv2d: input and weight must be rank 4"
+      else begin
+        match (Conc.dims x, Conc.dims w) with
+        | [ n; c; h; w_ ], [ f; cw; kh'; kw' ] ->
+            if c <> cw then err "Conv2d: channel mismatch (%d vs %d)" c cw
+            else if f <> out_channels || kh <> kh' || kw <> kw' then
+              err "Conv2d: weight shape disagrees with attributes"
+            else
+              let* oh, ow =
+                conv_like_out ~name ~h ~w:w_ ~kh ~kw ~stride ~padding
+              in
+              Ok (Conc.make (Conc.dtype x) [ n; f; oh; ow ])
+        | _ -> err "Conv2d: bad ranks"
+      end
+  | Op.Pool2d (_, { p_kh; p_kw; p_stride; p_padding }), [ x ] ->
+      if not (Dtype.is_float (Conc.dtype x)) then err "%s: not float" name
+      else if Conc.rank x <> 4 then err "%s: input must be rank 4" name
+      else if 2 * p_padding > p_kh || 2 * p_padding > p_kw then
+        err "%s: padding exceeds half kernel" name
+      else begin
+        match Conc.dims x with
+        | [ n; c; h; w ] ->
+            let* oh, ow =
+              conv_like_out ~name ~h ~w ~kh:p_kh ~kw:p_kw ~stride:p_stride
+                ~padding:p_padding
+            in
+            Ok (Conc.make (Conc.dtype x) [ n; c; oh; ow ])
+        | _ -> err "%s: bad rank" name
+      end
+  | Op.Reshape dims, [ x ] ->
+      if List.exists (fun d -> d < 1) dims then err "Reshape: dim < 1"
+      else if List.fold_left ( * ) 1 dims <> Conc.numel x then
+        err "Reshape: %d elements into shape with %d" (Conc.numel x)
+          (List.fold_left ( * ) 1 dims)
+      else Ok (Conc.make (Conc.dtype x) dims)
+  | Op.Flatten { f_axis }, [ x ] ->
+      if f_axis < 0 || f_axis > Conc.rank x then err "Flatten: bad axis"
+      else begin
+        let lead = ref 1 and tail = ref 1 in
+        List.iteri
+          (fun i d -> if i < f_axis then lead := !lead * d else tail := !tail * d)
+          (Conc.dims x);
+        Ok (Conc.make (Conc.dtype x) [ !lead; !tail ])
+      end
+  | Op.Transpose perm, [ x ] ->
+      let r = Conc.rank x in
+      if Array.length perm <> r then err "Transpose: bad permutation length"
+      else begin
+        let seen = Array.make r false in
+        let ok =
+          Array.for_all
+            (fun p ->
+              if p < 0 || p >= r || seen.(p) then false
+              else begin
+                seen.(p) <- true;
+                true
+              end)
+            perm
+        in
+        if not ok then err "Transpose: not a permutation"
+        else begin
+          let dims = Array.of_list (Conc.dims x) in
+          Ok
+            (Conc.make (Conc.dtype x)
+               (Array.to_list (Array.map (fun p -> dims.(p)) perm)))
+        end
+      end
+  | Op.Squeeze { sq_axis }, [ x ] ->
+      if sq_axis < 0 || sq_axis >= Conc.rank x then err "Squeeze: bad axis"
+      else if List.nth (Conc.dims x) sq_axis <> 1 then
+        err "Squeeze: dim at axis %d is %d, not 1" sq_axis
+          (List.nth (Conc.dims x) sq_axis)
+      else
+        Ok
+          (Conc.make (Conc.dtype x)
+             (List.filteri (fun i _ -> i <> sq_axis) (Conc.dims x)))
+  | Op.Unsqueeze { usq_axis }, [ x ] ->
+      if usq_axis < 0 || usq_axis > Conc.rank x then err "Unsqueeze: bad axis"
+      else begin
+        let dims = Conc.dims x in
+        let out =
+          List.filteri (fun i _ -> i < usq_axis) dims
+          @ [ 1 ]
+          @ List.filteri (fun i _ -> i >= usq_axis) dims
+        in
+        Ok (Conc.make (Conc.dtype x) out)
+      end
+  | Op.Slice { s_axis; s_start; s_stop }, [ x ] ->
+      if s_axis < 0 || s_axis >= Conc.rank x then err "Slice: bad axis"
+      else begin
+        let d = List.nth (Conc.dims x) s_axis in
+        if s_start < 0 || s_start >= s_stop || s_stop > d then
+          err "Slice: invalid range [%d, %d) for dim %d" s_start s_stop d
+        else
+          Ok
+            (Conc.make (Conc.dtype x)
+               (List.mapi
+                  (fun i di -> if i = s_axis then s_stop - s_start else di)
+                  (Conc.dims x)))
+      end
+  | Op.Pad (mode, { pad_before; pad_after }), [ x ] ->
+      let r = Conc.rank x in
+      if List.length pad_before <> r || List.length pad_after <> r then
+        err "%s: pad length mismatch" name
+      else if not (Dtype.is_float (Conc.dtype x)) then err "%s: not float" name
+      else begin
+        let dims = Conc.dims x in
+        let out =
+          List.mapi
+            (fun i d -> d + List.nth pad_before i + List.nth pad_after i)
+            dims
+        in
+        if List.exists (fun d -> d < 1) out then err "%s: empty result" name
+        else begin
+          let reflect_bad =
+            match mode with
+            | Op.Pad_reflect ->
+                List.exists2
+                  (fun d (b, a) -> b >= d || a >= d || b < 0 || a < 0)
+                  dims
+                  (List.combine pad_before pad_after)
+            | Op.Pad_replicate ->
+                List.exists2
+                  (fun _ (b, a) -> b < 0 || a < 0)
+                  dims
+                  (List.combine pad_before pad_after)
+            | Op.Pad_constant _ -> false
+          in
+          if reflect_bad then err "%s: invalid pad amounts" name
+          else Ok (Conc.make (Conc.dtype x) out)
+        end
+      end
+  | Op.Concat { cat_axis; cat_n }, (first :: _ as xs) ->
+      if List.length xs <> cat_n then err "Concat: arity mismatch"
+      else if cat_axis < 0 || cat_axis >= Conc.rank first then
+        err "Concat: bad axis"
+      else begin
+        let ok =
+          List.for_all
+            (fun x ->
+              Conc.dtype x = Conc.dtype first
+              && Conc.rank x = Conc.rank first
+              && List.for_all2
+                   (fun (i, d) d0 -> i = cat_axis || d = d0)
+                   (List.mapi (fun i d -> (i, d)) (Conc.dims x))
+                   (Conc.dims first))
+            xs
+        in
+        if not ok then err "Concat: incompatible inputs"
+        else begin
+          let total =
+            List.fold_left (fun acc x -> acc + List.nth (Conc.dims x) cat_axis) 0 xs
+          in
+          Ok
+            (Conc.make (Conc.dtype first)
+               (List.mapi
+                  (fun i d -> if i = cat_axis then total else d)
+                  (Conc.dims first)))
+        end
+      end
+  | Op.Where, [ c; t; f ] ->
+      if Conc.dtype c <> Dtype.Bool then err "Where: condition must be bool"
+      else if Conc.dtype t <> Conc.dtype f then err "Where: branch dtype mismatch"
+      else begin
+        match
+          Shape.broadcast_many
+            [
+              Array.of_list (Conc.dims c);
+              Array.of_list (Conc.dims t);
+              Array.of_list (Conc.dims f);
+            ]
+        with
+        | Some s -> Ok (Conc.make (Conc.dtype t) (Array.to_list s))
+        | None -> err "Where: shapes do not broadcast"
+      end
+  | Op.Gather { g_axis }, [ data; indices ] ->
+      if not (Dtype.is_int (Conc.dtype indices)) then
+        err "Gather: indices must be integer"
+      else if Conc.rank data < 1 then err "Gather: scalar data"
+      else if g_axis < 0 || g_axis >= Conc.rank data then err "Gather: bad axis"
+      else begin
+        let d = Conc.dims data in
+        let before = List.filteri (fun i _ -> i < g_axis) d
+        and after = List.filteri (fun i _ -> i > g_axis) d in
+        Ok (Conc.make (Conc.dtype data) (before @ Conc.dims indices @ after))
+      end
+  | Op.Tile reps, [ x ] ->
+      if List.length reps <> Conc.rank x then err "Tile: repeats rank mismatch"
+      else if List.exists (fun r -> r < 1) reps then err "Tile: repeat < 1"
+      else
+        Ok
+          (Conc.make (Conc.dtype x)
+             (List.map2 (fun d r -> d * r) (Conc.dims x) reps))
+  | Op.Expand target, [ x ] ->
+      if List.exists (fun d -> d < 1) target then err "Expand: dim < 1"
+      else if
+        not
+          (Shape.can_broadcast_to
+             ~src:(Array.of_list (Conc.dims x))
+             ~dst:(Array.of_list target))
+      then
+        err "Expand: %s does not broadcast to target" (Conc.to_string x)
+      else Ok (Conc.make (Conc.dtype x) target)
+  | _, _ -> err "%s: wrong arity (%d inputs)" name (List.length ins)

@@ -1,0 +1,18 @@
+(** Concrete type inference — the "type check" a DL compiler front end runs
+    on every operator.  Also used by the compilers under test to re-derive
+    types after graph rewrites. *)
+
+type error = string
+
+val unary_dtypes : Nnsmith_ir.Op.unary -> Nnsmith_tensor.Dtype.t list
+(** Element types accepted by a unary operator. *)
+
+val binary_dtypes : Nnsmith_ir.Op.binary -> Nnsmith_tensor.Dtype.t list
+
+val infer :
+  int Nnsmith_ir.Op.t ->
+  Nnsmith_ir.Ttype.Conc.t list ->
+  (Nnsmith_ir.Ttype.Conc.t, error) result
+(** [infer op in_types] is the operator's output type, or a human-readable
+    rejection ("type check error").  [Leaf] operators are rejected — their
+    types are declared, not inferred. *)

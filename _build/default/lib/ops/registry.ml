@@ -1,0 +1,15 @@
+(** The operator-template registry: every specification known to the
+    generator.  Users extend NNSmith by appending to this list (see
+    [examples/custom_op.ml]). *)
+
+let all : Spec.template list =
+  Tpl_elementwise.all @ Tpl_nn.all @ Tpl_shape.all
+
+let names () = List.map (fun (t : Spec.template) -> t.Spec.t_name) all
+
+let find name =
+  List.find_opt (fun (t : Spec.template) -> t.Spec.t_name = name) all
+
+(** Restrict to templates whose name satisfies the predicate — used to model
+    per-compiler operator support ("Not-Implemented" avoidance, §4). *)
+let filter pred = List.filter (fun (t : Spec.template) -> pred t.Spec.t_name) all

@@ -1,0 +1,11 @@
+(** The operator-template registry — every specification known to the
+    generator.  Extend NNSmith by prepending to {!all} (see
+    [examples/custom_op.ml]). *)
+
+val all : Spec.template list
+val names : unit -> string list
+val find : string -> Spec.template option
+
+val filter : (string -> bool) -> Spec.template list
+(** Restrict by template name — models per-compiler operator support
+    ("Not-Implemented" avoidance, §4). *)

@@ -1,0 +1,39 @@
+(** Graph interpretation with the reference {!Eval} kernels: the oracle
+    backend and the forward pass of the gradient-guided input search. *)
+
+type binding = (int * Nnsmith_tensor.Nd.t) list
+(** Leaf node id -> tensor value.  Const_fill leaves may be omitted — their
+    value is materialised from the fill. *)
+
+exception Missing_leaf of int
+
+val tensor_of_leaf :
+  Random.State.t ->
+  Nnsmith_ir.Op.leaf_kind ->
+  Nnsmith_ir.Ttype.Conc.t ->
+  lo:float ->
+  hi:float ->
+  Nnsmith_tensor.Nd.t
+(** Value for one leaf: constants use their fill; inputs/weights are drawn
+    uniformly from [\[lo, hi\]]. *)
+
+val random_binding :
+  ?lo:float -> ?hi:float -> Random.State.t -> Nnsmith_ir.Graph.t -> binding
+(** Random initialisation of every leaf; the default [\[1, 9\]] range is the
+    paper's empirically best Sampling baseline. *)
+
+val run : Nnsmith_ir.Graph.t -> binding -> (int * Nnsmith_tensor.Nd.t) list
+(** Evaluate every node in topological order; returns all values.
+    @raise Missing_leaf when an input/weight has no binding.
+    @raise Eval.Eval_error when a kernel rejects its inputs. *)
+
+val run_outputs :
+  Nnsmith_ir.Graph.t -> binding -> (int * Nnsmith_tensor.Nd.t) list
+(** Values of the graph's output nodes only. *)
+
+val first_bad :
+  Nnsmith_ir.Graph.t ->
+  binding ->
+  (Nnsmith_ir.Graph.node * Nnsmith_tensor.Nd.t list) option
+(** First node (topological order) whose value contains NaN/Inf, with its
+    input values — the localisation primitive of Algorithm 3. *)

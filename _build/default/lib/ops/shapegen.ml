@@ -1,0 +1,88 @@
+(** Symbolic-shape combinators shared by the operator templates: broadcast
+    patterns, equality constraints, random rank selection. *)
+
+module Expr = Nnsmith_smt.Expr
+module Formula = Nnsmith_smt.Formula
+
+let max_rank = 4
+
+(** Constrain two dimension lists to be equal elementwise. *)
+let dims_equal a b =
+  if List.length a <> List.length b then [ Formula.ff ]
+  else List.map2 (fun x y -> Formula.(x = y)) a b
+
+type bcast_mode = Bc_equal | Bc_left_one | Bc_right_one
+
+let random_mode rng =
+  (* biased toward equality: broadcasting everywhere makes degenerate graphs *)
+  match Random.State.int rng 10 with
+  | 0 | 1 -> Bc_left_one
+  | 2 | 3 -> Bc_right_one
+  | _ -> Bc_equal
+
+(** Choose a broadcast pattern between two symbolic shapes (numpy alignment:
+    trailing dims aligned).  Returns the constraints encoding the chosen
+    pattern and the output dims.  Unlike a general disjunctive encoding this
+    resolves the per-dimension choice randomly up front, which keeps the
+    constraint system conjunctive while preserving pattern diversity. *)
+let broadcast2 rng (a : Expr.t list) (b : Expr.t list) :
+    Formula.t list * Expr.t list =
+  let ra = List.length a and rb = List.length b in
+  let r = max ra rb in
+  let arr_a = Array.of_list a and arr_b = Array.of_list b in
+  let constraints = ref [] and out = ref [] in
+  for i = r - 1 downto 0 do
+    let da = if i < r - ra then None else Some arr_a.(i - (r - ra))
+    and db = if i < r - rb then None else Some arr_b.(i - (r - rb)) in
+    let o =
+      match (da, db) with
+      | Some x, None -> x
+      | None, Some y -> y
+      | Some x, Some y -> (
+          match random_mode rng with
+          | Bc_equal ->
+              constraints := Formula.(x = y) :: !constraints;
+              x
+          | Bc_left_one ->
+              constraints := Formula.(x = Expr.one) :: !constraints;
+              y
+          | Bc_right_one ->
+              constraints := Formula.(y = Expr.one) :: !constraints;
+              x)
+      | None, None -> assert false
+    in
+    out := o :: !out
+  done;
+  (!constraints, !out)
+
+(** Three-way broadcast for [Where]. *)
+let broadcast3 rng a b c =
+  let cs1, ab = broadcast2 rng a b in
+  let cs2, out = broadcast2 rng ab c in
+  (cs1 @ cs2, out)
+
+let random_rank ?(min = 0) ?(max = max_rank) rng =
+  min + Random.State.int rng (max - min + 1)
+
+let random_axis rng rank = if rank = 0 then 0 else Random.State.int rng rank
+
+(** Random non-empty subset of [0..rank-1]; empty only when rank = 0. *)
+let random_axes rng rank =
+  if rank = 0 then []
+  else begin
+    let axes =
+      List.init rank Fun.id
+      |> List.filter (fun _ -> Random.State.bool rng)
+    in
+    match axes with [] -> [ Random.State.int rng rank ] | _ -> axes
+  end
+
+let random_perm rng rank =
+  let a = Array.init rank Fun.id in
+  for i = rank - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  a

@@ -1,0 +1,43 @@
+(** Whole-graph validation: the front-end "type check" every compiler under
+    test performs before compiling, and the property the generator must
+    guarantee by construction. *)
+
+module Graph = Nnsmith_ir.Graph
+module Conc = Nnsmith_ir.Ttype.Conc
+module Op = Nnsmith_ir.Op
+
+let ( let* ) = Result.bind
+
+let check_node g (n : Graph.node) =
+  match n.Graph.op with
+  | Op.Leaf _ ->
+      if List.for_all (fun d -> d >= 1) (Conc.dims n.out_type) then Ok ()
+      else Error (Printf.sprintf "node %%%d: leaf with empty shape" n.id)
+  | _ ->
+      let in_types =
+        List.map (fun i -> (Graph.find g i).Graph.out_type) n.inputs
+      in
+      let* inferred =
+        match Infer.infer n.op in_types with
+        | Ok t -> Ok t
+        | Error e -> Error (Printf.sprintf "node %%%d: %s" n.id e)
+      in
+      if Conc.equal inferred n.out_type then Ok ()
+      else
+        Error
+          (Printf.sprintf "node %%%d: declared type %s but inferred %s" n.id
+             (Conc.to_string n.out_type)
+             (Conc.to_string inferred))
+
+(** Validate types of all nodes and weak connectivity of the graph. *)
+let check (g : Graph.t) : (unit, string) result =
+  let* () =
+    List.fold_left
+      (fun acc n ->
+        let* () = acc in
+        check_node g n)
+      (Ok ()) (Graph.nodes g)
+  in
+  if Graph.is_connected g then Ok () else Error "graph is not connected"
+
+let is_valid g = Result.is_ok (check g)

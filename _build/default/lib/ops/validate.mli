@@ -1,0 +1,9 @@
+(** Whole-graph validation: the front-end type check every compiler performs
+    before compiling, and the property the generator guarantees by
+    construction. *)
+
+val check : Nnsmith_ir.Graph.t -> (unit, string) result
+(** Re-infer every node's type against its declaration and check weak
+    connectivity. *)
+
+val is_valid : Nnsmith_ir.Graph.t -> bool

@@ -1,0 +1,1 @@
+lib/ortlike/compiler.ml: Array Float Fun Hashtbl Ir List Nnsmith_coverage Nnsmith_faults Nnsmith_ir Nnsmith_ops Nnsmith_tensor Option Printf

@@ -1,0 +1,109 @@
+(** OxRT's internal graph IR.
+
+    Like ONNXRuntime, OxRT maps an imported model onto pre-compiled kernels
+    after running pattern-directed graph optimizations; fused kernels get
+    their own node kinds. *)
+
+module Nd = Nnsmith_tensor.Nd
+module Dtype = Nnsmith_tensor.Dtype
+module Op = Nnsmith_ir.Op
+module Conc = Nnsmith_ir.Ttype.Conc
+module Graph = Nnsmith_ir.Graph
+
+type oxop =
+  | Plain of int Op.t
+  | Const of Nd.t  (** materialised constant (from Const_fill or folding) *)
+  | Fused_gemm  (** inputs \[a; b; bias\] *)
+  | Fused_bias_softmax of { fbs_axis : int }  (** inputs \[x; bias\] *)
+  | Fused_relu_clip of { frc_lo : float; frc_hi : float }
+  | Fused_matmul_scale of { scale : float }  (** inputs \[a; b\] *)
+
+type node = { id : int; op : oxop; inputs : int list; out_type : Conc.t }
+
+type gir = {
+  mutable nodes : node list;  (** topological order *)
+  mutable outputs : int list;
+  mutable next_id : int;
+}
+
+let find g id = List.find (fun n -> n.id = id) g.nodes
+
+let find_opt g id = List.find_opt (fun n -> n.id = id) g.nodes
+
+let consumers g id =
+  List.filter (fun n -> List.mem id n.inputs) g.nodes
+
+let fresh_id g =
+  let id = g.next_id in
+  g.next_id <- g.next_id + 1;
+  id
+
+let op_label = function
+  | Plain op -> Op.name op
+  | Const _ -> "Const"
+  | Fused_gemm -> "FusedGemm"
+  | Fused_bias_softmax _ -> "FusedBiasSoftmax"
+  | Fused_relu_clip _ -> "FusedReluClip"
+  | Fused_matmul_scale _ -> "FusedMatMulScale"
+
+let file = "oxrt/import"
+
+(** Import an NNSmith graph.  Validates like a front end: type checks every
+    node and re-infers shapes; Const_fill leaves become Const nodes.
+    [lax] lets the TRT profile accept ill-formed integer Clip models, which
+    it then mis-compiles (the paper's data-type-mismatch class). *)
+let import ?(lax = false) (g : Graph.t) : gir =
+  (match Nnsmith_ops.Validate.check g with
+  | Ok () -> Nnsmith_coverage.Coverage.hit ~file "import:ok"
+  | Error e when lax && Nnsmith_faults.Faults.enabled "trt.clip_i32_attrs" ->
+      Nnsmith_coverage.Coverage.hit ~file "import:lax";
+      ignore e
+  | Error e ->
+      Nnsmith_coverage.Coverage.hit ~file "import:reject";
+      raise (Nnsmith_faults.Faults.Compiler_bug ("[oxrt.import] invalid model: " ^ e)));
+  let nodes =
+    List.map
+      (fun (n : Graph.node) ->
+        let op =
+          match n.Graph.op with
+          | Op.Leaf (Op.Const_fill v) ->
+              Nnsmith_coverage.Coverage.arm ~file "leaf" "const";
+              let shape = Conc.shape n.out_type in
+              Const
+                (match Conc.dtype n.out_type with
+                | Dtype.F32 | F64 -> Nd.full_f (Conc.dtype n.out_type) shape v
+                | I32 | I64 ->
+                    Nd.full_i (Conc.dtype n.out_type) shape (int_of_float v)
+                | Bool -> Nd.full_b shape (v <> 0.))
+          | Op.Leaf Op.Model_input ->
+              Nnsmith_coverage.Coverage.arm ~file "leaf" "input";
+              Plain n.op
+          | Op.Leaf Op.Model_weight ->
+              Nnsmith_coverage.Coverage.arm ~file "leaf" "weight";
+              Plain n.op
+          | op ->
+              Nnsmith_coverage.Coverage.arm ~file "node" (Op.name op);
+              Plain op
+        in
+        { id = n.Graph.id; op; inputs = n.Graph.inputs; out_type = n.out_type })
+      (Graph.nodes g)
+  in
+  let next_id =
+    1 + List.fold_left (fun acc (n : node) -> max acc n.id) (-1) nodes
+  in
+  {
+    nodes;
+    outputs = List.map (fun (n : Graph.node) -> n.Graph.id) (Graph.outputs g);
+    next_id;
+  }
+
+let const_of g id : Nd.t option =
+  match find_opt g id with
+  | Some { op = Const t; _ } -> Some t
+  | _ -> None
+
+let scalar_const g id : float option =
+  match const_of g id with
+  | Some t when Nd.numel t = 1 && Dtype.is_float (Nd.dtype t) ->
+      Some (Nd.to_float t 0)
+  | _ -> None

@@ -1,0 +1,1 @@
+lib/smt/formula.ml: Expr Fmt List Stdlib

@@ -1,0 +1,1 @@
+lib/smt/model.ml: Expr Fmt Formula Int List Map

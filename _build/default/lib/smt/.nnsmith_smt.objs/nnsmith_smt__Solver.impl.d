@@ -1,0 +1,1 @@
+lib/smt/solver.ml: Expr Formula Hashtbl Int Interval List Map Model Option Random

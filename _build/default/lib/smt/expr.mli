@@ -1,0 +1,79 @@
+(** Symbolic integer expressions.
+
+    Operator specifications describe tensor shapes and attributes with these
+    expressions; the {!Solver} assigns concrete integers to the variables.
+    This is the OCaml stand-in for the integer-arithmetic fragment of Z3 the
+    paper relies on. *)
+
+(** A symbolic integer variable.  [lo]/[hi] give the variable's default
+    domain, refined later by constraints. *)
+type var = private {
+  id : int;  (** unique, allocation order *)
+  name : string;  (** human-readable, used in printing *)
+  lo : int;  (** default domain lower bound *)
+  hi : int;  (** default domain upper bound *)
+}
+
+type t =
+  | Const of int
+  | Var of var
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t  (** floor division; solver additionally requires divisor <> 0 *)
+  | Mod of t * t
+  | Neg of t
+  | Min of t * t
+  | Max of t * t
+
+val fresh : ?lo:int -> ?hi:int -> string -> t
+(** [fresh name] allocates a new variable.  The default domain is
+    [\[dim_min, dim_max\]] = [\[1, 65536\]], suitable for tensor dimensions. *)
+
+val fresh_var : ?lo:int -> ?hi:int -> string -> var
+(** Like {!fresh} but returns the variable record itself. *)
+
+val dim_min : int
+val dim_max : int
+(** Default domain bounds for dimension-like variables. *)
+
+val int : int -> t
+(** [int n] is [Const n]. *)
+
+val zero : t
+val one : t
+
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val ( / ) : t -> t -> t
+val ( mod ) : t -> t -> t
+(** Smart constructors: fold constants and apply unit/zero laws eagerly, so
+    that expressions stay small during incremental generation. *)
+
+val neg : t -> t
+val min_ : t -> t -> t
+val max_ : t -> t -> t
+
+val product : t list -> t
+(** Product of a list; [product \[\]] is [one].  Used for element counts. *)
+
+val sum : t list -> t
+
+val vars : t -> var list
+(** All distinct variables occurring in the expression, in id order. *)
+
+val is_const : t -> int option
+
+val eval : (var -> int) -> t -> int
+(** Evaluate under an assignment.  Division/modulo by zero raise
+    [Division_by_zero]; floor semantics match the solver's. *)
+
+val fdiv : int -> int -> int
+val fmod : int -> int -> int
+(** Floor division / modulo on concrete ints ([fdiv (-7) 2 = -4]). *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,68 @@
+type t = { lo : int; hi : int }
+
+let big = 1 lsl 55
+let clamp x = if x > big then big else if x < -big then -big else x
+
+let make lo hi =
+  if lo > hi then invalid_arg "Interval.make: lo > hi";
+  { lo = clamp lo; hi = clamp hi }
+
+let make_opt lo hi = if lo > hi then None else Some (make lo hi)
+let top = { lo = -big; hi = big }
+let point n = make n n
+let is_point i = if i.lo = i.hi then Some i.lo else None
+let mem n i = i.lo <= n && n <= i.hi
+let width i = clamp (i.hi - i.lo)
+
+let inter a b =
+  let lo = max a.lo b.lo and hi = min a.hi b.hi in
+  if lo > hi then None else Some { lo; hi }
+
+let hull a b = { lo = min a.lo b.lo; hi = max a.hi b.hi }
+
+(* Saturating scalar ops: all operands are within [-big, big], so sums fit in
+   native ints; only products can overflow, checked by division. *)
+let sat_add a b = clamp (a + b)
+
+let sat_mul a b =
+  if a = 0 || b = 0 then 0
+  else
+    let p = a * b in
+    if p / a <> b then if (a > 0) = (b > 0) then big else -big else clamp p
+
+let add a b = { lo = sat_add a.lo b.lo; hi = sat_add a.hi b.hi }
+let sub a b = { lo = sat_add a.lo (-b.hi); hi = sat_add a.hi (-b.lo) }
+let neg a = { lo = -a.hi; hi = -a.lo }
+
+let of_corners xs =
+  match xs with
+  | [] -> top
+  | x :: rest ->
+      let lo = List.fold_left min x rest and hi = List.fold_left max x rest in
+      { lo = clamp lo; hi = clamp hi }
+
+let mul a b =
+  of_corners
+    [ sat_mul a.lo b.lo; sat_mul a.lo b.hi; sat_mul a.hi b.lo; sat_mul a.hi b.hi ]
+
+let min_ a b = { lo = min a.lo b.lo; hi = min a.hi b.hi }
+let max_ a b = { lo = max a.lo b.lo; hi = max a.hi b.hi }
+
+let div a b =
+  if b.lo <= 0 && b.hi >= 0 then top
+  else
+    of_corners
+      [
+        Expr.fdiv a.lo b.lo;
+        Expr.fdiv a.lo b.hi;
+        Expr.fdiv a.hi b.lo;
+        Expr.fdiv a.hi b.hi;
+      ]
+
+let rem _ b =
+  if b.lo >= 1 then { lo = 0; hi = b.hi - 1 }
+  else if b.hi <= -1 then { lo = b.lo + 1; hi = 0 }
+  else top
+
+let equal a b = a.lo = b.lo && a.hi = b.hi
+let pp ppf i = Fmt.pf ppf "[%d, %d]" i.lo i.hi

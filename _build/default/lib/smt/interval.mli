@@ -1,0 +1,45 @@
+(** Closed integer intervals with saturating arithmetic.
+
+    The solver narrows variable domains with these; bounds are clamped to
+    [+-big] so that products of large dimensions cannot overflow native
+    ints. *)
+
+type t = private { lo : int; hi : int }
+(** Invariant: [lo <= hi].  Empty intervals are represented as [None] at use
+    sites. *)
+
+val big : int
+(** Magnitude at which bounds saturate. *)
+
+val make : int -> int -> t
+(** [make lo hi] clamps both bounds; raises [Invalid_argument] if
+    [lo > hi]. *)
+
+val make_opt : int -> int -> t option
+(** Like {!make} but returns [None] when empty. *)
+
+val top : t
+val point : int -> t
+val is_point : t -> int option
+val mem : int -> t -> bool
+val width : t -> int
+(** [hi - lo], saturating. *)
+
+val inter : t -> t -> t option
+val hull : t -> t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val neg : t -> t
+val min_ : t -> t -> t
+val max_ : t -> t -> t
+
+val div : t -> t -> t
+(** Floor-division bounds.  When the divisor interval contains 0 the result
+    is conservatively {!top}. *)
+
+val rem : t -> t -> t
+(** Floor-modulo bounds, conservative. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

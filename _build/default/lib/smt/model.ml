@@ -1,0 +1,19 @@
+module Imap = Map.Make (Int)
+
+type t = (Expr.var * int) Imap.t
+
+let empty = Imap.empty
+let add (v : Expr.var) n m = Imap.add v.id (v, n) m
+
+let find m (v : Expr.var) =
+  match Imap.find_opt v.id m with Some (_, n) -> Some n | None -> None
+
+let find_exn m (v : Expr.var) = snd (Imap.find v.id m)
+let bindings m = List.map snd (Imap.bindings m)
+let cardinal = Imap.cardinal
+let eval_expr m e = Expr.eval (find_exn m) e
+let eval_formula m f = Formula.eval (find_exn m) f
+
+let pp ppf m =
+  let pp_binding ppf ((v : Expr.var), n) = Fmt.pf ppf "%s#%d = %d" v.name v.id n in
+  Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any "; ") pp_binding) (bindings m)

@@ -1,0 +1,18 @@
+(** Satisfying assignments produced by the {!Solver}. *)
+
+type t
+
+val empty : t
+val add : Expr.var -> int -> t -> t
+val find : t -> Expr.var -> int option
+val find_exn : t -> Expr.var -> int
+(** @raise Not_found if the variable is unassigned. *)
+
+val bindings : t -> (Expr.var * int) list
+val cardinal : t -> int
+
+val eval_expr : t -> Expr.t -> int
+(** @raise Not_found on unassigned variables. *)
+
+val eval_formula : t -> Formula.t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,418 @@
+module Imap = Map.Make (Int)
+
+type result = Sat | Unsat | Unknown
+
+type t = {
+  mutable frames : Formula.t list list;  (* head = most recent frame *)
+  mutable cached_model : Model.t option;
+  mutable last_steps : int;
+  max_steps : int;
+  rng : Random.State.t;
+}
+
+let create ?(max_steps = 2000) ?(seed = 0x5eed) () =
+  {
+    frames = [ [] ];
+    cached_model = None;
+    last_steps = 0;
+    max_steps;
+    rng = Random.State.make [| seed |];
+  }
+
+let push s = s.frames <- [] :: s.frames
+
+let pop s =
+  match s.frames with
+  | [] | [ _ ] -> invalid_arg "Solver.pop: empty frame stack"
+  | _ :: rest -> s.frames <- rest
+
+let assert_ s f =
+  match s.frames with
+  | frame :: rest -> s.frames <- (f :: frame) :: rest
+  | [] -> assert false
+
+let assert_all s fs = List.iter (assert_ s) fs
+let assertions s = List.concat_map List.rev (List.rev s.frames)
+
+(* ------------------------------------------------------------------ *)
+(* Negation normal form: push [Not] down to (complemented) atoms.      *)
+
+let complement c a b =
+  match (c : Formula.cmp) with
+  | Formula.Eq -> Formula.Cmp (Ne, a, b)
+  | Ne -> Cmp (Eq, a, b)
+  | Le -> Cmp (Lt, b, a)
+  | Lt -> Cmp (Le, b, a)
+
+let rec nnf pos (f : Formula.t) : Formula.t =
+  match f with
+  | True -> if pos then True else False
+  | False -> if pos then False else True
+  | Cmp (c, a, b) -> if pos then f else complement c a b
+  | And fs ->
+      let gs = List.map (nnf pos) fs in
+      if pos then Formula.and_ gs else Formula.or_ gs
+  | Or fs ->
+      let gs = List.map (nnf pos) fs in
+      if pos then Formula.or_ gs else Formula.and_ gs
+  | Not g -> nnf (not pos) g
+
+(* Split an NNF formula into conjunctive atoms and residual disjunctions.
+   Raises [Exit] on a top-level [False]. *)
+let rec split_conj atoms ors (f : Formula.t) =
+  match f with
+  | True -> (atoms, ors)
+  | False -> raise Exit
+  | Cmp _ -> (f :: atoms, ors)
+  | And fs -> List.fold_left (fun (a, o) g -> split_conj a o g) (atoms, ors) fs
+  | Or _ -> (atoms, f :: ors)
+  | Not _ -> assert false (* eliminated by nnf *)
+
+(* ------------------------------------------------------------------ *)
+(* Interval propagation (HC4 revise).                                  *)
+
+type domains = (Expr.var * Interval.t) Imap.t
+
+exception Conflict
+
+let mk lo hi =
+  match Interval.make_opt lo hi with Some i -> i | None -> raise Conflict
+
+let dom (d : domains) (v : Expr.var) =
+  match Imap.find_opt v.id d with
+  | Some (_, i) -> i
+  | None -> Interval.make v.lo v.hi
+
+let rec fwd d (e : Expr.t) : Interval.t =
+  match e with
+  | Const n -> Interval.point n
+  | Var v -> dom d v
+  | Add (a, b) -> Interval.add (fwd d a) (fwd d b)
+  | Sub (a, b) -> Interval.sub (fwd d a) (fwd d b)
+  | Mul (a, b) -> Interval.mul (fwd d a) (fwd d b)
+  | Div (a, b) -> Interval.div (fwd d a) (fwd d b)
+  | Mod (a, b) -> Interval.rem (fwd d a) (fwd d b)
+  | Neg a -> Interval.neg (fwd d a)
+  | Min (a, b) -> Interval.min_ (fwd d a) (fwd d b)
+  | Max (a, b) -> Interval.max_ (fwd d a) (fwd d b)
+
+let cdiv a b = -Expr.fdiv (-a) b
+
+(* Narrow [x] given that x * y ∈ [tgt] with y ∈ [iy]. *)
+let mul_arg_target (iy : Interval.t) (tgt : Interval.t) : Interval.t option =
+  if iy.lo <= 0 && iy.hi >= 0 then None
+  else
+    let corners f =
+      [ f tgt.lo iy.lo; f tgt.lo iy.hi; f tgt.hi iy.lo; f tgt.hi iy.hi ]
+    in
+    let lo = List.fold_left min max_int (corners Expr.fdiv)
+    and hi = List.fold_left max min_int (corners cdiv) in
+    Interval.make_opt lo hi
+
+let changed = ref false
+
+let rec refine (d : domains) (e : Expr.t) (tgt : Interval.t) : domains =
+  match Interval.inter (fwd d e) tgt with
+  | None -> raise Conflict
+  | Some tgt -> (
+      match e with
+      | Const _ -> d
+      | Var v ->
+          let old = dom d v in
+          if Interval.equal old tgt then d
+          else begin
+            changed := true;
+            Imap.add v.id (v, tgt) d
+          end
+      | Add (x, y) ->
+          let d = refine d x (Interval.sub tgt (fwd d y)) in
+          refine d y (Interval.sub tgt (fwd d x))
+      | Sub (x, y) ->
+          let d = refine d x (Interval.add tgt (fwd d y)) in
+          refine d y (Interval.sub (fwd d x) tgt)
+      | Neg x -> refine d x (Interval.neg tgt)
+      | Mul (x, y) ->
+          let d =
+            match mul_arg_target (fwd d y) tgt with
+            | Some t -> refine d x t
+            | None -> d
+          in
+          (match mul_arg_target (fwd d x) tgt with
+          | Some t -> refine d y t
+          | None -> d)
+      | Div (x, y) ->
+          (* floor(x / y) ∈ tgt; narrow x when y is known positive. *)
+          let iy = fwd d y in
+          if iy.lo >= 1 then
+            let lo_x = min (tgt.lo * iy.lo) (tgt.lo * iy.hi)
+            and hi_x =
+              max ((tgt.hi + 1) * iy.lo) ((tgt.hi + 1) * iy.hi) - 1
+            in
+            refine d x (mk lo_x hi_x)
+          else d
+      | Mod (_, _) -> d
+      | Min (x, y) ->
+          (* both operands are >= tgt.lo; at least one is <= tgt.hi *)
+          let d = refine d x (mk tgt.lo Interval.big) in
+          let d = refine d y (mk tgt.lo Interval.big) in
+          let ix = fwd d x and iy = fwd d y in
+          if ix.lo > tgt.hi then refine d y (mk (-Interval.big) tgt.hi)
+          else if iy.lo > tgt.hi then refine d x (mk (-Interval.big) tgt.hi)
+          else d
+      | Max (x, y) ->
+          let d = refine d x (mk (-Interval.big) tgt.hi) in
+          let d = refine d y (mk (-Interval.big) tgt.hi) in
+          let ix = fwd d x and iy = fwd d y in
+          if ix.hi < tgt.lo then refine d y (mk tgt.lo Interval.big)
+          else if iy.hi < tgt.lo then refine d x (mk tgt.lo Interval.big)
+          else d)
+
+let narrow_atom d (f : Formula.t) =
+  match f with
+  | Cmp (Le, a, b) ->
+      let ib = fwd d b in
+      let d = refine d a (mk (-Interval.big) ib.hi) in
+      let ia = fwd d a in
+      refine d b (mk ia.lo Interval.big)
+  | Cmp (Lt, a, b) ->
+      let ib = fwd d b in
+      let d = refine d a (mk (-Interval.big) (ib.hi - 1)) in
+      let ia = fwd d a in
+      refine d b (mk (ia.lo + 1) Interval.big)
+  | Cmp (Eq, a, b) -> (
+      match Interval.inter (fwd d a) (fwd d b) with
+      | None -> raise Conflict
+      | Some m ->
+          let d = refine d a m in
+          refine d b m)
+  | Cmp (Ne, a, b) -> (
+      let ia = fwd d a and ib = fwd d b in
+      match (Interval.is_point ia, Interval.is_point ib) with
+      | Some x, Some y -> if x = y then raise Conflict else d
+      | Some x, None ->
+          if x = ib.lo then refine d b (mk (ib.lo + 1) ib.hi)
+          else if x = ib.hi then refine d b (mk ib.lo (ib.hi - 1))
+          else d
+      | None, Some y ->
+          if y = ia.lo then refine d a (mk (ia.lo + 1) ia.hi)
+          else if y = ia.hi then refine d a (mk ia.lo (ia.hi - 1))
+          else d
+      | None, None -> d)
+  | True | False | And _ | Or _ | Not _ -> d
+
+(* Three-valued evaluation under interval domains. *)
+type tv = T | F | U
+
+let rec tv_eval d (f : Formula.t) : tv =
+  match f with
+  | True -> T
+  | False -> F
+  | Cmp (c, a, b) -> (
+      let ia = fwd d a and ib = fwd d b in
+      match c with
+      | Le -> if ia.hi <= ib.lo then T else if ia.lo > ib.hi then F else U
+      | Lt -> if ia.hi < ib.lo then T else if ia.lo >= ib.hi then F else U
+      | Eq -> (
+          match Interval.inter ia ib with
+          | None -> F
+          | Some _ -> (
+              match (Interval.is_point ia, Interval.is_point ib) with
+              | Some x, Some y when x = y -> T
+              | _ -> U))
+      | Ne -> (
+          match Interval.inter ia ib with
+          | None -> T
+          | Some _ -> (
+              match (Interval.is_point ia, Interval.is_point ib) with
+              | Some x, Some y when x = y -> F
+              | _ -> U)))
+  | And fs ->
+      List.fold_left
+        (fun acc g ->
+          match (acc, tv_eval d g) with
+          | F, _ | _, F -> F
+          | U, _ | _, U -> U
+          | T, T -> T)
+        T fs
+  | Or fs ->
+      List.fold_left
+        (fun acc g ->
+          match (acc, tv_eval d g) with
+          | T, _ | _, T -> T
+          | U, _ | _, U -> U
+          | F, F -> F)
+        F fs
+  | Not g -> ( match tv_eval d g with T -> F | F -> T | U -> U)
+
+(* One propagation pass: narrow with every atom, then exploit disjunctions
+   whose branches are all refuted but one. *)
+let propagate_once d atoms ors =
+  let d = List.fold_left narrow_atom d atoms in
+  let use_or d (orf : Formula.t) =
+    match orf with
+    | Or disjuncts -> (
+        match List.filter (fun g -> tv_eval d g <> F) disjuncts with
+        | [] -> raise Conflict
+        | [ g ] -> (
+            match split_conj [] [] g with
+            | atoms', _nested -> List.fold_left narrow_atom d atoms'
+            | exception Exit -> raise Conflict)
+        | _ :: _ :: _ -> d)
+    | True | False | Cmp _ | And _ | Not _ -> d
+  in
+  List.fold_left use_or d ors
+
+let propagate d atoms ors =
+  let rec loop d rounds =
+    if rounds = 0 then d
+    else begin
+      changed := false;
+      let d = propagate_once d atoms ors in
+      if !changed then loop d (rounds - 1) else d
+    end
+  in
+  loop d 64
+
+(* ------------------------------------------------------------------ *)
+(* Backtracking search.                                                *)
+
+exception Step_limit
+
+let enumeration_width = 16
+
+let candidates rng (i : Interval.t) =
+  if Interval.width i <= enumeration_width then
+    List.init (i.hi - i.lo + 1) (fun k -> i.lo + k)
+  else
+    let r () = i.lo + Random.State.int rng (Interval.width i + 1) in
+    let mid = i.lo + ((i.hi - i.lo) / 2) in
+    [ i.lo; i.lo + 1; i.lo + 2; r (); r (); mid; i.hi ]
+    |> List.sort_uniq compare
+    |> List.filter (fun v -> Interval.mem v i)
+    (* keep the lower bound first: this reproduces Z3's boundary-value bias *)
+    |> List.sort compare
+
+let all_vars formulas =
+  List.concat_map Formula.vars formulas
+  |> List.sort_uniq (fun (a : Expr.var) b -> compare a.id b.id)
+
+(* Values mentioned in equality atoms under a disjunction are natural
+   candidates for their variable (interval propagation cannot act on a
+   disjunct, but the value is likely the only way to satisfy it). *)
+let disjunct_hints formulas =
+  let hints : (int, int list) Hashtbl.t = Hashtbl.create 8 in
+  let add (v : Expr.var) c =
+    let prev = Option.value ~default:[] (Hashtbl.find_opt hints v.id) in
+    if not (List.mem c prev) then Hashtbl.replace hints v.id (c :: prev)
+  in
+  let rec scan under_or (f : Formula.t) =
+    match f with
+    | Formula.Cmp (Formula.Eq, Expr.Var v, Expr.Const c)
+    | Formula.Cmp (Formula.Eq, Expr.Const c, Expr.Var v)
+      when under_or ->
+        add v c
+    | Formula.And fs -> List.iter (scan under_or) fs
+    | Formula.Or fs -> List.iter (scan true) fs
+    | Formula.Not g -> scan under_or g
+    | Formula.True | Formula.False | Formula.Cmp _ -> ()
+  in
+  List.iter (scan false) formulas;
+  hints
+
+let extract_model vars d =
+  List.fold_left
+    (fun m v ->
+      let i = dom d v in
+      Model.add v i.Interval.lo m)
+    Model.empty vars
+
+let solve_formulas ~max_steps ~rng formulas : result * Model.t option * int =
+  let steps = ref 0 in
+  let incomplete = ref false in
+  let nnf_formulas = List.map (nnf true) formulas in
+  match
+    List.fold_left (fun (a, o) f -> split_conj a o f) ([], []) nnf_formulas
+  with
+  | exception Exit -> (Unsat, None, 0)
+  | atoms, ors -> (
+      let vars = all_vars formulas in
+      let hints = disjunct_hints nnf_formulas in
+      let check_leaf d =
+        let m = extract_model vars d in
+        if List.for_all (Model.eval_formula m) formulas then Some m else None
+      in
+      let rec search d =
+        incr steps;
+        if !steps > max_steps then raise Step_limit;
+        match propagate d atoms ors with
+        | exception Conflict -> None
+        | d -> (
+            let unassigned =
+              List.filter_map
+                (fun v ->
+                  let i = dom d v in
+                  match Interval.is_point i with
+                  | Some _ -> None
+                  | None -> Some (v, i))
+                vars
+            in
+            match unassigned with
+            | [] -> check_leaf d
+            | first :: rest ->
+                let v, i =
+                  List.fold_left
+                    (fun ((_, bi) as best) ((_, ci) as cur) ->
+                      if Interval.width ci < Interval.width bi then cur
+                      else best)
+                    first rest
+                in
+                if Interval.width i > enumeration_width then incomplete := true;
+                let hinted =
+                  Option.value ~default:[] (Hashtbl.find_opt hints v.id)
+                  |> List.filter (fun c -> Interval.mem c i)
+                in
+                let try_value found value =
+                  match found with
+                  | Some _ -> found
+                  | None -> (
+                      match refine d (Var v) (Interval.point value) with
+                      | d' -> search d'
+                      | exception Conflict -> None)
+                in
+                List.fold_left try_value None
+                  (List.sort_uniq compare (hinted @ candidates rng i)))
+      in
+      match search Imap.empty with
+      | Some m -> (Sat, Some m, !steps)
+      | None -> ((if !incomplete then Unknown else Unsat), None, !steps)
+      | exception Step_limit -> (Unknown, None, !steps))
+
+let check s =
+  let result, m, steps =
+    solve_formulas ~max_steps:s.max_steps ~rng:s.rng (assertions s)
+  in
+  s.last_steps <- steps;
+  (match m with Some _ -> s.cached_model <- m | None -> ());
+  result
+
+let try_add_constraints s fs =
+  push s;
+  assert_all s fs;
+  match check s with
+  | Sat ->
+      (* merge the tentative frame into its parent so the constraints stay *)
+      (match s.frames with
+      | tentative :: parent :: rest -> s.frames <- (tentative @ parent) :: rest
+      | [] | [ _ ] -> assert false);
+      true
+  | Unsat | Unknown ->
+      pop s;
+      false
+
+let model s = s.cached_model
+let check_steps s = s.last_steps
+
+let solve ?max_steps ?seed formulas =
+  let s = create ?max_steps ?seed () in
+  assert_all s formulas;
+  match check s with Sat -> model s | Unsat | Unknown -> None

@@ -1,0 +1,49 @@
+(** An incremental constraint solver for quantifier-free integer arithmetic
+    over bounded variables.
+
+    This is the stand-in for Z3 in the paper's Algorithm 1.  The fragment it
+    decides — (non)linear arithmetic over small integer shape variables — is
+    solved by interval propagation (HC4-style narrowing) combined with
+    bounded backtracking search.  The search tries the lower bound of a
+    domain first, so unconstrained dimensions concretise to their minimum;
+    this reproduces the boundary-value model bias the paper observed in Z3
+    and motivates attribute binning (Algorithm 2). *)
+
+type t
+
+type result = Sat | Unsat | Unknown
+(** [Unknown] means the step budget was exhausted; callers treat it as
+    "cannot insert here", which is safe for generation. *)
+
+val create : ?max_steps:int -> ?seed:int -> unit -> t
+(** [max_steps] bounds the number of search-node expansions per [check]
+    (default 2000). *)
+
+val push : t -> unit
+val pop : t -> unit
+(** Assertion frames, as in SMT-LIB. [pop] on an empty stack raises
+    [Invalid_argument]. *)
+
+val assert_ : t -> Formula.t -> unit
+val assert_all : t -> Formula.t list -> unit
+(** Add constraints without checking satisfiability. *)
+
+val assertions : t -> Formula.t list
+(** All currently asserted formulas. *)
+
+val check : t -> result
+(** Decide the conjunction of all assertions; caches the model on [Sat]. *)
+
+val try_add_constraints : t -> Formula.t list -> bool
+(** The operation Algorithm 1 relies on: tentatively assert the formulas and
+    check; on [Sat] they are kept (and the model cached), otherwise the
+    solver state is rolled back and the result is [false]. *)
+
+val model : t -> Model.t option
+(** Model from the most recent successful [check]/[try_add_constraints]. *)
+
+val check_steps : t -> int
+(** Search-node expansions performed by the last [check] (for benchmarks). *)
+
+val solve : ?max_steps:int -> ?seed:int -> Formula.t list -> Model.t option
+(** One-shot convenience wrapper. *)

@@ -1,0 +1,1 @@
+lib/tensor/dtype.ml: Fmt Int32 Stdlib

@@ -1,0 +1,1 @@
+lib/tensor/linalg.ml: Array Dtype Float Fmt Nd Printf Shape Transform

@@ -1,0 +1,1 @@
+lib/tensor/nd.ml: Array Dtype Float Fmt Int64 List Random Shape String

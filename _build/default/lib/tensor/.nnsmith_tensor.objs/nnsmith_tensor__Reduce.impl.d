@@ -1,0 +1,1 @@
+lib/tensor/reduce.ml: Array Dtype Float Fun List Nd Printf Shape

@@ -1,0 +1,1 @@
+lib/tensor/transform.ml: Array Dtype Fmt Fun List Nd Shape

@@ -1,0 +1,1 @@
+lib/tensor/transform.mli: Nd Shape

@@ -1,0 +1,43 @@
+type t = F32 | F64 | I32 | I64 | Bool
+
+let all = [ F32; F64; I32; I64; Bool ]
+let floats = [ F32; F64 ]
+let ints = [ I32; I64 ]
+let is_float = function F32 | F64 -> true | I32 | I64 | Bool -> false
+let is_int = function I32 | I64 -> true | F32 | F64 | Bool -> false
+let equal (a : t) b = a = b
+let compare = Stdlib.compare
+let round_f32 x = Int32.float_of_bits (Int32.bits_of_float x)
+
+let wrap_i32 n =
+  let m = n land 0xFFFFFFFF in
+  if m land 0x80000000 <> 0 then m - (1 lsl 32) else m
+
+let normalize_float t x =
+  match t with
+  | F32 -> round_f32 x
+  | F64 -> x
+  | I32 | I64 | Bool -> invalid_arg "Dtype.normalize_float: not a float dtype"
+
+let normalize_int t n =
+  match t with
+  | I32 -> wrap_i32 n
+  | I64 -> n
+  | F32 | F64 | Bool -> invalid_arg "Dtype.normalize_int: not an int dtype"
+
+let to_string = function
+  | F32 -> "f32"
+  | F64 -> "f64"
+  | I32 -> "i32"
+  | I64 -> "i64"
+  | Bool -> "bool"
+
+let of_string = function
+  | "f32" -> Some F32
+  | "f64" -> Some F64
+  | "i32" -> Some I32
+  | "i64" -> Some I64
+  | "bool" -> Some Bool
+  | _ -> None
+
+let pp ppf t = Fmt.string ppf (to_string t)

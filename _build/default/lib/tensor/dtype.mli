@@ -1,0 +1,37 @@
+(** Tensor element types.
+
+    F32 values are rounded to single precision after every kernel, and I32
+    values wrap at 32 bits, so the interpreter exhibits the precision and
+    overflow behaviour that several of the paper's bug classes (int32/int64
+    mismatches, Clip dtype exports) depend on. *)
+
+type t = F32 | F64 | I32 | I64 | Bool
+
+val all : t list
+val floats : t list
+(** [\[F32; F64\]] *)
+
+val ints : t list
+(** [\[I32; I64\]] *)
+
+val is_float : t -> bool
+val is_int : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val round_f32 : float -> float
+(** Round to the nearest representable single-precision value. *)
+
+val wrap_i32 : int -> int
+(** Wrap to signed 32-bit two's complement. *)
+
+val normalize_float : t -> float -> float
+(** Identity for F64; {!round_f32} for F32; raises [Invalid_argument] for
+    non-float dtypes. *)
+
+val normalize_int : t -> int -> int
+(** Identity for I64; {!wrap_i32} for I32. *)
+
+val to_string : t -> string
+val of_string : string -> t option
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,32 @@
+(** Linear-algebra kernels: batched matmul, 2-D convolution, 2-D pooling.
+    All operate on float tensors in NCHW layout. *)
+
+val matmul : Nd.t -> Nd.t -> Nd.t
+(** Numpy semantics: rank-1 operands are promoted (prepended/appended a unit
+    dim that is squeezed from the result); leading batch dims broadcast.
+    Raises [Invalid_argument] on contraction-size mismatch. *)
+
+val conv2d :
+  ?bias:Nd.t ->
+  stride:int * int ->
+  padding:int * int ->
+  dilation:int * int ->
+  Nd.t ->
+  Nd.t ->
+  Nd.t
+(** [conv2d ~stride ~padding ~dilation input weight] with input
+    [n,c,h,w] and weight [f,c,kh,kw]; output [n,f,oh,ow] where
+    [oh = (h + 2*ph - dh*(kh-1) - 1) / sh + 1]. *)
+
+type pool_kind = Max_pool | Avg_pool
+
+val pool2d :
+  kind:pool_kind ->
+  kernel:int * int ->
+  stride:int * int ->
+  padding:int * int ->
+  Nd.t ->
+  Nd.t
+(** 2-D pooling over NCHW input.  [Avg_pool] excludes padding from the
+    divisor (ONNX [count_include_pad = 0]); [Max_pool] ignores padded
+    cells. *)

@@ -1,0 +1,123 @@
+(** Dense row-major NDArrays over {!Dtype} elements.
+
+    The representation is exposed so the kernel modules ({!Linalg},
+    {!Transform}, {!Reduce}) in this library can operate on raw buffers;
+    client code should treat values as immutable and build them through the
+    constructors here. *)
+
+type data = F of float array | I of int array | B of bool array
+
+type t = { dtype : Dtype.t; shape : Shape.t; data : data }
+
+val create : Dtype.t -> Shape.t -> t
+(** Zero-initialised. *)
+
+val init_f : Dtype.t -> Shape.t -> (int -> float) -> t
+(** Float tensor from a linear-index generator; values are normalised to the
+    dtype's precision.  Raises [Invalid_argument] on non-float dtypes. *)
+
+val init_i : Dtype.t -> Shape.t -> (int -> int) -> t
+val init_b : Shape.t -> (int -> bool) -> t
+
+val full_f : Dtype.t -> Shape.t -> float -> t
+val full_i : Dtype.t -> Shape.t -> int -> t
+val full_b : Shape.t -> bool -> t
+
+val scalar_f : Dtype.t -> float -> t
+val scalar_i : Dtype.t -> int -> t
+val scalar_b : bool -> t
+
+val of_floats : Dtype.t -> Shape.t -> float array -> t
+(** Copies and normalises. Length must equal [Shape.numel]. *)
+
+val of_ints : Dtype.t -> Shape.t -> int array -> t
+
+val numel : t -> int
+val rank : t -> int
+val dtype : t -> Dtype.t
+val shape : t -> Shape.t
+val copy : t -> t
+
+val get_f : t -> int -> float
+(** Linear read of a float tensor. *)
+
+val set_f : t -> int -> float -> unit
+val get_i : t -> int -> int
+val set_i : t -> int -> int -> unit
+val get_b : t -> int -> bool
+val set_b : t -> int -> bool -> unit
+
+val to_float : t -> int -> float
+(** Linear read of any dtype as float (bool reads as 0/1). *)
+
+val to_int : t -> int -> int
+(** Linear read of any dtype as int (floats truncate toward zero; NaN reads
+    as 0). *)
+
+val float_data : t -> float array
+(** Underlying buffer of a float tensor (shared, not copied).
+    Raises [Invalid_argument] otherwise. *)
+
+val map_f : ?dtype:Dtype.t -> (float -> float) -> t -> t
+(** Elementwise over a float tensor; result dtype defaults to the input's. *)
+
+val map_i : ?dtype:Dtype.t -> (int -> int) -> t -> t
+val map_b : (bool -> bool) -> t -> t
+
+val broadcast_offsets : src:Shape.t -> dst:Shape.t -> (int -> int)
+(** [broadcast_offsets ~src ~dst] maps a linear index in [dst] to the linear
+    index of the broadcast source element in [src].
+    Raises [Invalid_argument] when [src] does not broadcast to [dst]. *)
+
+val map2_f : Dtype.t -> (float -> float -> float) -> t -> t -> t
+(** Broadcasting binary op over float tensors; output has the broadcast
+    shape and the given dtype. *)
+
+val map2_i : Dtype.t -> (int -> int -> int) -> t -> t -> t
+val map2_b : (bool -> bool -> bool) -> t -> t -> t
+
+val cmp2 : (float -> float -> bool) -> t -> t -> t
+(** Broadcasting comparison over numeric tensors (read as float); output is
+    Bool. *)
+
+val where : t -> t -> t -> t
+(** [where cond a b]: three-way broadcasting select; [cond] must be Bool,
+    [a] and [b] must share a dtype. *)
+
+val cast : t -> Dtype.t -> t
+(** Float->int truncates toward zero; anything->bool tests [<> 0];
+    bool->number yields 0/1. *)
+
+val broadcast_to : t -> Shape.t -> t
+(** Materialised broadcast.  Raises [Invalid_argument] when impossible. *)
+
+val has_bad : t -> bool
+(** True when a float tensor contains a NaN or infinity; always false for
+    integer/bool tensors. *)
+
+val count_bad : t -> int
+
+val max_abs : t -> float
+(** Largest absolute value, reading any dtype as float; 0 for empty. *)
+
+val approx_equal : ?rtol:float -> ?atol:float -> t -> t -> bool
+(** Same dtype-kind, same shape, and elementwise
+    [|a - b| <= atol + rtol * max(|a|, |b|)].  NaNs compare equal to NaNs so
+    that two backends that both produce NaN are not flagged as a semantic
+    difference. *)
+
+val max_rel_error : t -> t -> float
+(** Diagnostic: largest [|a - b| / max(1, |a|, |b|)] over the elements;
+    [infinity] when shapes mismatch or exactly one side is NaN. *)
+
+val random_f : Random.State.t -> Dtype.t -> Shape.t -> lo:float -> hi:float -> t
+val random_i : Random.State.t -> Dtype.t -> Shape.t -> lo:int -> hi:int -> t
+val random_b : Random.State.t -> Shape.t -> t
+
+val equal : t -> t -> bool
+(** Structural: dtype, shape and bitwise-identical contents. *)
+
+val pp : Format.formatter -> t -> unit
+(** Shape, dtype and up to 8 leading elements. *)
+
+val to_string : t -> string

@@ -1,0 +1,136 @@
+let normalize_axes r axes =
+  let axes = match axes with [] -> List.init r Fun.id | _ -> axes in
+  List.iter
+    (fun a -> if a < 0 || a >= r then invalid_arg "Reduce: bad axis")
+    axes;
+  List.sort_uniq compare axes
+
+let out_shape_of shape axes keepdims =
+  let r = Array.length shape in
+  if keepdims then
+    Array.init r (fun k -> if List.mem k axes then 1 else shape.(k))
+  else begin
+    let kept = List.filter (fun k -> not (List.mem k axes)) (List.init r Fun.id) in
+    Array.of_list (List.map (fun k -> shape.(k)) kept)
+  end
+
+(* Iterate the reduced window for every output cell.  [reduce_cell] receives
+   a fold over source linear indices. *)
+let reduce_gen (t : Nd.t) axes keepdims ~init_of ~combine_f ~finish_f =
+  let r = Nd.rank t in
+  let axes = normalize_axes r axes in
+  let shape = t.Nd.shape in
+  let out_shape = out_shape_of shape axes keepdims in
+  let kept = List.filter (fun k -> not (List.mem k axes)) (List.init r Fun.id) in
+  let window = List.fold_left (fun acc a -> acc * shape.(a)) 1 axes in
+  let axes_arr = Array.of_list axes in
+  let kept_arr = Array.of_list kept in
+  let strides = Shape.strides shape in
+  (* shape of the iteration space over kept dims, used to decode out index *)
+  let kept_shape = Array.map (fun k -> shape.(k)) kept_arr in
+  let axes_shape = Array.map (fun a -> shape.(a)) axes_arr in
+  Nd.init_f
+    (match t.Nd.dtype with Dtype.F32 | F64 -> t.Nd.dtype | I32 | I64 | Bool -> Dtype.F64)
+    out_shape
+    (fun oi ->
+      let kidx = Shape.unravel kept_shape oi in
+      let base = ref 0 in
+      Array.iteri (fun j k -> base := !base + (kidx.(j) * strides.(k))) kept_arr;
+      let acc = ref (init_of ()) in
+      for w = 0 to window - 1 do
+        let widx = Shape.unravel axes_shape w in
+        let off = ref !base in
+        Array.iteri (fun j a -> off := !off + (widx.(j) * strides.(a))) axes_arr;
+        acc := combine_f !acc (Nd.to_float t !off)
+      done;
+      finish_f !acc window)
+
+let require_numeric name (t : Nd.t) =
+  if t.Nd.dtype = Dtype.Bool then
+    invalid_arg (Printf.sprintf "Reduce.%s: bool tensor" name)
+
+let combine_nan_aware f a b =
+  if Float.is_nan a || Float.is_nan b then Float.nan else f a b
+
+let sum ?(keepdims = false) ~axes t =
+  require_numeric "sum" t;
+  let out =
+    reduce_gen t axes keepdims
+      ~init_of:(fun () -> 0.)
+      ~combine_f:( +. )
+      ~finish_f:(fun acc _ -> acc)
+  in
+  if Dtype.is_int t.Nd.dtype then Nd.cast out t.Nd.dtype else out
+
+let mean ?(keepdims = false) ~axes t =
+  if not (Dtype.is_float t.Nd.dtype) then invalid_arg "Reduce.mean: not float";
+  reduce_gen t axes keepdims
+    ~init_of:(fun () -> 0.)
+    ~combine_f:( +. )
+    ~finish_f:(fun acc w -> acc /. float_of_int w)
+
+let prod ?(keepdims = false) ~axes t =
+  require_numeric "prod" t;
+  let out =
+    reduce_gen t axes keepdims
+      ~init_of:(fun () -> 1.)
+      ~combine_f:( *. )
+      ~finish_f:(fun acc _ -> acc)
+  in
+  if Dtype.is_int t.Nd.dtype then Nd.cast out t.Nd.dtype else out
+
+let max_ ?(keepdims = false) ~axes t =
+  require_numeric "max" t;
+  let out =
+    reduce_gen t axes keepdims
+      ~init_of:(fun () -> Float.neg_infinity)
+      ~combine_f:(combine_nan_aware Float.max)
+      ~finish_f:(fun acc _ -> acc)
+  in
+  if Dtype.is_int t.Nd.dtype then Nd.cast out t.Nd.dtype else out
+
+let min_ ?(keepdims = false) ~axes t =
+  require_numeric "min" t;
+  let out =
+    reduce_gen t axes keepdims
+      ~init_of:(fun () -> Float.infinity)
+      ~combine_f:(combine_nan_aware Float.min)
+      ~finish_f:(fun acc _ -> acc)
+  in
+  if Dtype.is_int t.Nd.dtype then Nd.cast out t.Nd.dtype else out
+
+let arg_extremum ~better ?(keepdims = false) ~axis (t : Nd.t) =
+  require_numeric "arg" t;
+  let r = Nd.rank t in
+  if axis < 0 || axis >= r then invalid_arg "Reduce.arg: bad axis";
+  let shape = t.Nd.shape in
+  let out_shape = out_shape_of shape [ axis ] keepdims in
+  let kept = List.filter (fun k -> k <> axis) (List.init r Fun.id) in
+  let kept_arr = Array.of_list kept in
+  let kept_shape = Array.map (fun k -> shape.(k)) kept_arr in
+  let strides = Shape.strides shape in
+  Nd.init_i Dtype.I64 out_shape (fun oi ->
+      let kidx = Shape.unravel kept_shape oi in
+      let base = ref 0 in
+      Array.iteri (fun j k -> base := !base + (kidx.(j) * strides.(k))) kept_arr;
+      let best = ref 0 and best_v = ref (Nd.to_float t !base) in
+      for j = 1 to shape.(axis) - 1 do
+        let v = Nd.to_float t (!base + (j * strides.(axis))) in
+        if (not (Float.is_nan !best_v)) && (Float.is_nan v || better v !best_v)
+        then begin
+          best := j;
+          best_v := v
+        end
+      done;
+      !best)
+
+let argmax ?keepdims ~axis t = arg_extremum ~better:( > ) ?keepdims ~axis t
+let argmin ?keepdims ~axis t = arg_extremum ~better:( < ) ?keepdims ~axis t
+
+let softmax ~axis (t : Nd.t) =
+  if not (Dtype.is_float t.Nd.dtype) then invalid_arg "Reduce.softmax: not float";
+  let mx = max_ ~keepdims:true ~axes:[ axis ] t in
+  let shifted = Nd.map2_f t.Nd.dtype ( -. ) t mx in
+  let ex = Nd.map_f Float.exp shifted in
+  let total = sum ~keepdims:true ~axes:[ axis ] ex in
+  Nd.map2_f t.Nd.dtype ( /. ) ex total

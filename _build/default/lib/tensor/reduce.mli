@@ -1,0 +1,25 @@
+(** Reduction kernels: sum/mean/prod/max/min, argmax/argmin, softmax.
+
+    NaN propagates through all float reductions; [argmax]/[argmin] treat NaN
+    as the extreme value (first occurrence wins), matching the numpy/ONNX
+    behaviour the paper's ArgMax discussion relies on. *)
+
+val sum : ?keepdims:bool -> axes:int list -> Nd.t -> Nd.t
+(** Works for float and integer tensors; an empty axis list reduces all
+    axes. *)
+
+val mean : ?keepdims:bool -> axes:int list -> Nd.t -> Nd.t
+(** Float tensors only. *)
+
+val prod : ?keepdims:bool -> axes:int list -> Nd.t -> Nd.t
+val max_ : ?keepdims:bool -> axes:int list -> Nd.t -> Nd.t
+val min_ : ?keepdims:bool -> axes:int list -> Nd.t -> Nd.t
+
+val argmax : ?keepdims:bool -> axis:int -> Nd.t -> Nd.t
+(** Result dtype is I64. *)
+
+val argmin : ?keepdims:bool -> axis:int -> Nd.t -> Nd.t
+
+val softmax : axis:int -> Nd.t -> Nd.t
+(** Numerically-stabilised (max-shifted) softmax over one axis; float
+    tensors only. *)

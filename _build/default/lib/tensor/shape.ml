@@ -1,0 +1,65 @@
+type t = int array
+
+let scalar : t = [||]
+let rank = Array.length
+let numel s = Array.fold_left ( * ) 1 s
+let equal (a : t) b = a = b
+
+let strides s =
+  let n = rank s in
+  let st = Array.make n 1 in
+  for i = n - 2 downto 0 do
+    st.(i) <- st.(i + 1) * s.(i + 1)
+  done;
+  st
+
+let ravel s idx =
+  let st = strides s in
+  let off = ref 0 in
+  for i = 0 to rank s - 1 do
+    off := !off + (idx.(i) * st.(i))
+  done;
+  !off
+
+let unravel s off =
+  let st = strides s in
+  let idx = Array.make (rank s) 0 in
+  let rest = ref off in
+  for i = 0 to rank s - 1 do
+    idx.(i) <- !rest / st.(i);
+    rest := !rest mod st.(i)
+  done;
+  idx
+
+let broadcast a b =
+  let ra = rank a and rb = rank b in
+  let r = max ra rb in
+  let out = Array.make r 1 in
+  let ok = ref true in
+  for i = 0 to r - 1 do
+    let da = if i < r - ra then 1 else a.(i - (r - ra))
+    and db = if i < r - rb then 1 else b.(i - (r - rb)) in
+    if da = db || da = 1 || db = 1 then out.(i) <- max da db
+    else ok := false
+  done;
+  if !ok then Some out else None
+
+let broadcast_many = function
+  | [] -> None
+  | s :: rest ->
+      List.fold_left
+        (fun acc sh ->
+          match acc with None -> None | Some a -> broadcast a sh)
+        (Some s) rest
+
+let can_broadcast_to ~src ~dst =
+  match broadcast src dst with Some b -> equal b dst | None -> false
+
+let validate s = Array.for_all (fun d -> d >= 1) s
+
+let pp ppf s =
+  Fmt.pf ppf "[%a]" Fmt.(array ~sep:(any "x") int) s
+
+let to_string s = Fmt.str "%a" pp s
+let of_list = Array.of_list
+let to_list = Array.to_list

@@ -1,0 +1,36 @@
+(** Concrete tensor shapes and index arithmetic (row-major). *)
+
+type t = int array
+
+val scalar : t
+(** Rank-0 shape. *)
+
+val rank : t -> int
+val numel : t -> int
+(** Product of dimensions; 1 for scalars. *)
+
+val equal : t -> t -> bool
+val strides : t -> int array
+(** Row-major strides; stride of a size-1 trailing dim is 1. *)
+
+val ravel : t -> int array -> int
+(** Multi-index to linear offset.  No bounds check. *)
+
+val unravel : t -> int -> int array
+(** Linear offset to multi-index. *)
+
+val broadcast : t -> t -> t option
+(** Numpy-style broadcast of two shapes; [None] when incompatible. *)
+
+val broadcast_many : t list -> t option
+
+val can_broadcast_to : src:t -> dst:t -> bool
+(** Whether [src] broadcasts to exactly [dst]. *)
+
+val validate : t -> bool
+(** All dimensions >= 1. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val of_list : int list -> t
+val to_list : t -> int list

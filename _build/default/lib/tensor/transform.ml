@@ -1,0 +1,214 @@
+type source = Src of int | Fill
+
+(* Build a tensor of [out_shape] whose element at linear index [i] comes from
+   the source element [f i], or is the constant fill. *)
+let gather (src : Nd.t) out_shape ~fill f =
+  match src.Nd.dtype with
+  | Dtype.F32 | F64 ->
+      Nd.init_f src.dtype out_shape (fun i ->
+          match f i with Src j -> Nd.to_float src j | Fill -> fill)
+  | I32 | I64 ->
+      Nd.init_i src.dtype out_shape (fun i ->
+          match f i with
+          | Src j -> Nd.to_int src j
+          | Fill -> int_of_float fill)
+  | Bool ->
+      Nd.init_b out_shape (fun i ->
+          match f i with Src j -> Nd.get_b src j | Fill -> fill <> 0.)
+
+let reshape t new_shape =
+  if Shape.numel t.Nd.shape <> Shape.numel new_shape then
+    invalid_arg
+      (Fmt.str "Transform.reshape: %a has %d elements, target %a has %d"
+         Shape.pp t.Nd.shape
+         (Shape.numel t.Nd.shape)
+         Shape.pp new_shape (Shape.numel new_shape));
+  gather t new_shape ~fill:0. (fun i -> Src i)
+
+let is_permutation perm =
+  let n = Array.length perm in
+  let seen = Array.make n false in
+  Array.for_all
+    (fun p ->
+      if p < 0 || p >= n || seen.(p) then false
+      else begin
+        seen.(p) <- true;
+        true
+      end)
+    perm
+
+let transpose t perm =
+  let r = Nd.rank t in
+  if Array.length perm <> r || not (is_permutation perm) then
+    invalid_arg "Transform.transpose: bad permutation";
+  let src_shape = t.Nd.shape in
+  let out_shape = Array.map (fun p -> src_shape.(p)) perm in
+  gather t out_shape ~fill:0. (fun i ->
+      let oidx = Shape.unravel out_shape i in
+      let sidx = Array.make r 0 in
+      for k = 0 to r - 1 do
+        sidx.(perm.(k)) <- oidx.(k)
+      done;
+      Src (Shape.ravel src_shape sidx))
+
+let clamp_index d i =
+  let i = if i < 0 then i + d else i in
+  max 0 (min d i)
+
+let slice t ~starts ~stops ~steps =
+  let r = Nd.rank t in
+  if Array.length starts <> r || Array.length stops <> r || Array.length steps <> r
+  then invalid_arg "Transform.slice: rank mismatch";
+  Array.iter (fun s -> if s < 1 then invalid_arg "Transform.slice: step < 1") steps;
+  let src_shape = t.Nd.shape in
+  let starts = Array.mapi (fun k s -> clamp_index src_shape.(k) s) starts in
+  let stops = Array.mapi (fun k s -> clamp_index src_shape.(k) s) stops in
+  let out_shape =
+    Array.init r (fun k ->
+        let len = stops.(k) - starts.(k) in
+        if len <= 0 then 0 else 1 + ((len - 1) / steps.(k)))
+  in
+  if Array.exists (fun d -> d = 0) out_shape then
+    invalid_arg "Transform.slice: empty result";
+  gather t out_shape ~fill:0. (fun i ->
+      let oidx = Shape.unravel out_shape i in
+      let sidx = Array.init r (fun k -> starts.(k) + (oidx.(k) * steps.(k))) in
+      Src (Shape.ravel src_shape sidx))
+
+type pad_mode = Constant of float | Reflect | Replicate
+
+let reflect_index d i =
+  (* mirror into [0, d) without repeating the border, as in ONNX Pad *)
+  if d = 1 then 0
+  else begin
+    let period = 2 * (d - 1) in
+    let j = ((i mod period) + period) mod period in
+    if j < d then j else period - j
+  end
+
+let pad t ~before ~after ~mode =
+  let r = Nd.rank t in
+  if Array.length before <> r || Array.length after <> r then
+    invalid_arg "Transform.pad: rank mismatch";
+  let src_shape = t.Nd.shape in
+  let out_shape =
+    Array.init r (fun k -> src_shape.(k) + before.(k) + after.(k))
+  in
+  if Array.exists (fun d -> d < 1) out_shape then
+    invalid_arg "Transform.pad: empty result";
+  (match mode with
+  | Reflect ->
+      Array.iteri
+        (fun k d ->
+          if before.(k) >= d || after.(k) >= d then
+            invalid_arg "Transform.pad: reflect pad >= dim")
+        src_shape
+  | Constant _ | Replicate -> ());
+  let fill = match mode with Constant v -> v | Reflect | Replicate -> 0. in
+  gather t out_shape ~fill (fun i ->
+      let oidx = Shape.unravel out_shape i in
+      let sidx = Array.make r 0 in
+      let inside = ref true in
+      for k = 0 to r - 1 do
+        let j = oidx.(k) - before.(k) in
+        let d = src_shape.(k) in
+        if j >= 0 && j < d then sidx.(k) <- j
+        else begin
+          match mode with
+          | Constant _ -> inside := false
+          | Reflect -> sidx.(k) <- reflect_index d j
+          | Replicate -> sidx.(k) <- max 0 (min (d - 1) j)
+        end
+      done;
+      if !inside then Src (Shape.ravel src_shape sidx) else Fill)
+
+let concat ~axis ts =
+  match ts with
+  | [] -> invalid_arg "Transform.concat: empty list"
+  | first :: _ ->
+      let r = Nd.rank first in
+      if axis < 0 || axis >= r then invalid_arg "Transform.concat: bad axis";
+      List.iter
+        (fun t ->
+          if Nd.rank t <> r || t.Nd.dtype <> first.Nd.dtype then
+            invalid_arg "Transform.concat: rank or dtype mismatch";
+          Array.iteri
+            (fun k d ->
+              if k <> axis && d <> first.Nd.shape.(k) then
+                invalid_arg "Transform.concat: non-axis dim mismatch")
+            t.Nd.shape)
+        ts;
+      let axis_total =
+        List.fold_left (fun acc t -> acc + t.Nd.shape.(axis)) 0 ts
+      in
+      let out_shape = Array.copy first.Nd.shape in
+      out_shape.(axis) <- axis_total;
+      let parts = Array.of_list ts in
+      let offsets = Array.make (Array.length parts) 0 in
+      let running = ref 0 in
+      Array.iteri
+        (fun pi p ->
+          offsets.(pi) <- !running;
+          running := !running + p.Nd.shape.(axis))
+        parts;
+      let locate j =
+        (* which part does axis index [j] fall into *)
+        let rec go pi = if j < offsets.(pi) + parts.(pi).Nd.shape.(axis) then pi else go (pi + 1) in
+        go 0
+      in
+      let read_part read i =
+        let oidx = Shape.unravel out_shape i in
+        let pi = locate oidx.(axis) in
+        let p = parts.(pi) in
+        let sidx = Array.copy oidx in
+        sidx.(axis) <- oidx.(axis) - offsets.(pi);
+        read p (Shape.ravel p.Nd.shape sidx)
+      in
+      (match first.Nd.dtype with
+      | F32 | F64 -> Nd.init_f first.Nd.dtype out_shape (read_part Nd.to_float)
+      | I32 | I64 -> Nd.init_i first.Nd.dtype out_shape (read_part Nd.to_int)
+      | Bool -> Nd.init_b out_shape (read_part Nd.get_b))
+
+let squeeze t axes =
+  let r = Nd.rank t in
+  let drop =
+    match axes with
+    | [] ->
+        Array.to_list t.Nd.shape
+        |> List.mapi (fun k d -> (k, d))
+        |> List.filter_map (fun (k, d) -> if d = 1 then Some k else None)
+    | _ ->
+        List.iter
+          (fun a ->
+            if a < 0 || a >= r then invalid_arg "Transform.squeeze: bad axis";
+            if t.Nd.shape.(a) <> 1 then
+              invalid_arg "Transform.squeeze: axis dim <> 1")
+          axes;
+        axes
+  in
+  let keep =
+    List.init r Fun.id |> List.filter (fun k -> not (List.mem k drop))
+  in
+  let out_shape = Array.of_list (List.map (fun k -> t.Nd.shape.(k)) keep) in
+  reshape t out_shape
+
+let unsqueeze t axis =
+  let r = Nd.rank t in
+  if axis < 0 || axis > r then invalid_arg "Transform.unsqueeze: bad axis";
+  let out_shape =
+    Array.init (r + 1) (fun k ->
+        if k < axis then t.Nd.shape.(k)
+        else if k = axis then 1
+        else t.Nd.shape.(k - 1))
+  in
+  reshape t out_shape
+
+let flatten t ~axis =
+  let r = Nd.rank t in
+  if axis < 0 || axis > r then invalid_arg "Transform.flatten: bad axis";
+  let lead = ref 1 and tail = ref 1 in
+  Array.iteri (fun k d -> if k < axis then lead := !lead * d else tail := !tail * d)
+    t.Nd.shape;
+  reshape t [| !lead; !tail |]
+
+let expand t dst = Nd.broadcast_to t dst

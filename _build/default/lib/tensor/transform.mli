@@ -1,0 +1,32 @@
+(** Shape-changing tensor kernels: reshape, transpose, slice, pad, concat. *)
+
+val reshape : Nd.t -> Shape.t -> Nd.t
+(** Element counts must match; raises [Invalid_argument] otherwise. *)
+
+val transpose : Nd.t -> int array -> Nd.t
+(** [transpose t perm]: [perm] must be a permutation of [0..rank-1]. *)
+
+val slice :
+  Nd.t -> starts:int array -> stops:int array -> steps:int array -> Nd.t
+(** Per-axis slicing with exclusive stops and positive steps.  All three
+    arrays must have length [rank t]; starts/stops are clamped to the axis
+    bounds (negative values count from the end, as in ONNX). *)
+
+type pad_mode = Constant of float | Reflect | Replicate
+
+val pad : Nd.t -> before:int array -> after:int array -> mode:pad_mode -> Nd.t
+(** Negative amounts crop.  [Reflect] mirrors without repeating the border
+    and requires pad < dim; [Replicate] clamps to the edge. *)
+
+val concat : axis:int -> Nd.t list -> Nd.t
+(** All inputs share dtype, rank, and non-axis dims. *)
+
+val squeeze : Nd.t -> int list -> Nd.t
+(** Remove the given size-1 axes; an empty list removes all size-1 axes. *)
+
+val unsqueeze : Nd.t -> int -> Nd.t
+val flatten : Nd.t -> axis:int -> Nd.t
+(** Collapse to 2-D [(d0*..*d(axis-1)) x (daxis*..*dn)] as in ONNX. *)
+
+val expand : Nd.t -> Shape.t -> Nd.t
+(** Alias of {!Nd.broadcast_to} with ONNX BroadcastTo semantics. *)

@@ -1,0 +1,1 @@
+lib/tvmlike/compiler.ml: Array Hashtbl List Lower Nnsmith_coverage Nnsmith_faults Nnsmith_ir Nnsmith_ops Nnsmith_tensor Option Printf Rir Tir

@@ -1,0 +1,1 @@
+lib/tvmlike/lower.ml: Array List Nnsmith_coverage Nnsmith_ir Nnsmith_tensor Printf Tir

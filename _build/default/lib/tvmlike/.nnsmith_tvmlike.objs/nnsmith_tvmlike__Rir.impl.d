@@ -1,0 +1,1 @@
+lib/tvmlike/rir.ml: List Nnsmith_coverage Nnsmith_faults Nnsmith_ir Nnsmith_ops Nnsmith_tensor

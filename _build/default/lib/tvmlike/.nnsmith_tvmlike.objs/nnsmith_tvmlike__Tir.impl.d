@@ -1,0 +1,1 @@
+lib/tvmlike/tir.ml: Array Float Fun List Nnsmith_coverage Nnsmith_faults Nnsmith_ir Nnsmith_ops Nnsmith_smt Nnsmith_tensor Printf

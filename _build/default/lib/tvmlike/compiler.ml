@@ -1,0 +1,395 @@
+(** Lotus's end-to-end pipeline: import -> graph-level transforms -> lowering
+    -> low-level transforms -> execution. *)
+
+module Nd = Nnsmith_tensor.Nd
+module Dtype = Nnsmith_tensor.Dtype
+module Op = Nnsmith_ir.Op
+module Conc = Nnsmith_ir.Ttype.Conc
+module Graph = Nnsmith_ir.Graph
+module Eval = Nnsmith_ops.Eval
+module Cov = Nnsmith_coverage.Coverage
+module Faults = Nnsmith_faults.Faults
+open Rir
+
+type opt_level = O0 | O2
+
+(* ------------------------------------------------------------------ *)
+(* Graph-level transforms ("transforms" folders in the paper's TVM      *)
+(* pass-only instrumentation).                                          *)
+
+let resolve alias id =
+  let rec go id =
+    match Hashtbl.find_opt alias id with Some id' -> go id' | None -> id
+  in
+  go id
+
+let apply_alias g alias =
+  g.nodes <-
+    List.map
+      (fun n -> { n with inputs = List.map (resolve alias) n.inputs })
+      g.nodes;
+  g.outputs <- List.map (resolve alias) g.outputs
+
+let replace_node g id node' =
+  g.nodes <- List.map (fun n -> if n.id = id then node' else n) g.nodes
+
+let pass_const_fold g =
+  let file = "lotus/transforms/fold_constant" in
+  let consts = Hashtbl.create 16 in
+  List.iter
+    (fun n ->
+      match n.op with
+      | R_const t -> Hashtbl.replace consts n.id t
+      | R_plain (Op.Leaf _) | R_layout_pack | R_layout_unpack -> ()
+      | R_plain op ->
+          let ins = List.map (Hashtbl.find_opt consts) n.inputs in
+          if
+            Cov.branch ~pass:true ~file "all_const"
+              (ins <> [] && List.for_all Option.is_some ins)
+          then begin
+            match Eval.eval op (List.map Option.get ins) with
+            | v ->
+                Hashtbl.replace consts n.id v;
+                replace_node g n.id { n with op = R_const v; inputs = [] }
+            | exception Eval.Eval_error _ ->
+                Cov.hit ~pass:true ~file "eval_failed"
+          end)
+    g.nodes
+
+let pass_fold_transpose_pair g =
+  let file = "lotus/transforms/fold_transpose" in
+  List.iter
+    (fun n ->
+      match (n.op, n.inputs) with
+      | R_plain (Op.Transpose p2), [ x ] -> (
+          match find g x with
+          | { op = R_plain (Op.Transpose p1); inputs = [ inner ]; _ } ->
+              Cov.hit ~pass:true ~file "pair";
+              let compose a b = Array.map (fun i -> a.(i)) b in
+              (* correct: result[i] = x[p1[p2[i]]] *)
+              let perm =
+                if Faults.enabled "lotus.fold_transpose_pair" then compose p2 p1
+                else compose p1 p2
+              in
+              replace_node g n.id
+                { n with op = R_plain (Op.Transpose perm); inputs = [ inner ] }
+          | _ -> Cov.hit ~pass:true ~file "single")
+      | _ -> ())
+    g.nodes
+
+(* Property-based operator fusion: group assignment by pattern kind, not by
+   concrete operator identity. *)
+let pass_fuse g =
+  let file = "lotus/transforms/fuse_ops" in
+  let group : (int, int) Hashtbl.t = Hashtbl.create 32 in
+  let fresh = ref 0 in
+  List.iter
+    (fun n ->
+      let producer_groups =
+        List.filter_map
+          (fun i ->
+            match find_opt g i with
+            | Some p when List.length (consumers g i) = 1 ->
+                Option.map (fun gid -> (p, gid)) (Hashtbl.find_opt group i)
+            | _ -> None)
+          n.inputs
+      in
+      let assign gid = Hashtbl.replace group n.id gid in
+      match n.pattern with
+      | P_elemwise | P_broadcast | P_injective -> (
+          Cov.arm ~pass:true ~file "pattern" (pattern_name n.pattern);
+          match producer_groups with
+          | (p, gid) :: _
+            when p.pattern = P_elemwise || p.pattern = P_broadcast
+                 || p.pattern = P_injective || p.pattern = P_conv_like ->
+              Cov.hit ~pass:true ~file "merge";
+              assign gid
+          | _ ->
+              incr fresh;
+              assign !fresh)
+      | P_reduce -> (
+          Cov.arm ~pass:true ~file "pattern" "reduce";
+          match producer_groups with
+          | (p, gid) :: _ when p.pattern = P_elemwise ->
+              Cov.hit ~pass:true ~file "merge_into_reduce";
+              assign gid
+          | (p, gid) :: _ when p.pattern = P_injective ->
+              if Faults.enabled "lotus.fuse_injective_reduce" then begin
+                let keepdims_false =
+                  match n.op with
+                  | R_plain (Op.Reduce (_, { r_keepdims = false; _ })) -> true
+                  | _ -> false
+                in
+                if keepdims_false then
+                  Faults.crash "lotus.fuse_injective_reduce"
+                    "lost reduced axes when fusing injective producer into \
+                     reduce group"
+              end;
+              ignore (p, gid);
+              incr fresh;
+              assign !fresh
+          | _ ->
+              incr fresh;
+              assign !fresh)
+      | P_conv_like | P_opaque ->
+          Cov.arm ~pass:true ~file "pattern" (pattern_name n.pattern);
+          incr fresh;
+          assign !fresh)
+    g.nodes;
+  group
+
+(* Common-subexpression elimination over the graph IR. *)
+let pass_cse g =
+  let file = "lotus/transforms/eliminate_common_subexpr" in
+  let seen : (rop * int list, int) Hashtbl.t = Hashtbl.create 16 in
+  let alias = Hashtbl.create 8 in
+  List.iter
+    (fun n ->
+      match n.op with
+      | R_plain (Op.Leaf _) | R_const _ -> ()
+      | _ -> (
+          let key = (n.op, List.map (resolve alias) n.inputs) in
+          match Hashtbl.find_opt seen key with
+          | Some prior ->
+              Cov.hit ~pass:true ~file "merged";
+              Hashtbl.replace alias n.id prior
+          | None ->
+              Cov.hit ~pass:true ~file "fresh";
+              Hashtbl.replace seen key n.id))
+    g.nodes;
+  apply_alias g alias
+
+(* Dead-code elimination: drop nodes no output depends on. *)
+let pass_dce g =
+  let file = "lotus/transforms/remove_unused" in
+  let live = Hashtbl.create 32 in
+  let rec mark id =
+    if not (Hashtbl.mem live id) then begin
+      Hashtbl.replace live id ();
+      match find_opt g id with
+      | Some n -> List.iter mark n.inputs
+      | None -> ()
+    end
+  in
+  List.iter mark g.outputs;
+  let before = List.length g.nodes in
+  g.nodes <- List.filter (fun n -> Hashtbl.mem live n.id) g.nodes;
+  ignore
+    (Cov.branch ~pass:true ~file "removed" (List.length g.nodes < before))
+
+(* NCHW -> NCHW4c packing around channel-divisible convolutions. *)
+let pass_layout g =
+  let file = "lotus/transforms/alter_layout" in
+  List.iter
+    (fun n ->
+      match (n.op, n.inputs) with
+      | R_plain (Op.Conv2d attrs), [ x; w ] ->
+          let c =
+            match Conc.dims (find g x).out_type with
+            | [ _; c; _; _ ] -> c
+            | _ -> 0
+          in
+          let f = attrs.Op.out_channels in
+          if
+            Cov.branch ~pass:true ~file "divisible" (c mod 4 = 0 && f mod 4 = 0)
+          then begin
+            (* consumers must adapt the packed layout *)
+            List.iter
+              (fun (consumer : node) ->
+                match consumer.op with
+                | R_plain (Op.Binary _)
+                  when Faults.enabled "lotus.layout_nchw4c_broadcast"
+                       && List.exists
+                            (fun i ->
+                              i <> n.id
+                              && Conc.rank (find g i).out_type < 4)
+                            consumer.inputs ->
+                    Faults.crash "lotus.layout_nchw4c_broadcast"
+                      "NCHW4c conv feeds a broadcasting operator with a \
+                       lower-rank operand"
+                | R_plain (Op.Squeeze _)
+                  when Faults.enabled "lotus.layout_nchw4c_squeeze" ->
+                    Faults.crash "lotus.layout_nchw4c_squeeze"
+                      "NCHW4c conv feeds Squeeze"
+                | _ -> ())
+              (consumers g n.id);
+            (* insert pack/unpack (semantically transparent here) *)
+            let pack =
+              {
+                id = fresh_id g;
+                op = R_layout_pack;
+                inputs = [ x ];
+                out_type = (find g x).out_type;
+                pattern = P_injective;
+              }
+            in
+            let conv' = { n with inputs = [ pack.id; w ] } in
+            g.nodes <-
+              List.concat_map
+                (fun m -> if m.id = n.id then [ pack; conv' ] else [ m ])
+                g.nodes
+          end
+      | _ -> ())
+    g.nodes
+
+(* ------------------------------------------------------------------ *)
+(* Compilation.                                                        *)
+
+type step =
+  | S_bind  (** leaf: take the value from the binding *)
+  | S_const of Nd.t
+  | S_extern of int Op.t
+  | S_identity  (** layout pack/unpack *)
+  | S_kernel of Tir.func
+
+type compiled_step = {
+  cs_id : int;
+  cs_step : step;
+  cs_inputs : int list;
+  cs_out : Conc.t;
+}
+
+type compiled = { steps : compiled_step list; source_outputs : int list;
+                  final_outputs : int list }
+
+let numel_bucket n =
+  let rec log2 acc n = if n <= 1 then acc else log2 (acc + 1) (n / 2) in
+  Printf.sprintf "2^%d" (log2 0 n)
+
+(* Chain-fusion helpers: a node is chain-fusable when it is a float
+   shape-preserving elementwise step; interior nodes of a maximal chain are
+   skipped (their value is only read by the fused kernel). *)
+let fusable _g (n : node) =
+  match n.op with
+  | R_plain op -> Lower.chain_fusable op n.out_type
+  | R_const _ | R_layout_pack | R_layout_unpack -> false
+
+let sole_fusable_consumer g id =
+  match consumers g id with
+  | [ c ] when fusable g c -> Some c
+  | _ -> None
+
+(* Walk back through single-consumer fusable producers, returning the fused
+   op list (first-applied first) and the chain's source node id. *)
+let chain_of g (n : node) : int Op.t list * int =
+  let rec back acc (cur : node) =
+    match cur.inputs with
+    | [ src ] -> (
+        match find_opt g src with
+        | Some p when fusable g p && sole_fusable_consumer g p.id = Some cur ->
+            back
+              ((match cur.op with R_plain op -> op | _ -> assert false) :: acc)
+              p
+        | _ ->
+            ( (match cur.op with R_plain op -> op | _ -> assert false) :: acc,
+              src ))
+    | _ -> assert false
+  in
+  back [] n
+
+let lower_gir ~opt_level (g : gir) : compiled_step list =
+  let planner = "lotus/tir/storage_plan" in
+  List.map
+    (fun n ->
+      let in_types = List.map (fun i -> (find g i).out_type) n.inputs in
+      (* storage planning: per-dtype, per-size-class allocation decisions —
+         generic machinery every model exercises *)
+      Cov.arm ~pass:true ~file:planner "alloc_dtype"
+        (Dtype.to_string (Conc.dtype n.out_type));
+      Cov.arm ~pass:true ~file:planner "alloc_size"
+        (numel_bucket (Conc.numel n.out_type));
+      Cov.arm ~pass:true ~file:planner "arity"
+        (string_of_int (List.length n.inputs));
+      let optimise f = match opt_level with O0 -> f | O2 -> Tir.optimize f in
+      let step, cs_inputs =
+        match n.op with
+        | R_const t -> (S_const t, n.inputs)
+        | R_layout_pack | R_layout_unpack -> (S_identity, n.inputs)
+        | R_plain (Op.Leaf _) -> (S_bind, n.inputs)
+        | R_plain _
+          when opt_level = O2 && fusable g n
+               && sole_fusable_consumer g n.id <> None ->
+            (* interior of a fused chain: computed inside the tail kernel *)
+            (S_identity, n.inputs)
+        | R_plain op when opt_level = O2 && fusable g n -> (
+            (* chain tail: fuse the whole producer chain into one kernel *)
+            match chain_of g n with
+            | [ _ ], _ when not (Lower.lowerable op in_types n.out_type) ->
+                (S_extern op, n.inputs)
+            | ops, src ->
+                ( S_kernel
+                    (optimise
+                       (Lower.lower_unary_chain
+                          ~name:(Printf.sprintf "tir_%d_fused%d" n.id (List.length ops))
+                          ops n.out_type)),
+                  [ src ] ))
+        | R_plain op ->
+            if Lower.lowerable op in_types n.out_type then
+              ( S_kernel
+                  (optimise
+                     (Lower.lower_node
+                        ~name:(Printf.sprintf "tir_%d_%s" n.id (Op.name op))
+                        op in_types n.out_type)),
+                n.inputs )
+            else (S_extern op, n.inputs)
+      in
+      { cs_id = n.id; cs_step = step; cs_inputs; cs_out = n.out_type })
+    g.nodes
+
+let compile ?(opt_level = O2) (g : Graph.t) : compiled =
+  let gir = import g in
+  let source_outputs = gir.outputs in
+  (match opt_level with
+  | O0 -> ()
+  | O2 ->
+      pass_const_fold gir;
+      pass_fold_transpose_pair gir;
+      pass_cse gir;
+      ignore (pass_fuse gir);
+      pass_layout gir;
+      pass_dce gir);
+  let steps = lower_gir ~opt_level gir in
+  { steps; source_outputs; final_outputs = gir.outputs }
+
+(* ------------------------------------------------------------------ *)
+(* Execution.                                                          *)
+
+let run (c : compiled) (binding : (int * Nd.t) list) : (int * Nd.t) list =
+  let values : (int, Nd.t) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun s ->
+      let ins () = List.map (Hashtbl.find values) s.cs_inputs in
+      let v =
+        match s.cs_step with
+        | S_bind -> (
+            match List.assoc_opt s.cs_id binding with
+            | Some t -> t
+            | None ->
+                raise
+                  (Faults.Compiler_bug
+                     (Printf.sprintf "[runtime] unbound leaf %%%d" s.cs_id)))
+        | S_const t -> t
+        | S_identity -> List.hd (ins ())
+        | S_extern op -> Eval.eval op (ins ())
+        | S_kernel f -> (
+            let inputs =
+              List.map
+                (fun (t : Nd.t) ->
+                  match Nd.dtype t with
+                  | Dtype.F32 | F64 -> Nd.float_data t
+                  | I32 | I64 | Bool ->
+                      Array.init (Nd.numel t) (fun i -> Nd.to_float t i))
+                (ins ())
+              |> Array.of_list
+            in
+            let out = Array.make (Conc.numel s.cs_out) 0. in
+            match Tir.run f inputs out with
+            | () -> Nd.of_floats (Conc.dtype s.cs_out) (Conc.shape s.cs_out) out
+            | exception Tir.Tir_error m ->
+                raise (Faults.Compiler_bug ("[lotus.tir] " ^ m)))
+      in
+      Hashtbl.replace values s.cs_id v)
+    c.steps;
+  List.map2
+    (fun src cur -> (src, Hashtbl.find values cur))
+    c.source_outputs c.final_outputs

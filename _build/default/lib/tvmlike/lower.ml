@@ -1,0 +1,152 @@
+(** Lowering from the graph IR to {!Tir} loop nests.
+
+    Float elementwise and broadcast operators become explicit loop nests with
+    index arithmetic (the surface the low-level passes optimise); everything
+    else dispatches to pre-compiled extern kernels, as TVM does for library
+    calls. *)
+
+module Nd = Nnsmith_tensor.Nd
+module Dtype = Nnsmith_tensor.Dtype
+module Op = Nnsmith_ir.Op
+module Conc = Nnsmith_ir.Ttype.Conc
+module Cov = Nnsmith_coverage.Coverage
+
+let file = "lotus/tir/lower"
+
+let extent_bucket d =
+  if d = 1 then "1"
+  else if d <= 2 then "2"
+  else if d <= 4 then "4"
+  else if d <= 8 then "8"
+  else if d <= 16 then "16"
+  else if d <= 64 then "64"
+  else "big"
+
+(* Nested loops over [dims] whose body stores at the row-major linear index.
+   The per-rank / per-extent decision points model TVM's generic schedule
+   machinery: they are reached by virtually any model, forming the large
+   coverage floor that makes TVM less sensitive to graph-pattern diversity. *)
+let loop_nest (dims : int array) (mk_body : Tir.iexpr -> Tir.stmt) : Tir.stmt list =
+  let rank = Array.length dims in
+  Cov.arm ~pass:true ~file "nest_rank" (string_of_int rank);
+  Array.iteri
+    (fun depth d ->
+      Cov.arm ~pass:true ~file "nest_extent"
+        (Printf.sprintf "d%d_%s" depth (extent_bucket d)))
+    dims;
+  if rank = 0 then [ mk_body (Tir.Iconst 0) ]
+  else begin
+    let vars = Array.init rank (fun i -> Printf.sprintf "i%d" i) in
+    (* linear index ((i0*d1 + i1)*d2 + i2)... *)
+    let linear =
+      let acc = ref (Tir.Ivar vars.(0)) in
+      for k = 1 to rank - 1 do
+        acc := Tir.Iadd (Tir.Imul (!acc, Tir.Iconst dims.(k)), Tir.Ivar vars.(k))
+      done;
+      !acc
+    in
+    let rec nest k =
+      if k = rank then [ mk_body linear ]
+      else
+        [
+          Tir.For
+            { v = vars.(k); extent = dims.(k); kind = Tir.Serial; body = nest (k + 1) };
+        ]
+    in
+    nest 0
+  end
+
+(** Can this operator be lowered to a loop nest (vs extern dispatch)? *)
+let lowerable (op : int Op.t) (in_types : Conc.t list) (out : Conc.t) : bool =
+  Dtype.is_float (Conc.dtype out)
+  && List.for_all (fun t -> Dtype.is_float (Conc.dtype t)) in_types
+  &&
+  match op with
+  | Op.Unary
+      ( Op.Exp | Log | Log2 | Sqrt | Sin | Cos | Tan | Asin | Acos | Atan
+      | Tanh | Sigmoid | Relu | Abs | Neg | Floor | Ceil | Round | Sign
+      | Reciprocal | Erf | Gelu | Softplus | Softsign | Elu | Selu
+      | Hardswish | Hardsigmoid )
+  | Op.Binary _ | Op.Clip _ | Op.Leaky_relu _ | Op.Expand _ -> true
+  | Op.Where | Op.Leaf _ | Op.Compare _ | Op.Logical _ | Op.Not | Op.Cast _
+  | Op.Softmax _ | Op.Arg_max _ | Op.Arg_min _ | Op.Reduce _ | Op.Mat_mul
+  | Op.Conv2d _ | Op.Pool2d _ | Op.Reshape _ | Op.Flatten _ | Op.Transpose _
+  | Op.Squeeze _ | Op.Unsqueeze _ | Op.Slice _ | Op.Pad _ | Op.Concat _
+  | Op.Gather _ | Op.Tile _ ->
+      false
+
+(* One elementwise step as a value-expression wrapper. *)
+let wrap_value (op : int Op.t) (v : Tir.vexpr) : Tir.vexpr =
+  match op with
+  | Op.Unary u -> Tir.Vun (u, v)
+  | Op.Clip { c_lo; c_hi } -> Tir.Vclip (c_lo, c_hi, v)
+  | Op.Leaky_relu { alpha } -> Tir.Vleaky (alpha, v)
+  | _ -> invalid_arg "Lower.wrap_value: not a unary elementwise operator"
+
+(** Is this operator a shape-preserving float elementwise step that can be
+    folded into a fused chain? *)
+let chain_fusable (op : int Op.t) (out : Conc.t) : bool =
+  Dtype.is_float (Conc.dtype out)
+  &&
+  match op with
+  | Op.Unary
+      ( Op.Exp | Log | Log2 | Sqrt | Sin | Cos | Tan | Asin | Acos | Atan
+      | Tanh | Sigmoid | Relu | Abs | Neg | Floor | Ceil | Round | Sign
+      | Reciprocal | Erf | Gelu | Softplus | Softsign | Elu | Selu
+      | Hardswish | Hardsigmoid )
+  | Op.Clip _ | Op.Leaky_relu _ ->
+      true
+  | _ -> false
+
+(** Lower a fused chain of shape-preserving elementwise operators
+    (first-applied first) into a single loop nest — operator fusion made
+    concrete, as TVM's injective fusion produces one kernel per group. *)
+let lower_unary_chain ~name (ops : int Op.t list) (out : Conc.t) : Tir.func =
+  let out_shape = Conc.shape out in
+  Cov.arm ~pass:true ~file "fused_chain"
+    (let n = List.length ops in
+     if n <= 1 then "1" else if n <= 2 then "2" else if n <= 4 then "4" else "long");
+  let value ivar =
+    List.fold_left (fun v op -> wrap_value op v) (Tir.Vload (0, ivar)) ops
+  in
+  {
+    Tir.f_name = name;
+    n_inputs = 1;
+    body =
+      loop_nest out_shape (fun ivar ->
+          Tir.Store { index = ivar; value = value ivar });
+  }
+
+(** Lower one operator to a TIR function over its input buffers (in the
+    given order).  Precondition: {!lowerable}. *)
+let lower_node ~name (op : int Op.t) (in_types : Conc.t list) (out : Conc.t) :
+    Tir.func =
+  let out_shape = Conc.shape out in
+  let load k ivar =
+    let src = Conc.shape (List.nth in_types k) in
+    Tir.Vload (k, Tir.broadcast_index ~src ~dst:out_shape ivar)
+  in
+  let value ivar =
+    match op with
+    | Op.Unary u ->
+        Cov.arm ~pass:true ~file "lower" "unary";
+        Tir.Vun (u, load 0 ivar)
+    | Op.Binary b ->
+        Cov.arm ~pass:true ~file "lower" "binary";
+        Tir.Vbin (b, load 0 ivar, load 1 ivar)
+    | Op.Clip { c_lo; c_hi } ->
+        Cov.arm ~pass:true ~file "lower" "clip";
+        Tir.Vclip (c_lo, c_hi, load 0 ivar)
+    | Op.Leaky_relu { alpha } ->
+        Cov.arm ~pass:true ~file "lower" "leaky";
+        Tir.Vleaky (alpha, load 0 ivar)
+    | Op.Expand _ ->
+        Cov.arm ~pass:true ~file "lower" "expand";
+        load 0 ivar
+    | _ -> assert false
+  in
+  {
+    Tir.f_name = name;
+    n_inputs = List.length in_types;
+    body = loop_nest out_shape (fun ivar -> Tir.Store { index = ivar; value = value ivar });
+  }

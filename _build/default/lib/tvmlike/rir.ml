@@ -1,0 +1,208 @@
+(** Lotus's graph-level IR ("Relay-like").
+
+    Nodes carry an *operator pattern* — the property-based classification
+    (injective / broadcast / reduction / ...) Lotus's fusion uses instead of
+    ONNXRuntime-style concrete patterns.  This difference is why graph-
+    pattern diversity buys less coverage on Lotus than on OxRT (§5.2). *)
+
+module Nd = Nnsmith_tensor.Nd
+module Dtype = Nnsmith_tensor.Dtype
+module Op = Nnsmith_ir.Op
+module Conc = Nnsmith_ir.Ttype.Conc
+module Graph = Nnsmith_ir.Graph
+module Cov = Nnsmith_coverage.Coverage
+module Faults = Nnsmith_faults.Faults
+
+type pattern =
+  | P_elemwise
+  | P_broadcast
+  | P_injective
+  | P_reduce
+  | P_conv_like  (** out-elemwise-fusable *)
+  | P_opaque
+
+let pattern_name = function
+  | P_elemwise -> "elemwise"
+  | P_broadcast -> "broadcast"
+  | P_injective -> "injective"
+  | P_reduce -> "reduce"
+  | P_conv_like -> "conv_like"
+  | P_opaque -> "opaque"
+
+type rop =
+  | R_plain of int Op.t
+  | R_const of Nd.t
+  | R_layout_pack  (** NCHW -> NCHW4c *)
+  | R_layout_unpack  (** NCHW4c -> NCHW *)
+
+type node = {
+  id : int;
+  op : rop;
+  inputs : int list;
+  out_type : Conc.t;
+  pattern : pattern;
+}
+
+type gir = {
+  mutable nodes : node list;  (** topological order *)
+  mutable outputs : int list;
+  mutable next_id : int;
+}
+
+let find g id = List.find (fun n -> n.id = id) g.nodes
+let find_opt g id = List.find_opt (fun n -> n.id = id) g.nodes
+let consumers g id = List.filter (fun n -> List.mem id n.inputs) g.nodes
+
+let fresh_id g =
+  let id = g.next_id in
+  g.next_id <- g.next_id + 1;
+  id
+
+let classify (op : int Op.t) : pattern =
+  match op with
+  | Op.Leaf _ -> P_opaque
+  | Op.Unary _ | Op.Not | Op.Clip _ | Op.Leaky_relu _ | Op.Cast _ -> P_elemwise
+  | Op.Binary _ | Op.Compare _ | Op.Logical _ | Op.Where | Op.Expand _ ->
+      P_broadcast
+  | Op.Reshape _ | Op.Flatten _ | Op.Transpose _ | Op.Squeeze _
+  | Op.Unsqueeze _ | Op.Slice _ | Op.Pad _ | Op.Concat _ | Op.Gather _
+  | Op.Tile _ ->
+      P_injective
+  | Op.Reduce _ | Op.Arg_max _ | Op.Arg_min _ -> P_reduce
+  | Op.Mat_mul | Op.Conv2d _ | Op.Pool2d _ -> P_conv_like
+  | Op.Softmax _ -> P_opaque
+
+let file = "lotus/import"
+
+(* Seeded conversion defects (§5.4 "conversion bugs"). *)
+let conversion_checks (n : Graph.node) in_types =
+  let rank_of i = Conc.rank (List.nth in_types i) in
+  (match n.Graph.op with
+  | Op.Where ->
+      Cov.arm ~file "convert" "where";
+      let r0 = rank_of 0 and r1 = rank_of 1 and r2 = rank_of 2 in
+      let lowest_contributes =
+        (* dropping the lowest-ranked operand changes the inferred shape *)
+        let lowest = min r0 (min r1 r2) in
+        let types_without_lowest =
+          List.filteri (fun i _ -> rank_of i <> lowest || i > 0) in_types
+        in
+        ignore types_without_lowest;
+        lowest < max r0 (max r1 r2)
+      in
+      if
+        Faults.enabled "lotus.import_where_broadcast"
+        && Cov.branch ~file "where_rank_gap" lowest_contributes
+      then
+        Faults.crash "lotus.import_where_broadcast"
+          "Where shape inference dropped the lowest-ranked operand"
+  | Op.Reduce _ | Op.Arg_max _ | Op.Arg_min _ ->
+      Cov.arm ~file "convert" "reduce";
+      if
+        Faults.enabled "lotus.import_scalar_reduce"
+        && Cov.branch ~file "reduce_scalar_out"
+             (Conc.rank n.Graph.out_type = 0)
+      then
+        Faults.crash "lotus.import_scalar_reduce"
+          "reduce-like operator with scalar result"
+  | Op.Mat_mul ->
+      Cov.arm ~file "convert" "matmul";
+      if
+        Faults.enabled "lotus.import_matmul_vec"
+        && Cov.branch ~file "matmul_vector" (rank_of 0 = 1 || rank_of 1 = 1)
+      then
+        Faults.crash "lotus.import_matmul_vec"
+          "MatMul import with single-rank broadcasting operand"
+  | Op.Pad (Op.Pad_constant _, { pad_before; pad_after }) ->
+      Cov.arm ~file "convert" "pad";
+      if
+        Faults.enabled "lotus.import_pad_negative"
+        && Cov.branch ~file "pad_negative"
+             (List.exists (fun p -> p < 0) (pad_before @ pad_after))
+      then Faults.crash "lotus.import_pad_negative" "negative pad amounts"
+  | Op.Expand _ ->
+      Cov.arm ~file "convert" "expand";
+      if
+        Faults.enabled "lotus.import_expand_rank0"
+        && Cov.branch ~file "expand_rank0" (rank_of 0 = 0)
+      then Faults.crash "lotus.import_expand_rank0" "Expand of a rank-0 source"
+  | Op.Concat { cat_n; _ } ->
+      Cov.arm ~file "convert" "concat";
+      if
+        Faults.enabled "lotus.import_concat3"
+        && Cov.branch ~file "concat_many" (cat_n >= 3)
+      then Faults.crash "lotus.import_concat3" "axis normalisation for 3+ operands"
+  | _ -> ())
+
+let import (g : Graph.t) : gir =
+  (match Nnsmith_ops.Validate.check g with
+  | Ok () -> Cov.hit ~file "import:ok"
+  | Error e ->
+      Cov.hit ~file "import:reject";
+      raise (Faults.Compiler_bug ("[lotus.import] invalid model: " ^ e)));
+  (* int32/int64 shape-arithmetic fragility: shape-attribute operators
+     combined with i64 tensors trip the mismatch *)
+  let has_shape_attr_op =
+    List.exists
+      (fun (n : Graph.node) ->
+        match n.Graph.op with Op.Reshape _ | Op.Expand _ -> true | _ -> false)
+      (Graph.nodes g)
+  and has_i64 =
+    List.exists
+      (fun (n : Graph.node) -> Conc.dtype n.out_type = Dtype.I64)
+      (Graph.nodes g)
+  in
+  if
+    Faults.enabled "lotus.int32_shape_overflow"
+    && Cov.branch ~file "shape_i64" (has_shape_attr_op && has_i64)
+  then
+    Faults.crash "lotus.int32_shape_overflow"
+      "i32/i64 type mismatch in shape lowering";
+  let nodes =
+    List.map
+      (fun (n : Graph.node) ->
+        let in_types =
+          List.map (fun i -> (Graph.find g i).Graph.out_type) n.Graph.inputs
+        in
+        conversion_checks n in_types;
+        let op =
+          match n.Graph.op with
+          | Op.Leaf (Op.Const_fill v) ->
+              let shape = Conc.shape n.out_type in
+              R_const
+                (match Conc.dtype n.out_type with
+                | Dtype.F32 | F64 -> Nd.full_f (Conc.dtype n.out_type) shape v
+                | I32 | I64 ->
+                    Nd.full_i (Conc.dtype n.out_type) shape (int_of_float v)
+                | Bool -> Nd.full_b shape (v <> 0.))
+          | op ->
+              (* Lotus's front end, like TVM's, switches on operator
+                 *properties* rather than concrete operator identity, so
+                 its decision points are per-pattern — this is why graph-
+                 pattern diversity buys less coverage here (§5.2). *)
+              Cov.arm ~file "node"
+                (pattern_name (classify op) ^ ":"
+                ^ Dtype.to_string (Conc.dtype n.out_type));
+              R_plain op
+        in
+        {
+          id = n.Graph.id;
+          op;
+          inputs = n.Graph.inputs;
+          out_type = n.out_type;
+          pattern =
+            (match n.Graph.op with
+            | Op.Leaf _ -> P_opaque
+            | op -> classify op);
+        })
+      (Graph.nodes g)
+  in
+  let next_id = 1 + List.fold_left (fun acc n -> max acc n.id) (-1) nodes in
+  {
+    nodes;
+    outputs = List.map (fun (n : Graph.node) -> n.Graph.id) (Graph.outputs g);
+    next_id;
+  }
+
+let const_of g id =
+  match find_opt g id with Some { op = R_const t; _ } -> Some t | _ -> None

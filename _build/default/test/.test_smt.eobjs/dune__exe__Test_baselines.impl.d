@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Hashtbl List Nnsmith_baselines Nnsmith_coverage Nnsmith_faults Nnsmith_ir Nnsmith_ops Nnsmith_tensor Printf String

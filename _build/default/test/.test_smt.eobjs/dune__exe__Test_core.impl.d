@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Hashtbl List Nnsmith_core Nnsmith_ir Nnsmith_ops Nnsmith_tensor Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_grad.ml: Alcotest Array Float Hashtbl List Nnsmith_baselines Nnsmith_core Nnsmith_grad Nnsmith_ir Nnsmith_ops Nnsmith_tensor Random

@@ -1,0 +1,1 @@
+test/test_infra.ml: Alcotest Filename Fun List Nnsmith_baselines Nnsmith_core Nnsmith_coverage Nnsmith_difftest Nnsmith_faults Nnsmith_ir Nnsmith_ops Nnsmith_tensor Printf Random String Sys

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest List Nnsmith_ir Nnsmith_smt Nnsmith_tensor String

@@ -1,0 +1,1 @@
+test/test_ops.ml: Alcotest Array Float List Nnsmith_baselines Nnsmith_ir Nnsmith_ops Nnsmith_smt Nnsmith_tensor Option Printf Random

@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Array Float List Nnsmith_core Nnsmith_difftest Nnsmith_faults Nnsmith_ir Nnsmith_ops Nnsmith_tensor Option QCheck QCheck_alcotest Random

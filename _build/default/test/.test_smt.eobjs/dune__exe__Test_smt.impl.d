@@ -1,0 +1,1 @@
+test/test_smt.ml: Alcotest List Nnsmith_smt Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Array Float Fun Gen List Nnsmith_tensor QCheck QCheck_alcotest Random

@@ -1,0 +1,195 @@
+(* Tests for the baseline generators (lib/baselines): the design restrictions
+   the paper attributes to LEMON, GraphFuzzer and TZer must actually hold. *)
+
+module Op = Nnsmith_ir.Op
+module Graph = Nnsmith_ir.Graph
+module Conc = Nnsmith_ir.Ttype.Conc
+module Validate = Nnsmith_ops.Validate
+module Lemon = Nnsmith_baselines.Lemon
+module Graphfuzzer = Nnsmith_baselines.Graphfuzzer
+module Tzer = Nnsmith_baselines.Tzer
+module Cov = Nnsmith_coverage.Coverage
+module Faults = Nnsmith_faults.Faults
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* LEMON                                                               *)
+
+let test_lemon_mutants_valid () =
+  let st = Lemon.create ~seed:5 () in
+  for _ = 1 to 50 do
+    let g = Lemon.next st in
+    match Validate.check g with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "invalid mutant: %s" e
+  done
+
+let test_lemon_only_shape_preserving_mutations () =
+  (* every node kind appearing in mutants must come from the seeds or the
+     shape-preserving layer list *)
+  let st = Lemon.create ~seed:6 () in
+  let seed_ops = Hashtbl.create 16 in
+  List.iter
+    (fun g ->
+      List.iter
+        (fun (n : Graph.node) -> Hashtbl.replace seed_ops (Op.name n.Graph.op) ())
+        (Graph.nodes g))
+    [ Lemon.seed_convnet (); Lemon.seed_mlp (); Lemon.seed_tower () ];
+  List.iter
+    (fun op -> Hashtbl.replace seed_ops (Op.name op) ())
+    Lemon.shape_preserving_unaries;
+  for _ = 1 to 50 do
+    let g = Lemon.next st in
+    List.iter
+      (fun (n : Graph.node) ->
+        check
+          (Printf.sprintf "op %s allowed" (Op.name n.Graph.op))
+          true
+          (Hashtbl.mem seed_ops (Op.name n.Graph.op)))
+      (Graph.nodes g)
+  done
+
+let test_lemon_mutations_change_models () =
+  let st = Lemon.create ~seed:7 () in
+  let sizes = Hashtbl.create 8 in
+  for _ = 1 to 40 do
+    Hashtbl.replace sizes (Graph.size (Lemon.next st)) ()
+  done;
+  check "sizes vary" true (Hashtbl.length sizes > 2)
+
+(* ------------------------------------------------------------------ *)
+(* GraphFuzzer                                                         *)
+
+let test_graphfuzzer_models_valid () =
+  let st = Graphfuzzer.create ~seed:8 () in
+  for _ = 1 to 50 do
+    let g = Graphfuzzer.next st in
+    match Validate.check g with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "invalid model: %s" e
+  done
+
+let test_graphfuzzer_no_broadcast () =
+  (* its alignment strategy means binary operands always share shapes *)
+  let st = Graphfuzzer.create ~seed:9 () in
+  for _ = 1 to 60 do
+    let g = Graphfuzzer.next st in
+    List.iter
+      (fun (n : Graph.node) ->
+        match n.Graph.op with
+        | Op.Binary _ ->
+            let types =
+              List.map (fun i -> (Graph.find g i).Graph.out_type) n.Graph.inputs
+            in
+            (match types with
+            | [ a; b ] -> check "binary operands same shape" true (Conc.equal a b)
+            | _ -> ())
+        | _ -> ())
+      (Graph.nodes g)
+  done
+
+let test_graphfuzzer_slice_pad_bias () =
+  (* the "fixing" strategy seeds the graphs with Slice/Pad nodes *)
+  let st = Graphfuzzer.create ~seed:10 ~size:20 () in
+  let align_nodes = ref 0 and total = ref 0 in
+  for _ = 1 to 60 do
+    let g = Graphfuzzer.next st in
+    List.iter
+      (fun (n : Graph.node) ->
+        incr total;
+        match n.Graph.op with
+        | Op.Slice _ | Op.Pad _ -> incr align_nodes
+        | _ -> ())
+      (Graph.nodes g)
+  done;
+  check "slice/pad appear" true (!align_nodes > 0);
+  check "noticeable fraction" true (!align_nodes * 100 / !total >= 5)
+
+let test_graphfuzzer_conv_shape_preserving () =
+  (* Conv2d instances are restricted to 1x1/stride-1, as in the paper *)
+  let st = Graphfuzzer.create ~seed:11 ~size:20 () in
+  for _ = 1 to 60 do
+    let g = Graphfuzzer.next st in
+    List.iter
+      (fun (n : Graph.node) ->
+        match n.Graph.op with
+        | Op.Conv2d { kh; kw; stride; padding; _ } ->
+            check "1x1 kernel" true (kh = 1 && kw = 1 && stride = 1 && padding = 0)
+        | _ -> ())
+      (Graph.nodes g)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* TZer                                                                *)
+
+let test_tzer_runs_and_grows () =
+  Faults.deactivate_all ();
+  Cov.reset ();
+  let st = Tzer.create ~seed:12 () in
+  for _ = 1 to 300 do
+    Tzer.step st
+  done;
+  check "executed" true (st.Tzer.executed = 300);
+  check "coverage collected" true (Cov.count (Cov.snapshot ()) > 0);
+  check "corpus grew" true (List.length st.Tzer.corpus > 4)
+
+let test_tzer_stays_low_level () =
+  (* TZer must never touch graph-level pass coverage *)
+  Faults.deactivate_all ();
+  Cov.reset ();
+  let st = Tzer.create ~seed:13 () in
+  for _ = 1 to 200 do
+    Tzer.step st
+  done;
+  let snap = Cov.snapshot () in
+  let touched_graph_level =
+    List.exists
+      (fun site ->
+        String.length site >= 16 && String.sub site 0 16 = "lotus/transforms")
+      (Cov.sites snap)
+  in
+  check "no graph-level sites" false touched_graph_level
+
+(* ------------------------------------------------------------------ *)
+(* Builder                                                             *)
+
+let test_builder_error () =
+  let g = Graph.empty in
+  let g, x = Nnsmith_baselines.Builder.input g Nnsmith_tensor.Dtype.F32 [ 2 ] in
+  let g, y = Nnsmith_baselines.Builder.input g Nnsmith_tensor.Dtype.F32 [ 3 ] in
+  check "bad op raises" true
+    (try
+       ignore (Nnsmith_baselines.Builder.op g Op.Mat_mul [ x; y ]);
+       false
+     with Nnsmith_baselines.Builder.Build_error _ -> true);
+  check_int "op_opt none" 0
+    (match Nnsmith_baselines.Builder.op_opt g Op.Mat_mul [ x; y ] with
+    | None -> 0
+    | Some _ -> 1)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "baselines"
+    [
+      ( "lemon",
+        [
+          tc "mutants valid" `Quick test_lemon_mutants_valid;
+          tc "shape-preserving only" `Quick test_lemon_only_shape_preserving_mutations;
+          tc "mutations change models" `Quick test_lemon_mutations_change_models;
+        ] );
+      ( "graphfuzzer",
+        [
+          tc "models valid" `Quick test_graphfuzzer_models_valid;
+          tc "no broadcasting" `Quick test_graphfuzzer_no_broadcast;
+          tc "slice/pad bias" `Quick test_graphfuzzer_slice_pad_bias;
+          tc "conv restricted" `Quick test_graphfuzzer_conv_shape_preserving;
+        ] );
+      ( "tzer",
+        [
+          tc "runs and grows" `Quick test_tzer_runs_and_grows;
+          tc "stays low level" `Quick test_tzer_stays_low_level;
+        ] );
+      ("builder", [ tc "errors" `Quick test_builder_error ]);
+    ]

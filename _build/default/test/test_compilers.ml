@@ -1,0 +1,718 @@
+(* Tests for the two compilers under test: OxRT (lib/ortlike) and Lotus
+   (lib/tvmlike), including their seeded defects. *)
+
+module Op = Nnsmith_ir.Op
+module Graph = Nnsmith_ir.Graph
+module Conc = Nnsmith_ir.Ttype.Conc
+module Dtype = Nnsmith_tensor.Dtype
+module Nd = Nnsmith_tensor.Nd
+module Runner = Nnsmith_ops.Runner
+module Faults = Nnsmith_faults.Faults
+module Ox = Nnsmith_ortlike.Compiler
+module Oxir = Nnsmith_ortlike.Ir
+module Lotus = Nnsmith_tvmlike.Compiler
+module Rir = Nnsmith_tvmlike.Rir
+module Tir = Nnsmith_tvmlike.Tir
+module Lower = Nnsmith_tvmlike.Lower
+module B = Nnsmith_baselines.Builder
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let no_faults f = Faults.with_bugs [] f
+let with_bug b f = Faults.with_bugs [ b ] f
+
+let t32 dims xs = Nd.of_floats Dtype.F32 (Array.of_list dims) (Array.of_list xs)
+
+let run_oxrt ?profile ?opt_level g binding =
+  Ox.run (Ox.compile ?profile ?opt_level g) binding
+
+let run_lotus ?opt_level g binding =
+  Lotus.run (Lotus.compile ?opt_level g) binding
+
+(* reference semantics for comparison *)
+let reference g binding =
+  let all = Runner.run g binding in
+  List.map
+    (fun (n : Graph.node) -> (n.Graph.id, List.assoc n.Graph.id all))
+    (Graph.outputs g)
+
+let agree a b =
+  List.for_all2 (fun (_, x) (_, y) -> Nd.approx_equal ~rtol:1e-3 x y) a b
+
+let crashes_with bug_id f =
+  match f () with
+  | _ -> false
+  | exception Faults.Compiler_bug m ->
+      Nnsmith_difftest.Harness.bug_id_of_message m = Some bug_id
+
+(* ------------------------------------------------------------------ *)
+(* Shared test graphs                                                  *)
+
+(* Mul(2, A) @ Mul(3, B) with B of the given shape *)
+let matmul_scale_graph b_dims =
+  let g = Graph.empty in
+  let g, a = B.input g Dtype.F32 [ 2; 2 ] in
+  let g, b = B.input g Dtype.F32 b_dims in
+  let g, s1 = B.leaf g (Op.Const_fill 2.) Dtype.F32 [] in
+  let g, s2 = B.leaf g (Op.Const_fill 3.) Dtype.F32 [] in
+  let g, ma = B.op g (Op.Binary Op.Mul) [ s1; a ] in
+  let g, mb = B.op g (Op.Binary Op.Mul) [ s2; b ] in
+  let g, _ = B.op g Op.Mat_mul [ ma; mb ] in
+  g
+
+let binding_for rng g = Runner.random_binding rng g
+
+let rng () = Random.State.make [| 2024 |]
+
+(* ------------------------------------------------------------------ *)
+(* OxRT pass behaviour                                                 *)
+
+let test_oxrt_o0_equals_reference () =
+  no_faults (fun () ->
+      for seed = 1 to 25 do
+        match
+          Nnsmith_core.Gen.generate
+            { Nnsmith_core.Config.default with seed = seed * 41; max_nodes = 8 }
+        with
+        | exception Nnsmith_core.Gen.Gen_failure _ -> ()
+        | g ->
+            let b = binding_for (rng ()) g in
+            let r = Runner.run g b in
+            if not (List.exists (fun (_, v) -> Nd.has_bad v) r) then begin
+              let reference = reference g b in
+              check "O0" true (agree reference (run_oxrt ~opt_level:Ox.O0 g b));
+              check "O2" true (agree reference (run_oxrt ~opt_level:Ox.O2 g b))
+            end
+      done)
+
+let test_oxrt_constant_folding () =
+  no_faults (fun () ->
+      let g = Graph.empty in
+      let g, c = B.leaf g (Op.Const_fill 2.) Dtype.F32 [ 2 ] in
+      let g, e = B.op g (Op.Unary Op.Exp) [ c ] in
+      let g, x = B.input g Dtype.F32 [ 2 ] in
+      let g, _ = B.op g (Op.Binary Op.Add) [ e; x ] in
+      let compiled = Ox.compile g in
+      (* exp(const) must have been folded into a Const node *)
+      let folded =
+        List.exists
+          (fun (n : Oxir.node) ->
+            match n.op with Oxir.Const _ -> n.id = e | _ -> false)
+          compiled.gir.nodes
+      in
+      check "folded" true folded)
+
+let test_oxrt_identity_elim () =
+  no_faults (fun () ->
+      let g = Graph.empty in
+      let g, x = B.input g Dtype.F32 [ 2; 2 ] in
+      let g, z = B.leaf g (Op.Const_fill 0.) Dtype.F32 [ 2; 2 ] in
+      let g, _ = B.op g (Op.Binary Op.Add) [ x; z ] in
+      let compiled = Ox.compile g in
+      (* the Add is gone: output aliases the input *)
+      check_int "only the input node survives" 1 (List.length compiled.gir.nodes))
+
+let test_oxrt_add_zero_broadcast_guard () =
+  (* zero operand expands the shape: elimination must NOT happen *)
+  let g = Graph.empty in
+  let g, x = B.input g Dtype.F32 [ 1; 3 ] in
+  let g, z = B.leaf g (Op.Const_fill 0.) Dtype.F32 [ 4; 3 ] in
+  let g, _ = B.op g (Op.Binary Op.Add) [ x; z ] in
+  no_faults (fun () ->
+      let b = [ (0, t32 [ 1; 3 ] [ 1.; 2.; 3. ]) ] in
+      check "correct without bug" true (agree (reference g b) (run_oxrt g b)));
+  with_bug "oxrt.identity_add_zero_broadcast" (fun () ->
+      check "crash with bug" true
+        (crashes_with "oxrt.identity_add_zero_broadcast" (fun () -> Ox.compile g)))
+
+let test_oxrt_fuse_relu_clip () =
+  let mk dtype =
+    let g = Graph.empty in
+    let g, x = B.input g dtype [ 4 ] in
+    let g, r = B.op g (Op.Unary Op.Relu) [ x ] in
+    let g, _ = B.op g (Op.Clip { c_lo = -1.; c_hi = 1. }) [ r ] in
+    g
+  in
+  let neg dtype = [ (0, Nd.full_f dtype [| 4 |] (-2.)) ] in
+  no_faults (fun () ->
+      let g = mk Dtype.F64 in
+      check "fused correctly" true
+        (agree (reference g (neg Dtype.F64)) (run_oxrt g (neg Dtype.F64))));
+  with_bug "oxrt.fuse_relu_clip_f64" (fun () ->
+      let g64 = mk Dtype.F64 in
+      check "f64 fusion wrong" false
+        (agree (reference g64 (neg Dtype.F64)) (run_oxrt g64 (neg Dtype.F64)));
+      (* f32 is unaffected by this defect *)
+      let g32 = mk Dtype.F32 in
+      check "f32 unaffected" true
+        (agree (reference g32 (neg Dtype.F32)) (run_oxrt g32 (neg Dtype.F32))))
+
+let test_oxrt_fuse_matmul_scale () =
+  no_faults (fun () ->
+      let g = matmul_scale_graph [ 2; 2 ] in
+      let b = binding_for (rng ()) g in
+      check "fusion preserves semantics" true (agree (reference g b) (run_oxrt g b)));
+  with_bug "oxrt.fuse_matmul_scale_1x1" (fun () ->
+      (* the paper's FuseMatMulScale defect: 1x1 operand mistaken for scalar *)
+      let one_by_one =
+        let g = Graph.empty in
+        let g, a = B.input g Dtype.F32 [ 2; 1 ] in
+        let g, b = B.input g Dtype.F32 [ 1; 1 ] in
+        let g, s = B.leaf g (Op.Const_fill 2.) Dtype.F32 [] in
+        let g, mb = B.op g (Op.Binary Op.Mul) [ s; b ] in
+        let g, _ = B.op g Op.Mat_mul [ a; mb ] in
+        g
+      in
+      check "1x1 crashes" true
+        (crashes_with "oxrt.fuse_matmul_scale_1x1" (fun () ->
+             Ox.compile one_by_one));
+      (* non-1x1 still fuses fine *)
+      let g = matmul_scale_graph [ 2; 2 ] in
+      let b = binding_for (rng ()) g in
+      check "2x2 fine" true (agree (reference g b) (run_oxrt g b)))
+
+let test_oxrt_fuse_gemm () =
+  let mk bias_dims =
+    let g = Graph.empty in
+    let g, a = B.input g Dtype.F32 [ 2; 3 ] in
+    let g, w = B.weight g Dtype.F32 [ 3; 4 ] in
+    let g, m = B.op g Op.Mat_mul [ a; w ] in
+    let g, bias = B.weight g Dtype.F32 bias_dims in
+    let g, _ = B.op g (Op.Binary Op.Add) [ m; bias ] in
+    g
+  in
+  no_faults (fun () ->
+      let g = mk [ 4 ] in
+      let b = binding_for (rng ()) g in
+      check "gemm fusion correct" true (agree (reference g b) (run_oxrt g b)));
+  with_bug "oxrt.gemm_fuse_scalar_bias" (fun () ->
+      check "rank-0 bias crashes" true
+        (crashes_with "oxrt.gemm_fuse_scalar_bias" (fun () -> Ox.compile (mk []))))
+
+let test_oxrt_fuse_bias_softmax () =
+  let mk bias_dims =
+    let g = Graph.empty in
+    let g, x = B.input g Dtype.F32 [ 2; 4 ] in
+    let g, bias = B.weight g Dtype.F32 bias_dims in
+    let g, a = B.op g (Op.Binary Op.Add) [ x; bias ] in
+    let g, _ = B.op g (Op.Softmax { sm_axis = 1 }) [ a ] in
+    g
+  in
+  no_faults (fun () ->
+      let g = mk [ 4 ] in
+      let b = binding_for (rng ()) g in
+      check "correct" true (agree (reference g b) (run_oxrt g b)));
+  with_bug "oxrt.fuse_bias_softmax_axis" (fun () ->
+      let g = mk [ 4 ] in
+      let b = binding_for (rng ()) g in
+      check "lower-rank bias wrong" false (agree (reference g b) (run_oxrt g b)))
+
+let test_oxrt_fuse_pad_conv () =
+  let mk amount =
+    let g = Graph.empty in
+    let g, x = B.input g Dtype.F32 [ 1; 1; 6; 6 ] in
+    let g, p =
+      B.op g
+        (Op.Pad
+           ( Op.Pad_constant 0.,
+             { pad_before = [ 0; 0; amount; amount ];
+               pad_after = [ 0; 0; amount; amount ] } ))
+        [ x ]
+    in
+    let g, w = B.weight g Dtype.F32 [ 1; 1; 3; 3 ] in
+    let g, _ =
+      B.op g
+        (Op.Conv2d { out_channels = 1; kh = 3; kw = 3; stride = 1; padding = 0 })
+        [ p; w ]
+    in
+    g
+  in
+  no_faults (fun () ->
+      let g = mk 1 in
+      let b = binding_for (rng ()) g in
+      check "pad folded correctly" true (agree (reference g b) (run_oxrt g b)));
+  with_bug "oxrt.fuse_pad_conv_negative" (fun () ->
+      check "negative pad crashes" true
+        (crashes_with "oxrt.fuse_pad_conv_negative" (fun () -> Ox.compile (mk (-1)))))
+
+let test_oxrt_cse () =
+  let slice_pair start2 =
+    let g = Graph.empty in
+    let g, x = B.input g Dtype.F32 [ 6 ] in
+    let g, s1 = B.op g (Op.Slice { s_axis = 0; s_start = 0; s_stop = 3 }) [ x ] in
+    let g, s2 = B.op g (Op.Slice { s_axis = 0; s_start = start2; s_stop = start2 + 3 }) [ x ] in
+    let g, _ = B.op g (Op.Binary Op.Sub) [ s1; s2 ] in
+    g
+  in
+  no_faults (fun () ->
+      (* identical slices merge... *)
+      let compiled = Ox.compile (slice_pair 0) in
+      check "identical merged" true (List.length compiled.Ox.gir.nodes <= 3);
+      (* ...but distinct slices must not *)
+      let g = slice_pair 2 in
+      let b = [ (0, t32 [ 6 ] [ 1.; 2.; 3.; 4.; 5.; 6. ]) ] in
+      check "distinct kept" true (agree (reference g b) (run_oxrt g b)));
+  with_bug "oxrt.cse_ignores_attrs" (fun () ->
+      let g = slice_pair 2 in
+      let b = [ (0, t32 [ 6 ] [ 1.; 2.; 3.; 4.; 5.; 6. ]) ] in
+      check "wrong merge changes results" false
+        (agree (reference g b) (run_oxrt g b)))
+
+let test_oxrt_where_fold () =
+  let mk () =
+    let g = Graph.empty in
+    let g, c = B.leaf g (Op.Const_fill 1.) Dtype.Bool [ 1 ] in
+    let g, t = B.input g Dtype.F32 [ 1; 3 ] in
+    let g, f = B.input g Dtype.F32 [ 4; 3 ] in
+    let g, _ = B.op g Op.Where [ c; t; f ] in
+    g
+  in
+  no_faults (fun () ->
+      let g = mk () in
+      let b = binding_for (rng ()) g in
+      check "folds via expand" true (agree (reference g b) (run_oxrt g b)));
+  with_bug "oxrt.where_const_cond_fold" (fun () ->
+      check "broadcast-dropping fold crashes" true
+        (crashes_with "oxrt.where_const_cond_fold" (fun () -> Ox.compile (mk ()))))
+
+let test_oxrt_cast_elim () =
+  let mk d1 =
+    let g = Graph.empty in
+    let g, x = B.input g Dtype.F32 [ 3 ] in
+    let g, c1 = B.op g (Op.Cast d1) [ x ] in
+    let g, _ = B.op g (Op.Cast Dtype.F32) [ c1 ] in
+    g
+  in
+  let b = [ (0, t32 [ 3 ] [ 1.9; -2.7; 3.2 ]) ] in
+  no_faults (fun () ->
+      (* f32 -> f64 -> f32 is lossless and removable; f32 -> i32 -> f32 is not *)
+      check "lossless" true (agree (reference (mk Dtype.F64) b) (run_oxrt (mk Dtype.F64) b));
+      check "trunc preserved" true
+        (agree (reference (mk Dtype.I32) b) (run_oxrt (mk Dtype.I32) b)));
+  with_bug "oxrt.cast_chain_wrap" (fun () ->
+      check "trunc dropped = semantic bug" false
+        (agree (reference (mk Dtype.I32) b) (run_oxrt (mk Dtype.I32) b)))
+
+let test_oxrt_avgpool_include_pad () =
+  let g = Graph.empty in
+  let g, x = B.input g Dtype.F32 [ 1; 1; 2; 2 ] in
+  let g, _ =
+    B.op g
+      (Op.Pool2d (Op.P_avg, { p_kh = 2; p_kw = 2; p_stride = 2; p_padding = 1 }))
+      [ x ]
+  in
+  let b = [ (0, t32 [ 1; 1; 2; 2 ] [ 4.; 4.; 4.; 4. ]) ] in
+  no_faults (fun () ->
+      check "exclude-pad matches" true (agree (reference g b) (run_oxrt g b)));
+  with_bug "oxrt.avgpool_include_pad" (fun () ->
+      check "include-pad differs" false (agree (reference g b) (run_oxrt g b)))
+
+let test_oxrt_rejects_invalid () =
+  let bad =
+    Graph.map_nodes
+      (fun n ->
+        if n.Graph.id = 1 then { n with out_type = Conc.make Dtype.F32 [ 9 ] }
+        else n)
+      (let g = Graph.empty in
+       let g, x = B.input g Dtype.F32 [ 2 ] in
+       let g, _ = B.op g (Op.Unary Op.Exp) [ x ] in
+       g)
+  in
+  no_faults (fun () ->
+      check "front end rejects" true
+        (try
+           ignore (Ox.compile bad);
+           false
+         with Faults.Compiler_bug _ -> true))
+
+(* ------------------------------------------------------------------ *)
+(* TRT-strict profile                                                  *)
+
+let test_trt_reduce_keepdims () =
+  let g = Graph.empty in
+  let g, x = B.input g Dtype.F32 [ 2; 3; 4 ] in
+  let g, _ =
+    B.op g (Op.Reduce (Op.R_sum, { r_axes = [ 0; 2 ]; r_keepdims = true })) [ x ]
+  in
+  with_bug "trt.reduce_keepdims_multi" (fun () ->
+      check "builder crash" true
+        (crashes_with "trt.reduce_keepdims_multi" (fun () ->
+             Ox.compile ~profile:Ox.Trt_strict g)));
+  no_faults (fun () ->
+      let b = binding_for (rng ()) g in
+      check "fine without bug" true
+        (agree (reference g b)
+           (Ox.run (Ox.compile ~profile:Ox.Trt_strict g) b)))
+
+let test_trt_sigmoid_precision () =
+  let g = Graph.empty in
+  let g, x = B.input g Dtype.F64 [ 4 ] in
+  let g, _ = B.op g (Op.Unary Op.Sigmoid) [ x ] in
+  let b = [ (0, Nd.of_floats Dtype.F64 [| 4 |] [| -8.; -1.; 1.; 8. |]) ] in
+  with_bug "trt.sigmoid_f64_precision" (fun () ->
+      check "hard-sigmoid approximation differs" false
+        (agree (reference g b) (run_oxrt ~profile:Ox.Trt_strict g b)))
+
+(* ------------------------------------------------------------------ *)
+(* Lotus: graph level                                                  *)
+
+let test_lotus_o0_o2_equal_reference () =
+  no_faults (fun () ->
+      for seed = 1 to 25 do
+        match
+          Nnsmith_core.Gen.generate
+            { Nnsmith_core.Config.default with seed = seed * 43; max_nodes = 8 }
+        with
+        | exception Nnsmith_core.Gen.Gen_failure _ -> ()
+        | g ->
+            let b = binding_for (rng ()) g in
+            let r = Runner.run g b in
+            if not (List.exists (fun (_, v) -> Nd.has_bad v) r) then begin
+              let reference = reference g b in
+              check "O0" true (agree reference (run_lotus ~opt_level:Lotus.O0 g b));
+              check "O2" true (agree reference (run_lotus ~opt_level:Lotus.O2 g b))
+            end
+      done)
+
+let transpose_pair_graph () =
+  let g = Graph.empty in
+  let g, x = B.input g Dtype.F32 [ 2; 3; 4 ] in
+  let g, t1 = B.op g (Op.Transpose [| 1; 2; 0 |]) [ x ] in
+  let g, _ = B.op g (Op.Transpose [| 2; 1; 0 |]) [ t1 ] in
+  g
+
+let test_lotus_fold_transpose_pair () =
+  let g = transpose_pair_graph () in
+  let b = binding_for (rng ()) g in
+  no_faults (fun () ->
+      check "fold correct" true (agree (reference g b) (run_lotus g b)));
+  with_bug "lotus.fold_transpose_pair" (fun () ->
+      check "wrong composition order" false
+        (try agree (reference g b) (run_lotus g b)
+         with _ -> false))
+
+let conv_graph ~channels consumer =
+  let g = Graph.empty in
+  let g, x = B.input g Dtype.F32 [ 1; channels; 6; 6 ] in
+  let g, w = B.weight g Dtype.F32 [ channels; channels; 3; 3 ] in
+  let g, c =
+    B.op g
+      (Op.Conv2d
+         { out_channels = channels; kh = 3; kw = 3; stride = 1; padding = 1 })
+      [ x; w ]
+  in
+  consumer g c
+
+let test_lotus_layout_bugs () =
+  let broadcast_consumer g c =
+    let g, k = B.leaf g (Op.Const_fill 1.) Dtype.F32 [ 6; 6 ] in
+    let g, _ = B.op g (Op.Binary Op.Add) [ c; k ] in
+    g
+  in
+  no_faults (fun () ->
+      let g = conv_graph ~channels:4 broadcast_consumer in
+      let b = binding_for (rng ()) g in
+      check "layout packing transparent" true (agree (reference g b) (run_lotus g b)));
+  with_bug "lotus.layout_nchw4c_broadcast" (fun () ->
+      check "broadcast consumer crash" true
+        (crashes_with "lotus.layout_nchw4c_broadcast" (fun () ->
+             Lotus.compile (conv_graph ~channels:4 broadcast_consumer)));
+      (* channels not divisible by 4: no packing, no crash *)
+      let g3 = conv_graph ~channels:3 broadcast_consumer in
+      check "c=3 unaffected" true
+        (try
+           ignore (Lotus.compile g3);
+           true
+         with Faults.Compiler_bug _ -> false))
+
+let test_lotus_conversion_bugs () =
+  let where_graph () =
+    let g = Graph.empty in
+    let g, c = B.input g Dtype.Bool [ 1; 1 ] in
+    let g, t = B.input g Dtype.F32 [ 3; 1 ] in
+    let g, f = B.input g Dtype.F32 [ 2 ] in
+    let g, _ = B.op g Op.Where [ c; t; f ] in
+    g
+  in
+  with_bug "lotus.import_where_broadcast" (fun () ->
+      check "the paper's Where(C1x1,T3x1,F2)" true
+        (crashes_with "lotus.import_where_broadcast" (fun () ->
+             Lotus.compile (where_graph ()))));
+  let vec_matmul () =
+    let g = Graph.empty in
+    let g, a = B.input g Dtype.F32 [ 3 ] in
+    let g, m = B.input g Dtype.F32 [ 3; 2 ] in
+    let g, _ = B.op g Op.Mat_mul [ a; m ] in
+    g
+  in
+  with_bug "lotus.import_matmul_vec" (fun () ->
+      check "vector matmul import" true
+        (crashes_with "lotus.import_matmul_vec" (fun () ->
+             Lotus.compile (vec_matmul ()))));
+  let scalar_reduce () =
+    let g = Graph.empty in
+    let g, x = B.input g Dtype.F32 [ 4 ] in
+    let g, _ =
+      B.op g (Op.Reduce (Op.R_sum, { r_axes = [ 0 ]; r_keepdims = false })) [ x ]
+    in
+    g
+  in
+  with_bug "lotus.import_scalar_reduce" (fun () ->
+      check "scalar reduce import" true
+        (crashes_with "lotus.import_scalar_reduce" (fun () ->
+             Lotus.compile (scalar_reduce ()))));
+  no_faults (fun () ->
+      check "all importable without bugs" true
+        (try
+           ignore (Lotus.compile (where_graph ()));
+           ignore (Lotus.compile (vec_matmul ()));
+           ignore (Lotus.compile (scalar_reduce ()));
+           true
+         with Faults.Compiler_bug _ -> false))
+
+let test_lotus_int32_shape_overflow () =
+  let g = Graph.empty in
+  let g, x = B.input g Dtype.I64 [ 2; 3 ] in
+  let g, _ = B.op g (Op.Reshape [ 3; 2 ]) [ x ] in
+  with_bug "lotus.int32_shape_overflow" (fun () ->
+      check "i64 + shape op crash" true
+        (crashes_with "lotus.int32_shape_overflow" (fun () -> Lotus.compile g)))
+
+(* ------------------------------------------------------------------ *)
+(* Lotus: low level (TIR)                                              *)
+
+let f32t dims = Conc.make Dtype.F32 dims
+
+let run_tir f inputs out_size =
+  let out = Array.make out_size 0. in
+  Tir.run f (Array.of_list inputs) out;
+  out
+
+let test_lotus_chain_fusion () =
+  (* a long unary chain must collapse into one fused kernel, with identical
+     semantics *)
+  no_faults (fun () ->
+      let g = Graph.empty in
+      let g, x = B.input g Dtype.F32 [ 2; 5 ] in
+      let g, a = B.op g (Op.Unary Op.Tanh) [ x ] in
+      let g, b = B.op g (Op.Unary Op.Abs) [ a ] in
+      let g, c = B.op g (Op.Unary Op.Sqrt) [ b ] in
+      let g, d = B.op g (Op.Clip { c_lo = -1.; c_hi = 1. }) [ c ] in
+      let g, _ = B.op g (Op.Unary Op.Sin) [ d ] in
+      let compiled = Lotus.compile g in
+      let kernels =
+        List.filter
+          (fun (s : Lotus.compiled_step) ->
+            match s.cs_step with Lotus.S_kernel _ -> true | _ -> false)
+          compiled.steps
+      in
+      check_int "one fused kernel" 1 (List.length kernels);
+      let binding = binding_for (rng ()) g in
+      check "fused semantics" true
+        (agree (reference g binding) (Lotus.run compiled binding)))
+
+let test_lotus_cse_dce () =
+  no_faults (fun () ->
+      (* duplicate subexpression merged; dead branch removed *)
+      let g = Graph.empty in
+      let g, x = B.input g Dtype.F32 [ 3 ] in
+      let g, a = B.op g (Op.Unary Op.Exp) [ x ] in
+      let g, b = B.op g (Op.Unary Op.Exp) [ x ] in
+      let g, _ = B.op g (Op.Binary Op.Add) [ a; b ] in
+      let binding = binding_for (rng ()) g in
+      check "cse correct" true (agree (reference g binding) (run_lotus g binding)))
+
+let test_tir_lowering_matches_eval () =
+  no_faults (fun () ->
+      (* relu over [2;3] *)
+      let f = Lower.lower_node ~name:"t" (Op.Unary Op.Relu) [ f32t [ 2; 3 ] ] (f32t [ 2; 3 ]) in
+      let input = [| -1.; 2.; -3.; 4.; -5.; 6. |] in
+      let out = run_tir f [ input ] 6 in
+      Alcotest.(check (array (float 1e-6))) "relu" [| 0.; 2.; 0.; 4.; 0.; 6. |] out;
+      (* broadcast add [2;3] + [3] *)
+      let fa =
+        Lower.lower_node ~name:"a" (Op.Binary Op.Add)
+          [ f32t [ 2; 3 ]; f32t [ 3 ] ]
+          (f32t [ 2; 3 ])
+      in
+      let out =
+        run_tir fa [ [| 1.; 2.; 3.; 4.; 5.; 6. |]; [| 10.; 20.; 30. |] ] 6
+      in
+      Alcotest.(check (array (float 1e-6)))
+        "bcast" [| 11.; 22.; 33.; 14.; 25.; 36. |] out)
+
+let test_tir_optimized_equals_unoptimized () =
+  no_faults (fun () ->
+      let f =
+        Lower.lower_node ~name:"o" (Op.Binary Op.Mul)
+          [ f32t [ 2; 1; 4 ]; f32t [ 3; 1 ] ]
+          (f32t [ 2; 3; 4 ])
+      in
+      let inputs =
+        [ Array.init 8 float_of_int; Array.init 3 (fun i -> float_of_int (i + 1)) ]
+      in
+      let plain = run_tir f inputs 24 in
+      let opt = run_tir (Tir.optimize f) inputs 24 in
+      Alcotest.(check (array (float 1e-6))) "same" plain opt)
+
+let test_tir_simplify_rules () =
+  let open Tir in
+  no_faults (fun () ->
+      check "add0" true (simplify_iexpr (Iadd (Ivar "i", Iconst 0)) = Ivar "i");
+      check "mul1" true (simplify_iexpr (Imul (Iconst 1, Ivar "i")) = Ivar "i");
+      check "mul0" true (simplify_iexpr (Imul (Ivar "i", Iconst 0)) = Iconst 0);
+      check "div1" true (simplify_iexpr (Idiv (Ivar "i", Iconst 1)) = Ivar "i");
+      check "mod1" true (simplify_iexpr (Imod (Ivar "i", Iconst 1)) = Iconst 0);
+      (* ((i/1) mod d) * 1 -> i mod d is sound *)
+      check "divmulmod s=1" true
+        (simplify_iexpr (Imul (Imod (Idiv (Ivar "i", Iconst 1), Iconst 5), Iconst 1))
+        = Imod (Ivar "i", Iconst 5)))
+
+let qcheck_simplify_preserves_value =
+  QCheck.Test.make ~name:"simplify preserves index semantics" ~count:300
+    QCheck.(pair (int_range 0 500) (int_range 0 10000))
+    (fun (i, seed) ->
+      Faults.deactivate_all ();
+      let rng = Random.State.make [| seed |] in
+      (* random small index expression over one variable *)
+      let rec expr depth =
+        if depth = 0 then
+          if Random.State.bool rng then Tir.Ivar "i"
+          else Tir.Iconst (Random.State.int rng 8)
+        else
+          let a = expr (depth - 1) and b = expr (depth - 1) in
+          match Random.State.int rng 4 with
+          | 0 -> Tir.Iadd (a, b)
+          | 1 -> Tir.Imul (a, b)
+          | 2 -> Tir.Idiv (a, Tir.Iconst (1 + Random.State.int rng 7))
+          | _ -> Tir.Imod (a, Tir.Iconst (1 + Random.State.int rng 7))
+      in
+      let e = expr 3 in
+      let env = [ ("i", i) ] in
+      Tir.eval_iexpr env (Tir.simplify_iexpr e) = Tir.eval_iexpr env e)
+
+let test_tir_unroll () =
+  let open Tir in
+  let loop =
+    [
+      For
+        {
+          v = "i";
+          extent = 3;
+          kind = Serial;
+          body = [ Store { index = Ivar "i"; value = Vconst 1. } ];
+        };
+    ]
+  in
+  no_faults (fun () ->
+      let f = { f_name = "u"; n_inputs = 0; body = loop } in
+      let out = run_tir (pass_unroll f) [] 3 in
+      Alcotest.(check (array (float 1e-6))) "all stored" [| 1.; 1.; 1. |] out);
+  with_bug "lotus.unroll_off_by_one" (fun () ->
+      let f = { f_name = "u"; n_inputs = 0; body = loop } in
+      let out = run_tir (pass_unroll f) [] 3 in
+      check "last iteration dropped" true (out.(2) = 0. && out.(0) = 1.))
+
+let test_tir_vectorize () =
+  let open Tir in
+  let loop extent =
+    {
+      f_name = "v";
+      n_inputs = 0;
+      body =
+        [
+          For
+            {
+              v = "i";
+              extent;
+              kind = Serial;
+              body = [ Store { index = Ivar "i"; value = Vconst 2. } ];
+            };
+        ];
+    }
+  in
+  no_faults (fun () ->
+      match (pass_vectorize (loop 8)).body with
+      | [ For { kind = Vectorized; _ } ] -> ()
+      | _ -> Alcotest.fail "divisible loop should vectorize");
+  with_bug "lotus.vectorize_tail" (fun () ->
+      check "non-divisible crash" true
+        (crashes_with "lotus.vectorize_tail" (fun () -> pass_vectorize (loop 7))))
+
+let test_tir_interpreter_errors () =
+  let open Tir in
+  let f =
+    {
+      f_name = "bad";
+      n_inputs = 0;
+      body = [ Store { index = Iconst 99; value = Vconst 1. } ];
+    }
+  in
+  check "oob store" true
+    (try
+       ignore (run_tir f [] 4);
+       false
+     with Tir_error _ -> true)
+
+let test_lotus_divmulmod_semantic_bug () =
+  (* broadcast with a non-innermost matching dim exercises the buggy rule *)
+  let g = Graph.empty in
+  let g, a = B.input g Dtype.F32 [ 2; 3; 4 ] in
+  let g, b = B.input g Dtype.F32 [ 3; 1 ] in
+  let g, _ = B.op g (Op.Binary Op.Add) [ a; b ] in
+  let binding = binding_for (rng ()) g in
+  no_faults (fun () ->
+      check "sound simplification" true
+        (agree (reference g binding) (run_lotus g binding)));
+  with_bug "lotus.simplify_div_mul_mod" (fun () ->
+      check "unsound reorder detected" false
+        (try agree (reference g binding) (run_lotus g binding) with _ -> false))
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "compilers"
+    [
+      ( "oxrt",
+        [
+          tc "O0/O2 = reference" `Slow test_oxrt_o0_equals_reference;
+          tc "constant folding" `Quick test_oxrt_constant_folding;
+          tc "identity elim" `Quick test_oxrt_identity_elim;
+          tc "add-zero broadcast guard" `Quick test_oxrt_add_zero_broadcast_guard;
+          tc "fuse relu-clip" `Quick test_oxrt_fuse_relu_clip;
+          tc "fuse matmul-scale" `Quick test_oxrt_fuse_matmul_scale;
+          tc "fuse gemm" `Quick test_oxrt_fuse_gemm;
+          tc "fuse bias-softmax" `Quick test_oxrt_fuse_bias_softmax;
+          tc "fuse pad-conv" `Quick test_oxrt_fuse_pad_conv;
+          tc "cse" `Quick test_oxrt_cse;
+          tc "where fold" `Quick test_oxrt_where_fold;
+          tc "cast elim" `Quick test_oxrt_cast_elim;
+          tc "avgpool include-pad" `Quick test_oxrt_avgpool_include_pad;
+          tc "rejects invalid models" `Quick test_oxrt_rejects_invalid;
+        ] );
+      ( "trt",
+        [
+          tc "reduce keepdims crash" `Quick test_trt_reduce_keepdims;
+          tc "sigmoid precision" `Quick test_trt_sigmoid_precision;
+        ] );
+      ( "lotus-graph",
+        [
+          tc "O0/O2 = reference" `Slow test_lotus_o0_o2_equal_reference;
+          tc "fold transpose pair" `Quick test_lotus_fold_transpose_pair;
+          tc "layout bugs" `Quick test_lotus_layout_bugs;
+          tc "conversion bugs" `Quick test_lotus_conversion_bugs;
+          tc "i32/i64 shape overflow" `Quick test_lotus_int32_shape_overflow;
+          tc "chain fusion" `Quick test_lotus_chain_fusion;
+          tc "cse/dce" `Quick test_lotus_cse_dce;
+        ] );
+      ( "lotus-tir",
+        [
+          tc "lowering matches eval" `Quick test_tir_lowering_matches_eval;
+          tc "optimized = unoptimized" `Quick test_tir_optimized_equals_unoptimized;
+          tc "simplify rules" `Quick test_tir_simplify_rules;
+          QCheck_alcotest.to_alcotest qcheck_simplify_preserves_value;
+          tc "unroll" `Quick test_tir_unroll;
+          tc "vectorize" `Quick test_tir_vectorize;
+          tc "interpreter errors" `Quick test_tir_interpreter_errors;
+          tc "div/mul/mod semantic bug" `Quick test_lotus_divmulmod_semantic_bug;
+        ] );
+    ]

@@ -1,0 +1,308 @@
+(* Tests for the differential-testing harness, exporter, campaigns and the
+   seeded-bug study machinery (lib/difftest). *)
+
+module Op = Nnsmith_ir.Op
+module Graph = Nnsmith_ir.Graph
+module Conc = Nnsmith_ir.Ttype.Conc
+module Dtype = Nnsmith_tensor.Dtype
+module Nd = Nnsmith_tensor.Nd
+module Runner = Nnsmith_ops.Runner
+module Faults = Nnsmith_faults.Faults
+module D = Nnsmith_difftest
+module B = Nnsmith_baselines.Builder
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let no_faults f = Faults.with_bugs [] f
+let with_bug b f = Faults.with_bugs [ b ] f
+let rng () = Random.State.make [| 31337 |]
+
+let relu_graph () =
+  let g = Graph.empty in
+  let g, x = B.input g Dtype.F32 [ 2; 2 ] in
+  let g, _ = B.op g (Op.Unary Op.Relu) [ x ] in
+  (g, x)
+
+(* ------------------------------------------------------------------ *)
+(* Harness                                                             *)
+
+let test_harness_pass () =
+  no_faults (fun () ->
+      let g, _ = relu_graph () in
+      let b = Runner.random_binding (rng ()) g in
+      List.iter
+        (fun sys ->
+          match D.Harness.test sys g b with
+          | D.Harness.Pass -> ()
+          | v ->
+              Alcotest.failf "%s: expected Pass, got %s" sys.D.Systems.s_name
+                (match v with
+                | D.Harness.Crash m -> "Crash " ^ m
+                | Semantic _ -> "Semantic"
+                | Skipped m -> "Skipped " ^ m
+                | Pass -> "Pass"))
+        D.Systems.all)
+
+let test_harness_skips_nan () =
+  no_faults (fun () ->
+      let g = Graph.empty in
+      let g, x = B.input g Dtype.F32 [ 2 ] in
+      let g, _ = B.op g (Op.Unary Op.Sqrt) [ x ] in
+      let b = [ (x, Nd.of_floats Dtype.F32 [| 2 |] [| -1.; -2. |]) ] in
+      match D.Harness.test D.Systems.oxrt g b with
+      | D.Harness.Skipped _ -> ()
+      | _ -> Alcotest.fail "NaN reference must be skipped, not compared")
+
+let test_harness_detects_crash () =
+  with_bug "lotus.import_matmul_vec" (fun () ->
+      let g = Graph.empty in
+      let g, a = B.input g Dtype.F32 [ 3 ] in
+      let g, m = B.input g Dtype.F32 [ 3; 2 ] in
+      let g, _ = B.op g Op.Mat_mul [ a; m ] in
+      let b = Runner.random_binding (rng ()) g in
+      match D.Harness.test D.Systems.lotus g b with
+      | D.Harness.Crash msg ->
+          check "attributed" true
+            (D.Harness.bug_id_of_message msg = Some "lotus.import_matmul_vec")
+      | _ -> Alcotest.fail "expected a crash verdict")
+
+let avgpool_graph () =
+  let g = Graph.empty in
+  let g, x = B.input g Dtype.F32 [ 1; 1; 2; 2 ] in
+  let g, _ =
+    B.op g
+      (Op.Pool2d (Op.P_avg, { p_kh = 2; p_kw = 2; p_stride = 2; p_padding = 1 }))
+      [ x ]
+  in
+  (g, x)
+
+let test_harness_semantic_localisation () =
+  with_bug "oxrt.avgpool_include_pad" (fun () ->
+      let g, x = avgpool_graph () in
+      let b = [ (x, Nd.full_f Dtype.F32 [| 1; 1; 2; 2 |] 4.) ] in
+      match D.Harness.test D.Systems.oxrt g b with
+      | D.Harness.Semantic { sem_kind; rel_err } ->
+          (* the defect lives in the kernel, present at O0 too -> Frontend *)
+          check "kind" true (sem_kind = `Frontend);
+          check "error measured" true (rel_err > 0.)
+      | _ -> Alcotest.fail "expected a semantic verdict")
+
+let test_harness_opt_localisation () =
+  with_bug "oxrt.fuse_relu_clip_f64" (fun () ->
+      let g = Graph.empty in
+      let g, x = B.input g Dtype.F64 [ 4 ] in
+      let g, r = B.op g (Op.Unary Op.Relu) [ x ] in
+      let g, _ = B.op g (Op.Clip { c_lo = -1.; c_hi = 1. }) [ r ] in
+      let b = [ (x, Nd.full_f Dtype.F64 [| 4 |] (-3.)) ] in
+      match D.Harness.test D.Systems.oxrt g b with
+      | D.Harness.Semantic { sem_kind; _ } ->
+          (* fusion happens only at O2 -> the optimizer is to blame *)
+          check "kind" true (sem_kind = `Optimization)
+      | _ -> Alcotest.fail "expected a semantic verdict")
+
+let test_bug_id_parsing () =
+  check "valid id" true
+    (D.Harness.bug_id_of_message "[oxrt.cse_ignores_attrs] blah"
+    = Some "oxrt.cse_ignores_attrs");
+  check "generic rejection not a bug" true
+    (D.Harness.bug_id_of_message "[oxrt.import] invalid model" = None);
+  check "no brackets" true (D.Harness.bug_id_of_message "plain" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Exporter                                                            *)
+
+let test_exporter_clean_without_bugs () =
+  no_faults (fun () ->
+      let g, _ = relu_graph () in
+      let g', fired = D.Exporter.export g in
+      check "unchanged" true (Graph.to_string g = Graph.to_string g');
+      check_int "nothing fired" 0 (List.length fired))
+
+let test_exporter_log2_scalar () =
+  with_bug "export.log2_scalar_rank1" (fun () ->
+      let g = Graph.empty in
+      let g, x = B.input g Dtype.F32 [] in
+      let g, l = B.op g (Op.Unary Op.Log2) [ x ] in
+      let g', fired = D.Exporter.export g in
+      check "fired" true (List.mem "export.log2_scalar_rank1" fired);
+      check "scalar became rank-1" true
+        (Conc.dims (Graph.find g' l).Graph.out_type = [ 1 ]);
+      (* the paper's by-product: the ill-formed model is rejected downstream *)
+      check "downstream rejects" true
+        (try
+           ignore (Nnsmith_ortlike.Compiler.compile g');
+           false
+         with Faults.Compiler_bug _ -> true))
+
+let test_exporter_clip_i32_chain () =
+  (* exporter mis-types Clip at i32; standard compilers reject, the TRT
+     profile mis-compiles it (the paper's TensorRT data-type bug) *)
+  Faults.with_bugs [ "export.clip_i32_silent"; "trt.clip_i32_attrs" ]
+    (fun () ->
+      let g = Graph.empty in
+      let g, x = B.input g Dtype.F32 [ 4 ] in
+      let g, _ = B.op g (Op.Clip { c_lo = -2.; c_hi = 2. }) [ x ] in
+      let exported, fired = D.Exporter.export g in
+      check "export fired" true (List.mem "export.clip_i32_silent" fired);
+      let b = [ (x, Nd.of_floats Dtype.F32 [| 4 |] [| -5.; 0.; 1.; 5. |]) ] in
+      (match D.Harness.test ~exported D.Systems.oxrt g b with
+      | D.Harness.Crash _ -> ()
+      | _ -> Alcotest.fail "standard runtime must reject");
+      match D.Harness.test ~exported D.Systems.trt g b with
+      | D.Harness.Semantic _ | D.Harness.Crash _ -> ()
+      | _ -> Alcotest.fail "TRT must mis-compile or crash")
+
+(* ------------------------------------------------------------------ *)
+(* Operator-support probing and cross-checking                         *)
+
+let test_support_probing () =
+  no_faults (fun () ->
+      (* every stock template is supported by every simulated system *)
+      let unsupported = D.Support.unsupported_names D.Systems.oxrt in
+      check
+        (Printf.sprintf "oxrt supports all (%s missing)"
+           (String.concat "," unsupported))
+        true (unsupported = []);
+      check "lotus supports all" true
+        (D.Support.unsupported_names D.Systems.lotus = []))
+
+let test_support_detects_rejection () =
+  (* a system that rejects integer Clip models must drop the template if
+     Clip were int-typed; our Clip is float-only, so instead check that a
+     template probe actually compiles a single-op model *)
+  no_faults (fun () ->
+      let tpl = Option.get (Nnsmith_ops.Registry.find "Conv2d") in
+      check "conv2d probes fine" true
+        (D.Support.template_supported D.Systems.lotus tpl))
+
+let test_cross_check () =
+  no_faults (fun () ->
+      let g, _ = relu_graph () in
+      let b = Runner.random_binding (rng ()) g in
+      check "compilers agree" true
+        (D.Harness.cross_check D.Systems.oxrt D.Systems.lotus g b = Some `Agree));
+  with_bug "oxrt.avgpool_include_pad" (fun () ->
+      let g, x = avgpool_graph () in
+      let b = [ (x, Nd.full_f Dtype.F32 [| 1; 1; 2; 2 |] 4.) ] in
+      match D.Harness.cross_check D.Systems.oxrt D.Systems.lotus g b with
+      | Some (`Disagree err) -> check "err measured" true (err > 0.)
+      | _ -> Alcotest.fail "cross-check should expose the kernel bug")
+
+(* ------------------------------------------------------------------ *)
+(* Opinst / campaigns / bughunt                                        *)
+
+let test_opinst_counting () =
+  let t = D.Opinst.create () in
+  let g, _ = relu_graph () in
+  let fresh = D.Opinst.add t g in
+  check_int "one op instance" 1 fresh;
+  check_int "no double count" 0 (D.Opinst.add t g);
+  check_int "total" 1 (D.Opinst.count t)
+
+let test_opinst_distinguishes_attrs () =
+  let t = D.Opinst.create () in
+  let mk stop =
+    let g = Graph.empty in
+    let g, x = B.input g Dtype.F32 [ 6 ] in
+    let g, _ = B.op g (Op.Slice { s_axis = 0; s_start = 0; s_stop = stop }) [ x ] in
+    g
+  in
+  ignore (D.Opinst.add t (mk 2));
+  ignore (D.Opinst.add t (mk 3));
+  check_int "attrs distinguish instances" 2 (D.Opinst.count t)
+
+let test_coverage_campaign_smoke () =
+  no_faults (fun () ->
+      let r =
+        D.Campaign.coverage ~budget_ms:300. ~system:D.Systems.oxrt
+          (D.Generators.nnsmith ~seed:77 ())
+      in
+      check "ran tests" true (r.tests > 0);
+      check "covered something" true (Nnsmith_coverage.Coverage.count r.final > 0);
+      check "samples monotone" true
+        (let rec mono = function
+           | (a : D.Campaign.sample) :: (b : D.Campaign.sample) :: rest ->
+               a.cov_total <= b.cov_total && mono (b :: rest)
+           | _ -> true
+         in
+         mono r.samples))
+
+let test_tzer_campaign_smoke () =
+  no_faults (fun () ->
+      let r = D.Campaign.tzer ~budget_ms:200. ~seed:3 in
+      check "ran" true (r.tests > 0);
+      check "low-level coverage" true (Nnsmith_coverage.Coverage.count r.final > 0))
+
+let test_bughunt_finds_seeded_bugs () =
+  let r = D.Bughunt.hunt ~budget_ms:6000. (D.Generators.nnsmith ~seed:55 ()) in
+  check "tests ran" true (r.tests > 0);
+  check
+    (Printf.sprintf "triggered several bugs (%d)" (Hashtbl.length r.triggered))
+    true
+    (Hashtbl.length r.triggered >= 3);
+  (* distribution table is consistent with the trigger set *)
+  let total_rows =
+    List.fold_left
+      (fun acc (_, t, c, u, _, _) -> acc + t + c + u)
+      0
+      (D.Bughunt.distribution r.triggered)
+  in
+  check_int "distribution covers triggered" (Hashtbl.length r.triggered) total_rows
+
+let test_lemon_cannot_trigger_shape_bugs () =
+  (* the paper's headline: LEMON's restrictions put most bugs out of reach *)
+  let r = D.Bughunt.hunt ~budget_ms:2000. (D.Generators.lemon ~seed:55 ()) in
+  let shape_dependent =
+    [
+      "lotus.import_where_broadcast";
+      "lotus.import_expand_rank0";
+      "oxrt.where_const_cond_fold";
+      "lotus.import_pad_negative";
+      "oxrt.fuse_pad_conv_negative";
+    ]
+  in
+  List.iter
+    (fun b -> check (b ^ " unreachable for LEMON") false (Hashtbl.mem r.triggered b))
+    shape_dependent
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "difftest"
+    [
+      ( "harness",
+        [
+          tc "pass" `Quick test_harness_pass;
+          tc "skips NaN" `Quick test_harness_skips_nan;
+          tc "detects crash" `Quick test_harness_detects_crash;
+          tc "semantic frontend localisation" `Quick test_harness_semantic_localisation;
+          tc "semantic optimizer localisation" `Quick test_harness_opt_localisation;
+          tc "bug id parsing" `Quick test_bug_id_parsing;
+        ] );
+      ( "exporter",
+        [
+          tc "clean without bugs" `Quick test_exporter_clean_without_bugs;
+          tc "log2 scalar rank-1" `Quick test_exporter_log2_scalar;
+          tc "clip i32 chain" `Quick test_exporter_clip_i32_chain;
+        ] );
+      ( "support",
+        [
+          tc "probing finds full support" `Slow test_support_probing;
+          tc "single-template probe" `Quick test_support_detects_rejection;
+          tc "cross check" `Quick test_cross_check;
+        ] );
+      ( "opinst",
+        [
+          tc "counting" `Quick test_opinst_counting;
+          tc "attrs distinguish" `Quick test_opinst_distinguishes_attrs;
+        ] );
+      ( "campaigns",
+        [
+          tc "coverage smoke" `Slow test_coverage_campaign_smoke;
+          tc "tzer smoke" `Quick test_tzer_campaign_smoke;
+        ] );
+      ( "bughunt",
+        [
+          tc "finds seeded bugs" `Slow test_bughunt_finds_seeded_bugs;
+          tc "lemon limits" `Slow test_lemon_cannot_trigger_shape_bugs;
+        ] );
+    ]

@@ -1,0 +1,267 @@
+(* Tests for the infrastructure libraries: coverage instrumentation
+   (lib/coverage), the seeded-fault registry (lib/faults), graph
+   serialization (lib/ir/serial) and the test-case reducer
+   (lib/difftest/reduce). *)
+
+module Cov = Nnsmith_coverage.Coverage
+module Faults = Nnsmith_faults.Faults
+module Op = Nnsmith_ir.Op
+module Graph = Nnsmith_ir.Graph
+module Serial = Nnsmith_ir.Serial
+module Dtype = Nnsmith_tensor.Dtype
+module D = Nnsmith_difftest
+module B = Nnsmith_baselines.Builder
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Coverage                                                            *)
+
+let test_coverage_hits_and_counts () =
+  Cov.reset ();
+  Cov.hit ~file:"f1" "a";
+  Cov.hit ~file:"f1" "a";
+  (* idempotent *)
+  Cov.hit ~pass:true ~file:"passes/f2" "b";
+  let s = Cov.snapshot () in
+  check_int "two sites" 2 (Cov.count s);
+  check_int "one pass site" 1 (Cov.count_pass s)
+
+let test_coverage_branch_both_arms () =
+  Cov.reset ();
+  check "returns cond" true (Cov.branch ~file:"f" "c" true);
+  check "returns cond f" false (Cov.branch ~file:"f" "c" false);
+  check_int "both arms counted" 2 (Cov.count (Cov.snapshot ()))
+
+let test_coverage_set_operations () =
+  Cov.reset ();
+  Cov.hit ~file:"f" "x";
+  Cov.hit ~file:"f" "y";
+  let a = Cov.snapshot () in
+  Cov.reset ();
+  Cov.hit ~file:"f" "y";
+  Cov.hit ~file:"f" "z";
+  let b = Cov.snapshot () in
+  check_int "union" 3 (Cov.count (Cov.union a b));
+  check_int "inter" 1 (Cov.count (Cov.inter a b));
+  check_int "diff" 1 (Cov.count (Cov.diff a b));
+  check_int "unique" 1 (Cov.count (Cov.unique a [ b ]));
+  check_int "empty" 0 (Cov.count Cov.empty)
+
+let test_coverage_arm () =
+  Cov.reset ();
+  Cov.arm ~file:"f" "kind" "alpha";
+  Cov.arm ~file:"f" "kind" "beta";
+  Cov.arm ~file:"f" "kind" "alpha";
+  check_int "two arms" 2 (Cov.count (Cov.snapshot ()))
+
+(* ------------------------------------------------------------------ *)
+(* Faults                                                              *)
+
+let test_faults_catalogue_consistent () =
+  check "non-empty" true (List.length Faults.catalogue >= 30);
+  (* ids unique and prefixed with their system *)
+  let ids = List.map (fun (b : Faults.bug) -> b.b_id) Faults.catalogue in
+  check_int "unique ids" (List.length ids) (List.length (List.sort_uniq compare ids));
+  List.iter
+    (fun (b : Faults.bug) ->
+      let prefix =
+        match b.system with
+        | "OxRT" -> "oxrt."
+        | "Lotus" -> "lotus."
+        | "TRT" -> "trt."
+        | "Exporter" -> "export."
+        | s -> Alcotest.failf "unknown system %s" s
+      in
+      check (b.b_id ^ " prefixed") true
+        (String.length b.b_id > String.length prefix
+        && String.sub b.b_id 0 (String.length prefix) = prefix))
+    Faults.catalogue
+
+let test_faults_activation () =
+  Faults.deactivate_all ();
+  check "inactive" false (Faults.enabled "oxrt.cse_ignores_attrs");
+  Faults.set_active [ "oxrt.cse_ignores_attrs" ];
+  check "active" true (Faults.enabled "oxrt.cse_ignores_attrs");
+  check "others inactive" false (Faults.enabled "lotus.unroll_off_by_one");
+  Faults.deactivate_all ();
+  check "unknown rejected" true
+    (try
+       Faults.set_active [ "no.such_bug" ];
+       false
+     with Invalid_argument _ -> true)
+
+let test_faults_with_bugs_restores () =
+  Faults.set_active [ "oxrt.cse_ignores_attrs" ];
+  Faults.with_bugs [ "lotus.unroll_off_by_one" ] (fun () ->
+      check "inner" true (Faults.enabled "lotus.unroll_off_by_one");
+      check "outer masked" false (Faults.enabled "oxrt.cse_ignores_attrs"));
+  check "restored" true (Faults.enabled "oxrt.cse_ignores_attrs");
+  Faults.deactivate_all ()
+
+let test_faults_crash_message () =
+  match Faults.crash "oxrt.cse_ignores_attrs" "detail" with
+  | exception Faults.Compiler_bug m ->
+      check "message carries id" true (m = "[oxrt.cse_ignores_attrs] detail")
+  | _ -> Alcotest.fail "expected Compiler_bug"
+
+(* ------------------------------------------------------------------ *)
+(* Serialization                                                       *)
+
+let roundtrip g =
+  let text = Serial.to_string g in
+  let g' = Serial.of_string text in
+  Alcotest.(check string) "roundtrip" text (Serial.to_string g');
+  g'
+
+let test_serial_simple () =
+  let g = Graph.empty in
+  let g, x = B.input g Dtype.F32 [ 2; 3 ] in
+  let g, r = B.op g (Op.Unary Op.Relu) [ x ] in
+  let g, _ = B.op g (Op.Binary Op.Add) [ r; x ] in
+  ignore (roundtrip g)
+
+let test_serial_attrs_exact () =
+  (* float attributes round-trip bit-exactly via hex notation *)
+  let g = Graph.empty in
+  let g, x = B.input g Dtype.F64 [ 4 ] in
+  let g, _ = B.op g (Op.Clip { c_lo = -1.2345678912345; c_hi = 0.1 }) [ x ] in
+  let g' = roundtrip g in
+  match (Graph.find g' 1).Graph.op with
+  | Op.Clip { c_lo; c_hi } ->
+      check "lo exact" true (c_lo = -1.2345678912345);
+      check "hi exact" true (c_hi = 0.1)
+  | _ -> Alcotest.fail "expected Clip"
+
+let test_serial_generated_models () =
+  for seed = 1 to 30 do
+    match
+      Nnsmith_core.Gen.generate
+        { Nnsmith_core.Config.default with seed = seed * 101; max_nodes = 10 }
+    with
+    | exception Nnsmith_core.Gen.Gen_failure _ -> ()
+    | g ->
+        let g' = roundtrip g in
+        check "still valid" true (Nnsmith_ops.Validate.is_valid g');
+        check_int "same size" (Graph.size g) (Graph.size g')
+  done
+
+let test_serial_file_io () =
+  let g = Graph.empty in
+  let g, x = B.input g Dtype.F32 [ 2 ] in
+  let g, _ = B.op g (Op.Unary Op.Tanh) [ x ] in
+  let path = Filename.temp_file "nnsmith" ".model" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Serial.save path g;
+      let g' = Serial.load path in
+      Alcotest.(check string) "file roundtrip" (Serial.to_string g)
+        (Serial.to_string g'))
+
+let test_serial_errors () =
+  check "garbage rejected" true
+    (try
+       ignore (Serial.of_string "not a model\n");
+       false
+     with Serial.Parse_error _ -> true);
+  check "unknown op rejected" true
+    (try
+       ignore (Serial.of_string "node 0 Frobnicate : f32[1] <- \n");
+       false
+     with Serial.Parse_error _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Reducer                                                             *)
+
+let test_reduce_shrinks_to_core () =
+  (* a long unary chain ending in Sqrt: the Sqrt is "the bug"; everything
+     else should be cut away *)
+  let g = Graph.empty in
+  let g, x = B.input g Dtype.F32 [ 4 ] in
+  let g, a = B.op g (Op.Unary Op.Tanh) [ x ] in
+  let g, b = B.op g (Op.Unary Op.Abs) [ a ] in
+  let g, c = B.op g (Op.Binary Op.Add) [ b; x ] in
+  let g, s = B.op g (Op.Unary Op.Sqrt) [ c ] in
+  let g, _ = B.op g (Op.Unary Op.Exp) [ s ] in
+  let predicate g' =
+    List.exists
+      (fun (n : Graph.node) -> n.Graph.op = Op.Unary Op.Sqrt)
+      (Graph.nodes g')
+    && Nnsmith_ops.Validate.is_valid g'
+  in
+  check "initial holds" true (predicate g);
+  let reduced, stats = D.Reduce.minimize ~predicate g in
+  check "still holds" true (predicate reduced);
+  check
+    (Printf.sprintf "shrunk %d -> %d" stats.initial_size stats.final_size)
+    true
+    (stats.final_size <= 3);
+  check "stats consistent" true (stats.accepted <= stats.attempts)
+
+let test_reduce_preserves_bug_trigger () =
+  (* cut a real seeded-bug reproducer down while it still fires *)
+  let g = Graph.empty in
+  let g, x = B.input g Dtype.F32 [ 3 ] in
+  let g, t = B.op g (Op.Unary Op.Tanh) [ x ] in
+  let g, m = B.input g Dtype.F32 [ 3; 2 ] in
+  let g, mm = B.op g (Op.Mat_mul) [ t; m ] in
+  let g, _ = B.op g (Op.Unary Op.Exp) [ mm ] in
+  let rng = Random.State.make [| 5 |] in
+  let predicate =
+    D.Reduce.still_triggers D.Systems.lotus ~bug_id:"lotus.import_matmul_vec" rng
+  in
+  Faults.with_bugs [ "lotus.import_matmul_vec" ] (fun () ->
+      check "fires initially" true (predicate g));
+  let reduced, stats = D.Reduce.minimize ~predicate g in
+  check "smaller" true (stats.final_size < stats.initial_size);
+  Faults.with_bugs [ "lotus.import_matmul_vec" ] (fun () ->
+      check "still fires" true (predicate reduced));
+  (* the MatMul must have survived the reduction *)
+  check "matmul kept" true
+    (List.exists
+       (fun (n : Graph.node) -> n.Graph.op = Op.Mat_mul)
+       (Graph.nodes reduced))
+
+let test_garbage_collect () =
+  let g = Graph.empty in
+  let g, x = B.input g Dtype.F32 [ 2 ] in
+  let g, kept = B.op g (Op.Unary Op.Tanh) [ x ] in
+  let g, _dead = B.op g (Op.Unary Op.Exp) [ x ] in
+  let gc = D.Reduce.garbage_collect g ~keep_outputs:[ kept ] in
+  check_int "dead branch dropped" 2 (Graph.size gc)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "infra"
+    [
+      ( "coverage",
+        [
+          tc "hits/counts" `Quick test_coverage_hits_and_counts;
+          tc "branch arms" `Quick test_coverage_branch_both_arms;
+          tc "set operations" `Quick test_coverage_set_operations;
+          tc "arm" `Quick test_coverage_arm;
+        ] );
+      ( "faults",
+        [
+          tc "catalogue" `Quick test_faults_catalogue_consistent;
+          tc "activation" `Quick test_faults_activation;
+          tc "with_bugs restores" `Quick test_faults_with_bugs_restores;
+          tc "crash message" `Quick test_faults_crash_message;
+        ] );
+      ( "serialization",
+        [
+          tc "simple" `Quick test_serial_simple;
+          tc "exact float attrs" `Quick test_serial_attrs_exact;
+          tc "generated models" `Quick test_serial_generated_models;
+          tc "file io" `Quick test_serial_file_io;
+          tc "errors" `Quick test_serial_errors;
+        ] );
+      ( "reducer",
+        [
+          tc "shrinks to core" `Quick test_reduce_shrinks_to_core;
+          tc "preserves bug trigger" `Quick test_reduce_preserves_bug_trigger;
+          tc "garbage collect" `Quick test_garbage_collect;
+        ] );
+    ]

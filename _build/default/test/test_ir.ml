@@ -1,0 +1,209 @@
+(* Tests for the graph IR (lib/ir). *)
+
+module Op = Nnsmith_ir.Op
+module Ttype = Nnsmith_ir.Ttype
+module Graph = Nnsmith_ir.Graph
+module Dtype = Nnsmith_tensor.Dtype
+module E = Nnsmith_smt.Expr
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let conv =
+  Op.Conv2d { out_channels = 4; kh = 3; kw = 3; stride = 1; padding = 1 }
+
+let test_op_names () =
+  check_str "conv" "Conv2d" (Op.name conv);
+  check_str "unary" "Sqrt" (Op.name (Op.Unary Op.Sqrt));
+  check_str "binary" "Add" (Op.name (Op.Binary Op.Add));
+  check_str "input" "Input" (Op.name (Op.Leaf Op.Model_input));
+  check_str "fill" "ConstFill" (Op.name (Op.Leaf (Op.Const_fill 1.)));
+  check_str "pad" "ReflectPad"
+    (Op.name (Op.Pad (Op.Pad_reflect, { pad_before = []; pad_after = [] })));
+  check_str "pool" "MaxPool"
+    (Op.name
+       (Op.Pool2d (Op.P_max, { p_kh = 1; p_kw = 1; p_stride = 1; p_padding = 0 })))
+
+let test_op_arity () =
+  check_int "leaf" 0 (Op.arity (Op.Leaf Op.Model_input));
+  check_int "unary" 1 (Op.arity (Op.Unary Op.Exp));
+  check_int "binary" 2 (Op.arity (Op.Binary Op.Mul));
+  check_int "conv" 2 (Op.arity conv);
+  check_int "where" 3 (Op.arity Op.Where);
+  check_int "concat n" 3 (Op.arity (Op.Concat { cat_axis = 0; cat_n = 3 }))
+
+let test_op_map_attrs () =
+  let sym =
+    Op.Conv2d
+      {
+        out_channels = E.int 4;
+        kh = E.int 3;
+        kw = E.int 3;
+        stride = E.int 1;
+        padding = E.int 1;
+      }
+  in
+  let concrete = Op.map_attrs (fun e -> match e with E.Const n -> n | _ -> -1) sym in
+  check "roundtrip" true (concrete = conv);
+  let reshape = Op.map_attrs (fun x -> x * 2) (Op.Reshape [ 1; 2; 3 ]) in
+  check "reshape mapped" true (reshape = Op.Reshape [ 2; 4; 6 ])
+
+let test_op_shape_attrs () =
+  check_int "conv has 5" 5 (List.length (Op.shape_attrs conv));
+  check_int "matmul none" 0 (List.length (Op.shape_attrs (Op.Mat_mul : int Op.t)));
+  check "labels" true
+    (List.mem_assoc "kh" (Op.shape_attrs conv)
+    && List.mem_assoc "padding" (Op.shape_attrs conv));
+  check_int "slice" 2
+    (List.length (Op.shape_attrs (Op.Slice { s_axis = 0; s_start = 1; s_stop = 3 })))
+
+let test_ttype_sym () =
+  let t = Ttype.Sym.fresh Dtype.F32 3 in
+  check_int "rank" 3 (Ttype.Sym.rank t);
+  check "dtype" true (Ttype.Sym.dtype t = Dtype.F32);
+  let m =
+    List.fold_left
+      (fun m d ->
+        match d with
+        | E.Var v -> Nnsmith_smt.Model.add v 2 m
+        | _ -> m)
+      Nnsmith_smt.Model.empty t.dims
+  in
+  let dtype, dims = Ttype.Sym.concretize m t in
+  check "conc dtype" true (dtype = Dtype.F32);
+  check "conc dims" true (dims = [ 2; 2; 2 ])
+
+let test_ttype_conc () =
+  let t = Ttype.Conc.make Dtype.I64 [ 2; 3 ] in
+  check_int "numel" 6 (Ttype.Conc.numel t);
+  check_int "rank" 2 (Ttype.Conc.rank t);
+  check "equal" true (Ttype.Conc.equal t (Ttype.Conc.make Dtype.I64 [ 2; 3 ]));
+  check "not equal dtype" false
+    (Ttype.Conc.equal t (Ttype.Conc.make Dtype.I32 [ 2; 3 ]));
+  check_str "pp" "i64[2x3]" (Ttype.Conc.to_string t)
+
+let simple_graph () =
+  let g = Graph.empty in
+  let g, x =
+    Graph.add_node g ~op:(Op.Leaf Op.Model_input) ~inputs:[]
+      ~out_type:(Ttype.Conc.make Dtype.F32 [ 2; 2 ])
+  in
+  let g, y =
+    Graph.add_node g ~op:(Op.Unary Op.Relu) ~inputs:[ x ]
+      ~out_type:(Ttype.Conc.make Dtype.F32 [ 2; 2 ])
+  in
+  let g, z =
+    Graph.add_node g ~op:(Op.Binary Op.Add) ~inputs:[ y; x ]
+      ~out_type:(Ttype.Conc.make Dtype.F32 [ 2; 2 ])
+  in
+  (g, x, y, z)
+
+let test_graph_structure () =
+  let g, x, y, z = simple_graph () in
+  check_int "size" 3 (Graph.size g);
+  check_int "inputs" 1 (List.length (Graph.inputs g));
+  check_int "outputs" 1 (List.length (Graph.outputs g));
+  check_int "output id" z (List.hd (Graph.outputs g)).Graph.id;
+  check_int "consumers of x" 2 (List.length (Graph.consumers g x));
+  check_int "consumers of y" 1 (List.length (Graph.consumers g y));
+  check "connected" true (Graph.is_connected g)
+
+let test_graph_invalid_input () =
+  Alcotest.check_raises "unknown input"
+    (Invalid_argument "Graph.add_node: unknown input %9") (fun () ->
+      ignore
+        (Graph.add_node Graph.empty ~op:(Op.Unary Op.Exp) ~inputs:[ 9 ]
+           ~out_type:(Ttype.Conc.make Dtype.F32 [ 1 ])))
+
+let test_graph_of_nodes () =
+  let g, _, _, _ = simple_graph () in
+  let rebuilt = Graph.of_nodes (Graph.nodes g) in
+  check_int "same size" (Graph.size g) (Graph.size rebuilt);
+  Alcotest.check_raises "forward reference"
+    (Invalid_argument "Graph.of_nodes: node %0 uses undefined %1") (fun () ->
+      ignore
+        (Graph.of_nodes
+           [
+             {
+               Graph.id = 0;
+               op = Op.Unary Op.Exp;
+               inputs = [ 1 ];
+               out_type = Ttype.Conc.make Dtype.F32 [ 1 ];
+             };
+           ]))
+
+let test_graph_disconnected () =
+  let g, _ =
+    Graph.add_node Graph.empty ~op:(Op.Leaf Op.Model_input) ~inputs:[]
+      ~out_type:(Ttype.Conc.make Dtype.F32 [ 1 ])
+  in
+  let g, _ =
+    Graph.add_node g ~op:(Op.Leaf Op.Model_input) ~inputs:[]
+      ~out_type:(Ttype.Conc.make Dtype.F32 [ 1 ])
+  in
+  check "two leaves disconnected" false (Graph.is_connected g);
+  check "empty connected" true (Graph.is_connected Graph.empty)
+
+let test_graph_weights_and_leaves () =
+  let g, _ =
+    Graph.add_node Graph.empty ~op:(Op.Leaf Op.Model_weight) ~inputs:[]
+      ~out_type:(Ttype.Conc.make Dtype.F32 [ 1 ])
+  in
+  let g, _ =
+    Graph.add_node g ~op:(Op.Leaf (Op.Const_fill 1.)) ~inputs:[]
+      ~out_type:(Ttype.Conc.make Dtype.F32 [ 1 ])
+  in
+  check_int "weights" 1 (List.length (Graph.weights g));
+  check_int "leaves" 2 (List.length (Graph.leaves g));
+  check_int "inputs" 0 (List.length (Graph.inputs g))
+
+let contains ~needle hay =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_graph_pp () =
+  let g, _, _, _ = simple_graph () in
+  let s = Graph.to_string g in
+  check "mentions Relu" true (contains ~needle:"Relu" s);
+  check "mentions type" true (contains ~needle:"f32[2x2]" s)
+
+let test_graph_map_nodes () =
+  let g, _, y, _ = simple_graph () in
+  let g' =
+    Graph.map_nodes
+      (fun n ->
+        if n.Graph.id = y then { n with op = Op.Unary Op.Tanh } else n)
+      g
+  in
+  check "rewritten" true ((Graph.find g' y).Graph.op = Op.Unary Op.Tanh);
+  check_int "size preserved" (Graph.size g) (Graph.size g')
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "ir"
+    [
+      ( "op",
+        [
+          tc "names" `Quick test_op_names;
+          tc "arity" `Quick test_op_arity;
+          tc "map_attrs" `Quick test_op_map_attrs;
+          tc "shape_attrs" `Quick test_op_shape_attrs;
+        ] );
+      ( "ttype",
+        [
+          tc "symbolic" `Quick test_ttype_sym;
+          tc "concrete" `Quick test_ttype_conc;
+        ] );
+      ( "graph",
+        [
+          tc "structure" `Quick test_graph_structure;
+          tc "invalid input" `Quick test_graph_invalid_input;
+          tc "of_nodes" `Quick test_graph_of_nodes;
+          tc "disconnected" `Quick test_graph_disconnected;
+          tc "weights/leaves" `Quick test_graph_weights_and_leaves;
+          tc "printing" `Quick test_graph_pp;
+          tc "map_nodes" `Quick test_graph_map_nodes;
+        ] );
+    ]

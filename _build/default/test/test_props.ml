@@ -1,0 +1,311 @@
+(* Property-based cross-validation: every optimised kernel and every stage
+   of the pipeline is compared against an independent naive reference
+   implementation on randomised inputs. *)
+
+module Dtype = Nnsmith_tensor.Dtype
+module Shape = Nnsmith_tensor.Shape
+module Nd = Nnsmith_tensor.Nd
+module T = Nnsmith_tensor.Transform
+module R = Nnsmith_tensor.Reduce
+module L = Nnsmith_tensor.Linalg
+module Op = Nnsmith_ir.Op
+module Graph = Nnsmith_ir.Graph
+module Conc = Nnsmith_ir.Ttype.Conc
+module Gen_ = Nnsmith_core.Gen
+module Config = Nnsmith_core.Config
+module Runner = Nnsmith_ops.Runner
+
+let close a b =
+  (Float.is_nan a && Float.is_nan b)
+  || Float.abs (a -. b) <= 1e-9 *. Float.max 1. (Float.max (Float.abs a) (Float.abs b))
+
+let tensors_close a b =
+  Nd.numel a = Nd.numel b
+  &&
+  let ok = ref true in
+  for i = 0 to Nd.numel a - 1 do
+    if not (close (Nd.to_float a i) (Nd.to_float b i)) then ok := false
+  done;
+  !ok
+
+let random_tensor rng dims =
+  Nd.init_f Dtype.F64 (Array.of_list dims)
+    (fun _ -> Random.State.float rng 4. -. 2.)
+
+let rng_of seed = Random.State.make [| seed |]
+
+(* ------------------------------------------------------------------ *)
+(* Broadcast map2 vs a naive index-walking reference                    *)
+
+let naive_broadcast_add a b =
+  let out_shape =
+    Option.get (Shape.broadcast (Nd.shape a) (Nd.shape b))
+  in
+  Nd.init_f Dtype.F64 out_shape (fun i ->
+      let idx = Shape.unravel out_shape i in
+      let pick t =
+        let r = Nd.rank t and ro = Array.length out_shape in
+        let tidx =
+          Array.init r (fun k ->
+              let o = idx.(k + ro - r) in
+              if (Nd.shape t).(k) = 1 then 0 else o)
+        in
+        Nd.to_float t (Shape.ravel (Nd.shape t) tidx)
+      in
+      pick a +. pick b)
+
+let prop_broadcast_add =
+  QCheck.Test.make ~name:"map2 broadcast = naive reference" ~count:300
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let rng = rng_of seed in
+      let ro = 1 + Random.State.int rng 3 in
+      let out = List.init ro (fun _ -> 1 + Random.State.int rng 4) in
+      let shrink dims =
+        (* random sub-broadcast shape: drop leading dims, 1-out some *)
+        let keep = Random.State.int rng (List.length dims + 1) in
+        List.filteri (fun i _ -> i >= keep) dims
+        |> List.map (fun d -> if Random.State.bool rng then 1 else d)
+      in
+      let a = random_tensor rng (shrink out) and b = random_tensor rng out in
+      tensors_close (Nd.map2_f Dtype.F64 ( +. ) a b) (naive_broadcast_add a b))
+
+(* ------------------------------------------------------------------ *)
+(* Matmul vs naive triple loop                                          *)
+
+let naive_matmul a b =
+  let m = (Nd.shape a).(0) and k = (Nd.shape a).(1) and n = (Nd.shape b).(1) in
+  Nd.init_f Dtype.F64 [| m; n |] (fun idx ->
+      let i = idx / n and j = idx mod n in
+      let acc = ref 0. in
+      for l = 0 to k - 1 do
+        acc := !acc +. (Nd.to_float a ((i * k) + l) *. Nd.to_float b ((l * n) + j))
+      done;
+      !acc)
+
+let prop_matmul =
+  QCheck.Test.make ~name:"matmul 2d = naive triple loop" ~count:200
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let rng = rng_of seed in
+      let m = 1 + Random.State.int rng 5
+      and k = 1 + Random.State.int rng 5
+      and n = 1 + Random.State.int rng 5 in
+      let a = random_tensor rng [ m; k ] and b = random_tensor rng [ k; n ] in
+      tensors_close (L.matmul a b) (naive_matmul a b))
+
+(* ------------------------------------------------------------------ *)
+(* Conv2d vs naive direct convolution                                   *)
+
+let naive_conv x w ~stride ~padding =
+  let sx = Nd.shape x and sw = Nd.shape w in
+  let n = sx.(0) and c = sx.(1) and h = sx.(2) and wd = sx.(3) in
+  let f = sw.(0) and kh = sw.(2) and kw = sw.(3) in
+  let oh = ((h + (2 * padding) - kh) / stride) + 1
+  and ow = ((wd + (2 * padding) - kw) / stride) + 1 in
+  Nd.init_f Dtype.F64 [| n; f; oh; ow |] (fun li ->
+      let owi = li mod ow in
+      let ohi = li / ow mod oh in
+      let fi = li / (ow * oh) mod f in
+      let ni = li / (ow * oh * f) in
+      let acc = ref 0. in
+      for ci = 0 to c - 1 do
+        for ki = 0 to kh - 1 do
+          for kj = 0 to kw - 1 do
+            let hi = (ohi * stride) - padding + ki
+            and wi = (owi * stride) - padding + kj in
+            if hi >= 0 && hi < h && wi >= 0 && wi < wd then
+              acc :=
+                !acc
+                +. Nd.to_float x ((((ni * c) + ci) * h + hi) * wd + wi)
+                   *. Nd.to_float w ((((fi * c) + ci) * kh + ki) * kw + kj)
+          done
+        done
+      done;
+      !acc)
+
+let prop_conv2d =
+  QCheck.Test.make ~name:"conv2d = naive direct convolution" ~count:100
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let rng = rng_of seed in
+      let c = 1 + Random.State.int rng 2
+      and f = 1 + Random.State.int rng 2
+      and h = 3 + Random.State.int rng 3
+      and k = 1 + Random.State.int rng 2 in
+      let stride = 1 + Random.State.int rng 2
+      and padding = Random.State.int rng 2 in
+      QCheck.assume (k <= h + (2 * padding));
+      let x = random_tensor rng [ 1; c; h; h ]
+      and w = random_tensor rng [ f; c; k; k ] in
+      tensors_close
+        (L.conv2d ~stride:(stride, stride) ~padding:(padding, padding)
+           ~dilation:(1, 1) x w)
+        (naive_conv x w ~stride ~padding))
+
+(* ------------------------------------------------------------------ *)
+(* Reductions vs naive folds                                            *)
+
+let prop_reduce_sum =
+  QCheck.Test.make ~name:"reduce sum over all axes = naive fold" ~count:200
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let rng = rng_of seed in
+      let rank = 1 + Random.State.int rng 3 in
+      let dims = List.init rank (fun _ -> 1 + Random.State.int rng 4) in
+      let t = random_tensor rng dims in
+      let total = ref 0. in
+      for i = 0 to Nd.numel t - 1 do
+        total := !total +. Nd.to_float t i
+      done;
+      close (Nd.to_float (R.sum ~axes:[] t) 0) !total)
+
+let prop_reduce_axis_consistent =
+  QCheck.Test.make ~name:"reducing axes sequentially = reducing jointly"
+    ~count:200
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let rng = rng_of seed in
+      let dims = List.init 3 (fun _ -> 1 + Random.State.int rng 4) in
+      let t = random_tensor rng dims in
+      let joint = R.sum ~axes:[ 0; 2 ] t in
+      (* reduce axis 2 first, then axis 0 of the result *)
+      let two_step = R.sum ~axes:[ 0 ] (R.sum ~axes:[ 2 ] t) in
+      tensors_close joint two_step)
+
+(* ------------------------------------------------------------------ *)
+(* Slice/pad inverses                                                   *)
+
+let prop_pad_then_crop =
+  QCheck.Test.make ~name:"constant pad then slice recovers the tensor"
+    ~count:200
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let rng = rng_of seed in
+      let rank = 1 + Random.State.int rng 3 in
+      let dims = List.init rank (fun _ -> 1 + Random.State.int rng 4) in
+      let t = random_tensor rng dims in
+      let before = Array.init rank (fun _ -> Random.State.int rng 3) in
+      let after = Array.init rank (fun _ -> Random.State.int rng 3) in
+      let padded = T.pad t ~before ~after ~mode:(T.Constant 7.) in
+      let starts = before in
+      let stops =
+        Array.init rank (fun i -> before.(i) + (Array.of_list dims).(i))
+      in
+      let cropped =
+        T.slice padded ~starts ~stops ~steps:(Array.make rank 1)
+      in
+      Nd.equal cropped t)
+
+let prop_concat_then_slice =
+  QCheck.Test.make ~name:"concat then slice recovers each part" ~count:200
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let rng = rng_of seed in
+      let d = 1 + Random.State.int rng 4 and e = 1 + Random.State.int rng 4 in
+      let cols = 1 + Random.State.int rng 3 in
+      let a = random_tensor rng [ d; cols ] and b = random_tensor rng [ e; cols ] in
+      let cat = T.concat ~axis:0 [ a; b ] in
+      let back_a =
+        T.slice cat ~starts:[| 0; 0 |] ~stops:[| d; cols |] ~steps:[| 1; 1 |]
+      and back_b =
+        T.slice cat ~starts:[| d; 0 |] ~stops:[| d + e; cols |] ~steps:[| 1; 1 |]
+      in
+      Nd.equal back_a a && Nd.equal back_b b)
+
+(* ------------------------------------------------------------------ *)
+(* Whole-pipeline properties over generated models                      *)
+
+let prop_runtime_types_match_declared =
+  (* every node's computed tensor matches its declared type: eval and infer
+     agree end-to-end on arbitrary generated models *)
+  QCheck.Test.make ~name:"runtime value types = declared types" ~count:40
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      match Gen_.generate { Config.default with seed; max_nodes = 8 } with
+      | exception Gen_.Gen_failure _ -> true
+      | g -> (
+          let rng = rng_of seed in
+          let binding = Runner.random_binding rng g in
+          match Runner.run g binding with
+          | exception _ -> false
+          | values ->
+              List.for_all
+                (fun (n : Graph.node) ->
+                  let v = List.assoc n.Graph.id values in
+                  Conc.equal (Conc.of_tensor v) n.out_type)
+                (Graph.nodes g)))
+
+let prop_compilers_agree_with_reference =
+  QCheck.Test.make ~name:"OxRT and Lotus match the oracle on clean models"
+    ~count:25
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      Nnsmith_faults.Faults.deactivate_all ();
+      match Gen_.generate { Config.default with seed; max_nodes = 8 } with
+      | exception Gen_.Gen_failure _ -> true
+      | g -> (
+          let rng = rng_of seed in
+          let binding = Nnsmith_difftest.Campaign.find_binding rng g in
+          let ok sys =
+            match Nnsmith_difftest.Harness.test sys g binding with
+            | Nnsmith_difftest.Harness.Pass
+            | Nnsmith_difftest.Harness.Skipped _ ->
+                true
+            | _ -> false
+          in
+          ok Nnsmith_difftest.Systems.oxrt && ok Nnsmith_difftest.Systems.lotus))
+
+let prop_serial_roundtrip_generated =
+  QCheck.Test.make ~name:"serialization round-trips generated models"
+    ~count:40
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      match Gen_.generate { Config.default with seed; max_nodes = 8 } with
+      | exception Gen_.Gen_failure _ -> true
+      | g ->
+          let text = Nnsmith_ir.Serial.to_string g in
+          Nnsmith_ir.Serial.to_string (Nnsmith_ir.Serial.of_string text) = text)
+
+let prop_binning_ranges_respected =
+  (* Algorithm 2: solved attribute values obey the accepted bin constraints,
+     observable as every Conv2d kernel within the last bin's floor *)
+  QCheck.Test.make ~name:"solved attrs satisfy their constraints" ~count:30
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      match Gen_.generate { Config.default with seed; max_nodes = 10 } with
+      | exception Gen_.Gen_failure _ -> true
+      | g ->
+          List.for_all
+            (fun (n : Graph.node) ->
+              match n.Graph.op with
+              | Op.Conv2d { kh; kw; stride; padding; _ } ->
+                  kh >= 1 && kw >= 1 && stride >= 1 && padding >= 0
+                  && padding < kh && padding < kw
+              | Op.Slice { s_start; s_stop; _ } -> 0 <= s_start && s_start < s_stop
+              | _ -> true)
+            (Graph.nodes g))
+
+let () =
+  Alcotest.run "props"
+    [
+      ( "kernels",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_broadcast_add;
+            prop_matmul;
+            prop_conv2d;
+            prop_reduce_sum;
+            prop_reduce_axis_consistent;
+            prop_pad_then_crop;
+            prop_concat_then_slice;
+          ] );
+      ( "pipeline",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_runtime_types_match_declared;
+            prop_compilers_agree_with_reference;
+            prop_serial_roundtrip_generated;
+            prop_binning_ranges_respected;
+          ] );
+    ]

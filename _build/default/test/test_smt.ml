@@ -1,0 +1,328 @@
+(* Tests for the constraint-solving substrate (lib/smt). *)
+
+module E = Nnsmith_smt.Expr
+module F = Nnsmith_smt.Formula
+module I = Nnsmith_smt.Interval
+module M = Nnsmith_smt.Model
+module S = Nnsmith_smt.Solver
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Expr                                                                *)
+
+let test_const_folding () =
+  check_int "add" 5 (match E.(int 2 + int 3) with E.Const n -> n | _ -> -1);
+  check_int "mul" 6 (match E.(int 2 * int 3) with E.Const n -> n | _ -> -1);
+  check_int "sub" (-1) (match E.(int 2 - int 3) with E.Const n -> n | _ -> -1);
+  check_int "div" 2 (match E.(int 7 / int 3) with E.Const n -> n | _ -> -1);
+  check_int "mod" 1 (match E.(int 7 mod int 3) with E.Const n -> n | _ -> -1);
+  check_int "min" 2 (match E.min_ (E.int 2) (E.int 3) with E.Const n -> n | _ -> -1);
+  check_int "max" 3 (match E.max_ (E.int 2) (E.int 3) with E.Const n -> n | _ -> -1)
+
+let test_unit_laws () =
+  let x = E.fresh "x" in
+  check "x+0" true (E.equal E.(x + zero) x);
+  check "0+x" true (E.equal E.(zero + x) x);
+  check "x*1" true (E.equal E.(x * one) x);
+  check "x*0" true (E.equal E.(x * zero) E.zero);
+  check "x/1" true (E.equal E.(x / one) x);
+  check "x mod 1" true (E.equal E.(x mod one) E.zero);
+  check "x-0" true (E.equal E.(x - zero) x);
+  check "neg neg" true (E.equal (E.neg (E.neg x)) x)
+
+let test_floor_division () =
+  check_int "7/2" 3 (E.fdiv 7 2);
+  check_int "-7/2" (-4) (E.fdiv (-7) 2);
+  check_int "7/-2" (-4) (E.fdiv 7 (-2));
+  check_int "-7/-2" 3 (E.fdiv (-7) (-2));
+  check_int "mod pos" 1 (E.fmod 7 2);
+  check_int "mod neg num" 1 (E.fmod (-7) 2);
+  check_int "mod neg den" (-1) (E.fmod 7 (-2))
+
+let test_eval () =
+  let x = E.fresh_var "x" and y = E.fresh_var "y" in
+  let env v = if v = x then 5 else if v = y then 3 else 0 in
+  let e = E.(Var x * Var y + int 2) in
+  check_int "eval" 17 (E.eval env e);
+  check_int "min" 3 (E.eval env (E.min_ (E.Var x) (E.Var y)));
+  check_int "neg" (-5) (E.eval env (E.neg (E.Var x)));
+  Alcotest.check_raises "div0" Division_by_zero (fun () ->
+      ignore (E.eval env E.(Var x / zero)))
+
+let test_vars () =
+  let x = E.fresh "x" and y = E.fresh "y" in
+  check_int "distinct" 2 (List.length (E.vars E.(x + (y * x))));
+  check_int "const" 0 (List.length (E.vars (E.int 42)))
+
+let qcheck_fdiv_fmod =
+  QCheck.Test.make ~name:"fdiv/fmod euclidean identity" ~count:500
+    QCheck.(pair (int_range (-1000) 1000) (int_range (-100) 100))
+    (fun (a, b) ->
+      QCheck.assume (b <> 0);
+      let q = E.fdiv a b and r = E.fmod a b in
+      a = (b * q) + r && (b <= 0 || (r >= 0 && r < b)) && (b >= 0 || (r <= 0 && r > b)))
+
+(* ------------------------------------------------------------------ *)
+(* Formula                                                             *)
+
+let test_formula_folding () =
+  check "const le" true (F.(E.int 1 <= E.int 2) = F.True);
+  check "const lt false" true (F.(E.int 3 < E.int 2) = F.False);
+  check "and short" true (F.and_ [ F.True; F.False ] = F.False);
+  check "or short" true (F.or_ [ F.False; F.True ] = F.True);
+  check "and empty" true (F.and_ [] = F.True);
+  check "or empty" true (F.or_ [] = F.False);
+  check "not not" true (F.not_ (F.not_ F.True) = F.True)
+
+let test_formula_eval () =
+  let x = E.fresh_var "x" in
+  let env _ = 4 in
+  check "x <= 5" true (F.eval env F.(E.Var x <= E.int 5));
+  check "x > 5" false (F.eval env F.(E.Var x > E.int 5));
+  check "x = 4" true (F.eval env F.(E.Var x = E.int 4));
+  check "x <> 4" false (F.eval env F.(E.Var x <> E.int 4));
+  check "range" true (F.eval env (F.in_range (E.Var x) ~lo:1 ~hi:10));
+  (* division by zero inside an atom is falsity, not an exception *)
+  check "div0 atom" false (F.eval env F.(E.(Var x / zero) = E.int 1))
+
+let test_formula_vars () =
+  let x = E.fresh "x" and y = E.fresh "y" in
+  let f = F.and_ [ F.(x <= y); F.(y < E.int 5) ] in
+  check_int "two vars" 2 (List.length (F.vars f));
+  check_int "atoms" 2 (List.length (F.atoms f))
+
+(* ------------------------------------------------------------------ *)
+(* Interval                                                            *)
+
+let test_interval_basics () =
+  let i = I.make 2 5 in
+  check "mem" true (I.mem 3 i);
+  check "not mem" false (I.mem 6 i);
+  check_int "width" 3 (I.width i);
+  check "point" true (I.is_point (I.point 7) = Some 7);
+  check "inter none" true (I.inter (I.make 0 1) (I.make 2 3) = None);
+  check "inter some" true
+    (match I.inter (I.make 0 5) (I.make 3 9) with
+    | Some j -> I.equal j (I.make 3 5)
+    | None -> false);
+  Alcotest.check_raises "bad make" (Invalid_argument "Interval.make: lo > hi")
+    (fun () -> ignore (I.make 3 2))
+
+let test_interval_arith () =
+  check "add" true (I.equal (I.add (I.make 1 2) (I.make 10 20)) (I.make 11 22));
+  check "sub" true (I.equal (I.sub (I.make 1 2) (I.make 10 20)) (I.make (-19) (-8)));
+  check "mul" true (I.equal (I.mul (I.make (-2) 3) (I.make 4 5)) (I.make (-10) 15));
+  check "neg" true (I.equal (I.neg (I.make 1 2)) (I.make (-2) (-1)));
+  check "div pos" true (I.equal (I.div (I.make 10 20) (I.make 2 5)) (I.make 2 10));
+  check "div through 0 = top" true (I.equal (I.div (I.make 1 2) (I.make (-1) 1)) I.top);
+  check "rem pos" true (I.equal (I.rem (I.make 0 100) (I.make 1 7)) (I.make 0 6))
+
+let test_interval_saturation () =
+  let huge = I.make (I.big - 1) I.big in
+  let product = I.mul huge huge in
+  check "saturated above" true (product.I.hi = I.big);
+  check "hull" true (I.equal (I.hull (I.make 0 1) (I.make 5 9)) (I.make 0 9))
+
+let qcheck_interval_mul_sound =
+  QCheck.Test.make ~name:"interval mul soundness" ~count:500
+    QCheck.(
+      quad (int_range (-50) 50) (int_range (-50) 50) (int_range (-50) 50)
+        (int_range (-50) 50))
+    (fun (a, b, c, d) ->
+      let ia = I.make (min a b) (max a b) and ib = I.make (min c d) (max c d) in
+      let x = min a b + ((max a b - min a b) / 2)
+      and y = min c d + ((max c d - min c d) / 2) in
+      I.mem (x * y) (I.mul ia ib))
+
+let qcheck_interval_div_sound =
+  QCheck.Test.make ~name:"interval div soundness" ~count:500
+    QCheck.(
+      quad (int_range (-100) 100) (int_range (-100) 100) (int_range 1 20)
+        (int_range 1 20))
+    (fun (a, b, c, d) ->
+      let ia = I.make (min a b) (max a b) and ib = I.make (min c d) (max c d) in
+      I.mem (E.fdiv (min a b) (min c d)) (I.div ia ib)
+      && I.mem (E.fdiv (max a b) (max c d)) (I.div ia ib))
+
+(* ------------------------------------------------------------------ *)
+(* Solver                                                              *)
+
+let solve fs = S.solve ~seed:1 fs
+
+let test_solver_simple_sat () =
+  let x = E.fresh "x" and y = E.fresh "y" in
+  match solve F.[ E.(x + y) = E.int 10; x < y; E.one <= x ] with
+  | Some m ->
+      let xv = M.eval_expr m x and yv = M.eval_expr m y in
+      check "sum" true (xv + yv = 10);
+      check "lt" true (xv < yv);
+      check "pos" true (xv >= 1)
+  | None -> Alcotest.fail "expected SAT"
+
+let test_solver_unsat () =
+  let x = E.fresh "x" in
+  check "unsat" true (solve F.[ x < E.int 1; x > E.int 1 ] = None);
+  check "unsat eq" true (solve F.[ x = E.int 1; x = E.int 2 ] = None)
+
+let test_solver_minimal_model_bias () =
+  (* Z3-style boundary values: an unconstrained dim concretises to its lower
+     bound — the behaviour motivating attribute binning. *)
+  let d = E.fresh "d" in
+  match solve F.[ E.one <= d ] with
+  | Some m -> check_int "lower bound" 1 (M.eval_expr m d)
+  | None -> Alcotest.fail "expected SAT"
+
+let test_solver_products () =
+  (* Reshape-style constraint: product equality. *)
+  let a = E.fresh "a" and b = E.fresh "b" in
+  match solve F.[ E.(a * b) = E.int 12; E.int 2 <= a; E.int 2 <= b ] with
+  | Some m ->
+      check "product" true (M.eval_expr m a * M.eval_expr m b = 12)
+  | None -> Alcotest.fail "expected SAT"
+
+let test_solver_conv_shapes () =
+  (* (h + 2p - k)/s + 1 = 5 with the usual positivity side conditions. *)
+  let h = E.fresh "h" and k = E.fresh "k" and s = E.fresh "s"
+  and p = E.fresh ~lo:0 "p" in
+  let out = E.((h + (int 2 * p) - k) / s + one) in
+  match
+    solve
+      F.[
+        E.one <= k; k <= E.int 7; E.one <= s; s <= E.int 3; E.zero <= p;
+        p <= E.int 3; k <= E.(h + (int 2 * p)); out = E.int 5;
+      ]
+  with
+  | Some m ->
+      let hv = M.eval_expr m h and kv = M.eval_expr m k
+      and sv = M.eval_expr m s and pv = M.eval_expr m p in
+      check_int "conv out" 5 (E.fdiv (hv + (2 * pv) - kv) sv + 1)
+  | None -> Alcotest.fail "expected SAT"
+
+let test_solver_disjunction () =
+  let x = E.fresh "x" in
+  match solve [ F.or_ F.[ x = E.int 42; x = E.int 43 ]; F.(x <> E.int 42) ] with
+  | Some m -> check_int "picked 43" 43 (M.eval_expr m x)
+  | None -> Alcotest.fail "expected SAT"
+
+let test_solver_negation () =
+  let x = E.fresh ~lo:0 ~hi:10 "x" in
+  match solve [ F.not_ F.(x <= E.int 5) ] with
+  | Some m -> check "x > 5" true (M.eval_expr m x > 5)
+  | None -> Alcotest.fail "expected SAT"
+
+let test_try_add_rollback () =
+  let s = S.create ~seed:1 () in
+  let x = E.fresh "x" in
+  check "first" true (S.try_add_constraints s F.[ x <= E.int 5 ]);
+  check "conflict rolled back" false (S.try_add_constraints s F.[ x > E.int 9 ]);
+  check "still consistent" true (S.try_add_constraints s F.[ x >= E.int 2 ]);
+  match S.model s with
+  | Some m ->
+      let v = M.eval_expr m x in
+      check "within" true (v >= 2 && v <= 5)
+  | None -> Alcotest.fail "expected model"
+
+let test_push_pop () =
+  let s = S.create ~seed:1 () in
+  let x = E.fresh "x" in
+  S.assert_ s F.(x <= E.int 5);
+  S.push s;
+  S.assert_ s F.(x > E.int 10);
+  check "unsat inner" true (S.check s = S.Unsat);
+  S.pop s;
+  check "sat after pop" true (S.check s = S.Sat);
+  Alcotest.check_raises "pop empty"
+    (Invalid_argument "Solver.pop: empty frame stack") (fun () ->
+      S.pop s;
+      S.pop s)
+
+let test_incremental_model_updates () =
+  let s = S.create ~seed:1 () in
+  let x = E.fresh "x" in
+  check "a" true (S.try_add_constraints s F.[ E.one <= x ]);
+  check "b" true (S.try_add_constraints s F.[ E.int 7 <= x ]);
+  match S.model s with
+  | Some m -> check "respects later bound" true (M.eval_expr m x >= 7)
+  | None -> Alcotest.fail "expected model"
+
+let test_step_limit_unknown () =
+  (* A hard system under a tiny budget must report Unknown, not loop. *)
+  let s = S.create ~max_steps:2 ~seed:1 () in
+  let vs = List.init 8 (fun i -> E.fresh (Printf.sprintf "v%d" i)) in
+  S.assert_ s F.(E.sum vs = E.int 1000);
+  List.iter (fun v -> S.assert_ s F.(E.int 2 <= v)) vs;
+  S.assert_ s F.(E.(List.nth vs 0 * List.nth vs 1) = E.int 299);
+  check "unknown or unsat" true (S.check s <> S.Sat)
+
+let test_mod_constraint () =
+  let x = E.fresh "x" in
+  match solve F.[ E.(x mod int 4) = E.int 3; E.int 10 <= x; x <= E.int 20 ] with
+  | Some m ->
+      let v = M.eval_expr m x in
+      check "mod" true (v mod 4 = 3 && v >= 10 && v <= 20)
+  | None -> Alcotest.fail "expected SAT"
+
+let qcheck_solver_sound =
+  (* Any model returned must actually satisfy the constraints. *)
+  QCheck.Test.make ~name:"solver models satisfy constraints" ~count:100
+    QCheck.(
+      quad (int_range 1 30) (int_range 1 30) (int_range 1 8) (int_range 0 3))
+    (fun (a, b, c, d) ->
+      let x = E.fresh "x" and y = E.fresh "y" in
+      let fs =
+        F.[
+          E.int a <= x; x <= E.int (a + 20); E.int b <= y;
+          E.(x + y) <= E.int (a + b + 25);
+          E.((x * int c) + int d) <= E.int ((a + 21) * c);
+        ]
+      in
+      match solve fs with
+      | None -> true (* UNSAT/unknown claims are not checked here *)
+      | Some m -> List.for_all (M.eval_formula m) fs)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "smt"
+    [
+      ( "expr",
+        [
+          tc "constant folding" `Quick test_const_folding;
+          tc "unit laws" `Quick test_unit_laws;
+          tc "floor division" `Quick test_floor_division;
+          tc "eval" `Quick test_eval;
+          tc "vars" `Quick test_vars;
+          QCheck_alcotest.to_alcotest qcheck_fdiv_fmod;
+        ] );
+      ( "formula",
+        [
+          tc "folding" `Quick test_formula_folding;
+          tc "eval" `Quick test_formula_eval;
+          tc "vars/atoms" `Quick test_formula_vars;
+        ] );
+      ( "interval",
+        [
+          tc "basics" `Quick test_interval_basics;
+          tc "arithmetic" `Quick test_interval_arith;
+          tc "saturation" `Quick test_interval_saturation;
+          QCheck_alcotest.to_alcotest qcheck_interval_mul_sound;
+          QCheck_alcotest.to_alcotest qcheck_interval_div_sound;
+        ] );
+      ( "solver",
+        [
+          tc "simple sat" `Quick test_solver_simple_sat;
+          tc "unsat" `Quick test_solver_unsat;
+          tc "minimal model bias" `Quick test_solver_minimal_model_bias;
+          tc "products" `Quick test_solver_products;
+          tc "conv shapes" `Quick test_solver_conv_shapes;
+          tc "disjunction" `Quick test_solver_disjunction;
+          tc "negation" `Quick test_solver_negation;
+          tc "try_add rollback" `Quick test_try_add_rollback;
+          tc "push/pop" `Quick test_push_pop;
+          tc "incremental" `Quick test_incremental_model_updates;
+          tc "step limit" `Quick test_step_limit_unknown;
+          tc "mod constraint" `Quick test_mod_constraint;
+          QCheck_alcotest.to_alcotest qcheck_solver_sound;
+        ] );
+    ]

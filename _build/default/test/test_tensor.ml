@@ -1,0 +1,383 @@
+(* Tests for the tensor substrate (lib/tensor). *)
+
+module Dtype = Nnsmith_tensor.Dtype
+module Shape = Nnsmith_tensor.Shape
+module Nd = Nnsmith_tensor.Nd
+module T = Nnsmith_tensor.Transform
+module R = Nnsmith_tensor.Reduce
+module L = Nnsmith_tensor.Linalg
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let checkf = Alcotest.(check (float 1e-9))
+
+let nd dims xs = Nd.of_floats Dtype.F64 (Array.of_list dims) (Array.of_list xs)
+let values t = Array.init (Nd.numel t) (Nd.to_float t)
+
+let check_values msg expected t =
+  Alcotest.(check (array (float 1e-6))) msg (Array.of_list expected) (values t)
+
+(* ------------------------------------------------------------------ *)
+(* Dtype                                                               *)
+
+let test_dtype_f32_rounding () =
+  let x = 0.1 in
+  let r = Dtype.round_f32 x in
+  check "rounded differs" true (r <> x);
+  Alcotest.(check (float 1e-6)) "close" x r;
+  checkf "idempotent" r (Dtype.round_f32 r)
+
+let test_dtype_i32_wrap () =
+  check_int "in range" 42 (Dtype.wrap_i32 42);
+  check_int "negative" (-7) (Dtype.wrap_i32 (-7));
+  check_int "overflow wraps" (-2147483648) (Dtype.wrap_i32 2147483648);
+  check_int "2^32 wraps to 0" 0 (Dtype.wrap_i32 (1 lsl 32))
+
+let test_dtype_strings () =
+  List.iter
+    (fun d -> check "roundtrip" true (Dtype.of_string (Dtype.to_string d) = Some d))
+    Dtype.all;
+  check "bad" true (Dtype.of_string "f16" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Shape                                                               *)
+
+let test_shape_strides_ravel () =
+  let s = [| 2; 3; 4 |] in
+  Alcotest.(check (array int)) "strides" [| 12; 4; 1 |] (Shape.strides s);
+  check_int "numel" 24 (Shape.numel s);
+  check_int "ravel" 23 (Shape.ravel s [| 1; 2; 3 |]);
+  Alcotest.(check (array int)) "unravel" [| 1; 2; 3 |] (Shape.unravel s 23)
+
+let test_shape_broadcast () =
+  let bc a b = Shape.broadcast (Array.of_list a) (Array.of_list b) in
+  check "same" true (bc [ 2; 3 ] [ 2; 3 ] = Some [| 2; 3 |]);
+  check "ones" true (bc [ 2; 1 ] [ 1; 3 ] = Some [| 2; 3 |]);
+  check "rank promote" true (bc [ 3 ] [ 2; 3 ] = Some [| 2; 3 |]);
+  check "scalar" true (bc [] [ 2; 3 ] = Some [| 2; 3 |]);
+  check "incompatible" true (bc [ 2 ] [ 3 ] = None);
+  check "can_broadcast_to" true
+    (Shape.can_broadcast_to ~src:[| 1; 3 |] ~dst:[| 5; 3 |]);
+  check "cannot" false (Shape.can_broadcast_to ~src:[| 5; 3 |] ~dst:[| 1; 3 |])
+
+let qcheck_broadcast_commutes =
+  QCheck.Test.make ~name:"broadcast is symmetric" ~count:300
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 0 4) (int_range 1 4))
+        (list_of_size Gen.(int_range 0 4) (int_range 1 4)))
+    (fun (a, b) ->
+      let sa = Array.of_list a and sb = Array.of_list b in
+      Shape.broadcast sa sb = Shape.broadcast sb sa)
+
+(* ------------------------------------------------------------------ *)
+(* Nd basics                                                           *)
+
+let test_nd_create_get_set () =
+  let t = Nd.create Dtype.F32 [| 2; 2 |] in
+  check_int "numel" 4 (Nd.numel t);
+  Nd.set_f t 3 1.5;
+  checkf "set/get" 1.5 (Nd.get_f t 3);
+  let b = Nd.full_b [| 3 |] true in
+  check "bool" true (Nd.get_b b 2);
+  let i = Nd.full_i Dtype.I32 [| 2 |] 7 in
+  check_int "int" 7 (Nd.get_i i 1);
+  check_int "scalar numel" 1 (Nd.numel (Nd.scalar_f Dtype.F64 3.))
+
+let test_nd_f32_normalisation () =
+  let t = Nd.of_floats Dtype.F32 [| 1 |] [| 0.1 |] in
+  checkf "stored as f32" (Dtype.round_f32 0.1) (Nd.get_f t 0)
+
+let test_nd_map2_broadcast () =
+  let a = nd [ 2; 2 ] [ 1.; 2.; 3.; 4. ] and b = nd [ 2 ] [ 10.; 20. ] in
+  check_values "row broadcast" [ 11.; 22.; 13.; 24. ]
+    (Nd.map2_f Dtype.F64 ( +. ) a b);
+  let col = nd [ 2; 1 ] [ 10.; 20. ] in
+  check_values "col broadcast" [ 11.; 12.; 23.; 24. ]
+    (Nd.map2_f Dtype.F64 ( +. ) a col)
+
+let test_nd_where () =
+  let c = Nd.init_b [| 3 |] (fun i -> i mod 2 = 0) in
+  let t = nd [ 3 ] [ 1.; 2.; 3. ] and f = nd [ 3 ] [ 9.; 9.; 9. ] in
+  check_values "where" [ 1.; 9.; 3. ] (Nd.where c t f)
+
+let test_nd_cast () =
+  let t = nd [ 3 ] [ 1.7; -2.3; 0. ] in
+  let i = Nd.cast t Dtype.I64 in
+  check_int "trunc" 1 (Nd.get_i i 0);
+  check_int "trunc neg" (-2) (Nd.get_i i 1);
+  let b = Nd.cast t Dtype.Bool in
+  check "nonzero true" true (Nd.get_b b 0);
+  check "zero false" false (Nd.get_b b 2);
+  let back = Nd.cast b Dtype.F32 in
+  checkf "bool to float" 1. (Nd.get_f back 0)
+
+let test_nd_bad_detection () =
+  check "clean" false (Nd.has_bad (nd [ 2 ] [ 1.; 2. ]));
+  check "nan" true (Nd.has_bad (nd [ 2 ] [ 1.; Float.nan ]));
+  check "inf" true (Nd.has_bad (nd [ 2 ] [ Float.infinity; 2. ]));
+  check_int "count" 2 (Nd.count_bad (nd [ 3 ] [ Float.nan; 1.; Float.neg_infinity ]));
+  check "ints never bad" false (Nd.has_bad (Nd.full_i Dtype.I32 [| 2 |] 5))
+
+let test_nd_approx_equal () =
+  let a = nd [ 2 ] [ 1.; 100. ] in
+  check "close" true (Nd.approx_equal a (nd [ 2 ] [ 1.0005; 100.5 ]));
+  check "far" false (Nd.approx_equal a (nd [ 2 ] [ 1.5; 100. ]));
+  check "nan both" true
+    (Nd.approx_equal (nd [ 1 ] [ Float.nan ]) (nd [ 1 ] [ Float.nan ]));
+  check "nan one side" false (Nd.approx_equal (nd [ 1 ] [ Float.nan ]) (nd [ 1 ] [ 1. ]));
+  check "shape mismatch" false (Nd.approx_equal a (nd [ 1 ] [ 1. ]));
+  check "rel err inf on nan" true
+    (Nd.max_rel_error (nd [ 1 ] [ Float.nan ]) (nd [ 1 ] [ 1. ]) = infinity)
+
+let test_nd_broadcast_to () =
+  let t = nd [ 1; 2 ] [ 5.; 6. ] in
+  check_values "expand" [ 5.; 6.; 5.; 6. ] (Nd.broadcast_to t [| 2; 2 |])
+
+(* ------------------------------------------------------------------ *)
+(* Transform                                                           *)
+
+let test_reshape () =
+  let t = nd [ 2; 3 ] [ 1.; 2.; 3.; 4.; 5.; 6. ] in
+  let r = T.reshape t [| 3; 2 |] in
+  check_values "row major preserved" [ 1.; 2.; 3.; 4.; 5.; 6. ] r;
+  Alcotest.check_raises "numel mismatch"
+    (Invalid_argument
+       "Transform.reshape: [2x3] has 6 elements, target [4x2] has 8")
+    (fun () -> ignore (T.reshape t [| 4; 2 |]))
+
+let test_transpose () =
+  let t = nd [ 2; 3 ] [ 1.; 2.; 3.; 4.; 5.; 6. ] in
+  let r = T.transpose t [| 1; 0 |] in
+  Alcotest.(check (array int)) "shape" [| 3; 2 |] (Nd.shape r);
+  check_values "values" [ 1.; 4.; 2.; 5.; 3.; 6. ] r
+
+let qcheck_transpose_involution =
+  QCheck.Test.make ~name:"transpose by perm then inverse is identity"
+    ~count:200
+    QCheck.(int_range 0 10000)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let rank = 1 + Random.State.int rng 3 in
+      let dims = Array.init rank (fun _ -> 1 + Random.State.int rng 4) in
+      let t =
+        Nd.init_f Dtype.F64 dims (fun i -> float_of_int i)
+      in
+      let perm = Array.init rank Fun.id in
+      for i = rank - 1 downto 1 do
+        let j = Random.State.int rng (i + 1) in
+        let tmp = perm.(i) in
+        perm.(i) <- perm.(j);
+        perm.(j) <- tmp
+      done;
+      let inv = Array.make rank 0 in
+      Array.iteri (fun i p -> inv.(p) <- i) perm;
+      Nd.equal (T.transpose (T.transpose t perm) inv) t)
+
+let test_slice () =
+  let t = nd [ 4 ] [ 0.; 1.; 2.; 3. ] in
+  check_values "middle" [ 1.; 2. ]
+    (T.slice t ~starts:[| 1 |] ~stops:[| 3 |] ~steps:[| 1 |]);
+  check_values "stride 2" [ 0.; 2. ]
+    (T.slice t ~starts:[| 0 |] ~stops:[| 4 |] ~steps:[| 2 |]);
+  check_values "negative start" [ 3. ]
+    (T.slice t ~starts:[| -1 |] ~stops:[| 4 |] ~steps:[| 1 |])
+
+let test_pad_constant () =
+  let t = nd [ 2 ] [ 1.; 2. ] in
+  check_values "pad both" [ 9.; 1.; 2.; 9.; 9. ]
+    (T.pad t ~before:[| 1 |] ~after:[| 2 |] ~mode:(T.Constant 9.));
+  check_values "negative crops" [ 2. ]
+    (T.pad t ~before:[| -1 |] ~after:[| 0 |] ~mode:(T.Constant 0.))
+
+let test_pad_reflect_replicate () =
+  let t = nd [ 3 ] [ 1.; 2.; 3. ] in
+  check_values "reflect" [ 3.; 2.; 1.; 2.; 3.; 2.; 1. ]
+    (T.pad t ~before:[| 2 |] ~after:[| 2 |] ~mode:T.Reflect);
+  check_values "replicate" [ 1.; 1.; 1.; 2.; 3.; 3. ]
+    (T.pad t ~before:[| 2 |] ~after:[| 1 |] ~mode:T.Replicate);
+  Alcotest.check_raises "reflect too large"
+    (Invalid_argument "Transform.pad: reflect pad >= dim") (fun () ->
+      ignore (T.pad t ~before:[| 3 |] ~after:[| 0 |] ~mode:T.Reflect))
+
+let test_concat () =
+  let a = nd [ 1; 2 ] [ 1.; 2. ] and b = nd [ 2; 2 ] [ 3.; 4.; 5.; 6. ] in
+  let c = T.concat ~axis:0 [ a; b ] in
+  Alcotest.(check (array int)) "shape" [| 3; 2 |] (Nd.shape c);
+  check_values "values" [ 1.; 2.; 3.; 4.; 5.; 6. ] c;
+  let d = T.concat ~axis:1 [ nd [ 2; 1 ] [ 1.; 2. ]; nd [ 2; 1 ] [ 3.; 4. ] ] in
+  check_values "axis1" [ 1.; 3.; 2.; 4. ] d
+
+let test_squeeze_unsqueeze_flatten () =
+  let t = nd [ 1; 2; 1 ] [ 1.; 2. ] in
+  Alcotest.(check (array int)) "squeeze all" [| 2 |] (Nd.shape (T.squeeze t []));
+  Alcotest.(check (array int)) "squeeze one" [| 2; 1 |] (Nd.shape (T.squeeze t [ 0 ]));
+  Alcotest.(check (array int)) "unsqueeze" [| 1; 1; 2; 1 |]
+    (Nd.shape (T.unsqueeze t 0));
+  let f = T.flatten (nd [ 2; 3; 4 ] (List.init 24 float_of_int)) ~axis:1 in
+  Alcotest.(check (array int)) "flatten" [| 2; 12 |] (Nd.shape f)
+
+(* ------------------------------------------------------------------ *)
+(* Reduce                                                              *)
+
+let t23 = nd [ 2; 3 ] [ 1.; 2.; 3.; 4.; 5.; 6. ]
+
+let test_reduce_sum_mean () =
+  check_values "sum axis0" [ 5.; 7.; 9. ] (R.sum ~axes:[ 0 ] t23);
+  check_values "sum axis1" [ 6.; 15. ] (R.sum ~axes:[ 1 ] t23);
+  check_values "sum all" [ 21. ] (R.sum ~axes:[] t23);
+  check_values "mean" [ 2.; 5. ] (R.mean ~axes:[ 1 ] t23);
+  Alcotest.(check (array int)) "keepdims" [| 2; 1 |]
+    (Nd.shape (R.sum ~keepdims:true ~axes:[ 1 ] t23))
+
+let test_reduce_extrema_prod () =
+  check_values "max" [ 3.; 6. ] (R.max_ ~axes:[ 1 ] t23);
+  check_values "min" [ 1.; 4. ] (R.min_ ~axes:[ 1 ] t23);
+  check_values "prod" [ 6.; 120. ] (R.prod ~axes:[ 1 ] t23);
+  (* NaN propagates *)
+  let bad = nd [ 2 ] [ 1.; Float.nan ] in
+  check "nan max" true (Float.is_nan (Nd.to_float (R.max_ ~axes:[ 0 ] bad) 0))
+
+let test_argmax_argmin () =
+  let am = R.argmax ~axis:1 t23 in
+  check "i64" true (Nd.dtype am = Dtype.I64);
+  check_int "argmax row0" 2 (Nd.get_i am 0);
+  check_int "argmin" 0 (Nd.get_i (R.argmin ~axis:1 t23) 1);
+  (* NaN counts as the extremum, numpy-style *)
+  let withnan = nd [ 3 ] [ 1.; Float.nan; 5. ] in
+  check_int "argmax nan" 1 (Nd.get_i (R.argmax ~axis:0 withnan) 0)
+
+let test_softmax () =
+  let s = R.softmax ~axis:1 t23 in
+  checkf "row sums" 1. (Nd.to_float (R.sum ~axes:[ 1 ] s) 0);
+  check "monotone" true (Nd.to_float s 2 > Nd.to_float s 0);
+  (* stability: huge inputs stay finite *)
+  let big = nd [ 2 ] [ 1000.; 1001. ] in
+  check "stable" false (Nd.has_bad (R.softmax ~axis:0 big))
+
+let qcheck_softmax_normalised =
+  QCheck.Test.make ~name:"softmax rows sum to 1" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 8) (float_range (-20.) 20.))
+    (fun xs ->
+      let t = nd [ List.length xs ] xs in
+      let s = R.softmax ~axis:0 t in
+      Float.abs (Nd.to_float (R.sum ~axes:[ 0 ] s) 0 -. 1.) < 1e-6)
+
+(* ------------------------------------------------------------------ *)
+(* Linalg                                                              *)
+
+let test_matmul_2d () =
+  let a = nd [ 2; 2 ] [ 1.; 2.; 3.; 4. ] and b = nd [ 2; 2 ] [ 5.; 6.; 7.; 8. ] in
+  check_values "2x2" [ 19.; 22.; 43.; 50. ] (L.matmul a b)
+
+let test_matmul_rank1 () =
+  let v = nd [ 3 ] [ 1.; 2.; 3. ] and m = nd [ 3; 2 ] [ 1.; 0.; 0.; 1.; 1.; 1. ] in
+  check_values "vec.mat" [ 4.; 5. ] (L.matmul v m);
+  Alcotest.(check (array int)) "shape" [| 2 |] (Nd.shape (L.matmul v m));
+  check_values "vec.vec scalar" [ 14. ] (L.matmul v (nd [ 3 ] [ 1.; 2.; 3. ]));
+  check_int "scalar rank" 0 (Nd.rank (L.matmul v v))
+
+let test_matmul_batched () =
+  let a = Nd.init_f Dtype.F64 [| 2; 2; 2 |] (fun i -> float_of_int i) in
+  let b = nd [ 2; 2 ] [ 1.; 0.; 0.; 1. ] in
+  (* batched identity multiplication *)
+  check "batch id" true (Nd.equal (L.matmul a b) a);
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Linalg.matmul: contraction mismatch [3] vs [2x2]")
+    (fun () -> ignore (L.matmul (nd [ 3 ] [ 1.; 2.; 3. ]) b))
+
+let test_conv2d_identity () =
+  let x = Nd.init_f Dtype.F64 [| 1; 1; 3; 3 |] (fun i -> float_of_int i) in
+  let w = nd [ 1; 1; 1; 1 ] [ 1. ] in
+  check "1x1 kernel id" true
+    (Nd.equal (L.conv2d ~stride:(1, 1) ~padding:(0, 0) ~dilation:(1, 1) x w) x)
+
+let test_conv2d_sum_kernel () =
+  let x = Nd.init_f Dtype.F64 [| 1; 1; 3; 3 |] (fun _ -> 1.) in
+  let w = Nd.init_f Dtype.F64 [| 1; 1; 2; 2 |] (fun _ -> 1.) in
+  let y = L.conv2d ~stride:(1, 1) ~padding:(0, 0) ~dilation:(1, 1) x w in
+  Alcotest.(check (array int)) "shape" [| 1; 1; 2; 2 |] (Nd.shape y);
+  check_values "all 4" [ 4.; 4.; 4.; 4. ] y;
+  let padded = L.conv2d ~stride:(1, 1) ~padding:(1, 1) ~dilation:(1, 1) x w in
+  Alcotest.(check (array int)) "padded shape" [| 1; 1; 4; 4 |] (Nd.shape padded);
+  checkf "corner sees 1 cell" 1. (Nd.get_f padded 0)
+
+let test_conv2d_stride_channels () =
+  let x = Nd.init_f Dtype.F64 [| 1; 2; 4; 4 |] (fun _ -> 1.) in
+  let w = Nd.init_f Dtype.F64 [| 3; 2; 2; 2 |] (fun _ -> 1.) in
+  let y = L.conv2d ~stride:(2, 2) ~padding:(0, 0) ~dilation:(1, 1) x w in
+  Alcotest.(check (array int)) "shape" [| 1; 3; 2; 2 |] (Nd.shape y);
+  checkf "sums both channels" 8. (Nd.get_f y 0);
+  let bias = nd [ 3 ] [ 10.; 20.; 30. ] in
+  let yb = L.conv2d ~bias ~stride:(2, 2) ~padding:(0, 0) ~dilation:(1, 1) x w in
+  checkf "bias channel 1" 28. (Nd.get_f yb 4)
+
+let test_pool2d () =
+  let x =
+    Nd.of_floats Dtype.F64 [| 1; 1; 2; 2 |] [| 1.; 2.; 3.; 4. |]
+  in
+  let mx = L.pool2d ~kind:L.Max_pool ~kernel:(2, 2) ~stride:(2, 2) ~padding:(0, 0) x in
+  check_values "max" [ 4. ] mx;
+  let avg = L.pool2d ~kind:L.Avg_pool ~kernel:(2, 2) ~stride:(2, 2) ~padding:(0, 0) x in
+  check_values "avg" [ 2.5 ] avg;
+  (* avg excludes padded cells from the divisor (count_include_pad = 0) *)
+  let avgp = L.pool2d ~kind:L.Avg_pool ~kernel:(2, 2) ~stride:(2, 2) ~padding:(1, 1) x in
+  checkf "corner avg over 1 cell" 1. (Nd.get_f avgp 0)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "tensor"
+    [
+      ( "dtype",
+        [
+          tc "f32 rounding" `Quick test_dtype_f32_rounding;
+          tc "i32 wrap" `Quick test_dtype_i32_wrap;
+          tc "strings" `Quick test_dtype_strings;
+        ] );
+      ( "shape",
+        [
+          tc "strides/ravel" `Quick test_shape_strides_ravel;
+          tc "broadcast" `Quick test_shape_broadcast;
+          QCheck_alcotest.to_alcotest qcheck_broadcast_commutes;
+        ] );
+      ( "nd",
+        [
+          tc "create/get/set" `Quick test_nd_create_get_set;
+          tc "f32 normalisation" `Quick test_nd_f32_normalisation;
+          tc "map2 broadcast" `Quick test_nd_map2_broadcast;
+          tc "where" `Quick test_nd_where;
+          tc "cast" `Quick test_nd_cast;
+          tc "NaN/Inf detection" `Quick test_nd_bad_detection;
+          tc "approx equal" `Quick test_nd_approx_equal;
+          tc "broadcast_to" `Quick test_nd_broadcast_to;
+        ] );
+      ( "transform",
+        [
+          tc "reshape" `Quick test_reshape;
+          tc "transpose" `Quick test_transpose;
+          QCheck_alcotest.to_alcotest qcheck_transpose_involution;
+          tc "slice" `Quick test_slice;
+          tc "pad constant" `Quick test_pad_constant;
+          tc "pad reflect/replicate" `Quick test_pad_reflect_replicate;
+          tc "concat" `Quick test_concat;
+          tc "squeeze/unsqueeze/flatten" `Quick test_squeeze_unsqueeze_flatten;
+        ] );
+      ( "reduce",
+        [
+          tc "sum/mean" `Quick test_reduce_sum_mean;
+          tc "extrema/prod" `Quick test_reduce_extrema_prod;
+          tc "argmax/argmin" `Quick test_argmax_argmin;
+          tc "softmax" `Quick test_softmax;
+          QCheck_alcotest.to_alcotest qcheck_softmax_normalised;
+        ] );
+      ( "linalg",
+        [
+          tc "matmul 2d" `Quick test_matmul_2d;
+          tc "matmul rank1" `Quick test_matmul_rank1;
+          tc "matmul batched" `Quick test_matmul_batched;
+          tc "conv2d identity" `Quick test_conv2d_identity;
+          tc "conv2d sum kernel" `Quick test_conv2d_sum_kernel;
+          tc "conv2d stride/channels/bias" `Quick test_conv2d_stride_channels;
+          tc "pool2d" `Quick test_pool2d;
+        ] );
+    ]
