@@ -17,10 +17,12 @@ module Graph = Nnsmith_ir.Graph
 module Runner = Nnsmith_ops.Runner
 module Search = Nnsmith_grad.Search
 module Vulnerability = Nnsmith_ops.Vulnerability
+module Tel = Nnsmith_telemetry.Telemetry
 module D = Nnsmith_difftest
 
 let budget_ms = ref 3000.
 let only : string option ref = ref None
+let telemetry_out : string option ref = ref None
 
 let section title =
   Printf.printf "\n================ %s ================\n%!" title
@@ -565,6 +567,41 @@ let abl_solver () =
         (!total_ms /. float_of_int (max 1 !ok)))
     [ 50; 200; 1000; 2000; 10000 ]
 
+(* ------------------------------------------------------------------ *)
+(* Telemetry overhead: fixed-work generation, enabled vs disabled      *)
+
+let telemetry_overhead () =
+  section "Telemetry overhead: fixed-work generation, enabled vs disabled";
+  let gen_run () =
+    let t0 = Unix.gettimeofday () in
+    for seed = 1 to 40 do
+      try ignore (Gen.generate { Config.default with seed = seed * 131; max_nodes = 10 })
+      with Gen.Gen_failure _ -> ()
+    done;
+    (Unix.gettimeofday () -. t0) *. 1000.
+  in
+  ignore (gen_run ());  (* warm up caches and allocator *)
+  (* Interleave enabled/disabled rounds and keep the fastest of each so GC
+     and scheduler drift cannot masquerade as instrumentation cost. *)
+  let on = ref infinity and off = ref infinity in
+  for round = 1 to 6 do
+    let first_on = round land 1 = 1 in
+    Tel.set_enabled first_on;
+    Tel.reset ();
+    let a = gen_run () in
+    Tel.set_enabled (not first_on);
+    Tel.reset ();
+    let b = gen_run () in
+    let on_ms, off_ms = if first_on then (a, b) else (b, a) in
+    on := Float.min !on on_ms;
+    off := Float.min !off off_ms
+  done;
+  Tel.set_enabled true;
+  Printf.printf
+    "40 x 10-node generation: enabled=%.1fms disabled=%.1fms overhead=%+.1f%%\n"
+    !on !off
+    (100. *. (!on -. !off) /. Float.max 1e-9 !off)
+
 let experiments =
   [
     ("fig4", fig456);
@@ -581,6 +618,7 @@ let experiments =
     ("stat_nan", stat_nan);
     ("stat_gen", stat_gen);
     ("micro", micro);
+    ("telemetry", telemetry_overhead);
   ]
 
 let () =
@@ -590,6 +628,9 @@ let () =
         parse rest
     | "--budget" :: ms :: rest ->
         budget_ms := float_of_string ms;
+        parse rest
+    | "--telemetry" :: file :: rest ->
+        telemetry_out := Some file;
         parse rest
     | _ :: rest -> parse rest
     | [] -> ()
@@ -608,4 +649,11 @@ let () =
             exit 1)
   in
   List.iter (fun (_, f) -> f ()) wanted;
+  (* same JSONL schema as `nnsmith fuzz --telemetry`, so perf trajectories
+     across bench runs are diffable *)
+  (match !telemetry_out with
+  | Some file ->
+      Tel.append_jsonl file (Tel.snapshot ());
+      Printf.printf "\ntelemetry appended to %s\n" file
+  | None -> ());
   Printf.printf "\nAll requested experiments completed.\n"

@@ -1,0 +1,42 @@
+(* Telemetry JSONL schema smoke test (attached to `dune runtest`): run a
+   short campaign, write the report the way `nnsmith fuzz --telemetry` and
+   `bench/main.exe --telemetry` do, parse it back, and fail loudly if the
+   schema rots. *)
+
+module Tel = Nnsmith_telemetry.Telemetry
+module D = Nnsmith_difftest
+
+let die fmt = Printf.ksprintf (fun m -> prerr_endline ("smoke: " ^ m); exit 1) fmt
+
+let () =
+  Nnsmith_faults.Faults.deactivate_all ();
+  Tel.set_enabled true;
+  let r =
+    D.Campaign.coverage ~budget_ms:1000. ~system:D.Systems.oxrt
+      (D.Generators.nnsmith ~seed:2024 ())
+  in
+  if r.tests = 0 then die "campaign ran no tests";
+  let file = Filename.temp_file "nnsmith_telemetry" ".jsonl" in
+  Tel.append_jsonl file (Tel.snapshot ());
+  let ic = open_in file in
+  let line = try input_line ic with End_of_file -> die "empty report" in
+  close_in ic;
+  Sys.remove file;
+  match Tel.snapshot_of_jsonl line with
+  | Error m -> die "malformed JSONL: %s" m
+  | Ok s ->
+      let prefixed prefix =
+        List.exists
+          (fun (k, (sv : Tel.span_view)) ->
+            sv.sv_total_ms > 0.
+            && String.length k >= String.length prefix
+            && String.sub k 0 (String.length prefix) = prefix)
+          s.spans
+      in
+      List.iter
+        (fun p -> if not (prefixed p) then die "no %s* span with time" p)
+        [ "gen/"; "smt/"; "exec/" ];
+      if s.counters = [] then die "no counters recorded";
+      if not (List.mem_assoc "smt/solve_ms" s.histograms) then
+        die "missing smt/solve_ms histogram";
+      print_endline "telemetry smoke ok"

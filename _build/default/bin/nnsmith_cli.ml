@@ -1,8 +1,9 @@
 (* The nnsmith command-line interface.
 
      nnsmith generate --seed 1 --nodes 10
-     nnsmith fuzz --system oxrt --budget 5 --bugs
+     nnsmith fuzz --system oxrt --budget 5 --bugs --telemetry out.jsonl
      nnsmith cov --budget 5
+     nnsmith stats out.jsonl
      nnsmith ops
      nnsmith bugs *)
 
@@ -13,14 +14,18 @@ module Graph = Nnsmith_ir.Graph
 module Search = Nnsmith_grad.Search
 module Cov = Nnsmith_coverage.Coverage
 module Faults = Nnsmith_faults.Faults
+module Tel = Nnsmith_telemetry.Telemetry
 module D = Nnsmith_difftest
 
 (* ---- generate ----------------------------------------------------- *)
 
 let generate seed nodes count search =
+  let failures = ref 0 in
   for k = 0 to count - 1 do
     match Gen.generate_with_stats { Config.default with seed = seed + k; max_nodes = nodes } with
-    | exception Gen.Gen_failure m -> Printf.printf "generation failed: %s\n" m
+    | exception Gen.Gen_failure m ->
+        incr failures;
+        Printf.eprintf "generation failed (seed %d): %s\n%!" (seed + k) m
     | g, stats ->
         Printf.printf "# seed %d: %d nodes, %.1f ms\n%s\n" (seed + k)
           stats.nodes_total stats.gen_ms (Graph.to_string g);
@@ -33,7 +38,11 @@ let generate seed nodes count search =
         end;
         print_newline ()
   done;
-  0
+  if !failures = count then begin
+    Printf.eprintf "all %d generation attempts failed\n%!" count;
+    1
+  end
+  else 0
 
 let seed_t =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
@@ -60,23 +69,38 @@ let system_of_name = function
   | "trt" -> Some D.Systems.trt
   | _ -> None
 
-let fuzz system_name budget_s bugs seed =
+(* Returns an exit code: losing the run's report deserves more than a
+   cmdliner "internal error" dump. *)
+let write_telemetry = function
+  | None -> 0
+  | Some path -> (
+      try
+        Tel.append_jsonl path (Tel.snapshot ());
+        Printf.printf "telemetry appended to %s\n" path;
+        0
+      with Sys_error m ->
+        Printf.eprintf "cannot write telemetry: %s\n%!" m;
+        1)
+
+let fuzz system_name budget_s bugs seed telemetry =
   match system_of_name system_name with
   | None ->
       Printf.eprintf "unknown system %s (oxrt | lotus | trt)\n" system_name;
       1
   | Some system ->
       if bugs then Faults.activate_all () else Faults.deactivate_all ();
+      Tel.reset ();
       let gen = D.Generators.nnsmith ~seed () in
       let rng = Random.State.make [| seed |] in
-      let start = Unix.gettimeofday () in
+      let start = Tel.now_ms () in
       let verdicts = Hashtbl.create 8 in
       let bump k =
+        Tel.incr ("fuzz/" ^ k);
         Hashtbl.replace verdicts k
           (1 + Option.value ~default:0 (Hashtbl.find_opt verdicts k))
       in
       let crashes = Hashtbl.create 8 in
-      while Unix.gettimeofday () -. start < budget_s do
+      while Tel.now_ms () -. start < budget_s *. 1000. do
         match gen.next () with
         | None -> bump "genfail"
         | Some g -> (
@@ -89,6 +113,8 @@ let fuzz system_name budget_s bugs seed =
             | Semantic _ -> bump "semantic"
             | Crash m ->
                 bump "crash";
+                Tel.event "crash" (D.Harness.dedup_key m);
+                Tel.incr "exec/crashes";
                 Hashtbl.replace crashes m ()
             | exception _ -> bump "harness-error")
       done;
@@ -96,7 +122,7 @@ let fuzz system_name budget_s bugs seed =
       Hashtbl.iter (fun k v -> Printf.printf "  %-12s %d\n" k v) verdicts;
       Printf.printf "unique crashes: %d\n" (Hashtbl.length crashes);
       Hashtbl.iter (fun m () -> Printf.printf "  %s\n" m) crashes;
-      0
+      write_telemetry telemetry
 
 let system_t =
   Arg.(value & opt string "oxrt" & info [ "system" ] ~docv:"SYS" ~doc:"oxrt | lotus | trt.")
@@ -107,37 +133,101 @@ let budget_t =
 let bugs_t =
   Arg.(value & flag & info [ "bugs" ] ~doc:"Activate the seeded defects.")
 
+let telemetry_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "telemetry" ] ~docv:"FILE"
+        ~doc:"Append a JSONL telemetry snapshot to $(docv) when done.")
+
 let fuzz_cmd =
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Differentially fuzz one compiler")
-    Term.(const fuzz $ system_t $ budget_t $ bugs_t $ seed_t)
+    Term.(const fuzz $ system_t $ budget_t $ bugs_t $ seed_t $ telemetry_t)
 
 (* ---- cov ---------------------------------------------------------- *)
 
-let cov budget_s seed =
+let cov budget_s seed telemetry =
   Faults.deactivate_all ();
+  let write_failed = ref false in
   List.iter
     (fun (system : D.Systems.t) ->
       List.iter
         (fun gen ->
+          (* each campaign resets telemetry, so one JSONL line per campaign *)
           let r =
             D.Campaign.coverage ~budget_ms:(budget_s *. 1000.) ~system gen
           in
           Printf.printf "%-6s %-12s tests=%-5d total=%-5d pass-only=%-5d\n%!"
             system.s_name r.fuzzer r.tests (Cov.count r.final)
-            (Cov.count_pass r.final))
+            (Cov.count_pass r.final);
+          match telemetry with
+          | Some path -> (
+              try Tel.append_jsonl path (Tel.snapshot ())
+              with Sys_error m ->
+                if not !write_failed then
+                  Printf.eprintf "cannot write telemetry: %s\n%!" m;
+                write_failed := true)
+          | None -> ())
         [
           D.Generators.nnsmith ~seed ();
           D.Generators.graphfuzzer ~seed ();
           D.Generators.lemon ~seed ();
         ])
     D.Systems.open_source;
-  0
+  (match telemetry with
+  | Some path when not !write_failed ->
+      Printf.printf "telemetry appended to %s\n" path
+  | _ -> ());
+  if !write_failed then 1 else 0
 
 let cov_cmd =
   Cmd.v
     (Cmd.info "cov" ~doc:"Coverage comparison of all fuzzers on all systems")
-    Term.(const cov $ budget_t $ seed_t)
+    Term.(const cov $ budget_t $ seed_t $ telemetry_t)
+
+(* ---- stats -------------------------------------------------------- *)
+
+let stats file =
+  match open_in file with
+  | exception Sys_error m ->
+      Printf.eprintf "cannot open %s: %s\n" file m;
+      1
+  | ic ->
+      let bad = ref false in
+      let k = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           if String.trim line <> "" then begin
+             incr k;
+             match Tel.snapshot_of_jsonl line with
+             | Ok s ->
+                 Printf.printf "-- snapshot %d --\n%s\n" !k (Tel.render_table s)
+             | Error m ->
+                 Printf.eprintf "line %d: malformed telemetry: %s\n" !k m;
+                 bad := true
+           end
+         done
+       with End_of_file -> ());
+      close_in ic;
+      if !k = 0 then begin
+        Printf.eprintf "%s contains no telemetry snapshots\n" file;
+        bad := true
+      end;
+      if !bad then 1 else 0
+
+let stats_file_t =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE" ~doc:"JSONL telemetry report to render.")
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Render a JSONL telemetry report as human-readable tables")
+    Term.(const stats $ stats_file_t)
 
 (* ---- reduce ------------------------------------------------------- *)
 
@@ -158,9 +248,9 @@ let reduce bug_id budget_s seed out_path =
       let predicate = D.Reduce.still_triggers system ~bug_id rng in
       (* fuzz until a model triggers the bug *)
       let gen = D.Generators.nnsmith ~seed () in
-      let start = Unix.gettimeofday () in
+      let start = Tel.now_ms () in
       let rec find () =
-        if Unix.gettimeofday () -. start > budget_s then None
+        if Tel.now_ms () -. start > budget_s *. 1000. then None
         else
           match gen.next () with
           | Some g when predicate g -> Some g
@@ -232,4 +322,15 @@ let () =
     Cmd.info "nnsmith" ~version:"1.0.0"
       ~doc:"Generate diverse and valid test cases for deep-learning compilers"
   in
-  exit (Cmd.eval' (Cmd.group info [ generate_cmd; fuzz_cmd; cov_cmd; reduce_cmd; ops_cmd; bugs_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            generate_cmd;
+            fuzz_cmd;
+            cov_cmd;
+            stats_cmd;
+            reduce_cmd;
+            ops_cmd;
+            bugs_cmd;
+          ]))

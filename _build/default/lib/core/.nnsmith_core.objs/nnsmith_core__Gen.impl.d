@@ -1,1 +1,1 @@
-lib/core/gen.ml: Array Config Float Hashtbl List Nnsmith_ir Nnsmith_ops Nnsmith_smt Nnsmith_tensor Printf Random String Unix
+lib/core/gen.ml: Array Config Float Hashtbl List Nnsmith_ir Nnsmith_ops Nnsmith_smt Nnsmith_telemetry Nnsmith_tensor Printf Random String

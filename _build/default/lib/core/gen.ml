@@ -12,6 +12,7 @@ module Sym = Nnsmith_ir.Ttype.Sym
 module Conc = Nnsmith_ir.Ttype.Conc
 module Graph = Nnsmith_ir.Graph
 module Spec = Nnsmith_ops.Spec
+module Tel = Nnsmith_telemetry.Telemetry
 
 exception Gen_failure of string
 
@@ -120,20 +121,27 @@ let insertion_constraints st (inst : Spec.instance) =
 let forward_insert st (tpl : Spec.template) : bool =
   let rec try_combo k =
     if k = 0 then false
-    else
+    else begin
+      Tel.incr "gen/forward_attempts";
       match sample_combo st tpl.t_arity with
       | None -> false
       | Some combo ->
           let types = List.map (fun n -> n.out_type) combo in
-          if not (tpl.accepts (signature_of types)) then try_combo (k - 1)
+          if not (tpl.accepts (signature_of types)) then begin
+            Tel.incr "gen/reject/signature";
+            try_combo (k - 1)
+          end
           else begin
             match tpl.forward st.rng types with
-            | None -> try_combo (k - 1)
+            | None ->
+                Tel.incr "gen/reject/forward_none";
+                try_combo (k - 1)
             | Some inst ->
                 if
                   Solver.try_add_constraints st.solver
                     (insertion_constraints st inst)
                 then begin
+                  Tel.incr "gen/forward_ok";
                   let extra =
                     List.map
                       (fun t -> (add_placeholder ~weight_only:true st t).id)
@@ -144,8 +152,12 @@ let forward_insert st (tpl : Spec.template) : bool =
                        ~inputs:(List.map (fun n -> n.id) combo @ extra));
                   true
                 end
-                else try_combo (k - 1)
+                else begin
+                  Tel.incr "gen/reject/solver";
+                  try_combo (k - 1)
+                end
           end
+    end
   in
   try_combo st.cfg.combo_tries
 
@@ -162,9 +174,12 @@ let backward_insert st (tpl : Spec.template) : bool =
       match placeholders st with
       | [] -> false
       | phs -> (
+          Tel.incr "gen/backward_attempts";
           let v = Spec.pick st.rng phs in
           match backward st.rng v.out_type with
-          | None -> false
+          | None ->
+              Tel.incr "gen/reject/backward_none";
+              false
           | Some (inst, in_types) ->
               (* the instance's out dims are v's dims by construction; assert
                  the remaining validity constraints *)
@@ -175,6 +190,7 @@ let backward_insert st (tpl : Spec.template) : bool =
                     in_types
               in
               if Solver.try_add_constraints st.solver cs then begin
+                Tel.incr "gen/backward_ok";
                 let weight_positions = weight_slots inst.op in
                 let new_inputs =
                   List.mapi
@@ -193,25 +209,29 @@ let backward_insert st (tpl : Spec.template) : bool =
                 st.op_count <- st.op_count + 1;
                 true
               end
-              else false))
+              else begin
+                Tel.incr "gen/reject/solver";
+                false
+              end))
 
 let insert_one st : bool =
-  let rec attempt k =
-    if k = 0 then false
-    else begin
-      let tpl = Spec.pick st.rng st.cfg.templates in
-      let forward_first =
-        Random.State.float st.rng 1. < st.cfg.forward_prob
+  Tel.with_span "gen/insert_op" (fun () ->
+      let rec attempt k =
+        if k = 0 then false
+        else begin
+          let tpl = Spec.pick st.rng st.cfg.templates in
+          let forward_first =
+            Random.State.float st.rng 1. < st.cfg.forward_prob
+          in
+          let ok =
+            if forward_first then
+              forward_insert st tpl || backward_insert st tpl
+            else backward_insert st tpl || forward_insert st tpl
+          in
+          ok || attempt (k - 1)
+        end
       in
-      let ok =
-        if forward_first then
-          forward_insert st tpl || backward_insert st tpl
-        else backward_insert st tpl || forward_insert st tpl
-      in
-      ok || attempt (k - 1)
-    end
-  in
-  attempt st.cfg.insert_tries
+      attempt st.cfg.insert_tries)
 
 (* ------------------------------------------------------------------ *)
 (* Algorithm 2: attribute binning.                                     *)
@@ -272,6 +292,7 @@ let graph_attrs st =
     (node_list st)
 
 let attr_binning st =
+  Tel.with_span "gen/binning" @@ fun () ->
   let k = st.cfg.bins in
   let cb = ref [] in
   List.iter
@@ -279,6 +300,7 @@ let attr_binning st =
       match Expr.is_const alpha with
       | Some _ -> ()  (* nothing to diversify *)
       | None -> (
+          Tel.incr "gen/binning_picks";
           match specialised st op_name label alpha with
           | Some cs -> cb := cs @ !cb
           | None ->
@@ -295,6 +317,7 @@ let attr_binning st =
     if cs = [] then ignore (Solver.check st.solver)
     else if Solver.try_add_constraints st.solver cs then ()
     else begin
+      Tel.incr "gen/binning_drops";
       let half =
         List.filter (fun _ -> Random.State.bool st.rng) cs
         |> fun l ->
@@ -323,6 +346,7 @@ let finalize_leaf_kind st ~weight_only ~need_input =
 (* Kahn topological sort of the symbolic nodes (backward insertion breaks
    id-ordering), then emit a concrete graph. *)
 let concretize st (model : Model.t) : Graph.t =
+  Tel.with_span "gen/concretize" @@ fun () ->
   let nodes = node_list st in
   let remaining = Hashtbl.create 32 in
   List.iter (fun n -> Hashtbl.replace remaining n.id n) nodes;
@@ -407,7 +431,8 @@ type stats = {
 }
 
 let generate_with_stats (cfg : Config.t) : Graph.t * stats =
-  let t0 = Unix.gettimeofday () in
+  Tel.with_span "gen/generate" @@ fun () ->
+  let t0 = Tel.now_ms () in
   let st =
     {
       cfg;
@@ -432,9 +457,11 @@ let generate_with_stats (cfg : Config.t) : Graph.t * stats =
     | None -> raise (Gen_failure "final constraint system unsatisfiable")
   in
   let g = ensure_input (concretize st model) in
+  let gen_ms = Tel.now_ms () -. t0 in
+  Tel.observe "gen/generate_ms" gen_ms;
   let stats =
     {
-      gen_ms = (Unix.gettimeofday () -. t0) *. 1000.;
+      gen_ms;
       solver_steps = Solver.check_steps st.solver;
       ops = st.op_count;
       nodes_total = Graph.size g;

@@ -1,1 +1,1 @@
-lib/coverage/coverage.ml: Hashtbl List Set String
+lib/coverage/coverage.ml: Hashtbl List Nnsmith_telemetry Set String

@@ -19,7 +19,11 @@ let reset () = Hashtbl.reset hits
 
 let hit ?(pass = false) ~file tag =
   let key = file ^ ":" ^ tag in
-  if not (Hashtbl.mem hits key) then Hashtbl.replace hits key pass;
+  if not (Hashtbl.mem hits key) then begin
+    (* new-site discovery rate feeds the telemetry layer *)
+    Nnsmith_telemetry.Telemetry.incr "cov/new_sites";
+    Hashtbl.replace hits key pass
+  end;
   if not (Hashtbl.mem universe key) then Hashtbl.replace universe key pass
 
 (** [branch ~file tag cond] records the taken arm of a two-way branch and

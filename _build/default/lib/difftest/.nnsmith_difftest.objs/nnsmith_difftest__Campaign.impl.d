@@ -1,1 +1,1 @@
-lib/difftest/campaign.ml: Generators Harness Hashtbl List Nnsmith_baselines Nnsmith_coverage Nnsmith_grad Nnsmith_ir Nnsmith_ops Opinst Option Random Systems Unix
+lib/difftest/campaign.ml: Generators Harness Hashtbl List Nnsmith_baselines Nnsmith_coverage Nnsmith_grad Nnsmith_ir Nnsmith_ops Nnsmith_telemetry Opinst Option Random Systems

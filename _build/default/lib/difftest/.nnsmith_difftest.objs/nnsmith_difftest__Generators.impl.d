@@ -1,1 +1,1 @@
-lib/difftest/generators.ml: Nnsmith_baselines Nnsmith_core Nnsmith_ir Option
+lib/difftest/generators.ml: Nnsmith_baselines Nnsmith_core Nnsmith_ir Nnsmith_telemetry Option

@@ -1,1 +1,1 @@
-lib/difftest/harness.ml: Float List Nnsmith_faults Nnsmith_ir Nnsmith_ops Nnsmith_tensor Option Printexc String Systems
+lib/difftest/harness.ml: Float List Nnsmith_faults Nnsmith_ir Nnsmith_ops Nnsmith_telemetry Nnsmith_tensor Option Printexc String Systems

@@ -7,8 +7,10 @@ module Graph = Nnsmith_ir.Graph
 module Runner = Nnsmith_ops.Runner
 module Search = Nnsmith_grad.Search
 module Cov = Nnsmith_coverage.Coverage
+module Tel = Nnsmith_telemetry.Telemetry
 
-let now_ms () = Unix.gettimeofday () *. 1000.
+(* One clock for campaigns, search and bench: Telemetry.now_ms. *)
+let now_ms = Tel.now_ms
 
 type sample = {
   at_ms : float;
@@ -33,6 +35,7 @@ let incr_count tbl key =
 (* Inputs for a test case: gradient search with a small budget; fall back to
    the last random binding (still useful for coverage) when it fails. *)
 let find_binding rng g =
+  Tel.with_span "exec/search" @@ fun () ->
   match
     (Search.search ~budget_ms:16. ~method_:Search.Gradient rng g).binding
   with
@@ -44,6 +47,7 @@ let find_binding rng g =
     runs (crashes would truncate executions). *)
 let coverage ~budget_ms ~(system : Systems.t) (gen : Generators.t) : result =
   Cov.reset ();
+  Tel.reset ();
   let rng = Random.State.make [| Hashtbl.hash (gen.g_name, system.s_name) |] in
   let start = now_ms () in
   let samples = ref [] in
@@ -69,7 +73,11 @@ let coverage ~budget_ms ~(system : Systems.t) (gen : Generators.t) : result =
         let binding = find_binding rng g in
         match Harness.test system g binding with
         | Harness.Pass | Semantic _ | Skipped _ -> ()
-        | Harness.Crash m -> incr_count crashes (Harness.dedup_key m)
+        | Harness.Crash m ->
+            let key = Harness.dedup_key m in
+            Tel.incr "exec/crashes";
+            Tel.event "crash" key;
+            incr_count crashes key
         | exception _ -> ()));
     record ()
   done;
@@ -85,6 +93,7 @@ let coverage ~budget_ms ~(system : Systems.t) (gen : Generators.t) : result =
 (** TZer campaign: mutates Lotus's low-level IR directly. *)
 let tzer ~budget_ms ~seed : result =
   Cov.reset ();
+  Tel.reset ();
   let st = Nnsmith_baselines.Tzer.create ~seed () in
   let start = now_ms () in
   let samples = ref [] in
@@ -114,6 +123,7 @@ let tzer ~budget_ms ~seed : result =
 
 (** Unique-operator-instance campaign (Figure 9): generation only. *)
 let op_instances ~budget_ms (gen : Generators.t) : result =
+  Tel.reset ();
   let start = now_ms () in
   let samples = ref [] in
   let tests = ref 0 in

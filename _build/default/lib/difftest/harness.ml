@@ -6,6 +6,7 @@ module Nd = Nnsmith_tensor.Nd
 module Graph = Nnsmith_ir.Graph
 module Runner = Nnsmith_ops.Runner
 module Faults = Nnsmith_faults.Faults
+module Tel = Nnsmith_telemetry.Telemetry
 
 type verdict =
   | Pass
@@ -42,8 +43,9 @@ let worst_rel_err reference got =
     [exported] is what the compiler actually receives. *)
 let test ?(exported : Graph.t option) (system : Systems.t) (g : Graph.t)
     (binding : Runner.binding) : verdict =
+  Tel.with_span "exec/test" @@ fun () ->
   let exported = Option.value exported ~default:g in
-  match Runner.run g binding with
+  match Tel.with_span "exec/reference" (fun () -> Runner.run g binding) with
   | exception e -> Skipped ("reference failed: " ^ message_of_exn e)
   | all_values ->
       if List.exists (fun (_, v) -> Nd.has_bad v) all_values then
@@ -58,14 +60,20 @@ let test ?(exported : Graph.t option) (system : Systems.t) (g : Graph.t)
         match system.compile_and_run Systems.O2 exported binding with
         | exception e -> Crash (message_of_exn e)
         | optimized ->
-            if outputs_match reference optimized then Pass
+            if
+              Tel.with_span "exec/compare" (fun () ->
+                  outputs_match reference optimized)
+            then Pass
             else begin
               (* localise: recompile without optimizations *)
               let rel_err = worst_rel_err reference optimized in
               match system.compile_and_run Systems.O0 exported binding with
               | exception e -> Crash (message_of_exn e)
               | o0 ->
-                  if outputs_match o0 optimized then
+                  if
+                    Tel.with_span "exec/compare" (fun () ->
+                        outputs_match o0 optimized)
+                  then
                     (* O0 agrees with O2: the front end (or the export) is
                        wrong, not the optimizer *)
                     Semantic { sem_kind = `Frontend; rel_err }

@@ -2,6 +2,7 @@
 
 module Nd = Nnsmith_tensor.Nd
 module Graph = Nnsmith_ir.Graph
+module Tel = Nnsmith_telemetry.Telemetry
 
 type opt_level = O0 | O2
 
@@ -25,8 +26,12 @@ let oxrt =
           | O0 -> Nnsmith_ortlike.Compiler.O0
           | O2 -> Nnsmith_ortlike.Compiler.O2
         in
-        let c = Nnsmith_ortlike.Compiler.compile ~opt_level g in
-        Nnsmith_ortlike.Compiler.run c binding);
+        let c =
+          Tel.with_span "exec/compile" (fun () ->
+              Nnsmith_ortlike.Compiler.compile ~opt_level g)
+        in
+        Tel.with_span "exec/run" (fun () ->
+            Nnsmith_ortlike.Compiler.run c binding));
   }
 
 let lotus =
@@ -40,8 +45,12 @@ let lotus =
           | O0 -> Nnsmith_tvmlike.Compiler.O0
           | O2 -> Nnsmith_tvmlike.Compiler.O2
         in
-        let c = Nnsmith_tvmlike.Compiler.compile ~opt_level g in
-        Nnsmith_tvmlike.Compiler.run c binding);
+        let c =
+          Tel.with_span "exec/compile" (fun () ->
+              Nnsmith_tvmlike.Compiler.compile ~opt_level g)
+        in
+        Tel.with_span "exec/run" (fun () ->
+            Nnsmith_tvmlike.Compiler.run c binding));
   }
 
 let trt =
@@ -56,10 +65,12 @@ let trt =
           | O2 -> Nnsmith_ortlike.Compiler.O2
         in
         let c =
-          Nnsmith_ortlike.Compiler.compile
-            ~profile:Nnsmith_ortlike.Compiler.Trt_strict ~opt_level g
+          Tel.with_span "exec/compile" (fun () ->
+              Nnsmith_ortlike.Compiler.compile
+                ~profile:Nnsmith_ortlike.Compiler.Trt_strict ~opt_level g)
         in
-        Nnsmith_ortlike.Compiler.run c binding);
+        Tel.with_span "exec/run" (fun () ->
+            Nnsmith_ortlike.Compiler.run c binding));
   }
 
 let all = [ oxrt; lotus; trt ]

@@ -1,1 +1,1 @@
-lib/grad/search.ml: Adam Backprop Hashtbl List Nnsmith_ir Nnsmith_ops Nnsmith_tensor Unix
+lib/grad/search.ml: Adam Backprop Hashtbl List Nnsmith_ir Nnsmith_ops Nnsmith_telemetry Nnsmith_tensor

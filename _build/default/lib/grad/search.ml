@@ -7,6 +7,7 @@ module Graph = Nnsmith_ir.Graph
 module Op = Nnsmith_ir.Op
 module Runner = Nnsmith_ops.Runner
 module Vulnerability = Nnsmith_ops.Vulnerability
+module Tel = Nnsmith_telemetry.Telemetry
 
 type method_ =
   | Sampling  (** re-draw random values until valid (baseline) *)
@@ -20,7 +21,8 @@ type outcome = {
   elapsed_ms : float;
 }
 
-let now_ms () = Unix.gettimeofday () *. 1000.
+(* One clock for campaigns, search and bench: Telemetry.now_ms. *)
+let now_ms = Tel.now_ms
 
 (* Forward pass recording every value, stopping at the first NaN/Inf. *)
 let forward_until_bad g binding =
@@ -59,6 +61,7 @@ let replace binding id v = (id, v) :: List.remove_assoc id binding
 
 let search ?(budget_ms = 64.) ?(lr = 0.5) ?(lo = 1.) ?(hi = 9.) ~method_ rng
     (g : Graph.t) : outcome =
+  Tel.with_span "grad/search" @@ fun () ->
   let start = now_ms () in
   let adam = Adam.create ~lr () in
   let iterations = ref 0 and restarts = ref 0 in
@@ -66,21 +69,26 @@ let search ?(budget_ms = 64.) ?(lr = 0.5) ?(lo = 1.) ?(hi = 9.) ~method_ rng
   let random_binding () = Runner.random_binding ~lo ~hi rng g in
   let restart () =
     incr restarts;
+    Tel.incr "grad/restarts";
     Adam.reset adam;
     last_target := None;
     random_binding ()
   in
   let rec loop binding =
     incr iterations;
-    if now_ms () -. start > budget_ms then
+    Tel.incr "grad/iterations";
+    if now_ms () -. start > budget_ms then begin
+      Tel.incr "grad/timeouts";
       {
         binding = None;
         iterations = !iterations;
         restarts = !restarts;
         elapsed_ms = now_ms () -. start;
       }
+    end
     else begin
       let values, bad = forward_until_bad g binding in
+      (match bad with Some _ -> Tel.incr "grad/bad_forward" | None -> ());
       match bad with
       | None ->
           {

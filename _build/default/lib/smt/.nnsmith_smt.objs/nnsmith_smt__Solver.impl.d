@@ -1,1 +1,1 @@
-lib/smt/solver.ml: Expr Formula Hashtbl Int Interval List Map Model Option Random
+lib/smt/solver.ml: Expr Formula Hashtbl Int Interval List Map Model Nnsmith_telemetry Option Random

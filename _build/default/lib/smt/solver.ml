@@ -1,4 +1,5 @@
 module Imap = Map.Make (Int)
+module Tel = Nnsmith_telemetry.Telemetry
 
 type result = Sat | Unsat | Unknown
 
@@ -19,14 +20,20 @@ let create ?(max_steps = 2000) ?(seed = 0x5eed) () =
     rng = Random.State.make [| seed |];
   }
 
-let push s = s.frames <- [] :: s.frames
+let push s =
+  Tel.incr "smt/push";
+  if Tel.is_enabled () then
+    Tel.observe "smt/frame_depth" (float_of_int (List.length s.frames));
+  s.frames <- [] :: s.frames
 
 let pop s =
+  Tel.incr "smt/pop";
   match s.frames with
   | [] | [ _ ] -> invalid_arg "Solver.pop: empty frame stack"
   | _ :: rest -> s.frames <- rest
 
 let assert_ s f =
+  Tel.incr "smt/assert";
   match s.frames with
   | frame :: rest -> s.frames <- (f :: frame) :: rest
   | [] -> assert false
@@ -345,7 +352,9 @@ let solve_formulas ~max_steps ~rng formulas : result * Model.t option * int =
         incr steps;
         if !steps > max_steps then raise Step_limit;
         match propagate d atoms ors with
-        | exception Conflict -> None
+        | exception Conflict ->
+            Tel.incr "smt/backtracks";
+            None
         | d -> (
             let unassigned =
               List.filter_map
@@ -377,7 +386,9 @@ let solve_formulas ~max_steps ~rng formulas : result * Model.t option * int =
                   | None -> (
                       match refine d (Var v) (Interval.point value) with
                       | d' -> search d'
-                      | exception Conflict -> None)
+                      | exception Conflict ->
+                          Tel.incr "smt/backtracks";
+                          None)
                 in
                 List.fold_left try_value None
                   (List.sort_uniq compare (hinted @ candidates rng i)))
@@ -388,12 +399,23 @@ let solve_formulas ~max_steps ~rng formulas : result * Model.t option * int =
       | exception Step_limit -> (Unknown, None, !steps))
 
 let check s =
-  let result, m, steps =
-    solve_formulas ~max_steps:s.max_steps ~rng:s.rng (assertions s)
-  in
-  s.last_steps <- steps;
-  (match m with Some _ -> s.cached_model <- m | None -> ());
-  result
+  Tel.with_span "smt/check" (fun () ->
+      Tel.incr "smt/check";
+      let t0 = if Tel.is_enabled () then Tel.now_ms () else 0. in
+      let result, m, steps =
+        solve_formulas ~max_steps:s.max_steps ~rng:s.rng (assertions s)
+      in
+      s.last_steps <- steps;
+      (match m with Some _ -> s.cached_model <- m | None -> ());
+      if Tel.is_enabled () then begin
+        Tel.observe "smt/solve_ms" (Tel.now_ms () -. t0);
+        Tel.observe "smt/steps" (float_of_int steps);
+        match result with
+        | Unknown -> Tel.incr "smt/unknown"
+        | Unsat -> Tel.incr "smt/unsat"
+        | Sat -> Tel.incr "smt/sat"
+      end;
+      result)
 
 let try_add_constraints s fs =
   push s;

@@ -1,0 +1,1 @@
+lib/telemetry/telemetry.ml: Array Buffer Float Hashtbl Json List Printf Queue String Unix

@@ -1,0 +1,24 @@
+(** Minimal JSON values, one-line emission and parsing — just enough for the
+    telemetry JSONL schema, with no external dependencies. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line emission.  Object keys are written in list order, so
+    callers control key order (the telemetry schema sorts them). *)
+
+val parse : string -> (t, string) result
+(** Parse one complete JSON document; trailing garbage is an error. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] otherwise. *)
+
+val to_float : t -> float option
+val to_int : t -> int option
+val to_str : t -> string option

@@ -1,0 +1,1 @@
+test/test_telemetry.ml: Alcotest List Nnsmith_telemetry Result String

@@ -227,6 +227,37 @@ let test_coverage_campaign_smoke () =
          in
          mono r.samples))
 
+let test_campaign_telemetry_spans () =
+  no_faults (fun () ->
+      let module Tel = Nnsmith_telemetry.Telemetry in
+      Tel.set_enabled true;
+      let r =
+        D.Campaign.coverage ~budget_ms:300. ~system:D.Systems.oxrt
+          (D.Generators.nnsmith ~seed:99 ())
+      in
+      check "ran tests" true (r.tests > 0);
+      let s = Tel.snapshot () in
+      let group_total prefix =
+        List.fold_left
+          (fun acc (k, (sv : Tel.span_view)) ->
+            if
+              String.length k >= String.length prefix
+              && String.sub k 0 (String.length prefix) = prefix
+            then acc +. sv.sv_total_ms
+            else acc)
+          0. s.spans
+      in
+      List.iter
+        (fun p ->
+          check (p ^ "* spans accumulated time") true (group_total p > 0.))
+        [ "gen/"; "smt/"; "exec/" ];
+      check "solver counters recorded" true (Tel.counter_value "smt/check" > 0);
+      (* reset zeroes the whole registry *)
+      Tel.reset ();
+      let s = Tel.snapshot () in
+      check "spans zeroed by reset" true (s.spans = []);
+      check_int "counters zeroed by reset" 0 (Tel.counter_value "smt/check"))
+
 let test_tzer_campaign_smoke () =
   no_faults (fun () ->
       let r = D.Campaign.tzer ~budget_ms:200. ~seed:3 in
@@ -298,6 +329,7 @@ let () =
       ( "campaigns",
         [
           tc "coverage smoke" `Slow test_coverage_campaign_smoke;
+          tc "telemetry spans" `Slow test_campaign_telemetry_spans;
           tc "tzer smoke" `Quick test_tzer_campaign_smoke;
         ] );
       ( "bughunt",

@@ -1,0 +1,218 @@
+(* Tests for the telemetry subsystem (lib/telemetry): counters, log-scale
+   histogram bucket boundaries, nested span self-time accounting, event
+   ring-buffer eviction, reset semantics, and the JSONL round-trip. *)
+
+module Tel = Nnsmith_telemetry.Telemetry
+module Json = Nnsmith_telemetry.Json
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let fresh () =
+  Tel.set_enabled true;
+  Tel.reset ()
+
+(* ------------------------------------------------------------------ *)
+(* Counters                                                            *)
+
+let test_counters () =
+  fresh ();
+  check_int "never bumped" 0 (Tel.counter_value "a");
+  Tel.incr "a";
+  Tel.incr "a" ~by:4;
+  Tel.incr "b";
+  check_int "accumulates" 5 (Tel.counter_value "a");
+  check_int "independent" 1 (Tel.counter_value "b");
+  Tel.set_enabled false;
+  Tel.incr "a";
+  Tel.set_enabled true;
+  check_int "disabled is a no-op" 5 (Tel.counter_value "a")
+
+(* ------------------------------------------------------------------ *)
+(* Histogram bucket boundaries                                         *)
+
+let test_histogram_buckets () =
+  fresh ();
+  (* bucket e covers (2^(e-1), 2^e] *)
+  check_int "1.0 -> e=0" 0 (Tel.bucket_exponent 1.0);
+  check_int "1.5 -> e=1" 1 (Tel.bucket_exponent 1.5);
+  check_int "2.0 -> e=1" 1 (Tel.bucket_exponent 2.0);
+  check_int "2.1 -> e=2" 2 (Tel.bucket_exponent 2.1);
+  check_int "0.5 -> e=-1" (-1) (Tel.bucket_exponent 0.5);
+  let lo, hi = Tel.bucket_range in
+  check_int "0 clamps to lo" lo (Tel.bucket_exponent 0.);
+  check_int "negative clamps to lo" lo (Tel.bucket_exponent (-3.));
+  check_int "tiny clamps to lo" lo (Tel.bucket_exponent 1e-12);
+  check_int "huge clamps to hi" hi (Tel.bucket_exponent 1e12);
+  List.iter (fun v -> Tel.observe "h" v) [ 1.0; 1.5; 2.0; 2.1; 1e12 ];
+  let s = Tel.snapshot () in
+  let h = List.assoc "h" s.histograms in
+  check_int "count" 5 h.hv_count;
+  check "sum" true (abs_float (h.hv_sum -. (1. +. 1.5 +. 2. +. 2.1 +. 1e12)) < 1.);
+  check "min" true (h.hv_min = 1.0);
+  check "max" true (h.hv_max = 1e12);
+  check_int "bucket e=0 holds 1.0" 1 (List.assoc 0 h.hv_buckets);
+  check_int "bucket e=1 holds 1.5 and 2.0" 2 (List.assoc 1 h.hv_buckets);
+  check_int "bucket e=2 holds 2.1" 1 (List.assoc 2 h.hv_buckets);
+  check_int "top bucket holds the clamped huge value" 1
+    (List.assoc hi h.hv_buckets)
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+
+let spin ms =
+  let t0 = Tel.now_ms () in
+  while Tel.now_ms () -. t0 < ms do
+    ()
+  done
+
+let test_nested_span_self_time () =
+  fresh ();
+  Tel.with_span "outer" (fun () ->
+      spin 4.;
+      Tel.with_span "inner" (fun () -> spin 8.));
+  let s = Tel.snapshot () in
+  let outer = List.assoc "outer" s.spans
+  and inner = List.assoc "inner" s.spans in
+  check_int "outer count" 1 outer.sv_count;
+  check_int "inner count" 1 inner.sv_count;
+  check "outer total covers both" true (outer.sv_total_ms >= 11.);
+  check "inner total" true (inner.sv_total_ms >= 7.);
+  (* self = total - child time: outer's self excludes inner entirely *)
+  let self_err =
+    abs_float (outer.sv_self_ms -. (outer.sv_total_ms -. inner.sv_total_ms))
+  in
+  check "outer self excludes inner" true (self_err < 1.);
+  check "inner self equals its total" true
+    (abs_float (inner.sv_self_ms -. inner.sv_total_ms) < 0.1)
+
+let test_span_exception_safety () =
+  fresh ();
+  (try Tel.with_span "boom" (fun () -> failwith "x") with Failure _ -> ());
+  Tel.with_span "after" (fun () -> ());
+  let s = Tel.snapshot () in
+  check_int "raising span recorded" 1 (List.assoc "boom" s.spans).sv_count;
+  check_int "stack survives the exception" 1
+    (List.assoc "after" s.spans).sv_count
+
+let test_span_accumulates () =
+  fresh ();
+  for _ = 1 to 3 do
+    Tel.with_span "s" (fun () -> ())
+  done;
+  check_int "count accumulates" 3 (List.assoc "s" (Tel.snapshot ()).spans).sv_count
+
+(* ------------------------------------------------------------------ *)
+(* Event ring buffer                                                   *)
+
+let test_ring_eviction () =
+  fresh ();
+  Tel.set_ring_capacity 4;
+  for i = 0 to 5 do
+    Tel.event "k" (string_of_int i)
+  done;
+  let evs = (Tel.snapshot ()).events in
+  check_int "bounded at capacity" 4 (List.length evs);
+  let seqs = List.map (fun (e : Tel.event_view) -> e.ev_seq) evs in
+  check "oldest evicted, order kept" true (seqs = [ 2; 3; 4; 5 ]);
+  check "payload survives" true
+    (List.map (fun (e : Tel.event_view) -> e.ev_msg) evs = [ "2"; "3"; "4"; "5" ]);
+  Tel.set_ring_capacity 64
+
+(* ------------------------------------------------------------------ *)
+(* Reset semantics                                                     *)
+
+let test_reset () =
+  fresh ();
+  Tel.incr "c";
+  Tel.observe "h" 3.;
+  Tel.with_span "s" (fun () -> ());
+  Tel.event "k" "m";
+  Tel.reset ();
+  let s = Tel.snapshot () in
+  check "counters cleared" true (s.counters = []);
+  check "histograms cleared" true (s.histograms = []);
+  check "spans cleared" true (s.spans = []);
+  check "events cleared" true (s.events = []);
+  check "epoch rewound" true (s.at_ms < 1000.);
+  Tel.event "k" "m2";
+  check_int "event seq restarts" 0
+    (List.hd (Tel.snapshot ()).events).ev_seq
+
+(* ------------------------------------------------------------------ *)
+(* JSONL round-trip                                                    *)
+
+let test_jsonl_roundtrip () =
+  fresh ();
+  Tel.incr "gen/forward_ok" ~by:7;
+  Tel.incr "smt/check" ~by:2;
+  Tel.observe "smt/solve_ms" 0.75;
+  Tel.observe "smt/solve_ms" 12.;
+  Tel.with_span "exec/test" (fun () -> Tel.with_span "exec/compile" (fun () -> ()));
+  Tel.event "crash" "oxrt: node # mismatch \"quoted\"";
+  let s = Tel.snapshot () in
+  let line = Tel.to_jsonl s in
+  check "one line" true (not (String.contains line '\n'));
+  (* the raw line parses as JSON with the five top-level keys in order *)
+  (match Json.parse line with
+  | Ok (Json.Obj kvs) ->
+      check "top-level keys" true
+        (List.map fst kvs
+        = [ "at_ms"; "counters"; "histograms"; "spans"; "events" ])
+  | Ok _ -> Alcotest.fail "expected a JSON object"
+  | Error m -> Alcotest.failf "JSON parse failed: %s" m);
+  match Tel.snapshot_of_jsonl line with
+  | Error m -> Alcotest.failf "round-trip failed: %s" m
+  | Ok s' ->
+      check "counters survive" true (s'.counters = s.counters);
+      check "span names survive" true
+        (List.map fst s'.spans = List.map fst s.spans);
+      check "histogram buckets survive" true
+        ((List.assoc "smt/solve_ms" s'.histograms).hv_buckets
+        = (List.assoc "smt/solve_ms" s.histograms).hv_buckets);
+      check "event payload survives escaping" true
+        ((List.hd s'.events).ev_msg = "oxrt: node # mismatch \"quoted\"")
+
+let test_jsonl_rejects_garbage () =
+  check "not json" true (Result.is_error (Tel.snapshot_of_jsonl "nonsense"));
+  check "json but wrong shape" true
+    (Result.is_error (Tel.snapshot_of_jsonl "{\"at_ms\":1}"));
+  check "trailing garbage" true
+    (Result.is_error (Tel.snapshot_of_jsonl "{} extra"))
+
+let test_render_table () =
+  fresh ();
+  Tel.incr "gen/forward_ok";
+  Tel.with_span "gen/generate" (fun () -> ());
+  let t = Tel.render_table (Tel.snapshot ()) in
+  let has needle =
+    let n = String.length needle and m = String.length t in
+    let rec go i = i + n <= m && (String.sub t i n = needle || go (i + 1)) in
+    go 0
+  in
+  check "mentions the counter" true (has "gen/forward_ok");
+  check "mentions the span" true (has "gen/generate")
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "telemetry"
+    [
+      ("counters", [ tc "basics" `Quick test_counters ]);
+      ("histograms", [ tc "bucket boundaries" `Quick test_histogram_buckets ]);
+      ( "spans",
+        [
+          tc "nested self time" `Quick test_nested_span_self_time;
+          tc "exception safety" `Quick test_span_exception_safety;
+          tc "accumulation" `Quick test_span_accumulates;
+        ] );
+      ("ring", [ tc "eviction" `Quick test_ring_eviction ]);
+      ("reset", [ tc "zeroes everything" `Quick test_reset ]);
+      ( "jsonl",
+        [
+          tc "round trip" `Quick test_jsonl_roundtrip;
+          tc "rejects garbage" `Quick test_jsonl_rejects_garbage;
+          tc "table render" `Quick test_render_table;
+        ] );
+    ]

@@ -3,6 +3,7 @@
 module Graph = Nnsmith_ir.Graph
 module Config = Nnsmith_core.Config
 module Gen = Nnsmith_core.Gen
+module Tel = Nnsmith_telemetry.Telemetry
 
 type t = {
   g_name : string;
@@ -20,6 +21,7 @@ let nnsmith ?(binning = true) ?(max_nodes = 10) ?forward_prob ?name ~seed () =
       | None -> if binning then "NNSmith" else "NNSmith-nobin");
     next =
       (fun () ->
+        Tel.with_span "exec/generate" @@ fun () ->
         incr counter;
         let cfg =
           {
@@ -33,7 +35,10 @@ let nnsmith ?(binning = true) ?(max_nodes = 10) ?forward_prob ?name ~seed () =
         in
         match Gen.generate cfg with
         | g -> Some g
-        | exception Gen.Gen_failure _ -> None);
+        | exception Gen.Gen_failure m ->
+            Tel.incr "gen/failures";
+            Tel.event "genfail" m;
+            None);
   }
 
 let graphfuzzer ?(size = 10) ~seed () =
@@ -42,9 +47,12 @@ let graphfuzzer ?(size = 10) ~seed () =
     g_name = "GraphFuzzer";
     next =
       (fun () ->
+        Tel.with_span "exec/generate" @@ fun () ->
         match Nnsmith_baselines.Graphfuzzer.next st with
         | g -> Some g
-        | exception _ -> None);
+        | exception _ ->
+            Tel.incr "gen/failures";
+            None);
   }
 
 let lemon ~seed () =
@@ -53,7 +61,10 @@ let lemon ~seed () =
     g_name = "LEMON";
     next =
       (fun () ->
+        Tel.with_span "exec/generate" @@ fun () ->
         match Nnsmith_baselines.Lemon.next st with
         | g -> Some g
-        | exception _ -> None);
+        | exception _ ->
+            Tel.incr "gen/failures";
+            None);
   }
