@@ -602,6 +602,57 @@ let telemetry_overhead () =
     !on !off
     (100. *. (!on -. !off) /. Float.max 1e-9 !off)
 
+(* ------------------------------------------------------------------ *)
+(* Corpus throughput: on-disk save and deterministic replay, cases/sec *)
+
+let corpus_throughput () =
+  section "Bug-report corpus: save and replay throughput";
+  let module B = Nnsmith_baselines.Builder in
+  let module Corpus = Nnsmith_corpus.Corpus in
+  Faults.deactivate_all ();
+  let dir = Filename.temp_file "nnsmith_corpus_bench" "" in
+  Sys.remove dir;
+  let g = Graph.empty in
+  let g, x = B.input g Nnsmith_tensor.Dtype.F32 [ 4; 4 ] in
+  let g, _ = B.op g (Nnsmith_ir.Op.Unary Nnsmith_ir.Op.Relu) [ x ] in
+  let binding = Runner.random_binding (Random.State.make [| 11 |]) g in
+  let n = 200 in
+  (* unique synthetic keys isolate store throughput from dedup suppression;
+     Pass verdicts make the later replay deterministic without faults *)
+  let meta i =
+    {
+      Corpus.seed = i;
+      generator = "bench";
+      system = "OxRT";
+      verdict = Corpus.Pass;
+      dedup_key = "bench-key-" ^ string_of_int i;
+      active_bugs = [];
+      triggered_bugs = [];
+      export_bugs = [];
+      reduction = None;
+    }
+  in
+  let c = Corpus.open_ dir in
+  let t0 = Unix.gettimeofday () in
+  for i = 1 to n do
+    match Corpus.add c ~graph:g ~binding ~meta:(meta i) with
+    | `Saved _ -> ()
+    | `Duplicate _ -> failwith "bench: unique key deduplicated"
+  done;
+  let save_s = Unix.gettimeofday () -. t0 in
+  let c2 = Corpus.open_ dir in
+  let t0 = Unix.gettimeofday () in
+  let outcomes = D.Report.replay c2 in
+  let replay_s = Unix.gettimeofday () -. t0 in
+  let drifted =
+    List.length (List.filter (fun (o : D.Report.outcome) -> o.rp_drift) outcomes)
+  in
+  Printf.printf
+    "%d cases: save %7.0f cases/s   replay %7.0f cases/s   drift %d\n" n
+    (float_of_int n /. Float.max 1e-9 save_s)
+    (float_of_int n /. Float.max 1e-9 replay_s)
+    drifted
+
 let experiments =
   [
     ("fig4", fig456);
@@ -619,6 +670,7 @@ let experiments =
     ("stat_gen", stat_gen);
     ("micro", micro);
     ("telemetry", telemetry_overhead);
+    ("corpus", corpus_throughput);
   ]
 
 let () =

@@ -1,12 +1,19 @@
-(* Telemetry JSONL schema smoke test (attached to `dune runtest`): run a
-   short campaign, write the report the way `nnsmith fuzz --telemetry` and
+(* Schema smoke tests (attached to `dune runtest`): run a short campaign,
+   write the report the way `nnsmith fuzz --telemetry` and
    `bench/main.exe --telemetry` do, parse it back, and fail loudly if the
-   schema rots. *)
+   schema rots; then save a deterministic crash to a bug-report corpus,
+   dedup it, and replay it, failing on any meta-schema or verdict drift. *)
 
 module Tel = Nnsmith_telemetry.Telemetry
 module D = Nnsmith_difftest
+module Corpus = Nnsmith_corpus.Corpus
 
 let die fmt = Printf.ksprintf (fun m -> prerr_endline ("smoke: " ^ m); exit 1) fmt
+
+let temp_dir tag =
+  let path = Filename.temp_file tag "" in
+  Sys.remove path;
+  path
 
 let () =
   Nnsmith_faults.Faults.deactivate_all ();
@@ -40,3 +47,69 @@ let () =
       if not (List.mem_assoc "smt/solve_ms" s.histograms) then
         die "missing smt/solve_ms histogram";
       print_endline "telemetry smoke ok"
+
+(* Corpus smoke: a crafted crash must save, dedup and replay drift-free. *)
+let () =
+  let module B = Nnsmith_baselines.Builder in
+  let module Op = Nnsmith_ir.Op in
+  let module Graph = Nnsmith_ir.Graph in
+  let module Dtype = Nnsmith_tensor.Dtype in
+  let dir = temp_dir "nnsmith_corpus_smoke" in
+  Nnsmith_faults.Faults.with_bugs [ "lotus.import_matmul_vec" ] (fun () ->
+      let g = Graph.empty in
+      let g, a = B.input g Dtype.F32 [ 3 ] in
+      let g, m = B.input g Dtype.F32 [ 3; 2 ] in
+      let g, _ = B.op g Op.Mat_mul [ a; m ] in
+      let binding =
+        Nnsmith_ops.Runner.random_binding (Random.State.make [| 7 |]) g
+      in
+      let exported, export_bugs = D.Exporter.export g in
+      let v = D.Harness.test ~exported D.Systems.lotus g binding in
+      (match v with
+      | D.Harness.Crash _ -> ()
+      | _ -> die "crafted MatMul case did not crash Lotus");
+      let save c =
+        D.Report.save_failure c ~system:D.Systems.lotus ~generator:"smoke"
+          ~export_bugs g binding v
+      in
+      let c = Corpus.open_ dir in
+      (match save c with
+      | `Saved _ -> ()
+      | _ -> die "first save did not create a case");
+      (match save c with
+      | `Duplicate _ -> ()
+      | _ -> die "second save was not suppressed as duplicate");
+      (* a fresh handle must load the index and every case bundle back *)
+      let c2 = Corpus.open_ dir in
+      if Corpus.size c2 <> 1 then die "reopened corpus lost the case";
+      (match save c2 with
+      | `Duplicate _ -> ()
+      | _ -> die "cross-run duplicate was re-saved");
+      ignore (Corpus.load_all c2);
+      List.iter
+        (fun (o : D.Report.outcome) ->
+          if o.rp_drift then
+            die "replay drift on %s: %s -> %s %s" o.rp_case o.rp_expected_kind
+              o.rp_got_kind o.rp_note)
+        (D.Report.replay c2));
+  print_endline "corpus smoke ok"
+
+(* Corpus wiring: a tiny all-faults hunt with a report directory must leave
+   a loadable, drift-free corpus behind (saves themselves are timing-
+   dependent, so none are required). *)
+let () =
+  let dir = temp_dir "nnsmith_hunt_corpus" in
+  let _r =
+    D.Bughunt.hunt ~report_dir:dir ~budget_ms:250.
+      (D.Generators.nnsmith ~seed:2024 ())
+  in
+  let c = Corpus.open_ dir in
+  ignore (Corpus.load_all c);
+  let drifted =
+    List.filter (fun (o : D.Report.outcome) -> o.rp_drift) (D.Report.replay c)
+  in
+  if drifted <> [] then
+    die "%d of %d hunted case(s) drifted on replay" (List.length drifted)
+      (Corpus.size c);
+  Printf.printf "hunt corpus smoke ok (%d case(s) saved and replayed)\n"
+    (Corpus.size c)

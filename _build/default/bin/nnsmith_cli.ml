@@ -1,7 +1,9 @@
 (* The nnsmith command-line interface.
 
-     nnsmith generate --seed 1 --nodes 10
-     nnsmith fuzz --system oxrt --budget 5 --bugs --telemetry out.jsonl
+     nnsmith generate --seed 1 --nodes 10 --out models/
+     nnsmith fuzz --system oxrt --budget 5 --bugs --report-dir reports/
+     nnsmith replay reports/
+     nnsmith triage reports/
      nnsmith cov --budget 5
      nnsmith stats out.jsonl
      nnsmith ops
@@ -15,12 +17,21 @@ module Search = Nnsmith_grad.Search
 module Cov = Nnsmith_coverage.Coverage
 module Faults = Nnsmith_faults.Faults
 module Tel = Nnsmith_telemetry.Telemetry
+module Corpus = Nnsmith_corpus.Corpus
 module D = Nnsmith_difftest
+
+let rec mkdir_p d =
+  if d = "" || d = "." || d = "/" || Sys.file_exists d then ()
+  else begin
+    mkdir_p (Filename.dirname d);
+    try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
 
 (* ---- generate ----------------------------------------------------- *)
 
-let generate seed nodes count search =
+let generate seed nodes count search out =
   let failures = ref 0 in
+  Option.iter mkdir_p out;
   for k = 0 to count - 1 do
     match Gen.generate_with_stats { Config.default with seed = seed + k; max_nodes = nodes } with
     | exception Gen.Gen_failure m ->
@@ -29,6 +40,14 @@ let generate seed nodes count search =
     | g, stats ->
         Printf.printf "# seed %d: %d nodes, %.1f ms\n%s\n" (seed + k)
           stats.nodes_total stats.gen_ms (Graph.to_string g);
+        (match out with
+        | Some dir ->
+            let path =
+              Filename.concat dir (Printf.sprintf "model-%d.nns" (seed + k))
+            in
+            Nnsmith_ir.Serial.save path g;
+            Printf.printf "# saved to %s\n" path
+        | None -> ());
         if search then begin
           let rng = Random.State.make [| seed + k |] in
           let o = Search.search ~budget_ms:64. ~method_:Search.Gradient rng g in
@@ -56,10 +75,17 @@ let count_t =
 let search_t =
   Arg.(value & flag & info [ "search" ] ~doc:"Also run the gradient input search.")
 
+let gen_out_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out" ] ~docv:"DIR"
+        ~doc:"Also save each model to $(docv)/model-<seed>.nns (corpus seeds).")
+
 let generate_cmd =
   Cmd.v
     (Cmd.info "generate" ~doc:"Generate valid random models and print them")
-    Term.(const generate $ seed_t $ nodes_t $ count_t $ search_t)
+    Term.(const generate $ seed_t $ nodes_t $ count_t $ search_t $ gen_out_t)
 
 (* ---- fuzz --------------------------------------------------------- *)
 
@@ -82,7 +108,7 @@ let write_telemetry = function
         Printf.eprintf "cannot write telemetry: %s\n%!" m;
         1)
 
-let fuzz system_name budget_s bugs seed telemetry =
+let fuzz system_name budget_s bugs seed telemetry report_dir =
   match system_of_name system_name with
   | None ->
       Printf.eprintf "unknown system %s (oxrt | lotus | trt)\n" system_name;
@@ -90,6 +116,20 @@ let fuzz system_name budget_s bugs seed telemetry =
   | Some system ->
       if bugs then Faults.activate_all () else Faults.deactivate_all ();
       Tel.reset ();
+      let corpus = Option.map Corpus.open_ report_dir in
+      let saved = ref 0 and dups = ref 0 in
+      let report ~export_bugs g binding v =
+        Option.iter
+          (fun c ->
+            match
+              D.Report.save_failure c ~system ~generator:"NNSmith" ~seed
+                ~export_bugs g binding v
+            with
+            | `Saved _ -> incr saved
+            | `Duplicate _ -> incr dups
+            | `Not_failure -> ())
+          corpus
+      in
       let gen = D.Generators.nnsmith ~seed () in
       let rng = Random.State.make [| seed |] in
       let start = Tel.now_ms () in
@@ -110,18 +150,28 @@ let fuzz system_name budget_s bugs seed telemetry =
             match D.Harness.test ~exported system g binding with
             | D.Harness.Pass -> bump "pass"
             | Skipped _ -> bump "skipped"
-            | Semantic _ -> bump "semantic"
-            | Crash m ->
+            | Semantic _ as v ->
+                bump "semantic";
+                report ~export_bugs:fired g binding v
+            | Crash m as v ->
                 bump "crash";
                 Tel.event "crash" (D.Harness.dedup_key m);
                 Tel.incr "exec/crashes";
-                Hashtbl.replace crashes m ()
+                Hashtbl.replace crashes m ();
+                report ~export_bugs:fired g binding v
             | exception _ -> bump "harness-error")
       done;
       Printf.printf "fuzzed %s for %.0f s:\n" system.s_name budget_s;
       Hashtbl.iter (fun k v -> Printf.printf "  %-12s %d\n" k v) verdicts;
       Printf.printf "unique crashes: %d\n" (Hashtbl.length crashes);
       Hashtbl.iter (fun m () -> Printf.printf "  %s\n" m) crashes;
+      (match corpus with
+      | Some c ->
+          Printf.printf
+            "report corpus %s: %d new case(s), %d duplicate(s) suppressed, \
+             %d case(s) total\n"
+            (Corpus.dir c) !saved !dups (Corpus.size c)
+      | None -> ());
       write_telemetry telemetry
 
 let system_t =
@@ -140,10 +190,86 @@ let telemetry_t =
     & info [ "telemetry" ] ~docv:"FILE"
         ~doc:"Append a JSONL telemetry snapshot to $(docv) when done.")
 
+let report_dir_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "report-dir" ] ~docv:"DIR"
+        ~doc:
+          "Save every crash and semantic mismatch to the persistent corpus \
+           in $(docv) (minimized, deduplicated across runs).")
+
 let fuzz_cmd =
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Differentially fuzz one compiler")
-    Term.(const fuzz $ system_t $ budget_t $ bugs_t $ seed_t $ telemetry_t)
+    Term.(
+      const fuzz $ system_t $ budget_t $ bugs_t $ seed_t $ telemetry_t
+      $ report_dir_t)
+
+(* ---- replay / triage ----------------------------------------------- *)
+
+let corpus_dir_t =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"DIR" ~doc:"Bug-report corpus directory.")
+
+let with_corpus dir k =
+  match Corpus.open_ dir with
+  | exception Corpus.Corpus_error m ->
+      Printf.eprintf "cannot open corpus %s: %s\n" dir m;
+      1
+  | corpus ->
+      if Corpus.size corpus = 0 then begin
+        Printf.eprintf "corpus %s holds no saved cases\n" dir;
+        1
+      end
+      else k corpus
+
+let replay dir =
+  with_corpus dir (fun corpus ->
+      let outcomes = D.Report.replay corpus in
+      let drifted = List.filter (fun o -> o.D.Report.rp_drift) outcomes in
+      List.iter
+        (fun (o : D.Report.outcome) ->
+          Printf.printf "%-32s %-9s -> %-9s %s\n" o.rp_case o.rp_expected_kind
+            o.rp_got_kind
+            (if o.rp_drift then "DRIFT " ^ o.rp_note else "ok"))
+        outcomes;
+      Printf.printf "replayed %d case(s): %d reproduced, %d drifted\n"
+        (List.length outcomes)
+        (List.length outcomes - List.length drifted)
+        (List.length drifted);
+      if drifted = [] then 0 else 1)
+
+let replay_cmd =
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Re-run every saved corpus case and report verdict drift")
+    Term.(const replay $ corpus_dir_t)
+
+let triage dir =
+  with_corpus dir (fun corpus ->
+      let rows = Corpus.triage corpus in
+      Printf.printf "%5s  %-6s %-9s %5s  %-24s %s\n" "count" "system" "verdict"
+        "nodes" "case" "dedup-key / bugs";
+      List.iter
+        (fun (r : Corpus.triage_row) ->
+          Printf.printf "%5d  %-6s %-9s %5d  %-24s %s%s\n" r.tr_count
+            r.tr_system r.tr_verdict r.tr_nodes r.tr_case_id r.tr_key
+            (match r.tr_bugs with
+            | [] -> ""
+            | bugs -> "  [" ^ String.concat ", " bugs ^ "]"))
+        rows;
+      Printf.printf "%d distinct failure(s), %d case(s) on disk\n"
+        (List.length rows) (Corpus.size corpus);
+      0)
+
+let triage_cmd =
+  Cmd.v
+    (Cmd.info "triage"
+       ~doc:"Summarize a bug-report corpus: dedup-key, hit count, system")
+    Term.(const triage $ corpus_dir_t)
 
 (* ---- cov ---------------------------------------------------------- *)
 
@@ -328,6 +454,8 @@ let () =
           [
             generate_cmd;
             fuzz_cmd;
+            replay_cmd;
+            triage_cmd;
             cov_cmd;
             stats_cmd;
             reduce_cmd;

@@ -1,0 +1,1 @@
+lib/corpus/corpus.ml: Buffer Filename Format Fun Hashtbl List Nnsmith_ir Nnsmith_telemetry Nnsmith_tensor Option Printf Result String Sys Unix

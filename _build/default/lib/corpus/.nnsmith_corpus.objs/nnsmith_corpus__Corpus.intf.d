@@ -1,0 +1,1 @@
+lib/corpus/corpus.mli: Nnsmith_ir Nnsmith_telemetry Nnsmith_tensor

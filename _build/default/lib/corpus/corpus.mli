@@ -1,0 +1,117 @@
+(** Persistent bug-report corpus: an on-disk test-case store that survives
+    the fuzzing process (the paper's report directory, §4).
+
+    A {e case} is a directory bundle under [<dir>/cases/<id>/]:
+    [graph.nns] (via [Nnsmith_ir.Serial]), [binding.nnt] (via
+    [Nnsmith_tensor.Tser]) and [meta.json] (seed, generator, system,
+    verdict, dedup-key, active/triggered/exporter bug ids, reduction
+    stats).  [<dir>/index.jsonl] is an append-only index keyed by crash
+    dedup-key: a defect seen in {e any} previous run into the same
+    directory is recognised on {!open_} and only counted, not re-saved. *)
+
+exception Corpus_error of string
+
+(** {1 Schema} *)
+
+type verdict =
+  | Pass
+  | Crash of string  (** the raw crash message *)
+  | Semantic of { sem_kind : [ `Optimization | `Frontend ]; rel_err : float }
+  | Skipped of string
+
+type reduction = {
+  red_attempts : int;
+  red_accepted : int;
+  red_initial : int;  (** node count before reduction *)
+  red_final : int;  (** node count after reduction *)
+  red_ms : float;  (** wall time spent reducing *)
+}
+
+type meta = {
+  seed : int;  (** informational: the seed of the run that found the case *)
+  generator : string;
+  system : string;  (** [Systems.t] name the verdict was recorded against *)
+  verdict : verdict;
+  dedup_key : string;
+  active_bugs : string list;  (** seeded defects active when recorded *)
+  triggered_bugs : string list;  (** seeded bug ids attributed to the case *)
+  export_bugs : string list;  (** exporter defect ids that fired on export *)
+  reduction : reduction option;  (** [None] when the case was not reduced *)
+}
+
+type case = {
+  case_id : string;
+  graph : Nnsmith_ir.Graph.t;
+  binding : (int * Nnsmith_tensor.Nd.t) list;
+  meta : meta;
+}
+
+val verdict_kind : verdict -> string
+(** ["pass" | "crash" | "semantic" | "skipped"]. *)
+
+val verdict_to_json : verdict -> Nnsmith_telemetry.Json.t
+val verdict_of_json : Nnsmith_telemetry.Json.t -> (verdict, string) result
+val meta_to_json : meta -> Nnsmith_telemetry.Json.t
+val meta_of_json : Nnsmith_telemetry.Json.t -> (meta, string) result
+
+(** {1 The store} *)
+
+type t
+
+val open_ : string -> t
+(** Create (or re-open) the corpus rooted at the given directory, loading
+    the dedup index of every earlier run.
+    @raise Corpus_error on a malformed index. *)
+
+val dir : t -> string
+val size : t -> int
+(** Distinct saved cases (duplicates are counted, not stored). *)
+
+val seen : t -> string -> bool
+(** Whether the dedup-key is already in the corpus (this run or any
+    earlier one). *)
+
+val count : t -> string -> int
+(** Total hits for a dedup-key, including suppressed duplicates. *)
+
+val find_by_key : t -> string -> string option
+(** Case id holding the reproducer for a dedup-key. *)
+
+val add :
+  t ->
+  graph:Nnsmith_ir.Graph.t ->
+  binding:(int * Nnsmith_tensor.Nd.t) list ->
+  meta:meta ->
+  [ `Saved of string | `Duplicate of string ]
+(** Save a case, or — when [meta.dedup_key] is already known — only bump
+    its count and append a duplicate marker to the index.  Returns the case
+    id that holds the reproducer either way.  Bumps the [corpus/saved] /
+    [corpus/dup_suppressed] telemetry counters under a [corpus/save]
+    span. *)
+
+val record_duplicate : t -> string -> string option
+(** Count one more hit of an already-saved dedup-key without touching the
+    case files; [None] when the key is unknown. *)
+
+val case_ids : t -> string list
+(** In save order. *)
+
+val load_case : t -> string -> case
+(** @raise Corpus_error when any part of the bundle fails to parse. *)
+
+val load_all : t -> case list
+
+(** {1 Triage} *)
+
+type triage_row = {
+  tr_key : string;
+  tr_count : int;
+  tr_system : string;
+  tr_verdict : string;
+  tr_bugs : string list;
+  tr_case_id : string;
+  tr_nodes : int;
+}
+
+val triage : t -> triage_row list
+(** One row per distinct dedup-key, most-hit first. *)

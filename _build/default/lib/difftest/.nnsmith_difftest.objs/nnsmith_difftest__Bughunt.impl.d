@@ -1,1 +1,1 @@
-lib/difftest/bughunt.ml: Campaign Exporter Generators Harness Hashtbl List Nnsmith_faults Nnsmith_ir Nnsmith_ops Option Random Systems Unix
+lib/difftest/bughunt.ml: Campaign Exporter Generators Harness Hashtbl List Nnsmith_corpus Nnsmith_faults Nnsmith_ir Nnsmith_ops Option Random Report Systems Unix

@@ -1,0 +1,1 @@
+lib/difftest/inputs.ml: Nnsmith_grad Nnsmith_ops Nnsmith_telemetry

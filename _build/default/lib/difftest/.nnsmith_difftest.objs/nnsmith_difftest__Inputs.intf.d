@@ -1,0 +1,1 @@
+lib/difftest/inputs.mli: Nnsmith_ir Nnsmith_ops Random

@@ -1,1 +1,1 @@
-lib/difftest/reduce.ml: Campaign Exporter Harness Hashtbl List Nnsmith_faults Nnsmith_ir Nnsmith_ops Systems
+lib/difftest/reduce.ml: Exporter Harness Hashtbl Inputs List Nnsmith_faults Nnsmith_ir Nnsmith_ops Systems

@@ -1,0 +1,1 @@
+lib/difftest/report.ml: Exporter Harness Hashtbl Inputs List Nnsmith_corpus Nnsmith_faults Nnsmith_ir Nnsmith_ops Nnsmith_telemetry Option Printexc Printf Random Reduce Systems

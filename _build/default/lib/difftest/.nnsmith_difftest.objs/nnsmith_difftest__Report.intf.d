@@ -1,0 +1,1 @@
+lib/difftest/report.mli: Harness Nnsmith_corpus Nnsmith_ir Nnsmith_ops Systems

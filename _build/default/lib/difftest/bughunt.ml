@@ -38,9 +38,20 @@ let attribute_semantic (system : Systems.t) g binding triggered =
           | exception _ -> ()))
     (semantic_candidates system)
 
-(** Hunt with every seeded defect active for [budget_ms]. *)
-let hunt ~budget_ms (gen : Generators.t) : result =
+(** Hunt with every seeded defect active for [budget_ms].  With
+    [report_dir], every crash and semantic mismatch is saved to the
+    persistent corpus there (minimized, deduplicated across runs). *)
+let hunt ?report_dir ~budget_ms (gen : Generators.t) : result =
   let rng = Random.State.make [| Hashtbl.hash gen.g_name |] in
+  let corpus = Option.map Nnsmith_corpus.Corpus.open_ report_dir in
+  let report system ~export_bugs g binding v =
+    Option.iter
+      (fun c ->
+        ignore
+          (Report.save_failure c ~system ~generator:gen.g_name ~export_bugs g
+             binding v))
+      corpus
+  in
   let triggered = Hashtbl.create 32 in
   let unique_crashes = Hashtbl.create 32 in
   let tests = ref 0 in
@@ -65,13 +76,15 @@ let hunt ~budget_ms (gen : Generators.t) : result =
                   (fun system ->
                     match Harness.test ~exported system g binding with
                     | Harness.Pass | Skipped _ -> ()
-                    | Harness.Crash m -> (
+                    | Harness.Crash m as v ->
                         incr_count unique_crashes (Harness.dedup_key m);
-                        match Harness.bug_id_of_message m with
+                        (match Harness.bug_id_of_message m with
                         | Some id -> incr_count triggered id
-                        | None -> ())
-                    | Harness.Semantic _ ->
-                        attribute_semantic system g binding triggered
+                        | None -> ());
+                        report system ~export_bugs g binding v
+                    | Harness.Semantic _ as v ->
+                        attribute_semantic system g binding triggered;
+                        report system ~export_bugs g binding v
                     | exception _ -> ())
                   Systems.all)
       done);

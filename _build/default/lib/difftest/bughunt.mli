@@ -9,11 +9,12 @@ type result = {
       (** crash dedup-key -> count (includes non-seeded rejections) *)
 }
 
-val hunt : budget_ms:float -> Generators.t -> result
+val hunt : ?report_dir:string -> budget_ms:float -> Generators.t -> result
 (** Fuzz for [budget_ms] with every catalogued defect active.  Crash
     verdicts are attributed by their embedded bug id; semantic verdicts are
     attributed by re-running with each candidate semantic defect enabled in
-    isolation. *)
+    isolation.  With [report_dir], every crash and semantic mismatch is
+    saved to the persistent corpus there via {!Report.save_failure}. *)
 
 val distribution :
   (string, int) Hashtbl.t ->

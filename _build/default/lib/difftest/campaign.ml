@@ -32,22 +32,27 @@ type result = {
 let incr_count tbl key =
   Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
 
-(* Inputs for a test case: gradient search with a small budget; fall back to
-   the last random binding (still useful for coverage) when it fails. *)
-let find_binding rng g =
-  Tel.with_span "exec/search" @@ fun () ->
-  match
-    (Search.search ~budget_ms:16. ~method_:Search.Gradient rng g).binding
-  with
-  | Some b -> b
-  | None -> Runner.random_binding rng g
+(* Inputs for a test case: lives in Inputs so that Reduce and Report can
+   share it without depending on this module; re-exported here for API
+   stability. *)
+let find_binding = Inputs.find_binding
 
 (** Coverage campaign of one generator against one system.  Resets global
     coverage first.  Seeded faults should normally be disabled for coverage
-    runs (crashes would truncate executions). *)
-let coverage ~budget_ms ~(system : Systems.t) (gen : Generators.t) : result =
+    runs (crashes would truncate executions).  With [report_dir], every
+    crash and semantic mismatch is saved to the persistent corpus there
+    (minimized, deduplicated across runs). *)
+let coverage ?report_dir ~budget_ms ~(system : Systems.t) (gen : Generators.t)
+    : result =
   Cov.reset ();
   Tel.reset ();
+  let corpus = Option.map Nnsmith_corpus.Corpus.open_ report_dir in
+  let report g binding v =
+    Option.iter
+      (fun c ->
+        ignore (Report.save_failure c ~system ~generator:gen.g_name g binding v))
+      corpus
+  in
   let rng = Random.State.make [| Hashtbl.hash (gen.g_name, system.s_name) |] in
   let start = now_ms () in
   let samples = ref [] in
@@ -72,12 +77,14 @@ let coverage ~budget_ms ~(system : Systems.t) (gen : Generators.t) : result =
     | Some g -> (
         let binding = find_binding rng g in
         match Harness.test system g binding with
-        | Harness.Pass | Semantic _ | Skipped _ -> ()
-        | Harness.Crash m ->
+        | Harness.Pass | Skipped _ -> ()
+        | Harness.Semantic _ as v -> report g binding v
+        | Harness.Crash m as v ->
             let key = Harness.dedup_key m in
             Tel.incr "exec/crashes";
             Tel.event "crash" key;
-            incr_count crashes key
+            incr_count crashes key;
+            report g binding v
         | exception _ -> ()));
     record ()
   done;

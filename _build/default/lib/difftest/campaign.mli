@@ -26,9 +26,16 @@ val find_binding :
     last random binding (still useful for coverage). *)
 
 val coverage :
-  budget_ms:float -> system:Systems.t -> Generators.t -> result
+  ?report_dir:string ->
+  budget_ms:float ->
+  system:Systems.t ->
+  Generators.t ->
+  result
 (** One generator against one system; resets global coverage first.  Run
-    with seeded faults disabled so crashes don't truncate executions. *)
+    with seeded faults disabled so crashes don't truncate executions.  With
+    [report_dir], every crash and semantic mismatch is saved to the
+    persistent corpus there via {!Report.save_failure} (minimized,
+    deduplicated across runs). *)
 
 val tzer : budget_ms:float -> seed:int -> result
 (** The TZer campaign mutates Lotus's low-level IR directly. *)

@@ -1,0 +1,17 @@
+(** Test-case input selection, shared by campaigns, reduction and the
+    report/replay layer (kept in its own module so those layers do not
+    depend on each other). *)
+
+module Runner = Nnsmith_ops.Runner
+module Search = Nnsmith_grad.Search
+module Tel = Nnsmith_telemetry.Telemetry
+
+(* Inputs for a test case: gradient search with a small budget; fall back to
+   the last random binding (still useful for coverage) when it fails. *)
+let find_binding rng g =
+  Tel.with_span "exec/search" @@ fun () ->
+  match
+    (Search.search ~budget_ms:16. ~method_:Search.Gradient rng g).binding
+  with
+  | Some b -> b
+  | None -> Runner.random_binding rng g

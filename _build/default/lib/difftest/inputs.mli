@@ -1,0 +1,7 @@
+(** Test-case input selection, shared by campaigns, reduction and the
+    report/replay layer. *)
+
+val find_binding :
+  Random.State.t -> Nnsmith_ir.Graph.t -> Nnsmith_ops.Runner.binding
+(** A short gradient search, falling back to the last random binding (still
+    useful for coverage) when the search fails. *)

@@ -1,0 +1,1 @@
+lib/tensor/tser.ml: Array Buffer Dtype Float Format Fun List Nd Printf Shape String

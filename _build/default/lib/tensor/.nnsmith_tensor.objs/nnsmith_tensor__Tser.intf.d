@@ -1,0 +1,1 @@
+lib/tensor/tser.mli: Nd

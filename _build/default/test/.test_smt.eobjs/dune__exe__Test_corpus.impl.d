@@ -1,0 +1,1 @@
+test/test_corpus.ml: Alcotest Filename List Nnsmith_baselines Nnsmith_corpus Nnsmith_difftest Nnsmith_faults Nnsmith_ir Nnsmith_ops Nnsmith_tensor Printf Random Unix

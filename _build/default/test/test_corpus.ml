@@ -1,0 +1,178 @@
+(* Tests for the persistent bug-report corpus (lib/corpus) and its bridge
+   into the fuzzing loop (Report): save -> dedup -> replay, cross-run
+   duplicate recognition, and verdict-drift detection. *)
+
+module Dtype = Nnsmith_tensor.Dtype
+module Nd = Nnsmith_tensor.Nd
+module Op = Nnsmith_ir.Op
+module Graph = Nnsmith_ir.Graph
+module Runner = Nnsmith_ops.Runner
+module Faults = Nnsmith_faults.Faults
+module B = Nnsmith_baselines.Builder
+module D = Nnsmith_difftest
+module Corpus = Nnsmith_corpus.Corpus
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let rng () = Random.State.make [| 31337 |]
+
+let temp_dir =
+  let k = ref 0 in
+  fun () ->
+    incr k;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "nnsmith-corpus-test-%d-%d" (Unix.getpid ()) !k)
+
+(* A MatMul with a rank-1 operand: deterministically crashes Lotus when the
+   lotus.import_matmul_vec defect is active. *)
+let matmul_vec_graph () =
+  let g = Graph.empty in
+  let g, a = B.input g Dtype.F32 [ 3 ] in
+  let g, m = B.input g Dtype.F32 [ 3; 2 ] in
+  let g, _ = B.op g Op.Mat_mul [ a; m ] in
+  g
+
+(* ------------------------------------------------------------------ *)
+(* Schema round-trips                                                  *)
+
+let sample_meta =
+  {
+    Corpus.seed = 42;
+    generator = "NNSmith";
+    system = "Lotus";
+    verdict = Corpus.Crash "[x.y] boom at node 12";
+    dedup_key = "[x.y] boom at node ##";
+    active_bugs = [ "a.b"; "c.d" ];
+    triggered_bugs = [ "a.b" ];
+    export_bugs = [ "export.e" ];
+    reduction =
+      Some
+        {
+          Corpus.red_attempts = 9;
+          red_accepted = 3;
+          red_initial = 12;
+          red_final = 4;
+          red_ms = 1.5;
+        };
+  }
+
+let test_meta_roundtrip () =
+  let roundtrip m =
+    match Corpus.meta_of_json (Corpus.meta_to_json m) with
+    | Error e -> Alcotest.fail e
+    | Ok m' -> check "meta round-trips" true (m = m')
+  in
+  roundtrip sample_meta;
+  roundtrip
+    {
+      sample_meta with
+      verdict = Corpus.Semantic { sem_kind = `Optimization; rel_err = 0.25 };
+      reduction = None;
+    };
+  roundtrip { sample_meta with verdict = Corpus.Skipped "nan reference" };
+  roundtrip { sample_meta with verdict = Corpus.Pass; active_bugs = [] }
+
+(* ------------------------------------------------------------------ *)
+(* Save -> dedup -> replay                                             *)
+
+let save_crash corpus g =
+  let binding = Runner.random_binding (rng ()) g in
+  let exported, export_bugs = D.Exporter.export g in
+  let v = D.Harness.test ~exported D.Systems.lotus g binding in
+  (match v with
+  | D.Harness.Crash _ -> ()
+  | _ -> Alcotest.fail "setup: expected the seeded crash");
+  D.Report.save_failure corpus ~system:D.Systems.lotus ~generator:"test"
+    ~seed:1 ~export_bugs g binding v
+
+let test_save_dedup_replay () =
+  Faults.with_bugs [ "lotus.import_matmul_vec" ] (fun () ->
+      let dir = temp_dir () in
+      let g = matmul_vec_graph () in
+      let c = Corpus.open_ dir in
+      let id =
+        match save_crash c g with
+        | `Saved id -> id
+        | `Duplicate _ -> Alcotest.fail "first save must create a case"
+        | `Not_failure -> Alcotest.fail "crash verdict must be saved"
+      in
+      (match save_crash c g with
+      | `Duplicate id' -> check "duplicate points at the case" true (id = id')
+      | _ -> Alcotest.fail "second save must be suppressed as duplicate");
+      check_int "one case on disk" 1 (Corpus.size c);
+      let case = Corpus.load_case c id in
+      check "key counted twice" true (Corpus.count c case.meta.dedup_key = 2);
+      check "reduced to the 3-node kernel" true
+        (Graph.size case.graph <= Graph.size g);
+      (* a fresh handle sees the earlier run's index: cross-run dedup *)
+      let c2 = Corpus.open_ dir in
+      check_int "reopen finds the case" 1 (Corpus.size c2);
+      check "reopen knows the key" true (Corpus.seen c2 case.meta.dedup_key);
+      (match save_crash c2 g with
+      | `Duplicate _ -> ()
+      | _ -> Alcotest.fail "save into a reopened corpus must dedup");
+      (* replay deterministically reproduces the recorded verdict *)
+      let outcomes = D.Report.replay c2 in
+      check_int "one replay outcome" 1 (List.length outcomes);
+      List.iter
+        (fun (o : D.Report.outcome) ->
+          if o.rp_drift then
+            Alcotest.failf "unexpected drift on %s: %s -> %s %s" o.rp_case
+              o.rp_expected_kind o.rp_got_kind o.rp_note;
+          check "key reproduced" true (o.rp_got_key = Some o.rp_expected_key))
+        outcomes)
+
+let test_replay_drift_on_disabled_fault () =
+  Faults.with_bugs [ "lotus.import_matmul_vec" ] (fun () ->
+      let dir = temp_dir () in
+      let c = Corpus.open_ dir in
+      let id =
+        match save_crash c (matmul_vec_graph ()) with
+        | `Saved id -> id
+        | _ -> Alcotest.fail "setup: expected a saved case"
+      in
+      let case = Corpus.load_case c id in
+      (* flip the recorded fault set off: the crash must vanish and replay
+         must flag the verdict drift instead of silently passing *)
+      let tampered =
+        { case with Corpus.meta = { case.meta with Corpus.active_bugs = [] } }
+      in
+      let o = D.Report.replay_case tampered in
+      check "drift detected" true o.D.Report.rp_drift;
+      check "crash expected" true (o.D.Report.rp_expected_kind = "crash");
+      check "but the re-run did not crash" true
+        (o.D.Report.rp_got_kind <> "crash"))
+
+let test_triage_rows () =
+  Faults.with_bugs [ "lotus.import_matmul_vec" ] (fun () ->
+      let dir = temp_dir () in
+      let c = Corpus.open_ dir in
+      (match save_crash c (matmul_vec_graph ()) with
+      | `Saved _ -> ()
+      | _ -> Alcotest.fail "setup: expected a saved case");
+      ignore (save_crash c (matmul_vec_graph ()));
+      match Corpus.triage c with
+      | [ row ] ->
+          check_int "two hits" 2 row.tr_count;
+          check "system recorded" true (row.tr_system = "Lotus");
+          check "verdict recorded" true (row.tr_verdict = "crash");
+          check "seeded bug attributed" true
+            (List.mem "lotus.import_matmul_vec" row.tr_bugs)
+      | rows -> Alcotest.failf "expected one triage row, got %d" (List.length rows))
+
+let () =
+  Alcotest.run "corpus"
+    [
+      ( "schema",
+        [ Alcotest.test_case "meta json round-trip" `Quick test_meta_roundtrip ] );
+      ( "store",
+        [
+          Alcotest.test_case "save, dedup across runs, replay" `Quick
+            test_save_dedup_replay;
+          Alcotest.test_case "replay flags drift when a fault is gone" `Quick
+            test_replay_drift_on_disabled_fault;
+          Alcotest.test_case "triage aggregates by dedup-key" `Quick
+            test_triage_rows;
+        ] );
+    ]

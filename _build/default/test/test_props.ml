@@ -267,6 +267,112 @@ let prop_serial_roundtrip_generated =
           let text = Nnsmith_ir.Serial.to_string g in
           Nnsmith_ir.Serial.to_string (Nnsmith_ir.Serial.of_string text) = text)
 
+(* ------------------------------------------------------------------ *)
+(* Serialization: every operator kind round-trips through Serial, and
+   bindings round-trip bit-for-bit through Tser                         *)
+
+let all_unaries =
+  Op.
+    [
+      Abs; Neg; Exp; Log; Log2; Sqrt; Sin; Cos; Tan; Asin; Acos; Atan; Tanh;
+      Sigmoid; Relu; Gelu; Floor; Ceil; Round; Sign; Reciprocal; Erf;
+      Softplus; Softsign; Elu; Selu; Hardswish; Hardsigmoid;
+    ]
+
+(* One representative per constructor (several for parameterised ones);
+   Serial only needs structurally well-formed graphs, not typeable ones. *)
+let every_op : int Op.t list =
+  List.map (fun u -> Op.Unary u) all_unaries
+  @ List.map (fun b -> Op.Binary b) Op.[ Add; Sub; Mul; Div; Pow; Max2; Min2; Mod2 ]
+  @ List.map (fun c -> Op.Compare c) Op.[ Equal; Greater; Less ]
+  @ List.map (fun l -> Op.Logical l) Op.[ L_and; L_or; L_xor ]
+  @ [ Op.Not; Op.Clip { c_lo = -1.5; c_hi = 2.25 }; Op.Leaky_relu { alpha = 0.01 } ]
+  @ List.map (fun d -> Op.Cast d) Dtype.all
+  @ [ Op.Softmax { sm_axis = 1 }; Op.Arg_max { am_axis = 0 }; Op.Arg_min { am_axis = 1 } ]
+  @ List.map
+      (fun r -> Op.Reduce (r, { Op.r_axes = [ 0 ]; r_keepdims = true }))
+      Op.[ R_sum; R_mean; R_max; R_min; R_prod ]
+  @ [
+      Op.Reduce (Op.R_sum, { Op.r_axes = [ 0; 1 ]; r_keepdims = false });
+      Op.Mat_mul;
+      Op.Conv2d { out_channels = 4; kh = 3; kw = 3; stride = 2; padding = 1 };
+      Op.Pool2d (Op.P_max, { p_kh = 2; p_kw = 2; p_stride = 1; p_padding = 0 });
+      Op.Pool2d (Op.P_avg, { p_kh = 3; p_kw = 2; p_stride = 2; p_padding = 1 });
+      Op.Reshape [ 4; 1 ];
+      Op.Flatten { f_axis = 1 };
+      Op.Transpose [| 1; 0 |];
+      Op.Squeeze { sq_axis = 0 };
+      Op.Unsqueeze { usq_axis = 2 };
+      Op.Slice { s_axis = 0; s_start = 0; s_stop = 2 };
+      Op.Pad (Op.Pad_constant 0.5, { pad_before = [ 1; 0 ]; pad_after = [ 0; 2 ] });
+      Op.Pad (Op.Pad_reflect, { pad_before = [ 1; 1 ]; pad_after = [ 1; 1 ] });
+      Op.Pad (Op.Pad_replicate, { pad_before = [ 0; 1 ]; pad_after = [ 1; 0 ] });
+      Op.Concat { cat_axis = 0; cat_n = 2 };
+      Op.Where;
+      Op.Expand [ 2; 2 ];
+      Op.Gather { g_axis = 0 };
+      Op.Tile [ 1; 2 ];
+      Op.Leaf Op.Model_input;
+      Op.Leaf Op.Model_weight;
+      Op.Leaf (Op.Const_fill 3.5);
+    ]
+
+let graph_of_op (op : int Op.t) =
+  let ty = Conc.make Dtype.F32 [ 2; 2 ] in
+  let arity = Op.arity op in
+  let leaves =
+    List.init arity (fun i ->
+        { Graph.id = i; op = Op.Leaf Op.Model_input; inputs = []; out_type = ty })
+  in
+  let node =
+    { Graph.id = arity; op; inputs = List.init arity (fun i -> i); out_type = ty }
+  in
+  Graph.of_nodes (leaves @ [ node ])
+
+let test_serial_every_op () =
+  Alcotest.(check bool) "covers the whole vocabulary" true (List.length every_op > 60);
+  List.iter
+    (fun op ->
+      let text = Nnsmith_ir.Serial.to_string (graph_of_op op) in
+      let back = Nnsmith_ir.Serial.to_string (Nnsmith_ir.Serial.of_string text) in
+      if back <> text then
+        Alcotest.failf "Serial round-trip broke for %s:\n%s\n-- became --\n%s"
+          (Op.name op) text back)
+    every_op
+
+module Tser = Nnsmith_tensor.Tser
+
+let prop_binding_roundtrip =
+  QCheck.Test.make ~name:"binding text round-trips bit-for-bit (all dtypes)"
+    ~count:200
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let rng = rng_of seed in
+      let specials = [| Float.nan; infinity; neg_infinity; -0.0; 0.0 |] in
+      let rand_float () =
+        if Random.State.int rng 4 = 0 then
+          specials.(Random.State.int rng (Array.length specials))
+        else Random.State.float rng 2e6 -. 1e6
+      in
+      let tensor dtype =
+        let shape =
+          Array.init (1 + Random.State.int rng 3) (fun _ ->
+              1 + Random.State.int rng 3)
+        in
+        match dtype with
+        | Dtype.F32 | Dtype.F64 -> Nd.init_f dtype shape (fun _ -> rand_float ())
+        | Dtype.I32 | Dtype.I64 ->
+            Nd.init_i dtype shape (fun _ ->
+                Random.State.int rng 10_000_000 - 5_000_000)
+        | Dtype.Bool -> Nd.init_b shape (fun _ -> Random.State.bool rng)
+      in
+      let binding = List.mapi (fun i d -> (i * 3, tensor d)) Dtype.all in
+      let back = Tser.parse_binding (Tser.encode_binding binding) in
+      List.length back = List.length binding
+      && List.for_all2
+           (fun (i, a) (j, b) -> i = j && Nd.equal a b)
+           binding back)
+
 let prop_binning_ranges_respected =
   (* Algorithm 2: solved attribute values obey the accepted bin constraints,
      observable as every Conv2d kernel within the last bin's floor *)
@@ -308,4 +414,8 @@ let () =
             prop_serial_roundtrip_generated;
             prop_binning_ranges_respected;
           ] );
+      ( "serialization",
+        Alcotest.test_case "serial round-trips every op kind" `Quick
+          test_serial_every_op
+        :: List.map QCheck_alcotest.to_alcotest [ prop_binding_roundtrip ] );
     ]

@@ -138,7 +138,7 @@ let still_triggers (system : Systems.t) ~bug_id rng (g : Graph.t) : bool =
       match Nnsmith_ops.Validate.check g with
       | Error _ -> false
       | Ok () -> (
-          let binding = Campaign.find_binding rng g in
+          let binding = Inputs.find_binding rng g in
           let exported, fired = Exporter.export g in
           List.mem bug_id fired
           ||

@@ -1,0 +1,53 @@
+(** Bug reporting and replay: the bridge between a live fuzzing loop and
+    the persistent {!Nnsmith_corpus.Corpus} — save each new failure
+    minimized, recognise cross-run duplicates, and deterministically re-run
+    saved cases to detect verdict drift. *)
+
+val corpus_verdict : Harness.verdict -> Nnsmith_corpus.Corpus.verdict
+
+val failure_key : Systems.t -> Harness.verdict -> string option
+(** Corpus dedup-key of a failing verdict; [None] for Pass/Skipped.
+    Crashes dedup by their digit-masked message, semantic mismatches by
+    system and localisation kind. *)
+
+val active_bug_ids : unit -> string list
+(** The currently enabled seeded defects, in catalogue order. *)
+
+type save_result = [ `Saved of string | `Duplicate of string | `Not_failure ]
+
+val save_failure :
+  Nnsmith_corpus.Corpus.t ->
+  system:Systems.t ->
+  generator:string ->
+  ?seed:int ->
+  ?export_bugs:string list ->
+  Nnsmith_ir.Graph.t ->
+  Nnsmith_ops.Runner.binding ->
+  Harness.verdict ->
+  save_result
+(** Save a failing test, minimized first via {!Reduce.minimize} under a
+    "still fails with the same dedup-key" predicate; falls back to the
+    unreduced (graph, binding, verdict) when the predicate does not
+    reproduce.  Failures whose dedup-key is already in the corpus (from
+    this or any earlier run) are only counted.  Reduction time lands in the
+    [corpus/reduce_ms] histogram under a [corpus/reduce] span. *)
+
+type outcome = {
+  rp_case : string;
+  rp_expected_kind : string;
+  rp_got_kind : string;
+  rp_expected_key : string;
+  rp_got_key : string option;  (** [None] when the re-run did not fail *)
+  rp_drift : bool;
+  rp_note : string;  (** non-empty when the case could not be re-run *)
+}
+
+val replay_case : Nnsmith_corpus.Corpus.case -> outcome
+(** Re-run one saved case against its recorded system, with its recorded
+    fault set active, through the exporter; drift means the verdict kind or
+    the dedup-key changed.  Bumps [corpus/replay_match] /
+    [corpus/replay_drift]. *)
+
+val replay : Nnsmith_corpus.Corpus.t -> outcome list
+(** Replay every saved case in save order; bundles that fail to load are
+    reported as drift rather than aborting the sweep. *)

@@ -1,0 +1,153 @@
+(** Textual serialization of tensors and leaf bindings — the input/weight
+    half of an on-disk reproducer (the graph half is
+    [Nnsmith_ir.Serial]).  Line-based and exact: floats are encoded in hex
+    (like [Serial]), so every value round-trips bit-for-bit.
+
+    {v
+    tensor 0 f32[2x2] 0x1p+0 -0x1.8p+1 nan inf
+    v} *)
+
+exception Parse_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Scalar encoding.  NaN and the infinities get fixed spellings so the
+   decoder can return canonical values ([Float.nan] etc.) and stay
+   bitwise-stable across round trips.                                  *)
+
+let float_str v =
+  if Float.is_nan v then "nan"
+  else if v = Float.infinity then "inf"
+  else if v = Float.neg_infinity then "-inf"
+  else Printf.sprintf "%h" v
+
+let float_parse s =
+  match s with
+  | "nan" -> Float.nan
+  | "inf" -> Float.infinity
+  | "-inf" -> Float.neg_infinity
+  | _ -> (
+      match float_of_string_opt s with
+      | Some v -> v
+      | None -> fail "bad float %S" s)
+
+let int_parse s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> fail "bad int %S" s
+
+(* ------------------------------------------------------------------ *)
+(* Type header: same "dtype[d0xd1x...]" spelling as Serial.            *)
+
+let ttype_str (t : Nd.t) =
+  Printf.sprintf "%s[%s]"
+    (Dtype.to_string (Nd.dtype t))
+    (String.concat "x"
+       (List.map string_of_int (Array.to_list (Nd.shape t))))
+
+let ttype_parse s : Dtype.t * Shape.t =
+  match String.index_opt s '[' with
+  | None -> fail "bad tensor type %S" s
+  | Some i when s.[String.length s - 1] = ']' ->
+      let dts = String.sub s 0 i in
+      let dims_s = String.sub s (i + 1) (String.length s - i - 2) in
+      let dtype =
+        match Dtype.of_string dts with
+        | Some d -> d
+        | None -> fail "bad dtype %S" dts
+      in
+      let dims =
+        if dims_s = "" then [||]
+        else
+          Array.of_list
+            (List.map int_parse (String.split_on_char 'x' dims_s))
+      in
+      (dtype, dims)
+  | Some _ -> fail "bad tensor type %S" s
+
+(* ------------------------------------------------------------------ *)
+(* One tensor <-> one whitespace-separated token list.                 *)
+
+let encode_tensor (t : Nd.t) : string =
+  let n = Nd.numel t in
+  let buf = Buffer.create (16 * (n + 1)) in
+  Buffer.add_string buf (ttype_str t);
+  let add s =
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf s
+  in
+  (match Nd.dtype t with
+  | Dtype.F32 | F64 ->
+      for i = 0 to n - 1 do
+        add (float_str (Nd.get_f t i))
+      done
+  | I32 | I64 ->
+      for i = 0 to n - 1 do
+        add (string_of_int (Nd.get_i t i))
+      done
+  | Bool ->
+      for i = 0 to n - 1 do
+        add (if Nd.get_b t i then "t" else "f")
+      done);
+  Buffer.contents buf
+
+let parse_tensor (s : string) : Nd.t =
+  match
+    String.split_on_char ' ' (String.trim s)
+    |> List.filter (fun tok -> tok <> "")
+  with
+  | [] -> fail "empty tensor line"
+  | ty :: elems ->
+      let dtype, shape = ttype_parse ty in
+      let n = Shape.numel shape in
+      if List.length elems <> n then
+        fail "tensor %s expects %d elements, got %d" ty n (List.length elems);
+      let elems = Array.of_list elems in
+      (match dtype with
+      | Dtype.F32 | F64 ->
+          Nd.of_floats dtype shape (Array.map float_parse elems)
+      | I32 | I64 -> Nd.of_ints dtype shape (Array.map int_parse elems)
+      | Bool ->
+          Nd.init_b shape (fun i ->
+              match elems.(i) with
+              | "t" -> true
+              | "f" -> false
+              | tok -> fail "bad bool %S" tok))
+
+(* ------------------------------------------------------------------ *)
+(* Bindings: one "tensor <leaf-id> ..." line per leaf.                 *)
+
+let encode_binding (b : (int * Nd.t) list) : string =
+  String.concat ""
+    (List.map
+       (fun (id, t) -> Printf.sprintf "tensor %d %s\n" id (encode_tensor t))
+       b)
+
+let parse_binding_line line =
+  match String.index_opt line ' ' with
+  | Some i when String.sub line 0 i = "tensor" -> (
+      let rest = String.sub line (i + 1) (String.length line - i - 1) in
+      match String.index_opt rest ' ' with
+      | None -> fail "bad binding line %S" line
+      | Some j ->
+          let id = int_parse (String.sub rest 0 j) in
+          (id, parse_tensor (String.sub rest (j + 1) (String.length rest - j - 1))))
+  | _ -> fail "bad binding line %S" line
+
+let parse_binding (s : string) : (int * Nd.t) list =
+  String.split_on_char '\n' s
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.map parse_binding_line
+
+let save_binding path b =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (encode_binding b))
+
+let load_binding path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> parse_binding (really_input_string ic (in_channel_length ic)))

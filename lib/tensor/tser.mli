@@ -1,0 +1,25 @@
+(** Textual serialization of tensors and leaf bindings — the input/weight
+    half of an on-disk reproducer (the graph half is [Nnsmith_ir.Serial]).
+    Floats are encoded in hex so every value round-trips bit-for-bit; NaN
+    and the infinities use the fixed spellings [nan] / [inf] / [-inf] and
+    decode to the canonical [Float] values. *)
+
+exception Parse_error of string
+
+val encode_tensor : Nd.t -> string
+(** One tensor as ["dtype[d0xd1x...] e0 e1 ..."] (no trailing newline).
+    Float elements in hex, ints in decimal, bools as [t]/[f]. *)
+
+val parse_tensor : string -> Nd.t
+(** Inverse of {!encode_tensor}.  @raise Parse_error on malformed input. *)
+
+val encode_binding : (int * Nd.t) list -> string
+(** A leaf binding as one ["tensor <leaf-id> <tensor>"] line per entry, in
+    list order. *)
+
+val parse_binding : string -> (int * Nd.t) list
+(** Inverse of {!encode_binding}; blank lines are ignored.
+    @raise Parse_error on malformed input. *)
+
+val save_binding : string -> (int * Nd.t) list -> unit
+val load_binding : string -> (int * Nd.t) list
