@@ -653,6 +653,109 @@ let corpus_throughput () =
     (float_of_int n /. Float.max 1e-9 replay_s)
     drifted
 
+(* ------------------------------------------------------------------ *)
+(* Parallel scaling: the sharded pool vs the sequential loop, appended  *)
+(* to BENCH_parallel.json so speedups are tracked across commits.       *)
+
+let bench_parallel () =
+  section "Parallel scaling: sharded worker pool (BENCH_parallel.json)";
+  Faults.deactivate_all ();
+  Tel.reset ();
+  let seed = 20230325 in
+  (* Fixed-test workload (identical across jobs counts) sized from the
+     time budget: ~25 ms of sequential work per test. *)
+  let n = max 24 (int_of_float (!budget_ms /. 25.)) in
+  let system = D.Systems.oxrt in
+  (* Legacy baseline: the pre-pool `nnsmith fuzz` loop — stateful
+     generator, one rng, 16 ms wall-clock input search.  Context only:
+     its per-test work differs from the pool pipeline (wall-clock vs
+     iteration-capped search). *)
+  let seq_legacy () =
+    let gen = D.Generators.nnsmith ~seed () in
+    let rng = Random.State.make [| seed |] in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to n do
+      match gen.D.Generators.next () with
+      | None -> ()
+      | Some g -> (
+          try
+            let binding = D.Campaign.find_binding rng g in
+            let exported, _ = D.Exporter.export g in
+            ignore (D.Harness.test ~exported system g binding)
+          with _ -> ())
+    done;
+    (Unix.gettimeofday () -. t0) *. 1000.
+  in
+  (* Like-for-like baseline: the pool's index-pure pipeline in a plain
+     loop — identical per-test work, no pool machinery.  jobs=1 vs this
+     measures pure pool overhead. *)
+  let seq_pure () =
+    let t0 = Unix.gettimeofday () in
+    for i = 0 to n - 1 do
+      let tseed = Nnsmith_parallel.Splitmix.derive ~root:seed ~index:i in
+      match Gen.generate { Config.default with seed = tseed; max_nodes = 10 } with
+      | exception _ -> ()
+      | g -> (
+          try
+            let rng = Random.State.make [| tseed |] in
+            let binding = D.Inputs.find_binding ~max_iters:64 rng g in
+            let exported, _ = D.Exporter.export g in
+            ignore (D.Harness.test ~exported system g binding)
+          with _ -> ())
+    done;
+    (Unix.gettimeofday () -. t0) *. 1000.
+  in
+  ignore (seq_pure ());  (* warm up allocator and op registry *)
+  let legacy_ms = seq_legacy () in
+  let legacy_tps = float_of_int n /. (legacy_ms /. 1000.) in
+  let seq_ms = seq_pure () in
+  let seq_tps = float_of_int n /. (seq_ms /. 1000.) in
+  Printf.printf "%-10s %5d tests in %7.0f ms = %7.1f tests/s\n" "legacy-seq"
+    n legacy_ms legacy_tps;
+  Printf.printf "%-10s %5d tests in %7.0f ms = %7.1f tests/s\n" "pure-seq"
+    n seq_ms seq_tps;
+  let pool_run jobs =
+    let r =
+      D.Pfuzz.fuzz ~jobs ~systems:[ system ] ~root_seed:seed
+        ~budget:(Nnsmith_parallel.Pool.Tests n) ()
+    in
+    let s = r.D.Pfuzz.r_stats in
+    (jobs, s.st_tests, s.st_elapsed_ms, s.st_tests_per_sec)
+  in
+  let rows = List.map pool_run [ 1; 2; 4; 8 ] in
+  let jobs1_tps =
+    match rows with (_, _, _, tps) :: _ -> tps | [] -> seq_tps
+  in
+  List.iter
+    (fun (jobs, tests, ms, tps) ->
+      Printf.printf
+        "%-10s %5d tests in %7.0f ms = %7.1f tests/s (%.2fx vs jobs=1)\n"
+        (Printf.sprintf "jobs=%d" jobs)
+        tests ms tps (tps /. Float.max 1e-9 jobs1_tps))
+    rows;
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "cores=%d  jobs=1 vs sequential: %.2fx\n" cores
+    (jobs1_tps /. Float.max 1e-9 seq_tps);
+  let row_json (jobs, tests, ms, tps) =
+    Printf.sprintf
+      "{\"jobs\":%d,\"tests\":%d,\"elapsed_ms\":%.1f,\"tests_per_sec\":%.2f,\"speedup_vs_jobs1\":%.3f}"
+      jobs tests ms tps
+      (tps /. Float.max 1e-9 jobs1_tps)
+  in
+  let line =
+    Printf.sprintf
+      "{\"bench\":\"parallel\",\"cores\":%d,\"workload_tests\":%d,\"seed\":%d,\"legacy_seq_tests_per_sec\":%.2f,\"seq_tests_per_sec\":%.2f,\"jobs1_vs_seq\":%.3f,\"rows\":[%s]}"
+      cores n seed legacy_tps seq_tps
+      (jobs1_tps /. Float.max 1e-9 seq_tps)
+      (String.concat "," (List.map row_json rows))
+  in
+  let oc =
+    open_out_gen [ Open_append; Open_creat ] 0o644 "BENCH_parallel.json"
+  in
+  output_string oc (line ^ "\n");
+  close_out oc;
+  Printf.printf "appended to BENCH_parallel.json\n"
+
 let experiments =
   [
     ("fig4", fig456);
@@ -671,6 +774,7 @@ let experiments =
     ("micro", micro);
     ("telemetry", telemetry_overhead);
     ("corpus", corpus_throughput);
+    ("parallel", bench_parallel);
   ]
 
 let () =

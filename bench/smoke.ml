@@ -113,3 +113,32 @@ let () =
       (Corpus.size c);
   Printf.printf "hunt corpus smoke ok (%d case(s) saved and replayed)\n"
     (Corpus.size c)
+
+(* Parallel wiring: a 2-domain mini-campaign must run its exact test
+   budget, shard it across both workers, and find the same failure set as
+   the inline single-domain run of the same root seed. *)
+let () =
+  Nnsmith_faults.Faults.activate_all ();
+  let run jobs =
+    D.Pfuzz.fuzz ~jobs ~systems:[ D.Systems.lotus ] ~root_seed:2024
+      ~budget:(Nnsmith_parallel.Pool.Tests 12) ()
+  in
+  let r2 = run 2 in
+  let s = r2.r_stats in
+  if s.st_jobs <> 2 then die "parallel smoke: expected 2 workers";
+  if s.st_tests <> 12 then
+    die "parallel smoke: ran %d tests, expected 12" s.st_tests;
+  List.iter
+    (fun (w : Nnsmith_parallel.Pool.worker_report) ->
+      if w.wr_tests <> 6 then
+        die "parallel smoke: worker %d ran %d tests, expected 6" w.wr_worker
+          w.wr_tests)
+    s.st_workers;
+  if r2.r_failure_keys = [] then
+    die "parallel smoke: all-faults lotus campaign found no failures";
+  let r1 = run 1 in
+  if r1.r_failure_keys <> r2.r_failure_keys then
+    die "parallel smoke: jobs=1 and jobs=2 failure sets differ";
+  Nnsmith_faults.Faults.deactivate_all ();
+  Printf.printf "parallel smoke ok (%d shared failure key(s))\n"
+    (List.length r2.r_failure_keys)

@@ -2,9 +2,11 @@
 
      nnsmith generate --seed 1 --nodes 10 --out models/
      nnsmith fuzz --system oxrt --budget 5 --bugs --report-dir reports/
+     nnsmith fuzz --system lotus --tests 200 --jobs 4 --bugs
      nnsmith replay reports/
      nnsmith triage reports/
-     nnsmith cov --budget 5
+     nnsmith cov --budget 5 --jobs 2
+     nnsmith hunt --budget 5 --jobs 4
      nnsmith stats out.jsonl
      nnsmith ops
      nnsmith bugs *)
@@ -18,6 +20,7 @@ module Cov = Nnsmith_coverage.Coverage
 module Faults = Nnsmith_faults.Faults
 module Tel = Nnsmith_telemetry.Telemetry
 module Corpus = Nnsmith_corpus.Corpus
+module Pool = Nnsmith_parallel.Pool
 module D = Nnsmith_difftest
 
 let rec mkdir_p d =
@@ -108,7 +111,37 @@ let write_telemetry = function
         Printf.eprintf "cannot write telemetry: %s\n%!" m;
         1)
 
-let fuzz system_name budget_s bugs seed telemetry report_dir =
+let budget_of ~budget_s = function
+  | Some n -> Pool.Tests n
+  | None -> Pool.Time_ms (budget_s *. 1000.)
+
+let print_parallel_result ?(triggered = false) (r : D.Pfuzz.result) =
+  let s = r.r_stats in
+  Printf.printf "jobs=%d tests=%d (%.1f tests/s, %.0f ms)\n" s.st_jobs
+    s.st_tests s.st_tests_per_sec s.st_elapsed_ms;
+  if s.st_jobs > 1 then
+    List.iter
+      (fun (w : Pool.worker_report) ->
+        Printf.printf "  worker %d: %d tests, %d failure(s), %.0f ms\n"
+          w.wr_worker w.wr_tests w.wr_failures w.wr_elapsed_ms)
+      s.st_workers;
+  List.iter (fun (k, n) -> Printf.printf "  %-12s %d\n" k n) r.r_verdicts;
+  Printf.printf "unique failures: %d\n" (List.length r.r_failure_keys);
+  List.iter (fun (k, n) -> Printf.printf "  %4dx %s\n" n k) r.r_crashes;
+  if triggered then begin
+    Printf.printf "seeded defects triggered: %d\n" (List.length r.r_triggered);
+    List.iter (fun (id, n) -> Printf.printf "  %4dx %s\n" n id) r.r_triggered
+  end
+
+let print_corpus_line report_dir (r : D.Pfuzz.result) =
+  Option.iter
+    (fun dir ->
+      Printf.printf
+        "report corpus %s: %d new case(s), %d duplicate(s) suppressed\n" dir
+        r.r_saved r.r_dups)
+    report_dir
+
+let fuzz system_name budget_s tests jobs bugs seed telemetry report_dir =
   match system_of_name system_name with
   | None ->
       Printf.eprintf "unknown system %s (oxrt | lotus | trt)\n" system_name;
@@ -116,62 +149,13 @@ let fuzz system_name budget_s bugs seed telemetry report_dir =
   | Some system ->
       if bugs then Faults.activate_all () else Faults.deactivate_all ();
       Tel.reset ();
-      let corpus = Option.map Corpus.open_ report_dir in
-      let saved = ref 0 and dups = ref 0 in
-      let report ~export_bugs g binding v =
-        Option.iter
-          (fun c ->
-            match
-              D.Report.save_failure c ~system ~generator:"NNSmith" ~seed
-                ~export_bugs g binding v
-            with
-            | `Saved _ -> incr saved
-            | `Duplicate _ -> incr dups
-            | `Not_failure -> ())
-          corpus
+      let r =
+        D.Pfuzz.fuzz ~jobs ?report_dir ~systems:[ system ] ~root_seed:seed
+          ~budget:(budget_of ~budget_s tests) ()
       in
-      let gen = D.Generators.nnsmith ~seed () in
-      let rng = Random.State.make [| seed |] in
-      let start = Tel.now_ms () in
-      let verdicts = Hashtbl.create 8 in
-      let bump k =
-        Tel.incr ("fuzz/" ^ k);
-        Hashtbl.replace verdicts k
-          (1 + Option.value ~default:0 (Hashtbl.find_opt verdicts k))
-      in
-      let crashes = Hashtbl.create 8 in
-      while Tel.now_ms () -. start < budget_s *. 1000. do
-        match gen.next () with
-        | None -> bump "genfail"
-        | Some g -> (
-            let binding = D.Campaign.find_binding rng g in
-            let exported, fired = D.Exporter.export g in
-            List.iter (fun id -> bump ("export:" ^ id)) fired;
-            match D.Harness.test ~exported system g binding with
-            | D.Harness.Pass -> bump "pass"
-            | Skipped _ -> bump "skipped"
-            | Semantic _ as v ->
-                bump "semantic";
-                report ~export_bugs:fired g binding v
-            | Crash m as v ->
-                bump "crash";
-                Tel.event "crash" (D.Harness.dedup_key m);
-                Tel.incr "exec/crashes";
-                Hashtbl.replace crashes m ();
-                report ~export_bugs:fired g binding v
-            | exception _ -> bump "harness-error")
-      done;
-      Printf.printf "fuzzed %s for %.0f s:\n" system.s_name budget_s;
-      Hashtbl.iter (fun k v -> Printf.printf "  %-12s %d\n" k v) verdicts;
-      Printf.printf "unique crashes: %d\n" (Hashtbl.length crashes);
-      Hashtbl.iter (fun m () -> Printf.printf "  %s\n" m) crashes;
-      (match corpus with
-      | Some c ->
-          Printf.printf
-            "report corpus %s: %d new case(s), %d duplicate(s) suppressed, \
-             %d case(s) total\n"
-            (Corpus.dir c) !saved !dups (Corpus.size c)
-      | None -> ());
+      Printf.printf "fuzzed %s: " system.s_name;
+      print_parallel_result r;
+      print_corpus_line report_dir r;
       write_telemetry telemetry
 
 let system_t =
@@ -182,6 +166,24 @@ let budget_t =
 
 let bugs_t =
   Arg.(value & flag & info [ "bugs" ] ~doc:"Activate the seeded defects.")
+
+let jobs_t =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains.  1 runs inline; with $(b,--tests), the workload \
+           is identical for every $(docv).")
+
+let tests_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "tests" ] ~docv:"N"
+        ~doc:
+          "Run exactly $(docv) tests instead of a time budget \
+           (jobs-independent, deterministic workload).")
 
 let telemetry_t =
   Arg.(
@@ -203,8 +205,8 @@ let fuzz_cmd =
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Differentially fuzz one compiler")
     Term.(
-      const fuzz $ system_t $ budget_t $ bugs_t $ seed_t $ telemetry_t
-      $ report_dir_t)
+      const fuzz $ system_t $ budget_t $ tests_t $ jobs_t $ bugs_t $ seed_t
+      $ telemetry_t $ report_dir_t)
 
 (* ---- replay / triage ----------------------------------------------- *)
 
@@ -273,20 +275,38 @@ let triage_cmd =
 
 (* ---- cov ---------------------------------------------------------- *)
 
-let cov budget_s seed telemetry =
+let cov budget_s tests jobs seed telemetry =
   Faults.deactivate_all ();
   let write_failed = ref false in
+  let generators =
+    [
+      ("NNSmith", fun s -> D.Generators.nnsmith ~seed:s ());
+      ("GraphFuzzer", fun s -> D.Generators.graphfuzzer ~seed:s ());
+      ("LEMON", fun s -> D.Generators.lemon ~seed:s ());
+    ]
+  in
   List.iter
     (fun (system : D.Systems.t) ->
       List.iter
-        (fun gen ->
+        (fun (name, gen_of_seed) ->
           (* each campaign resets telemetry, so one JSONL line per campaign *)
-          let r =
-            D.Campaign.coverage ~budget_ms:(budget_s *. 1000.) ~system gen
+          let fuzzer, n_tests, final =
+            if jobs = 1 && tests = None then
+              let r =
+                D.Campaign.coverage ~budget_ms:(budget_s *. 1000.) ~system
+                  (gen_of_seed seed)
+              in
+              (r.fuzzer, r.tests, r.final)
+            else
+              let r =
+                D.Pfuzz.coverage ~jobs ~system ~root_seed:seed
+                  ~budget:(budget_of ~budget_s tests) ~gen_of_seed ()
+              in
+              (name, r.r_stats.st_tests, r.r_coverage)
           in
           Printf.printf "%-6s %-12s tests=%-5d total=%-5d pass-only=%-5d\n%!"
-            system.s_name r.fuzzer r.tests (Cov.count r.final)
-            (Cov.count_pass r.final);
+            system.s_name fuzzer n_tests (Cov.count final)
+            (Cov.count_pass final);
           match telemetry with
           | Some path -> (
               try Tel.append_jsonl path (Tel.snapshot ())
@@ -295,11 +315,7 @@ let cov budget_s seed telemetry =
                   Printf.eprintf "cannot write telemetry: %s\n%!" m;
                 write_failed := true)
           | None -> ())
-        [
-          D.Generators.nnsmith ~seed ();
-          D.Generators.graphfuzzer ~seed ();
-          D.Generators.lemon ~seed ();
-        ])
+        generators)
     D.Systems.open_source;
   (match telemetry with
   | Some path when not !write_failed ->
@@ -310,7 +326,37 @@ let cov budget_s seed telemetry =
 let cov_cmd =
   Cmd.v
     (Cmd.info "cov" ~doc:"Coverage comparison of all fuzzers on all systems")
-    Term.(const cov $ budget_t $ seed_t $ telemetry_t)
+    Term.(const cov $ budget_t $ tests_t $ jobs_t $ seed_t $ telemetry_t)
+
+(* ---- hunt --------------------------------------------------------- *)
+
+let hunt budget_s tests jobs seed telemetry report_dir =
+  Tel.reset ();
+  let r =
+    D.Pfuzz.hunt ~jobs ?report_dir ~root_seed:seed
+      ~budget:(budget_of ~budget_s tests) ()
+  in
+  Printf.printf "seeded-bug hunt: ";
+  print_parallel_result ~triggered:true r;
+  let tbl = Hashtbl.create 32 in
+  List.iter (fun (id, n) -> Hashtbl.replace tbl id n) r.r_triggered;
+  List.iter
+    (fun (sys, trans, conv, uncls, crash, sem) ->
+      Printf.printf
+        "  %-9s transformation=%d conversion=%d unclassified=%d \
+         (crash=%d, semantic=%d)\n"
+        sys trans conv uncls crash sem)
+    (D.Bughunt.distribution tbl);
+  print_corpus_line report_dir r;
+  write_telemetry telemetry
+
+let hunt_cmd =
+  Cmd.v
+    (Cmd.info "hunt"
+       ~doc:"Hunt the seeded defect catalogue across all systems")
+    Term.(
+      const hunt $ budget_t $ tests_t $ jobs_t $ seed_t $ telemetry_t
+      $ report_dir_t)
 
 (* ---- stats -------------------------------------------------------- *)
 
@@ -457,6 +503,7 @@ let () =
             replay_cmd;
             triage_cmd;
             cov_cmd;
+            hunt_cmd;
             stats_cmd;
             reduce_cmd;
             ops_cmd;

@@ -9,22 +9,33 @@ module Sset = Set.Make (String)
 
 type snapshot = { all : Sset.t; pass : Sset.t }
 
-(* Global hit table: site key -> is_pass_file. *)
-let hits : (string, bool) Hashtbl.t = Hashtbl.create 1024
+(* Per-domain hit tables (domain-local storage, like the telemetry sinks):
+   compiler passes running on a worker domain record into private tables
+   with no synchronisation; the worker pool folds them into the spawning
+   domain's tables at join time via [export]/[absorb]. *)
+type tables = {
+  hits : (string, bool) Hashtbl.t;  (** site key -> is_pass_file *)
+  universe : (string, bool) Hashtbl.t;
+      (** every site ever observed on this domain (survives [reset]) *)
+}
 
-(* Every site ever observed across the process, for upper-limit estimates. *)
-let universe : (string, bool) Hashtbl.t = Hashtbl.create 1024
+let dls : tables Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { hits = Hashtbl.create 1024; universe = Hashtbl.create 1024 })
 
-let reset () = Hashtbl.reset hits
+let cur () = Domain.DLS.get dls
+
+let reset () = Hashtbl.reset (cur ()).hits
 
 let hit ?(pass = false) ~file tag =
+  let t = cur () in
   let key = file ^ ":" ^ tag in
-  if not (Hashtbl.mem hits key) then begin
+  if not (Hashtbl.mem t.hits key) then begin
     (* new-site discovery rate feeds the telemetry layer *)
     Nnsmith_telemetry.Telemetry.incr "cov/new_sites";
-    Hashtbl.replace hits key pass
+    Hashtbl.replace t.hits key pass
   end;
-  if not (Hashtbl.mem universe key) then Hashtbl.replace universe key pass
+  if not (Hashtbl.mem t.universe key) then Hashtbl.replace t.universe key pass
 
 (** [branch ~file tag cond] records the taken arm of a two-way branch and
     returns [cond], so instrumentation wraps conditions transparently:
@@ -43,7 +54,7 @@ let snapshot () : snapshot =
         all = Sset.add key acc.all;
         pass = (if is_pass then Sset.add key acc.pass else acc.pass);
       })
-    hits
+    (cur ()).hits
     { all = Sset.empty; pass = Sset.empty }
 
 let empty = { all = Sset.empty; pass = Sset.empty }
@@ -58,6 +69,28 @@ let diff a b = { all = Sset.diff a.all b.all; pass = Sset.diff a.pass b.pass }
     metric. *)
 let unique a others = List.fold_left diff a others
 
-let universe_size () = Hashtbl.length universe
+let universe_size () = Hashtbl.length (cur ()).universe
 
 let sites s = Sset.elements s.all
+
+(* ------------------------------------------------------------------ *)
+(* Cross-domain merge.                                                 *)
+
+type export = { ex_hits : (string * bool) list; ex_universe : (string * bool) list }
+
+let export () =
+  let t = cur () in
+  let dump tbl = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
+  { ex_hits = dump t.hits; ex_universe = dump t.universe }
+
+let absorb e =
+  let t = cur () in
+  (* no telemetry bump here: the worker that discovered each site already
+     counted it in its own (merged) sink *)
+  List.iter
+    (fun (k, p) -> if not (Hashtbl.mem t.hits k) then Hashtbl.replace t.hits k p)
+    e.ex_hits;
+  List.iter
+    (fun (k, p) ->
+      if not (Hashtbl.mem t.universe k) then Hashtbl.replace t.universe k p)
+    e.ex_universe

@@ -1,12 +1,16 @@
 (** Branch-coverage instrumentation for the compilers under test — the
     stand-in for the gcov/Clang source coverage of §5.1.  Passes call
     {!branch}/{!hit}/{!arm} at their decision points; snapshots support the
-    total / unique / pass-only metrics. *)
+    total / unique / pass-only metrics.
+
+    Hit tables are per-domain (domain-local storage): a worker domain
+    records into private tables and the pool merges them into the spawning
+    domain at join time with {!export}/{!absorb}. *)
 
 type snapshot
 
 val reset : unit -> unit
-(** Clear the global hit table (start of a campaign). *)
+(** Clear the calling domain's hit table (start of a campaign). *)
 
 val hit : ?pass:bool -> file:string -> string -> unit
 (** Record one site, keyed by [file] and tag; [pass] marks optimizer files
@@ -31,6 +35,20 @@ val unique : snapshot -> snapshot list -> snapshot
 (** Sites hit by the first snapshot and by none of the others. *)
 
 val universe_size : unit -> int
-(** Distinct sites ever observed in this process (survives {!reset}). *)
+(** Distinct sites ever observed on this domain (survives {!reset}). *)
 
 val sites : snapshot -> string list
+
+(** {1 Cross-domain merge} *)
+
+type export
+(** A copy of one domain's hit and universe tables, safe to hand to
+    another domain. *)
+
+val export : unit -> export
+(** Copy the calling domain's tables (a finished worker's return value). *)
+
+val absorb : export -> unit
+(** Union an exported worker table into the calling domain's tables.  Does
+    not re-count [cov/new_sites]: the worker already counted its own
+    discoveries. *)

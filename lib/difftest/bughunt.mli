@@ -16,6 +16,16 @@ val hunt : ?report_dir:string -> budget_ms:float -> Generators.t -> result
     isolation.  With [report_dir], every crash and semantic mismatch is
     saved to the persistent corpus there via {!Report.save_failure}. *)
 
+val attribute_semantic :
+  Systems.t ->
+  Nnsmith_ir.Graph.t ->
+  Nnsmith_ops.Runner.binding ->
+  (string, int) Hashtbl.t ->
+  unit
+(** Attribute a semantic mismatch by re-running with each candidate
+    semantic defect enabled in isolation, bumping the triggered table.
+    (Also used by the sharded hunt in {!Pfuzz}.) *)
+
 val distribution :
   (string, int) Hashtbl.t ->
   (string * int * int * int * int * int) list

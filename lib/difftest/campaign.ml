@@ -34,8 +34,8 @@ let incr_count tbl key =
 
 (* Inputs for a test case: lives in Inputs so that Reduce and Report can
    share it without depending on this module; re-exported here for API
-   stability. *)
-let find_binding = Inputs.find_binding
+   stability (without the iteration-cap option). *)
+let find_binding rng g = Inputs.find_binding rng g
 
 (** Coverage campaign of one generator against one system.  Resets global
     coverage first.  Seeded faults should normally be disabled for coverage

@@ -7,11 +7,15 @@ module Search = Nnsmith_grad.Search
 module Tel = Nnsmith_telemetry.Telemetry
 
 (* Inputs for a test case: gradient search with a small budget; fall back to
-   the last random binding (still useful for coverage) when it fails. *)
-let find_binding rng g =
+   the last random binding (still useful for coverage) when it fails.  With
+   [max_iters] the budget is an iteration count instead of wall-clock —
+   deterministic under any scheduler load, which the sharded campaigns
+   (Pfuzz) rely on for jobs-count-independent results. *)
+let find_binding ?max_iters rng g =
   Tel.with_span "exec/search" @@ fun () ->
+  let budget_ms = if max_iters = None then 16. else infinity in
   match
-    (Search.search ~budget_ms:16. ~method_:Search.Gradient rng g).binding
+    (Search.search ~budget_ms ?max_iters ~method_:Search.Gradient rng g).binding
   with
   | Some b -> b
   | None -> Runner.random_binding rng g

@@ -2,6 +2,12 @@
     report/replay layer. *)
 
 val find_binding :
-  Random.State.t -> Nnsmith_ir.Graph.t -> Nnsmith_ops.Runner.binding
+  ?max_iters:int ->
+  Random.State.t ->
+  Nnsmith_ir.Graph.t ->
+  Nnsmith_ops.Runner.binding
 (** A short gradient search, falling back to the last random binding (still
-    useful for coverage) when the search fails. *)
+    useful for coverage) when the search fails.  The default budget is
+    16 ms of wall clock; [max_iters] switches to an iteration cap — a
+    deterministic budget independent of scheduler load, required for
+    jobs-count-independent sharded campaigns. *)

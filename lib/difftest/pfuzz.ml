@@ -1,0 +1,267 @@
+(** Parallel fuzzing drivers: the campaign loops of {!Campaign} and
+    {!Bughunt} re-expressed over {!Nnsmith_parallel.Pool} so a run can
+    shard its test stream across worker domains.
+
+    The NNSmith pipeline here is {e index-pure}: test [i] is generated
+    from [Splitmix.derive ~root ~index:i] alone (model seed and
+    input-search rng both), so under a [Tests n] budget the same root
+    seed produces the same failures for any [--jobs] value.  Baseline
+    generators (GraphFuzzer, LEMON) are stateful streams; parallel runs
+    give each worker an independently seeded stream instead, which is
+    reproducible per (root, jobs) but not jobs-independent. *)
+
+module Graph = Nnsmith_ir.Graph
+module Config = Nnsmith_core.Config
+module Gen = Nnsmith_core.Gen
+module Cov = Nnsmith_coverage.Coverage
+module Tel = Nnsmith_telemetry.Telemetry
+module Pool = Nnsmith_parallel.Pool
+module Splitmix = Nnsmith_parallel.Splitmix
+module Corpus = Nnsmith_corpus.Corpus
+
+let incr_count tbl key =
+  Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+
+let merge_counts ~into src =
+  Hashtbl.iter
+    (fun k n ->
+      Hashtbl.replace into k (n + Option.value ~default:0 (Hashtbl.find_opt into k)))
+    src
+
+let sorted_counts tbl =
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+(** A failure observed by a worker, shipped to the corpus-writer domain. *)
+type failure = {
+  f_system : Systems.t;
+  f_generator : string;
+  f_seed : int;
+  f_export_bugs : string list;
+  f_graph : Graph.t;
+  f_binding : Nnsmith_ops.Runner.binding;
+  f_verdict : Harness.verdict;
+}
+
+(* Per-worker tallies; merged into the run result at join. *)
+type tally = {
+  verdicts : (string, int) Hashtbl.t;  (* pass/crash/semantic/skipped/gen_fail *)
+  crashes : (string, int) Hashtbl.t;  (* crash dedup-key -> count *)
+  keys : (string, unit) Hashtbl.t;  (* failure dedup-keys (crash + semantic) *)
+  triggered : (string, int) Hashtbl.t;  (* seeded bug id -> hit count *)
+}
+
+let fresh_tally () =
+  {
+    verdicts = Hashtbl.create 8;
+    crashes = Hashtbl.create 16;
+    keys = Hashtbl.create 16;
+    triggered = Hashtbl.create 16;
+  }
+
+type result = {
+  r_stats : Pool.stats;
+  r_verdicts : (string * int) list;
+  r_crashes : (string * int) list;
+  r_failure_keys : string list;  (** sorted, unique — jobs-independent *)
+  r_triggered : (string * int) list;  (** seeded bug id -> hits (hunt only) *)
+  r_saved : int;  (** new corpus cases (0 without [report_dir]) *)
+  r_dups : int;  (** corpus duplicates (0 without [report_dir]) *)
+  r_coverage : Cov.snapshot;  (** union over workers *)
+}
+
+(* The single-writer corpus sink, run on the calling domain. *)
+let make_sink ?report_dir () =
+  let corpus = Option.map Corpus.open_ report_dir in
+  let saved = ref 0 and dups = ref 0 in
+  let sink (f : failure) =
+    Option.iter
+      (fun c ->
+        match
+          Report.save_failure c ~system:f.f_system ~generator:f.f_generator
+            ~seed:f.f_seed ~export_bugs:f.f_export_bugs f.f_graph f.f_binding
+            f.f_verdict
+        with
+        | `Saved _ -> incr saved
+        | `Duplicate _ -> incr dups
+        | `Not_failure -> ())
+      corpus
+  in
+  (sink, saved, dups)
+
+let assemble ~stats ~saved ~dups tallies =
+  let total = fresh_tally () in
+  List.iter
+    (fun t ->
+      merge_counts ~into:total.verdicts t.verdicts;
+      merge_counts ~into:total.crashes t.crashes;
+      merge_counts ~into:total.triggered t.triggered;
+      Hashtbl.iter (fun k () -> Hashtbl.replace total.keys k ()) t.keys)
+    tallies;
+  {
+    r_stats = stats;
+    r_verdicts = sorted_counts total.verdicts;
+    r_crashes = sorted_counts total.crashes;
+    r_failure_keys =
+      List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) total.keys []);
+    r_triggered = sorted_counts total.triggered;
+    r_saved = !saved;
+    r_dups = !dups;
+    r_coverage = Cov.snapshot ();
+  }
+
+let record_verdict t (system : Systems.t) ~generator ~seed ~export_bugs g binding
+    emit = function
+  | Harness.Pass -> incr_count t.verdicts "pass"
+  | Harness.Skipped _ -> incr_count t.verdicts "skipped"
+  | Harness.Semantic _ as v ->
+      incr_count t.verdicts "semantic";
+      (match Report.failure_key system v with
+      | Some k -> Hashtbl.replace t.keys k ()
+      | None -> ());
+      emit
+        {
+          f_system = system;
+          f_generator = generator;
+          f_seed = seed;
+          f_export_bugs = export_bugs;
+          f_graph = g;
+          f_binding = binding;
+          f_verdict = v;
+        }
+  | Harness.Crash m as v ->
+      incr_count t.verdicts "crash";
+      let key = Harness.dedup_key m in
+      incr_count t.crashes key;
+      Hashtbl.replace t.keys key ();
+      (match Harness.bug_id_of_message m with
+      | Some id -> incr_count t.triggered id
+      | None -> ());
+      emit
+        {
+          f_system = system;
+          f_generator = generator;
+          f_seed = seed;
+          f_export_bugs = export_bugs;
+          f_graph = g;
+          f_binding = binding;
+          f_verdict = v;
+        }
+
+(* The input search must be iteration-capped, not wall-clock-capped: on a
+   loaded machine a time budget buys fewer iterations, which would make
+   results depend on how many sibling domains are running. *)
+let search_iters = 64
+
+(* The index-pure NNSmith pipeline: generate → search inputs → export →
+   difftest each system.  Everything derives from [seed]. *)
+let run_index t ~generator ~max_nodes ~binning ~systems ~seed =
+  let out = ref [] in
+  let emit f = out := f :: !out in
+  (match
+     Gen.generate { Config.default with seed; max_nodes; binning }
+   with
+  | exception _ -> incr_count t.verdicts "gen_fail"
+  | g -> (
+      match
+        let rng = Random.State.make [| seed |] in
+        let binding = Inputs.find_binding ~max_iters:search_iters rng g in
+        let exported, export_bugs = Exporter.export g in
+        (binding, exported, export_bugs)
+      with
+      | exception _ -> incr_count t.verdicts "gen_fail"
+      | binding, exported, export_bugs ->
+          List.iter (fun id -> incr_count t.triggered id) export_bugs;
+          List.iter
+            (fun system ->
+              match Harness.test ~exported system g binding with
+              | v ->
+                  record_verdict t system ~generator ~seed ~export_bugs g
+                    binding emit v
+              | exception _ -> incr_count t.verdicts "error")
+            systems));
+  List.rev !out
+
+(** Sharded NNSmith differential-testing campaign.  Runs with whatever
+    fault set is active on the calling domain (workers inherit it).  With
+    [report_dir] each failure is minimized and saved to the persistent
+    corpus by the calling domain only. *)
+let fuzz ?jobs ?report_dir ?(max_nodes = 10) ?(binning = true)
+    ?(systems = Systems.all) ~root_seed ~budget () : result =
+  let sink, saved, dups = make_sink ?report_dir () in
+  let stats, tallies =
+    Pool.run ?jobs ~root_seed ~budget
+      ~init:(fun ~worker:_ -> fresh_tally ())
+      ~test:(fun t ~index:_ ~seed ->
+        run_index t ~generator:"NNSmith" ~max_nodes ~binning ~systems ~seed)
+      ~finish:(fun t -> t)
+      ~sink ()
+  in
+  assemble ~stats ~saved ~dups tallies
+
+(** Sharded coverage campaign of a stateful generator stream against one
+    system: worker [w] drives [gen_of_seed s_w] with an independent
+    derived seed.  Worker coverage tables are unioned into the calling
+    domain at join; the returned snapshot is the union. *)
+let coverage ?jobs ?report_dir ~(system : Systems.t) ~root_seed ~budget
+    ~(gen_of_seed : int -> Generators.t) () : result =
+  Cov.reset ();
+  let sink, saved, dups = make_sink ?report_dir () in
+  let stats, tallies =
+    Pool.run ?jobs ~root_seed ~budget
+      ~init:(fun ~worker ->
+        (* Negative index space: disjoint from the test-seed derivations. *)
+        let s = Splitmix.derive ~root:root_seed ~index:(-1 - worker) in
+        (gen_of_seed s, fresh_tally ()))
+      ~test:(fun (gen, t) ~index:_ ~seed ->
+        let out = ref [] in
+        let emit f = out := f :: !out in
+        (match gen.Generators.next () with
+        | None -> incr_count t.verdicts "gen_fail"
+        | Some g -> (
+            match
+              let rng = Random.State.make [| seed |] in
+              Inputs.find_binding ~max_iters:search_iters rng g
+            with
+            | exception _ -> incr_count t.verdicts "gen_fail"
+            | binding -> (
+                match Harness.test system g binding with
+                | v ->
+                    record_verdict t system ~generator:gen.Generators.g_name
+                      ~seed ~export_bugs:[] g binding emit v
+                | exception _ -> incr_count t.verdicts "error")));
+        List.rev !out)
+      ~finish:(fun (_, t) -> t)
+      ~sink ()
+  in
+  assemble ~stats ~saved ~dups tallies
+
+(** Sharded seeded-bug hunt: the index-pure NNSmith pipeline with every
+    catalogued defect active in each worker, tallying which defects were
+    triggered (crashes attribute by message; semantic mismatches by
+    isolation re-runs, as in {!Bughunt}). *)
+let hunt ?jobs ?report_dir ?(max_nodes = 10) ~root_seed ~budget () : result =
+  let module Faults = Nnsmith_faults.Faults in
+  let all_ids = List.map (fun (b : Faults.bug) -> b.b_id) Faults.catalogue in
+  let sink, saved, dups = make_sink ?report_dir () in
+  Faults.with_bugs all_ids (fun () ->
+      let stats, tallies =
+        Pool.run ?jobs ~root_seed ~budget
+          ~init:(fun ~worker:_ -> fresh_tally ())
+          ~test:(fun t ~index:_ ~seed ->
+            let fs =
+              run_index t ~generator:"NNSmith" ~max_nodes ~binning:true
+                ~systems:Systems.all ~seed
+            in
+            List.iter
+              (fun f ->
+                match f.f_verdict with
+                | Harness.Semantic _ ->
+                    Bughunt.attribute_semantic f.f_system f.f_graph f.f_binding
+                      t.triggered
+                | _ -> ())
+              fs;
+            fs)
+          ~finish:(fun t -> t)
+          ~sink ()
+      in
+      assemble ~stats ~saved ~dups tallies)

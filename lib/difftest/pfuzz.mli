@@ -1,0 +1,75 @@
+(** Parallel fuzzing drivers: {!Campaign}/{!Bughunt}-style loops sharded
+    across worker domains via {!Nnsmith_parallel.Pool}.
+
+    The NNSmith pipeline is index-pure — test [i]'s model seed and
+    input-search rng derive from [Splitmix.derive ~root ~index:i] alone —
+    so with a [Tests n] budget, {!fuzz} and {!hunt} produce the same
+    failure set for any [jobs] value.  {!coverage} drives stateful
+    baseline generator streams (one independently seeded stream per
+    worker): reproducible per (root, jobs), not jobs-independent. *)
+
+type failure = {
+  f_system : Systems.t;
+  f_generator : string;
+  f_seed : int;
+  f_export_bugs : string list;
+  f_graph : Nnsmith_ir.Graph.t;
+  f_binding : Nnsmith_ops.Runner.binding;
+  f_verdict : Harness.verdict;
+}
+(** A failure observed by a worker, shipped over the pool's channel to
+    the corpus-writer domain. *)
+
+type result = {
+  r_stats : Nnsmith_parallel.Pool.stats;
+  r_verdicts : (string * int) list;
+      (** verdict kind (pass/crash/semantic/skipped/gen_fail/error) -> count *)
+  r_crashes : (string * int) list;  (** crash dedup-key -> count *)
+  r_failure_keys : string list;
+      (** sorted unique failure dedup-keys — jobs-independent for the
+          index-pure drivers *)
+  r_triggered : (string * int) list;  (** seeded bug id -> hits (hunt) *)
+  r_saved : int;  (** new corpus cases (0 without [report_dir]) *)
+  r_dups : int;  (** corpus duplicates (0 without [report_dir]) *)
+  r_coverage : Nnsmith_coverage.Coverage.snapshot;  (** union over workers *)
+}
+
+val fuzz :
+  ?jobs:int ->
+  ?report_dir:string ->
+  ?max_nodes:int ->
+  ?binning:bool ->
+  ?systems:Systems.t list ->
+  root_seed:int ->
+  budget:Nnsmith_parallel.Pool.budget ->
+  unit ->
+  result
+(** Sharded NNSmith differential-testing campaign.  Workers inherit the
+    fault set active on the calling domain.  With [report_dir], failures
+    are minimized and saved to the persistent corpus by the calling
+    domain only (single writer). *)
+
+val coverage :
+  ?jobs:int ->
+  ?report_dir:string ->
+  system:Systems.t ->
+  root_seed:int ->
+  budget:Nnsmith_parallel.Pool.budget ->
+  gen_of_seed:(int -> Generators.t) ->
+  unit ->
+  result
+(** Sharded coverage campaign of a generator stream against one system.
+    Resets coverage first; worker hit-tables are unioned into the calling
+    domain at join and returned as [r_coverage]. *)
+
+val hunt :
+  ?jobs:int ->
+  ?report_dir:string ->
+  ?max_nodes:int ->
+  root_seed:int ->
+  budget:Nnsmith_parallel.Pool.budget ->
+  unit ->
+  result
+(** Sharded seeded-bug hunt: the index-pure pipeline with every
+    catalogued defect active; [r_triggered] tallies defect attributions
+    (crashes by message id, semantic mismatches by isolation re-runs). *)

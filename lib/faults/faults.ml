@@ -122,23 +122,34 @@ let catalogue : bug list =
 
 let find b_id = List.find_opt (fun b -> b.b_id = b_id) catalogue
 
-(* Active set: which seeded defects currently fire. *)
-let active : (string, unit) Hashtbl.t = Hashtbl.create 16
+(* Active set: which seeded defects currently fire.  Domain-local so that
+   concurrent fuzzing workers can flip fault sets (e.g. the semantic
+   attribution re-runs of [Bughunt]) without racing each other; a freshly
+   spawned domain starts with no active faults and inherits the parent's
+   set explicitly via [active_ids]/[set_active]. *)
+let dls : (string, unit) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 16)
+
+let active () = Domain.DLS.get dls
 
 let set_active ids =
-  Hashtbl.reset active;
+  let tbl = active () in
+  Hashtbl.reset tbl;
   List.iter
     (fun id ->
       if find id = None then invalid_arg ("Faults.set_active: unknown bug " ^ id);
-      Hashtbl.replace active id ())
+      Hashtbl.replace tbl id ())
     ids
 
+let active_ids () =
+  Hashtbl.fold (fun k () acc -> k :: acc) (active ()) [] |> List.sort compare
+
 let activate_all () = set_active (List.map (fun b -> b.b_id) catalogue)
-let deactivate_all () = Hashtbl.reset active
-let enabled b_id = Hashtbl.mem active b_id
+let deactivate_all () = Hashtbl.reset (active ())
+let enabled b_id = Hashtbl.mem (active ()) b_id
 
 let with_bugs ids f =
-  let saved = Hashtbl.fold (fun k () acc -> k :: acc) active [] in
+  let saved = active_ids () in
   set_active ids;
   Fun.protect ~finally:(fun () -> set_active saved) f
 

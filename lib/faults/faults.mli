@@ -22,7 +22,13 @@ val catalogue : bug list
 val find : string -> bug option
 
 val set_active : string list -> unit
-(** Raises [Invalid_argument] on unknown ids. *)
+(** Raises [Invalid_argument] on unknown ids.  The active set is
+    domain-local: a freshly spawned domain starts with no active faults and
+    inherits the parent's set explicitly (see {!active_ids}). *)
+
+val active_ids : unit -> string list
+(** The calling domain's active set, sorted — capture before spawning a
+    worker, [set_active] inside it. *)
 
 val activate_all : unit -> unit
 val deactivate_all : unit -> unit

@@ -20,6 +20,8 @@ type outcome = {
   restarts : int;
   elapsed_ms : float;
 }
+(* The budget is wall-clock by default; [max_iters] adds a deterministic
+   cutoff so sharded campaigns do not depend on scheduler load. *)
 
 (* One clock for campaigns, search and bench: Telemetry.now_ms. *)
 let now_ms = Tel.now_ms
@@ -59,8 +61,8 @@ let fresh_leaf rng g id ~lo ~hi =
 
 let replace binding id v = (id, v) :: List.remove_assoc id binding
 
-let search ?(budget_ms = 64.) ?(lr = 0.5) ?(lo = 1.) ?(hi = 9.) ~method_ rng
-    (g : Graph.t) : outcome =
+let search ?(budget_ms = 64.) ?(max_iters = max_int) ?(lr = 0.5) ?(lo = 1.)
+    ?(hi = 9.) ~method_ rng (g : Graph.t) : outcome =
   Tel.with_span "grad/search" @@ fun () ->
   let start = now_ms () in
   let adam = Adam.create ~lr () in
@@ -77,7 +79,7 @@ let search ?(budget_ms = 64.) ?(lr = 0.5) ?(lo = 1.) ?(hi = 9.) ~method_ rng
   let rec loop binding =
     incr iterations;
     Tel.incr "grad/iterations";
-    if now_ms () -. start > budget_ms then begin
+    if !iterations > max_iters || now_ms () -. start > budget_ms then begin
       Tel.incr "grad/timeouts";
       {
         binding = None;

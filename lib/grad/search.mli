@@ -27,6 +27,7 @@ val binding_is_bad : Nnsmith_ir.Graph.t -> Nnsmith_ops.Runner.binding -> bool
 
 val search :
   ?budget_ms:float ->
+  ?max_iters:int ->
   ?lr:float ->
   ?lo:float ->
   ?hi:float ->
@@ -35,4 +36,7 @@ val search :
   Nnsmith_ir.Graph.t ->
   outcome
 (** Run the search under a wall-clock budget (default 64 ms; learning rate
-    0.5 and init range [\[1, 9\]] per §5.1). *)
+    0.5 and init range [\[1, 9\]] per §5.1).  [max_iters] caps the number of
+    search iterations instead — a deterministic budget, independent of
+    scheduler load, used by the sharded campaigns in
+    [Nnsmith_difftest.Pfuzz]. *)

@@ -1,0 +1,30 @@
+(* SplitMix64 (Steele, Lea & Flood, OOPSLA 2014): a tiny, statistically
+   strong mixing function used to derive per-test seeds from a campaign's
+   root seed.  Because the seed of test [index] depends only on
+   [(root, index)] — not on which worker ran the preceding tests — a
+   sharded campaign generates the *same* test at the same index no matter
+   how many domains it runs on. *)
+
+let gamma = 0x9E3779B97F4A7C15L
+let m1 = 0xBF58476D1CE4E5B9L
+let m2 = 0x94D049BB133111EBL
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) m1 in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) m2 in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let derive64 ~root ~index =
+  mix64 (Int64.add (Int64.of_int root) (Int64.mul gamma (Int64.of_int (index + 1))))
+
+let derive ~root ~index = Int64.to_int (derive64 ~root ~index) land max_int
+
+(* A sequential stream for consumers that want a generator-style API
+   (e.g. deriving one independent sub-seed per worker). *)
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let next t =
+  t.state <- Int64.add t.state gamma;
+  Int64.to_int (mix64 t.state) land max_int

@@ -1,0 +1,20 @@
+(** SplitMix64 seed derivation: the deterministic backbone of sharded
+    fuzzing.  [derive ~root ~index] depends only on the pair, so a campaign
+    generates the same test at the same global index regardless of how many
+    worker domains it is sharded over. *)
+
+val derive : root:int -> index:int -> int
+(** Non-negative per-index seed, uniform over [0, max_int]. *)
+
+val derive64 : root:int -> index:int -> int64
+(** The full 64-bit mix, for callers that need all the bits. *)
+
+val mix64 : int64 -> int64
+(** The raw SplitMix64 finalizer. *)
+
+type t
+(** A sequential SplitMix64 stream. *)
+
+val create : int -> t
+val next : t -> int
+(** Next non-negative value of the stream. *)

@@ -14,11 +14,11 @@ type t =
 
 let dim_min = 1
 let dim_max = 65536
-let counter = ref 0
+(* Atomic so that concurrent generation domains never mint the same id. *)
+let counter = Atomic.make 0
 
 let fresh_var ?(lo = dim_min) ?(hi = dim_max) name =
-  incr counter;
-  { id = !counter; name; lo; hi }
+  { id = 1 + Atomic.fetch_and_add counter 1; name; lo; hi }
 
 let fresh ?lo ?hi name = Var (fresh_var ?lo ?hi name)
 let int n = Const n

@@ -116,9 +116,10 @@ let mul_arg_target (iy : Interval.t) (tgt : Interval.t) : Interval.t option =
     and hi = List.fold_left max min_int (corners cdiv) in
     Interval.make_opt lo hi
 
-let changed = ref false
-
-let rec refine (d : domains) (e : Expr.t) (tgt : Interval.t) : domains =
+(* The narrowing flag is threaded through [refine] as an explicit per-call
+   accumulator: a shared top-level flag would make concurrent (or nested)
+   solves corrupt each other's fixpoint detection. *)
+let rec refine ~ch (d : domains) (e : Expr.t) (tgt : Interval.t) : domains =
   match Interval.inter (fwd d e) tgt with
   | None -> raise Conflict
   | Some tgt -> (
@@ -128,24 +129,24 @@ let rec refine (d : domains) (e : Expr.t) (tgt : Interval.t) : domains =
           let old = dom d v in
           if Interval.equal old tgt then d
           else begin
-            changed := true;
+            ch := true;
             Imap.add v.id (v, tgt) d
           end
       | Add (x, y) ->
-          let d = refine d x (Interval.sub tgt (fwd d y)) in
-          refine d y (Interval.sub tgt (fwd d x))
+          let d = refine ~ch d x (Interval.sub tgt (fwd d y)) in
+          refine ~ch d y (Interval.sub tgt (fwd d x))
       | Sub (x, y) ->
-          let d = refine d x (Interval.add tgt (fwd d y)) in
-          refine d y (Interval.sub (fwd d x) tgt)
-      | Neg x -> refine d x (Interval.neg tgt)
+          let d = refine ~ch d x (Interval.add tgt (fwd d y)) in
+          refine ~ch d y (Interval.sub (fwd d x) tgt)
+      | Neg x -> refine ~ch d x (Interval.neg tgt)
       | Mul (x, y) ->
           let d =
             match mul_arg_target (fwd d y) tgt with
-            | Some t -> refine d x t
+            | Some t -> refine ~ch d x t
             | None -> d
           in
           (match mul_arg_target (fwd d x) tgt with
-          | Some t -> refine d y t
+          | Some t -> refine ~ch d y t
           | None -> d)
       | Div (x, y) ->
           (* floor(x / y) ∈ tgt; narrow x when y is known positive. *)
@@ -155,54 +156,54 @@ let rec refine (d : domains) (e : Expr.t) (tgt : Interval.t) : domains =
             and hi_x =
               max ((tgt.hi + 1) * iy.lo) ((tgt.hi + 1) * iy.hi) - 1
             in
-            refine d x (mk lo_x hi_x)
+            refine ~ch d x (mk lo_x hi_x)
           else d
       | Mod (_, _) -> d
       | Min (x, y) ->
           (* both operands are >= tgt.lo; at least one is <= tgt.hi *)
-          let d = refine d x (mk tgt.lo Interval.big) in
-          let d = refine d y (mk tgt.lo Interval.big) in
+          let d = refine ~ch d x (mk tgt.lo Interval.big) in
+          let d = refine ~ch d y (mk tgt.lo Interval.big) in
           let ix = fwd d x and iy = fwd d y in
-          if ix.lo > tgt.hi then refine d y (mk (-Interval.big) tgt.hi)
-          else if iy.lo > tgt.hi then refine d x (mk (-Interval.big) tgt.hi)
+          if ix.lo > tgt.hi then refine ~ch d y (mk (-Interval.big) tgt.hi)
+          else if iy.lo > tgt.hi then refine ~ch d x (mk (-Interval.big) tgt.hi)
           else d
       | Max (x, y) ->
-          let d = refine d x (mk (-Interval.big) tgt.hi) in
-          let d = refine d y (mk (-Interval.big) tgt.hi) in
+          let d = refine ~ch d x (mk (-Interval.big) tgt.hi) in
+          let d = refine ~ch d y (mk (-Interval.big) tgt.hi) in
           let ix = fwd d x and iy = fwd d y in
-          if ix.hi < tgt.lo then refine d y (mk tgt.lo Interval.big)
-          else if iy.hi < tgt.lo then refine d x (mk tgt.lo Interval.big)
+          if ix.hi < tgt.lo then refine ~ch d y (mk tgt.lo Interval.big)
+          else if iy.hi < tgt.lo then refine ~ch d x (mk tgt.lo Interval.big)
           else d)
 
-let narrow_atom d (f : Formula.t) =
+let narrow_atom ~ch d (f : Formula.t) =
   match f with
   | Cmp (Le, a, b) ->
       let ib = fwd d b in
-      let d = refine d a (mk (-Interval.big) ib.hi) in
+      let d = refine ~ch d a (mk (-Interval.big) ib.hi) in
       let ia = fwd d a in
-      refine d b (mk ia.lo Interval.big)
+      refine ~ch d b (mk ia.lo Interval.big)
   | Cmp (Lt, a, b) ->
       let ib = fwd d b in
-      let d = refine d a (mk (-Interval.big) (ib.hi - 1)) in
+      let d = refine ~ch d a (mk (-Interval.big) (ib.hi - 1)) in
       let ia = fwd d a in
-      refine d b (mk (ia.lo + 1) Interval.big)
+      refine ~ch d b (mk (ia.lo + 1) Interval.big)
   | Cmp (Eq, a, b) -> (
       match Interval.inter (fwd d a) (fwd d b) with
       | None -> raise Conflict
       | Some m ->
-          let d = refine d a m in
-          refine d b m)
+          let d = refine ~ch d a m in
+          refine ~ch d b m)
   | Cmp (Ne, a, b) -> (
       let ia = fwd d a and ib = fwd d b in
       match (Interval.is_point ia, Interval.is_point ib) with
       | Some x, Some y -> if x = y then raise Conflict else d
       | Some x, None ->
-          if x = ib.lo then refine d b (mk (ib.lo + 1) ib.hi)
-          else if x = ib.hi then refine d b (mk ib.lo (ib.hi - 1))
+          if x = ib.lo then refine ~ch d b (mk (ib.lo + 1) ib.hi)
+          else if x = ib.hi then refine ~ch d b (mk ib.lo (ib.hi - 1))
           else d
       | None, Some y ->
-          if y = ia.lo then refine d a (mk (ia.lo + 1) ia.hi)
-          else if y = ia.hi then refine d a (mk ia.lo (ia.hi - 1))
+          if y = ia.lo then refine ~ch d a (mk (ia.lo + 1) ia.hi)
+          else if y = ia.hi then refine ~ch d a (mk ia.lo (ia.hi - 1))
           else d
       | None, None -> d)
   | True | False | And _ | Or _ | Not _ -> d
@@ -253,8 +254,8 @@ let rec tv_eval d (f : Formula.t) : tv =
 
 (* One propagation pass: narrow with every atom, then exploit disjunctions
    whose branches are all refuted but one. *)
-let propagate_once d atoms ors =
-  let d = List.fold_left narrow_atom d atoms in
+let propagate_once ~ch d atoms ors =
+  let d = List.fold_left (narrow_atom ~ch) d atoms in
   let use_or d (orf : Formula.t) =
     match orf with
     | Or disjuncts -> (
@@ -262,7 +263,7 @@ let propagate_once d atoms ors =
         | [] -> raise Conflict
         | [ g ] -> (
             match split_conj [] [] g with
-            | atoms', _nested -> List.fold_left narrow_atom d atoms'
+            | atoms', _nested -> List.fold_left (narrow_atom ~ch) d atoms'
             | exception Exit -> raise Conflict)
         | _ :: _ :: _ -> d)
     | True | False | Cmp _ | And _ | Not _ -> d
@@ -270,12 +271,13 @@ let propagate_once d atoms ors =
   List.fold_left use_or d ors
 
 let propagate d atoms ors =
+  let ch = ref false in
   let rec loop d rounds =
     if rounds = 0 then d
     else begin
-      changed := false;
-      let d = propagate_once d atoms ors in
-      if !changed then loop d (rounds - 1) else d
+      ch := false;
+      let d = propagate_once ~ch d atoms ors in
+      if !ch then loop d (rounds - 1) else d
     end
   in
   loop d 64
@@ -344,6 +346,15 @@ let solve_formulas ~max_steps ~rng formulas : result * Model.t option * int =
   | atoms, ors -> (
       let vars = all_vars formulas in
       let hints = disjunct_hints nnf_formulas in
+      (* Memoized base domains: seeding the map once per solve means [dom]
+         never re-allocates an interval for an unbound variable in the hot
+         propagate/backtrack loop. *)
+      let base_domains =
+        List.fold_left
+          (fun d (v : Expr.var) ->
+            Imap.add v.id (v, Interval.make v.lo v.hi) d)
+          Imap.empty vars
+      in
       let check_leaf d =
         let m = extract_model vars d in
         if List.for_all (Model.eval_formula m) formulas then Some m else None
@@ -384,7 +395,9 @@ let solve_formulas ~max_steps ~rng formulas : result * Model.t option * int =
                   match found with
                   | Some _ -> found
                   | None -> (
-                      match refine d (Var v) (Interval.point value) with
+                      match
+                        refine ~ch:(ref false) d (Var v) (Interval.point value)
+                      with
                       | d' -> search d'
                       | exception Conflict ->
                           Tel.incr "smt/backtracks";
@@ -393,7 +406,7 @@ let solve_formulas ~max_steps ~rng formulas : result * Model.t option * int =
                 List.fold_left try_value None
                   (List.sort_uniq compare (hinted @ candidates rng i)))
       in
-      match search Imap.empty with
+      match search base_domains with
       | Some m -> (Sat, Some m, !steps)
       | None -> ((if !incomplete then Unknown else Unsat), None, !steps)
       | exception Step_limit -> (Unknown, None, !steps))

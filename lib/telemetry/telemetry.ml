@@ -1,30 +1,20 @@
-(* Global telemetry registry.  Single-threaded by design, like the coverage
-   tables: the fuzzing loop owns the process. *)
+(* Telemetry registry with per-domain sinks.
 
-let enabled = ref true
-let set_enabled b = enabled := b
-let is_enabled () = !enabled
+   Every recording entry point (incr/observe/with_span/event) writes into
+   the *current domain's* sink, held in domain-local storage: worker domains
+   spawned by [Nnsmith_parallel.Pool] accumulate into private tables with no
+   synchronisation on the hot path, and the pool folds each worker's sink
+   into the spawning domain's sink at join time via [merge_sink].  On a
+   single domain this behaves exactly like the old process-global registry:
+   the main domain owns one sink for the whole process. *)
+
+let enabled = Atomic.make true
+let set_enabled b = Atomic.set enabled b
+let is_enabled () = Atomic.get enabled
 let now_ms () = Unix.gettimeofday () *. 1000.
 
-(* Epoch for relative timestamps; rewound by [reset]. *)
-let epoch = ref (now_ms ())
-
 (* ------------------------------------------------------------------ *)
-(* Counters.                                                           *)
-
-let counters : (string, int ref) Hashtbl.t = Hashtbl.create 64
-
-let incr ?(by = 1) name =
-  if !enabled then
-    match Hashtbl.find_opt counters name with
-    | Some r -> r := !r + by
-    | None -> Hashtbl.replace counters name (ref by)
-
-let counter_value name =
-  match Hashtbl.find_opt counters name with Some r -> !r | None -> 0
-
-(* ------------------------------------------------------------------ *)
-(* Histograms: log2 buckets, exponent e covers (2^(e-1), 2^e].         *)
+(* Histogram buckets: log2, exponent e covers (2^(e-1), 2^e].          *)
 
 let h_lo = -10
 let h_hi = 20
@@ -45,24 +35,85 @@ type histo = {
   h_buckets : int array;
 }
 
-let histograms : (string, histo) Hashtbl.t = Hashtbl.create 32
+let fresh_histo () =
+  {
+    h_count = 0;
+    h_sum = 0.;
+    h_min = infinity;
+    h_max = neg_infinity;
+    h_buckets = Array.make h_nbuckets 0;
+  }
+
+type span_stat = {
+  mutable s_count : int;
+  mutable s_total : float;
+  mutable s_self : float;
+}
+
+type frame = { f_name : string; f_start : float; mutable f_child : float }
+
+type event_view = {
+  ev_seq : int;
+  ev_at_ms : float;
+  ev_kind : string;
+  ev_msg : string;
+}
+
+(* One domain's private tables. *)
+type sink = {
+  counters : (string, int ref) Hashtbl.t;
+  histograms : (string, histo) Hashtbl.t;
+  spans : (string, span_stat) Hashtbl.t;
+  mutable stack : frame list;
+  ring : event_view Queue.t;
+  mutable next_seq : int;
+  mutable ring_capacity : int;
+  mutable epoch : float;
+}
+
+let fresh_sink () =
+  {
+    counters = Hashtbl.create 64;
+    histograms = Hashtbl.create 32;
+    spans = Hashtbl.create 32;
+    stack = [];
+    ring = Queue.create ();
+    next_seq = 0;
+    ring_capacity = 64;
+    epoch = now_ms ();
+  }
+
+let dls : sink Domain.DLS.key = Domain.DLS.new_key fresh_sink
+let cur () = Domain.DLS.get dls
+let current_sink = cur
+
+(* ------------------------------------------------------------------ *)
+(* Counters.                                                           *)
+
+let incr ?(by = 1) name =
+  if Atomic.get enabled then
+    let s = cur () in
+    match Hashtbl.find_opt s.counters name with
+    | Some r -> r := !r + by
+    | None -> Hashtbl.replace s.counters name (ref by)
+
+let counter_value name =
+  match Hashtbl.find_opt (cur ()).counters name with
+  | Some r -> !r
+  | None -> 0
+
+(* ------------------------------------------------------------------ *)
+(* Histograms.                                                         *)
 
 let observe name v =
-  if !enabled then begin
+  if Atomic.get enabled then begin
+    let s = cur () in
     let h =
-      match Hashtbl.find_opt histograms name with
+      match Hashtbl.find_opt s.histograms name with
       | Some h -> h
       | None ->
-          let h =
-            {
-              h_count = 0;
-              h_sum = 0.;
-              h_min = infinity;
-              h_max = neg_infinity;
-              h_buckets = Array.make h_nbuckets 0;
-            }
-          in
-          Hashtbl.replace histograms name h;
+          let h = fresh_histo () in
+          Hashtbl.replace s.histograms name h;
           h
     in
     h.h_count <- h.h_count + 1;
@@ -76,35 +127,24 @@ let observe name v =
 (* ------------------------------------------------------------------ *)
 (* Spans.                                                              *)
 
-type span_stat = {
-  mutable s_count : int;
-  mutable s_total : float;
-  mutable s_self : float;
-}
-
-let spans : (string, span_stat) Hashtbl.t = Hashtbl.create 32
-
-type frame = { f_name : string; f_start : float; mutable f_child : float }
-
-let stack : frame list ref = ref []
-
-let span_stat name =
-  match Hashtbl.find_opt spans name with
-  | Some s -> s
+let span_stat s name =
+  match Hashtbl.find_opt s.spans name with
+  | Some st -> st
   | None ->
-      let s = { s_count = 0; s_total = 0.; s_self = 0. } in
-      Hashtbl.replace spans name s;
-      s
+      let st = { s_count = 0; s_total = 0.; s_self = 0. } in
+      Hashtbl.replace s.spans name st;
+      st
 
 let with_span name f =
-  if not !enabled then f ()
+  if not (Atomic.get enabled) then f ()
   else begin
+    let s = cur () in
     let fr = { f_name = name; f_start = now_ms (); f_child = 0. } in
-    stack := fr :: !stack;
+    s.stack <- fr :: s.stack;
     let finish () =
       let elapsed = now_ms () -. fr.f_start in
-      (match !stack with
-      | top :: rest when top == fr -> stack := rest
+      (match s.stack with
+      | top :: rest when top == fr -> s.stack <- rest
       | _ ->
           (* an escaping exception skipped inner finishes; drop every frame
              above ours as well as ours *)
@@ -112,11 +152,11 @@ let with_span name f =
             | top :: rest -> if top == fr then rest else unwind rest
             | [] -> []
           in
-          stack := unwind !stack);
-      (match !stack with
+          s.stack <- unwind s.stack);
+      (match s.stack with
       | parent :: _ -> parent.f_child <- parent.f_child +. elapsed
       | [] -> ());
-      let st = span_stat fr.f_name in
+      let st = span_stat s fr.f_name in
       st.s_count <- st.s_count + 1;
       st.s_total <- st.s_total +. elapsed;
       st.s_self <- st.s_self +. (elapsed -. fr.f_child)
@@ -131,7 +171,7 @@ let with_span name f =
   end
 
 let timed name f =
-  if not !enabled then f ()
+  if not (Atomic.get enabled) then f ()
   else begin
     let t0 = now_ms () in
     match f () with
@@ -146,48 +186,81 @@ let timed name f =
 (* ------------------------------------------------------------------ *)
 (* Event ring buffer.                                                  *)
 
-type event_view = {
-  ev_seq : int;
-  ev_at_ms : float;
-  ev_kind : string;
-  ev_msg : string;
-}
-
-let ring_capacity = ref 64
-let ring : event_view Queue.t = Queue.create ()
-let next_seq = ref 0
+let push_event s ~at_ms kind msg =
+  Queue.push
+    { ev_seq = s.next_seq; ev_at_ms = at_ms; ev_kind = kind; ev_msg = msg }
+    s.ring;
+  s.next_seq <- s.next_seq + 1;
+  while Queue.length s.ring > s.ring_capacity do
+    ignore (Queue.pop s.ring)
+  done
 
 let event kind msg =
-  if !enabled then begin
-    Queue.push
-      {
-        ev_seq = !next_seq;
-        ev_at_ms = now_ms () -. !epoch;
-        ev_kind = kind;
-        ev_msg = msg;
-      }
-      ring;
-    next_seq := !next_seq + 1;
-    while Queue.length ring > !ring_capacity do
-      ignore (Queue.pop ring)
-    done
-  end
+  if Atomic.get enabled then
+    let s = cur () in
+    push_event s ~at_ms:(now_ms () -. s.epoch) kind msg
 
 let set_ring_capacity n =
-  ring_capacity := max 1 n;
-  Queue.clear ring
+  let s = cur () in
+  s.ring_capacity <- max 1 n;
+  Queue.clear s.ring
 
 (* ------------------------------------------------------------------ *)
 (* Reset.                                                              *)
 
 let reset () =
-  Hashtbl.reset counters;
-  Hashtbl.reset histograms;
-  Hashtbl.reset spans;
-  stack := [];
-  Queue.clear ring;
-  next_seq := 0;
-  epoch := now_ms ()
+  let s = cur () in
+  Hashtbl.reset s.counters;
+  Hashtbl.reset s.histograms;
+  Hashtbl.reset s.spans;
+  s.stack <- [];
+  Queue.clear s.ring;
+  s.next_seq <- 0;
+  s.epoch <- now_ms ()
+
+(* ------------------------------------------------------------------ *)
+(* Merging (worker sink -> this domain's sink, at pool join).          *)
+
+let merge_sink (w : sink) =
+  let s = cur () in
+  Hashtbl.iter
+    (fun name r ->
+      match Hashtbl.find_opt s.counters name with
+      | Some dst -> dst := !dst + !r
+      | None -> Hashtbl.replace s.counters name (ref !r))
+    w.counters;
+  Hashtbl.iter
+    (fun name h ->
+      let dst =
+        match Hashtbl.find_opt s.histograms name with
+        | Some dst -> dst
+        | None ->
+            let dst = fresh_histo () in
+            Hashtbl.replace s.histograms name dst;
+            dst
+      in
+      dst.h_count <- dst.h_count + h.h_count;
+      dst.h_sum <- dst.h_sum +. h.h_sum;
+      if h.h_min < dst.h_min then dst.h_min <- h.h_min;
+      if h.h_max > dst.h_max then dst.h_max <- h.h_max;
+      Array.iteri
+        (fun i c -> dst.h_buckets.(i) <- dst.h_buckets.(i) + c)
+        h.h_buckets)
+    w.histograms;
+  Hashtbl.iter
+    (fun name st ->
+      let dst = span_stat s name in
+      dst.s_count <- dst.s_count + st.s_count;
+      dst.s_total <- dst.s_total +. st.s_total;
+      dst.s_self <- dst.s_self +. st.s_self)
+    w.spans;
+  (* Events keep their wall-clock order: the worker's timestamps are
+     rebased from its epoch onto ours, then appended through the normal
+     ring (fresh seq numbers, capacity enforced). *)
+  let offset = w.epoch -. s.epoch in
+  Queue.iter
+    (fun e -> push_event s ~at_ms:(e.ev_at_ms +. offset) e.ev_kind e.ev_msg)
+    w.ring
 
 (* ------------------------------------------------------------------ *)
 (* Snapshots.                                                          *)
@@ -215,11 +288,12 @@ let sorted_bindings tbl f =
   |> List.sort (fun (a, _) (b, _) -> compare (a : string) b)
 
 let snapshot () : snapshot =
+  let s = cur () in
   {
-    at_ms = now_ms () -. !epoch;
-    counters = sorted_bindings counters (fun r -> !r);
+    at_ms = now_ms () -. s.epoch;
+    counters = sorted_bindings s.counters (fun r -> !r);
     histograms =
-      sorted_bindings histograms (fun h ->
+      sorted_bindings s.histograms (fun h ->
           let buckets = ref [] in
           for i = h_nbuckets - 1 downto 0 do
             if h.h_buckets.(i) > 0 then
@@ -233,9 +307,13 @@ let snapshot () : snapshot =
             hv_buckets = !buckets;
           });
     spans =
-      sorted_bindings spans (fun s ->
-          { sv_count = s.s_count; sv_total_ms = s.s_total; sv_self_ms = s.s_self });
-    events = List.of_seq (Queue.to_seq ring);
+      sorted_bindings s.spans (fun st ->
+          {
+            sv_count = st.s_count;
+            sv_total_ms = st.s_total;
+            sv_self_ms = st.s_self;
+          });
+    events = List.of_seq (Queue.to_seq s.ring);
   }
 
 (* ------------------------------------------------------------------ *)

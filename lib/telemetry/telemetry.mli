@@ -3,11 +3,15 @@
     as a human-readable table or JSONL (one line per snapshot, stable key
     order).
 
-    The registry is global (like {!Nnsmith_coverage.Coverage}): the fuzzing
-    loop is single-threaded and every layer — solver, generator, gradient
-    search, harness — reports into the same process-wide tables.  All
-    recording entry points are no-ops (no allocation, no clock read) while
-    telemetry is disabled, and [reset] rewinds everything for the next
+    The registry keeps one private {e sink} per domain (domain-local
+    storage): every layer — solver, generator, gradient search, harness —
+    reports into the tables of the domain it runs on, with no hot-path
+    synchronisation.  On a single domain this is indistinguishable from a
+    process-global registry; worker domains spawned by
+    [Nnsmith_parallel.Pool] accumulate locally and are folded into the
+    spawning domain's sink at join time via {!merge_sink}.  All recording
+    entry points are no-ops (no allocation, no clock read) while telemetry
+    is disabled, and [reset] rewinds the current domain's sink for the next
     campaign. *)
 
 val set_enabled : bool -> unit
@@ -22,8 +26,29 @@ val now_ms : unit -> float
     are comparable. *)
 
 val reset : unit -> unit
-(** Drop all counters, histograms, spans and events, and rewind the snapshot
-    epoch.  Call at the start of each campaign (like [Coverage.reset]). *)
+(** Drop the current domain's counters, histograms, spans and events, and
+    rewind its snapshot epoch.  Call at the start of each campaign (like
+    [Coverage.reset]). *)
+
+(** {1 Per-domain sinks}
+
+    One sink per domain, created on first use.  A freshly spawned domain
+    starts with empty tables; a finished worker's sink can be handed to the
+    spawning domain and folded in with {!merge_sink}. *)
+
+type sink
+(** A domain's private telemetry tables. *)
+
+val current_sink : unit -> sink
+(** The calling domain's sink.  Hand it to another domain only after this
+    domain has stopped recording (e.g. as a worker's return value). *)
+
+val merge_sink : sink -> unit
+(** Fold a quiescent worker sink into the calling domain's sink: counters,
+    histogram buckets and span statistics are added; events are rebased
+    onto this domain's epoch and appended through the ring.  Span {e self}
+    times merge additively, so merged self-time sums CPU time across
+    domains (it can exceed the wall clock). *)
 
 (** {1 Counters} *)
 

@@ -5,13 +5,36 @@ let rank = Array.length
 let numel s = Array.fold_left ( * ) 1 s
 let equal (a : t) b = a = b
 
-let strides s =
+let compute_strides s =
   let n = rank s in
   let st = Array.make n 1 in
   for i = n - 2 downto 0 do
     st.(i) <- st.(i + 1) * s.(i + 1)
   done;
   st
+
+(* The evaluation kernels call [strides] once per element (ravel/unravel in
+   broadcasting, reduction and layout loops), always over the same handful
+   of shapes, so the result is memoized.  The cache is domain-local (no
+   synchronisation with concurrent fuzzing workers) and bounded; both the
+   key and the cached value are treated as immutable — callers only ever
+   read stride arrays. *)
+let cache : (t, t) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 64)
+
+let cache_cap = 4096
+
+let strides s =
+  if rank s <= 1 then compute_strides s
+  else
+    let tbl = Domain.DLS.get cache in
+    match Hashtbl.find_opt tbl s with
+    | Some st -> st
+    | None ->
+        let st = compute_strides s in
+        if Hashtbl.length tbl >= cache_cap then Hashtbl.reset tbl;
+        Hashtbl.add tbl (Array.copy s) st;
+        st
 
 let ravel s idx =
   let st = strides s in

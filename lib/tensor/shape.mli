@@ -11,7 +11,8 @@ val numel : t -> int
 
 val equal : t -> t -> bool
 val strides : t -> int array
-(** Row-major strides; stride of a size-1 trailing dim is 1. *)
+(** Row-major strides; stride of a size-1 trailing dim is 1.  Memoized per
+    domain — treat the result as read-only. *)
 
 val ravel : t -> int array -> int
 (** Multi-index to linear offset.  No bounds check. *)

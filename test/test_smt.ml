@@ -264,6 +264,52 @@ let test_mod_constraint () =
       check "mod" true (v mod 4 = 3 && v >= 10 && v <= 20)
   | None -> Alcotest.fail "expected SAT"
 
+let test_interleaved_solvers () =
+  (* Regression for the old top-level [changed : bool ref]: two incremental
+     solvers refined in alternation must not leak propagation state into
+     each other, and a one-shot solve in the middle must not reset either. *)
+  let s1 = S.create ~seed:1 () and s2 = S.create ~seed:2 () in
+  let x = E.fresh "x" and y = E.fresh "y" in
+  check "s1 a" true (S.try_add_constraints s1 F.[ E.int 3 <= x ]);
+  check "s2 a" true (S.try_add_constraints s2 F.[ y <= E.int 4 ]);
+  check "s1 b" true (S.try_add_constraints s1 F.[ x <= E.int 9 ]);
+  (* a nested one-shot solve between the incremental refinements *)
+  let z = E.fresh "z" in
+  (match solve F.[ E.(z * int 3) = E.int 12 ] with
+  | Some m -> check_int "nested" 4 (M.eval_expr m z)
+  | None -> Alcotest.fail "nested solve failed");
+  check "s2 b" true (S.try_add_constraints s2 F.[ E.int 2 <= y ]);
+  check "s1 conflict" false (S.try_add_constraints s1 F.[ x > E.int 20 ]);
+  (match S.model s1 with
+  | Some m ->
+      let v = M.eval_expr m x in
+      check "s1 window" true (v >= 3 && v <= 9)
+  | None -> Alcotest.fail "s1 lost its model");
+  match S.model s2 with
+  | Some m ->
+      let v = M.eval_expr m y in
+      check "s2 window" true (v >= 2 && v <= 4)
+  | None -> Alcotest.fail "s2 lost its model"
+
+let test_concurrent_domain_solves () =
+  (* The solver must be callable from several domains at once: no shared
+     mutable propagation state, and fresh-variable ids never collide. *)
+  let solve_many salt =
+    List.init 40 (fun i ->
+        let x = E.fresh "x" and y = E.fresh "y" in
+        let n = 6 + ((i + salt) mod 17) in
+        let fs =
+          F.[ E.(x + y) = E.int n; E.one <= x; x < y ]
+        in
+        match S.solve ~seed:(salt + i) fs with
+        | None -> false
+        | Some m -> List.for_all (M.eval_formula m) fs)
+  in
+  let d1 = Domain.spawn (fun () -> solve_many 1)
+  and d2 = Domain.spawn (fun () -> solve_many 1000) in
+  let ok = solve_many 500 @ Domain.join d1 @ Domain.join d2 in
+  check "all sat and sound" true (List.for_all Fun.id ok)
+
 let qcheck_solver_sound =
   (* Any model returned must actually satisfy the constraints. *)
   QCheck.Test.make ~name:"solver models satisfy constraints" ~count:100
@@ -323,6 +369,8 @@ let () =
           tc "incremental" `Quick test_incremental_model_updates;
           tc "step limit" `Quick test_step_limit_unknown;
           tc "mod constraint" `Quick test_mod_constraint;
+          tc "interleaved solvers" `Quick test_interleaved_solvers;
+          tc "concurrent domains" `Quick test_concurrent_domain_solves;
           QCheck_alcotest.to_alcotest qcheck_solver_sound;
         ] );
     ]
