@@ -742,10 +742,11 @@ let bench_parallel () =
       jobs tests ms tps
       (tps /. Float.max 1e-9 jobs1_tps)
   in
+  (* top-level tests_per_sec (jobs=1) is what `bench regress` gates on *)
   let line =
     Printf.sprintf
-      "{\"bench\":\"parallel\",\"cores\":%d,\"workload_tests\":%d,\"seed\":%d,\"legacy_seq_tests_per_sec\":%.2f,\"seq_tests_per_sec\":%.2f,\"jobs1_vs_seq\":%.3f,\"rows\":[%s]}"
-      cores n seed legacy_tps seq_tps
+      "{\"bench\":\"parallel\",\"cores\":%d,\"workload_tests\":%d,\"seed\":%d,\"tests_per_sec\":%.2f,\"legacy_seq_tests_per_sec\":%.2f,\"seq_tests_per_sec\":%.2f,\"jobs1_vs_seq\":%.3f,\"rows\":[%s]}"
+      cores n seed jobs1_tps legacy_tps seq_tps
       (jobs1_tps /. Float.max 1e-9 seq_tps)
       (String.concat "," (List.map row_json rows))
   in
@@ -755,6 +756,235 @@ let bench_parallel () =
   output_string oc (line ^ "\n");
   close_out oc;
   Printf.printf "appended to BENCH_parallel.json\n"
+
+(* ------------------------------------------------------------------ *)
+(* Solver cache: fixed-seed generation workload, cache on vs off,       *)
+(* appended to BENCH_solver.json.  Also asserts bit-identical graphs     *)
+(* across modes — the cache's core correctness guarantee.               *)
+
+let bench_solver_cache () =
+  section "Solver cache: campaign + corpus replay, cache on vs off (BENCH_solver.json)";
+  let module Solver = Nnsmith_smt.Solver in
+  Faults.deactivate_all ();
+  Tel.reset ();
+  let seed = 20230325 in
+  let n = max 40 (int_of_float (!budget_ms /. 20.)) in
+  let digest = ref 0 in
+  (* The workload is one fuzz campaign over [n] distinct seeds followed by
+     a full corpus replay of the same seeds — the shape of bug triage,
+     reducer loops and CI fixed-seed smokes, where every constraint system
+     is solved a second time.  The canonical cache answers the replay's
+     solves (including the rare step-limit blowups that dominate solver
+     time) without searching; cache-off pays for everything twice. *)
+  (* The workload is single-threaded and deterministic, so it is timed in
+     process CPU ms: `bench regress` gates on these rows, and wall-clock
+     noise from a loaded CI machine must not read as a perf change. *)
+  let cpu_ms () =
+    let t = Unix.times () in
+    (t.Unix.tms_utime +. t.Unix.tms_stime) *. 1000.
+  in
+  let gen_round () =
+    digest := 0;
+    let t0 = cpu_ms () in
+    for pass = 0 to 1 do
+      ignore pass;
+      for i = 0 to n - 1 do
+        let tseed = Nnsmith_parallel.Splitmix.derive ~root:seed ~index:i in
+        match
+          Gen.generate { Config.default with seed = tseed; max_nodes = 10 }
+        with
+        | exception Gen.Gen_failure _ -> ()
+        | g ->
+            (* mixing combiner, not xor: replaying the same graph twice
+               must not cancel its contribution out of the digest *)
+            digest :=
+              ((!digest * 31) + Hashtbl.hash (Graph.to_string g)) land max_int
+      done
+    done;
+    cpu_ms () -. t0
+  in
+  (* CPU-frequency drift survives even CPU-time measurement, so each
+     timing is normalized by a fixed integer spin kernel run right next to
+     it: round_ms * (reference calib / measured calib) expresses the round
+     at a fixed calibration speed, stable across boosts, thermal throttling
+     and machines.  The reference constant only fixes the unit. *)
+  let calib_reference_ms = 25.0 in
+  (* The kernel allocates like the generator does (small short-lived
+     boxes), so memory-subsystem contention slows it in the same
+     proportion and normalizes away rather than reading as a perf
+     change. *)
+  let calibrate () =
+    let acc = ref 0 in
+    let t0 = cpu_ms () in
+    for i = 1 to 150_000 do
+      let l = List.init 10 (fun k -> (i + k, k * i)) in
+      acc := !acc lxor Hashtbl.hash l
+    done;
+    let dt = cpu_ms () -. t0 in
+    ignore (Sys.opaque_identity !acc);
+    Float.max 1e-3 dt
+  in
+  let run enabled =
+    Solver.set_cache_enabled enabled;
+    (* clear before every cache-on round: we measure cold-cache wins, not
+       a table pre-warmed by the previous round *)
+    Solver.cache_clear ();
+    let c0 = calibrate () in
+    let ms = gen_round () in
+    let c1 = calibrate () in
+    (ms *. (calib_reference_ms /. ((c0 +. c1) /. 2.)), !digest)
+  in
+  ignore (run true);  (* warm up allocator and op registry *)
+  (* Interleave on/off rounds and keep the fastest of each: the minimum is
+     the only estimator that recovers the true cost on a machine with busy
+     neighbours, because any quiet window exposes it.  Rounds are adaptive
+     — sampling continues until neither minimum has improved for several
+     consecutive rounds, so one noisy burst cannot freeze a bad floor. *)
+  let on = ref infinity and off = ref infinity in
+  let d_on = ref 0 and d_off = ref 0 in
+  let stale = ref 0 in
+  let rounds = ref 0 in
+  while !rounds < 24 && (!rounds < 6 || !stale < 6) do
+    incr rounds;
+    let first_on = !rounds land 1 = 1 in
+    let a_ms, a_d = run first_on in
+    let b_ms, b_d = run (not first_on) in
+    let (on_ms, on_d), (off_ms, off_d) =
+      if first_on then ((a_ms, a_d), (b_ms, b_d))
+      else ((b_ms, b_d), (a_ms, a_d))
+    in
+    if on_ms < !on *. 0.98 || off_ms < !off *. 0.98 then stale := 0
+    else incr stale;
+    on := Float.min !on on_ms;
+    off := Float.min !off off_ms;
+    d_on := on_d;
+    d_off := off_d
+  done;
+  (* one final cache-on round to report a hit rate for exactly this
+     workload *)
+  let final_ms, _ = run true in
+  on := Float.min !on final_ms;
+  let st = Solver.cache_stats () in
+  let hit_rate =
+    float_of_int st.cs_hits
+    /. Float.max 1. (float_of_int (st.cs_hits + st.cs_misses))
+  in
+  if !d_on <> !d_off then begin
+    Printf.printf
+      "FAIL: cache-on and cache-off generated different graphs \
+       (digest %d vs %d)\n"
+      !d_on !d_off;
+    exit 1
+  end;
+  Printf.printf "determinism: cache-on/off graphs bit-identical (digest ok)\n";
+  let tests = 2 * n in
+  let on_tps = float_of_int tests /. (!on /. 1000.) in
+  let off_tps = float_of_int tests /. (!off /. 1000.) in
+  let speedup = on_tps /. Float.max 1e-9 off_tps in
+  Printf.printf "%-10s %5d tests in %7.0f norm-ms = %7.1f tests/s\n"
+    "cache-off" tests !off off_tps;
+  Printf.printf
+    "%-10s %5d tests in %7.0f norm-ms = %7.1f tests/s (%.2fx, hit rate \
+     %.1f%%)\n"
+    "cache-on" tests !on on_tps speedup (100. *. hit_rate);
+  let line =
+    Printf.sprintf
+      "{\"bench\":\"solver_cache\",\"workload_tests\":%d,\"replay\":true,\"seed\":%d,\"cache_off_tests_per_sec\":%.2f,\"cache_on_tests_per_sec\":%.2f,\"speedup\":%.3f,\"hit_rate\":%.3f,\"tests_per_sec\":%.2f}"
+      tests seed off_tps on_tps speedup hit_rate on_tps
+  in
+  let oc =
+    open_out_gen [ Open_append; Open_creat ] 0o644 "BENCH_solver.json"
+  in
+  output_string oc (line ^ "\n");
+  close_out oc;
+  Printf.printf "appended to BENCH_solver.json\n"
+
+(* ------------------------------------------------------------------ *)
+(* `bench regress`: the CI gate.  Compare the last BENCH_*.json row      *)
+(* against the previous one and fail on a >15% tests/sec drop (the       *)
+(* append-a-row-then-diff pattern of nim-lang's ci_bench).               *)
+
+let regress_threshold = 0.15
+
+let regress () =
+  let module Json = Nnsmith_telemetry.Json in
+  let files =
+    Sys.readdir "." |> Array.to_list
+    |> List.filter (fun f ->
+           String.length f > 6
+           && String.sub f 0 6 = "BENCH_"
+           && Filename.check_suffix f ".json")
+    |> List.sort compare
+  in
+  let read_lines file =
+    let ic = open_in file in
+    let rec go acc =
+      match input_line ic with
+      | line -> go (if String.trim line = "" then acc else line :: acc)
+      | exception End_of_file ->
+          close_in ic;
+          List.rev acc
+    in
+    go []
+  in
+  (* A row is comparable only against rows of the same workload size:
+     tests/sec at 80 tests and at 240 tests are different quantities
+     (blowup seeds are a fixed set, so larger runs meet more of them). *)
+  let parse_row line =
+    match Json.parse line with
+    | Error _ -> None
+    | Ok j ->
+        Option.map
+          (fun tps ->
+            (tps, Option.bind (Json.member "workload_tests" j) Json.to_float))
+          (Option.bind (Json.member "tests_per_sec" j) Json.to_float)
+  in
+  let regressions = ref 0 in
+  if files = [] then
+    print_endline "bench regress: no BENCH_*.json files, nothing to gate"
+  else
+    List.iter
+      (fun file ->
+        match List.rev (List.filter_map parse_row (read_lines file)) with
+        | (last, workload) :: older -> (
+            (* Baseline = median of the most recent (≤5) comparable rows:
+               one slow row in the history (or one noisy current run)
+               cannot move a median the way it moves a single previous
+               row. *)
+            let recent =
+              List.filter_map
+                (fun (tps, w) -> if w = workload then Some tps else None)
+                older
+              |> List.filteri (fun i _ -> i < 5)
+            in
+            match recent with
+            | _ :: _ ->
+                let sorted = List.sort compare recent in
+                let prev = List.nth sorted (List.length sorted / 2) in
+                let delta = (last -. prev) /. Float.max 1e-9 prev in
+                let failed = last < prev *. (1. -. regress_threshold) in
+                if failed then incr regressions;
+                Printf.printf
+                  "bench regress: %-24s baseline=%8.2f last=%8.2f (%+.1f%%) \
+                   %s\n"
+                  file prev last (100. *. delta)
+                  (if failed then "REGRESSION" else "ok")
+            | [] ->
+                Printf.printf
+                  "bench regress: %-24s no earlier row with the same \
+                   workload; skipping\n"
+                  file)
+        | [] ->
+            Printf.printf
+              "bench regress: %-24s no rows with tests_per_sec; skipping\n"
+              file)
+      files;
+  if !regressions > 0 then begin
+    Printf.printf "bench regress: %d regression(s) beyond %.0f%%\n" !regressions
+      (100. *. regress_threshold);
+    exit 1
+  end
+  else print_endline "bench regress: within threshold"
 
 let experiments =
   [
@@ -775,9 +1005,16 @@ let experiments =
     ("telemetry", telemetry_overhead);
     ("corpus", corpus_throughput);
     ("parallel", bench_parallel);
+    ("solver_cache", bench_solver_cache);
   ]
 
 let () =
+  (* `bench regress` is a verb, not an experiment: it only reads the
+     BENCH_*.json trails and gates on them. *)
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "regress" then begin
+    regress ();
+    exit 0
+  end;
   let rec parse = function
     | "--only" :: id :: rest ->
         only := Some id;

@@ -114,6 +114,67 @@ let () =
   Printf.printf "hunt corpus smoke ok (%d case(s) saved and replayed)\n"
     (Corpus.size c)
 
+(* Solver-cache wiring: a re-probe of the same frame (L1) and an
+   alpha-renamed copy of an already-solved constraint set (L2) must both
+   be answered from cache, and the cached answer must equal what a
+   cache-off solver computes from scratch. *)
+let () =
+  let module S = Nnsmith_smt.Solver in
+  let module E = Nnsmith_smt.Expr in
+  let module F = Nnsmith_smt.Formula in
+  let mk_sys () =
+    let x = E.fresh ~lo:1 ~hi:64 "x" and y = E.fresh ~lo:1 ~hi:64 "y" in
+    (F.[ E.(x + y) = E.int 10; x <= y ], x, y)
+  in
+  let was_enabled = S.cache_enabled () in
+  S.set_cache_enabled true;
+  S.cache_clear ();
+  let fs1, _, _ = mk_sys () in
+  let s1 = S.create () in
+  S.assert_all s1 fs1;
+  if S.check s1 <> S.Sat then die "solver-cache smoke: base system not Sat";
+  (* same frame, same (Unsat) probe twice: second one is an L1 frame hit *)
+  let bad = F.[ E.int 11 = E.int 10 ] in
+  let h0 = Tel.counter_value "smt/cache/hit_frame" in
+  if S.try_add_constraints s1 bad then
+    die "solver-cache smoke: contradictory probe accepted";
+  if S.try_add_constraints s1 bad then
+    die "solver-cache smoke: contradictory re-probe accepted";
+  if Tel.counter_value "smt/cache/hit_frame" <= h0 then
+    die "solver-cache smoke: frame re-probe missed the L1 cache";
+  (* alpha-renamed copy of the same system from a fresh solver: L2 hit *)
+  let c0 = Tel.counter_value "smt/cache/hit_canon" in
+  let fs2, x2, y2 = mk_sys () in
+  let s2 = S.create () in
+  S.assert_all s2 fs2;
+  if S.check s2 <> S.Sat then die "solver-cache smoke: renamed copy not Sat";
+  if Tel.counter_value "smt/cache/hit_canon" <= c0 then
+    die "solver-cache smoke: alpha-renamed solve missed the canonical cache";
+  let st = S.cache_stats () in
+  if st.cs_size = 0 || st.cs_hits = 0 then
+    die "solver-cache smoke: cache stats report no entries or hits";
+  (* the cached model must be bit-identical to a from-scratch solve *)
+  S.set_cache_enabled false;
+  let s3 = S.create () in
+  S.assert_all s3 fs2;
+  if S.check s3 <> S.Sat then die "solver-cache smoke: cache-off copy not Sat";
+  let value m v =
+    match m with
+    | None -> die "solver-cache smoke: Sat check returned no model"
+    | Some m -> (
+        match Nnsmith_smt.Model.find m v with
+        | Some n -> n
+        | None -> die "solver-cache smoke: model misses a variable")
+  in
+  let vx = match x2 with E.Var v -> v | _ -> assert false in
+  let vy = match y2 with E.Var v -> v | _ -> assert false in
+  if
+    value (S.model s2) vx <> value (S.model s3) vx
+    || value (S.model s2) vy <> value (S.model s3) vy
+  then die "solver-cache smoke: cache-on and cache-off models differ";
+  S.set_cache_enabled was_enabled;
+  print_endline "solver cache smoke ok"
+
 (* Parallel wiring: a 2-domain mini-campaign must run its exact test
    budget, shard it across both workers, and find the same failure set as
    the inline single-domain run of the same root seed. *)

@@ -32,7 +32,25 @@ let rec mkdir_p d =
 
 (* ---- generate ----------------------------------------------------- *)
 
-let generate seed nodes count search out =
+(* ---- solver-cache escape hatch ------------------------------------ *)
+
+let apply_no_cache no_cache =
+  Nnsmith_smt.Solver.set_cache_enabled (not no_cache)
+
+let no_cache_t =
+  Arg.(
+    value
+    & flag
+    & info [ "no-solver-cache" ]
+        ~doc:
+          "Disable the solver's solve-result caches (results are \
+           bit-identical either way; this only trades speed for memory — \
+           useful for benchmarking and debugging).")
+
+(* ---- generate ----------------------------------------------------- *)
+
+let generate seed nodes count search out no_cache =
+  apply_no_cache no_cache;
   let failures = ref 0 in
   Option.iter mkdir_p out;
   for k = 0 to count - 1 do
@@ -88,7 +106,9 @@ let gen_out_t =
 let generate_cmd =
   Cmd.v
     (Cmd.info "generate" ~doc:"Generate valid random models and print them")
-    Term.(const generate $ seed_t $ nodes_t $ count_t $ search_t $ gen_out_t)
+    Term.(
+      const generate $ seed_t $ nodes_t $ count_t $ search_t $ gen_out_t
+      $ no_cache_t)
 
 (* ---- fuzz --------------------------------------------------------- *)
 
@@ -141,7 +161,9 @@ let print_corpus_line report_dir (r : D.Pfuzz.result) =
         r.r_saved r.r_dups)
     report_dir
 
-let fuzz system_name budget_s tests jobs bugs seed telemetry report_dir =
+let fuzz system_name budget_s tests jobs bugs seed telemetry report_dir
+    no_cache =
+  apply_no_cache no_cache;
   match system_of_name system_name with
   | None ->
       Printf.eprintf "unknown system %s (oxrt | lotus | trt)\n" system_name;
@@ -206,7 +228,7 @@ let fuzz_cmd =
     (Cmd.info "fuzz" ~doc:"Differentially fuzz one compiler")
     Term.(
       const fuzz $ system_t $ budget_t $ tests_t $ jobs_t $ bugs_t $ seed_t
-      $ telemetry_t $ report_dir_t)
+      $ telemetry_t $ report_dir_t $ no_cache_t)
 
 (* ---- replay / triage ----------------------------------------------- *)
 
@@ -275,7 +297,8 @@ let triage_cmd =
 
 (* ---- cov ---------------------------------------------------------- *)
 
-let cov budget_s tests jobs seed telemetry =
+let cov budget_s tests jobs seed telemetry no_cache =
+  apply_no_cache no_cache;
   Faults.deactivate_all ();
   let write_failed = ref false in
   let generators =
@@ -326,11 +349,14 @@ let cov budget_s tests jobs seed telemetry =
 let cov_cmd =
   Cmd.v
     (Cmd.info "cov" ~doc:"Coverage comparison of all fuzzers on all systems")
-    Term.(const cov $ budget_t $ tests_t $ jobs_t $ seed_t $ telemetry_t)
+    Term.(
+      const cov $ budget_t $ tests_t $ jobs_t $ seed_t $ telemetry_t
+      $ no_cache_t)
 
 (* ---- hunt --------------------------------------------------------- *)
 
-let hunt budget_s tests jobs seed telemetry report_dir =
+let hunt budget_s tests jobs seed telemetry report_dir no_cache =
+  apply_no_cache no_cache;
   Tel.reset ();
   let r =
     D.Pfuzz.hunt ~jobs ?report_dir ~root_seed:seed
@@ -356,7 +382,7 @@ let hunt_cmd =
        ~doc:"Hunt the seeded defect catalogue across all systems")
     Term.(
       const hunt $ budget_t $ tests_t $ jobs_t $ seed_t $ telemetry_t
-      $ report_dir_t)
+      $ report_dir_t $ no_cache_t)
 
 (* ---- stats -------------------------------------------------------- *)
 

@@ -24,6 +24,10 @@ type snode = {
   op : Expr.t Op.t option;  (** [None] while still a placeholder *)
   inputs : int list;
   out_type : Sym.t;
+  sig_entry : Dtype.t * int;
+      (** cached (dtype, rank) of [out_type], recomputed only when the node
+          is rewritten — signatures are assembled once per sampled combo
+          instead of walking the symbolic type each time *)
   weight_only : bool;
       (** placeholder must finalise as a weight (e.g. a Conv2d kernel) *)
 }
@@ -32,6 +36,8 @@ type state = {
   cfg : Config.t;
   rng : Random.State.t;
   solver : Solver.t;
+  templates : Spec.compiled list;
+      (** [cfg.templates] compiled once per generation (memoized accepts) *)
   mutable nodes : snode list;  (** reverse insertion order *)
   mutable next_id : int;
   mutable op_count : int;
@@ -56,6 +62,7 @@ let add_placeholder ?(weight_only = false) st (t : Sym.t) : snode =
       op = None;
       inputs = [];
       out_type = t;
+      sig_entry = (Sym.dtype t, Sym.rank t);
       weight_only;
     }
   in
@@ -85,6 +92,7 @@ let add_op_node st (inst : Spec.instance) ~inputs : snode =
       op = Some inst.op;
       inputs;
       out_type = inst.out_type;
+      sig_entry = (Sym.dtype inst.out_type, Sym.rank inst.out_type);
       weight_only = false;
     }
   in
@@ -95,8 +103,6 @@ let add_op_node st (inst : Spec.instance) ~inputs : snode =
 
 (* ------------------------------------------------------------------ *)
 (* Algorithm 1: forward and backward insertion.                        *)
-
-let signature_of types = List.map (fun t -> (Sym.dtype t, Sym.rank t)) types
 
 (* Random input combination from the existing nodes (with replacement, so
    diamonds are possible). *)
@@ -118,21 +124,22 @@ let insertion_constraints st (inst : Spec.instance) =
       (fun t -> Spec.out_positive t @ [ numel_cap st t ])
       inst.extra_inputs
 
-let forward_insert st (tpl : Spec.template) : bool =
+let forward_insert st (tpl : Spec.compiled) : bool =
   let rec try_combo k =
     if k = 0 then false
     else begin
       Tel.incr "gen/forward_attempts";
-      match sample_combo st tpl.t_arity with
+      match sample_combo st tpl.c_base.t_arity with
       | None -> false
       | Some combo ->
-          let types = List.map (fun n -> n.out_type) combo in
-          if not (tpl.accepts (signature_of types)) then begin
+          if not (tpl.c_accepts (List.map (fun n -> n.sig_entry) combo))
+          then begin
             Tel.incr "gen/reject/signature";
             try_combo (k - 1)
           end
           else begin
-            match tpl.forward st.rng types with
+            let types = List.map (fun n -> n.out_type) combo in
+            match tpl.c_base.forward st.rng types with
             | None ->
                 Tel.incr "gen/reject/forward_none";
                 try_combo (k - 1)
@@ -167,8 +174,8 @@ let weight_slots : 'a Op.t -> int list = function
   | Op.Conv2d _ -> [ 1 ]
   | _ -> []
 
-let backward_insert st (tpl : Spec.template) : bool =
-  match tpl.backward with
+let backward_insert st (tpl : Spec.compiled) : bool =
+  match tpl.c_base.backward with
   | None -> false
   | Some backward -> (
       match placeholders st with
@@ -205,6 +212,8 @@ let backward_insert st (tpl : Spec.template) : bool =
                       op = Some inst.op;
                       inputs = new_inputs;
                       out_type = inst.out_type;
+                      sig_entry =
+                        (Sym.dtype inst.out_type, Sym.rank inst.out_type);
                     });
                 st.op_count <- st.op_count + 1;
                 true
@@ -219,7 +228,7 @@ let insert_one st : bool =
       let rec attempt k =
         if k = 0 then false
         else begin
-          let tpl = Spec.pick st.rng st.cfg.templates in
+          let tpl = Spec.pick st.rng st.templates in
           let forward_first =
             Random.State.float st.rng 1. < st.cfg.forward_prob
           in
@@ -438,6 +447,7 @@ let generate_with_stats (cfg : Config.t) : Graph.t * stats =
       cfg;
       rng = Random.State.make [| cfg.seed |];
       solver = Solver.create ~max_steps:cfg.solver_max_steps ~seed:cfg.seed ();
+      templates = Spec.compile_all cfg.templates;
       nodes = [];
       next_id = 0;
       op_count = 0;

@@ -6,9 +6,23 @@ module Op = Nnsmith_ir.Op
 module Conc = Nnsmith_ir.Ttype.Conc
 module Graph = Nnsmith_ir.Graph
 
-type t = (string, unit) Hashtbl.t
+type t = {
+  seen : (string, unit) Hashtbl.t;
+  (* Concrete type -> rendered string.  Campaigns see the same few dozen
+     concrete input types thousands of times; rendering each once makes
+     key construction allocation-light. *)
+  ty_memo : (Conc.t, string) Hashtbl.t;
+}
 
-let create () : t = Hashtbl.create 256
+let create () : t = { seen = Hashtbl.create 256; ty_memo = Hashtbl.create 64 }
+
+let type_string t (c : Conc.t) =
+  match Hashtbl.find_opt t.ty_memo c with
+  | Some s -> s
+  | None ->
+      let s = Conc.to_string c in
+      Hashtbl.add t.ty_memo c s;
+      s
 
 let instance_key (g : Graph.t) (n : Graph.node) =
   let in_types =
@@ -19,19 +33,35 @@ let instance_key (g : Graph.t) (n : Graph.node) =
   Format.asprintf "%a(%s)" Op.pp_concrete n.Graph.op
     (String.concat "," in_types)
 
+(* Same key as [instance_key], built through the type-string memo and a
+   reused buffer instead of per-node Format plumbing. *)
+let instance_key_memo t buf (g : Graph.t) (n : Graph.node) =
+  Buffer.clear buf;
+  Buffer.add_string buf (Format.asprintf "%a" Op.pp_concrete n.Graph.op);
+  Buffer.add_char buf '(';
+  List.iteri
+    (fun i inp ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (type_string t (Graph.find g inp).Graph.out_type))
+    n.Graph.inputs;
+  Buffer.add_char buf ')';
+  Buffer.contents buf
+
 (** Record all operator instances of a model; returns how many were new. *)
 let add (t : t) (g : Graph.t) : int =
+  let buf = Buffer.create 128 in
   List.fold_left
     (fun fresh (n : Graph.node) ->
       match n.Graph.op with
       | Op.Leaf _ -> fresh
       | _ ->
-          let key = instance_key g n in
-          if Hashtbl.mem t key then fresh
+          let key = instance_key_memo t buf g n in
+          if Hashtbl.mem t.seen key then fresh
           else begin
-            Hashtbl.replace t key ();
+            Hashtbl.replace t.seen key ();
             fresh + 1
           end)
     0 (Graph.nodes g)
 
-let count (t : t) = Hashtbl.length t
+let count (t : t) = Hashtbl.length t.seen

@@ -20,10 +20,95 @@ let counter = Atomic.make 0
 let fresh_var ?(lo = dim_min) ?(hi = dim_max) name =
   { id = 1 + Atomic.fetch_and_add counter 1; name; lo; hi }
 
-let fresh ?lo ?hi name = Var (fresh_var ?lo ?hi name)
-let int n = Const n
-let zero = Const 0
-let one = Const 1
+(* ------------------------------------------------------------------ *)
+(* Hash-consing.
+
+   Smart constructors intern every term they build in a domain-local
+   table, so structurally equal terms constructed on one domain are
+   physically equal: [==] decides equality in O(1) on the hot path,
+   [Stdlib.compare] short-circuits on shared subterms, and [id]/[hash]
+   are O(1) after the first request.  The tables live in domain-local
+   storage, so worker domains spawned by the parallel pool never
+   contend (and never share physical terms, which is fine — equality
+   falls back to the structural comparison). *)
+
+module Phys = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+type hc_state = {
+  (* (constructor tag, child/payload ids) -> canonical term and its id *)
+  nodes : (int * int * int, t * int) Hashtbl.t;
+  (* any term ever interned -> its canonical representative and id *)
+  meta : (t * int) Phys.t;
+  mutable next_id : int;
+}
+
+(* Bounds the intern tables; on overflow both are dropped wholesale.
+   Clearing only costs future sharing — ids stay monotonic and every
+   entry point re-interns deterministically. *)
+let hc_capacity = 1 lsl 17
+
+let hc_key =
+  Domain.DLS.new_key (fun () ->
+      { nodes = Hashtbl.create 4096; meta = Phys.create 4096; next_id = 0 })
+
+let rec hc_intern st (e : t) : t * int =
+  match Phys.find_opt st.meta e with
+  | Some ri -> ri
+  | None ->
+      let e', key =
+        match e with
+        | Const n -> (e, (0, n, 0))
+        | Var v -> (e, (1, v.id, 0))
+        | Add (a, b) -> hc_bin st e 2 a b (fun a b -> Add (a, b))
+        | Sub (a, b) -> hc_bin st e 3 a b (fun a b -> Sub (a, b))
+        | Mul (a, b) -> hc_bin st e 4 a b (fun a b -> Mul (a, b))
+        | Div (a, b) -> hc_bin st e 5 a b (fun a b -> Div (a, b))
+        | Mod (a, b) -> hc_bin st e 6 a b (fun a b -> Mod (a, b))
+        | Neg a ->
+            let a', ia = hc_intern st a in
+            ((if a' == a then e else Neg a'), (7, ia, 0))
+        | Min (a, b) -> hc_bin st e 8 a b (fun a b -> Min (a, b))
+        | Max (a, b) -> hc_bin st e 9 a b (fun a b -> Max (a, b))
+      in
+      let rep, rep_id =
+        match Hashtbl.find_opt st.nodes key with
+        | Some ri -> ri
+        | None ->
+            let i = st.next_id in
+            st.next_id <- i + 1;
+            Hashtbl.add st.nodes key (e', i);
+            Phys.replace st.meta e' (e', i);
+            (e', i)
+      in
+      if e != rep then Phys.replace st.meta e (rep, rep_id);
+      (rep, rep_id)
+
+and hc_bin st e tag a b rebuild =
+  let a', ia = hc_intern st a in
+  let b', ib = hc_intern st b in
+  ((if a' == a && b' == b then e else rebuild a' b'), (tag, ia, ib))
+
+let hc_state () =
+  let st = Domain.DLS.get hc_key in
+  if Hashtbl.length st.nodes > hc_capacity then begin
+    Hashtbl.reset st.nodes;
+    Phys.reset st.meta
+  end;
+  st
+
+let intern e = fst (hc_intern (hc_state ()) e)
+let id e = snd (hc_intern (hc_state ()) e)
+let hash = id
+
+let fresh ?lo ?hi name = intern (Var (fresh_var ?lo ?hi name))
+let int n = intern (Const n)
+let zero = int 0
+let one = int 1
 
 (* Floor division: round toward negative infinity, as in shape arithmetic
    for negative padding.  [fmod] is the matching remainder. *)
@@ -37,49 +122,49 @@ let fmod a b =
 
 let ( + ) a b =
   match (a, b) with
-  | Const x, Const y -> Const (Stdlib.( + ) x y)
+  | Const x, Const y -> int (Stdlib.( + ) x y)
   | Const 0, e | e, Const 0 -> e
-  | _ -> Add (a, b)
+  | _ -> intern (Add (a, b))
 
 let ( - ) a b =
   match (a, b) with
-  | Const x, Const y -> Const (Stdlib.( - ) x y)
+  | Const x, Const y -> int (Stdlib.( - ) x y)
   | e, Const 0 -> e
-  | _ -> Sub (a, b)
+  | _ -> intern (Sub (a, b))
 
 let ( * ) a b =
   match (a, b) with
-  | Const x, Const y -> Const (Stdlib.( * ) x y)
-  | Const 0, _ | _, Const 0 -> Const 0
+  | Const x, Const y -> int (Stdlib.( * ) x y)
+  | Const 0, _ | _, Const 0 -> zero
   | Const 1, e | e, Const 1 -> e
-  | _ -> Mul (a, b)
+  | _ -> intern (Mul (a, b))
 
 let ( / ) a b =
   match (a, b) with
-  | Const x, Const y when y <> 0 -> Const (fdiv x y)
+  | Const x, Const y when y <> 0 -> int (fdiv x y)
   | e, Const 1 -> e
-  | _ -> Div (a, b)
+  | _ -> intern (Div (a, b))
 
 let ( mod ) a b =
   match (a, b) with
-  | Const x, Const y when y <> 0 -> Const (fmod x y)
-  | _, Const 1 -> Const 0
-  | _ -> Mod (a, b)
+  | Const x, Const y when y <> 0 -> int (fmod x y)
+  | _, Const 1 -> zero
+  | _ -> intern (Mod (a, b))
 
 let neg = function
-  | Const x -> Const (Stdlib.( ~- ) x)
+  | Const x -> int (Stdlib.( ~- ) x)
   | Neg e -> e
-  | e -> Neg e
+  | e -> intern (Neg e)
 
 let min_ a b =
   match (a, b) with
-  | Const x, Const y -> Const (Stdlib.min x y)
-  | _ -> Min (a, b)
+  | Const x, Const y -> int (Stdlib.min x y)
+  | _ -> intern (Min (a, b))
 
 let max_ a b =
   match (a, b) with
-  | Const x, Const y -> Const (Stdlib.max x y)
-  | _ -> Max (a, b)
+  | Const x, Const y -> int (Stdlib.max x y)
+  | _ -> intern (Max (a, b))
 
 let product = List.fold_left ( * ) one
 let sum = List.fold_left ( + ) zero
@@ -114,8 +199,10 @@ let rec eval env = function
   | Min (a, b) -> Stdlib.min (eval env a) (eval env b)
   | Max (a, b) -> Stdlib.max (eval env a) (eval env b)
 
-let compare = Stdlib.compare
-let equal a b = compare a b = 0
+(* Hash-consed terms built on the same domain are physically equal, so
+   both functions usually answer from the pointer comparison alone. *)
+let compare a b = if a == b then 0 else Stdlib.compare a b
+let equal a b = a == b || Stdlib.compare a b = 0
 
 let rec pp ppf = function
   | Const n -> Fmt.int ppf n

@@ -49,7 +49,9 @@ val ( * ) : t -> t -> t
 val ( / ) : t -> t -> t
 val ( mod ) : t -> t -> t
 (** Smart constructors: fold constants and apply unit/zero laws eagerly, so
-    that expressions stay small during incremental generation. *)
+    that expressions stay small during incremental generation.  Every term a
+    smart constructor builds is hash-consed (see {!intern}), so structurally
+    equal results are physically shared within a domain. *)
 
 val neg : t -> t
 val min_ : t -> t -> t
@@ -73,7 +75,29 @@ val fdiv : int -> int -> int
 val fmod : int -> int -> int
 (** Floor division / modulo on concrete ints ([fdiv (-7) 2 = -4]). *)
 
+val intern : t -> t
+(** [intern e] returns the canonical (hash-consed) representative of [e] for
+    the current domain: structurally equal interned terms are physically
+    equal, making {!equal}/{!compare} O(1) on shared terms.  The intern
+    tables are domain-local — terms are never shared across domains, and
+    worker domains never contend — and bounded: past a fixed capacity they
+    are dropped wholesale and sharing restarts.  Smart constructors intern
+    automatically; call this only for terms built with raw constructors. *)
+
+val id : t -> int
+(** Unique id of [intern e] within the current domain (allocation order).
+    Interns [e] if it has not been seen yet. *)
+
+val hash : t -> int
+(** O(1) hash consistent with structural equality on a single domain
+    (equal to {!id} of the canonical representative). *)
+
 val compare : t -> t -> int
+
 val equal : t -> t -> bool
+(** [compare]/[equal]: structural comparison with a physical-equality fast
+    path — O(1) whenever both terms were built by smart constructors on the
+    same domain. *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

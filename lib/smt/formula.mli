@@ -49,5 +49,17 @@ val eval : (Expr.var -> int) -> t -> bool
 (** Evaluate under a complete assignment.  Division by zero inside an atom
     makes that atom false rather than raising. *)
 
+val compare : t -> t -> int
+val equal : t -> t -> bool
+(** Structural comparison with a physical-equality fast path (hash-consed
+    {!Expr} subterms make the structural walk cheap). *)
+
+val normalize : t list -> t list
+(** Stable normal form of a constraint set interpreted as a conjunction:
+    nested [And]s flattened, [tt] members dropped, duplicates removed,
+    members sorted structurally; any [ff] member collapses the whole set to
+    [\[ff\]].  Sets describing the same conjunction normalize identically —
+    the solver's caches key on this. *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

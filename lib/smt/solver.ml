@@ -3,39 +3,75 @@ module Tel = Nnsmith_telemetry.Telemetry
 
 type result = Sat | Unsat | Unknown
 
+(* Entry of the per-solver frame cache (L1): the outcome of probing one
+   normalized constraint set against one frame-stack state. *)
+type l1_entry = {
+  l1_result : result;
+  l1_steps : int;
+  l1_model : Model.t option;  (* the model found on Sat *)
+}
+
 type t = {
   mutable frames : Formula.t list list;  (* head = most recent frame *)
   mutable cached_model : Model.t option;
   mutable last_steps : int;
   max_steps : int;
-  rng : Random.State.t;
+  (* [epoch] identifies the current frame-stack *content*: every mutation
+     (assert, merge) mints a fresh value, while push/pop save and restore
+     it, so two moments with the same epoch hold the same assertion set.
+     The L1 cache keys on (epoch, probed constraints). *)
+  mutable epoch : int;
+  mutable epoch_src : int;
+  mutable epoch_stack : int list;  (* epochs saved by [push] *)
+  l1 : (int * Formula.t list, l1_entry) Hashtbl.t;
 }
 
-let create ?(max_steps = 2000) ?(seed = 0x5eed) () =
+let l1_capacity = 2048
+
+(* Search randomness is derived from the canonical form of the constraint
+   set being solved (see [canonical_key]), so [seed] no longer influences
+   results; it is accepted for compatibility. *)
+let create ?(max_steps = 2000) ?seed:_ () =
   {
     frames = [ [] ];
     cached_model = None;
     last_steps = 0;
     max_steps;
-    rng = Random.State.make [| seed |];
+    epoch = 0;
+    epoch_src = 0;
+    epoch_stack = [];
+    l1 = Hashtbl.create 64;
   }
+
+let fresh_epoch s =
+  s.epoch_src <- s.epoch_src + 1;
+  s.epoch_src
 
 let push s =
   Tel.incr "smt/push";
   if Tel.is_enabled () then
     Tel.observe "smt/frame_depth" (float_of_int (List.length s.frames));
+  s.epoch_stack <- s.epoch :: s.epoch_stack;
   s.frames <- [] :: s.frames
 
 let pop s =
   Tel.incr "smt/pop";
   match s.frames with
   | [] | [ _ ] -> invalid_arg "Solver.pop: empty frame stack"
-  | _ :: rest -> s.frames <- rest
+  | _ :: rest ->
+      s.frames <- rest;
+      (match s.epoch_stack with
+      | e :: es ->
+          s.epoch <- e;
+          s.epoch_stack <- es
+      | [] -> ())
 
 let assert_ s f =
   Tel.incr "smt/assert";
   match s.frames with
-  | frame :: rest -> s.frames <- (f :: frame) :: rest
+  | frame :: rest ->
+      s.frames <- (f :: frame) :: rest;
+      s.epoch <- fresh_epoch s
   | [] -> assert false
 
 let assert_all s fs = List.iter (assert_ s) fs
@@ -301,10 +337,6 @@ let candidates rng (i : Interval.t) =
     (* keep the lower bound first: this reproduces Z3's boundary-value bias *)
     |> List.sort compare
 
-let all_vars formulas =
-  List.concat_map Formula.vars formulas
-  |> List.sort_uniq (fun (a : Expr.var) b -> compare a.id b.id)
-
 (* Values mentioned in equality atoms under a disjunction are natural
    candidates for their variable (interval propagation cannot act on a
    disjunct, but the value is likely the only way to satisfy it). *)
@@ -335,7 +367,12 @@ let extract_model vars d =
       Model.add v i.Interval.lo m)
     Model.empty vars
 
-let solve_formulas ~max_steps ~rng formulas : result * Model.t option * int =
+(* [vars] must list every variable of [formulas]; the caller supplies them
+   in canonical first-occurrence order so that search explores isomorphic
+   constraint sets identically (alpha-renaming invariance — the property
+   the canonical solve cache relies on). *)
+let solve_formulas ~max_steps ~rng ~vars formulas : result * Model.t option * int
+    =
   let steps = ref 0 in
   let incomplete = ref false in
   let nnf_formulas = List.map (nnf true) formulas in
@@ -344,7 +381,6 @@ let solve_formulas ~max_steps ~rng formulas : result * Model.t option * int =
   with
   | exception Exit -> (Unsat, None, 0)
   | atoms, ors -> (
-      let vars = all_vars formulas in
       let hints = disjunct_hints nnf_formulas in
       (* Memoized base domains: seeding the map once per solve means [dom]
          never re-allocates an interval for an unbound variable in the hot
@@ -411,43 +447,541 @@ let solve_formulas ~max_steps ~rng formulas : result * Model.t option * int =
       | None -> ((if !incomplete then Unknown else Unsat), None, !steps)
       | exception Step_limit -> (Unknown, None, !steps))
 
+(* ------------------------------------------------------------------ *)
+(* Canonical constraint-set keys.
+
+   A solve is keyed by an alpha-renamed serialization of its assertion
+   list: variables are numbered by first occurrence and identified only by
+   that index plus their domain bounds, so two constraint sets that differ
+   only in variable identities (the common case — Algorithm 1 mints fresh
+   attribute variables for every insertion attempt) share a key.  The full
+   string is used as the cache key (no collision risk) and its hash seeds
+   the search rng, which makes solving a pure function of the constraint
+   set — the foundation for both the canonical cache and the bit-identical
+   cache-on/cache-off guarantee. *)
+
+let canonical_key ~max_steps (fs : Formula.t list) : string * Expr.var list =
+  let buf = Buffer.create 256 in
+  Buffer.add_char buf 'S';
+  Buffer.add_string buf (string_of_int max_steps);
+  Buffer.add_char buf ';';
+  let idx : (int, int) Hashtbl.t = Hashtbl.create 32 in
+  let order = ref [] in
+  let add_int n = Buffer.add_string buf (string_of_int n) in
+  let var (v : Expr.var) =
+    match Hashtbl.find_opt idx v.id with
+    | Some i ->
+        Buffer.add_char buf 'v';
+        add_int i
+    | None ->
+        let i = Hashtbl.length idx in
+        Hashtbl.add idx v.id i;
+        order := v :: !order;
+        Buffer.add_char buf 'v';
+        add_int i;
+        Buffer.add_char buf ':';
+        add_int v.lo;
+        Buffer.add_char buf ':';
+        add_int v.hi
+  in
+  let rec expr (e : Expr.t) =
+    match e with
+    | Const n ->
+        Buffer.add_char buf '#';
+        add_int n
+    | Var v -> var v
+    | Add (a, b) -> bin '+' a b
+    | Sub (a, b) -> bin '-' a b
+    | Mul (a, b) -> bin '*' a b
+    | Div (a, b) -> bin '/' a b
+    | Mod (a, b) -> bin '%' a b
+    | Neg a ->
+        Buffer.add_string buf "(n";
+        expr a;
+        Buffer.add_char buf ')'
+    | Min (a, b) -> bin 'm' a b
+    | Max (a, b) -> bin 'M' a b
+  and bin c a b =
+    Buffer.add_char buf '(';
+    Buffer.add_char buf c;
+    expr a;
+    Buffer.add_char buf ' ';
+    expr b;
+    Buffer.add_char buf ')'
+  in
+  let rec form (f : Formula.t) =
+    match f with
+    | True -> Buffer.add_char buf 'T'
+    | False -> Buffer.add_char buf 'F'
+    | Cmp (c, a, b) ->
+        Buffer.add_char buf '(';
+        Buffer.add_string buf
+          (match c with Eq -> "=" | Ne -> "!=" | Le -> "<=" | Lt -> "<");
+        expr a;
+        Buffer.add_char buf ' ';
+        expr b;
+        Buffer.add_char buf ')'
+    | And gs ->
+        Buffer.add_string buf "(&";
+        List.iter form gs;
+        Buffer.add_char buf ')'
+    | Or gs ->
+        Buffer.add_string buf "(|";
+        List.iter form gs;
+        Buffer.add_char buf ')'
+    | Not g ->
+        Buffer.add_string buf "(!";
+        form g;
+        Buffer.add_char buf ')'
+  in
+  List.iter
+    (fun f ->
+      form f;
+      Buffer.add_char buf ';')
+    fs;
+  (Buffer.contents buf, List.rev !order)
+
+let hash_key (s : string) =
+  let h = ref 5381 in
+  String.iter (fun c -> h := ((!h lsl 5) + !h) lxor Char.code c) s;
+  !h land max_int
+
+(* ------------------------------------------------------------------ *)
+(* Canonical solve cache (L2): a domain-local bounded LRU mapping the
+   canonical key of a constraint set to its solve outcome.  Domain-local
+   tables mean parallel-pool workers never contend and never need locks. *)
+
+module Lru = struct
+  type entry = { e_result : result; e_steps : int; e_values : int array }
+
+  type node = {
+    n_key : string;
+    n_entry : entry;
+    mutable prev : node option;
+    mutable next : node option;
+  }
+
+  type t = {
+    tbl : (string, node) Hashtbl.t;
+    mutable head : node option;  (* most recently used *)
+    mutable tail : node option;
+    mutable cap : int;
+  }
+
+  let create cap = { tbl = Hashtbl.create 256; head = None; tail = None; cap }
+
+  let unlink t n =
+    (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+    (match n.next with Some q -> q.prev <- n.prev | None -> t.tail <- n.prev);
+    n.prev <- None;
+    n.next <- None
+
+  let push_front t n =
+    n.next <- t.head;
+    n.prev <- None;
+    (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+    t.head <- Some n
+
+  let find t key =
+    match Hashtbl.find_opt t.tbl key with
+    | None -> None
+    | Some n ->
+        unlink t n;
+        push_front t n;
+        Some n.n_entry
+
+  let evict_tail t =
+    match t.tail with
+    | None -> false
+    | Some n ->
+        unlink t n;
+        Hashtbl.remove t.tbl n.n_key;
+        true
+
+  (* Returns the number of entries evicted to make room. *)
+  let add t key entry =
+    if t.cap <= 0 then 0
+    else begin
+      (match Hashtbl.find_opt t.tbl key with
+      | Some old ->
+          unlink t old;
+          Hashtbl.remove t.tbl key
+      | None -> ());
+      let n = { n_key = key; n_entry = entry; prev = None; next = None } in
+      push_front t n;
+      Hashtbl.replace t.tbl key n;
+      let ev = ref 0 in
+      while Hashtbl.length t.tbl > t.cap do
+        if evict_tail t then incr ev
+      done;
+      !ev
+    end
+
+  let clear t =
+    Hashtbl.reset t.tbl;
+    t.head <- None;
+    t.tail <- None
+
+  let size t = Hashtbl.length t.tbl
+end
+
+type dcache = {
+  lru : Lru.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let default_cache_capacity = 4096
+
+let dcache_key =
+  Domain.DLS.new_key (fun () ->
+      { lru = Lru.create default_cache_capacity; hits = 0; misses = 0;
+        evictions = 0 })
+
+let dcache () = Domain.DLS.get dcache_key
+
+(* The enable flag is global (an atomic read per solve) so one CLI switch
+   governs every worker domain; the tables themselves stay domain-local. *)
+let cache_flag = Atomic.make true
+let set_cache_enabled b = Atomic.set cache_flag b
+let cache_enabled () = Atomic.get cache_flag
+
+let set_cache_capacity n =
+  let dc = dcache () in
+  dc.lru.Lru.cap <- max 0 n;
+  let ev = ref 0 in
+  while Lru.size dc.lru > dc.lru.Lru.cap do
+    if Lru.evict_tail dc.lru then incr ev
+  done;
+  dc.evictions <- dc.evictions + !ev
+
+type cache_stats = {
+  cs_size : int;
+  cs_capacity : int;
+  cs_hits : int;
+  cs_misses : int;
+  cs_evictions : int;
+}
+
+let cache_stats () =
+  let dc = dcache () in
+  {
+    cs_size = Lru.size dc.lru;
+    cs_capacity = dc.lru.Lru.cap;
+    cs_hits = dc.hits;
+    cs_misses = dc.misses;
+    cs_evictions = dc.evictions;
+  }
+
+let cache_clear () =
+  let dc = dcache () in
+  Lru.clear dc.lru;
+  dc.hits <- 0;
+  dc.misses <- 0;
+  dc.evictions <- 0
+
+(* ------------------------------------------------------------------ *)
+(* Model reuse: before solving, try to extend the previous model to the
+   current assertions (unseen variables take their lower bound).  This is
+   the interval-solver analogue of a warm-started incremental SMT check:
+   most successful [try_add_constraints] probes add constraints the current
+   model already satisfies.  It runs whether or not the cache is enabled —
+   it is part of the solving algorithm, so enabling the cache cannot change
+   which model is found. *)
+
+let reuse_model cached fs =
+  match cached with
+  | None -> None
+  | Some m ->
+      let extra : (int, Expr.var * int) Hashtbl.t = Hashtbl.create 8 in
+      let env (v : Expr.var) =
+        match Model.find m v with
+        | Some n -> n
+        | None -> (
+            match Hashtbl.find_opt extra v.id with
+            | Some (_, n) -> n
+            | None ->
+                Hashtbl.add extra v.id (v, v.lo);
+                v.lo)
+      in
+      if List.for_all (Formula.eval env) fs then
+        Some (Hashtbl.fold (fun _ (v, n) acc -> Model.add v n acc) extra m)
+      else None
+
+(* ------------------------------------------------------------------ *)
+(* Connected components.
+
+   Satisfiability of a conjunction decomposes exactly over the connected
+   components of its constraint graph (formulas are nodes, shared
+   variables are edges): the whole set is Sat iff every component is, and
+   the full model is the union of the component models.  Solving per
+   component keeps propagation local — the accumulated assertion set of a
+   10-op graph no longer makes every probe pay for all 100+ atoms — and
+   makes canonical keys component-local, so the same op/placeholder
+   constraint shapes recur across unrelated graphs and hit the cache. *)
+
+(* Domain-local memo of each formula's variable list, keyed by physical
+   identity: frames persist across checks, so the same formula is asked
+   for its variables hundreds of times. *)
+module FPhys = Hashtbl.Make (struct
+  type t = Formula.t
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+let fvars_key = Domain.DLS.new_key (fun () -> FPhys.create 1024)
+
+let fvars (f : Formula.t) : Expr.var list =
+  let tbl = Domain.DLS.get fvars_key in
+  match FPhys.find_opt tbl f with
+  | Some vs -> vs
+  | None ->
+      let vs = Formula.vars f in
+      if FPhys.length tbl > 65536 then FPhys.reset tbl;
+      FPhys.add tbl f vs;
+      vs
+
+(* Partition into components, deterministically: components are ordered by
+   the first formula that belongs to them, formulas keep their original
+   order within a component, and variable-free formulas form one bucket. *)
+let components (fs : Formula.t list) : Formula.t list list =
+  let parent : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let rec find x =
+    match Hashtbl.find_opt parent x with
+    | None ->
+        Hashtbl.add parent x x;
+        x
+    | Some p when p = x -> x
+    | Some p ->
+        let r = find p in
+        Hashtbl.replace parent x r;
+        r
+  in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then Hashtbl.replace parent ra rb
+  in
+  let with_vars = List.map (fun f -> (f, fvars f)) fs in
+  List.iter
+    (fun (_, vs) ->
+      match vs with
+      | [] -> ()
+      | (v0 : Expr.var) :: rest ->
+          List.iter (fun (v : Expr.var) -> union v0.id v.id) rest)
+    with_vars;
+  (* -1 = the variable-free bucket *)
+  let buckets : (int, Formula.t list) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (f, vs) ->
+      let key = match vs with [] -> -1 | (v : Expr.var) :: _ -> find v.id in
+      match Hashtbl.find_opt buckets key with
+      | Some fs' -> Hashtbl.replace buckets key (f :: fs')
+      | None ->
+          order := key :: !order;
+          Hashtbl.add buckets key [ f ])
+    with_vars;
+  List.rev_map (fun key -> List.rev (Hashtbl.find buckets key)) !order
+
+(* Rebuild a model for [vars] from the canonical value vector of a cached
+   Sat result; by alpha-renaming invariance the remapped model satisfies
+   the current constraint set, which [Formula.eval] re-verifies cheaply as
+   insurance (a failed verification falls back to a fresh solve). *)
+let hydrate_entry (e : Lru.entry) vars fs :
+    (result * Model.t option * int) option =
+  match e.Lru.e_result with
+  | Unsat | Unknown -> Some (e.e_result, None, e.e_steps)
+  | Sat ->
+      if List.length vars <> Array.length e.e_values then None
+      else
+        let m, _ =
+          List.fold_left
+            (fun (m, i) v -> (Model.add v e.e_values.(i) m, i + 1))
+            (Model.empty, 0) vars
+        in
+        if List.for_all (Model.eval_formula m) fs then
+          Some (Sat, Some m, e.e_steps)
+        else None
+
 let check s =
   Tel.with_span "smt/check" (fun () ->
       Tel.incr "smt/check";
       let t0 = if Tel.is_enabled () then Tel.now_ms () else 0. in
-      let result, m, steps =
-        solve_formulas ~max_steps:s.max_steps ~rng:s.rng (assertions s)
+      let fs = assertions s in
+      let finish ~bucket result =
+        if Tel.is_enabled () then begin
+          let dt = Tel.now_ms () -. t0 in
+          Tel.observe "smt/solve_ms" dt;
+          Tel.observe ("smt/solve_ms/" ^ bucket) dt;
+          Tel.observe
+            ("smt/solve_ms/" ^ bucket ^ "_"
+            ^ (match result with
+              | Sat -> "sat"
+              | Unsat -> "unsat"
+              | Unknown -> "unknown"))
+            dt;
+          Tel.observe "smt/steps" (float_of_int s.last_steps);
+          match result with
+          | Unknown -> Tel.incr "smt/unknown"
+          | Unsat -> Tel.incr "smt/unsat"
+          | Sat -> Tel.incr "smt/sat"
+        end;
+        result
       in
-      s.last_steps <- steps;
-      (match m with Some _ -> s.cached_model <- m | None -> ());
-      if Tel.is_enabled () then begin
-        Tel.observe "smt/solve_ms" (Tel.now_ms () -. t0);
-        Tel.observe "smt/steps" (float_of_int steps);
-        match result with
-        | Unknown -> Tel.incr "smt/unknown"
-        | Unsat -> Tel.incr "smt/unsat"
-        | Sat -> Tel.incr "smt/sat"
-      end;
-      result)
+      match reuse_model s.cached_model fs with
+      | Some m ->
+          s.cached_model <- Some m;
+          s.last_steps <- 0;
+          Tel.incr "smt/model_reuse";
+          finish ~bucket:"hit" Sat
+      | None ->
+          let dc = dcache () in
+          (* Solve one component: L2 lookup first, fresh solve + store on a
+             miss.  Returns whether the component was answered from cache
+             so the whole check can be bucketed hit/miss honestly. *)
+          let solve_component comp : result * Model.t option * int * bool =
+            let key, vars = canonical_key ~max_steps:s.max_steps comp in
+            let cached =
+              if cache_enabled () then
+                match Lru.find dc.lru key with
+                | Some e -> hydrate_entry e vars comp
+                | None -> None
+              else None
+            in
+            match cached with
+            | Some (result, m, steps) ->
+                dc.hits <- dc.hits + 1;
+                Tel.incr "smt/cache/hit_canon";
+                (result, m, steps, true)
+            | None ->
+                dc.misses <- dc.misses + 1;
+                Tel.incr "smt/cache/miss";
+                let rng = Random.State.make [| hash_key key |] in
+                let result, m, steps =
+                  solve_formulas ~max_steps:s.max_steps ~rng ~vars comp
+                in
+                if cache_enabled () then begin
+                  let values =
+                    match m with
+                    | Some m ->
+                        Array.of_list
+                          (List.map
+                             (fun v ->
+                               match Model.find m v with
+                               | Some n -> n
+                               | None -> v.Expr.lo)
+                             vars)
+                    | None -> [||]
+                  in
+                  let ev =
+                    Lru.add dc.lru key
+                      {
+                        Lru.e_result = result;
+                        e_steps = steps;
+                        e_values = values;
+                      }
+                  in
+                  if ev > 0 then begin
+                    dc.evictions <- dc.evictions + ev;
+                    Tel.incr ~by:ev "smt/cache/evict"
+                  end
+                end;
+                (result, m, steps, false)
+          in
+          (* Components are solved in deterministic order; the first
+             non-Sat one decides the verdict.  Component models are
+             variable-disjoint, so their union satisfies the whole set. *)
+          let rec go model steps all_hit = function
+            | [] -> (Sat, Some model, steps, all_hit)
+            | comp :: rest -> (
+                match solve_component comp with
+                | Sat, m, st, hit ->
+                    let model =
+                      match m with
+                      | None -> model
+                      | Some m ->
+                          List.fold_left
+                            (fun acc (v, n) -> Model.add v n acc)
+                            model (Model.bindings m)
+                    in
+                    go model (steps + st) (all_hit && hit) rest
+                | result, _, st, hit -> (result, None, steps + st, all_hit && hit))
+          in
+          let result, m, steps, all_hit = go Model.empty 0 true (components fs) in
+          s.last_steps <- steps;
+          (match m with Some _ -> s.cached_model <- m | None -> ());
+          finish ~bucket:(if all_hit then "hit" else "miss") result)
+
+(* Record a [try_add_constraints] outcome in the solver's L1 frame cache:
+   keyed by the frame-stack epoch the probe ran against plus the normalized
+   probe constraints.  Algorithm 1 re-probes the same frame with the same
+   candidate constraints whenever generation stalls, so this turns the
+   whole push/solve/pop round-trip into one table lookup. *)
+let l1_record s epoch fs result =
+  if cache_enabled () then begin
+    if Hashtbl.length s.l1 >= l1_capacity then Hashtbl.reset s.l1;
+    let entry =
+      {
+        l1_result = result;
+        l1_steps = s.last_steps;
+        l1_model = (match result with Sat -> s.cached_model | _ -> None);
+      }
+    in
+    Hashtbl.replace s.l1 (epoch, fs) entry
+  end
 
 let try_add_constraints s fs =
-  push s;
-  assert_all s fs;
-  match check s with
-  | Sat ->
-      (* merge the tentative frame into its parent so the constraints stay *)
-      (match s.frames with
-      | tentative :: parent :: rest -> s.frames <- (tentative @ parent) :: rest
-      | [] | [ _ ] -> assert false);
-      true
-  | Unsat | Unknown ->
-      pop s;
-      false
+  let fs = Formula.normalize fs in
+  let hit =
+    if cache_enabled () then Hashtbl.find_opt s.l1 (s.epoch, fs) else None
+  in
+  match hit with
+  | Some e -> (
+      let dc = dcache () in
+      dc.hits <- dc.hits + 1;
+      Tel.incr "smt/cache/hit_frame";
+      s.last_steps <- e.l1_steps;
+      match e.l1_result with
+      | Sat ->
+          (match e.l1_model with
+          | Some m -> s.cached_model <- Some m
+          | None -> ());
+          (match s.frames with
+          | top :: rest -> s.frames <- List.rev_append fs top :: rest
+          | [] -> assert false);
+          s.epoch <- fresh_epoch s;
+          true
+      | Unsat | Unknown -> false)
+  | None -> (
+      let epoch0 = s.epoch in
+      push s;
+      assert_all s fs;
+      match check s with
+      | Sat ->
+          (* merge the tentative frame into its parent so the constraints
+             stay; drop (without restoring) the epoch saved by [push] since
+             the merged content is a new state *)
+          (match s.frames with
+          | tentative :: parent :: rest ->
+              s.frames <- (tentative @ parent) :: rest
+          | [] | [ _ ] -> assert false);
+          (match s.epoch_stack with
+          | _ :: es -> s.epoch_stack <- es
+          | [] -> ());
+          s.epoch <- fresh_epoch s;
+          l1_record s epoch0 fs Sat;
+          true
+      | (Unsat | Unknown) as r ->
+          pop s;
+          l1_record s epoch0 fs r;
+          false)
 
 let model s = s.cached_model
 let check_steps s = s.last_steps
 
-let solve ?max_steps ?seed formulas =
-  let s = create ?max_steps ?seed () in
+let solve ?max_steps ?seed:_ formulas =
+  let s = create ?max_steps () in
   assert_all s formulas;
   match check s with Sat -> model s | Unsat | Unknown -> None

@@ -7,7 +7,24 @@
     bounded backtracking search.  The search tries the lower bound of a
     domain first, so unconstrained dimensions concretise to their minimum;
     this reproduces the boundary-value model bias the paper observed in Z3
-    and motivates attribute binning (Algorithm 2). *)
+    and motivates attribute binning (Algorithm 2).
+
+    Solving is a pure function of the constraint set: search randomness is
+    derived from an alpha-renamed canonical serialization of the assertions,
+    so two structurally identical (up to variable identity) constraint sets
+    always solve to the same result, on any domain.  This purity backs a
+    two-level solve cache:
+
+    - an {e L1 frame cache} per solver, keyed by (frame-stack state, probed
+      constraints), that short-circuits repeated {!try_add_constraints}
+      probes against the same graph state; and
+    - an {e L2 canonical cache} per domain — a bounded LRU keyed by the
+      canonical serialization — that short-circuits isomorphic solves across
+      solvers, tests and campaign shards.  Tables are domain-local, so
+      parallel-pool workers never contend.
+
+    Caching is semantically invisible: with the cache on or off, the same
+    campaign produces bit-identical models, verdicts and failure keys. *)
 
 type t
 
@@ -17,7 +34,8 @@ type result = Sat | Unsat | Unknown
 
 val create : ?max_steps:int -> ?seed:int -> unit -> t
 (** [max_steps] bounds the number of search-node expansions per [check]
-    (default 2000). *)
+    (default 2000).  [seed] is accepted for compatibility but no longer
+    influences results: search randomness is content-derived (see above). *)
 
 val push : t -> unit
 val pop : t -> unit
@@ -32,18 +50,53 @@ val assertions : t -> Formula.t list
 (** All currently asserted formulas. *)
 
 val check : t -> result
-(** Decide the conjunction of all assertions; caches the model on [Sat]. *)
+(** Decide the conjunction of all assertions; caches the model on [Sat].
+    Consults, in order: model reuse (extend the previous model — always on),
+    the L2 canonical cache, and finally interval propagation + search. *)
 
 val try_add_constraints : t -> Formula.t list -> bool
-(** The operation Algorithm 1 relies on: tentatively assert the formulas and
-    check; on [Sat] they are kept (and the model cached), otherwise the
-    solver state is rolled back and the result is [false]. *)
+(** The operation Algorithm 1 relies on: tentatively assert the formulas
+    (normalized via {!Formula.normalize}) and check; on [Sat] they are kept
+    (and the model cached), otherwise the solver state is rolled back and
+    the result is [false].  Outcomes are memoized in the solver's L1 frame
+    cache, so re-probing the same constraints against the same frame state
+    is a table lookup. *)
 
 val model : t -> Model.t option
 (** Model from the most recent successful [check]/[try_add_constraints]. *)
 
 val check_steps : t -> int
-(** Search-node expansions performed by the last [check] (for benchmarks). *)
+(** Search-node expansions performed by the last [check] (for benchmarks).
+    [0] when the check was answered by model reuse or a cache hit. *)
 
 val solve : ?max_steps:int -> ?seed:int -> Formula.t list -> Model.t option
 (** One-shot convenience wrapper. *)
+
+(** {1 Solve cache control}
+
+    The L2 cache is per-domain; capacity/stats/clear act on the calling
+    domain's table.  The enable flag is global so one switch (the CLI's
+    [--no-solver-cache]) governs every worker domain. *)
+
+val set_cache_enabled : bool -> unit
+(** Enable/disable both cache levels globally (default: enabled).  Model
+    reuse stays on either way — results are bit-identical in both modes,
+    only the time to produce them changes. *)
+
+val cache_enabled : unit -> bool
+
+val set_cache_capacity : int -> unit
+(** Resize the calling domain's L2 LRU (default 4096 entries), evicting
+    least-recently-used entries if needed. *)
+
+type cache_stats = {
+  cs_size : int;  (** live entries in this domain's L2 table *)
+  cs_capacity : int;
+  cs_hits : int;  (** L1 + L2 hits recorded on this domain *)
+  cs_misses : int;  (** full solves recorded on this domain *)
+  cs_evictions : int;
+}
+
+val cache_stats : unit -> cache_stats
+val cache_clear : unit -> unit
+(** Drop the calling domain's L2 entries and reset its stats. *)

@@ -392,6 +392,40 @@ let prop_binning_ranges_respected =
               | _ -> true)
             (Graph.nodes g))
 
+(* The solve cache must be invisible to fuzzing outcomes: a fixed-seed
+   campaign yields bit-identical failure keys and verdict tallies with
+   the cache on or off, at one worker or two. *)
+let test_cache_transparent_campaign () =
+  let check = Alcotest.(check bool) in
+  let module D = Nnsmith_difftest in
+  let module S = Nnsmith_smt.Solver in
+  let was = S.cache_enabled () in
+  Nnsmith_faults.Faults.activate_all ();
+  Fun.protect
+    ~finally:(fun () ->
+      Nnsmith_faults.Faults.deactivate_all ();
+      S.set_cache_enabled was)
+    (fun () ->
+      let run ~cache ~jobs =
+        S.set_cache_enabled cache;
+        S.cache_clear ();
+        let r =
+          D.Pfuzz.fuzz ~jobs ~systems:[ D.Systems.lotus ] ~root_seed:20230325
+            ~budget:(Nnsmith_parallel.Pool.Tests 16) ()
+        in
+        (r.r_failure_keys, List.sort compare r.r_verdicts)
+      in
+      let reference = run ~cache:false ~jobs:1 in
+      check "reference campaign found failures" true
+        (fst reference <> []);
+      List.iter
+        (fun (cache, jobs) ->
+          let got = run ~cache ~jobs in
+          check
+            (Printf.sprintf "cache=%b jobs=%d matches reference" cache jobs)
+            true (got = reference))
+        [ (true, 1); (false, 2); (true, 2) ])
+
 let () =
   Alcotest.run "props"
     [
@@ -407,13 +441,15 @@ let () =
             prop_concat_then_slice;
           ] );
       ( "pipeline",
-        List.map QCheck_alcotest.to_alcotest
-          [
-            prop_runtime_types_match_declared;
-            prop_compilers_agree_with_reference;
-            prop_serial_roundtrip_generated;
-            prop_binning_ranges_respected;
-          ] );
+        Alcotest.test_case "solve cache transparent to campaigns" `Quick
+          test_cache_transparent_campaign
+        :: List.map QCheck_alcotest.to_alcotest
+             [
+               prop_runtime_types_match_declared;
+               prop_compilers_agree_with_reference;
+               prop_serial_roundtrip_generated;
+               prop_binning_ranges_respected;
+             ] );
       ( "serialization",
         Alcotest.test_case "serial round-trips every op kind" `Quick
           test_serial_every_op

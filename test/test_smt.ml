@@ -328,6 +328,129 @@ let qcheck_solver_sound =
       | None -> true (* UNSAT/unknown claims are not checked here *)
       | Some m -> List.for_all (M.eval_formula m) fs)
 
+(* ------------------------------------------------------------------ *)
+(* Solve cache                                                         *)
+
+(* Run [f] with the cache in a known-clean enabled state and restore the
+   global flag and this domain's capacity afterwards. *)
+let with_clean_cache f =
+  let was = S.cache_enabled () in
+  let cap = (S.cache_stats ()).cs_capacity in
+  S.set_cache_enabled true;
+  S.cache_clear ();
+  Fun.protect
+    ~finally:(fun () ->
+      S.set_cache_capacity cap;
+      S.cache_clear ();
+      S.set_cache_enabled was)
+    f
+
+(* A small family of mutually distinct single-component systems. *)
+let sys_n n =
+  let x = E.fresh "x" and y = E.fresh "y" in
+  F.[ E.(x + y) = E.int (10 + n); x <= y; E.one <= x ]
+
+let test_cache_lru_eviction () =
+  with_clean_cache (fun () ->
+      S.set_cache_capacity 4;
+      List.iter (fun n -> ignore (S.solve (sys_n n))) (List.init 10 Fun.id);
+      let st = S.cache_stats () in
+      check "bounded" true (st.cs_size <= 4);
+      check "evicted" true (st.cs_evictions >= 6);
+      (* most recent keys survive, the oldest were evicted *)
+      let h0 = (S.cache_stats ()).cs_hits in
+      ignore (S.solve (sys_n 9));
+      check "recent key resident" true ((S.cache_stats ()).cs_hits = h0 + 1);
+      let m0 = (S.cache_stats ()).cs_misses in
+      ignore (S.solve (sys_n 0));
+      check "oldest key evicted" true ((S.cache_stats ()).cs_misses = m0 + 1))
+
+let test_cache_cross_domain_isolation () =
+  with_clean_cache (fun () ->
+      ignore (S.solve (sys_n 3));
+      let main_before = S.cache_stats () in
+      check "main domain populated" true (main_before.cs_size > 0);
+      let spawned =
+        Domain.spawn (fun () ->
+            let empty = S.cache_stats () in
+            (* same system solved in a fresh domain must be a miss: the
+               tables are domain-local, not shared *)
+            ignore (S.solve (sys_n 3));
+            let after = S.cache_stats () in
+            (empty.cs_size, after.cs_hits, after.cs_misses))
+        |> Domain.join
+      in
+      let empty_size, d_hits, d_misses = spawned in
+      check_int "spawned domain starts empty" 0 empty_size;
+      check_int "spawned domain had no hits" 0 d_hits;
+      check "spawned domain solved fresh" true (d_misses > 0);
+      let main_after = S.cache_stats () in
+      check_int "main domain unaffected" main_before.cs_size
+        main_after.cs_size)
+
+let test_cache_on_off_identical_models () =
+  with_clean_cache (fun () ->
+      let systems = List.init 8 sys_n in
+      let models enabled =
+        S.set_cache_enabled enabled;
+        List.map
+          (fun fs ->
+            match S.solve fs with
+            | None -> Alcotest.fail "expected Sat"
+            | Some m ->
+                List.map (fun ((v : E.var), n) -> (v.id, n)) (M.bindings m))
+          systems
+      in
+      let off = models false in
+      let on_cold = models true in
+      let on_warm = models true in
+      (* second cache-on pass is answered from cache *)
+      check "warm pass hit the cache" true ((S.cache_stats ()).cs_hits > 0);
+      check "cache-off = cache-on (cold)" true (off = on_cold);
+      check "cache-off = cache-on (warm)" true (off = on_warm))
+
+let test_cache_l1_frame_hit () =
+  with_clean_cache (fun () ->
+      let x = E.fresh "x" and y = E.fresh "y" in
+      let s = S.create () in
+      S.assert_all s F.[ E.(x + y) = E.int 10; x <= y ];
+      check "base sat" true (S.check s = S.Sat);
+      let probe = F.[ y < x ] in
+      let before = List.length (S.assertions s) in
+      check "probe rejected" false (S.try_add_constraints s probe);
+      let st1 = S.cache_stats () in
+      (* identical probe against the unchanged frame: L1 answers it *)
+      check "re-probe rejected" false (S.try_add_constraints s probe);
+      let st2 = S.cache_stats () in
+      check_int "re-probe was a pure hit" (st1.cs_hits + 1) st2.cs_hits;
+      check_int "re-probe did not solve" st1.cs_misses st2.cs_misses;
+      check_int "frame unchanged" before (List.length (S.assertions s)))
+
+let test_model_reuse_zero_steps () =
+  with_clean_cache (fun () ->
+      let x = E.fresh "x" and y = E.fresh "y" in
+      let s = S.create () in
+      S.assert_all s F.[ E.(x + y) = E.int 10; x <= y ];
+      check "base sat" true (S.check s = S.Sat);
+      (* the current model already satisfies this probe: no search runs *)
+      check "compatible probe accepted" true
+        (S.try_add_constraints s F.[ E.one <= y ]);
+      check_int "answered by model reuse" 0 (S.check_steps s))
+
+let test_component_decomposition () =
+  (* variable-disjoint subsystems are solved independently: an Unsat
+     island sinks the whole set, and Sat islands compose into one model *)
+  let x = E.fresh "x" and y = E.fresh "y" and a = E.fresh "a" in
+  let sat_part = F.[ E.(x + y) = E.int 10; x <= y ] in
+  check "unsat island detected" true
+    (S.solve (sat_part @ F.[ a = E.int 5; a = E.int 6 ]) = None);
+  match S.solve (sat_part @ F.[ a = E.int 5 ]) with
+  | None -> Alcotest.fail "expected Sat"
+  | Some m ->
+      let fs = sat_part @ F.[ a = E.int 5 ] in
+      check "composed model satisfies all" true
+        (List.for_all (M.eval_formula m) fs)
+
 let () =
   let tc = Alcotest.test_case in
   Alcotest.run "smt"
@@ -372,5 +495,14 @@ let () =
           tc "interleaved solvers" `Quick test_interleaved_solvers;
           tc "concurrent domains" `Quick test_concurrent_domain_solves;
           QCheck_alcotest.to_alcotest qcheck_solver_sound;
+        ] );
+      ( "cache",
+        [
+          tc "lru eviction" `Quick test_cache_lru_eviction;
+          tc "cross-domain isolation" `Quick test_cache_cross_domain_isolation;
+          tc "on/off identical models" `Quick test_cache_on_off_identical_models;
+          tc "l1 frame hit" `Quick test_cache_l1_frame_hit;
+          tc "model reuse zero steps" `Quick test_model_reuse_zero_steps;
+          tc "component decomposition" `Quick test_component_decomposition;
         ] );
     ]

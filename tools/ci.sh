@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Repo CI gate — one command, non-zero exit on any failure:
+#
+#   build+tests   dune build @ci         (whole tree + every test suite)
+#   bench smoke   bench/main.exe --only solver_cache  (appends a row to
+#                 BENCH_solver.json; fails on cache-on/off graph drift)
+#   perf gate     bench/main.exe regress (>15% tests/sec drop fails)
+#   style         no tabs / trailing whitespace; new lib modules need .mli
+#   hygiene       no tracked _build/, CHANGES.md updated alongside HEAD
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+note() { printf '\nci: == %s ==\n' "$*"; }
+err() { printf 'ci: FAIL: %s\n' "$*" >&2; fail=1; }
+
+note "dune build @ci (build + runtest)"
+dune build @ci || err "dune build @ci failed"
+
+note "bench smoke (solver cache)"
+dune exec bench/main.exe -- --only solver_cache --budget 400 \
+  || err "solver-cache bench smoke failed"
+
+note "bench regress"
+dune exec bench/main.exe -- regress \
+  || err "tests/sec regressed beyond threshold"
+
+note "style gate"
+tracked_src=$(git ls-files '*.ml' '*.mli' 'dune' '*/dune' 'dune-project')
+ws=$(echo "$tracked_src" | xargs grep -l -E ' +$' 2>/dev/null)
+[ -z "$ws" ] || err "trailing whitespace in: $ws"
+tab=$(printf '\t')
+tabs=$(echo "$tracked_src" | xargs grep -l "$tab" 2>/dev/null)
+[ -z "$tabs" ] || err "tab characters in: $tabs"
+
+# Every lib module needs an interface; modules that predate the gate are
+# frozen here — do not add to this list, write the .mli instead.
+mli_allowlist="
+lib/ir/op.ml
+lib/ir/serial.ml
+lib/ir/ttype.ml
+lib/ops/shapegen.ml
+lib/ops/spec.ml
+lib/ops/tpl_elementwise.ml
+lib/ops/tpl_nn.ml
+lib/ops/tpl_shape.ml
+lib/ortlike/compiler.ml
+lib/ortlike/ir.ml
+lib/tvmlike/compiler.ml
+lib/tvmlike/lower.ml
+lib/tvmlike/rir.ml
+lib/tvmlike/tir.ml
+"
+for f in $(git ls-files 'lib/*/*.ml'); do
+  case "$mli_allowlist" in
+    *"$f"*) continue ;;
+  esac
+  [ -f "${f}i" ] || err "lib module without interface: $f (add ${f}i)"
+done
+
+note "repo hygiene"
+if git ls-files | grep -q '^_build/'; then
+  err "_build/ artifacts are tracked"
+fi
+# CHANGES.md must ride along with every PR: either HEAD touched it or the
+# working tree holds a pending edit to it.
+if git rev-parse -q --verify HEAD^ >/dev/null 2>&1; then
+  if git diff --name-only HEAD^ HEAD | grep -qx 'CHANGES.md' \
+    || git status --porcelain -- CHANGES.md | grep -q .; then
+    :
+  else
+    err "CHANGES.md has no entry for HEAD and no pending edit"
+  fi
+fi
+
+if [ "$fail" -ne 0 ]; then
+  printf '\nci: FAILED\n'
+  exit 1
+fi
+printf '\nci: OK\n'
