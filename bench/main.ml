@@ -758,6 +758,37 @@ let bench_parallel () =
   Printf.printf "appended to BENCH_parallel.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* Shared machinery for the on/off A-B benches (solver cache, execution
+   plans): deterministic single-threaded workloads are timed in process
+   CPU ms — `bench regress` gates on these rows, and wall-clock noise
+   from a loaded CI machine must not read as a perf change. *)
+
+let cpu_ms () =
+  let t = Unix.times () in
+  (t.Unix.tms_utime +. t.Unix.tms_stime) *. 1000.
+
+(* CPU-frequency drift survives even CPU-time measurement, so each timing
+   is normalized by a fixed integer spin kernel run right next to it:
+   round_ms * (reference calib / measured calib) expresses the round at a
+   fixed calibration speed, stable across boosts, thermal throttling and
+   machines.  The reference constant only fixes the unit. *)
+let calib_reference_ms = 25.0
+
+(* The kernel allocates like the generator does (small short-lived boxes),
+   so memory-subsystem contention slows it in the same proportion and
+   normalizes away rather than reading as a perf change. *)
+let calibrate () =
+  let acc = ref 0 in
+  let t0 = cpu_ms () in
+  for i = 1 to 150_000 do
+    let l = List.init 10 (fun k -> (i + k, k * i)) in
+    acc := !acc lxor Hashtbl.hash l
+  done;
+  let dt = cpu_ms () -. t0 in
+  ignore (Sys.opaque_identity !acc);
+  Float.max 1e-3 dt
+
+(* ------------------------------------------------------------------ *)
 (* Solver cache: fixed-seed generation workload, cache on vs off,       *)
 (* appended to BENCH_solver.json.  Also asserts bit-identical graphs     *)
 (* across modes — the cache's core correctness guarantee.               *)
@@ -776,13 +807,6 @@ let bench_solver_cache () =
      is solved a second time.  The canonical cache answers the replay's
      solves (including the rare step-limit blowups that dominate solver
      time) without searching; cache-off pays for everything twice. *)
-  (* The workload is single-threaded and deterministic, so it is timed in
-     process CPU ms: `bench regress` gates on these rows, and wall-clock
-     noise from a loaded CI machine must not read as a perf change. *)
-  let cpu_ms () =
-    let t = Unix.times () in
-    (t.Unix.tms_utime +. t.Unix.tms_stime) *. 1000.
-  in
   let gen_round () =
     digest := 0;
     let t0 = cpu_ms () in
@@ -802,27 +826,6 @@ let bench_solver_cache () =
       done
     done;
     cpu_ms () -. t0
-  in
-  (* CPU-frequency drift survives even CPU-time measurement, so each
-     timing is normalized by a fixed integer spin kernel run right next to
-     it: round_ms * (reference calib / measured calib) expresses the round
-     at a fixed calibration speed, stable across boosts, thermal throttling
-     and machines.  The reference constant only fixes the unit. *)
-  let calib_reference_ms = 25.0 in
-  (* The kernel allocates like the generator does (small short-lived
-     boxes), so memory-subsystem contention slows it in the same
-     proportion and normalizes away rather than reading as a perf
-     change. *)
-  let calibrate () =
-    let acc = ref 0 in
-    let t0 = cpu_ms () in
-    for i = 1 to 150_000 do
-      let l = List.init 10 (fun k -> (i + k, k * i)) in
-      acc := !acc lxor Hashtbl.hash l
-    done;
-    let dt = cpu_ms () -. t0 in
-    ignore (Sys.opaque_identity !acc);
-    Float.max 1e-3 dt
   in
   let run enabled =
     Solver.set_cache_enabled enabled;
@@ -898,6 +901,133 @@ let bench_solver_cache () =
   output_string oc (line ^ "\n");
   close_out oc;
   Printf.printf "appended to BENCH_solver.json\n"
+
+(* ------------------------------------------------------------------ *)
+(* Execution plans: fixed-seed gradient-search workload, plans on vs     *)
+(* off, appended to BENCH_gradsearch.json.  Also asserts bit-identical   *)
+(* search outcomes across modes — the plans' core guarantee.             *)
+
+let bench_gradsearch () =
+  section
+    "Execution plans: gradient input search, plan on vs off \
+     (BENCH_gradsearch.json)";
+  let module Plan = Nnsmith_exec.Plan in
+  let module Tser = Nnsmith_tensor.Tser in
+  Faults.deactivate_all ();
+  Tel.reset ();
+  let seed = 20230325 in
+  let n = max 12 (int_of_float (!budget_ms /. 100.)) in
+  (* Workload: models whose initial random binding produces NaN/Inf — the
+     searches that actually iterate (the majority, per the paper's 56.8%
+     stat).  The model set is fixed up front so every round searches the
+     same graphs; per-graph search rngs are re-seeded each round. *)
+  let graphs =
+    let acc = ref [] and found = ref 0 and i = ref 0 in
+    while !found < n && !i < n * 50 do
+      let tseed = Nnsmith_parallel.Splitmix.derive ~root:seed ~index:!i in
+      incr i;
+      match
+        Gen.generate { Config.default with seed = tseed; max_nodes = 12 }
+      with
+      | exception Gen.Gen_failure _ -> ()
+      | g ->
+          let rng = Random.State.make [| tseed |] in
+          if Search.binding_is_bad g (Runner.random_binding rng g) then begin
+            acc := (tseed, g) :: !acc;
+            incr found
+          end
+    done;
+    List.rev !acc
+  in
+  let tests = List.length graphs in
+  if tests = 0 then begin
+    Printf.printf "no bad-init models found; skipping\n";
+    exit 0
+  end;
+  let digest = ref 0 in
+  let round () =
+    digest := 0;
+    let t0 = cpu_ms () in
+    List.iter
+      (fun (tseed, g) ->
+        let rng = Random.State.make [| tseed; 1 |] in
+        let o =
+          Search.search ~budget_ms:infinity ~max_iters:64
+            ~method_:Search.Gradient rng g
+        in
+        let h =
+          match o.Search.binding with
+          | None -> Hashtbl.hash (o.Search.iterations, o.Search.restarts)
+          | Some b ->
+              Hashtbl.hash
+                (o.Search.iterations, o.Search.restarts, Tser.encode_binding b)
+        in
+        (* mixing combiner, not xor: two searches with swapped outcomes
+           must not cancel out of the digest *)
+        digest := ((!digest * 31) + h) land max_int)
+      graphs;
+    cpu_ms () -. t0
+  in
+  let was_enabled = Plan.enabled () in
+  let run plan_on =
+    Plan.set_enabled plan_on;
+    let c0 = calibrate () in
+    let ms = round () in
+    let c1 = calibrate () in
+    (ms *. (calib_reference_ms /. ((c0 +. c1) /. 2.)), !digest)
+  in
+  ignore (run true);  (* warm up allocator and op registry *)
+  (* Interleave on/off rounds, keep the fastest of each, adaptively (same
+     estimator as the solver-cache bench: any quiet window exposes the
+     true cost; sampling stops once neither minimum improves). *)
+  let on = ref infinity and off = ref infinity in
+  let d_on = ref 0 and d_off = ref 0 in
+  let stale = ref 0 in
+  let rounds = ref 0 in
+  while !rounds < 24 && (!rounds < 6 || !stale < 6) do
+    incr rounds;
+    let first_on = !rounds land 1 = 1 in
+    let a_ms, a_d = run first_on in
+    let b_ms, b_d = run (not first_on) in
+    let (on_ms, on_d), (off_ms, off_d) =
+      if first_on then ((a_ms, a_d), (b_ms, b_d))
+      else ((b_ms, b_d), (a_ms, a_d))
+    in
+    if on_ms < !on *. 0.98 || off_ms < !off *. 0.98 then stale := 0
+    else incr stale;
+    on := Float.min !on on_ms;
+    off := Float.min !off off_ms;
+    d_on := on_d;
+    d_off := off_d
+  done;
+  Plan.set_enabled was_enabled;
+  if !d_on <> !d_off then begin
+    Printf.printf
+      "FAIL: plan-on and plan-off searches returned different outcomes \
+       (digest %d vs %d)\n"
+      !d_on !d_off;
+    exit 1
+  end;
+  Printf.printf "determinism: plan-on/off search outcomes bit-identical (digest ok)\n";
+  let on_tps = float_of_int tests /. (!on /. 1000.) in
+  let off_tps = float_of_int tests /. (!off /. 1000.) in
+  let speedup = on_tps /. Float.max 1e-9 off_tps in
+  Printf.printf "%-10s %5d searches in %7.0f norm-ms = %7.1f searches/s\n"
+    "plan-off" tests !off off_tps;
+  Printf.printf
+    "%-10s %5d searches in %7.0f norm-ms = %7.1f searches/s (%.2fx)\n"
+    "plan-on" tests !on on_tps speedup;
+  let line =
+    Printf.sprintf
+      "{\"bench\":\"gradsearch\",\"workload_tests\":%d,\"seed\":%d,\"plan_off_tests_per_sec\":%.2f,\"plan_on_tests_per_sec\":%.2f,\"speedup\":%.3f,\"tests_per_sec\":%.2f}"
+      tests seed off_tps on_tps speedup on_tps
+  in
+  let oc =
+    open_out_gen [ Open_append; Open_creat ] 0o644 "BENCH_gradsearch.json"
+  in
+  output_string oc (line ^ "\n");
+  close_out oc;
+  Printf.printf "appended to BENCH_gradsearch.json\n"
 
 (* ------------------------------------------------------------------ *)
 (* `bench regress`: the CI gate.  Compare the last BENCH_*.json row      *)
@@ -1006,6 +1136,7 @@ let experiments =
     ("corpus", corpus_throughput);
     ("parallel", bench_parallel);
     ("solver_cache", bench_solver_cache);
+    ("gradsearch", bench_gradsearch);
   ]
 
 let () =

@@ -175,6 +175,75 @@ let () =
   S.set_cache_enabled was_enabled;
   print_endline "solver cache smoke ok"
 
+(* Execution-plan wiring: over a handful of fixed-seed models, the compiled
+   plan must (a) return bit-identical gradient-search outcomes with the plan
+   on and off, and (b) produce reference outputs bitwise equal to the
+   interpreter's, including across repeated runs of one arena plan. *)
+let () =
+  let module Gen = Nnsmith_core.Gen in
+  let module Config = Nnsmith_core.Config in
+  let module Graph = Nnsmith_ir.Graph in
+  let module Nd = Nnsmith_tensor.Nd in
+  let module Runner = Nnsmith_ops.Runner in
+  let module Search = Nnsmith_grad.Search in
+  let module Plan = Nnsmith_exec.Plan in
+  Nnsmith_faults.Faults.deactivate_all ();
+  let was = Plan.enabled () in
+  let checked = ref 0 in
+  for seed = 1 to 24 do
+    match Gen.generate { Config.default with seed = seed * 17; max_nodes = 10 } with
+    | exception Gen.Gen_failure _ -> ()
+    | g ->
+        incr checked;
+        (* search outcome parity, plan on vs off *)
+        let run on =
+          Plan.set_enabled on;
+          Search.search ~budget_ms:infinity ~max_iters:32
+            ~method_:Search.Gradient
+            (Random.State.make [| seed |])
+            g
+        in
+        let a = run true and b = run false in
+        if a.Search.iterations <> b.Search.iterations then
+          die "exec smoke: seed %d iteration counts differ (%d vs %d)" seed
+            a.Search.iterations b.Search.iterations;
+        (match (a.Search.binding, b.Search.binding) with
+        | None, None -> ()
+        | Some ba, Some bb ->
+            if
+              not
+                (List.for_all2
+                   (fun (ia, ta) (ib, tb) -> ia = ib && Nd.equal ta tb)
+                   ba bb)
+            then die "exec smoke: seed %d bindings differ" seed
+        | _ -> die "exec smoke: seed %d success/failure differs" seed);
+        (* oracle parity: arena plan vs interpreter, two rounds *)
+        let binding = Runner.random_binding (Random.State.make [| seed + 1 |]) g in
+        let all = Runner.run g binding in
+        let want =
+          ( List.map
+              (fun (n : Graph.node) ->
+                (n.Graph.id, List.assoc n.Graph.id all))
+              (Graph.outputs g),
+            List.exists (fun (_, v) -> Nd.has_bad v) all )
+        in
+        let plan = Plan.build ~reuse:true g in
+        for _ = 1 to 2 do
+          let got = Plan.run_reference plan binding in
+          if snd got <> snd want then
+            die "exec smoke: seed %d bad-flag differs" seed;
+          if
+            not
+              (List.for_all2
+                 (fun (i, x) (j, y) -> i = j && Nd.equal x y)
+                 (fst want) (fst got))
+          then die "exec smoke: seed %d reference outputs differ" seed
+        done
+  done;
+  Plan.set_enabled was;
+  if !checked < 12 then die "exec smoke: only %d models generated" !checked;
+  Printf.printf "exec plan smoke ok (%d model(s) checked)\n" !checked
+
 (* Parallel wiring: a 2-domain mini-campaign must run its exact test
    budget, shard it across both workers, and find the same failure set as
    the inline single-domain run of the same root seed. *)

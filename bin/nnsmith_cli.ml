@@ -47,10 +47,26 @@ let no_cache_t =
            bit-identical either way; this only trades speed for memory — \
            useful for benchmarking and debugging).")
 
+(* ---- execution-plan escape hatch ---------------------------------- *)
+
+let apply_no_plan no_plan = Nnsmith_exec.Plan.set_enabled (not no_plan)
+
+let no_plan_t =
+  Arg.(
+    value
+    & flag
+    & info [ "no-exec-plan" ]
+        ~doc:
+          "Disable the compiled per-graph execution plans and run the \
+           gradient input search and the reference oracle through the plain \
+           interpreter (results are bit-identical either way; useful for A/B \
+           benchmarking and debugging).")
+
 (* ---- generate ----------------------------------------------------- *)
 
-let generate seed nodes count search out no_cache =
+let generate seed nodes count search out no_cache no_plan =
   apply_no_cache no_cache;
+  apply_no_plan no_plan;
   let failures = ref 0 in
   Option.iter mkdir_p out;
   for k = 0 to count - 1 do
@@ -108,7 +124,7 @@ let generate_cmd =
     (Cmd.info "generate" ~doc:"Generate valid random models and print them")
     Term.(
       const generate $ seed_t $ nodes_t $ count_t $ search_t $ gen_out_t
-      $ no_cache_t)
+      $ no_cache_t $ no_plan_t)
 
 (* ---- fuzz --------------------------------------------------------- *)
 
@@ -162,8 +178,9 @@ let print_corpus_line report_dir (r : D.Pfuzz.result) =
     report_dir
 
 let fuzz system_name budget_s tests jobs bugs seed telemetry report_dir
-    no_cache =
+    no_cache no_plan =
   apply_no_cache no_cache;
+  apply_no_plan no_plan;
   match system_of_name system_name with
   | None ->
       Printf.eprintf "unknown system %s (oxrt | lotus | trt)\n" system_name;
@@ -228,7 +245,7 @@ let fuzz_cmd =
     (Cmd.info "fuzz" ~doc:"Differentially fuzz one compiler")
     Term.(
       const fuzz $ system_t $ budget_t $ tests_t $ jobs_t $ bugs_t $ seed_t
-      $ telemetry_t $ report_dir_t $ no_cache_t)
+      $ telemetry_t $ report_dir_t $ no_cache_t $ no_plan_t)
 
 (* ---- replay / triage ----------------------------------------------- *)
 
@@ -297,8 +314,9 @@ let triage_cmd =
 
 (* ---- cov ---------------------------------------------------------- *)
 
-let cov budget_s tests jobs seed telemetry no_cache =
+let cov budget_s tests jobs seed telemetry no_cache no_plan =
   apply_no_cache no_cache;
+  apply_no_plan no_plan;
   Faults.deactivate_all ();
   let write_failed = ref false in
   let generators =
@@ -351,12 +369,13 @@ let cov_cmd =
     (Cmd.info "cov" ~doc:"Coverage comparison of all fuzzers on all systems")
     Term.(
       const cov $ budget_t $ tests_t $ jobs_t $ seed_t $ telemetry_t
-      $ no_cache_t)
+      $ no_cache_t $ no_plan_t)
 
 (* ---- hunt --------------------------------------------------------- *)
 
-let hunt budget_s tests jobs seed telemetry report_dir no_cache =
+let hunt budget_s tests jobs seed telemetry report_dir no_cache no_plan =
   apply_no_cache no_cache;
+  apply_no_plan no_plan;
   Tel.reset ();
   let r =
     D.Pfuzz.hunt ~jobs ?report_dir ~root_seed:seed
@@ -382,7 +401,7 @@ let hunt_cmd =
        ~doc:"Hunt the seeded defect catalogue across all systems")
     Term.(
       const hunt $ budget_t $ tests_t $ jobs_t $ seed_t $ telemetry_t
-      $ report_dir_t $ no_cache_t)
+      $ report_dir_t $ no_cache_t $ no_plan_t)
 
 (* ---- stats -------------------------------------------------------- *)
 

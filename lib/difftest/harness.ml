@@ -5,6 +5,7 @@
 module Nd = Nnsmith_tensor.Nd
 module Graph = Nnsmith_ir.Graph
 module Runner = Nnsmith_ops.Runner
+module Plan = Nnsmith_exec.Plan
 module Faults = Nnsmith_faults.Faults
 module Tel = Nnsmith_telemetry.Telemetry
 
@@ -38,6 +39,22 @@ let worst_rel_err reference got =
       (fun acc (_, a) (_, b) -> Float.max acc (Nd.max_rel_error a b))
       0. reference got
 
+(* Reference outputs plus the §2.3 any-NaN/Inf flag.  With execution plans
+   enabled this reuses the graph's compiled arena plan across probes;
+   otherwise it interprets the graph from scratch.  Both produce
+   bit-identical outputs and raise the same exceptions. *)
+let reference_outputs (g : Graph.t) (binding : Runner.binding) :
+    (int * Nd.t) list * bool =
+  if Plan.enabled () then Plan.run_reference (Plan.for_oracle g) binding
+  else begin
+    let all_values = Runner.run g binding in
+    let any_bad = List.exists (fun (_, v) -> Nd.has_bad v) all_values in
+    ( List.map
+        (fun (n : Graph.node) -> (n.Graph.id, List.assoc n.Graph.id all_values))
+        (Graph.outputs g),
+      any_bad )
+  end
+
 (** Differentially test [g] on [system] under [binding].  The reference
     semantics come from the *pre-export* model (the "PyTorch" results);
     [exported] is what the compiler actually receives. *)
@@ -45,41 +62,37 @@ let test ?(exported : Graph.t option) (system : Systems.t) (g : Graph.t)
     (binding : Runner.binding) : verdict =
   Tel.with_span "exec/test" @@ fun () ->
   let exported = Option.value exported ~default:g in
-  match Tel.with_span "exec/reference" (fun () -> Runner.run g binding) with
+  match
+    Tel.with_span "exec/reference" (fun () -> reference_outputs g binding)
+  with
   | exception e -> Skipped ("reference failed: " ^ message_of_exn e)
-  | all_values ->
-      if List.exists (fun (_, v) -> Nd.has_bad v) all_values then
-        (* §2.3: exclude executions with internal NaN/Inf entirely *)
-        Skipped "reference produced NaN/Inf"
-      else begin
-        let reference =
-          List.map
-            (fun (n : Graph.node) -> (n.Graph.id, List.assoc n.Graph.id all_values))
-            (Graph.outputs g)
-        in
-        match system.compile_and_run Systems.O2 exported binding with
-        | exception e -> Crash (message_of_exn e)
-        | optimized ->
-            if
-              Tel.with_span "exec/compare" (fun () ->
-                  outputs_match reference optimized)
-            then Pass
-            else begin
-              (* localise: recompile without optimizations *)
-              let rel_err = worst_rel_err reference optimized in
-              match system.compile_and_run Systems.O0 exported binding with
-              | exception e -> Crash (message_of_exn e)
-              | o0 ->
-                  if
-                    Tel.with_span "exec/compare" (fun () ->
-                        outputs_match o0 optimized)
-                  then
-                    (* O0 agrees with O2: the front end (or the export) is
-                       wrong, not the optimizer *)
-                    Semantic { sem_kind = `Frontend; rel_err }
-                  else Semantic { sem_kind = `Optimization; rel_err }
-            end
-      end
+  | _, true ->
+      (* §2.3: exclude executions with internal NaN/Inf entirely *)
+      Skipped "reference produced NaN/Inf"
+  | reference, false -> begin
+      match system.compile_and_run Systems.O2 exported binding with
+      | exception e -> Crash (message_of_exn e)
+      | optimized ->
+          if
+            Tel.with_span "exec/compare" (fun () ->
+                outputs_match reference optimized)
+          then Pass
+          else begin
+            (* localise: recompile without optimizations *)
+            let rel_err = worst_rel_err reference optimized in
+            match system.compile_and_run Systems.O0 exported binding with
+            | exception e -> Crash (message_of_exn e)
+            | o0 ->
+                if
+                  Tel.with_span "exec/compare" (fun () ->
+                      outputs_match o0 optimized)
+                then
+                  (* O0 agrees with O2: the front end (or the export) is
+                     wrong, not the optimizer *)
+                  Semantic { sem_kind = `Frontend; rel_err }
+                else Semantic { sem_kind = `Optimization; rel_err }
+          end
+    end
 
 (** Cross-check two compilers against each other on the same model and
     binding — the alternative oracle design §4 argues against (it is limited

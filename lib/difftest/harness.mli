@@ -16,6 +16,15 @@ val atol : float
 
 val message_of_exn : exn -> string
 
+val reference_outputs :
+  Nnsmith_ir.Graph.t ->
+  Nnsmith_ops.Runner.binding ->
+  (int * Nnsmith_tensor.Nd.t) list * bool
+(** Reference outputs in [Graph.outputs] order, plus whether any node value
+    contained NaN/Inf (the §2.3 exclusion flag).  Uses the graph's compiled
+    arena plan when {!Nnsmith_exec.Plan.enabled}, the interpreter otherwise —
+    bit-identical either way. *)
+
 val test :
   ?exported:Nnsmith_ir.Graph.t ->
   Systems.t ->

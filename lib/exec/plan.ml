@@ -1,0 +1,1051 @@
+(** Compiled execution plans: per-graph forward-pass programs built once and
+    reused across every search iteration, restart, and difftest probe of that
+    model.
+
+    A plan replaces the interpreter's per-iteration machinery with
+    ahead-of-time decisions:
+
+    - the topological node order becomes a dense slot array (no more
+      per-iteration [Hashtbl] keyed by node id);
+    - broadcast / stride / reduction index arithmetic is materialised into
+      flat offset arrays per op at compile time;
+    - each op gets a destination-passing kernel writing into a preallocated
+      output buffer; in arena mode ({!for_oracle}) buffers whose last consumer
+      has run are recycled for later nodes of matching representation and
+      element count, so steady-state passes allocate nothing.
+
+    Bit-identity with the reference interpreter is a hard invariant: every
+    kernel is either a raw-array specialisation performing the interpreter's
+    arithmetic in the same order (see the comment above the specialised
+    kernels), delegates to the same code path {!Nnsmith_ops.Eval} uses (via
+    the shared [_into] variants), or falls back to [Eval.eval] for that node.
+    Ops whose declared types don't validate — and nodes whose runtime inputs
+    stop matching their declared types — always take the fallback, so error
+    behaviour and exotic cases match the interpreter exactly. *)
+
+module Nd = Nnsmith_tensor.Nd
+module Dtype = Nnsmith_tensor.Dtype
+module Shape = Nnsmith_tensor.Shape
+module Linalg = Nnsmith_tensor.Linalg
+module Reduce = Nnsmith_tensor.Reduce
+module Transform = Nnsmith_tensor.Transform
+module Op = Nnsmith_ir.Op
+module Graph = Nnsmith_ir.Graph
+module Conc = Nnsmith_ir.Ttype.Conc
+module Eval = Nnsmith_ops.Eval
+module Runner = Nnsmith_ops.Runner
+module Tel = Nnsmith_telemetry.Telemetry
+
+type slot = {
+  node : Graph.node;
+  in_slots : int array;
+  kernel : (Nd.t array -> Nd.t -> unit) option;
+  decl_dtype : Dtype.t;
+  decl_shape : Shape.t;
+  buffer : Nd.t;
+  ins_buf : Nd.t array;
+  is_leaf : bool;
+  mutable value : Nd.t;
+  mutable decl_ok : bool;
+  mutable valid : bool;
+}
+
+type t = {
+  graph : Graph.t;
+  slots : slot array;
+  slot_of_id : (int, int) Hashtbl.t;
+  consumers : int array array;
+  values_tbl : (int, Nd.t) Hashtbl.t;
+  visited : bool array;
+}
+
+let graph p = p.graph
+
+(* ------------------------------------------------------------------ *)
+(* Kernel compilation.                                                 *)
+
+(* [idx] turns an optional materialised index map into a read-offset
+   function; [None] is the identity (source already has the output shape). *)
+let idx = function
+  | None -> fun i -> i
+  | Some m -> fun i -> Array.unsafe_get m i
+
+(* A shape/dtype-only stand-in for kernels that validate via functions taking
+   tensors ([Linalg.conv2d_dims]); never read element-wise. *)
+let phantom dtype shape = { Nd.dtype; shape; data = Nd.F [||] }
+
+(* Specialised raw-array float kernels.
+
+   Every float tensor stores values already normalised for its dtype (each
+   write site rounds F32 through {!Dtype.round_f32}), so reading
+   [Nd.float_data] directly yields the same floats as [Nd.to_float], and
+   writing [Dtype.round_f32] (or raw, for F64) produces the same bits as
+   [Nd.set_f].  The loops below therefore drop only the per-element
+   representation dispatch and bounds checks of the generic [_into] kernels;
+   the arithmetic, iteration order and normalisation are identical, which the
+   bit-identity tests and the bench digest verify.  [unsafe_get]/[unsafe_set]
+   are sound because kernels only run once [decl_ok] has validated every
+   input against its declared dtype and shape, and all indices are derived
+   from those shapes at compile time. *)
+
+(* Copy-with-index-map for the movement ops (transpose / slice / pad /
+   expand / tile); source values are already normalised so a raw copy
+   matches [Transform.gather_into] bit-for-bit.  Non-float dtypes keep the
+   generic path. *)
+let gather_kernel dt map ~fill =
+  if Dtype.is_float dt then begin
+    let fill = Dtype.normalize_float dt fill in
+    let nm = Array.length map in
+    fun (ib : Nd.t array) dst ->
+      let x = Nd.float_data ib.(0) and o = Nd.float_data dst in
+      for i = 0 to nm - 1 do
+        let j = Array.unsafe_get map i in
+        Array.unsafe_set o i (if j >= 0 then Array.unsafe_get x j else fill)
+      done
+  end
+  else fun ib dst -> Transform.gather_into ib.(0) ~map ~fill ~dst
+
+let compile_kernel (op : int Op.t) (ins : (Dtype.t * Shape.t) array)
+    (od : Dtype.t) (os : Shape.t) : (Nd.t array -> Nd.t -> unit) option =
+  let n = Shape.numel os in
+  let arity k = if Array.length ins <> k then raise Exit in
+  let map_of k = Nd.index_map ~src:(snd ins.(k)) ~dst:os in
+  let same_shape k = Shape.equal (snd ins.(k)) os in
+  let broadcast2_is_out () =
+    match Shape.broadcast (snd ins.(0)) (snd ins.(1)) with
+    | Some s -> Shape.equal s os
+    | None -> false
+  in
+  match op with
+  | Op.Leaf _ -> None
+  | Op.Unary u ->
+      arity 1;
+      let xd = fst ins.(0) in
+      if not (same_shape 0) then None
+      else if Dtype.is_float xd then
+        if not (Dtype.equal od xd) then None
+        else
+          let f = Eval.unary_float_fn u in
+          let f64 = Dtype.equal od Dtype.F64 in
+          Some
+            (fun ib dst ->
+              let x = Nd.float_data ib.(0) and o = Nd.float_data dst in
+              if f64 then
+                for i = 0 to n - 1 do
+                  Array.unsafe_set o i (f (Array.unsafe_get x i))
+                done
+              else
+                for i = 0 to n - 1 do
+                  Array.unsafe_set o i
+                    (Dtype.round_f32 (f (Array.unsafe_get x i)))
+                done)
+      else (
+        match Eval.unary_int_fn u with
+        | Some f when Dtype.is_int xd && Dtype.equal od xd ->
+            Some
+              (fun ib dst ->
+                let x = ib.(0) in
+                for i = 0 to n - 1 do
+                  Nd.set_i dst i (f (Nd.to_int x i))
+                done)
+        | _ -> None)
+  | Op.Binary b ->
+      arity 2;
+      let xd = fst ins.(0) in
+      if not (broadcast2_is_out ()) then None
+      else if Dtype.is_float xd then
+        if not (Dtype.equal od xd) then None
+        else
+          let f = Eval.binary_float_fn b in
+          let f64 = Dtype.equal od Dtype.F64 in
+          let reader = function
+            | None -> fun (x : float array) i -> Array.unsafe_get x i
+            | Some m ->
+                fun (x : float array) i ->
+                  Array.unsafe_get x (Array.unsafe_get m i)
+          in
+          let ga = reader (map_of 0) and gb = reader (map_of 1) in
+          Some
+            (fun ib dst ->
+              let x = Nd.float_data ib.(0)
+              and y = Nd.float_data ib.(1)
+              and o = Nd.float_data dst in
+              if f64 then
+                for i = 0 to n - 1 do
+                  Array.unsafe_set o i (f (ga x i) (gb y i))
+                done
+              else
+                for i = 0 to n - 1 do
+                  Array.unsafe_set o i (Dtype.round_f32 (f (ga x i) (gb y i)))
+                done)
+      else (
+        match Eval.binary_int_fn b with
+        | Some f when Dtype.is_int xd && Dtype.equal od xd ->
+            let ia = idx (map_of 0) and ib_ = idx (map_of 1) in
+            Some
+              (fun ib dst ->
+                let x = ib.(0) and y = ib.(1) in
+                for i = 0 to n - 1 do
+                  Nd.set_i dst i (f (Nd.to_int x (ia i)) (Nd.to_int y (ib_ i)))
+                done)
+        | _ -> None)
+  | Op.Compare c ->
+      arity 2;
+      let f =
+        match c with
+        | Op.Equal -> ( = )
+        | Op.Greater -> ( > )
+        | Op.Less -> ( < )
+      in
+      if (not (broadcast2_is_out ())) || od <> Dtype.Bool then None
+      else
+        let ia = idx (map_of 0) and ib_ = idx (map_of 1) in
+        Some
+          (fun ib dst ->
+            let x = ib.(0) and y = ib.(1) in
+            for i = 0 to n - 1 do
+              Nd.set_b dst i (f (Nd.to_float x (ia i)) (Nd.to_float y (ib_ i)))
+            done)
+  | Op.Logical l ->
+      arity 2;
+      let f =
+        match l with
+        | Op.L_and -> ( && )
+        | Op.L_or -> ( || )
+        | Op.L_xor -> ( <> )
+      in
+      if
+        (not (broadcast2_is_out ()))
+        || fst ins.(0) <> Dtype.Bool
+        || fst ins.(1) <> Dtype.Bool
+        || od <> Dtype.Bool
+      then None
+      else
+        let ia = idx (map_of 0) and ib_ = idx (map_of 1) in
+        Some
+          (fun ib dst ->
+            let x = ib.(0) and y = ib.(1) in
+            for i = 0 to n - 1 do
+              Nd.set_b dst i (f (Nd.get_b x (ia i)) (Nd.get_b y (ib_ i)))
+            done)
+  | Op.Not ->
+      arity 1;
+      if (not (same_shape 0)) || fst ins.(0) <> Dtype.Bool || od <> Dtype.Bool
+      then None
+      else
+        Some
+          (fun ib dst ->
+            let x = ib.(0) in
+            for i = 0 to n - 1 do
+              Nd.set_b dst i (not (Nd.get_b x i))
+            done)
+  | Op.Clip { c_lo; c_hi } ->
+      arity 1;
+      if
+        (not (same_shape 0))
+        || (not (Dtype.is_float (fst ins.(0))))
+        || not (Dtype.equal od (fst ins.(0)))
+      then None
+      else
+        let f64 = Dtype.equal od Dtype.F64 in
+        Some
+          (fun ib dst ->
+            let x = Nd.float_data ib.(0) and o = Nd.float_data dst in
+            if f64 then
+              for i = 0 to n - 1 do
+                Array.unsafe_set o i
+                  (Float.min c_hi (Float.max c_lo (Array.unsafe_get x i)))
+              done
+            else
+              for i = 0 to n - 1 do
+                Array.unsafe_set o i
+                  (Dtype.round_f32
+                     (Float.min c_hi (Float.max c_lo (Array.unsafe_get x i))))
+              done)
+  | Op.Leaky_relu { alpha } ->
+      arity 1;
+      if
+        (not (same_shape 0))
+        || (not (Dtype.is_float (fst ins.(0))))
+        || not (Dtype.equal od (fst ins.(0)))
+      then None
+      else
+        let f64 = Dtype.equal od Dtype.F64 in
+        Some
+          (fun ib dst ->
+            let x = Nd.float_data ib.(0) and o = Nd.float_data dst in
+            if f64 then
+              for i = 0 to n - 1 do
+                let v = Array.unsafe_get x i in
+                Array.unsafe_set o i (if v >= 0. then v else alpha *. v)
+              done
+            else
+              for i = 0 to n - 1 do
+                let v = Array.unsafe_get x i in
+                Array.unsafe_set o i
+                  (Dtype.round_f32 (if v >= 0. then v else alpha *. v))
+              done)
+  | Op.Cast target ->
+      arity 1;
+      if (not (same_shape 0)) || not (Dtype.equal od target) then None
+      else begin
+        match target with
+        | Dtype.F32 | F64 when Dtype.is_float (fst ins.(0)) ->
+            if Dtype.equal target Dtype.F64 then
+              (* normalisation is the identity for F64, and F32 sources are
+                 already rounded: a straight copy matches [map_into Fun.id] *)
+              Some
+                (fun ib dst ->
+                  let x = Nd.float_data ib.(0) and o = Nd.float_data dst in
+                  Array.blit x 0 o 0 n)
+            else
+              Some
+                (fun ib dst ->
+                  let x = Nd.float_data ib.(0) and o = Nd.float_data dst in
+                  for i = 0 to n - 1 do
+                    Array.unsafe_set o i (Dtype.round_f32 (Array.unsafe_get x i))
+                  done)
+        | Dtype.F32 | F64 -> Some (fun ib dst -> Nd.map_into Fun.id ib.(0) ~dst)
+        | I32 | I64 ->
+            Some
+              (fun ib dst ->
+                let x = ib.(0) in
+                for i = 0 to n - 1 do
+                  Nd.set_i dst i (Nd.to_int x i)
+                done)
+        | Bool ->
+            if fst ins.(0) = Dtype.Bool then
+              Some (fun ib dst -> Nd.blit_into ~src:ib.(0) ~dst)
+            else
+              Some
+                (fun ib dst ->
+                  let x = ib.(0) in
+                  for i = 0 to n - 1 do
+                    Nd.set_b dst i (Nd.to_float x i <> 0.)
+                  done)
+      end
+  | Op.Softmax _ | Op.Arg_max _ | Op.Arg_min _ | Op.Gather _ ->
+      (* multi-pass or runtime-value-dependent: keep the interpreter path *)
+      None
+  | Op.Reduce (r, { r_axes; r_keepdims }) ->
+      arity 1;
+      let xd, xs = ins.(0) in
+      if (not (Dtype.is_float xd)) || not (Dtype.equal od xd) then None
+      else
+        let rp = Reduce.plan ~axes:r_axes ~keepdims:r_keepdims xs in
+        if not (Shape.equal (Reduce.out_shape rp) os) then None
+        else
+          let into =
+            match r with
+            | Op.R_sum -> Reduce.sum_into
+            | R_mean -> Reduce.mean_into
+            | R_max -> Reduce.max_into
+            | R_min -> Reduce.min_into
+            | R_prod -> Reduce.prod_into
+          in
+          Some (fun ib dst -> into rp ib.(0) ~dst)
+  | Op.Mat_mul ->
+      arity 2;
+      let xd, sa = ins.(0) and yd, sb = ins.(1) in
+      let ra = Array.length sa and rb = Array.length sb in
+      if
+        (not (Dtype.is_float xd))
+        || (not (Dtype.is_float yd))
+        || ra < 2 || rb < 2
+        || not (Dtype.equal od xd)
+      then None
+      else
+        let m = sa.(ra - 2) and k = sa.(ra - 1) in
+        let k' = sb.(rb - 2) and nn = sb.(rb - 1) in
+        if k <> k' then None
+        else begin
+          match
+            Shape.broadcast (Array.sub sa 0 (ra - 2)) (Array.sub sb 0 (rb - 2))
+          with
+          | Some batch when Shape.equal (Array.append batch [| m; nn |]) os ->
+              (* [Linalg.matmul_into] recomputes the batch-broadcast offset
+                 per element; materialise those maps once (identity maps are
+                 skipped entirely) and accumulate over raw arrays in the same
+                 l-ascending order. *)
+              let nb = Shape.numel batch in
+              let abatch = Array.append batch [| m; k |] in
+              let bbatch = Array.append batch [| k; nn |] in
+              let reader src dsts len =
+                if Shape.equal src dsts then
+                  fun (x : float array) i -> Array.unsafe_get x i
+                else
+                  let map =
+                    Array.init len (Nd.broadcast_offsets ~src ~dst:dsts)
+                  in
+                  fun (x : float array) i ->
+                    Array.unsafe_get x (Array.unsafe_get map i)
+              in
+              let ga = reader sa abatch (nb * m * k) in
+              let gb = reader sb bbatch (nb * k * nn) in
+              let f64 = Dtype.equal od Dtype.F64 in
+              Some
+                (fun ib dst ->
+                  let a = Nd.float_data ib.(0)
+                  and b = Nd.float_data ib.(1)
+                  and o = Nd.float_data dst in
+                  for bi = 0 to nb - 1 do
+                    for i = 0 to m - 1 do
+                      let arow = ((bi * m) + i) * k in
+                      for j = 0 to nn - 1 do
+                        let acc = ref 0. in
+                        for l = 0 to k - 1 do
+                          acc :=
+                            !acc
+                            +. ga a (arow + l)
+                               *. gb b ((((bi * k) + l) * nn) + j)
+                        done;
+                        Array.unsafe_set o
+                          ((((bi * m) + i) * nn) + j)
+                          (if f64 then !acc else Dtype.round_f32 !acc)
+                      done
+                    done
+                  done)
+          | _ -> None
+        end
+  | Op.Conv2d { stride; padding; _ } ->
+      arity 2;
+      let xd, xs = ins.(0) and wd, ws = ins.(1) in
+      let nb, c, h, w, f, kh, kw, oh, ow =
+        Linalg.conv2d_dims ~stride:(stride, stride) ~padding:(padding, padding)
+          ~dilation:(1, 1) (phantom xd xs) (phantom wd ws)
+      in
+      if (not (Shape.equal [| nb; f; oh; ow |] os)) || not (Dtype.equal od xd)
+      then None
+      else
+        let f64 = Dtype.equal od Dtype.F64 in
+        Some
+          (fun ib dst ->
+            let x = Nd.float_data ib.(0)
+            and wt = Nd.float_data ib.(1)
+            and o = Nd.float_data dst in
+            for li = 0 to (nb * f * oh * ow) - 1 do
+              let ow_i = li mod ow in
+              let oh_i = li / ow mod oh in
+              let f_i = li / (ow * oh) mod f in
+              let n_i = li / (ow * oh * f) in
+              let acc = ref 0. in
+              for ci = 0 to c - 1 do
+                for ki = 0 to kh - 1 do
+                  let hi = (oh_i * stride) - padding + ki in
+                  if hi >= 0 && hi < h then begin
+                    let xrow = ((((n_i * c) + ci) * h) + hi) * w in
+                    let wrow = ((((f_i * c) + ci) * kh) + ki) * kw in
+                    for kj = 0 to kw - 1 do
+                      let wi = (ow_i * stride) - padding + kj in
+                      if wi >= 0 && wi < w then
+                        acc :=
+                          !acc
+                          +. Array.unsafe_get x (xrow + wi)
+                             *. Array.unsafe_get wt (wrow + kj)
+                    done
+                  end
+                done
+              done;
+              Array.unsafe_set o li
+                (if f64 then !acc else Dtype.round_f32 !acc)
+            done)
+  | Op.Pool2d (kind, { p_kh; p_kw; p_stride; p_padding }) ->
+      arity 1;
+      let xd, xs = ins.(0) in
+      let kind =
+        match kind with Op.P_max -> Linalg.Max_pool | P_avg -> Linalg.Avg_pool
+      in
+      let nb, c, h, w, oh, ow =
+        Linalg.pool2d_dims ~kernel:(p_kh, p_kw) ~stride:(p_stride, p_stride)
+          ~padding:(p_padding, p_padding) (phantom xd xs)
+      in
+      if (not (Shape.equal [| nb; c; oh; ow |] os)) || not (Dtype.equal od xd)
+      then None
+      else
+        let f64 = Dtype.equal od Dtype.F64 in
+        let decode li =
+          let ow_i = li mod ow in
+          let oh_i = li / ow mod oh in
+          let c_i = li / (ow * oh) mod c in
+          let n_i = li / (ow * oh * c) in
+          (ow_i, oh_i, (((n_i * c) + c_i) * h))
+        in
+        (match kind with
+        | Linalg.Max_pool ->
+            Some
+              (fun ib dst ->
+                let x = Nd.float_data ib.(0) and o = Nd.float_data dst in
+                for li = 0 to (nb * c * oh * ow) - 1 do
+                  let ow_i, oh_i, base = decode li in
+                  let acc = ref Float.neg_infinity in
+                  for ki = 0 to p_kh - 1 do
+                    let hi = (oh_i * p_stride) - p_padding + ki in
+                    if hi >= 0 && hi < h then begin
+                      let row = (base + hi) * w in
+                      for kj = 0 to p_kw - 1 do
+                        let wi = (ow_i * p_stride) - p_padding + kj in
+                        if wi >= 0 && wi < w then begin
+                          let v = Array.unsafe_get x (row + wi) in
+                          acc :=
+                            (if Float.is_nan v || Float.is_nan !acc then
+                               Float.nan
+                             else Float.max !acc v)
+                        end
+                      done
+                    end
+                  done;
+                  Array.unsafe_set o li
+                    (if f64 then !acc else Dtype.round_f32 !acc)
+                done)
+        | Avg_pool ->
+            Some
+              (fun ib dst ->
+                let x = Nd.float_data ib.(0) and o = Nd.float_data dst in
+                for li = 0 to (nb * c * oh * ow) - 1 do
+                  let ow_i, oh_i, base = decode li in
+                  let acc = ref 0. and count = ref 0 in
+                  for ki = 0 to p_kh - 1 do
+                    let hi = (oh_i * p_stride) - p_padding + ki in
+                    if hi >= 0 && hi < h then begin
+                      let row = (base + hi) * w in
+                      for kj = 0 to p_kw - 1 do
+                        let wi = (ow_i * p_stride) - p_padding + kj in
+                        if wi >= 0 && wi < w then begin
+                          incr count;
+                          acc := !acc +. Array.unsafe_get x (row + wi)
+                        end
+                      done
+                    end
+                  done;
+                  let v =
+                    if !count = 0 then 0. else !acc /. float_of_int !count
+                  in
+                  Array.unsafe_set o li
+                    (if f64 then v else Dtype.round_f32 v)
+                done))
+  | Op.Reshape dims ->
+      arity 1;
+      let target = Array.of_list dims in
+      if
+        Shape.numel (snd ins.(0)) <> Shape.numel target
+        || (not (Shape.equal target os))
+        || not (Dtype.equal od (fst ins.(0)))
+      then None
+      else Some (fun ib dst -> Nd.copy_data_into ~src:ib.(0) ~dst)
+  | Op.Flatten { f_axis } ->
+      arity 1;
+      let xs = snd ins.(0) in
+      let r = Array.length xs in
+      if f_axis < 0 || f_axis > r then None
+      else begin
+        let lead = ref 1 and tail = ref 1 in
+        Array.iteri
+          (fun k d -> if k < f_axis then lead := !lead * d else tail := !tail * d)
+          xs;
+        if
+          (not (Shape.equal [| !lead; !tail |] os))
+          || not (Dtype.equal od (fst ins.(0)))
+        then None
+        else Some (fun ib dst -> Nd.copy_data_into ~src:ib.(0) ~dst)
+      end
+  | Op.Squeeze { sq_axis } ->
+      arity 1;
+      let xs = snd ins.(0) in
+      let r = Array.length xs in
+      if sq_axis < 0 || sq_axis >= r || xs.(sq_axis) <> 1 then None
+      else begin
+        let out =
+          Array.of_list
+            (List.filteri (fun k _ -> k <> sq_axis) (Array.to_list xs))
+        in
+        if (not (Shape.equal out os)) || not (Dtype.equal od (fst ins.(0)))
+        then None
+        else Some (fun ib dst -> Nd.copy_data_into ~src:ib.(0) ~dst)
+      end
+  | Op.Unsqueeze { usq_axis } ->
+      arity 1;
+      let xs = snd ins.(0) in
+      let r = Array.length xs in
+      if usq_axis < 0 || usq_axis > r then None
+      else begin
+        let out =
+          Array.init (r + 1) (fun k ->
+              if k < usq_axis then xs.(k)
+              else if k = usq_axis then 1
+              else xs.(k - 1))
+        in
+        if (not (Shape.equal out os)) || not (Dtype.equal od (fst ins.(0)))
+        then None
+        else Some (fun ib dst -> Nd.copy_data_into ~src:ib.(0) ~dst)
+      end
+  | Op.Transpose perm ->
+      arity 1;
+      let out, map = Transform.transpose_map (snd ins.(0)) perm in
+      if (not (Shape.equal out os)) || not (Dtype.equal od (fst ins.(0))) then
+        None
+      else Some (gather_kernel od map ~fill:0.)
+  | Op.Slice { s_axis; s_start; s_stop } ->
+      arity 1;
+      let xs = snd ins.(0) in
+      let r = Array.length xs in
+      if s_axis < 0 || s_axis >= r then None
+      else begin
+        let starts = Array.make r 0
+        and stops = Array.copy xs
+        and steps = Array.make r 1 in
+        starts.(s_axis) <- s_start;
+        stops.(s_axis) <- s_stop;
+        let out, map = Transform.slice_map xs ~starts ~stops ~steps in
+        if (not (Shape.equal out os)) || not (Dtype.equal od (fst ins.(0)))
+        then None
+        else Some (gather_kernel od map ~fill:0.)
+      end
+  | Op.Pad (mode, { pad_before; pad_after }) ->
+      arity 1;
+      let mode =
+        match mode with
+        | Op.Pad_constant v -> Transform.Constant v
+        | Op.Pad_reflect -> Transform.Reflect
+        | Op.Pad_replicate -> Transform.Replicate
+      in
+      let out, map, fill =
+        Transform.pad_map (snd ins.(0))
+          ~before:(Array.of_list pad_before)
+          ~after:(Array.of_list pad_after)
+          ~mode
+      in
+      if (not (Shape.equal out os)) || not (Dtype.equal od (fst ins.(0))) then
+        None
+      else Some (gather_kernel od map ~fill)
+  | Op.Concat { cat_axis; _ } ->
+      if Array.length ins = 0 then None
+      else begin
+        let d0 = fst ins.(0) in
+        if
+          (not (Array.for_all (fun (d, _) -> Dtype.equal d d0) ins))
+          || not (Dtype.equal od d0)
+        then None
+        else
+          let out, spec =
+            Transform.concat_spec ~axis:cat_axis
+              (Array.to_list (Array.map snd ins))
+          in
+          if not (Shape.equal out os) then None
+          else begin
+            let part = Array.make n 0 and off = Array.make n 0 in
+            for i = 0 to n - 1 do
+              let pi, o = spec i in
+              part.(i) <- pi;
+              off.(i) <- o
+            done;
+            match d0 with
+            | Dtype.F32 | F64 ->
+                (* inputs share the output dtype, so their values are already
+                   normalised: a raw copy matches the [set_f] write *)
+                Some
+                  (fun ib dst ->
+                    let srcs = Array.map Nd.float_data ib in
+                    let o = Nd.float_data dst in
+                    for i = 0 to n - 1 do
+                      Array.unsafe_set o i
+                        (Array.unsafe_get
+                           (Array.unsafe_get srcs (Array.unsafe_get part i))
+                           (Array.unsafe_get off i))
+                    done)
+            | I32 | I64 ->
+                Some
+                  (fun ib dst ->
+                    for i = 0 to n - 1 do
+                      Nd.set_i dst i (Nd.to_int ib.(part.(i)) off.(i))
+                    done)
+            | Bool ->
+                Some
+                  (fun ib dst ->
+                    for i = 0 to n - 1 do
+                      Nd.set_b dst i (Nd.get_b ib.(part.(i)) off.(i))
+                    done)
+          end
+      end
+  | Op.Where ->
+      arity 3;
+      let cd, cs = ins.(0) and td, ts = ins.(1) and fd, fs = ins.(2) in
+      if cd <> Dtype.Bool || not (Dtype.equal td fd) then None
+      else begin
+        match Shape.broadcast_many [ cs; ts; fs ] with
+        | Some s when Shape.equal s os && Dtype.equal od td ->
+            let ic = idx (map_of 0)
+            and ia = idx (map_of 1)
+            and ib_ = idx (map_of 2) in
+            (match td with
+            | Dtype.F32 | F64 ->
+                Some
+                  (fun ib dst ->
+                    let c = ib.(0) and a = ib.(1) and b = ib.(2) in
+                    for i = 0 to n - 1 do
+                      Nd.set_f dst i
+                        (if Nd.get_b c (ic i) then Nd.to_float a (ia i)
+                         else Nd.to_float b (ib_ i))
+                    done)
+            | I32 | I64 ->
+                Some
+                  (fun ib dst ->
+                    let c = ib.(0) and a = ib.(1) and b = ib.(2) in
+                    for i = 0 to n - 1 do
+                      Nd.set_i dst i
+                        (if Nd.get_b c (ic i) then Nd.to_int a (ia i)
+                         else Nd.to_int b (ib_ i))
+                    done)
+            | Bool ->
+                Some
+                  (fun ib dst ->
+                    let c = ib.(0) and a = ib.(1) and b = ib.(2) in
+                    for i = 0 to n - 1 do
+                      Nd.set_b dst i
+                        (if Nd.get_b c (ic i) then Nd.get_b a (ia i)
+                         else Nd.get_b b (ib_ i))
+                    done))
+        | _ -> None
+      end
+  | Op.Expand target ->
+      arity 1;
+      let tgt = Array.of_list target in
+      if
+        (not (Shape.can_broadcast_to ~src:(snd ins.(0)) ~dst:tgt))
+        || (not (Shape.equal tgt os))
+        || not (Dtype.equal od (fst ins.(0)))
+      then None
+      else begin
+        match Nd.index_map ~src:(snd ins.(0)) ~dst:tgt with
+        | None -> Some (fun ib dst -> Nd.copy_data_into ~src:ib.(0) ~dst)
+        | Some map -> Some (gather_kernel od map ~fill:0.)
+      end
+  | Op.Tile reps ->
+      arity 1;
+      let xs = snd ins.(0) in
+      if List.length reps <> Array.length xs then None
+      else begin
+        let out =
+          Array.of_list
+            (List.map2 (fun d r -> d * r) (Array.to_list xs) reps)
+        in
+        if (not (Shape.equal out os)) || not (Dtype.equal od (fst ins.(0)))
+        then None
+        else
+          let map =
+            Array.init (Shape.numel out) (fun out_i ->
+                let oidx = Shape.unravel out out_i in
+                let sidx = Array.mapi (fun k v -> v mod xs.(k)) oidx in
+                Shape.ravel xs sidx)
+          in
+          Some (gather_kernel od map ~fill:0.)
+      end
+
+let compile_kernel op ins od os =
+  (* any compile-time surprise means "use the interpreter for this node" —
+     that path reproduces the interpreter's behaviour (and errors) exactly *)
+  match compile_kernel op ins od os with
+  | k -> k
+  | exception _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Plan construction.                                                  *)
+
+let repr_kind = function
+  | Dtype.F32 | F64 -> 0
+  | I32 | I64 -> 1
+  | Bool -> 2
+
+let dummy = Nd.scalar_f Dtype.F64 0.
+
+let build ~reuse g =
+  Tel.incr "exec/plan_compile";
+  let nodes = Array.of_list (Graph.nodes g) in
+  let nslots = Array.length nodes in
+  let slot_of_id = Hashtbl.create (2 * max 1 nslots) in
+  Array.iteri (fun i (n : Graph.node) -> Hashtbl.replace slot_of_id n.id i) nodes;
+  let in_slots =
+    Array.map
+      (fun (n : Graph.node) ->
+        Array.of_list (List.map (Hashtbl.find slot_of_id) n.inputs))
+      nodes
+  in
+  let consumers_l = Array.make nslots [] in
+  Array.iteri
+    (fun i ins -> Array.iter (fun j -> consumers_l.(j) <- i :: consumers_l.(j)) ins)
+    in_slots;
+  let consumers = Array.map (fun l -> Array.of_list (List.rev l)) consumers_l in
+  (* liveness: the slot index of each buffer's last read; graph outputs (no
+     consumers) live forever *)
+  let last_use =
+    Array.map
+      (fun cs -> if Array.length cs = 0 then max_int else Array.fold_left max 0 cs)
+      consumers
+  in
+  let pool : (int * int, Nd.t list ref) Hashtbl.t = Hashtbl.create 16 in
+  let take key =
+    match Hashtbl.find_opt pool key with
+    | Some ({ contents = b :: rest } as r) ->
+        r := rest;
+        Some b
+    | _ -> None
+  in
+  let give key b =
+    match Hashtbl.find_opt pool key with
+    | Some r -> r := b :: !r
+    | None -> Hashtbl.replace pool key (ref [ b ])
+  in
+  let values_tbl = Hashtbl.create (2 * max 1 nslots) in
+  let fallbacks = ref 0 in
+  let slots =
+    Array.mapi
+      (fun i (node : Graph.node) ->
+        let decl_dtype = Conc.dtype node.out_type in
+        let decl_shape = Conc.shape node.out_type in
+        let is_leaf = match node.op with Op.Leaf _ -> true | _ -> false in
+        let kernel =
+          if is_leaf then None
+          else
+            compile_kernel node.op
+              (Array.map
+                 (fun j ->
+                   let t = nodes.(j).Graph.out_type in
+                   (Conc.dtype t, Conc.shape t))
+                 in_slots.(i))
+              decl_dtype decl_shape
+        in
+        if (not is_leaf) && kernel = None then incr fallbacks;
+        let buffer =
+          if is_leaf then dummy
+          else begin
+            let key = (repr_kind decl_dtype, Shape.numel decl_shape) in
+            match if reuse then take key else None with
+            | Some b -> { Nd.dtype = decl_dtype; shape = decl_shape; data = b.Nd.data }
+            | None -> Nd.create decl_dtype decl_shape
+          end
+        in
+        (* release this node's dead inputs only after its own buffer is
+           allocated, so a destination never aliases one of its inputs *)
+        if reuse then
+          List.iter
+            (fun j ->
+              let src = nodes.(j) in
+              if
+                last_use.(j) = i
+                && match src.Graph.op with Op.Leaf _ -> false | _ -> true
+              then
+                let dt = Conc.dtype src.Graph.out_type in
+                give
+                  (repr_kind dt, Shape.numel (Conc.shape src.Graph.out_type))
+                  (* the slot array is still being built; recover the buffer
+                     from the values table populated below *)
+                  (Hashtbl.find values_tbl src.Graph.id))
+            (List.sort_uniq compare (Array.to_list in_slots.(i)));
+        if not is_leaf then Hashtbl.replace values_tbl node.id buffer;
+        {
+          node;
+          in_slots = in_slots.(i);
+          kernel;
+          decl_dtype;
+          decl_shape;
+          buffer;
+          ins_buf = Array.make (Array.length in_slots.(i)) dummy;
+          is_leaf;
+          value = buffer;
+          decl_ok = not is_leaf;
+          valid = false;
+        })
+      nodes
+  in
+  Tel.incr ~by:!fallbacks "exec/plan_fallback_nodes";
+  {
+    graph = g;
+    slots;
+    slot_of_id;
+    consumers;
+    values_tbl;
+    visited = Array.make nslots false;
+  }
+
+let fallback_nodes p =
+  Array.fold_left
+    (fun acc s -> if (not s.is_leaf) && s.kernel = None then acc + 1 else acc)
+    0 p.slots
+
+let slot_buffers p =
+  Array.to_list p.slots
+  |> List.filter_map (fun s ->
+         if s.is_leaf then None else Some (s.node.Graph.id, s.buffer))
+
+(* ------------------------------------------------------------------ *)
+(* Execution.                                                          *)
+
+let inputs_decl_ok p s =
+  let ok = ref true in
+  Array.iter (fun j -> if not p.slots.(j).decl_ok then ok := false) s.in_slots;
+  !ok
+
+let exec_node p i =
+  let s = p.slots.(i) in
+  match s.kernel with
+  | Some k when inputs_decl_ok p s ->
+      let ib = s.ins_buf in
+      Array.iteri (fun j sj -> ib.(j) <- p.slots.(sj).value) s.in_slots;
+      if not (s.value == s.buffer) then begin
+        s.value <- s.buffer;
+        s.decl_ok <- true;
+        Hashtbl.replace p.values_tbl s.node.Graph.id s.buffer
+      end;
+      k ib s.buffer
+  | _ ->
+      let ins = List.map (fun sj -> p.slots.(sj).value) (Array.to_list s.in_slots) in
+      let v = Eval.eval s.node.Graph.op ins in
+      s.value <- v;
+      s.decl_ok <-
+        Dtype.equal (Nd.dtype v) s.decl_dtype
+        && Shape.equal (Nd.shape v) s.decl_shape;
+      Hashtbl.replace p.values_tbl s.node.Graph.id v
+
+let set_leaf p id v =
+  let i = Hashtbl.find p.slot_of_id id in
+  let s = p.slots.(i) in
+  s.value <- v;
+  s.decl_ok <-
+    Dtype.equal (Nd.dtype v) s.decl_dtype && Shape.equal (Nd.shape v) s.decl_shape;
+  s.valid <- false;
+  Hashtbl.replace p.values_tbl id v
+
+let leaf_value p id = p.slots.(Hashtbl.find p.slot_of_id id).value
+let values p = p.values_tbl
+
+let invalidate_all p =
+  Array.iter (fun s -> s.valid <- false) p.slots
+
+let invalidate p ids =
+  Array.fill p.visited 0 (Array.length p.visited) false;
+  let rec go i =
+    if not p.visited.(i) then begin
+      p.visited.(i) <- true;
+      p.slots.(i).valid <- false;
+      Array.iter go p.consumers.(i)
+    end
+  in
+  List.iter
+    (fun id ->
+      match Hashtbl.find_opt p.slot_of_id id with Some i -> go i | None -> ())
+    ids
+
+let forward_until_bad p =
+  let computed = ref 0 in
+  let result = ref None in
+  (try
+     for i = 0 to Array.length p.slots - 1 do
+       let s = p.slots.(i) in
+       if not s.valid then begin
+         if not s.is_leaf then begin
+           exec_node p i;
+           incr computed
+         end;
+         s.valid <- true;
+         if Nd.has_bad s.value then begin
+           s.valid <- false;
+           let ins =
+             List.map
+               (fun sj -> p.slots.(sj).value)
+               (Array.to_list s.in_slots)
+           in
+           result := Some (s.node, ins);
+           raise Exit
+         end
+       end
+     done
+   with Exit -> ());
+  (!result, !computed)
+
+let run_reference p binding =
+  let btbl = Hashtbl.create 16 in
+  List.iter
+    (fun (id, v) -> if not (Hashtbl.mem btbl id) then Hashtbl.add btbl id v)
+    binding;
+  let any_bad = ref false in
+  for i = 0 to Array.length p.slots - 1 do
+    let s = p.slots.(i) in
+    (match s.node.Graph.op with
+    | Op.Leaf kind ->
+        let v =
+          match (Hashtbl.find_opt btbl s.node.Graph.id, kind) with
+          | Some t, _ -> t
+          | None, Op.Const_fill c ->
+              Runner.tensor_of_leaf
+                (Random.State.make [| 0 |])
+                (Op.Const_fill c) s.node.Graph.out_type ~lo:0. ~hi:0.
+          | None, (Op.Model_input | Op.Model_weight) ->
+              raise (Runner.Missing_leaf s.node.Graph.id)
+        in
+        s.value <- v;
+        s.decl_ok <-
+          Dtype.equal (Nd.dtype v) s.decl_dtype
+          && Shape.equal (Nd.shape v) s.decl_shape;
+        Hashtbl.replace p.values_tbl s.node.Graph.id v
+    | _ -> exec_node p i);
+    s.valid <- false;
+    if Nd.has_bad s.value then any_bad := true
+  done;
+  let outs =
+    List.map
+      (fun (n : Graph.node) ->
+        (n.Graph.id, p.slots.(Hashtbl.find p.slot_of_id n.Graph.id).value))
+      (Graph.outputs p.graph)
+  in
+  (outs, !any_bad)
+
+(* ------------------------------------------------------------------ *)
+(* Global toggle and per-domain plan cache.                            *)
+
+(* Plain ref, like [Telemetry.set_enabled]: flipped by the CLI before any
+   worker domain spawns, and domain spawn provides the happens-before. *)
+let enabled_flag = ref true
+let set_enabled b = enabled_flag := b
+let enabled () = !enabled_flag
+
+type cache_entry = {
+  ce_graph : Graph.t;
+  mutable ce_search : t option;
+  mutable ce_oracle : t option;
+}
+
+(* One entry per domain, keyed by physical equality on the graph: the fuzzing
+   loop works one model at a time, so a single entry gives perfect reuse
+   across the search, the oracle probes, and the replay of that model. *)
+let cache : cache_entry option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let entry_for g =
+  let slot = Domain.DLS.get cache in
+  match !slot with
+  | Some e when e.ce_graph == g -> e
+  | _ ->
+      let e = { ce_graph = g; ce_search = None; ce_oracle = None } in
+      slot := Some e;
+      e
+
+let for_search g =
+  let e = entry_for g in
+  match e.ce_search with
+  | Some p ->
+      Tel.incr "exec/plan_hit";
+      p
+  | None ->
+      let p = build ~reuse:false g in
+      e.ce_search <- Some p;
+      p
+
+let for_oracle g =
+  let e = entry_for g in
+  match e.ce_oracle with
+  | Some p ->
+      Tel.incr "exec/plan_hit";
+      p
+  | None ->
+      let p = build ~reuse:true g in
+      e.ce_oracle <- Some p;
+      p

@@ -11,16 +11,43 @@ type state = {
   eps : float;
   mutable step_count : int;
   moments : (int, Nd.t * Nd.t) Hashtbl.t;  (** leaf id -> (m, v) *)
+  mutable scratch : float array;
+      (** staging area for {!update_into}'s candidate parameter values *)
 }
 
 let create ?(lr = 0.5) ?(beta1 = 0.9) ?(beta2 = 0.999) ?(eps = 1e-8) () =
-  { lr; beta1; beta2; eps; step_count = 0; moments = Hashtbl.create 8 }
+  {
+    lr;
+    beta1;
+    beta2;
+    eps;
+    step_count = 0;
+    moments = Hashtbl.create 8;
+    scratch = [||];
+  }
 
-(** Reset all moments — done whenever the search switches loss functions
-    (i.e. targets a different operator), per §3.3. *)
+(** Reset the schedule — done whenever the search switches loss functions
+    (i.e. targets a different operator), per §3.3.  Moment tensors are zeroed
+    in place rather than dropped, so plans that preallocated them keep their
+    buffers. *)
 let reset st =
   st.step_count <- 0;
-  Hashtbl.reset st.moments
+  Hashtbl.iter
+    (fun _ (m, v) ->
+      Nd.fill_f m 0.;
+      Nd.fill_f v 0.)
+    st.moments
+
+(** Create zeroed F64 moment tensors for each (leaf id, shape) up front, so
+    steady-state updates never allocate.  Idempotent: existing moments are
+    kept. *)
+let preallocate st leaves =
+  List.iter
+    (fun (id, shape) ->
+      if not (Hashtbl.mem st.moments id) then
+        Hashtbl.replace st.moments id
+          (Nd.create Dtype.F64 shape, Nd.create Dtype.F64 shape))
+    leaves
 
 (** One update of a single leaf tensor: returns the new value.  [param] keeps
     its own dtype; moments are F64. *)
@@ -46,6 +73,60 @@ let update st ~id ~(param : Nd.t) ~(grad : Nd.t) : Nd.t =
   Nd.init_f (Nd.dtype param) shape (fun i ->
       let mhat = Nd.get_f m' i /. bc1 and vhat = Nd.get_f v' i /. bc2 in
       Nd.to_float param i -. (st.lr *. mhat /. (Float.sqrt vhat +. st.eps)))
+
+(** Fused in-place update: moments are advanced in place and [param] is
+    overwritten with the stepped values — except when any stepped element is
+    NaN/Inf, in which case [param] is left untouched and [`Bad] is returned
+    (the caller re-randomises the leaf, as {!update} callers do on
+    [Nd.has_bad]).  Produces bit-identical parameters to {!update}. *)
+let update_into st ~id ~(param : Nd.t) ~(grad : Nd.t) :
+    [ `Bad | `Changed | `Unchanged ] =
+  let shape = Nd.shape param in
+  let m, v =
+    match Hashtbl.find_opt st.moments id with
+    | Some mv -> mv
+    | None ->
+        let mv = (Nd.create Dtype.F64 shape, Nd.create Dtype.F64 shape) in
+        Hashtbl.replace st.moments id mv;
+        mv
+  in
+  let t = float_of_int (st.step_count + 1) in
+  let bc1 = 1. -. Float.pow st.beta1 t and bc2 = 1. -. Float.pow st.beta2 t in
+  let md = Nd.float_data m and vd = Nd.float_data v in
+  let n = Array.length md in
+  if Array.length st.scratch < n then st.scratch <- Array.make n 0.;
+  let scratch = st.scratch in
+  let pd = Nd.dtype param in
+  let bad = ref false in
+  for i = 0 to n - 1 do
+    let gi = Nd.to_float grad i in
+    let mi = (st.beta1 *. md.(i)) +. ((1. -. st.beta1) *. gi) in
+    let vi = (st.beta2 *. vd.(i)) +. ((1. -. st.beta2) *. gi *. gi) in
+    md.(i) <- mi;
+    vd.(i) <- vi;
+    let mhat = mi /. bc1 and vhat = vi /. bc2 in
+    let p2 =
+      Dtype.normalize_float pd
+        (Nd.to_float param i -. (st.lr *. mhat /. (Float.sqrt vhat +. st.eps)))
+    in
+    if Nd.is_bad p2 then bad := true;
+    scratch.(i) <- p2
+  done;
+  if !bad then `Bad
+  else begin
+    let out = Nd.float_data param in
+    let changed = ref false in
+    for i = 0 to n - 1 do
+      if
+        not
+          (Int64.equal
+             (Int64.bits_of_float scratch.(i))
+             (Int64.bits_of_float out.(i)))
+      then changed := true;
+      out.(i) <- scratch.(i)
+    done;
+    if !changed then `Changed else `Unchanged
+  end
 
 (** Advance the shared step counter (call once per optimisation step, after
     updating every leaf). *)

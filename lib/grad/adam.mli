@@ -8,8 +8,14 @@ val create :
 (** Default learning rate 0.5, per the paper's setup (§5.1). *)
 
 val reset : state -> unit
-(** Clear all moments — done whenever the search switches loss functions
-    (i.e. retargets a different operator), per §3.3. *)
+(** Reset the schedule — done whenever the search switches loss functions
+    (i.e. retargets a different operator), per §3.3.  Moment tensors are
+    zeroed in place rather than dropped, so buffers installed by
+    {!preallocate} survive. *)
+
+val preallocate : state -> (int * Nnsmith_tensor.Shape.t) list -> unit
+(** Create zeroed f64 moment tensors for each (leaf id, shape) up front so
+    steady-state {!update_into} calls never allocate.  Idempotent. *)
 
 val update :
   state ->
@@ -19,6 +25,19 @@ val update :
   Nnsmith_tensor.Nd.t
 (** One Adam update of the leaf tensor identified by [id]; returns the new
     value (the parameter keeps its dtype; moments are f64). *)
+
+val update_into :
+  state ->
+  id:int ->
+  param:Nnsmith_tensor.Nd.t ->
+  grad:Nnsmith_tensor.Nd.t ->
+  [ `Bad | `Changed | `Unchanged ]
+(** Fused in-place variant of {!update}: moments advance in place and [param]
+    is overwritten with the stepped values, bit-identical to what {!update}
+    would have returned.  When any stepped element is NaN/Inf, [param] is
+    left untouched and [`Bad] is returned (mirroring the [Nd.has_bad] check
+    {!update} callers perform); [`Unchanged] means every stepped bit equalled
+    the old parameter. *)
 
 val tick : state -> unit
 (** Advance the shared step counter — call once per optimisation step, after

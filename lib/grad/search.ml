@@ -5,8 +5,10 @@ module Nd = Nnsmith_tensor.Nd
 module Dtype = Nnsmith_tensor.Dtype
 module Graph = Nnsmith_ir.Graph
 module Op = Nnsmith_ir.Op
+module Conc = Nnsmith_ir.Ttype.Conc
 module Runner = Nnsmith_ops.Runner
 module Vulnerability = Nnsmith_ops.Vulnerability
+module Plan = Nnsmith_exec.Plan
 module Tel = Nnsmith_telemetry.Telemetry
 
 type method_ =
@@ -26,7 +28,9 @@ type outcome = {
 (* One clock for campaigns, search and bench: Telemetry.now_ms. *)
 let now_ms = Tel.now_ms
 
-(* Forward pass recording every value, stopping at the first NaN/Inf. *)
+(* Forward pass recording every value, stopping at the first NaN/Inf.  This
+   one-shot entry point (used by stats and the bench harness) keeps the
+   assoc-list binding interface; the search loop below uses dense slots. *)
 let forward_until_bad g binding =
   let values : (int, Nd.t) Hashtbl.t = Hashtbl.create 32 in
   let bad = ref None in
@@ -59,53 +63,203 @@ let fresh_leaf rng g id ~lo ~hi =
   | Op.Leaf kind -> Runner.tensor_of_leaf rng kind n.out_type ~lo ~hi
   | _ -> assert false
 
-let replace binding id v = (id, v) :: List.remove_assoc id binding
+type engine = {
+  e_fill_random : unit -> unit;
+      (** draw fresh values for every leaf, in [Graph.leaves] order (same rng
+          stream as [Runner.random_binding]) *)
+  e_forward : unit -> (Graph.node * Nd.t list) option;
+      (** forward pass; returns the first bad node (with its inputs) and
+          bumps the [grad/forward_nodes] counter *)
+  e_values : unit -> (int, Nd.t) Hashtbl.t;
+      (** id -> value table of the latest forward, for [Backprop] *)
+  e_update : (int * Nd.t) list -> bool;
+      (** apply one Adam step over the leaf gradients; true iff any leaf
+          value changed *)
+  e_result : unit -> Runner.binding;  (** current leaf binding *)
+}
+(* The two engines (dense-slot interpreter and compiled plan) plug into one
+   shared search loop, so restart policy, loss selection and budget checks
+   cannot drift between the plan-on and plan-off paths. *)
+
+let leaves_array g = Array.of_list (Graph.leaves g)
+
+(* Plan-off engine: dense leaf-value array indexed by position in
+   [Graph.leaves] (replacing the former O(n^2) assoc-list binding) and a
+   per-iteration interpreter forward. *)
+let legacy_engine ~lo ~hi ~adam rng (g : Graph.t) : engine =
+  let leaves = leaves_array g in
+  let nleaves = Array.length leaves in
+  let pos : (int, int) Hashtbl.t = Hashtbl.create (2 * max 1 nleaves) in
+  Array.iteri (fun i (n : Graph.node) -> Hashtbl.replace pos n.Graph.id i) leaves;
+  let vals = Array.make (max 1 nleaves) (Nd.scalar_f Dtype.F64 0.) in
+  let values = ref (Hashtbl.create 1) in
+  let e_fill_random () =
+    Array.iteri
+      (fun i (n : Graph.node) ->
+        match n.Graph.op with
+        | Op.Leaf kind ->
+            vals.(i) <- Runner.tensor_of_leaf rng kind n.out_type ~lo ~hi
+        | _ -> assert false)
+      leaves
+  in
+  let e_forward () =
+    let tbl : (int, Nd.t) Hashtbl.t = Hashtbl.create 32 in
+    let bad = ref None in
+    let computed = ref 0 in
+    (try
+       List.iter
+         (fun (n : Graph.node) ->
+           let ins = List.map (Hashtbl.find tbl) n.inputs in
+           let v =
+             match n.Graph.op with
+             | Op.Leaf _ -> vals.(Hashtbl.find pos n.id)
+             | op ->
+                 incr computed;
+                 Nnsmith_ops.Eval.eval op ins
+           in
+           Hashtbl.replace tbl n.id v;
+           if Nd.has_bad v then begin
+             bad := Some (n, ins);
+             raise Exit
+           end)
+         (Graph.nodes g)
+     with Exit -> ());
+    values := tbl;
+    Tel.incr ~by:!computed "grad/forward_nodes";
+    !bad
+  in
+  let e_update leaf_grads =
+    let changed = ref false in
+    List.iter
+      (fun (id, grad) ->
+        let i = Hashtbl.find pos id in
+        let param = vals.(i) in
+        if Dtype.is_float (Nd.dtype param) then begin
+          let updated = Adam.update adam ~id ~param ~grad in
+          let updated =
+            if Nd.has_bad updated then fresh_leaf rng g id ~lo ~hi else updated
+          in
+          if not (Nd.equal updated param) then changed := true;
+          vals.(i) <- updated
+        end)
+      leaf_grads;
+    !changed
+  in
+  let e_result () =
+    Array.to_list
+      (Array.mapi (fun i (n : Graph.node) -> (n.Graph.id, vals.(i))) leaves)
+  in
+  { e_fill_random; e_forward; e_values = (fun () -> !values); e_update; e_result }
+
+(* Plan engine: compiled execution plan with dirty-set re-execution and the
+   fused in-place Adam step.  Moments are preallocated once per plan. *)
+let plan_engine ~lo ~hi ~adam rng (g : Graph.t) : engine =
+  let plan = Plan.for_search g in
+  let leaves = leaves_array g in
+  Adam.preallocate adam
+    (Array.to_list leaves
+    |> List.filter_map (fun (n : Graph.node) ->
+           if Dtype.is_float (Conc.dtype n.Graph.out_type) then
+             Some (n.Graph.id, Conc.shape n.Graph.out_type)
+           else None));
+  let e_fill_random () =
+    Array.iter
+      (fun (n : Graph.node) ->
+        match n.Graph.op with
+        | Op.Leaf kind ->
+            Plan.set_leaf plan n.Graph.id
+              (Runner.tensor_of_leaf rng kind n.out_type ~lo ~hi)
+        | _ -> assert false)
+      leaves;
+    Plan.invalidate_all plan
+  in
+  let e_forward () =
+    let bad, computed = Plan.forward_until_bad plan in
+    Tel.incr ~by:computed "grad/forward_nodes";
+    bad
+  in
+  let e_update leaf_grads =
+    let changed = ref false in
+    let dirty = ref [] in
+    List.iter
+      (fun (id, grad) ->
+        let param = Plan.leaf_value plan id in
+        if Dtype.is_float (Nd.dtype param) then begin
+          match Adam.update_into adam ~id ~param ~grad with
+          | `Changed ->
+              changed := true;
+              dirty := id :: !dirty
+          | `Unchanged -> ()
+          | `Bad ->
+              let fresh = fresh_leaf rng g id ~lo ~hi in
+              if not (Nd.equal fresh param) then changed := true;
+              Plan.set_leaf plan id fresh;
+              dirty := id :: !dirty
+        end)
+      leaf_grads;
+    Plan.invalidate plan !dirty;
+    !changed
+  in
+  let e_result () =
+    Array.to_list leaves
+    |> List.map (fun (n : Graph.node) -> (n.Graph.id, Plan.leaf_value plan n.Graph.id))
+  in
+  { e_fill_random; e_forward; e_values = (fun () -> Plan.values plan); e_update; e_result }
 
 let search ?(budget_ms = 64.) ?(max_iters = max_int) ?(lr = 0.5) ?(lo = 1.)
     ?(hi = 9.) ~method_ rng (g : Graph.t) : outcome =
   Tel.with_span "grad/search" @@ fun () ->
-  let start = now_ms () in
   let adam = Adam.create ~lr () in
+  let engine =
+    if Plan.enabled () then plan_engine ~lo ~hi ~adam rng g
+    else legacy_engine ~lo ~hi ~adam rng g
+  in
+  let start = now_ms () in
   let iterations = ref 0 and restarts = ref 0 in
   let last_target = ref None in
-  let random_binding () = Runner.random_binding ~lo ~hi rng g in
   let restart () =
     incr restarts;
     Tel.incr "grad/restarts";
     Adam.reset adam;
     last_target := None;
-    random_binding ()
+    engine.e_fill_random ()
   in
-  let rec loop binding =
+  let finish binding =
+    {
+      binding;
+      iterations = !iterations;
+      restarts = !restarts;
+      elapsed_ms = now_ms () -. start;
+    }
+  in
+  let rec loop () =
     incr iterations;
     Tel.incr "grad/iterations";
-    if !iterations > max_iters || now_ms () -. start > budget_ms then begin
+    (* the wall clock is only consulted every 16 iterations — gettimeofday
+       dominated short searches; [max_iters] remains exact *)
+    if
+      !iterations > max_iters
+      || (!iterations land 15 = 0 && now_ms () -. start > budget_ms)
+    then begin
       Tel.incr "grad/timeouts";
-      {
-        binding = None;
-        iterations = !iterations;
-        restarts = !restarts;
-        elapsed_ms = now_ms () -. start;
-      }
+      finish None
     end
     else begin
-      let values, bad = forward_until_bad g binding in
+      let bad = engine.e_forward () in
       (match bad with Some _ -> Tel.incr "grad/bad_forward" | None -> ());
       match bad with
-      | None ->
-          {
-            binding = Some binding;
-            iterations = !iterations;
-            restarts = !restarts;
-            elapsed_ms = now_ms () -. start;
-          }
+      | None -> finish (Some (engine.e_result ()))
       | Some (node, ins) -> (
           match method_ with
-          | Sampling -> loop (restart ())
+          | Sampling ->
+              restart ();
+              loop ()
           | Gradient | Gradient_no_proxy -> (
               let proxy = method_ = Gradient in
               match Vulnerability.of_op node.op with
-              | None -> loop (restart ())
+              | None ->
+                  restart ();
+                  loop ()
               | Some entry -> (
                   (* reset the learning-rate schedule on target switch *)
                   if !last_target <> Some node.id then begin
@@ -118,7 +272,9 @@ let search ?(budget_ms = 64.) ?(max_iters = max_int) ?(lr = 0.5) ?(lo = 1.)
                       (fun (l : Vulnerability.loss) -> l.value ins > 0.)
                       entry.losses
                   with
-                  | None -> loop (restart ())
+                  | None ->
+                      restart ();
+                      loop ()
                   | Some loss -> (
                       let input_grads = loss.grad ins in
                       let seeds =
@@ -131,34 +287,21 @@ let search ?(budget_ms = 64.) ?(max_iters = max_int) ?(lr = 0.5) ?(lo = 1.)
                              node.inputs input_grads)
                       in
                       match
-                        Backprop.grad_wrt_leaves ~proxy g ~values ~seeds
+                        Backprop.grad_wrt_leaves ~proxy g
+                          ~values:(engine.e_values ()) ~seeds
                       with
-                      | [] -> loop (restart ())
+                      | [] ->
+                          restart ();
+                          loop ()
                       | leaf_grads ->
-                          let changed = ref false in
-                          let binding' =
-                            List.fold_left
-                              (fun b (id, grad) ->
-                                let param = List.assoc id b in
-                                if Dtype.is_float (Nd.dtype param) then begin
-                                  let updated =
-                                    Adam.update adam ~id ~param ~grad
-                                  in
-                                  let updated =
-                                    if Nd.has_bad updated then
-                                      fresh_leaf rng g id ~lo ~hi
-                                    else updated
-                                  in
-                                  if not (Nd.equal updated param) then
-                                    changed := true;
-                                  replace b id updated
-                                end
-                                else b)
-                              binding leaf_grads
-                          in
+                          let changed = engine.e_update leaf_grads in
                           Adam.tick adam;
-                          if !changed then loop binding'
-                          else loop (restart ())))))
+                          if changed then loop ()
+                          else begin
+                            restart ();
+                            loop ()
+                          end))))
     end
   in
-  loop (random_binding ())
+  engine.e_fill_random ();
+  loop ()

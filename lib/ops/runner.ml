@@ -39,18 +39,29 @@ let random_binding ?(lo = 1.) ?(hi = 9.) rng (g : Graph.t) : binding =
 
 exception Missing_leaf of int
 
+(* Index the binding once: bindings are assoc lists in the public API, but
+   looking one up per leaf made interpretation O(leaves * binding).  The
+   first occurrence of an id wins, matching [List.assoc_opt]. *)
+let index_binding (binding : binding) : (int, Nd.t) Hashtbl.t =
+  let tbl = Hashtbl.create (2 * max 1 (List.length binding)) in
+  List.iter
+    (fun (id, t) -> if not (Hashtbl.mem tbl id) then Hashtbl.add tbl id t)
+    binding;
+  tbl
+
 (** Evaluate every node; returns all intermediate values in id order.
     @raise Missing_leaf when a leaf has no binding.
     @raise Eval.Eval_error when a kernel rejects its inputs. *)
 let run (g : Graph.t) (binding : binding) : (int * Nd.t) list =
   let values = Hashtbl.create 32 in
+  let bound = index_binding binding in
   let results =
     List.map
       (fun (n : Graph.node) ->
         let v =
           match n.Graph.op with
           | Op.Leaf kind -> (
-              match (List.assoc_opt n.id binding, kind) with
+              match (Hashtbl.find_opt bound n.id, kind) with
               | Some t, _ -> t
               | None, Op.Const_fill v ->
                   (* constants need no binding: materialise the fill *)
@@ -80,6 +91,7 @@ let run_outputs g binding =
 let first_bad (g : Graph.t) (binding : binding) :
     (Graph.node * Nd.t list) option =
   let values = Hashtbl.create 32 in
+  let bound = index_binding binding in
   let exception Found of Graph.node * Nd.t list in
   try
     List.iter
@@ -88,7 +100,7 @@ let first_bad (g : Graph.t) (binding : binding) :
         let v =
           match n.Graph.op with
           | Op.Leaf kind -> (
-              match (List.assoc_opt n.id binding, kind) with
+              match (Hashtbl.find_opt bound n.id, kind) with
               | Some t, _ -> t
               | None, Op.Const_fill c ->
                   tensor_of_leaf (Random.State.make [| 0 |]) (Op.Const_fill c)

@@ -2,6 +2,53 @@ let require_float name (t : Nd.t) =
   if not (Dtype.is_float t.Nd.dtype) then
     invalid_arg (Printf.sprintf "Linalg.%s: not a float tensor" name)
 
+(* Shared core: both operands rank >= 2, [dst] already has the broadcast
+   result shape.  The allocating [matmul] below delegates here after rank-1
+   promotion so both entry points compute identical bits. *)
+let matmul_into ~dst a b =
+  require_float "matmul" a;
+  require_float "matmul" b;
+  let sa = a.Nd.shape and sb = b.Nd.shape in
+  let ra2 = Array.length sa and rb2 = Array.length sb in
+  if ra2 < 2 || rb2 < 2 then invalid_arg "Linalg.matmul_into: rank < 2";
+  let m = sa.(ra2 - 2) and k = sa.(ra2 - 1) in
+  let k' = sb.(rb2 - 2) and n = sb.(rb2 - 1) in
+  if k <> k' then
+    invalid_arg
+      (Fmt.str "Linalg.matmul: contraction mismatch %a vs %a" Shape.pp sa
+         Shape.pp sb);
+  let batch_a = Array.sub sa 0 (ra2 - 2) and batch_b = Array.sub sb 0 (rb2 - 2) in
+  let batch =
+    match Shape.broadcast batch_a batch_b with
+    | Some s -> s
+    | None -> invalid_arg "Linalg.matmul: batch dims do not broadcast"
+  in
+  let out_shape = Array.append batch [| m; n |] in
+  let abatch_shape = Array.append batch [| m; k |] in
+  let bbatch_shape = Array.append batch [| k; n |] in
+  let dtype = a.Nd.dtype in
+  if not (Dtype.equal dtype (Nd.dtype dst)) then
+    invalid_arg "Linalg.matmul_into: destination dtype mismatch";
+  if not (Shape.equal out_shape (Nd.shape dst)) then
+    invalid_arg "Linalg.matmul_into: destination shape mismatch";
+  let oa = Nd.broadcast_offsets ~src:sa ~dst:abatch_shape in
+  let ob = Nd.broadcast_offsets ~src:sb ~dst:bbatch_shape in
+  let nb = Shape.numel batch in
+  let out_data = Nd.float_data dst in
+  for bi = 0 to nb - 1 do
+    for i = 0 to m - 1 do
+      for j = 0 to n - 1 do
+        let acc = ref 0. in
+        for l = 0 to k - 1 do
+          let av = Nd.to_float a (oa (((bi * m) + i) * k + l)) in
+          let bv = Nd.to_float b (ob (((bi * k) + l) * n + j)) in
+          acc := !acc +. (av *. bv)
+        done;
+        out_data.((((bi * m) + i) * n) + j) <- Dtype.normalize_float dtype !acc
+      done
+    done
+  done
+
 let matmul a b =
   require_float "matmul" a;
   require_float "matmul" b;
@@ -25,36 +72,15 @@ let matmul a b =
     | None -> invalid_arg "Linalg.matmul: batch dims do not broadcast"
   in
   let out_shape = Array.append batch [| m; n |] in
-  let abatch_shape = Array.append batch [| m; k |] in
-  let bbatch_shape = Array.append batch [| k; n |] in
-  let oa = Nd.broadcast_offsets ~src:sa ~dst:abatch_shape in
-  let ob = Nd.broadcast_offsets ~src:sb ~dst:bbatch_shape in
-  let nb = Shape.numel batch in
-  let dtype = a.Nd.dtype in
-  let out =
-    Nd.init_f dtype out_shape (fun _ -> 0.)
-  in
-  let out_data = Nd.float_data out in
-  for bi = 0 to nb - 1 do
-    for i = 0 to m - 1 do
-      for j = 0 to n - 1 do
-        let acc = ref 0. in
-        for l = 0 to k - 1 do
-          let av = Nd.to_float a2 (oa (((bi * m) + i) * k + l)) in
-          let bv = Nd.to_float b2 (ob (((bi * k) + l) * n + j)) in
-          acc := !acc +. (av *. bv)
-        done;
-        out_data.((((bi * m) + i) * n) + j) <- Dtype.normalize_float dtype !acc
-      done
-    done
-  done;
+  let out = Nd.create a.Nd.dtype out_shape in
+  matmul_into ~dst:out a2 b2;
   let out =
     if ra = 1 then Transform.squeeze out [ Array.length out_shape - 2 ]
     else out
   in
   if rb = 1 then Transform.squeeze out [ Nd.rank out - 1 ] else out
 
-let conv2d ?bias ~stride ~padding ~dilation input weight =
+let conv2d_dims ~stride ~padding ~dilation (input : Nd.t) (weight : Nd.t) =
   require_float "conv2d" input;
   require_float "conv2d" weight;
   if Nd.rank input <> 4 || Nd.rank weight <> 4 then
@@ -67,68 +93,103 @@ let conv2d ?bias ~stride ~padding ~dilation input weight =
   let oh = ((h + (2 * ph) - (dh * (kh - 1)) - 1) / sh) + 1
   and ow = ((w + (2 * pw) - (dw * (kw - 1)) - 1) / sw_) + 1 in
   if oh < 1 || ow < 1 then invalid_arg "Linalg.conv2d: empty output";
-  let dtype = input.Nd.dtype in
-  let get_bias fo =
-    match bias with None -> 0. | Some b -> Nd.to_float b fo
+  (n, c, h, w, f, kh, kw, oh, ow)
+
+let conv2d_into ?bias ~stride ~padding ~dilation ~dst input weight =
+  let n, c, h, w, f, kh, kw, oh, ow =
+    conv2d_dims ~stride ~padding ~dilation input weight
   in
-  Nd.init_f dtype [| n; f; oh; ow |] (fun li ->
-      let ow_i = li mod ow in
-      let oh_i = li / ow mod oh in
-      let f_i = li / (ow * oh) mod f in
-      let n_i = li / (ow * oh * f) in
-      let acc = ref (get_bias f_i) in
-      for ci = 0 to c - 1 do
-        for ki = 0 to kh - 1 do
-          for kj = 0 to kw - 1 do
-            let hi = (oh_i * sh) - ph + (ki * dh) in
-            let wi = (ow_i * sw_) - pw + (kj * dw) in
-            if hi >= 0 && hi < h && wi >= 0 && wi < w then begin
-              let iv =
-                Nd.to_float input ((((n_i * c) + ci) * h + hi) * w + wi)
-              in
-              let wv =
-                Nd.to_float weight ((((f_i * c) + ci) * kh + ki) * kw + kj)
-              in
-              acc := !acc +. (iv *. wv)
-            end
-          done
+  if
+    (not (Dtype.equal input.Nd.dtype (Nd.dtype dst)))
+    || not (Shape.equal [| n; f; oh; ow |] (Nd.shape dst))
+  then invalid_arg "Linalg.conv2d_into: destination mismatch";
+  let sh, sw_ = stride and ph, pw = padding and dh, dw = dilation in
+  let get_bias fo = match bias with None -> 0. | Some b -> Nd.to_float b fo in
+  for li = 0 to (n * f * oh * ow) - 1 do
+    let ow_i = li mod ow in
+    let oh_i = li / ow mod oh in
+    let f_i = li / (ow * oh) mod f in
+    let n_i = li / (ow * oh * f) in
+    let acc = ref (get_bias f_i) in
+    for ci = 0 to c - 1 do
+      for ki = 0 to kh - 1 do
+        for kj = 0 to kw - 1 do
+          let hi = (oh_i * sh) - ph + (ki * dh) in
+          let wi = (ow_i * sw_) - pw + (kj * dw) in
+          if hi >= 0 && hi < h && wi >= 0 && wi < w then begin
+            let iv = Nd.to_float input ((((n_i * c) + ci) * h + hi) * w + wi) in
+            let wv =
+              Nd.to_float weight ((((f_i * c) + ci) * kh + ki) * kw + kj)
+            in
+            acc := !acc +. (iv *. wv)
+          end
         done
-      done;
-      !acc)
+      done
+    done;
+    Nd.set_f dst li !acc
+  done
+
+let conv2d ?bias ~stride ~padding ~dilation input weight =
+  let n, _, _, _, f, _, _, oh, ow =
+    conv2d_dims ~stride ~padding ~dilation input weight
+  in
+  let out = Nd.create input.Nd.dtype [| n; f; oh; ow |] in
+  conv2d_into ?bias ~stride ~padding ~dilation ~dst:out input weight;
+  out
 
 type pool_kind = Max_pool | Avg_pool
 
-let pool2d ~kind ~kernel ~stride ~padding input =
+let pool2d_dims ~kernel ~stride ~padding (input : Nd.t) =
   require_float "pool2d" input;
   if Nd.rank input <> 4 then invalid_arg "Linalg.pool2d: input must be rank 4";
   let si = input.Nd.shape in
   let n = si.(0) and c = si.(1) and h = si.(2) and w = si.(3) in
   let kh, kw = kernel and sh, sw_ = stride and ph, pw = padding in
   if kh < 1 || kw < 1 then invalid_arg "Linalg.pool2d: kernel < 1";
-  let oh = ((h + (2 * ph) - kh) / sh) + 1 and ow = ((w + (2 * pw) - kw) / sw_) + 1 in
+  let oh = ((h + (2 * ph) - kh) / sh) + 1
+  and ow = ((w + (2 * pw) - kw) / sw_) + 1 in
   if oh < 1 || ow < 1 then invalid_arg "Linalg.pool2d: empty output";
-  Nd.init_f input.Nd.dtype [| n; c; oh; ow |] (fun li ->
-      let ow_i = li mod ow in
-      let oh_i = li / ow mod oh in
-      let c_i = li / (ow * oh) mod c in
-      let n_i = li / (ow * oh * c) in
-      let acc = ref (match kind with Max_pool -> Float.neg_infinity | Avg_pool -> 0.) in
-      let count = ref 0 in
-      for ki = 0 to kh - 1 do
-        for kj = 0 to kw - 1 do
-          let hi = (oh_i * sh) - ph + ki and wi = (ow_i * sw_) - pw + kj in
-          if hi >= 0 && hi < h && wi >= 0 && wi < w then begin
-            let v = Nd.to_float input ((((n_i * c) + c_i) * h + hi) * w + wi) in
-            incr count;
-            acc :=
-              (match kind with
-              | Max_pool ->
-                  if Float.is_nan v || Float.is_nan !acc then Float.nan
-                  else Float.max !acc v
-              | Avg_pool -> !acc +. v)
-          end
-        done
-      done;
-      match kind with
+  (n, c, h, w, oh, ow)
+
+let pool2d_into ~kind ~kernel ~stride ~padding ~dst input =
+  let n, c, h, w, oh, ow = pool2d_dims ~kernel ~stride ~padding input in
+  if
+    (not (Dtype.equal input.Nd.dtype (Nd.dtype dst)))
+    || not (Shape.equal [| n; c; oh; ow |] (Nd.shape dst))
+  then invalid_arg "Linalg.pool2d_into: destination mismatch";
+  let kh, kw = kernel and sh, sw_ = stride and ph, pw = padding in
+  for li = 0 to (n * c * oh * ow) - 1 do
+    let ow_i = li mod ow in
+    let oh_i = li / ow mod oh in
+    let c_i = li / (ow * oh) mod c in
+    let n_i = li / (ow * oh * c) in
+    let acc =
+      ref (match kind with Max_pool -> Float.neg_infinity | Avg_pool -> 0.)
+    in
+    let count = ref 0 in
+    for ki = 0 to kh - 1 do
+      for kj = 0 to kw - 1 do
+        let hi = (oh_i * sh) - ph + ki and wi = (ow_i * sw_) - pw + kj in
+        if hi >= 0 && hi < h && wi >= 0 && wi < w then begin
+          let v = Nd.to_float input ((((n_i * c) + c_i) * h + hi) * w + wi) in
+          incr count;
+          acc :=
+            (match kind with
+            | Max_pool ->
+                if Float.is_nan v || Float.is_nan !acc then Float.nan
+                else Float.max !acc v
+            | Avg_pool -> !acc +. v)
+        end
+      done
+    done;
+    Nd.set_f dst li
+      (match kind with
       | Max_pool -> !acc
       | Avg_pool -> if !count = 0 then 0. else !acc /. float_of_int !count)
+  done
+
+let pool2d ~kind ~kernel ~stride ~padding input =
+  let n, c, _, _, oh, ow = pool2d_dims ~kernel ~stride ~padding input in
+  let out = Nd.create input.Nd.dtype [| n; c; oh; ow |] in
+  pool2d_into ~kind ~kernel ~stride ~padding ~dst:out input;
+  out

@@ -6,6 +6,12 @@ val matmul : Nd.t -> Nd.t -> Nd.t
     dim that is squeezed from the result); leading batch dims broadcast.
     Raises [Invalid_argument] on contraction-size mismatch. *)
 
+val matmul_into : dst:Nd.t -> Nd.t -> Nd.t -> unit
+(** Destination-passing matmul core: both operands must already be rank >= 2
+    and [dst] must have the broadcast result shape and the left operand's
+    dtype.  [matmul] delegates here, so both entry points compute identical
+    bits. *)
+
 val conv2d :
   ?bias:Nd.t ->
   stride:int * int ->
@@ -17,6 +23,29 @@ val conv2d :
 (** [conv2d ~stride ~padding ~dilation input weight] with input
     [n,c,h,w] and weight [f,c,kh,kw]; output [n,f,oh,ow] where
     [oh = (h + 2*ph - dh*(kh-1) - 1) / sh + 1]. *)
+
+val conv2d_dims :
+  stride:int * int ->
+  padding:int * int ->
+  dilation:int * int ->
+  Nd.t ->
+  Nd.t ->
+  int * int * int * int * int * int * int * int * int
+(** [(n, c, h, w, f, kh, kw, oh, ow)] after the full validation [conv2d]
+    performs (raising the same errors) — lets a plan compiler check the
+    output geometry before allocating a destination. *)
+
+val conv2d_into :
+  ?bias:Nd.t ->
+  stride:int * int ->
+  padding:int * int ->
+  dilation:int * int ->
+  dst:Nd.t ->
+  Nd.t ->
+  Nd.t ->
+  unit
+(** Destination-passing {!conv2d}; [dst] must be the [n,f,oh,ow] output
+    tensor with the input's dtype. *)
 
 type pool_kind = Max_pool | Avg_pool
 
@@ -30,3 +59,22 @@ val pool2d :
 (** 2-D pooling over NCHW input.  [Avg_pool] excludes padding from the
     divisor (ONNX [count_include_pad = 0]); [Max_pool] ignores padded
     cells. *)
+
+val pool2d_dims :
+  kernel:int * int ->
+  stride:int * int ->
+  padding:int * int ->
+  Nd.t ->
+  int * int * int * int * int * int
+(** [(n, c, h, w, oh, ow)] after [pool2d]'s validation. *)
+
+val pool2d_into :
+  kind:pool_kind ->
+  kernel:int * int ->
+  stride:int * int ->
+  padding:int * int ->
+  dst:Nd.t ->
+  Nd.t ->
+  unit
+(** Destination-passing {!pool2d}; [dst] must be the [n,c,oh,ow] output
+    tensor with the input's dtype. *)

@@ -105,6 +105,79 @@ let float_data t =
   | F a -> a
   | I _ | B _ -> invalid_arg "Nd.float_data: not a float tensor"
 
+(* ------------------------------------------------------------------ *)
+(* Destination-passing primitives.  These write through [set_f]/[set_i],
+   so results are normalised exactly as the allocating constructors
+   ([init_f] et al.) normalise — a plan-compiled kernel writing into a
+   reused buffer produces the same bits as a fresh allocation. *)
+
+let fill_f t v =
+  match t.data with
+  | F a -> Array.fill a 0 (Array.length a) (Dtype.normalize_float t.dtype v)
+  | I _ | B _ -> invalid_arg "Nd.fill_f: not a float tensor"
+
+let blit_into ~src ~dst =
+  if not (Dtype.equal src.dtype dst.dtype) then
+    invalid_arg "Nd.blit_into: dtype mismatch";
+  if not (Shape.equal src.shape dst.shape) then
+    invalid_arg "Nd.blit_into: shape mismatch";
+  match (src.data, dst.data) with
+  | F a, F b -> Array.blit a 0 b 0 (Array.length a)
+  | I a, I b -> Array.blit a 0 b 0 (Array.length a)
+  | B a, B b -> Array.blit a 0 b 0 (Array.length a)
+  | (F _ | I _ | B _), _ -> invalid_arg "Nd.blit_into: representation mismatch"
+
+let copy_data_into ~src ~dst =
+  if not (Dtype.equal src.dtype dst.dtype) then
+    invalid_arg "Nd.copy_data_into: dtype mismatch";
+  if numel src <> numel dst then
+    invalid_arg "Nd.copy_data_into: size mismatch";
+  match (src.data, dst.data) with
+  | F a, F b -> Array.blit a 0 b 0 (Array.length a)
+  | I a, I b -> Array.blit a 0 b 0 (Array.length a)
+  | B a, B b -> Array.blit a 0 b 0 (Array.length a)
+  | (F _ | I _ | B _), _ ->
+      invalid_arg "Nd.copy_data_into: representation mismatch"
+
+let map_into f src ~dst =
+  match dst.data with
+  | F out ->
+      let n = Array.length out in
+      if numel src <> n then invalid_arg "Nd.map_into: size mismatch";
+      let dt = dst.dtype in
+      for i = 0 to n - 1 do
+        out.(i) <- Dtype.normalize_float dt (f (to_float src i))
+      done
+  | I _ | B _ -> invalid_arg "Nd.map_into: not a float destination"
+
+let map2_into ?oa ?ob f a b ~dst =
+  match dst.data with
+  | F out ->
+      let n = Array.length out in
+      let dt = dst.dtype in
+      (match (oa, ob) with
+      | None, None ->
+          for i = 0 to n - 1 do
+            out.(i) <- Dtype.normalize_float dt (f (to_float a i) (to_float b i))
+          done
+      | Some ma, None ->
+          for i = 0 to n - 1 do
+            out.(i) <-
+              Dtype.normalize_float dt (f (to_float a ma.(i)) (to_float b i))
+          done
+      | None, Some mb ->
+          for i = 0 to n - 1 do
+            out.(i) <-
+              Dtype.normalize_float dt (f (to_float a i) (to_float b mb.(i)))
+          done
+      | Some ma, Some mb ->
+          for i = 0 to n - 1 do
+            out.(i) <-
+              Dtype.normalize_float dt
+                (f (to_float a ma.(i)) (to_float b mb.(i)))
+          done)
+  | I _ | B _ -> invalid_arg "Nd.map2_into: not a float destination"
+
 let map_f ?dtype f t =
   let dtype = match dtype with Some d -> d | None -> t.dtype in
   init_f dtype t.shape (fun i -> f (to_float t i))
@@ -140,6 +213,13 @@ let broadcast_offsets ~src ~dst =
       acc := !acc + (idx * bstrides.(i))
     done;
     !acc
+
+let index_map ~src ~dst =
+  if Shape.equal src dst then None
+  else begin
+    let o = broadcast_offsets ~src ~dst in
+    Some (Array.init (Shape.numel dst) o)
+  end
 
 let broadcast_shape2 a b =
   match Shape.broadcast a.shape b.shape with
@@ -210,6 +290,7 @@ let broadcast_to t dst =
 (* Validity and comparison.                                            *)
 
 let bad x = Float.is_nan x || x = Float.infinity || x = Float.neg_infinity
+let is_bad = bad
 
 let count_bad t =
   match t.data with

@@ -58,6 +58,28 @@ val float_data : t -> float array
 (** Underlying buffer of a float tensor (shared, not copied).
     Raises [Invalid_argument] otherwise. *)
 
+val fill_f : t -> float -> unit
+(** Overwrite every element of a float tensor with the (normalised) value. *)
+
+val blit_into : src:t -> dst:t -> unit
+(** Raw copy between tensors of identical dtype and shape. *)
+
+val copy_data_into : src:t -> dst:t -> unit
+(** Raw copy between tensors of identical dtype and element count; shapes may
+    differ (used for reshape-family kernels writing into a plan buffer). *)
+
+val map_into : (float -> float) -> t -> dst:t -> unit
+(** Destination-passing [map_f]: reads the source as float, writes normalised
+    results into the float tensor [dst] (same element count).  Writing through
+    {!set_f} semantics keeps results bit-identical to [map_f]. *)
+
+val map2_into :
+  ?oa:int array -> ?ob:int array -> (float -> float -> float) -> t -> t ->
+  dst:t -> unit
+(** Destination-passing broadcasting binary op.  [oa]/[ob] are precomputed
+    linear index maps from [dst] positions into each source (see
+    {!index_map}); omitted maps mean the source already has [dst]'s shape. *)
+
 val map_f : ?dtype:Dtype.t -> (float -> float) -> t -> t
 (** Elementwise over a float tensor; result dtype defaults to the input's. *)
 
@@ -67,6 +89,11 @@ val map_b : (bool -> bool) -> t -> t
 val broadcast_offsets : src:Shape.t -> dst:Shape.t -> (int -> int)
 (** [broadcast_offsets ~src ~dst] maps a linear index in [dst] to the linear
     index of the broadcast source element in [src].
+    Raises [Invalid_argument] when [src] does not broadcast to [dst]. *)
+
+val index_map : src:Shape.t -> dst:Shape.t -> int array option
+(** Materialised broadcast index map: element [i] is the source offset feeding
+    destination position [i].  [None] when the shapes are equal (identity).
     Raises [Invalid_argument] when [src] does not broadcast to [dst]. *)
 
 val map2_f : Dtype.t -> (float -> float -> float) -> t -> t -> t
@@ -90,6 +117,10 @@ val cast : t -> Dtype.t -> t
 
 val broadcast_to : t -> Shape.t -> t
 (** Materialised broadcast.  Raises [Invalid_argument] when impossible. *)
+
+val is_bad : float -> bool
+(** True for NaN and the infinities — the scalar predicate behind
+    {!has_bad}. *)
 
 val has_bad : t -> bool
 (** True when a float tensor contains a NaN or infinity; always false for

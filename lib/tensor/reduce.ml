@@ -14,12 +14,21 @@ let out_shape_of shape axes keepdims =
     Array.of_list (List.map (fun k -> shape.(k)) kept)
   end
 
-(* Iterate the reduced window for every output cell.  [reduce_cell] receives
-   a fold over source linear indices. *)
-let reduce_gen (t : Nd.t) axes keepdims ~init_of ~combine_f ~finish_f =
-  let r = Nd.rank t in
+(* Precompiled reduction geometry: per-output-cell base offsets and
+   per-window-element offset deltas.  Built once (per execution plan, or per
+   call for the allocating entry points), then applied with a flat
+   double loop — the fold order over the window is identical to the original
+   unravel-per-element formulation, so results are bit-identical. *)
+type plan = {
+  rp_shape : Shape.t;
+  rp_out_shape : Shape.t;
+  rp_bases : int array;
+  rp_woffs : int array;
+}
+
+let plan ~axes ~keepdims shape =
+  let r = Array.length shape in
   let axes = normalize_axes r axes in
-  let shape = t.Nd.shape in
   let out_shape = out_shape_of shape axes keepdims in
   let kept = List.filter (fun k -> not (List.mem k axes)) (List.init r Fun.id) in
   let window = List.fold_left (fun acc a -> acc * shape.(a)) 1 axes in
@@ -29,21 +38,50 @@ let reduce_gen (t : Nd.t) axes keepdims ~init_of ~combine_f ~finish_f =
   (* shape of the iteration space over kept dims, used to decode out index *)
   let kept_shape = Array.map (fun k -> shape.(k)) kept_arr in
   let axes_shape = Array.map (fun a -> shape.(a)) axes_arr in
-  Nd.init_f
-    (match t.Nd.dtype with Dtype.F32 | F64 -> t.Nd.dtype | I32 | I64 | Bool -> Dtype.F64)
-    out_shape
-    (fun oi ->
-      let kidx = Shape.unravel kept_shape oi in
-      let base = ref 0 in
-      Array.iteri (fun j k -> base := !base + (kidx.(j) * strides.(k))) kept_arr;
-      let acc = ref (init_of ()) in
-      for w = 0 to window - 1 do
+  let bases =
+    Array.init (Shape.numel out_shape) (fun oi ->
+        let kidx = Shape.unravel kept_shape oi in
+        let base = ref 0 in
+        Array.iteri
+          (fun j k -> base := !base + (kidx.(j) * strides.(k)))
+          kept_arr;
+        !base)
+  in
+  let woffs =
+    Array.init window (fun w ->
         let widx = Shape.unravel axes_shape w in
-        let off = ref !base in
+        let off = ref 0 in
         Array.iteri (fun j a -> off := !off + (widx.(j) * strides.(a))) axes_arr;
-        acc := combine_f !acc (Nd.to_float t !off)
-      done;
-      finish_f !acc window)
+        !off)
+  in
+  { rp_shape = shape; rp_out_shape = out_shape; rp_bases = bases; rp_woffs = woffs }
+
+let out_shape p = p.rp_out_shape
+
+let apply p (t : Nd.t) ~init_of ~combine_f ~finish_f ~dst =
+  if not (Shape.equal p.rp_shape t.Nd.shape) then
+    invalid_arg "Reduce.apply: plan/source shape mismatch";
+  let window = Array.length p.rp_woffs in
+  let woffs = p.rp_woffs and bases = p.rp_bases in
+  for oi = 0 to Array.length bases - 1 do
+    let base = bases.(oi) in
+    let acc = ref (init_of ()) in
+    for w = 0 to window - 1 do
+      acc := combine_f !acc (Nd.to_float t (base + woffs.(w)))
+    done;
+    Nd.set_f dst oi (finish_f !acc window)
+  done
+
+let reduce_gen (t : Nd.t) axes keepdims ~init_of ~combine_f ~finish_f =
+  let p = plan ~axes ~keepdims t.Nd.shape in
+  let odtype =
+    match t.Nd.dtype with
+    | Dtype.F32 | F64 -> t.Nd.dtype
+    | I32 | I64 | Bool -> Dtype.F64
+  in
+  let out = Nd.create odtype p.rp_out_shape in
+  apply p t ~init_of ~combine_f ~finish_f ~dst:out;
+  out
 
 let require_numeric name (t : Nd.t) =
   if t.Nd.dtype = Dtype.Bool then
@@ -98,6 +136,47 @@ let min_ ?(keepdims = false) ~axes t =
       ~finish_f:(fun acc _ -> acc)
   in
   if Dtype.is_int t.Nd.dtype then Nd.cast out t.Nd.dtype else out
+
+(* Destination-passing float reductions over a precompiled plan.  Restricted
+   to float sources (integer reductions go through the allocating entry
+   points, which round-trip through F64 and cast back). *)
+let require_float name (t : Nd.t) =
+  if not (Dtype.is_float t.Nd.dtype) then
+    invalid_arg (Printf.sprintf "Reduce.%s: not a float tensor" name)
+
+let sum_into p t ~dst =
+  require_float "sum_into" t;
+  apply p t ~init_of:(fun () -> 0.) ~combine_f:( +. )
+    ~finish_f:(fun acc _ -> acc)
+    ~dst
+
+let mean_into p t ~dst =
+  require_float "mean_into" t;
+  apply p t ~init_of:(fun () -> 0.) ~combine_f:( +. )
+    ~finish_f:(fun acc w -> acc /. float_of_int w)
+    ~dst
+
+let prod_into p t ~dst =
+  require_float "prod_into" t;
+  apply p t ~init_of:(fun () -> 1.) ~combine_f:( *. )
+    ~finish_f:(fun acc _ -> acc)
+    ~dst
+
+let max_into p t ~dst =
+  require_float "max_into" t;
+  apply p t
+    ~init_of:(fun () -> Float.neg_infinity)
+    ~combine_f:(combine_nan_aware Float.max)
+    ~finish_f:(fun acc _ -> acc)
+    ~dst
+
+let min_into p t ~dst =
+  require_float "min_into" t;
+  apply p t
+    ~init_of:(fun () -> Float.infinity)
+    ~combine_f:(combine_nan_aware Float.min)
+    ~finish_f:(fun acc _ -> acc)
+    ~dst
 
 let arg_extremum ~better ?(keepdims = false) ~axis (t : Nd.t) =
   require_numeric "arg" t;

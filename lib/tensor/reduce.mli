@@ -4,6 +4,28 @@
     as the extreme value (first occurrence wins), matching the numpy/ONNX
     behaviour the paper's ArgMax discussion relies on. *)
 
+type plan
+(** Precompiled reduction geometry for one (source shape, axes, keepdims)
+    combination: per-output-cell base offsets plus per-window-element offset
+    deltas.  Applying a plan folds the window in the same order as the
+    allocating entry points, so results are bit-identical. *)
+
+val plan : axes:int list -> keepdims:bool -> Shape.t -> plan
+(** Raises [Invalid_argument] on out-of-range axes.  An empty axis list
+    reduces all axes. *)
+
+val out_shape : plan -> Shape.t
+
+val sum_into : plan -> Nd.t -> dst:Nd.t -> unit
+(** Destination-passing float reductions; the source must be a float tensor
+    whose shape the plan was built for, and [dst] must have the plan's output
+    shape. *)
+
+val mean_into : plan -> Nd.t -> dst:Nd.t -> unit
+val prod_into : plan -> Nd.t -> dst:Nd.t -> unit
+val max_into : plan -> Nd.t -> dst:Nd.t -> unit
+val min_into : plan -> Nd.t -> dst:Nd.t -> unit
+
 val sum : ?keepdims:bool -> axes:int list -> Nd.t -> Nd.t
 (** Works for float and integer tensors; an empty axis list reduces all
     axes. *)

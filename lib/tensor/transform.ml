@@ -16,6 +16,30 @@ let gather (src : Nd.t) out_shape ~fill f =
       Nd.init_b out_shape (fun i ->
           match f i with Src j -> Nd.get_b src j | Fill -> fill <> 0.)
 
+(* Destination-passing gather over a materialised index map (entry [i] is the
+   source offset for output position [i], or -1 for the fill value).  Writes
+   through [Nd.set_*], so results are bit-identical to [gather]. *)
+let gather_into (src : Nd.t) ~map ~fill ~dst =
+  let n = Array.length map in
+  (match src.Nd.dtype with
+  | Dtype.F32 | F64 ->
+      for i = 0 to n - 1 do
+        let j = map.(i) in
+        Nd.set_f dst i (if j >= 0 then Nd.to_float src j else fill)
+      done
+  | I32 | I64 ->
+      let ifill = int_of_float fill in
+      for i = 0 to n - 1 do
+        let j = map.(i) in
+        Nd.set_i dst i (if j >= 0 then Nd.to_int src j else ifill)
+      done
+  | Bool ->
+      let bfill = fill <> 0. in
+      for i = 0 to n - 1 do
+        let j = map.(i) in
+        Nd.set_b dst i (if j >= 0 then Nd.get_b src j else bfill)
+      done)
+
 let reshape t new_shape =
   if Shape.numel t.Nd.shape <> Shape.numel new_shape then
     invalid_arg
@@ -37,30 +61,39 @@ let is_permutation perm =
       end)
     perm
 
-let transpose t perm =
-  let r = Nd.rank t in
+(* Shared index formula behind [transpose] and the plan-compiled map. *)
+let transpose_spec src_shape perm =
+  let r = Array.length src_shape in
   if Array.length perm <> r || not (is_permutation perm) then
     invalid_arg "Transform.transpose: bad permutation";
-  let src_shape = t.Nd.shape in
   let out_shape = Array.map (fun p -> src_shape.(p)) perm in
-  gather t out_shape ~fill:0. (fun i ->
-      let oidx = Shape.unravel out_shape i in
-      let sidx = Array.make r 0 in
-      for k = 0 to r - 1 do
-        sidx.(perm.(k)) <- oidx.(k)
-      done;
-      Src (Shape.ravel src_shape sidx))
+  let f i =
+    let oidx = Shape.unravel out_shape i in
+    let sidx = Array.make r 0 in
+    for k = 0 to r - 1 do
+      sidx.(perm.(k)) <- oidx.(k)
+    done;
+    Shape.ravel src_shape sidx
+  in
+  (out_shape, f)
+
+let transpose t perm =
+  let out_shape, f = transpose_spec t.Nd.shape perm in
+  gather t out_shape ~fill:0. (fun i -> Src (f i))
+
+let transpose_map src_shape perm =
+  let out_shape, f = transpose_spec src_shape perm in
+  (out_shape, Array.init (Shape.numel out_shape) f)
 
 let clamp_index d i =
   let i = if i < 0 then i + d else i in
   max 0 (min d i)
 
-let slice t ~starts ~stops ~steps =
-  let r = Nd.rank t in
+let slice_spec src_shape ~starts ~stops ~steps =
+  let r = Array.length src_shape in
   if Array.length starts <> r || Array.length stops <> r || Array.length steps <> r
   then invalid_arg "Transform.slice: rank mismatch";
   Array.iter (fun s -> if s < 1 then invalid_arg "Transform.slice: step < 1") steps;
-  let src_shape = t.Nd.shape in
   let starts = Array.mapi (fun k s -> clamp_index src_shape.(k) s) starts in
   let stops = Array.mapi (fun k s -> clamp_index src_shape.(k) s) stops in
   let out_shape =
@@ -70,10 +103,20 @@ let slice t ~starts ~stops ~steps =
   in
   if Array.exists (fun d -> d = 0) out_shape then
     invalid_arg "Transform.slice: empty result";
-  gather t out_shape ~fill:0. (fun i ->
-      let oidx = Shape.unravel out_shape i in
-      let sidx = Array.init r (fun k -> starts.(k) + (oidx.(k) * steps.(k))) in
-      Src (Shape.ravel src_shape sidx))
+  let f i =
+    let oidx = Shape.unravel out_shape i in
+    let sidx = Array.init r (fun k -> starts.(k) + (oidx.(k) * steps.(k))) in
+    Shape.ravel src_shape sidx
+  in
+  (out_shape, f)
+
+let slice t ~starts ~stops ~steps =
+  let out_shape, f = slice_spec t.Nd.shape ~starts ~stops ~steps in
+  gather t out_shape ~fill:0. (fun i -> Src (f i))
+
+let slice_map src_shape ~starts ~stops ~steps =
+  let out_shape, f = slice_spec src_shape ~starts ~stops ~steps in
+  (out_shape, Array.init (Shape.numel out_shape) f)
 
 type pad_mode = Constant of float | Reflect | Replicate
 
@@ -86,11 +129,12 @@ let reflect_index d i =
     if j < d then j else period - j
   end
 
-let pad t ~before ~after ~mode =
-  let r = Nd.rank t in
+(* Shared index formula behind [pad] and the plan-compiled map; [-1] marks a
+   fill position. *)
+let pad_spec src_shape ~before ~after ~mode =
+  let r = Array.length src_shape in
   if Array.length before <> r || Array.length after <> r then
     invalid_arg "Transform.pad: rank mismatch";
-  let src_shape = t.Nd.shape in
   let out_shape =
     Array.init r (fun k -> src_shape.(k) + before.(k) + after.(k))
   in
@@ -105,64 +149,99 @@ let pad t ~before ~after ~mode =
         src_shape
   | Constant _ | Replicate -> ());
   let fill = match mode with Constant v -> v | Reflect | Replicate -> 0. in
+  let f i =
+    let oidx = Shape.unravel out_shape i in
+    let sidx = Array.make r 0 in
+    let inside = ref true in
+    for k = 0 to r - 1 do
+      let j = oidx.(k) - before.(k) in
+      let d = src_shape.(k) in
+      if j >= 0 && j < d then sidx.(k) <- j
+      else begin
+        match mode with
+        | Constant _ -> inside := false
+        | Reflect -> sidx.(k) <- reflect_index d j
+        | Replicate -> sidx.(k) <- max 0 (min (d - 1) j)
+      end
+    done;
+    if !inside then Shape.ravel src_shape sidx else -1
+  in
+  (out_shape, fill, f)
+
+let pad t ~before ~after ~mode =
+  let out_shape, fill, f = pad_spec t.Nd.shape ~before ~after ~mode in
   gather t out_shape ~fill (fun i ->
-      let oidx = Shape.unravel out_shape i in
-      let sidx = Array.make r 0 in
-      let inside = ref true in
-      for k = 0 to r - 1 do
-        let j = oidx.(k) - before.(k) in
-        let d = src_shape.(k) in
-        if j >= 0 && j < d then sidx.(k) <- j
-        else begin
-          match mode with
-          | Constant _ -> inside := false
-          | Reflect -> sidx.(k) <- reflect_index d j
-          | Replicate -> sidx.(k) <- max 0 (min (d - 1) j)
-        end
-      done;
-      if !inside then Src (Shape.ravel src_shape sidx) else Fill)
+      match f i with -1 -> Fill | j -> Src j)
+
+let pad_map src_shape ~before ~after ~mode =
+  let out_shape, fill, f = pad_spec src_shape ~before ~after ~mode in
+  (out_shape, Array.init (Shape.numel out_shape) f, fill)
+
+(* Shared geometry behind [concat] and the plan-compiled map: maps an output
+   position to (part index, offset within that part). *)
+let concat_spec ~axis shapes =
+  match shapes with
+  | [] -> invalid_arg "Transform.concat: empty list"
+  | (first : Shape.t) :: _ ->
+      let r = Array.length first in
+      if axis < 0 || axis >= r then invalid_arg "Transform.concat: bad axis";
+      List.iter
+        (fun (s : Shape.t) ->
+          if Array.length s <> r then
+            invalid_arg "Transform.concat: rank or dtype mismatch";
+          Array.iteri
+            (fun k d ->
+              if k <> axis && d <> first.(k) then
+                invalid_arg "Transform.concat: non-axis dim mismatch")
+            s)
+        shapes;
+      let axis_total =
+        List.fold_left (fun acc (s : Shape.t) -> acc + s.(axis)) 0 shapes
+      in
+      let out_shape = Array.copy first in
+      out_shape.(axis) <- axis_total;
+      let parts = Array.of_list shapes in
+      let offsets = Array.make (Array.length parts) 0 in
+      let running = ref 0 in
+      Array.iteri
+        (fun pi (s : Shape.t) ->
+          offsets.(pi) <- !running;
+          running := !running + s.(axis))
+        parts;
+      let locate j =
+        (* which part does axis index [j] fall into *)
+        let rec go pi =
+          if j < offsets.(pi) + parts.(pi).(axis) then pi else go (pi + 1)
+        in
+        go 0
+      in
+      let f i =
+        let oidx = Shape.unravel out_shape i in
+        let pi = locate oidx.(axis) in
+        let sidx = Array.copy oidx in
+        sidx.(axis) <- oidx.(axis) - offsets.(pi);
+        (pi, Shape.ravel parts.(pi) sidx)
+      in
+      (out_shape, f)
 
 let concat ~axis ts =
   match ts with
   | [] -> invalid_arg "Transform.concat: empty list"
   | first :: _ ->
-      let r = Nd.rank first in
-      if axis < 0 || axis >= r then invalid_arg "Transform.concat: bad axis";
+      if axis < 0 || axis >= Nd.rank first then
+        invalid_arg "Transform.concat: bad axis";
       List.iter
         (fun t ->
-          if Nd.rank t <> r || t.Nd.dtype <> first.Nd.dtype then
-            invalid_arg "Transform.concat: rank or dtype mismatch";
-          Array.iteri
-            (fun k d ->
-              if k <> axis && d <> first.Nd.shape.(k) then
-                invalid_arg "Transform.concat: non-axis dim mismatch")
-            t.Nd.shape)
+          if Nd.rank t <> Nd.rank first || t.Nd.dtype <> first.Nd.dtype then
+            invalid_arg "Transform.concat: rank or dtype mismatch")
         ts;
-      let axis_total =
-        List.fold_left (fun acc t -> acc + t.Nd.shape.(axis)) 0 ts
+      let out_shape, f =
+        concat_spec ~axis (List.map (fun t -> t.Nd.shape) ts)
       in
-      let out_shape = Array.copy first.Nd.shape in
-      out_shape.(axis) <- axis_total;
       let parts = Array.of_list ts in
-      let offsets = Array.make (Array.length parts) 0 in
-      let running = ref 0 in
-      Array.iteri
-        (fun pi p ->
-          offsets.(pi) <- !running;
-          running := !running + p.Nd.shape.(axis))
-        parts;
-      let locate j =
-        (* which part does axis index [j] fall into *)
-        let rec go pi = if j < offsets.(pi) + parts.(pi).Nd.shape.(axis) then pi else go (pi + 1) in
-        go 0
-      in
       let read_part read i =
-        let oidx = Shape.unravel out_shape i in
-        let pi = locate oidx.(axis) in
-        let p = parts.(pi) in
-        let sidx = Array.copy oidx in
-        sidx.(axis) <- oidx.(axis) - offsets.(pi);
-        read p (Shape.ravel p.Nd.shape sidx)
+        let pi, off = f i in
+        read parts.(pi) off
       in
       (match first.Nd.dtype with
       | F32 | F64 -> Nd.init_f first.Nd.dtype out_shape (read_part Nd.to_float)

@@ -30,3 +30,32 @@ val flatten : Nd.t -> axis:int -> Nd.t
 
 val expand : Nd.t -> Shape.t -> Nd.t
 (** Alias of {!Nd.broadcast_to} with ONNX BroadcastTo semantics. *)
+
+(** {2 Plan-compiled index maps}
+
+    Each [*_map] builder shares its index formula with the allocating kernel
+    above, returning the output shape plus a materialised per-output-position
+    source-offset array that {!gather_into} (or an execution plan) can replay
+    without recomputing any index arithmetic.  They raise the same
+    [Invalid_argument] errors as their allocating counterparts. *)
+
+val transpose_map : Shape.t -> int array -> Shape.t * int array
+
+val slice_map :
+  Shape.t -> starts:int array -> stops:int array -> steps:int array ->
+  Shape.t * int array
+
+val pad_map :
+  Shape.t -> before:int array -> after:int array -> mode:pad_mode ->
+  Shape.t * int array * float
+(** Map entries of [-1] mark fill positions; the returned float is the fill
+    value. *)
+
+val concat_spec : axis:int -> Shape.t list -> Shape.t * (int -> int * int)
+(** Output shape plus a function from output position to
+    [(part index, offset within part)].  Validates rank/axis/non-axis dims
+    (but not dtypes — {!concat} checks those). *)
+
+val gather_into : Nd.t -> map:int array -> fill:float -> dst:Nd.t -> unit
+(** Destination-passing gather over a materialised map; entry [-1] writes the
+    fill value (converted per dtype exactly as the allocating [gather]). *)

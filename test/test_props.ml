@@ -426,6 +426,75 @@ let test_cache_transparent_campaign () =
             true (got = reference))
         [ (true, 1); (false, 2); (true, 2) ])
 
+(* Execution plans must be bit-transparent to the gradient search: the same
+   seeded search returns the same iteration/restart counts and every binding
+   bit with the plan on or off (NaN/Inf early-stops included — bad forwards
+   are the common case here). *)
+let prop_plan_search_bit_identical =
+  QCheck.Test.make ~name:"exec plan transparent to gradient search" ~count:60
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      match Gen_.generate { Config.default with seed; max_nodes = 10 } with
+      | exception Gen_.Gen_failure _ -> true
+      | g ->
+          let module Plan = Nnsmith_exec.Plan in
+          let module Search = Nnsmith_grad.Search in
+          let was = Plan.enabled () in
+          Fun.protect
+            ~finally:(fun () -> Plan.set_enabled was)
+            (fun () ->
+              let run on =
+                Plan.set_enabled on;
+                Search.search ~budget_ms:infinity ~max_iters:48
+                  ~method_:Search.Gradient
+                  (rng_of (seed + 7))
+                  g
+              in
+              let a = run true and b = run false in
+              a.Search.iterations = b.Search.iterations
+              && a.Search.restarts = b.Search.restarts
+              &&
+              match (a.Search.binding, b.Search.binding) with
+              | None, None -> true
+              | Some ba, Some bb ->
+                  List.length ba = List.length bb
+                  && List.for_all2
+                       (fun (ia, ta) (ib, tb) -> ia = ib && Nd.equal ta tb)
+                       ba bb
+              | _ -> false))
+
+(* Execution plans must also be invisible to complete fuzzing campaigns: a
+   fixed-seed campaign yields bit-identical failure keys and verdict tallies
+   with plans on or off, at one worker or two. *)
+let test_plan_transparent_campaign () =
+  let check = Alcotest.(check bool) in
+  let module D = Nnsmith_difftest in
+  let module Plan = Nnsmith_exec.Plan in
+  let was = Plan.enabled () in
+  Nnsmith_faults.Faults.activate_all ();
+  Fun.protect
+    ~finally:(fun () ->
+      Nnsmith_faults.Faults.deactivate_all ();
+      Plan.set_enabled was)
+    (fun () ->
+      let run ~plan ~jobs =
+        Plan.set_enabled plan;
+        let r =
+          D.Pfuzz.fuzz ~jobs ~systems:[ D.Systems.lotus ] ~root_seed:20230325
+            ~budget:(Nnsmith_parallel.Pool.Tests 16) ()
+        in
+        (r.r_failure_keys, List.sort compare r.r_verdicts)
+      in
+      let reference = run ~plan:false ~jobs:1 in
+      check "reference campaign found failures" true (fst reference <> []);
+      List.iter
+        (fun (plan, jobs) ->
+          let got = run ~plan ~jobs in
+          check
+            (Printf.sprintf "plan=%b jobs=%d matches reference" plan jobs)
+            true (got = reference))
+        [ (true, 1); (false, 2); (true, 2) ])
+
 let () =
   Alcotest.run "props"
     [
@@ -443,8 +512,11 @@ let () =
       ( "pipeline",
         Alcotest.test_case "solve cache transparent to campaigns" `Quick
           test_cache_transparent_campaign
+        :: Alcotest.test_case "exec plan transparent to campaigns" `Quick
+             test_plan_transparent_campaign
         :: List.map QCheck_alcotest.to_alcotest
              [
+               prop_plan_search_bit_identical;
                prop_runtime_types_match_declared;
                prop_compilers_agree_with_reference;
                prop_serial_roundtrip_generated;

@@ -2,8 +2,9 @@
 # Repo CI gate — one command, non-zero exit on any failure:
 #
 #   build+tests   dune build @ci         (whole tree + every test suite)
-#   bench smoke   bench/main.exe --only solver_cache  (appends a row to
-#                 BENCH_solver.json; fails on cache-on/off graph drift)
+#   bench smoke   bench/main.exe --only solver_cache / --only gradsearch
+#                 (append rows to BENCH_solver.json / BENCH_gradsearch.json;
+#                 fail on cache-on/off graph drift or plan-on/off bit drift)
 #   perf gate     bench/main.exe regress (>15% tests/sec drop fails)
 #   style         no tabs / trailing whitespace; new lib modules need .mli
 #   hygiene       no tracked _build/, CHANGES.md updated alongside HEAD
@@ -20,6 +21,10 @@ dune build @ci || err "dune build @ci failed"
 note "bench smoke (solver cache)"
 dune exec bench/main.exe -- --only solver_cache --budget 400 \
   || err "solver-cache bench smoke failed"
+
+note "bench smoke (gradient search plans)"
+dune exec bench/main.exe -- --only gradsearch --budget 400 \
+  || err "gradsearch bench smoke failed"
 
 note "bench regress"
 dune exec bench/main.exe -- regress \
