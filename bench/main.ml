@@ -27,6 +27,71 @@ let telemetry_out : string option ref = ref None
 let section title =
   Printf.printf "\n================ %s ================\n%!" title
 
+(* ------------------------------------------------------------------ *)
+(* Per-commit bench history: every appending experiment also records a
+   normalized row — (commit, experiment, tests/sec, digest) — appended
+   to bench/history.jsonl forever and rewritten into bench/latest.json
+   for the current commit.  The dashboard charts the history; `bench
+   regress` keeps gating on the BENCH_*.json trails. *)
+
+let git_commit =
+  lazy
+    (try
+       let ic =
+         Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null"
+       in
+       let line = try String.trim (input_line ic) with End_of_file -> "" in
+       ignore (Unix.close_process_in ic);
+       if line = "" then "unknown" else line
+     with _ -> "unknown")
+
+let bench_dir = "bench"
+let history_file = Filename.concat bench_dir "history.jsonl"
+let latest_file = Filename.concat bench_dir "latest.json"
+
+let record_bench ~experiment ~tests_per_sec ~digest =
+  let module Json = Nnsmith_telemetry.Json in
+  let commit = Lazy.force git_commit in
+  if not (Sys.file_exists bench_dir) then
+    (try Unix.mkdir bench_dir 0o755
+     with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let row =
+    Printf.sprintf
+      "{\"commit\":%S,\"experiment\":%S,\"tests_per_sec\":%.2f,\"digest\":%S}"
+      commit experiment tests_per_sec digest
+  in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 history_file in
+  output_string oc (row ^ "\n");
+  close_out oc;
+  (* latest.json: one row per experiment, current commit only (a new
+     commit's first experiment resets the file) *)
+  let keep =
+    if not (Sys.file_exists latest_file) then []
+    else begin
+      let ic = open_in latest_file in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      close_in ic;
+      List.filter
+        (fun line ->
+          match Json.parse line with
+          | Error _ -> false
+          | Ok j ->
+              let str k = Option.bind (Json.member k j) Json.to_str in
+              str "commit" = Some commit && str "experiment" <> Some experiment)
+        (List.rev !lines)
+    end
+  in
+  let oc = open_out latest_file in
+  List.iter (fun l -> output_string oc (l ^ "\n")) (keep @ [ row ]);
+  close_out oc;
+  Printf.printf "recorded %s @ %s in %s and %s\n" experiment commit
+    history_file latest_file
+
 let pct a b = if b = 0 then 0. else 100. *. float_of_int a /. float_of_int b
 
 (* ------------------------------------------------------------------ *)
@@ -165,7 +230,7 @@ let fig7 () =
 let fig8 () =
   section "Figure 8: NNSmith vs TZer on Lotus (graph vs low-level fuzzing)";
   Faults.deactivate_all ();
-  let tzer = D.Campaign.tzer ~budget_ms:!budget_ms ~seed:7 in
+  let tzer = D.Campaign.tzer ~budget_ms:!budget_ms ~seed:7 () in
   let nnsmith =
     D.Campaign.coverage ~budget_ms:!budget_ms ~system:D.Systems.lotus
       (D.Generators.nnsmith ~seed:20230325 ())
@@ -603,6 +668,59 @@ let telemetry_overhead () =
     (100. *. (!on -. !off) /. Float.max 1e-9 !off)
 
 (* ------------------------------------------------------------------ *)
+(* Journal overhead: fixed-test fuzz campaign, journal on vs off.       *)
+(* The journal must cost ~nothing on the hot path: workers rate-limit    *)
+(* heartbeats at 250 ms and ship them best-effort, and the writer only   *)
+(* touches the disk on the calling domain. *)
+
+let journal_overhead () =
+  section "Journal overhead: fixed-work fuzz campaign, journal on vs off";
+  let module Journal = Nnsmith_journal.Journal in
+  Faults.deactivate_all ();
+  let seed = 20230325 in
+  let n = max 24 (int_of_float (!budget_ms /. 50.)) in
+  let dir = Filename.temp_file "nnsmith_journal_bench" "" in
+  Sys.remove dir;
+  let fuzz_run journaling =
+    let journal =
+      if journaling then
+        Some (Journal.create ~path:(Journal.in_dir dir) ())
+      else None
+    in
+    Tel.reset ();
+    let t0 = Unix.gettimeofday () in
+    ignore
+      (D.Pfuzz.fuzz ~jobs:1 ?journal ~systems:[ D.Systems.oxrt ]
+         ~root_seed:seed
+         ~budget:(Nnsmith_parallel.Pool.Tests n)
+         ());
+    let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+    Option.iter Journal.close journal;
+    ms
+  in
+  ignore (fuzz_run false);  (* warm up caches and allocator *)
+  (* Interleave on/off rounds and keep the fastest of each, like the
+     telemetry-overhead bench: GC and scheduler drift must not read as
+     instrumentation cost. *)
+  let on = ref infinity and off = ref infinity in
+  for round = 1 to 6 do
+    let first_on = round land 1 = 1 in
+    let a = fuzz_run first_on in
+    let b = fuzz_run (not first_on) in
+    let on_ms, off_ms = if first_on then (a, b) else (b, a) in
+    on := Float.min !on on_ms;
+    off := Float.min !off off_ms
+  done;
+  Printf.printf
+    "%d-test campaign: journal=%.1fms none=%.1fms overhead=%+.1f%%\n" n !on
+    !off
+    (100. *. (!on -. !off) /. Float.max 1e-9 !off);
+  (try
+     Sys.readdir dir |> Array.iter (fun f -> Sys.remove (Filename.concat dir f));
+     Unix.rmdir dir
+   with Sys_error _ | Unix.Unix_error _ -> ())
+
+(* ------------------------------------------------------------------ *)
 (* Corpus throughput: on-disk save and deterministic replay, cases/sec *)
 
 let corpus_throughput () =
@@ -755,7 +873,9 @@ let bench_parallel () =
   in
   output_string oc (line ^ "\n");
   close_out oc;
-  Printf.printf "appended to BENCH_parallel.json\n"
+  Printf.printf "appended to BENCH_parallel.json\n";
+  record_bench ~experiment:"parallel" ~tests_per_sec:jobs1_tps
+    ~digest:(Printf.sprintf "tests=%d" n)
 
 (* ------------------------------------------------------------------ *)
 (* Shared machinery for the on/off A-B benches (solver cache, execution
@@ -900,7 +1020,9 @@ let bench_solver_cache () =
   in
   output_string oc (line ^ "\n");
   close_out oc;
-  Printf.printf "appended to BENCH_solver.json\n"
+  Printf.printf "appended to BENCH_solver.json\n";
+  record_bench ~experiment:"solver_cache" ~tests_per_sec:on_tps
+    ~digest:(string_of_int !d_on)
 
 (* ------------------------------------------------------------------ *)
 (* Execution plans: fixed-seed gradient-search workload, plans on vs     *)
@@ -1027,7 +1149,9 @@ let bench_gradsearch () =
   in
   output_string oc (line ^ "\n");
   close_out oc;
-  Printf.printf "appended to BENCH_gradsearch.json\n"
+  Printf.printf "appended to BENCH_gradsearch.json\n";
+  record_bench ~experiment:"gradsearch" ~tests_per_sec:on_tps
+    ~digest:(string_of_int !d_on)
 
 (* ------------------------------------------------------------------ *)
 (* `bench regress`: the CI gate.  Compare the last BENCH_*.json row      *)
@@ -1133,6 +1257,7 @@ let experiments =
     ("stat_gen", stat_gen);
     ("micro", micro);
     ("telemetry", telemetry_overhead);
+    ("journal", journal_overhead);
     ("corpus", corpus_throughput);
     ("parallel", bench_parallel);
     ("solver_cache", bench_solver_cache);

@@ -272,3 +272,60 @@ let () =
   Nnsmith_faults.Faults.deactivate_all ();
   Printf.printf "parallel smoke ok (%d shared failure key(s))\n"
     (List.length r2.r_failure_keys)
+
+(* Journal + dashboard wiring: a journaled 2-domain campaign must leave a
+   clean journal whose aggregates the dashboard renders as balanced,
+   NaN-free HTML with a non-empty triage table. *)
+let () =
+  let module J = Nnsmith_journal.Journal in
+  let module Dash = Nnsmith_dashboard.Dashboard in
+  Nnsmith_faults.Faults.activate_all ();
+  Tel.reset ();
+  let dir = temp_dir "nnsmith_dash_smoke" in
+  let j = J.create ~path:(J.in_dir dir) () in
+  let r =
+    D.Pfuzz.fuzz ~jobs:2 ~journal:j ~report_dir:dir
+      ~systems:[ D.Systems.oxrt ] ~root_seed:11
+      ~budget:(Nnsmith_parallel.Pool.Tests 24) ()
+  in
+  J.close j;
+  Nnsmith_faults.Faults.deactivate_all ();
+  if r.r_saved = 0 then die "dashboard smoke: campaign saved no cases";
+  if Tel.counter_value "journal/dropped" <> 0 then
+    die "dashboard smoke: journal dropped %d event(s) in a normal run"
+      (Tel.counter_value "journal/dropped");
+  (match J.read_file (J.in_dir dir) with
+  | Error m -> die "dashboard smoke: journal unreadable: %s" m
+  | Ok jr ->
+      if jr.J.torn_tail || jr.J.bad_lines > 0 then
+        die "dashboard smoke: journal not clean";
+      let has p = List.exists p jr.J.events in
+      if not (has (function J.Start _ -> true | _ -> false)) then
+        die "dashboard smoke: no Start event";
+      if not (has (function J.Summary _ -> true | _ -> false)) then
+        die "dashboard smoke: no Summary event";
+      if not (has (function J.Bug _ -> true | _ -> false)) then
+        die "dashboard smoke: no Bug events");
+  let html = Dash.of_dir ~bench_dir:dir dir in
+  let contains needle =
+    let n = String.length html and m = String.length needle in
+    let rec go i = i + m <= n && (String.sub html i m = needle || go (i + 1)) in
+    go 0
+  in
+  let count needle =
+    let n = String.length html and m = String.length needle in
+    let rec go i acc =
+      if i + m > n then acc
+      else go (i + 1) (if String.sub html i m = needle then acc + 1 else acc)
+    in
+    go 0 0
+  in
+  if contains "NaN" then die "dashboard smoke: NaN leaked into the HTML";
+  if count "<section>" <> count "</section>" then
+    die "dashboard smoke: unbalanced <section> tags";
+  if count "<table" <> count "</table>" then
+    die "dashboard smoke: unbalanced <table> tags";
+  if not (contains "Bug triage") then die "dashboard smoke: no triage section";
+  if not (contains "<td>") then die "dashboard smoke: empty triage table";
+  Printf.printf "journal + dashboard smoke ok (%d byte(s) of HTML)\n"
+    (String.length html)

@@ -21,6 +21,9 @@ module Faults = Nnsmith_faults.Faults
 module Tel = Nnsmith_telemetry.Telemetry
 module Corpus = Nnsmith_corpus.Corpus
 module Pool = Nnsmith_parallel.Pool
+module Journal = Nnsmith_journal.Journal
+module Progress = Nnsmith_journal.Progress
+module Dashboard = Nnsmith_dashboard.Dashboard
 module D = Nnsmith_difftest
 
 let rec mkdir_p d =
@@ -151,6 +154,64 @@ let budget_of ~budget_s = function
   | Some n -> Pool.Tests n
   | None -> Pool.Time_ms (budget_s *. 1000.)
 
+(* ---- campaign journal / live progress ----------------------------- *)
+
+(* One writer per invocation, created before the campaign and closed
+   after it (even on exceptions).  [--progress] hangs the live renderer
+   off the journal's observer hook, so every figure on the terminal comes
+   from an event already durably on disk; with [--progress] alone the
+   journal is observer-only (no file). *)
+let with_journal ~journal_dir ~progress k =
+  if journal_dir = None && not progress then k None
+  else begin
+    let prog = if progress then Some (Progress.create ()) else None in
+    let observer = Option.map (fun p ev -> Progress.observe p ev) prog in
+    let path = Option.map Journal.in_dir journal_dir in
+    let journal = Journal.create ?observer ?path () in
+    let finish () =
+      Journal.close journal;
+      Option.iter Progress.finish prog;
+      Option.iter
+        (fun p ->
+          Printf.printf "journal: %s (%d event(s))\n" p
+            (Journal.events_written journal))
+        (Journal.path journal)
+    in
+    match k (Some journal) with
+    | code ->
+        finish ();
+        code
+    | exception e ->
+        finish ();
+        raise e
+  end
+
+(* --journal DIR also defaults --report-dir to DIR, so
+   `nnsmith fuzz --journal d && nnsmith dashboard d` shows a full triage
+   table without extra flags. *)
+let default_report_dir report_dir journal_dir =
+  match report_dir with Some _ -> report_dir | None -> journal_dir
+
+let journal_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"DIR"
+        ~doc:
+          "Append the campaign event journal to $(docv)/journal.jsonl \
+           (crash-safe JSONL; render it with `nnsmith dashboard $(docv)`). \
+           Also defaults $(b,--report-dir) to $(docv).")
+
+let progress_t =
+  Arg.(
+    value
+    & flag
+    & info [ "progress" ]
+        ~doc:
+          "Render a live one-line status (tests/sec, verdicts, bugs, \
+           coverage, solver-cache hit rate, ETA) on stderr, derived from \
+           the journal event stream.")
+
 let print_parallel_result ?(triggered = false) (r : D.Pfuzz.result) =
   let s = r.r_stats in
   Printf.printf "jobs=%d tests=%d (%.1f tests/s, %.0f ms)\n" s.st_jobs
@@ -158,8 +219,11 @@ let print_parallel_result ?(triggered = false) (r : D.Pfuzz.result) =
   if s.st_jobs > 1 then
     List.iter
       (fun (w : Pool.worker_report) ->
-        Printf.printf "  worker %d: %d tests, %d failure(s), %.0f ms\n"
-          w.wr_worker w.wr_tests w.wr_failures w.wr_elapsed_ms)
+        Printf.printf "  worker %d: %d tests, %d failure(s), %.0f ms%s\n"
+          w.wr_worker w.wr_tests w.wr_failures w.wr_elapsed_ms
+          (if w.wr_dropped > 0 then
+             Printf.sprintf ", %d journal event(s) dropped" w.wr_dropped
+           else ""))
       s.st_workers;
   List.iter (fun (k, n) -> Printf.printf "  %-12s %d\n" k n) r.r_verdicts;
   Printf.printf "unique failures: %d\n" (List.length r.r_failure_keys);
@@ -178,7 +242,7 @@ let print_corpus_line report_dir (r : D.Pfuzz.result) =
     report_dir
 
 let fuzz system_name budget_s tests jobs bugs seed telemetry report_dir
-    no_cache no_plan =
+    journal_dir progress no_cache no_plan =
   apply_no_cache no_cache;
   apply_no_plan no_plan;
   match system_of_name system_name with
@@ -188,14 +252,18 @@ let fuzz system_name budget_s tests jobs bugs seed telemetry report_dir
   | Some system ->
       if bugs then Faults.activate_all () else Faults.deactivate_all ();
       Tel.reset ();
-      let r =
-        D.Pfuzz.fuzz ~jobs ?report_dir ~systems:[ system ] ~root_seed:seed
-          ~budget:(budget_of ~budget_s tests) ()
-      in
-      Printf.printf "fuzzed %s: " system.s_name;
-      print_parallel_result r;
-      print_corpus_line report_dir r;
-      write_telemetry telemetry
+      let report_dir = default_report_dir report_dir journal_dir in
+      with_journal ~journal_dir ~progress (fun journal ->
+          let r =
+            D.Pfuzz.fuzz ~jobs ?journal ?report_dir ~systems:[ system ]
+              ~root_seed:seed
+              ~budget:(budget_of ~budget_s tests)
+              ()
+          in
+          Printf.printf "fuzzed %s: " system.s_name;
+          print_parallel_result r;
+          print_corpus_line report_dir r;
+          write_telemetry telemetry)
 
 let system_t =
   Arg.(value & opt string "oxrt" & info [ "system" ] ~docv:"SYS" ~doc:"oxrt | lotus | trt.")
@@ -245,7 +313,8 @@ let fuzz_cmd =
     (Cmd.info "fuzz" ~doc:"Differentially fuzz one compiler")
     Term.(
       const fuzz $ system_t $ budget_t $ tests_t $ jobs_t $ bugs_t $ seed_t
-      $ telemetry_t $ report_dir_t $ no_cache_t $ no_plan_t)
+      $ telemetry_t $ report_dir_t $ journal_t $ progress_t $ no_cache_t
+      $ no_plan_t)
 
 (* ---- replay / triage ----------------------------------------------- *)
 
@@ -292,12 +361,13 @@ let replay_cmd =
 let triage dir =
   with_corpus dir (fun corpus ->
       let rows = Corpus.triage corpus in
-      Printf.printf "%5s  %-6s %-9s %5s  %-24s %s\n" "count" "system" "verdict"
-        "nodes" "case" "dedup-key / bugs";
+      Printf.printf "%5s  %-6s %-9s %5s  %5s %5s  %-24s %s\n" "count" "system"
+        "verdict" "nodes" "first" "last" "case" "dedup-key / bugs";
       List.iter
         (fun (r : Corpus.triage_row) ->
-          Printf.printf "%5d  %-6s %-9s %5d  %-24s %s%s\n" r.tr_count
-            r.tr_system r.tr_verdict r.tr_nodes r.tr_case_id r.tr_key
+          Printf.printf "%5d  %-6s %-9s %5d  %5d %5d  %-24s %s%s\n" r.tr_count
+            r.tr_system r.tr_verdict r.tr_nodes r.tr_first r.tr_last
+            r.tr_case_id r.tr_key
             (match r.tr_bugs with
             | [] -> ""
             | bugs -> "  [" ^ String.concat ", " bugs ^ "]"))
@@ -314,7 +384,8 @@ let triage_cmd =
 
 (* ---- cov ---------------------------------------------------------- *)
 
-let cov budget_s tests jobs seed telemetry no_cache no_plan =
+let cov budget_s tests jobs seed telemetry journal_dir progress no_cache
+    no_plan =
   apply_no_cache no_cache;
   apply_no_plan no_plan;
   Faults.deactivate_all ();
@@ -326,74 +397,83 @@ let cov budget_s tests jobs seed telemetry no_cache no_plan =
       ("LEMON", fun s -> D.Generators.lemon ~seed:s ());
     ]
   in
-  List.iter
-    (fun (system : D.Systems.t) ->
+  with_journal ~journal_dir ~progress (fun journal ->
       List.iter
-        (fun (name, gen_of_seed) ->
-          (* each campaign resets telemetry, so one JSONL line per campaign *)
-          let fuzzer, n_tests, final =
-            if jobs = 1 && tests = None then
-              let r =
-                D.Campaign.coverage ~budget_ms:(budget_s *. 1000.) ~system
-                  (gen_of_seed seed)
+        (fun (system : D.Systems.t) ->
+          List.iter
+            (fun (name, gen_of_seed) ->
+              (* each campaign resets telemetry: one JSONL line per campaign *)
+              let fuzzer, n_tests, final =
+                if jobs = 1 && tests = None then
+                  let r =
+                    D.Campaign.coverage ?journal
+                      ~budget_ms:(budget_s *. 1000.) ~system
+                      (gen_of_seed seed)
+                  in
+                  (r.fuzzer, r.tests, r.final)
+                else
+                  let r =
+                    D.Pfuzz.coverage ~jobs ?journal ~generator:name ~system
+                      ~root_seed:seed
+                      ~budget:(budget_of ~budget_s tests)
+                      ~gen_of_seed ()
+                  in
+                  (name, r.r_stats.st_tests, r.r_coverage)
               in
-              (r.fuzzer, r.tests, r.final)
-            else
-              let r =
-                D.Pfuzz.coverage ~jobs ~system ~root_seed:seed
-                  ~budget:(budget_of ~budget_s tests) ~gen_of_seed ()
-              in
-              (name, r.r_stats.st_tests, r.r_coverage)
-          in
-          Printf.printf "%-6s %-12s tests=%-5d total=%-5d pass-only=%-5d\n%!"
-            system.s_name fuzzer n_tests (Cov.count final)
-            (Cov.count_pass final);
-          match telemetry with
-          | Some path -> (
-              try Tel.append_jsonl path (Tel.snapshot ())
-              with Sys_error m ->
-                if not !write_failed then
-                  Printf.eprintf "cannot write telemetry: %s\n%!" m;
-                write_failed := true)
-          | None -> ())
-        generators)
-    D.Systems.open_source;
-  (match telemetry with
-  | Some path when not !write_failed ->
-      Printf.printf "telemetry appended to %s\n" path
-  | _ -> ());
-  if !write_failed then 1 else 0
+              Printf.printf
+                "%-6s %-12s tests=%-5d total=%-5d pass-only=%-5d\n%!"
+                system.s_name fuzzer n_tests (Cov.count final)
+                (Cov.count_pass final);
+              match telemetry with
+              | Some path -> (
+                  try Tel.append_jsonl path (Tel.snapshot ())
+                  with Sys_error m ->
+                    if not !write_failed then
+                      Printf.eprintf "cannot write telemetry: %s\n%!" m;
+                    write_failed := true)
+              | None -> ())
+            generators)
+        D.Systems.open_source;
+      (match telemetry with
+      | Some path when not !write_failed ->
+          Printf.printf "telemetry appended to %s\n" path
+      | _ -> ());
+      if !write_failed then 1 else 0)
 
 let cov_cmd =
   Cmd.v
     (Cmd.info "cov" ~doc:"Coverage comparison of all fuzzers on all systems")
     Term.(
       const cov $ budget_t $ tests_t $ jobs_t $ seed_t $ telemetry_t
-      $ no_cache_t $ no_plan_t)
+      $ journal_t $ progress_t $ no_cache_t $ no_plan_t)
 
 (* ---- hunt --------------------------------------------------------- *)
 
-let hunt budget_s tests jobs seed telemetry report_dir no_cache no_plan =
+let hunt budget_s tests jobs seed telemetry report_dir journal_dir progress
+    no_cache no_plan =
   apply_no_cache no_cache;
   apply_no_plan no_plan;
   Tel.reset ();
-  let r =
-    D.Pfuzz.hunt ~jobs ?report_dir ~root_seed:seed
-      ~budget:(budget_of ~budget_s tests) ()
-  in
-  Printf.printf "seeded-bug hunt: ";
-  print_parallel_result ~triggered:true r;
-  let tbl = Hashtbl.create 32 in
-  List.iter (fun (id, n) -> Hashtbl.replace tbl id n) r.r_triggered;
-  List.iter
-    (fun (sys, trans, conv, uncls, crash, sem) ->
-      Printf.printf
-        "  %-9s transformation=%d conversion=%d unclassified=%d \
-         (crash=%d, semantic=%d)\n"
-        sys trans conv uncls crash sem)
-    (D.Bughunt.distribution tbl);
-  print_corpus_line report_dir r;
-  write_telemetry telemetry
+  let report_dir = default_report_dir report_dir journal_dir in
+  with_journal ~journal_dir ~progress (fun journal ->
+      let r =
+        D.Pfuzz.hunt ~jobs ?journal ?report_dir ~root_seed:seed
+          ~budget:(budget_of ~budget_s tests)
+          ()
+      in
+      Printf.printf "seeded-bug hunt: ";
+      print_parallel_result ~triggered:true r;
+      let tbl = Hashtbl.create 32 in
+      List.iter (fun (id, n) -> Hashtbl.replace tbl id n) r.r_triggered;
+      List.iter
+        (fun (sys, trans, conv, uncls, crash, sem) ->
+          Printf.printf
+            "  %-9s transformation=%d conversion=%d unclassified=%d \
+             (crash=%d, semantic=%d)\n"
+            sys trans conv uncls crash sem)
+        (D.Bughunt.distribution tbl);
+      print_corpus_line report_dir r;
+      write_telemetry telemetry)
 
 let hunt_cmd =
   Cmd.v
@@ -401,38 +481,31 @@ let hunt_cmd =
        ~doc:"Hunt the seeded defect catalogue across all systems")
     Term.(
       const hunt $ budget_t $ tests_t $ jobs_t $ seed_t $ telemetry_t
-      $ report_dir_t $ no_cache_t $ no_plan_t)
+      $ report_dir_t $ journal_t $ progress_t $ no_cache_t $ no_plan_t)
 
 (* ---- stats -------------------------------------------------------- *)
 
 let stats file =
-  match open_in file with
-  | exception Sys_error m ->
+  (* same reader as the dashboard, so the two can never disagree *)
+  match Tel.read_jsonl file with
+  | Error m ->
       Printf.eprintf "cannot open %s: %s\n" file m;
       1
-  | ic ->
-      let bad = ref false in
-      let k = ref 0 in
-      (try
-         while true do
-           let line = input_line ic in
-           if String.trim line <> "" then begin
-             incr k;
-             match Tel.snapshot_of_jsonl line with
-             | Ok s ->
-                 Printf.printf "-- snapshot %d --\n%s\n" !k (Tel.render_table s)
-             | Error m ->
-                 Printf.eprintf "line %d: malformed telemetry: %s\n" !k m;
-                 bad := true
-           end
-         done
-       with End_of_file -> ());
-      close_in ic;
-      if !k = 0 then begin
+  | Ok { Tel.jr_snapshots; jr_errors } ->
+      List.iteri
+        (fun i s ->
+          Printf.printf "-- snapshot %d --\n%s\n" (i + 1) (Tel.render_table s))
+        jr_snapshots;
+      List.iter
+        (fun (line, m) ->
+          Printf.eprintf "line %d: malformed telemetry: %s\n" line m)
+        jr_errors;
+      if jr_snapshots = [] then begin
         Printf.eprintf "%s contains no telemetry snapshots\n" file;
-        bad := true
-      end;
-      if !bad then 1 else 0
+        1
+      end
+      else if jr_errors <> [] then 1
+      else 0
 
 let stats_file_t =
   Arg.(
@@ -445,6 +518,59 @@ let stats_cmd =
     (Cmd.info "stats"
        ~doc:"Render a JSONL telemetry report as human-readable tables")
     Term.(const stats $ stats_file_t)
+
+(* ---- dashboard ---------------------------------------------------- *)
+
+let dashboard dir bench_dir out =
+  let html = Dashboard.of_dir ~bench_dir dir in
+  let out =
+    match out with Some p -> p | None -> Filename.concat dir "dashboard.html"
+  in
+  match
+    let oc = open_out out in
+    output_string oc html;
+    close_out oc
+  with
+  | () ->
+      Printf.printf "dashboard written to %s (%d bytes)\n" out
+        (String.length html);
+      0
+  | exception Sys_error m ->
+      Printf.eprintf "cannot write dashboard: %s\n" m;
+      1
+
+let dashboard_dir_t =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"DIR"
+        ~doc:
+          "Campaign directory (journal.jsonl, index.jsonl, \
+           telemetry.jsonl — all optional).")
+
+let bench_dir_t =
+  Arg.(
+    value
+    & opt string "."
+    & info [ "bench-dir" ] ~docv:"DIR"
+        ~doc:
+          "Where to look for bench/history.jsonl and BENCH_*.json \
+           (default: the current directory).")
+
+let dashboard_out_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out" ] ~docv:"FILE"
+        ~doc:"Write the HTML here instead of $(i,DIR)/dashboard.html.")
+
+let dashboard_cmd =
+  Cmd.v
+    (Cmd.info "dashboard"
+       ~doc:
+         "Render a campaign directory as one self-contained static HTML \
+          page (inline CSS + SVG, no JavaScript)")
+    Term.(const dashboard $ dashboard_dir_t $ bench_dir_t $ dashboard_out_t)
 
 (* ---- reduce ------------------------------------------------------- *)
 
@@ -550,6 +676,7 @@ let () =
             cov_cmd;
             hunt_cmd;
             stats_cmd;
+            dashboard_cmd;
             reduce_cmd;
             ops_cmd;
             bugs_cmd;

@@ -10,9 +10,11 @@
 module Json = Nnsmith_telemetry.Json
 module Tel = Nnsmith_telemetry.Telemetry
 module Graph = Nnsmith_ir.Graph
+module Op = Nnsmith_ir.Op
 module Serial = Nnsmith_ir.Serial
 module Nd = Nnsmith_tensor.Nd
 module Tser = Nnsmith_tensor.Tser
+module Journal = Nnsmith_journal.Journal
 
 exception Corpus_error of string
 
@@ -219,7 +221,11 @@ type t = {
   mutable entries : entry list;  (** reverse save order *)
   by_key : (string, entry) Hashtbl.t;
   counts : (string, int) Hashtbl.t;
+  first_seen : (string, int) Hashtbl.t;  (** key -> index seq of first hit *)
+  last_seen : (string, int) Hashtbl.t;
+  mutable seq : int;  (** index records processed (cases and dups) *)
   mutable next : int;
+  journal : Journal.t option;
 }
 
 let dir t = t.dir
@@ -269,10 +275,19 @@ let append_index t json =
       output_string oc (Json.to_string json);
       output_char oc '\n')
 
+(* One index record (case or dup) for [key] just happened: advance the
+   sequence clock and note the key's first/last position on it. *)
+let note_seen t key =
+  t.seq <- t.seq + 1;
+  if not (Hashtbl.mem t.first_seen key) then
+    Hashtbl.replace t.first_seen key t.seq;
+  Hashtbl.replace t.last_seen key t.seq
+
 let register t e =
   t.entries <- e :: t.entries;
   if not (Hashtbl.mem t.by_key e.e_key) then Hashtbl.replace t.by_key e.e_key e;
   bump t.counts e.e_key 1;
+  note_seen t e.e_key;
   t.next <- t.next + 1
 
 let load_index t =
@@ -300,7 +315,9 @@ let load_index t =
                     | Error m -> fail "index line %d: %s" !lineno m)
                 | Some "dup" -> (
                     match str_field j "dedup_key" with
-                    | Ok k -> bump t.counts k 1
+                    | Ok k ->
+                        bump t.counts k 1;
+                        note_seen t k
                     | Error m -> fail "index line %d: %s" !lineno m)
                 | Some k -> fail "index line %d: unknown kind %S" !lineno k
                 | None -> fail "index line %d: missing kind" !lineno
@@ -308,7 +325,7 @@ let load_index t =
             done
           with End_of_file -> ())
 
-let open_ dirname =
+let open_ ?journal dirname =
   mkdir_p (Filename.concat dirname "cases");
   let t =
     {
@@ -316,7 +333,11 @@ let open_ dirname =
       entries = [];
       by_key = Hashtbl.create 64;
       counts = Hashtbl.create 64;
+      first_seen = Hashtbl.create 64;
+      last_seen = Hashtbl.create 64;
+      seq = 0;
       next = 1;
+      journal;
     }
   in
   load_index t;
@@ -345,14 +366,35 @@ let slug_of_key key =
     key;
   if Buffer.length b = 0 then "case" else Buffer.contents b
 
+let journal_bug t ~key ~system ~verdict ~case ~nodes ~is_new ~reducer =
+  Option.iter
+    (fun j ->
+      Journal.emit j
+        (Journal.Bug
+           {
+             b_at_ms = Journal.now_ms ();
+             b_key = key;
+             b_system = system;
+             b_verdict = verdict;
+             b_case = case;
+             b_nodes = nodes;
+             b_count = count t key;
+             b_new = is_new;
+             b_reducer = reducer;
+           }))
+    t.journal
+
 let record_duplicate t key =
   match Hashtbl.find_opt t.by_key key with
   | None -> None
   | Some e ->
       bump t.counts key 1;
+      note_seen t key;
       append_index t
         (Json.Obj [ ("kind", Json.Str "dup"); ("dedup_key", Json.Str key) ]);
       Tel.incr "corpus/dup_suppressed";
+      journal_bug t ~key ~system:e.e_system ~verdict:e.e_kind ~case:e.e_id
+        ~nodes:e.e_nodes ~is_new:false ~reducer:None;
       Some e.e_id
 
 let write_file path contents =
@@ -386,6 +428,20 @@ let add t ~graph ~binding ~(meta : meta) =
       append_index t (entry_to_json e);
       register t e;
       Tel.incr "corpus/saved";
+      journal_bug t ~key:meta.dedup_key ~system:meta.system
+        ~verdict:(verdict_kind meta.verdict) ~case:id ~nodes:e.e_nodes
+        ~is_new:true
+        ~reducer:
+          (Option.map
+             (fun (r : reduction) ->
+               {
+                 Journal.rd_attempts = r.red_attempts;
+                 rd_accepted = r.red_accepted;
+                 rd_initial = r.red_initial;
+                 rd_final = r.red_final;
+                 rd_ms = r.red_ms;
+               })
+             meta.reduction);
       `Saved id
 
 (* ------------------------------------------------------------------ *)
@@ -419,6 +475,20 @@ let load_case t id =
 
 let load_all t = List.map (load_case t) (case_ids t)
 
+let load_graph t id =
+  let d = case_dir t id in
+  try Serial.load (Filename.concat d "graph.nns")
+  with Serial.Parse_error m -> fail "case %s: bad graph: %s" id m
+
+(* Sorted distinct non-leaf op names — the triage table's shorthand for
+   "what kind of model tickles this bug". *)
+let op_signature g =
+  List.filter_map
+    (fun (n : Graph.node) ->
+      match n.op with Op.Leaf _ -> None | op -> Some (Op.name op))
+    (Graph.nodes g)
+  |> List.sort_uniq compare
+
 (* ------------------------------------------------------------------ *)
 (* Triage                                                              *)
 
@@ -430,9 +500,12 @@ type triage_row = {
   tr_bugs : string list;
   tr_case_id : string;
   tr_nodes : int;
+  tr_first : int;
+  tr_last : int;
 }
 
 let triage t : triage_row list =
+  let seen_at tbl key = Option.value ~default:0 (Hashtbl.find_opt tbl key) in
   List.rev t.entries
   |> List.map (fun e ->
          {
@@ -443,6 +516,8 @@ let triage t : triage_row list =
            tr_bugs = e.e_bugs;
            tr_case_id = e.e_id;
            tr_nodes = e.e_nodes;
+           tr_first = seen_at t.first_seen e.e_key;
+           tr_last = seen_at t.last_seen e.e_key;
          })
   |> List.sort (fun a b ->
          match compare b.tr_count a.tr_count with

@@ -58,9 +58,12 @@ val meta_of_json : Nnsmith_telemetry.Json.t -> (meta, string) result
 
 type t
 
-val open_ : string -> t
+val open_ : ?journal:Nnsmith_journal.Journal.t -> string -> t
 (** Create (or re-open) the corpus rooted at the given directory, loading
-    the dedup index of every earlier run.
+    the dedup index of every earlier run.  With [journal], every
+    {!add}/{!record_duplicate} also emits a [Bug] journal event (dedup
+    key, case id, hit count, reducer stats) — the corpus is the only
+    authority on novelty, so bug events originate here.
     @raise Corpus_error on a malformed index. *)
 
 val dir : t -> string
@@ -101,6 +104,14 @@ val load_case : t -> string -> case
 
 val load_all : t -> case list
 
+val load_graph : t -> string -> Nnsmith_ir.Graph.t
+(** The case's graph alone — cheaper than {!load_case} when only the
+    structure is needed (e.g. op signatures for triage).
+    @raise Corpus_error when the graph fails to parse. *)
+
+val op_signature : Nnsmith_ir.Graph.t -> string list
+(** Sorted distinct non-leaf operator names. *)
+
 (** {1 Triage} *)
 
 type triage_row = {
@@ -111,7 +122,11 @@ type triage_row = {
   tr_bugs : string list;
   tr_case_id : string;
   tr_nodes : int;
+  tr_first : int;  (** index seq (cases + dups, all runs) of the first hit *)
+  tr_last : int;  (** …and of the most recent hit *)
 }
 
 val triage : t -> triage_row list
-(** One row per distinct dedup-key, most-hit first. *)
+(** One row per distinct dedup-key, most-hit first.  The single
+    aggregation path over [index.jsonl]: the CLI table and the HTML
+    dashboard both consume these rows. *)

@@ -41,19 +41,32 @@ let attribute_semantic (system : Systems.t) g binding triggered =
 (** Hunt with every seeded defect active for [budget_ms].  With
     [report_dir], every crash and semantic mismatch is saved to the
     persistent corpus there (minimized, deduplicated across runs). *)
-let hunt ?report_dir ~budget_ms (gen : Generators.t) : result =
+let hunt ?journal ?report_dir ~budget_ms (gen : Generators.t) : result =
   let rng = Random.State.make [| Hashtbl.hash gen.g_name |] in
-  let corpus = Option.map Nnsmith_corpus.Corpus.open_ report_dir in
+  Campaign.journal_start journal ~kind:"hunt"
+    ~systems:(List.map (fun (s : Systems.t) -> s.s_name) Systems.all)
+    ~generator:gen.g_name
+    ~seed:(Hashtbl.hash gen.g_name)
+    ~budget_ms;
+  let corpus =
+    Option.map (fun d -> Nnsmith_corpus.Corpus.open_ ?journal d) report_dir
+  in
+  let saved = ref 0 and dups = ref 0 in
   let report system ~export_bugs g binding v =
     Option.iter
       (fun c ->
-        ignore
-          (Report.save_failure c ~system ~generator:gen.g_name ~export_bugs g
-             binding v))
+        match
+          Report.save_failure c ~system ~generator:gen.g_name ~export_bugs g
+            binding v
+        with
+        | `Saved _ -> incr saved
+        | `Duplicate _ -> incr dups
+        | `Not_failure -> ())
       corpus
   in
   let triggered = Hashtbl.create 32 in
   let unique_crashes = Hashtbl.create 32 in
+  let verdicts = Hashtbl.create 8 in
   let tests = ref 0 in
   let start = now_ms () in
   Faults.with_bugs
@@ -62,32 +75,43 @@ let hunt ?report_dir ~budget_ms (gen : Generators.t) : result =
       while now_ms () -. start < budget_ms do
         incr tests;
         match gen.next () with
-        | None -> ()
+        | None -> incr_count verdicts "gen_fail"
         | Some g -> (
             match
               let binding = Campaign.find_binding rng g in
               let exported, export_bugs = Exporter.export g in
               (binding, exported, export_bugs)
             with
-            | exception _ -> ()
+            | exception _ -> incr_count verdicts "gen_fail"
             | binding, exported, export_bugs ->
                 List.iter (fun id -> incr_count triggered id) export_bugs;
                 List.iter
                   (fun system ->
                     match Harness.test ~exported system g binding with
-                    | Harness.Pass | Skipped _ -> ()
+                    | Harness.Pass -> incr_count verdicts "pass"
+                    | Skipped _ -> incr_count verdicts "skipped"
                     | Harness.Crash m as v ->
                         incr_count unique_crashes (Harness.dedup_key m);
+                        incr_count verdicts "crash";
                         (match Harness.bug_id_of_message m with
                         | Some id -> incr_count triggered id
                         | None -> ());
                         report system ~export_bugs g binding v
                     | Harness.Semantic _ as v ->
+                        incr_count verdicts "semantic";
                         attribute_semantic system g binding triggered;
                         report system ~export_bugs g binding v
-                    | exception _ -> ())
+                    | exception _ -> incr_count verdicts "error")
                   Systems.all)
       done);
+  Campaign.journal_summary journal
+    ~elapsed_ms:(now_ms () -. start)
+    ~tests:!tests
+    ~verdicts:
+      (List.sort compare
+         (Hashtbl.fold (fun k v acc -> (k, v) :: acc) verdicts []))
+    ~failures:(Hashtbl.length unique_crashes) ~saved:!saved ~dups:!dups
+    ~cov_total:0 ~cov_pass:0;
   { fuzzer = gen.g_name; tests = !tests; triggered; unique_crashes }
 
 (** Rows of Table 3 restricted to the given triggered set: per system, the

@@ -9,12 +9,19 @@ type result = {
       (** crash dedup-key -> count (includes non-seeded rejections) *)
 }
 
-val hunt : ?report_dir:string -> budget_ms:float -> Generators.t -> result
+val hunt :
+  ?journal:Nnsmith_journal.Journal.t ->
+  ?report_dir:string ->
+  budget_ms:float ->
+  Generators.t ->
+  result
 (** Fuzz for [budget_ms] with every catalogued defect active.  Crash
     verdicts are attributed by their embedded bug id; semantic verdicts are
     attributed by re-running with each candidate semantic defect enabled in
     isolation.  With [report_dir], every crash and semantic mismatch is
-    saved to the persistent corpus there via {!Report.save_failure}. *)
+    saved to the persistent corpus there via {!Report.save_failure}.  With
+    [journal], the run is bracketed by [Start]/[Summary] events and corpus
+    saves emit [Bug] events. *)
 
 val attribute_semantic :
   Systems.t ->

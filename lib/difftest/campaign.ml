@@ -8,9 +8,61 @@ module Runner = Nnsmith_ops.Runner
 module Search = Nnsmith_grad.Search
 module Cov = Nnsmith_coverage.Coverage
 module Tel = Nnsmith_telemetry.Telemetry
+module Journal = Nnsmith_journal.Journal
 
 (* One clock for campaigns, search and bench: Telemetry.now_ms. *)
 let now_ms = Tel.now_ms
+
+(* Journal plumbing for the sequential loops (single domain: jobs = 1). *)
+
+let jemit journal ev = Option.iter (fun j -> Journal.emit j ev) journal
+
+let journal_start journal ~kind ~systems ~generator ~seed ~budget_ms =
+  jemit journal
+    (Journal.Start
+       {
+         s_at_ms = Journal.now_ms ();
+         s_kind = kind;
+         s_systems = systems;
+         s_generator = generator;
+         s_root_seed = seed;
+         s_jobs = 1;
+         s_budget = Journal.B_time_ms budget_ms;
+       })
+
+(* Rate-limited Coverage events: the campaign samples every test, the
+   journal every ~250 ms. *)
+let coverage_emitter journal =
+  let next = ref neg_infinity in
+  fun ~tests ~total ~pass ->
+    Option.iter
+      (fun j ->
+        let now = Journal.now_ms () in
+        if now >= !next then begin
+          next := now +. 250.;
+          Journal.emit j
+            (Journal.Coverage
+               { c_at_ms = now; c_tests = tests; c_total = total; c_pass = pass })
+        end)
+      journal
+
+let journal_summary journal ~elapsed_ms ~tests ~verdicts ~failures ~saved
+    ~dups ~cov_total ~cov_pass =
+  jemit journal
+    (Journal.Summary
+       {
+         f_at_ms = Journal.now_ms ();
+         f_tests = tests;
+         f_tests_per_sec =
+           float_of_int tests /. Float.max 1e-9 (elapsed_ms /. 1000.);
+         f_verdicts = verdicts;
+         f_failures = failures;
+         f_saved = saved;
+         f_dups = dups;
+         f_cov_total = cov_total;
+         f_cov_pass = cov_pass;
+         f_dropped = 0;
+       })
 
 type sample = {
   at_ms : float;
@@ -42,99 +94,142 @@ let find_binding rng g = Inputs.find_binding rng g
     runs (crashes would truncate executions).  With [report_dir], every
     crash and semantic mismatch is saved to the persistent corpus there
     (minimized, deduplicated across runs). *)
-let coverage ?report_dir ~budget_ms ~(system : Systems.t) (gen : Generators.t)
-    : result =
+let coverage ?journal ?report_dir ~budget_ms ~(system : Systems.t)
+    (gen : Generators.t) : result =
   Cov.reset ();
   Tel.reset ();
-  let corpus = Option.map Nnsmith_corpus.Corpus.open_ report_dir in
+  journal_start journal ~kind:"coverage" ~systems:[ system.s_name ]
+    ~generator:gen.g_name
+    ~seed:(Hashtbl.hash (gen.g_name, system.s_name))
+    ~budget_ms;
+  let corpus =
+    Option.map (fun d -> Nnsmith_corpus.Corpus.open_ ?journal d) report_dir
+  in
+  let saved = ref 0 and dups = ref 0 in
   let report g binding v =
     Option.iter
       (fun c ->
-        ignore (Report.save_failure c ~system ~generator:gen.g_name g binding v))
+        match
+          Report.save_failure c ~system ~generator:gen.g_name g binding v
+        with
+        | `Saved _ -> incr saved
+        | `Duplicate _ -> incr dups
+        | `Not_failure -> ())
       corpus
   in
   let rng = Random.State.make [| Hashtbl.hash (gen.g_name, system.s_name) |] in
   let start = now_ms () in
   let samples = ref [] in
   let crashes = Hashtbl.create 8 in
+  let verdicts = Hashtbl.create 8 in
   let tests = ref 0 in
+  let emit_coverage = coverage_emitter journal in
   let record () =
     let snap = Cov.snapshot () in
+    let total = Cov.count snap and pass = Cov.count_pass snap in
     samples :=
       {
         at_ms = now_ms () -. start;
         tests = !tests;
-        cov_total = Cov.count snap;
-        cov_pass = Cov.count_pass snap;
+        cov_total = total;
+        cov_pass = pass;
         extra = 0;
       }
-      :: !samples
+      :: !samples;
+    emit_coverage ~tests:!tests ~total ~pass
   in
   while now_ms () -. start < budget_ms do
     incr tests;
     (match gen.next () with
-    | None -> ()
+    | None -> incr_count verdicts "gen_fail"
     | Some g -> (
         let binding = find_binding rng g in
         match Harness.test system g binding with
-        | Harness.Pass | Skipped _ -> ()
-        | Harness.Semantic _ as v -> report g binding v
+        | Harness.Pass -> incr_count verdicts "pass"
+        | Skipped _ -> incr_count verdicts "skipped"
+        | Harness.Semantic _ as v ->
+            incr_count verdicts "semantic";
+            report g binding v
         | Harness.Crash m as v ->
             let key = Harness.dedup_key m in
             Tel.incr "exec/crashes";
             Tel.event "crash" key;
             incr_count crashes key;
+            incr_count verdicts "crash";
             report g binding v
-        | exception _ -> ()));
+        | exception _ -> incr_count verdicts "error"));
     record ()
   done;
+  let final = Cov.snapshot () in
+  journal_summary journal
+    ~elapsed_ms:(now_ms () -. start)
+    ~tests:!tests
+    ~verdicts:
+      (List.sort compare
+         (Hashtbl.fold (fun k v acc -> (k, v) :: acc) verdicts []))
+    ~failures:(Hashtbl.length crashes) ~saved:!saved ~dups:!dups
+    ~cov_total:(Cov.count final) ~cov_pass:(Cov.count_pass final);
   {
     fuzzer = gen.g_name;
     system = system.s_name;
     samples = List.rev !samples;
-    final = Cov.snapshot ();
+    final;
     tests = !tests;
     crashes = Hashtbl.fold (fun k v acc -> (k, v) :: acc) crashes [];
   }
 
 (** TZer campaign: mutates Lotus's low-level IR directly. *)
-let tzer ~budget_ms ~seed : result =
+let tzer ?journal ~budget_ms ~seed () : result =
   Cov.reset ();
   Tel.reset ();
+  journal_start journal ~kind:"coverage" ~systems:[ "Lotus" ]
+    ~generator:"TZer" ~seed ~budget_ms;
   let st = Nnsmith_baselines.Tzer.create ~seed () in
   let start = now_ms () in
   let samples = ref [] in
   let tests = ref 0 in
+  let emit_coverage = coverage_emitter journal in
   while now_ms () -. start < budget_ms do
     incr tests;
     Nnsmith_baselines.Tzer.step st;
     let snap = Cov.snapshot () in
+    let total = Cov.count snap and pass = Cov.count_pass snap in
     samples :=
       {
         at_ms = now_ms () -. start;
         tests = !tests;
-        cov_total = Cov.count snap;
-        cov_pass = Cov.count_pass snap;
+        cov_total = total;
+        cov_pass = pass;
         extra = 0;
       }
-      :: !samples
+      :: !samples;
+    emit_coverage ~tests:!tests ~total ~pass
   done;
+  let final = Cov.snapshot () in
+  journal_summary journal
+    ~elapsed_ms:(now_ms () -. start)
+    ~tests:!tests ~verdicts:[] ~failures:0 ~saved:0 ~dups:0
+    ~cov_total:(Cov.count final) ~cov_pass:(Cov.count_pass final);
   {
     fuzzer = "TZer";
     system = "Lotus";
     samples = List.rev !samples;
-    final = Cov.snapshot ();
+    final;
     tests = !tests;
     crashes = [];
   }
 
 (** Unique-operator-instance campaign (Figure 9): generation only. *)
-let op_instances ~budget_ms (gen : Generators.t) : result =
+let op_instances ?journal ~budget_ms (gen : Generators.t) : result =
   Tel.reset ();
+  journal_start journal ~kind:"op_instances" ~systems:[]
+    ~generator:gen.g_name ~seed:0 ~budget_ms;
   let start = now_ms () in
   let samples = ref [] in
   let tests = ref 0 in
   let insts = Opinst.create () in
+  (* The "coverage" here is unique op instances, not branch sites. *)
+  let emit_coverage = coverage_emitter journal in
   while now_ms () -. start < budget_ms do
     incr tests;
     (match gen.next () with
@@ -148,8 +243,13 @@ let op_instances ~budget_ms (gen : Generators.t) : result =
         cov_pass = 0;
         extra = Opinst.count insts;
       }
-      :: !samples
+      :: !samples;
+    emit_coverage ~tests:!tests ~total:(Opinst.count insts) ~pass:0
   done;
+  journal_summary journal
+    ~elapsed_ms:(now_ms () -. start)
+    ~tests:!tests ~verdicts:[] ~failures:0 ~saved:0 ~dups:0
+    ~cov_total:(Opinst.count insts) ~cov_pass:0;
   {
     fuzzer = gen.g_name;
     system = "-";

@@ -25,7 +25,41 @@ val find_binding :
 (** Inputs for a test case: a short gradient search, falling back to the
     last random binding (still useful for coverage). *)
 
+(** {1 Journal plumbing for sequential (single-domain) campaign loops} —
+    shared with {!Bughunt}.  All emitters are no-ops on [None]. *)
+
+val journal_start :
+  Nnsmith_journal.Journal.t option ->
+  kind:string ->
+  systems:string list ->
+  generator:string ->
+  seed:int ->
+  budget_ms:float ->
+  unit
+
+val coverage_emitter :
+  Nnsmith_journal.Journal.t option ->
+  tests:int ->
+  total:int ->
+  pass:int ->
+  unit
+(** [coverage_emitter journal] is a stateful emitter: call it per test,
+    it writes a [Coverage] event at most every ~250 ms. *)
+
+val journal_summary :
+  Nnsmith_journal.Journal.t option ->
+  elapsed_ms:float ->
+  tests:int ->
+  verdicts:(string * int) list ->
+  failures:int ->
+  saved:int ->
+  dups:int ->
+  cov_total:int ->
+  cov_pass:int ->
+  unit
+
 val coverage :
+  ?journal:Nnsmith_journal.Journal.t ->
   ?report_dir:string ->
   budget_ms:float ->
   system:Systems.t ->
@@ -35,11 +69,15 @@ val coverage :
     with seeded faults disabled so crashes don't truncate executions.  With
     [report_dir], every crash and semantic mismatch is saved to the
     persistent corpus there via {!Report.save_failure} (minimized,
-    deduplicated across runs). *)
+    deduplicated across runs).  With [journal], the run is bracketed by
+    [Start]/[Summary] events with rate-limited [Coverage] snapshots in
+    between, and corpus saves emit [Bug] events. *)
 
-val tzer : budget_ms:float -> seed:int -> result
+val tzer : ?journal:Nnsmith_journal.Journal.t -> budget_ms:float -> seed:int -> unit -> result
 (** The TZer campaign mutates Lotus's low-level IR directly. *)
 
-val op_instances : budget_ms:float -> Generators.t -> result
+val op_instances :
+  ?journal:Nnsmith_journal.Journal.t -> budget_ms:float -> Generators.t -> result
 (** Generation-only campaign counting unique operator instances
-    (Figure 9); the count is in each sample's [extra]. *)
+    (Figure 9); the count is in each sample's [extra].  Journalled
+    [Coverage] events carry the instance count in [c_total]. *)

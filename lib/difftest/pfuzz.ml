@@ -11,13 +11,16 @@
     reproducible per (root, jobs) but not jobs-independent. *)
 
 module Graph = Nnsmith_ir.Graph
+module Op = Nnsmith_ir.Op
 module Config = Nnsmith_core.Config
 module Gen = Nnsmith_core.Gen
 module Cov = Nnsmith_coverage.Coverage
 module Tel = Nnsmith_telemetry.Telemetry
+module Solver = Nnsmith_smt.Solver
 module Pool = Nnsmith_parallel.Pool
 module Splitmix = Nnsmith_parallel.Splitmix
 module Corpus = Nnsmith_corpus.Corpus
+module Journal = Nnsmith_journal.Journal
 
 let incr_count tbl key =
   Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
@@ -42,12 +45,20 @@ type failure = {
   f_verdict : Harness.verdict;
 }
 
+(** A worker-to-writer channel message: a failure (must never be lost) or
+    a best-effort journal event (heartbeats). *)
+type msg = M_failure of failure | M_event of Journal.event
+
+let is_failure = function M_failure _ -> true | M_event _ -> false
+
 (* Per-worker tallies; merged into the run result at join. *)
 type tally = {
   verdicts : (string, int) Hashtbl.t;  (* pass/crash/semantic/skipped/gen_fail *)
   crashes : (string, int) Hashtbl.t;  (* crash dedup-key -> count *)
   keys : (string, unit) Hashtbl.t;  (* failure dedup-keys (crash + semantic) *)
   triggered : (string, int) Hashtbl.t;  (* seeded bug id -> hit count *)
+  ops : (string, (string, int) Hashtbl.t) Hashtbl.t;
+      (* op kind -> verdict kind -> count (one per op occurrence per test) *)
 }
 
 let fresh_tally () =
@@ -56,7 +67,78 @@ let fresh_tally () =
     crashes = Hashtbl.create 16;
     keys = Hashtbl.create 16;
     triggered = Hashtbl.create 16;
+    ops = Hashtbl.create 32;
   }
+
+let record_ops t g verdict_kind =
+  List.iter
+    (fun (n : Graph.node) ->
+      match n.op with
+      | Op.Leaf _ -> ()
+      | op ->
+          let name = Op.name op in
+          let inner =
+            match Hashtbl.find_opt t.ops name with
+            | Some h -> h
+            | None ->
+                let h = Hashtbl.create 4 in
+                Hashtbl.replace t.ops name h;
+                h
+          in
+          incr_count inner verdict_kind)
+    (Graph.nodes g)
+
+(* Worker-side campaign state: the tally plus the heartbeat clock. *)
+type wstate = {
+  w_id : int;
+  w_tally : tally;
+  mutable w_tests : int;
+  mutable w_seq : int;
+  mutable w_next_hb : float;
+}
+
+let fresh_wstate worker =
+  {
+    w_id = worker;
+    w_tally = fresh_tally ();
+    w_tests = 0;
+    w_seq = 0;
+    w_next_hb = neg_infinity;
+  }
+
+let heartbeat_interval_ms = 250.
+
+(* Called once per test on the worker domain.  When journaling, rate-limit
+   a heartbeat event carrying this worker's cumulative counters plus its
+   domain-local coverage and solver-cache state. *)
+let maybe_heartbeat ~journaling ws =
+  ws.w_tests <- ws.w_tests + 1;
+  if not journaling then []
+  else
+    let now = Tel.now_ms () in
+    if now < ws.w_next_hb then []
+    else begin
+      ws.w_next_hb <- now +. heartbeat_interval_ms;
+      ws.w_seq <- ws.w_seq + 1;
+      let snap = Cov.snapshot () in
+      let cs = Solver.cache_stats () in
+      [
+        M_event
+          (Journal.Heartbeat
+             {
+               h_worker = ws.w_id;
+               h_seq = ws.w_seq;
+               h_at_ms = now;
+               h_tests = ws.w_tests;
+               h_verdicts = sorted_counts ws.w_tally.verdicts;
+               h_cov_total = Cov.count snap;
+               h_cov_pass = Cov.count_pass snap;
+               h_cov_universe = Cov.universe_size ();
+               h_cache_hits = cs.Solver.cs_hits;
+               h_cache_misses = cs.Solver.cs_misses;
+             });
+      ]
+    end
 
 type result = {
   r_stats : Pool.stats;
@@ -64,27 +146,62 @@ type result = {
   r_crashes : (string * int) list;
   r_failure_keys : string list;  (** sorted, unique — jobs-independent *)
   r_triggered : (string * int) list;  (** seeded bug id -> hits (hunt only) *)
+  r_ops : (string * (string * int) list) list;
+      (** op kind -> verdict kind -> count, both levels sorted *)
   r_saved : int;  (** new corpus cases (0 without [report_dir]) *)
   r_dups : int;  (** corpus duplicates (0 without [report_dir]) *)
   r_coverage : Cov.snapshot;  (** union over workers *)
 }
 
-(* The single-writer corpus sink, run on the calling domain. *)
-let make_sink ?report_dir () =
-  let corpus = Option.map Corpus.open_ report_dir in
+let verdict_name = function
+  | Harness.Pass -> "pass"
+  | Harness.Skipped _ -> "skipped"
+  | Harness.Semantic _ -> "semantic"
+  | Harness.Crash _ -> "crash"
+
+(* The single-writer corpus/journal sink, run on the calling domain.
+   Bug journal events originate in the corpus (the authority on novelty);
+   when journaling without a corpus, a local dedup table stands in so the
+   journal still records first-vs-repeat. *)
+let make_sink ?journal ?report_dir () =
+  let corpus = Option.map (fun d -> Corpus.open_ ?journal d) report_dir in
   let saved = ref 0 and dups = ref 0 in
-  let sink (f : failure) =
-    Option.iter
-      (fun c ->
-        match
-          Report.save_failure c ~system:f.f_system ~generator:f.f_generator
-            ~seed:f.f_seed ~export_bugs:f.f_export_bugs f.f_graph f.f_binding
-            f.f_verdict
-        with
-        | `Saved _ -> incr saved
-        | `Duplicate _ -> incr dups
-        | `Not_failure -> ())
-      corpus
+  let jemit ev = Option.iter (fun j -> Journal.emit j ev) journal in
+  let seen = Hashtbl.create 16 in
+  let sink = function
+    | M_event ev -> jemit ev
+    | M_failure f -> (
+        match corpus with
+        | Some c -> (
+            match
+              Report.save_failure c ~system:f.f_system
+                ~generator:f.f_generator ~seed:f.f_seed
+                ~export_bugs:f.f_export_bugs f.f_graph f.f_binding f.f_verdict
+            with
+            | `Saved _ -> incr saved
+            | `Duplicate _ -> incr dups
+            | `Not_failure -> ())
+        | None -> (
+            match Report.failure_key f.f_system f.f_verdict with
+            | None -> ()
+            | Some key ->
+                let n =
+                  1 + Option.value ~default:0 (Hashtbl.find_opt seen key)
+                in
+                Hashtbl.replace seen key n;
+                jemit
+                  (Journal.Bug
+                     {
+                       b_at_ms = Journal.now_ms ();
+                       b_key = key;
+                       b_system = f.f_system.Systems.s_name;
+                       b_verdict = verdict_name f.f_verdict;
+                       b_case = "";
+                       b_nodes = Graph.size f.f_graph;
+                       b_count = n;
+                       b_new = n = 1;
+                       b_reducer = None;
+                     })))
   in
   (sink, saved, dups)
 
@@ -95,7 +212,19 @@ let assemble ~stats ~saved ~dups tallies =
       merge_counts ~into:total.verdicts t.verdicts;
       merge_counts ~into:total.crashes t.crashes;
       merge_counts ~into:total.triggered t.triggered;
-      Hashtbl.iter (fun k () -> Hashtbl.replace total.keys k ()) t.keys)
+      Hashtbl.iter (fun k () -> Hashtbl.replace total.keys k ()) t.keys;
+      Hashtbl.iter
+        (fun op inner ->
+          let into =
+            match Hashtbl.find_opt total.ops op with
+            | Some h -> h
+            | None ->
+                let h = Hashtbl.create 4 in
+                Hashtbl.replace total.ops op h;
+                h
+          in
+          merge_counts ~into inner)
+        t.ops)
     tallies;
   {
     r_stats = stats;
@@ -104,17 +233,88 @@ let assemble ~stats ~saved ~dups tallies =
     r_failure_keys =
       List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) total.keys []);
     r_triggered = sorted_counts total.triggered;
+    r_ops =
+      Hashtbl.fold (fun op inner acc -> (op, sorted_counts inner) :: acc)
+        total.ops []
+      |> List.sort compare;
     r_saved = !saved;
     r_dups = !dups;
     r_coverage = Cov.snapshot ();
   }
 
+(* Campaign-lifecycle journal records, emitted on the calling domain. *)
+
+let pool_budget_to_journal = function
+  | Pool.Tests n -> Journal.B_tests n
+  | Pool.Time_ms m -> Journal.B_time_ms m
+
+let journal_start ?journal ~kind ~systems ~generator ~root_seed ~jobs ~budget
+    () =
+  Option.iter
+    (fun j ->
+      Journal.emit j
+        (Journal.Start
+           {
+             s_at_ms = Journal.now_ms ();
+             s_kind = kind;
+             s_systems = List.map (fun s -> s.Systems.s_name) systems;
+             s_generator = generator;
+             s_root_seed = root_seed;
+             s_jobs = jobs;
+             s_budget = pool_budget_to_journal budget;
+           }))
+    journal
+
+let journal_finish ?journal (r : result) =
+  Option.iter
+    (fun j ->
+      let now = Journal.now_ms () in
+      if r.r_ops <> [] then
+        Journal.emit j (Journal.Op_stats { o_at_ms = now; o_ops = r.r_ops });
+      Journal.emit j
+        (Journal.Coverage
+           {
+             c_at_ms = now;
+             c_tests = r.r_stats.Pool.st_tests;
+             c_total = Cov.count r.r_coverage;
+             c_pass = Cov.count_pass r.r_coverage;
+           });
+      if r.r_stats.Pool.st_dropped > 0 then begin
+        Tel.incr "journal/dropped" ~by:r.r_stats.Pool.st_dropped;
+        Journal.emit j
+          (Journal.Dropped
+             { d_at_ms = now; d_count = r.r_stats.Pool.st_dropped })
+      end;
+      Journal.emit j
+        (Journal.Summary
+           {
+             f_at_ms = now;
+             f_tests = r.r_stats.Pool.st_tests;
+             f_tests_per_sec = r.r_stats.Pool.st_tests_per_sec;
+             f_verdicts = r.r_verdicts;
+             f_failures = List.length r.r_failure_keys;
+             f_saved = r.r_saved;
+             f_dups = r.r_dups;
+             f_cov_total = Cov.count r.r_coverage;
+             f_cov_pass = Cov.count_pass r.r_coverage;
+             f_dropped = r.r_stats.Pool.st_dropped;
+           }))
+    journal
+
+let resolved_jobs jobs =
+  max 1 (match jobs with Some j -> j | None -> Pool.default_jobs ())
+
 let record_verdict t (system : Systems.t) ~generator ~seed ~export_bugs g binding
     emit = function
-  | Harness.Pass -> incr_count t.verdicts "pass"
-  | Harness.Skipped _ -> incr_count t.verdicts "skipped"
+  | Harness.Pass ->
+      incr_count t.verdicts "pass";
+      record_ops t g "pass"
+  | Harness.Skipped _ ->
+      incr_count t.verdicts "skipped";
+      record_ops t g "skipped"
   | Harness.Semantic _ as v ->
       incr_count t.verdicts "semantic";
+      record_ops t g "semantic";
       (match Report.failure_key system v with
       | Some k -> Hashtbl.replace t.keys k ()
       | None -> ());
@@ -130,6 +330,7 @@ let record_verdict t (system : Systems.t) ~generator ~seed ~export_bugs g bindin
         }
   | Harness.Crash m as v ->
       incr_count t.verdicts "crash";
+      record_ops t g "crash";
       let key = Harness.dedup_key m in
       incr_count t.crashes key;
       Hashtbl.replace t.keys key ();
@@ -185,36 +386,50 @@ let run_index t ~generator ~max_nodes ~binning ~systems ~seed =
     fault set is active on the calling domain (workers inherit it).  With
     [report_dir] each failure is minimized and saved to the persistent
     corpus by the calling domain only. *)
-let fuzz ?jobs ?report_dir ?(max_nodes = 10) ?(binning = true)
+let fuzz ?jobs ?journal ?report_dir ?(max_nodes = 10) ?(binning = true)
     ?(systems = Systems.all) ~root_seed ~budget () : result =
-  let sink, saved, dups = make_sink ?report_dir () in
+  journal_start ?journal ~kind:"fuzz" ~systems ~generator:"NNSmith"
+    ~root_seed ~jobs:(resolved_jobs jobs) ~budget ();
+  let sink, saved, dups = make_sink ?journal ?report_dir () in
+  let journaling = journal <> None in
   let stats, tallies =
-    Pool.run ?jobs ~root_seed ~budget
-      ~init:(fun ~worker:_ -> fresh_tally ())
-      ~test:(fun t ~index:_ ~seed ->
-        run_index t ~generator:"NNSmith" ~max_nodes ~binning ~systems ~seed)
-      ~finish:(fun t -> t)
+    Pool.run ?jobs ~is_failure ~root_seed ~budget
+      ~init:(fun ~worker -> fresh_wstate worker)
+      ~test:(fun ws ~index:_ ~seed ->
+        let fs =
+          run_index ws.w_tally ~generator:"NNSmith" ~max_nodes ~binning
+            ~systems ~seed
+        in
+        List.map (fun f -> M_failure f) fs @ maybe_heartbeat ~journaling ws)
+      ~finish:(fun ws -> ws.w_tally)
       ~sink ()
   in
-  assemble ~stats ~saved ~dups tallies
+  let r = assemble ~stats ~saved ~dups tallies in
+  journal_finish ?journal r;
+  r
 
 (** Sharded coverage campaign of a stateful generator stream against one
     system: worker [w] drives [gen_of_seed s_w] with an independent
     derived seed.  Worker coverage tables are unioned into the calling
     domain at join; the returned snapshot is the union. *)
-let coverage ?jobs ?report_dir ~(system : Systems.t) ~root_seed ~budget
+let coverage ?jobs ?journal ?report_dir ?(generator = "generator")
+    ~(system : Systems.t) ~root_seed ~budget
     ~(gen_of_seed : int -> Generators.t) () : result =
   Cov.reset ();
-  let sink, saved, dups = make_sink ?report_dir () in
+  journal_start ?journal ~kind:"coverage" ~systems:[ system ] ~generator
+    ~root_seed ~jobs:(resolved_jobs jobs) ~budget ();
+  let sink, saved, dups = make_sink ?journal ?report_dir () in
+  let journaling = journal <> None in
   let stats, tallies =
-    Pool.run ?jobs ~root_seed ~budget
+    Pool.run ?jobs ~is_failure ~root_seed ~budget
       ~init:(fun ~worker ->
         (* Negative index space: disjoint from the test-seed derivations. *)
         let s = Splitmix.derive ~root:root_seed ~index:(-1 - worker) in
-        (gen_of_seed s, fresh_tally ()))
-      ~test:(fun (gen, t) ~index:_ ~seed ->
+        (gen_of_seed s, fresh_wstate worker))
+      ~test:(fun (gen, ws) ~index:_ ~seed ->
+        let t = ws.w_tally in
         let out = ref [] in
-        let emit f = out := f :: !out in
+        let emit f = out := M_failure f :: !out in
         (match gen.Generators.next () with
         | None -> incr_count t.verdicts "gen_fail"
         | Some g -> (
@@ -229,25 +444,32 @@ let coverage ?jobs ?report_dir ~(system : Systems.t) ~root_seed ~budget
                     record_verdict t system ~generator:gen.Generators.g_name
                       ~seed ~export_bugs:[] g binding emit v
                 | exception _ -> incr_count t.verdicts "error")));
-        List.rev !out)
-      ~finish:(fun (_, t) -> t)
+        List.rev_append !out (maybe_heartbeat ~journaling ws))
+      ~finish:(fun (_, ws) -> ws.w_tally)
       ~sink ()
   in
-  assemble ~stats ~saved ~dups tallies
+  let r = assemble ~stats ~saved ~dups tallies in
+  journal_finish ?journal r;
+  r
 
 (** Sharded seeded-bug hunt: the index-pure NNSmith pipeline with every
     catalogued defect active in each worker, tallying which defects were
     triggered (crashes attribute by message; semantic mismatches by
     isolation re-runs, as in {!Bughunt}). *)
-let hunt ?jobs ?report_dir ?(max_nodes = 10) ~root_seed ~budget () : result =
+let hunt ?jobs ?journal ?report_dir ?(max_nodes = 10) ~root_seed ~budget () :
+    result =
   let module Faults = Nnsmith_faults.Faults in
   let all_ids = List.map (fun (b : Faults.bug) -> b.b_id) Faults.catalogue in
-  let sink, saved, dups = make_sink ?report_dir () in
+  journal_start ?journal ~kind:"hunt" ~systems:Systems.all
+    ~generator:"NNSmith" ~root_seed ~jobs:(resolved_jobs jobs) ~budget ();
+  let sink, saved, dups = make_sink ?journal ?report_dir () in
+  let journaling = journal <> None in
   Faults.with_bugs all_ids (fun () ->
       let stats, tallies =
-        Pool.run ?jobs ~root_seed ~budget
-          ~init:(fun ~worker:_ -> fresh_tally ())
-          ~test:(fun t ~index:_ ~seed ->
+        Pool.run ?jobs ~is_failure ~root_seed ~budget
+          ~init:(fun ~worker -> fresh_wstate worker)
+          ~test:(fun ws ~index:_ ~seed ->
+            let t = ws.w_tally in
             let fs =
               run_index t ~generator:"NNSmith" ~max_nodes ~binning:true
                 ~systems:Systems.all ~seed
@@ -260,8 +482,11 @@ let hunt ?jobs ?report_dir ?(max_nodes = 10) ~root_seed ~budget () : result =
                       t.triggered
                 | _ -> ())
               fs;
-            fs)
-          ~finish:(fun t -> t)
+            List.map (fun f -> M_failure f) fs
+            @ maybe_heartbeat ~journaling ws)
+          ~finish:(fun ws -> ws.w_tally)
           ~sink ()
       in
-      assemble ~stats ~saved ~dups tallies)
+      let r = assemble ~stats ~saved ~dups tallies in
+      journal_finish ?journal r;
+      r)

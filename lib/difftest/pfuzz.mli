@@ -20,6 +20,10 @@ type failure = {
 (** A failure observed by a worker, shipped over the pool's channel to
     the corpus-writer domain. *)
 
+type msg = M_failure of failure | M_event of Nnsmith_journal.Journal.event
+(** What rides the pool's worker-to-writer channel: failures (never
+    dropped) and best-effort journal events (worker heartbeats). *)
+
 type result = {
   r_stats : Nnsmith_parallel.Pool.stats;
   r_verdicts : (string * int) list;
@@ -29,13 +33,24 @@ type result = {
       (** sorted unique failure dedup-keys — jobs-independent for the
           index-pure drivers *)
   r_triggered : (string * int) list;  (** seeded bug id -> hits (hunt) *)
+  r_ops : (string * (string * int) list) list;
+      (** op kind -> verdict kind -> count (per op occurrence per test),
+          both levels sorted — jobs-independent for the index-pure
+          drivers *)
   r_saved : int;  (** new corpus cases (0 without [report_dir]) *)
   r_dups : int;  (** corpus duplicates (0 without [report_dir]) *)
   r_coverage : Nnsmith_coverage.Coverage.snapshot;  (** union over workers *)
 }
 
+(** Each driver, when given [journal], brackets the run with [Start] and
+    [Op_stats]/[Coverage]/[Dropped]/[Summary] events, streams per-worker
+    [Heartbeat]s (rate-limited on the worker, delivered best-effort), and
+    has the corpus emit a [Bug] event per save/duplicate — all written by
+    the calling domain only. *)
+
 val fuzz :
   ?jobs:int ->
+  ?journal:Nnsmith_journal.Journal.t ->
   ?report_dir:string ->
   ?max_nodes:int ->
   ?binning:bool ->
@@ -51,7 +66,9 @@ val fuzz :
 
 val coverage :
   ?jobs:int ->
+  ?journal:Nnsmith_journal.Journal.t ->
   ?report_dir:string ->
+  ?generator:string ->
   system:Systems.t ->
   root_seed:int ->
   budget:Nnsmith_parallel.Pool.budget ->
@@ -60,10 +77,12 @@ val coverage :
   result
 (** Sharded coverage campaign of a generator stream against one system.
     Resets coverage first; worker hit-tables are unioned into the calling
-    domain at join and returned as [r_coverage]. *)
+    domain at join and returned as [r_coverage].  [generator] only labels
+    the journal's [Start] event. *)
 
 val hunt :
   ?jobs:int ->
+  ?journal:Nnsmith_journal.Journal.t ->
   ?report_dir:string ->
   ?max_nodes:int ->
   root_seed:int ->

@@ -7,18 +7,36 @@ type 'a t = {
   q : 'a Queue.t;
   m : Mutex.t;
   nonempty : Condition.t;
+  capacity : int;  (* try_send refuses past this; send ignores it *)
   mutable producers : int;  (* open producer handles; 0 = stream finished *)
 }
 
-let create ~producers () =
+let create ?(capacity = max_int) ~producers () =
   if producers < 0 then invalid_arg "Chan.create: negative producer count";
-  { q = Queue.create (); m = Mutex.create (); nonempty = Condition.create (); producers }
+  if capacity < 1 then invalid_arg "Chan.create: capacity must be positive";
+  {
+    q = Queue.create ();
+    m = Mutex.create ();
+    nonempty = Condition.create ();
+    capacity;
+    producers;
+  }
 
 let send t x =
   Mutex.lock t.m;
   Queue.push x t.q;
   Condition.signal t.nonempty;
   Mutex.unlock t.m
+
+let try_send t x =
+  Mutex.lock t.m;
+  let ok = Queue.length t.q < t.capacity in
+  if ok then begin
+    Queue.push x t.q;
+    Condition.signal t.nonempty
+  end;
+  Mutex.unlock t.m;
+  ok
 
 let producer_done t =
   Mutex.lock t.m;

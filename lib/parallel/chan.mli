@@ -4,11 +4,18 @@
 
 type 'a t
 
-val create : producers:int -> unit -> 'a t
-(** A channel expecting exactly [producers] {!producer_done} calls. *)
+val create : ?capacity:int -> producers:int -> unit -> 'a t
+(** A channel expecting exactly [producers] {!producer_done} calls.
+    [capacity] (default unbounded) only bounds {!try_send}; {!send}
+    always succeeds, so must-not-lose traffic is never dropped. *)
 
 val send : 'a t -> 'a -> unit
 (** Enqueue; never blocks (unbounded). *)
+
+val try_send : 'a t -> 'a -> bool
+(** Enqueue unless the queue already holds [capacity] items; [false]
+    means the item was refused.  For best-effort traffic (journal
+    events) whose loss the caller accounts for explicitly. *)
 
 val producer_done : 'a t -> unit
 (** Retire one producer handle.  Raises [Invalid_argument] when called more

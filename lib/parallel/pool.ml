@@ -26,6 +26,7 @@ type worker_report = {
   wr_tests : int;
   wr_failures : int;
   wr_errors : int;  (** tests whose [test] callback raised *)
+  wr_dropped : int;  (** best-effort items refused by the saturated channel *)
   wr_elapsed_ms : float;
 }
 
@@ -34,6 +35,7 @@ type stats = {
   st_tests : int;
   st_failures : int;
   st_errors : int;
+  st_dropped : int;
   st_elapsed_ms : float;
   st_tests_per_sec : float;
   st_workers : worker_report list;
@@ -45,6 +47,7 @@ let record_worker_stats (r : worker_report) =
   Tel.incr "parallel/tests" ~by:r.wr_tests;
   Tel.incr "parallel/failures" ~by:r.wr_failures;
   if r.wr_errors > 0 then Tel.incr "parallel/test_errors" ~by:r.wr_errors;
+  if r.wr_dropped > 0 then Tel.incr "parallel/dropped_events" ~by:r.wr_dropped;
   Tel.observe "parallel/worker_tests" (float_of_int r.wr_tests);
   Tel.observe "parallel/worker_ms" r.wr_elapsed_ms
 
@@ -56,14 +59,18 @@ let mk_stats ~jobs ~elapsed_ms workers =
     st_tests = tests;
     st_failures = sum (fun w -> w.wr_failures);
     st_errors = sum (fun w -> w.wr_errors);
+    st_dropped = sum (fun w -> w.wr_dropped);
     st_elapsed_ms = elapsed_ms;
     st_tests_per_sec = float_of_int tests /. Float.max 1e-9 (elapsed_ms /. 1000.);
     st_workers = workers;
   }
 
 (* One worker's index loop, shared by the inline (jobs = 1) and the
-   domain-sharded paths. *)
-let shard_loop ~jobs ~worker ~root_seed ~limit ~deadline ~state ~test ~emit =
+   domain-sharded paths.  Only items [is_failure] classifies as failures
+   count in the failure tally — the rest of the emitted stream is
+   best-effort observability traffic riding the same channel. *)
+let shard_loop ~jobs ~worker ~root_seed ~limit ~deadline ~state ~test
+    ~is_failure ~emit =
   let tests = ref 0 and failures = ref 0 and errors = ref 0 in
   let i = ref worker in
   let within () =
@@ -75,7 +82,7 @@ let shard_loop ~jobs ~worker ~root_seed ~limit ~deadline ~state ~test ~emit =
     | fs ->
         List.iter
           (fun f ->
-            incr failures;
+            if is_failure f then incr failures;
             emit f)
           fs
     | exception _ -> incr errors);
@@ -84,7 +91,11 @@ let shard_loop ~jobs ~worker ~root_seed ~limit ~deadline ~state ~test ~emit =
   done;
   (!tests, !failures, !errors)
 
-let run ?jobs ~root_seed ~budget ~init ~test ~finish ~sink () =
+let default_event_capacity = 4096
+
+let run ?jobs ?(is_failure = fun _ -> true)
+    ?(event_capacity = default_event_capacity) ~root_seed ~budget ~init ~test
+    ~finish ~sink () =
   let jobs = max 1 (match jobs with Some j -> j | None -> default_jobs ()) in
   Tel.incr "parallel/runs";
   let t0 = Tel.now_ms () in
@@ -98,7 +109,7 @@ let run ?jobs ~root_seed ~budget ~init ~test ~finish ~sink () =
     let state = init ~worker:0 in
     let tests, failures, errors =
       shard_loop ~jobs:1 ~worker:0 ~root_seed ~limit ~deadline ~state ~test
-        ~emit:sink
+        ~is_failure ~emit:sink
     in
     let elapsed_ms = Tel.now_ms () -. t0 in
     let report =
@@ -107,6 +118,7 @@ let run ?jobs ~root_seed ~budget ~init ~test ~finish ~sink () =
         wr_tests = tests;
         wr_failures = failures;
         wr_errors = errors;
+        wr_dropped = 0;
         wr_elapsed_ms = elapsed_ms;
       }
     in
@@ -114,13 +126,21 @@ let run ?jobs ~root_seed ~budget ~init ~test ~finish ~sink () =
     (mk_stats ~jobs:1 ~elapsed_ms [ report ], [ finish state ])
   end
   else begin
-    let chan = Chan.create ~producers:jobs () in
+    let chan = Chan.create ~capacity:event_capacity ~producers:jobs () in
     let fault_ids = Faults.active_ids () in
     let worker_main w () =
       (* A fresh domain starts with empty domain-local telemetry, coverage
          and fault tables; only the fault set is inherited explicitly. *)
       Faults.set_active fault_ids;
       let wt0 = Tel.now_ms () in
+      let dropped = ref 0 in
+      (* Failures must never be lost: unconditional send.  Everything else
+         (journal events) is best-effort against the capacity bound, with
+         every refusal counted — dropped, never silently discarded. *)
+      let emit f =
+        if is_failure f then Chan.send chan f
+        else if not (Chan.try_send chan f) then incr dropped
+      in
       let state, tests, failures, errors =
         Fun.protect
           ~finally:(fun () -> Chan.producer_done chan)
@@ -128,7 +148,7 @@ let run ?jobs ~root_seed ~budget ~init ~test ~finish ~sink () =
             let state = init ~worker:w in
             let tests, failures, errors =
               shard_loop ~jobs ~worker:w ~root_seed ~limit ~deadline ~state
-                ~test ~emit:(Chan.send chan)
+                ~test ~is_failure ~emit
             in
             (state, tests, failures, errors))
       in
@@ -139,6 +159,7 @@ let run ?jobs ~root_seed ~budget ~init ~test ~finish ~sink () =
           wr_tests = tests;
           wr_failures = failures;
           wr_errors = errors;
+          wr_dropped = !dropped;
           wr_elapsed_ms = Tel.now_ms () -. wt0;
         }
       in

@@ -25,6 +25,9 @@ type worker_report = {
   wr_tests : int;
   wr_failures : int;
   wr_errors : int;  (** tests whose [test] callback raised *)
+  wr_dropped : int;
+      (** best-effort items (journal events) refused by the saturated
+          channel; bumps the [parallel/dropped_events] counter *)
   wr_elapsed_ms : float;
 }
 
@@ -33,6 +36,7 @@ type stats = {
   st_tests : int;
   st_failures : int;
   st_errors : int;
+  st_dropped : int;
   st_elapsed_ms : float;
   st_tests_per_sec : float;
   st_workers : worker_report list;
@@ -41,8 +45,13 @@ type stats = {
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()]. *)
 
+val default_event_capacity : int
+(** Channel bound applied to best-effort traffic (4096). *)
+
 val run :
   ?jobs:int ->
+  ?is_failure:('f -> bool) ->
+  ?event_capacity:int ->
   root_seed:int ->
   budget:budget ->
   init:(worker:int -> 'w) ->
@@ -54,10 +63,20 @@ val run :
 (** [run ~jobs ~root_seed ~budget ~init ~test ~finish ~sink ()] spawns
     [jobs] workers (default {!default_jobs}; clamped to at least 1).
     Per worker: [init ~worker] builds its private state, [test] runs one
-    index and returns that test's failures (sent to the channel), and
+    index and returns that test's emitted items (sent to the channel), and
     [finish] — still on the worker domain, after its shard is exhausted —
     reduces the state to a result.  [sink] is called on the {e calling}
-    domain for every failure, interleaved with the workers' progress.
+    domain for every delivered item, interleaved with the workers'
+    progress.
+
+    [is_failure] (default: everything) splits the emitted stream in two:
+    failures are counted in [wr_failures] and sent unconditionally, while
+    the rest — observability events — only count as tests' side traffic
+    and are dropped (and tallied in [wr_dropped]) once the channel holds
+    [event_capacity] undelivered items, so a slow consumer can never
+    stall the fuzzing hot path.  At [jobs = 1] everything reaches [sink]
+    synchronously and nothing is ever dropped.
+
     Exceptions raised by [test] are counted in [wr_errors] and the shard
     continues; exceptions from [init]/[finish] kill that worker and are
     re-raised at join.  Returns aggregate stats and the workers' [finish]

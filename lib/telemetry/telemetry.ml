@@ -452,6 +452,33 @@ let append_jsonl path s =
   output_char oc '\n';
   close_out oc
 
+type jsonl_read = {
+  jr_snapshots : snapshot list;  (** in file order *)
+  jr_errors : (int * string) list;  (** (1-based line, message) *)
+}
+
+let read_jsonl path =
+  match open_in path with
+  | exception Sys_error m -> Error m
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let snaps = ref [] and errs = ref [] and lineno = ref 0 in
+          (try
+             while true do
+               let line = input_line ic in
+               (* [incr] here is this module's counter bump, not Stdlib's *)
+               lineno := !lineno + 1;
+               if String.trim line <> "" then
+                 match snapshot_of_jsonl line with
+                 | Ok s -> snaps := s :: !snaps
+                 | Error m -> errs := (!lineno, m) :: !errs
+             done
+           with End_of_file -> ());
+          Ok
+            { jr_snapshots = List.rev !snaps; jr_errors = List.rev !errs })
+
 (* ------------------------------------------------------------------ *)
 (* Human-readable table.                                               *)
 

@@ -137,5 +137,16 @@ val snapshot_of_jsonl : string -> (snapshot, string) result
 val append_jsonl : string -> snapshot -> unit
 (** Append [to_jsonl snapshot] plus a newline to the given file path. *)
 
+type jsonl_read = {
+  jr_snapshots : snapshot list;  (** in file order *)
+  jr_errors : (int * string) list;  (** (1-based line, message) *)
+}
+
+val read_jsonl : string -> (jsonl_read, string) result
+(** Parse a [.jsonl] trajectory file: good lines become snapshots, bad
+    lines are reported with their line numbers (blank lines are skipped).
+    [Error] only when the file cannot be opened.  The single reader shared
+    by [nnsmith stats] and the dashboard. *)
+
 val render_table : snapshot -> string
 (** Human-readable table (the [nnsmith stats] output). *)

@@ -260,7 +260,7 @@ let test_campaign_telemetry_spans () =
 
 let test_tzer_campaign_smoke () =
   no_faults (fun () ->
-      let r = D.Campaign.tzer ~budget_ms:200. ~seed:3 in
+      let r = D.Campaign.tzer ~budget_ms:200. ~seed:3 () in
       check "ran" true (r.tests > 0);
       check "low-level coverage" true (Nnsmith_coverage.Coverage.count r.final > 0))
 

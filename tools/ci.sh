@@ -6,6 +6,8 @@
 #                 (append rows to BENCH_solver.json / BENCH_gradsearch.json;
 #                 fail on cache-on/off graph drift or plan-on/off bit drift)
 #   perf gate     bench/main.exe regress (>15% tests/sec drop fails)
+#   dashboard     journaled mini-campaign -> static HTML (balanced tags,
+#                 non-empty triage table, no NaN, no scripts)
 #   style         no tabs / trailing whitespace; new lib modules need .mli
 #   hygiene       no tracked _build/, CHANGES.md updated alongside HEAD
 set -u
@@ -29,6 +31,29 @@ dune exec bench/main.exe -- --only gradsearch --budget 400 \
 note "bench regress"
 dune exec bench/main.exe -- regress \
   || err "tests/sec regressed beyond threshold"
+
+note "dashboard smoke"
+# A tiny journaled campaign rendered end-to-end through the real CLI:
+# the HTML must exist, stay NaN-free (the sparkline finite-guard), keep
+# its tags balanced, and carry a non-empty triage table.
+dash_dir=$(mktemp -d)
+if dune exec bin/nnsmith_cli.exe -- fuzz --system oxrt --tests 24 --jobs 2 \
+    --bugs --seed 3 --journal "$dash_dir" >/dev/null 2>&1 \
+  && dune exec bin/nnsmith_cli.exe -- dashboard "$dash_dir" >/dev/null 2>&1
+then
+  html="$dash_dir/dashboard.html"
+  [ -s "$html" ] || err "dashboard.html missing or empty"
+  if grep -q 'NaN' "$html"; then err "NaN leaked into the dashboard"; fi
+  open_n=$(grep -o '<section>' "$html" | wc -l)
+  close_n=$(grep -o '</section>' "$html" | wc -l)
+  [ "$open_n" -eq "$close_n" ] || err "unbalanced <section> tags in dashboard"
+  grep -q 'Bug triage' "$html" || err "dashboard triage section missing"
+  grep -q '<td>' "$html" || err "dashboard triage table is empty"
+  if grep -q '<script' "$html"; then err "dashboard must not contain scripts"; fi
+else
+  err "journaled fuzz campaign or dashboard generation failed"
+fi
+rm -rf "$dash_dir"
 
 note "style gate"
 tracked_src=$(git ls-files '*.ml' '*.mli' 'dune' '*/dune' 'dune-project')
