@@ -1154,6 +1154,123 @@ let bench_gradsearch () =
     ~digest:(string_of_int !d_on)
 
 (* ------------------------------------------------------------------ *)
+(* Fleet: the multi-process supervisor vs the in-process pool on the     *)
+(* same fixed-test workload, appended to BENCH_fleet.json.  Also asserts *)
+(* the failure/verdict aggregates agree across process counts — the      *)
+(* fleet's index-purity guarantee, measured rather than assumed.         *)
+
+let bench_fleet () =
+  section "Fleet: multi-process campaign vs in-process pool (BENCH_fleet.json)";
+  let module Fleet = Nnsmith_fleet.Fleet in
+  Faults.deactivate_all ();
+  Tel.reset ();
+  let seed = 20230325 in
+  let n = max 40 (int_of_float (!budget_ms /. 25.)) in
+  let rec rm_rf path =
+    match Unix.lstat path with
+    | exception Unix.Unix_error _ -> ()
+    | { Unix.st_kind = Unix.S_DIR; _ } ->
+        Sys.readdir path
+        |> Array.iter (fun f -> rm_rf (Filename.concat path f));
+        (try Unix.rmdir path with Unix.Unix_error _ -> ())
+    | _ -> ( try Sys.remove path with Sys_error _ -> ())
+  in
+  let tmp_dir () =
+    let d = Filename.temp_file "nnsmith_fleet_bench" "" in
+    Sys.remove d;
+    Unix.mkdir d 0o755;
+    d
+  in
+  let inline_run () =
+    let dir = tmp_dir () in
+    Fun.protect
+      ~finally:(fun () -> rm_rf dir)
+      (fun () ->
+        let t0 = Unix.gettimeofday () in
+        let r =
+          D.Pfuzz.fuzz ~jobs:1 ~report_dir:dir ~systems:[ D.Systems.oxrt ]
+            ~root_seed:seed
+            ~budget:(Nnsmith_parallel.Pool.Tests n)
+            ()
+        in
+        let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+        (ms, Hashtbl.hash (r.D.Pfuzz.r_failure_keys, r.D.Pfuzz.r_verdicts)))
+  in
+  let fleet_run shards =
+    let dir = tmp_dir () in
+    Fun.protect
+      ~finally:(fun () -> rm_rf dir)
+      (fun () ->
+        let cfg =
+          {
+            (Fleet.default_config ~dir ~tests:n) with
+            Fleet.fc_systems = [ D.Systems.oxrt ];
+            fc_root_seed = seed;
+            fc_shards = shards;
+            fc_progress = false;
+            fc_dashboard_every_ms = 0.;
+          }
+        in
+        let t0 = Unix.gettimeofday () in
+        match Fleet.run cfg with
+        | Error m ->
+            Printf.printf "FAIL: fleet bench (%d shards): %s\n" shards m;
+            exit 1
+        | Ok s ->
+            let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+            (ms, Hashtbl.hash (s.Fleet.fs_failure_keys, s.Fleet.fs_verdicts)))
+  in
+  ignore (inline_run ());  (* warm up allocator and op registry *)
+  let inline_ms, inline_d = inline_run () in
+  let inline_tps = float_of_int n /. (inline_ms /. 1000.) in
+  Printf.printf "%-10s %5d tests in %7.0f ms = %7.1f tests/s\n" "inline" n
+    inline_ms inline_tps;
+  let rows =
+    List.map
+      (fun shards ->
+        let ms, d = fleet_run shards in
+        let tps = float_of_int n /. (ms /. 1000.) in
+        Printf.printf
+          "%-10s %5d tests in %7.0f ms = %7.1f tests/s (%.2fx vs inline)\n"
+          (Printf.sprintf "shards=%d" shards)
+          n ms tps
+          (tps /. Float.max 1e-9 inline_tps);
+        (shards, ms, tps, d))
+      [ 1; 2; 4 ]
+  in
+  let agree = List.for_all (fun (_, _, _, d) -> d = inline_d) rows in
+  if not agree then begin
+    Printf.printf
+      "FAIL: fleet aggregates diverge from the in-process pool\n";
+    exit 1
+  end;
+  Printf.printf
+    "determinism: failure keys and verdicts identical across inline and \
+     all shard counts\n";
+  (* gate on shards=1: pure supervisor + IPC overhead over the same
+     single-lane workload, the number that should never regress *)
+  let shards1_tps =
+    match rows with (_, _, tps, _) :: _ -> tps | [] -> inline_tps
+  in
+  let row_json (shards, ms, tps, _) =
+    Printf.sprintf
+      "{\"shards\":%d,\"elapsed_ms\":%.1f,\"tests_per_sec\":%.2f}" shards ms
+      tps
+  in
+  let line =
+    Printf.sprintf
+      "{\"bench\":\"fleet\",\"workload_tests\":%d,\"seed\":%d,\"inline_tests_per_sec\":%.2f,\"tests_per_sec\":%.2f,\"rows\":[%s]}"
+      n seed inline_tps shards1_tps
+      (String.concat "," (List.map row_json rows))
+  in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 "BENCH_fleet.json" in
+  output_string oc (line ^ "\n");
+  close_out oc;
+  Printf.printf "appended to BENCH_fleet.json\n";
+  record_bench ~experiment:"fleet" ~tests_per_sec:shards1_tps
+    ~digest:(Printf.sprintf "tests=%d" n)
+
+(* ------------------------------------------------------------------ *)
 (* `bench regress`: the CI gate.  Compare the last BENCH_*.json row      *)
 (* against the previous one and fail on a >15% tests/sec drop (the       *)
 (* append-a-row-then-diff pattern of nim-lang's ci_bench).               *)
@@ -1260,11 +1377,15 @@ let experiments =
     ("journal", journal_overhead);
     ("corpus", corpus_throughput);
     ("parallel", bench_parallel);
+    ("fleet", bench_fleet);
     ("solver_cache", bench_solver_cache);
     ("gradsearch", bench_gradsearch);
   ]
 
 let () =
+  (* the fleet experiment spawns this binary back as its worker *)
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "fleet-worker" then
+    Nnsmith_fleet.Fleet.worker_main ();
   (* `bench regress` is a verb, not an experiment: it only reads the
      BENCH_*.json trails and gates on them. *)
   if Array.length Sys.argv > 1 && Sys.argv.(1) = "regress" then begin

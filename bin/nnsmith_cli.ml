@@ -24,6 +24,8 @@ module Pool = Nnsmith_parallel.Pool
 module Journal = Nnsmith_journal.Journal
 module Progress = Nnsmith_journal.Progress
 module Dashboard = Nnsmith_dashboard.Dashboard
+module Fleet = Nnsmith_fleet.Fleet
+module Flock = Nnsmith_fleet.Flock
 module D = Nnsmith_difftest
 
 let rec mkdir_p d =
@@ -192,6 +194,22 @@ let with_journal ~journal_dir ~progress k =
 let default_report_dir report_dir journal_dir =
   match report_dir with Some _ -> report_dir | None -> journal_dir
 
+(* Campaign directories are single-writer (append-only corpus index and
+   journal), so a second concurrent campaign on the same directory must
+   fail fast instead of interleaving writes.  Commands that write campaign
+   state take the directory's advisory lock first. *)
+let with_campaign_lock ~dir k =
+  match dir with
+  | None -> k ()
+  | Some d -> (
+      match Flock.acquire d with
+      | Error m ->
+          Printf.eprintf "%s\n" m;
+          1
+      | Ok lock -> Fun.protect ~finally:(fun () -> Flock.release lock) k)
+
+let first_some a b = match a with Some _ -> a | None -> b
+
 let journal_t =
   Arg.(
     value
@@ -253,17 +271,18 @@ let fuzz system_name budget_s tests jobs bugs seed telemetry report_dir
       if bugs then Faults.activate_all () else Faults.deactivate_all ();
       Tel.reset ();
       let report_dir = default_report_dir report_dir journal_dir in
-      with_journal ~journal_dir ~progress (fun journal ->
-          let r =
-            D.Pfuzz.fuzz ~jobs ?journal ?report_dir ~systems:[ system ]
-              ~root_seed:seed
-              ~budget:(budget_of ~budget_s tests)
-              ()
-          in
-          Printf.printf "fuzzed %s: " system.s_name;
-          print_parallel_result r;
-          print_corpus_line report_dir r;
-          write_telemetry telemetry)
+      with_campaign_lock ~dir:(first_some journal_dir report_dir) (fun () ->
+          with_journal ~journal_dir ~progress (fun journal ->
+              let r =
+                D.Pfuzz.fuzz ~jobs ?journal ?report_dir ~systems:[ system ]
+                  ~root_seed:seed
+                  ~budget:(budget_of ~budget_s tests)
+                  ()
+              in
+              Printf.printf "fuzzed %s: " system.s_name;
+              print_parallel_result r;
+              print_corpus_line report_dir r;
+              write_telemetry telemetry))
 
 let system_t =
   Arg.(value & opt string "oxrt" & info [ "system" ] ~docv:"SYS" ~doc:"oxrt | lotus | trt.")
@@ -397,6 +416,7 @@ let cov budget_s tests jobs seed telemetry journal_dir progress no_cache
       ("LEMON", fun s -> D.Generators.lemon ~seed:s ());
     ]
   in
+  with_campaign_lock ~dir:journal_dir @@ fun () ->
   with_journal ~journal_dir ~progress (fun journal ->
       List.iter
         (fun (system : D.Systems.t) ->
@@ -455,6 +475,7 @@ let hunt budget_s tests jobs seed telemetry report_dir journal_dir progress
   apply_no_plan no_plan;
   Tel.reset ();
   let report_dir = default_report_dir report_dir journal_dir in
+  with_campaign_lock ~dir:(first_some journal_dir report_dir) @@ fun () ->
   with_journal ~journal_dir ~progress (fun journal ->
       let r =
         D.Pfuzz.hunt ~jobs ?journal ?report_dir ~root_seed:seed
@@ -482,6 +503,252 @@ let hunt_cmd =
     Term.(
       const hunt $ budget_t $ tests_t $ jobs_t $ seed_t $ telemetry_t
       $ report_dir_t $ journal_t $ progress_t $ no_cache_t $ no_plan_t)
+
+(* ---- fleet -------------------------------------------------------- *)
+
+let fleet dir tests procs hunt bugs seed system_names resume max_nodes
+    hb_timeout_s checkpoint_every dashboard_every_s progress no_cache no_plan
+    =
+  apply_no_cache no_cache;
+  apply_no_plan no_plan;
+  Tel.reset ();
+  let systems =
+    match system_names with
+    | [] -> Ok D.Systems.all
+    | names ->
+        List.fold_left
+          (fun acc n ->
+            match (acc, system_of_name n) with
+            | Ok ss, Some s -> Ok (ss @ [ s ])
+            | Ok _, None -> Error n
+            | (Error _ as e), _ -> e)
+          (Ok []) names
+  in
+  match systems with
+  | Error n ->
+      Printf.eprintf "unknown system %s (oxrt | lotus | trt)\n" n;
+      1
+  | Ok systems -> (
+      let faults =
+        if hunt || bugs then
+          List.map (fun (b : Faults.bug) -> b.b_id) Faults.catalogue
+        else []
+      in
+      let cfg =
+        {
+          (Fleet.default_config ~dir ~tests) with
+          Fleet.fc_kind = (if hunt then Fleet.Hunt else Fleet.Fuzz);
+          fc_systems = systems;
+          fc_faults = faults;
+          fc_root_seed = seed;
+          fc_shards = max 1 procs;
+          fc_max_nodes = max_nodes;
+          fc_heartbeat_timeout_ms = hb_timeout_s *. 1000.;
+          fc_checkpoint_every = checkpoint_every;
+          fc_dashboard_every_ms =
+            (match dashboard_every_s with
+            | Some s -> s *. 1000.
+            | None -> 0.);
+          fc_progress = progress;
+        }
+      in
+      match Fleet.run ~resume cfg with
+      | Error m ->
+          Printf.eprintf "%s\n" m;
+          1
+      | Ok s ->
+          Printf.printf
+            "fleet %s: %d shard(s), %d/%d test(s) applied (%d this session, \
+             %.1f tests/s)\n"
+            dir s.Fleet.fs_shards s.fs_tests tests s.fs_session_tests
+            (float_of_int s.fs_session_tests
+            /. Float.max 1e-6 (s.fs_elapsed_ms /. 1000.));
+          List.iter (fun (k, n) -> Printf.printf "  %-12s %d\n" k n)
+            s.fs_verdicts;
+          Printf.printf "unique failures: %d\n"
+            (List.length s.fs_failure_keys);
+          List.iter (fun (k, n) -> Printf.printf "  %4dx %s\n" n k)
+            s.fs_crashes;
+          Printf.printf
+            "corpus: %d new case(s), %d duplicate(s) suppressed\n" s.fs_saved
+            s.fs_dups;
+          if s.fs_worker_crashes > 0 then
+            Printf.printf
+              "worker crashes: %d (filed in the corpus; %d restart(s))\n"
+              s.fs_worker_crashes s.fs_restarts;
+          Printf.printf "coverage: %d site(s), %d pass-only\n" s.fs_cov_total
+            s.fs_cov_pass;
+          if s.fs_complete then 0
+          else begin
+            Printf.printf
+              "campaign interrupted — continue with `nnsmith fleet %s \
+               --resume`\n"
+              dir;
+            1
+          end)
+
+let fleet_dir_t =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"DIR"
+        ~doc:
+          "Campaign directory: corpus, journal.jsonl, checkpoint.json \
+           (created if missing).")
+
+let fleet_tests_t =
+  Arg.(
+    value
+    & opt int 100
+    & info [ "tests" ] ~docv:"N"
+        ~doc:
+          "Global test budget (indices 0..N-1; identical failure set for \
+           any $(b,--procs)).")
+
+let procs_t =
+  Arg.(
+    value
+    & opt int (Pool.default_jobs ())
+    & info [ "procs"; "p" ] ~docv:"N"
+        ~doc:"Worker OS processes (shards of the index space).")
+
+let fleet_hunt_t =
+  Arg.(
+    value
+    & flag
+    & info [ "hunt" ]
+        ~doc:"Hunt the seeded defect catalogue instead of plain fuzzing.")
+
+let fleet_systems_t =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "system" ] ~docv:"SYS"
+        ~doc:"oxrt | lotus | trt (repeatable; default: all three).")
+
+let resume_t =
+  Arg.(
+    value
+    & flag
+    & info [ "resume" ]
+        ~doc:
+          "Continue from $(i,DIR)'s checkpoint after a kill; the finished \
+           campaign is byte-identical to an uninterrupted run.")
+
+let max_nodes_t =
+  Arg.(
+    value
+    & opt int 10
+    & info [ "max-nodes" ] ~docv:"N" ~doc:"Operator nodes per model.")
+
+let hb_timeout_t =
+  Arg.(
+    value
+    & opt float 30.
+    & info [ "heartbeat-timeout" ] ~docv:"SECS"
+        ~doc:
+          "Kill and restart a worker that has not framed an outcome for \
+           this long.")
+
+let checkpoint_every_t =
+  Arg.(
+    value
+    & opt int 25
+    & info [ "checkpoint-every" ] ~docv:"N"
+        ~doc:"Applied tests between checkpoints.")
+
+let dashboard_every_t =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "dashboard-every" ] ~docv:"SECS"
+        ~doc:
+          "Regenerate $(i,DIR)/dashboard.html this often while the \
+           campaign runs (with a matching meta-refresh tag).")
+
+let fleet_cmd =
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Crash-tolerant multi-process campaign: shard the index-pure \
+          test space across worker processes with a checkpointed, \
+          resumable work queue")
+    Term.(
+      const fleet $ fleet_dir_t $ fleet_tests_t $ procs_t $ fleet_hunt_t
+      $ bugs_t $ seed_t $ fleet_systems_t $ resume_t $ max_nodes_t
+      $ hb_timeout_t $ checkpoint_every_t $ dashboard_every_t $ progress_t
+      $ no_cache_t $ no_plan_t)
+
+(* ---- journal tail ------------------------------------------------- *)
+
+let journal_tail dir n follow interval_s =
+  let path =
+    if Filename.check_suffix dir ".jsonl" then dir else Journal.in_dir dir
+  in
+  let print_from skip (r : Journal.read_result) =
+    List.iteri
+      (fun i ev ->
+        if i >= skip then print_endline (Journal.summary_line ev))
+      r.Journal.events;
+    List.length r.Journal.events
+  in
+  match Journal.read_file path with
+  | Error m ->
+      Printf.eprintf "cannot read %s: %s\n" path m;
+      1
+  | Ok r ->
+      let len = List.length r.Journal.events in
+      let printed = ref (print_from (max 0 (len - n)) r) in
+      if r.Journal.torn_tail then
+        Printf.eprintf "note: final line torn (writer killed mid-write)\n";
+      flush stdout;
+      if not follow then 0
+      else begin
+        (* poll the file; the torn-tail-tolerant reader means a live
+           appender can never make us error or print a partial event *)
+        while true do
+          Unix.sleepf interval_s;
+          (match Journal.read_file path with
+          | Error _ -> ()
+          | Ok r ->
+              printed := print_from !printed r;
+              flush stdout)
+        done;
+        0
+      end
+
+let tail_lines_t =
+  Arg.(
+    value
+    & opt int 10
+    & info [ "n"; "lines" ] ~docv:"N" ~doc:"Print the last $(docv) events.")
+
+let follow_t =
+  Arg.(
+    value
+    & flag
+    & info [ "follow"; "f" ]
+        ~doc:"Keep polling for new events (like `tail -f`).")
+
+let tail_interval_t =
+  Arg.(
+    value
+    & opt float 0.5
+    & info [ "interval" ] ~docv:"SECS"
+        ~doc:"Poll interval with $(b,--follow).")
+
+let journal_tail_cmd =
+  Cmd.v
+    (Cmd.info "tail"
+       ~doc:"Print the last journal events as one-line summaries")
+    Term.(
+      const journal_tail $ fleet_dir_t $ tail_lines_t $ follow_t
+      $ tail_interval_t)
+
+let journal_cmd =
+  Cmd.group
+    (Cmd.info "journal" ~doc:"Inspect a campaign's event journal")
+    [ journal_tail_cmd ]
 
 (* ---- stats -------------------------------------------------------- *)
 
@@ -521,8 +788,8 @@ let stats_cmd =
 
 (* ---- dashboard ---------------------------------------------------- *)
 
-let dashboard dir bench_dir out =
-  let html = Dashboard.of_dir ~bench_dir dir in
+let dashboard dir bench_dir out refresh =
+  let html = Dashboard.of_dir ~bench_dir ?refresh_secs:refresh dir in
   let out =
     match out with Some p -> p | None -> Filename.concat dir "dashboard.html"
   in
@@ -564,13 +831,25 @@ let dashboard_out_t =
     & info [ "out" ] ~docv:"FILE"
         ~doc:"Write the HTML here instead of $(i,DIR)/dashboard.html.")
 
+let dashboard_refresh_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "refresh" ] ~docv:"SECS"
+        ~doc:
+          "Embed a meta-refresh tag so a browser left open on the page \
+           re-reads it every $(docv) seconds — pairs with regenerating it \
+           in a loop (or `nnsmith fleet --dashboard-every`).")
+
 let dashboard_cmd =
   Cmd.v
     (Cmd.info "dashboard"
        ~doc:
          "Render a campaign directory as one self-contained static HTML \
           page (inline CSS + SVG, no JavaScript)")
-    Term.(const dashboard $ dashboard_dir_t $ bench_dir_t $ dashboard_out_t)
+    Term.(
+      const dashboard $ dashboard_dir_t $ bench_dir_t $ dashboard_out_t
+      $ dashboard_refresh_t)
 
 (* ---- reduce ------------------------------------------------------- *)
 
@@ -661,6 +940,10 @@ let bugs_cmd =
     Term.(const bugs $ const ())
 
 let () =
+  (* Hidden worker mode: the fleet supervisor respawns this very binary
+     with this argv marker; the worker config rides the environment. *)
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "fleet-worker" then
+    Fleet.worker_main ();
   let info =
     Cmd.info "nnsmith" ~version:"1.0.0"
       ~doc:"Generate diverse and valid test cases for deep-learning compilers"
@@ -675,6 +958,8 @@ let () =
             triage_cmd;
             cov_cmd;
             hunt_cmd;
+            fleet_cmd;
+            journal_cmd;
             stats_cmd;
             dashboard_cmd;
             reduce_cmd;

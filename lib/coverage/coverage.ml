@@ -73,6 +73,20 @@ let universe_size () = Hashtbl.length (cur ()).universe
 
 let sites s = Sset.elements s.all
 
+(* Serializable snapshot form, used by the fleet protocol to ship per-test
+   coverage deltas across process boundaries: sorted (site, is_pass) pairs. *)
+let to_list s =
+  List.map (fun site -> (site, Sset.mem site s.pass)) (Sset.elements s.all)
+
+let of_list kvs =
+  List.fold_left
+    (fun acc (site, is_pass) ->
+      {
+        all = Sset.add site acc.all;
+        pass = (if is_pass then Sset.add site acc.pass else acc.pass);
+      })
+    empty kvs
+
 (* ------------------------------------------------------------------ *)
 (* Cross-domain merge.                                                 *)
 

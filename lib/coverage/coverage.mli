@@ -39,6 +39,13 @@ val universe_size : unit -> int
 
 val sites : snapshot -> string list
 
+val to_list : snapshot -> (string * bool) list
+(** Sorted [(site, is_pass_file)] pairs — the serializable snapshot form
+    the fleet protocol ships across process boundaries. *)
+
+val of_list : (string * bool) list -> snapshot
+(** Inverse of {!to_list} (order-insensitive). *)
+
 (** {1 Cross-domain merge} *)
 
 type export

@@ -33,6 +33,8 @@ type input = {
   in_telemetry : Tel.snapshot list;
   in_history : bench_row list;  (** chronological *)
   in_latest : (string * Json.t) list;  (** BENCH_*.json last rows, by file *)
+  in_refresh_secs : int option;  (** emit a meta-refresh tag *)
+  in_now_ms : float;  (** staleness reference clock (injectable in tests) *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -448,6 +450,48 @@ let bench_section b input =
     section b "Benchmark history" (Buffer.contents body)
   end
 
+(* A campaign that stopped heartbeating without writing a [Summary] is
+   possibly dead (wedged, killed, or awaiting [--resume]).  The expected
+   cadence is estimated from the journal itself — the median gap between
+   consecutive heartbeats, floored at the writers' 250 ms rate limit — so
+   no configuration has to be plumbed in. *)
+let stale_heartbeat input =
+  match input.in_journal with
+  | None -> None
+  | Some r ->
+      let hbs =
+        List.filter_map
+          (function Journal.Heartbeat h -> Some h.h_at_ms | _ -> None)
+          r.Journal.events
+      in
+      let last_summary =
+        List.fold_left
+          (fun acc ev ->
+            match ev with
+            | Journal.Summary f -> Float.max acc f.f_at_ms
+            | _ -> acc)
+          neg_infinity r.Journal.events
+      in
+      match List.rev hbs with
+      | [] -> None
+      | last :: _ when last_summary >= last -> None  (* campaign concluded *)
+      | last :: _ ->
+          let gaps =
+            let rec go acc = function
+              | a :: (b :: _ as rest) -> go ((b -. a) :: acc) rest
+              | _ -> acc
+            in
+            List.sort compare (go [] hbs)
+          in
+          let median =
+            match gaps with
+            | [] -> 250.
+            | _ -> List.nth gaps (List.length gaps / 2)
+          in
+          let interval = Float.max 250. median in
+          let age = input.in_now_ms -. last in
+          if age > 2. *. interval then Some (age, interval) else None
+
 let journal_health_section b input =
   match input.in_journal with
   | None -> section b "Journal" "<p class=\"muted\">no journal found</p>"
@@ -458,13 +502,19 @@ let journal_health_section b input =
             match ev with Journal.Dropped d -> acc + d.d_count | _ -> acc)
           0 r.Journal.events
       in
+      let worker_crashes =
+        List.fold_left
+          (fun acc ev ->
+            match ev with Journal.Worker_crash _ -> acc + 1 | _ -> acc)
+          0 r.Journal.events
+      in
       let warn cond msg =
         if cond then Printf.sprintf "<p class=\"warn\">&#9888; %s</p>" msg
         else ""
       in
       section b "Journal health"
         (Printf.sprintf
-           "<p>%d event(s)%s</p>%s%s%s"
+           "<p>%d event(s)%s</p>%s%s%s%s%s"
            (List.length r.Journal.events)
            (if r.Journal.torn_tail then
               " — final line torn (process killed mid-write); all \
@@ -478,7 +528,22 @@ let journal_health_section b input =
               (r.Journal.bad_lines > 0)
               (Printf.sprintf "%d unparseable non-final line(s) skipped"
                  r.Journal.bad_lines))
-           (warn r.Journal.torn_tail "torn tail tolerated on read"))
+           (warn r.Journal.torn_tail "torn tail tolerated on read")
+           (warn (worker_crashes > 0)
+              (Printf.sprintf
+                 "%d worker crash(es) filed; the supervisor restarted the \
+                  affected shard(s)"
+                 worker_crashes))
+           (match stale_heartbeat input with
+           | None -> ""
+           | Some (age, interval) ->
+               warn true
+                 (Printf.sprintf
+                    "campaign possibly dead: last heartbeat %s s ago, \
+                     expected every ~%s s — resume with <code>nnsmith \
+                     fleet --resume</code> if it was killed"
+                    (fmt_f (age /. 1000.))
+                    (fmt_f (interval /. 1000.)))))
 
 (* ------------------------------------------------------------------ *)
 (* CSS: palette tokens (light + dark) and layout                       *)
@@ -547,7 +612,11 @@ let render (input : input) : string =
     "<!DOCTYPE html>\n\
      <html lang=\"en\"><head><meta charset=\"utf-8\">\n\
      <meta name=\"viewport\" content=\"width=device-width, initial-scale=1\">\n\
-     <title>%s</title>\n<style>%s</style></head>\n<body>\n<h1>%s</h1>\n"
+     %s<title>%s</title>\n<style>%s</style></head>\n<body>\n<h1>%s</h1>\n"
+    (match input.in_refresh_secs with
+    | Some n when n > 0 ->
+        Printf.sprintf "<meta http-equiv=\"refresh\" content=\"%d\">\n" n
+    | _ -> "")
     (esc input.in_title) css (esc input.in_title);
   header_section b input;
   triage_section b input;
@@ -628,7 +697,7 @@ let load_latest_bench bench_dir =
                  | Error _ -> None)
              | [] -> None)
 
-let of_dir ?(bench_dir = ".") dir : string =
+let of_dir ?(bench_dir = ".") ?refresh_secs ?now_ms dir : string =
   let journal =
     let path = Journal.in_dir dir in
     if Sys.file_exists path then
@@ -676,4 +745,6 @@ let of_dir ?(bench_dir = ".") dir : string =
       in_telemetry = telemetry;
       in_history = history;
       in_latest = load_latest_bench bench_dir;
+      in_refresh_secs = refresh_secs;
+      in_now_ms = (match now_ms with Some t -> t | None -> Tel.now_ms ());
     }

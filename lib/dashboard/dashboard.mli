@@ -22,11 +22,18 @@
     so ["NaN"] cannot appear anywhere in the output (the CI gate greps
     for it). *)
 
-val of_dir : ?bench_dir:string -> string -> string
+val of_dir :
+  ?bench_dir:string -> ?refresh_secs:int -> ?now_ms:float -> string -> string
 (** [of_dir dir] reads whatever campaign artefacts exist under [dir]
     (all optional — missing pieces render as empty-state notes, never
     errors) and returns the complete HTML document as a string.
 
     [bench_dir] (default ["."]) is where [bench/history.jsonl] and
     [BENCH_*.json] files are looked up when [dir] has no local bench
-    history — typically the repository root. *)
+    history — typically the repository root.
+
+    [refresh_secs] adds a [meta http-equiv="refresh"] tag, for watching a
+    live campaign.  [now_ms] (default [Telemetry.now_ms ()]) is the clock
+    the stale-heartbeat warning compares the journal against: a campaign
+    with no concluding [Summary] whose last heartbeat is older than twice
+    its own median heartbeat interval is flagged as possibly dead. *)

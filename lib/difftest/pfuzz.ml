@@ -354,8 +354,11 @@ let record_verdict t (system : Systems.t) ~generator ~seed ~export_bugs g bindin
 let search_iters = 64
 
 (* The index-pure NNSmith pipeline: generate → search inputs → export →
-   difftest each system.  Everything derives from [seed]. *)
-let run_index t ~generator ~max_nodes ~binning ~systems ~seed =
+   difftest each system.  Everything derives from [seed].  With
+   [attribute_semantic], semantic mismatches are attributed to seeded
+   defects by isolation re-runs (the hunt-mode discipline of {!Bughunt}). *)
+let run_index ?(attribute_semantic = false) t ~generator ~max_nodes ~binning
+    ~systems ~seed =
   let out = ref [] in
   let emit f = out := f :: !out in
   (match
@@ -380,7 +383,56 @@ let run_index t ~generator ~max_nodes ~binning ~systems ~seed =
                     binding emit v
               | exception _ -> incr_count t.verdicts "error")
             systems));
-  List.rev !out
+  let fs = List.rev !out in
+  if attribute_semantic then
+    List.iter
+      (fun f ->
+        match f.f_verdict with
+        | Harness.Semantic _ ->
+            Bughunt.attribute_semantic f.f_system f.f_graph f.f_binding
+              t.triggered
+        | _ -> ())
+      fs;
+  fs
+
+(* ------------------------------------------------------------------ *)
+(* Per-index outcome: the serializable result of one test, shared by the
+   in-process domain pool and the multi-process fleet.  [run_one] is the
+   single definition of "run test index i"; a fleet worker ships the
+   outcome over its pipe, the supervisor absorbs it exactly as [assemble]
+   absorbs worker tallies.                                              *)
+
+type outcome = {
+  o_verdicts : (string * int) list;  (** sorted verdict-kind counts *)
+  o_crashes : (string * int) list;  (** crash dedup-key -> count *)
+  o_keys : string list;  (** failure dedup-keys, sorted *)
+  o_triggered : (string * int) list;  (** seeded bug id -> hits *)
+  o_ops : (string * (string * int) list) list;
+  o_failures : failure list;  (** in emission order *)
+}
+
+let outcome_of_tally t fs =
+  {
+    o_verdicts = sorted_counts t.verdicts;
+    o_crashes = sorted_counts t.crashes;
+    o_keys =
+      List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) t.keys []);
+    o_triggered = sorted_counts t.triggered;
+    o_ops =
+      Hashtbl.fold (fun op inner acc -> (op, sorted_counts inner) :: acc) t.ops
+        []
+      |> List.sort compare;
+    o_failures = fs;
+  }
+
+let run_one ?attribute_semantic ?(generator = "NNSmith") ?(max_nodes = 10)
+    ?(binning = true) ~systems ~seed () =
+  let t = fresh_tally () in
+  let fs =
+    run_index ?attribute_semantic t ~generator ~max_nodes ~binning ~systems
+      ~seed
+  in
+  outcome_of_tally t fs
 
 (** Sharded NNSmith differential-testing campaign.  Runs with whatever
     fault set is active on the calling domain (workers inherit it).  With
@@ -469,19 +521,11 @@ let hunt ?jobs ?journal ?report_dir ?(max_nodes = 10) ~root_seed ~budget () :
         Pool.run ?jobs ~is_failure ~root_seed ~budget
           ~init:(fun ~worker -> fresh_wstate worker)
           ~test:(fun ws ~index:_ ~seed ->
-            let t = ws.w_tally in
             let fs =
-              run_index t ~generator:"NNSmith" ~max_nodes ~binning:true
+              run_index ~attribute_semantic:true ws.w_tally
+                ~generator:"NNSmith" ~max_nodes ~binning:true
                 ~systems:Systems.all ~seed
             in
-            List.iter
-              (fun f ->
-                match f.f_verdict with
-                | Harness.Semantic _ ->
-                    Bughunt.attribute_semantic f.f_system f.f_graph f.f_binding
-                      t.triggered
-                | _ -> ())
-              fs;
             List.map (fun f -> M_failure f) fs
             @ maybe_heartbeat ~journaling ws)
           ~finish:(fun ws -> ws.w_tally)

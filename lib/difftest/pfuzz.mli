@@ -24,6 +24,38 @@ type msg = M_failure of failure | M_event of Nnsmith_journal.Journal.event
 (** What rides the pool's worker-to-writer channel: failures (never
     dropped) and best-effort journal events (worker heartbeats). *)
 
+type outcome = {
+  o_verdicts : (string * int) list;  (** sorted verdict-kind counts *)
+  o_crashes : (string * int) list;  (** crash dedup-key -> count *)
+  o_keys : string list;  (** failure dedup-keys, sorted *)
+  o_triggered : (string * int) list;  (** seeded bug id -> hits *)
+  o_ops : (string * (string * int) list) list;
+      (** op kind -> verdict kind -> count, both levels sorted *)
+  o_failures : failure list;  (** in emission order *)
+}
+(** The serializable result of running one test index — what a fleet
+    worker ships over its pipe to the supervisor. *)
+
+val run_one :
+  ?attribute_semantic:bool ->
+  ?generator:string ->
+  ?max_nodes:int ->
+  ?binning:bool ->
+  systems:Systems.t list ->
+  seed:int ->
+  unit ->
+  outcome
+(** The single definition of "run test index [i]": the index-pure NNSmith
+    pipeline (generate → input search → export → difftest each system)
+    for one derived seed, exactly as the pool drivers run it.  With
+    [attribute_semantic] (hunt mode), semantic mismatches are attributed
+    to seeded defects by isolation re-runs.  Both the in-process domain
+    pool and the multi-process fleet are built on this closure. *)
+
+val verdict_name : Harness.verdict -> string
+(** ["pass" | "skipped" | "semantic" | "crash"] — the journal/corpus
+    verdict-kind vocabulary. *)
+
 type result = {
   r_stats : Nnsmith_parallel.Pool.stats;
   r_verdicts : (string * int) list;

@@ -1,0 +1,64 @@
+(** Durable fleet-campaign checkpoint (atomic tmp + fsync + rename).
+
+    Because the supervisor applies worker outcomes in strict global index
+    order, one [applied] mark captures progress exactly: indices
+    [\[0, applied)] are reflected in every tally, the coverage union and
+    the corpus.  [ck_index_bytes] records the corpus [index.jsonl] length
+    at save time; resume truncates the index back to it (undoing
+    un-checkpointed appends) and deterministically re-runs indices
+    [>= applied], which makes the resumed campaign byte-identical to an
+    uninterrupted one. *)
+
+type t = {
+  ck_version : int;
+  ck_kind : string;  (** "fuzz" | "hunt" *)
+  ck_root_seed : int;
+  ck_shards : int;
+  ck_tests : int;
+  ck_max_nodes : int;
+  ck_binning : bool;
+  ck_systems : string list;
+  ck_faults : string list;
+  ck_applied : int;  (** indices [\[0, applied)] fully applied *)
+  ck_shard_next : int list;
+      (** per-shard high-water marks (next index per shard), derived from
+          [applied]; recorded for observability, recomputed on resume *)
+  ck_index_bytes : int;  (** corpus index.jsonl length at save time *)
+  ck_coverage : (string * bool) list;  (** cumulative union, sorted *)
+  ck_verdicts : (string * int) list;
+  ck_crashes : (string * int) list;
+  ck_keys : string list;
+  ck_triggered : (string * int) list;
+  ck_ops : (string * (string * int) list) list;
+  ck_saved : int;
+  ck_dups : int;
+  ck_worker_crashes : int;
+  ck_restarts : int;
+  ck_complete : bool;
+  ck_at_ms : float;
+}
+
+val file_name : string
+(** ["checkpoint.json"]. *)
+
+val in_dir : string -> string
+
+val version : int
+
+val next_index_for : applied:int -> shards:int -> int -> int
+(** Smallest index [>= applied] belonging to shard [w]
+    ([i mod shards = w]) — where shard [w] restarts after a resume. *)
+
+val shard_next : applied:int -> shards:int -> int list
+(** [next_index_for] over all shards. *)
+
+val to_json : t -> Nnsmith_telemetry.Json.t
+val of_json : Nnsmith_telemetry.Json.t -> (t, string) result
+
+val save : string -> t -> unit
+(** [save dir c] atomically replaces [dir/checkpoint.json]: write to a
+    temp file, [fsync], [rename].  A kill at any instant leaves either
+    the previous checkpoint or this one, never a torn file. *)
+
+val load : string -> (t option, string) result
+(** [Ok None] when no checkpoint exists. *)

@@ -1,0 +1,66 @@
+(** Advisory campaign lock: one writer per campaign directory.
+
+    The corpus index ([index.jsonl]) and the journal are append-only files
+    written under the single-writer discipline; two concurrent campaigns
+    pointed at the same directory would silently interleave writes.  This
+    module takes an advisory POSIX write lock so the second campaign fails
+    fast with a clear error instead.
+
+    The lock lives on a dedicated [campaign.lock] file rather than on
+    [index.jsonl] itself, deliberately: POSIX record locks ([lockf]) are
+    per-process and are dropped when {e any} descriptor for the file is
+    closed — and the corpus reopens [index.jsonl] for every append, the
+    dashboard re-reads the journal, etc.  A dedicated file nothing else
+    ever opens sidesteps that footgun; the lock is released when the
+    holding process exits (including [kill -9]), so a crashed campaign
+    never wedges its directory. *)
+
+let lock_file = "campaign.lock"
+
+type t = { l_path : string; l_fd : Unix.file_descr }
+
+let rec mkdir_p d =
+  if d = "" || d = "." || d = "/" || Sys.file_exists d then ()
+  else begin
+    mkdir_p (Filename.dirname d);
+    try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let holder_of path =
+  match open_in path with
+  | exception Sys_error _ -> "unknown pid"
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          match input_line ic with
+          | line when String.trim line <> "" -> String.trim line
+          | _ | (exception End_of_file) -> "unknown pid")
+
+let acquire dir =
+  mkdir_p dir;
+  let path = Filename.concat dir lock_file in
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  match Unix.lockf fd Unix.F_TLOCK 0 with
+  | () ->
+      Unix.ftruncate fd 0;
+      let line = Printf.sprintf "pid %d\n" (Unix.getpid ()) in
+      let b = Bytes.of_string line in
+      ignore (Unix.write fd b 0 (Bytes.length b));
+      Nnsmith_telemetry.Telemetry.incr "fleet/locks";
+      Ok { l_path = path; l_fd = fd }
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EACCES), _, _) ->
+      Unix.close fd;
+      Error
+        (Printf.sprintf
+           "campaign directory %s is in use (%s holds %s, which guards \
+            index.jsonl and journal.jsonl); wait for that campaign or use \
+            another directory"
+           dir (holder_of path) lock_file)
+
+let release t =
+  (* Closing the descriptor drops the lock; the file is left behind as a
+     breadcrumb (its content names the last holder). *)
+  try Unix.close t.l_fd with Unix.Unix_error _ -> ()
+
+let path t = t.l_path

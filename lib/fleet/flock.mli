@@ -1,0 +1,26 @@
+(** Advisory per-directory campaign lock.
+
+    Serialises campaigns on a directory: the corpus index and journal are
+    single-writer append-only files, so a second concurrent campaign must
+    fail fast rather than interleave writes.  Implemented as a POSIX
+    [lockf] write lock on a dedicated [campaign.lock] file (never on the
+    data files themselves — record locks are dropped when any descriptor
+    for the locked file closes, and the corpus reopens [index.jsonl] per
+    append).  The kernel releases the lock when the holder exits, however
+    it dies, so [kill -9] never wedges the directory. *)
+
+type t
+
+val lock_file : string
+(** ["campaign.lock"]. *)
+
+val acquire : string -> (t, string) result
+(** [acquire dir] takes the lock for campaign directory [dir] (created if
+    missing) and records the holder's pid in the lock file.  [Error] with
+    a descriptive message when another live process holds it. *)
+
+val release : t -> unit
+(** Drop the lock.  The lock file is left behind; its content names the
+    last holder. *)
+
+val path : t -> string

@@ -1,0 +1,127 @@
+(** Worker-process plumbing for the fleet supervisor: spawning a child on
+    the campaign binary's hidden [fleet-worker] mode, the per-process and
+    per-shard bookkeeping (frame clock, next expected index, restart
+    counters), bounded exponential backoff, and reaping with a
+    human-readable cause string.
+
+    The policy lives in {!Fleet}; this module only manages processes.
+    Workers receive their config as JSON in {!Proto.env_var}, write
+    frames to fd 1 (a pipe whose read end the supervisor selects on), and
+    inherit the supervisor's stderr for diagnostics. *)
+
+module Tel = Nnsmith_telemetry.Telemetry
+
+type proc = {
+  p_worker : int;  (** shard id *)
+  p_pid : int;
+  p_fd : Unix.file_descr;  (** read end of the worker's frame pipe *)
+  p_decoder : Proto.decoder;
+  mutable p_last_frame_ms : float;  (** heartbeat clock: any frame counts *)
+  mutable p_next_index : int;
+      (** the global index the worker is presumed to be running; advanced
+          past each received outcome — a death is charged to this index *)
+  mutable p_tests : int;  (** cumulative tests reported by this process *)
+  mutable p_done : bool;  (** a [Shard_done] frame arrived *)
+  mutable p_done_tests : int;
+  mutable p_done_last_index : int;
+}
+
+type shard_state =
+  | Running of proc
+  | Idle of float  (** restart due at this [Telemetry.now_ms] clock value *)
+  | Done
+  | Abandoned  (** restart budget exhausted; campaign fails *)
+
+type shard = {
+  sh_id : int;
+  mutable sh_next : int;  (** next global index to (re)start from *)
+  mutable sh_state : shard_state;
+  mutable sh_restarts : int;  (** total respawns beyond the initial spawn *)
+  mutable sh_consec_deaths : int;  (** deaths since the last completed test *)
+  mutable sh_tests : int;  (** outcomes received for this shard *)
+  mutable sh_seq : int;  (** journal heartbeat sequence *)
+  mutable sh_next_hb_ms : float;
+  sh_verdicts : (string, int) Hashtbl.t;  (** cumulative, for heartbeats *)
+}
+
+let make_shard ~id ~next =
+  {
+    sh_id = id;
+    sh_next = next;
+    sh_state = Idle neg_infinity;
+    sh_restarts = 0;
+    sh_consec_deaths = 0;
+    sh_tests = 0;
+    sh_seq = 0;
+    sh_next_hb_ms = neg_infinity;
+    sh_verdicts = Hashtbl.create 8;
+  }
+
+let backoff_ms ~base_ms ~max_ms ~consec_deaths =
+  let n = max 0 (consec_deaths - 1) in
+  Float.min max_ms (base_ms *. Float.pow 2. (float_of_int n))
+
+(* Spawn one worker: /dev/null stdin, pipe stdout (frames), inherited
+   stderr.  The config payload is appended to the parent's environment
+   under [Proto.env_var], so test and bench binaries can spawn themselves
+   (they check [Sys.argv] for the worker argv marker at startup). *)
+let spawn ~exe ~argv ~(config : Proto.worker_config) ~start_index =
+  let payload =
+    Proto.worker_config_to_string { config with wc_start_index = start_index }
+  in
+  let r, w = Unix.pipe ~cloexec:true () in
+  let null = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+  let env =
+    Array.append
+      (Array.of_seq
+         (Seq.filter
+            (fun kv ->
+              not (String.length kv > String.length Proto.env_var
+                   && String.sub kv 0 (String.length Proto.env_var + 1)
+                      = Proto.env_var ^ "="))
+            (Array.to_seq (Unix.environment ()))))
+      [| Proto.env_var ^ "=" ^ payload |]
+  in
+  let pid =
+    Unix.create_process_env exe
+      (Array.of_list (exe :: argv))
+      env null w Unix.stderr
+  in
+  Unix.close w;
+  Unix.close null;
+  Tel.incr "fleet/spawns";
+  {
+    p_worker = config.Proto.wc_worker;
+    p_pid = pid;
+    p_fd = r;
+    p_decoder = Proto.decoder ();
+    p_last_frame_ms = Tel.now_ms ();
+    p_next_index = start_index;
+    p_tests = 0;
+    p_done = false;
+    p_done_tests = 0;
+    p_done_last_index = -1;
+  }
+
+let send_signal p signum =
+  try Unix.kill p.p_pid signum with Unix.Unix_error _ -> ()
+
+let term p = send_signal p Sys.sigterm
+let kill p = send_signal p Sys.sigkill
+
+(* Reap a dead (or dying) worker and describe how it went.  Blocking is
+   fine here: reaping happens after pipe EOF (or a SIGKILL we just sent),
+   so the child is gone or moments from it. *)
+let reap p =
+  (try Unix.close p.p_fd with Unix.Unix_error _ -> ());
+  match Unix.waitpid [] p.p_pid with
+  | _, Unix.WEXITED n -> Printf.sprintf "exit %d" n
+  | _, Unix.WSIGNALED n -> Printf.sprintf "signal %d" n
+  | _, Unix.WSTOPPED n -> Printf.sprintf "stopped %d" n
+  | exception Unix.Unix_error (e, _, _) ->
+      Printf.sprintf "waitpid: %s" (Unix.error_message e)
+
+let running_procs shards =
+  Array.to_list shards
+  |> List.filter_map (fun sh ->
+         match sh.sh_state with Running p -> Some p | _ -> None)

@@ -1,0 +1,67 @@
+(** Worker-process plumbing for the fleet supervisor: spawn/signal/reap
+    and per-shard bookkeeping (restart counters, bounded exponential
+    backoff, heartbeat clocks).  Policy lives in {!Fleet}; this module
+    only manages processes. *)
+
+type proc = {
+  p_worker : int;  (** shard id *)
+  p_pid : int;
+  p_fd : Unix.file_descr;  (** read end of the worker's frame pipe *)
+  p_decoder : Proto.decoder;
+  mutable p_last_frame_ms : float;  (** heartbeat clock: any frame counts *)
+  mutable p_next_index : int;
+      (** the global index the worker is presumed to be running; a death
+          is charged to this index *)
+  mutable p_tests : int;
+  mutable p_done : bool;  (** a [Shard_done] frame arrived *)
+  mutable p_done_tests : int;
+  mutable p_done_last_index : int;
+}
+
+type shard_state =
+  | Running of proc
+  | Idle of float  (** restart due at this [Telemetry.now_ms] clock value *)
+  | Done
+  | Abandoned  (** restart budget exhausted; campaign fails *)
+
+type shard = {
+  sh_id : int;
+  mutable sh_next : int;  (** next global index to (re)start from *)
+  mutable sh_state : shard_state;
+  mutable sh_restarts : int;  (** respawns beyond the initial spawn *)
+  mutable sh_consec_deaths : int;  (** deaths since the last completed test *)
+  mutable sh_tests : int;  (** outcomes received for this shard *)
+  mutable sh_seq : int;  (** journal heartbeat sequence *)
+  mutable sh_next_hb_ms : float;
+  sh_verdicts : (string, int) Hashtbl.t;  (** cumulative, for heartbeats *)
+}
+
+val make_shard : id:int -> next:int -> shard
+(** Fresh shard, immediately due for its first spawn ([Idle -inf]). *)
+
+val backoff_ms : base_ms:float -> max_ms:float -> consec_deaths:int -> float
+(** [base * 2^(deaths-1)] capped at [max] — the restart delay after the
+    [deaths]-th consecutive death without a completed test. *)
+
+val spawn :
+  exe:string ->
+  argv:string list ->
+  config:Proto.worker_config ->
+  start_index:int ->
+  proc
+(** Spawn one worker process: [exe argv...] with the config (start index
+    patched in) appended to the environment under {!Proto.env_var};
+    /dev/null stdin, a fresh pipe as stdout (frames), inherited stderr.
+    May raise [Unix.Unix_error] if the spawn itself fails. *)
+
+val term : proc -> unit
+(** SIGTERM, ignoring ESRCH. *)
+
+val kill : proc -> unit
+(** SIGKILL, ignoring ESRCH. *)
+
+val reap : proc -> string
+(** Close the pipe, [waitpid], and describe the death — ["exit N"] /
+    ["signal N"].  Call after EOF or after {!kill}. *)
+
+val running_procs : shard array -> proc list

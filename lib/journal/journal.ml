@@ -71,6 +71,26 @@ type event =
           (* op kind -> verdict kind -> count; both levels sorted *)
     }
   | Dropped of { d_at_ms : float; d_count : int }
+  | Shard_done of {
+      sd_at_ms : float;
+      sd_worker : int;
+      sd_tests : int;  (* tests this shard completed over the campaign *)
+      sd_last_index : int;  (* highest global index the shard ran; -1 if none *)
+    }
+  | Worker_crash of {
+      wc_at_ms : float;
+      wc_worker : int;
+      wc_index : int;  (* global test index the worker died on *)
+      wc_seed : int;  (* derived seed of that index *)
+      wc_cause : string;  (* "exit 66" | "signal 9" | "heartbeat timeout" ... *)
+      wc_restarts : int;  (* restarts of this shard so far, this one included *)
+    }
+  | Resume of {
+      rs_at_ms : float;
+      rs_applied : int;  (* checkpoint high-water mark: indices [0, applied) *)
+      rs_tests : int;  (* campaign test budget *)
+      rs_shards : int;
+    }
   | Summary of {
       f_at_ms : float;
       f_tests : int;
@@ -221,6 +241,35 @@ let to_json = function
           ("at_ms", Json.Num d.d_at_ms);
           ("count", Json.Num (float_of_int d.d_count));
         ]
+  | Shard_done sd ->
+      Json.Obj
+        [
+          ("ev", Json.Str "shard_done");
+          ("at_ms", Json.Num sd.sd_at_ms);
+          ("worker", Json.Num (float_of_int sd.sd_worker));
+          ("tests", Json.Num (float_of_int sd.sd_tests));
+          ("last_index", Json.Num (float_of_int sd.sd_last_index));
+        ]
+  | Worker_crash wc ->
+      Json.Obj
+        [
+          ("ev", Json.Str "worker_crash");
+          ("at_ms", Json.Num wc.wc_at_ms);
+          ("worker", Json.Num (float_of_int wc.wc_worker));
+          ("index", Json.Num (float_of_int wc.wc_index));
+          ("seed", Json.Num (float_of_int wc.wc_seed));
+          ("cause", Json.Str wc.wc_cause);
+          ("restarts", Json.Num (float_of_int wc.wc_restarts));
+        ]
+  | Resume rs ->
+      Json.Obj
+        [
+          ("ev", Json.Str "resume");
+          ("at_ms", Json.Num rs.rs_at_ms);
+          ("applied", Json.Num (float_of_int rs.rs_applied));
+          ("tests", Json.Num (float_of_int rs.rs_tests));
+          ("shards", Json.Num (float_of_int rs.rs_shards));
+        ]
   | Summary f ->
       Json.Obj
         [
@@ -352,6 +401,25 @@ let of_json j : (event, string) result =
   | "dropped" ->
       let* d_count = int_field j "count" in
       Ok (Dropped { d_at_ms = at_ms; d_count })
+  | "shard_done" ->
+      let* sd_worker = int_field j "worker" in
+      let* sd_tests = int_field j "tests" in
+      let* sd_last_index = int_field j "last_index" in
+      Ok (Shard_done { sd_at_ms = at_ms; sd_worker; sd_tests; sd_last_index })
+  | "worker_crash" ->
+      let* wc_worker = int_field j "worker" in
+      let* wc_index = int_field j "index" in
+      let* wc_seed = int_field j "seed" in
+      let* wc_cause = str_field j "cause" in
+      let* wc_restarts = int_field j "restarts" in
+      Ok
+        (Worker_crash
+           { wc_at_ms = at_ms; wc_worker; wc_index; wc_seed; wc_cause; wc_restarts })
+  | "resume" ->
+      let* rs_applied = int_field j "applied" in
+      let* rs_tests = int_field j "tests" in
+      let* rs_shards = int_field j "shards" in
+      Ok (Resume { rs_at_ms = at_ms; rs_applied; rs_tests; rs_shards })
   | "summary" ->
       let* f_tests = int_field j "tests" in
       let* f_tests_per_sec = float_field j "tests_per_sec" in
@@ -480,6 +548,45 @@ let read_string (s : string) : read_result =
     lines;
   { events = List.rev !events; torn_tail = !torn; bad_lines = !bad }
 
+(* One-line human rendering of an event, for [nnsmith journal tail]. *)
+let summary_line ev =
+  let counts kvs =
+    String.concat " " (List.map (fun (k, n) -> Printf.sprintf "%s=%d" k n) kvs)
+  in
+  match ev with
+  | Start s ->
+      Printf.sprintf "[start] %s systems=%s seed=%d jobs=%d %s" s.s_kind
+        (String.concat "," s.s_systems)
+        s.s_root_seed s.s_jobs
+        (match s.s_budget with
+        | B_tests n -> Printf.sprintf "tests=%d" n
+        | B_time_ms ms -> Printf.sprintf "time=%.0fms" ms)
+  | Heartbeat h ->
+      Printf.sprintf "[hb] w%d seq=%d tests=%d cov=%d/%d %s" h.h_worker h.h_seq
+        h.h_tests h.h_cov_total h.h_cov_universe (counts h.h_verdicts)
+  | Bug b ->
+      Printf.sprintf "[bug] %s %s %s case=%s count=%d%s" b.b_system b.b_verdict
+        b.b_key b.b_case b.b_count
+        (if b.b_new then "" else " (dup)")
+  | Coverage c ->
+      Printf.sprintf "[coverage] tests=%d total=%d pass=%d" c.c_tests c.c_total
+        c.c_pass
+  | Op_stats o -> Printf.sprintf "[op_stats] %d op kinds" (List.length o.o_ops)
+  | Dropped d -> Printf.sprintf "[dropped] %d events" d.d_count
+  | Shard_done sd ->
+      Printf.sprintf "[shard_done] w%d tests=%d last_index=%d" sd.sd_worker
+        sd.sd_tests sd.sd_last_index
+  | Worker_crash wc ->
+      Printf.sprintf "[worker_crash] w%d index=%d seed=%d cause=%s restarts=%d"
+        wc.wc_worker wc.wc_index wc.wc_seed wc.wc_cause wc.wc_restarts
+  | Resume rs ->
+      Printf.sprintf "[resume] applied=%d/%d shards=%d" rs.rs_applied rs.rs_tests
+        rs.rs_shards
+  | Summary f ->
+      Printf.sprintf "[summary] tests=%d (%.1f/s) failures=%d saved=%d cov=%d %s"
+        f.f_tests f.f_tests_per_sec f.f_failures f.f_saved f.f_cov_total
+        (counts f.f_verdicts)
+
 let read_file path : (read_result, string) result =
   match open_in_bin path with
   | exception Sys_error m -> Error m
@@ -490,3 +597,27 @@ let read_file path : (read_result, string) result =
           (fun () -> really_input_string ic (in_channel_length ic))
       in
       Ok (read_string s)
+
+(* Drop an unterminated final line so an append-mode writer reopening the
+   file cannot concatenate its first event onto a torn fragment.  Returns
+   the number of bytes truncated (0 when the tail is clean or the file is
+   missing). *)
+let repair_tail path =
+  match open_in_bin path with
+  | exception Sys_error _ -> 0
+  | ic ->
+      let s =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let n = String.length s in
+      if n = 0 || s.[n - 1] = '\n' then 0
+      else begin
+        let keep = match String.rindex_opt s '\n' with Some i -> i + 1 | None -> 0 in
+        let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+        Fun.protect
+          ~finally:(fun () -> Unix.close fd)
+          (fun () -> Unix.ftruncate fd keep);
+        n - keep
+      end

@@ -69,6 +69,29 @@ type event =
   | Dropped of { d_at_ms : float; d_count : int }
       (** events lost to a saturated cross-domain channel — recorded, never
           silently discarded *)
+  | Shard_done of {
+      sd_at_ms : float;
+      sd_worker : int;
+      sd_tests : int;  (** tests this shard completed over the campaign *)
+      sd_last_index : int;
+          (** highest global index the shard ran; [-1] for an empty shard *)
+    }  (** a fleet shard ran its whole index range to the end *)
+  | Worker_crash of {
+      wc_at_ms : float;
+      wc_worker : int;
+      wc_index : int;  (** global test index the worker died on *)
+      wc_seed : int;  (** derived seed of that index *)
+      wc_cause : string;  (** e.g. ["exit 66"], ["signal 9"], ["heartbeat timeout"] *)
+      wc_restarts : int;  (** restarts of this shard so far, this one included *)
+    }  (** a fleet worker process died mid-range; the supervisor files the
+          crash and restarts the shard past the offending index *)
+  | Resume of {
+      rs_at_ms : float;
+      rs_applied : int;  (** checkpoint high-water mark: indices [0, applied)
+                             were already applied before this resume *)
+      rs_tests : int;  (** campaign test budget *)
+      rs_shards : int;
+    }  (** a fleet campaign continued from its checkpoint *)
   | Summary of {
       f_at_ms : float;
       f_tests : int;
@@ -132,3 +155,12 @@ val read_file : string -> (read_result, string) result
 (** [Error] only when the file cannot be read at all; a torn final line —
     the kill -9 artefact — is reported via [torn_tail], with every
     preceding event intact. *)
+
+val summary_line : event -> string
+(** One-line human rendering, used by [nnsmith journal tail]. *)
+
+val repair_tail : string -> int
+(** Truncate an unterminated final line in place, so a writer reopening
+    the journal in append mode cannot concatenate its first event onto a
+    torn fragment.  Returns the bytes dropped (0 when the tail is already
+    clean or the file does not exist). *)

@@ -169,7 +169,19 @@ let observe t (ev : Journal.event) =
   | Journal.Bug b ->
       if b.b_new then t.bugs <- t.bugs + 1 else t.dups <- t.dups + 1;
       render t ~at_ms:b.b_at_ms
-  | Journal.Coverage _ | Journal.Op_stats _ | Journal.Dropped _ -> ()
+  | Journal.Coverage _ | Journal.Op_stats _ | Journal.Dropped _
+  | Journal.Shard_done _ ->
+      ()
+  | Journal.Worker_crash wc ->
+      (* Worker deaths are filed as crash bundles by the supervisor, so the
+         bug counter already moves; just force a re-render. *)
+      render ~force:true t ~at_ms:wc.wc_at_ms
+  | Journal.Resume rs ->
+      (* Continue the line without resetting counters: heartbeats carry
+         cumulative totals and will repopulate worker state. *)
+      if Float.is_nan t.start_ms then t.start_ms <- rs.rs_at_ms;
+      t.done_ <- false;
+      render ~force:true t ~at_ms:rs.rs_at_ms
   | Journal.Summary f ->
       if not t.done_ then begin
         let covstr =

@@ -157,6 +157,97 @@ let test_sparkline_guards () =
       check "no NaN coordinates" false (contains html "NaN");
       check_int "one chart" 1 (count_sub html "<polyline"))
 
+let test_refresh_tag () =
+  with_tmp_dir (fun dir ->
+      let plain = Dash.of_dir ~bench_dir:dir dir in
+      check "no refresh tag by default" false
+        (contains plain "http-equiv=\"refresh\"");
+      let live = Dash.of_dir ~bench_dir:dir ~refresh_secs:5 dir in
+      check "refresh tag present" true
+        (contains live "<meta http-equiv=\"refresh\" content=\"5\">"))
+
+let heartbeat ~at_ms =
+  J.Heartbeat
+    {
+      h_worker = 0;
+      h_seq = int_of_float (at_ms /. 1000.);
+      h_at_ms = at_ms;
+      h_tests = 1;
+      h_verdicts = [ ("pass", 1) ];
+      h_cov_total = 0;
+      h_cov_pass = 0;
+      h_cov_universe = 0;
+      h_cache_hits = 0;
+      h_cache_misses = 0;
+    }
+
+let summary ~at_ms =
+  J.Summary
+    {
+      f_at_ms = at_ms;
+      f_tests = 4;
+      f_tests_per_sec = 1.;
+      f_verdicts = [ ("pass", 4) ];
+      f_failures = 0;
+      f_saved = 0;
+      f_dups = 0;
+      f_cov_total = 0;
+      f_cov_pass = 0;
+      f_dropped = 0;
+    }
+
+let write_journal dir events =
+  let j = J.create ~path:(J.in_dir dir) () in
+  List.iter (J.emit j) events;
+  J.close j
+
+let test_stale_heartbeat () =
+  (* heartbeats every ~1s, last one long ago, no concluding summary:
+     the campaign is possibly dead and the page must say so *)
+  let beats =
+    [
+      heartbeat ~at_ms:1000.;
+      heartbeat ~at_ms:2000.;
+      heartbeat ~at_ms:3000.;
+      heartbeat ~at_ms:4000.;
+    ]
+  in
+  with_tmp_dir (fun dir ->
+      write_journal dir beats;
+      let html = Dash.of_dir ~bench_dir:dir ~now_ms:60_000. dir in
+      check "stale campaign flagged" true (contains html "possibly dead");
+      check "resume hint offered" true (contains html "--resume"));
+  (* same heartbeats observed promptly: healthy *)
+  with_tmp_dir (fun dir ->
+      write_journal dir beats;
+      let html = Dash.of_dir ~bench_dir:dir ~now_ms:4500. dir in
+      check "fresh heartbeat not flagged" false (contains html "possibly dead"));
+  (* a concluding summary means the campaign ended, however old it is *)
+  with_tmp_dir (fun dir ->
+      write_journal dir (beats @ [ summary ~at_ms:4200. ]);
+      let html = Dash.of_dir ~bench_dir:dir ~now_ms:60_000. dir in
+      check "finished campaign not flagged" false (contains html "possibly dead"))
+
+let test_worker_crash_surfaced () =
+  with_tmp_dir (fun dir ->
+      write_journal dir
+        [
+          heartbeat ~at_ms:1000.;
+          J.Worker_crash
+            {
+              wc_at_ms = 1500.;
+              wc_worker = 1;
+              wc_index = 7;
+              wc_seed = 42;
+              wc_cause = "signal 9";
+              wc_restarts = 1;
+            };
+          summary ~at_ms:2000.;
+        ];
+      let html = Dash.of_dir ~bench_dir:dir dir in
+      check "worker crash counted" true (contains html "1 worker crash");
+      check "no NaN" false (contains html "NaN"))
+
 let () =
   Alcotest.run "dashboard"
     [
@@ -169,5 +260,12 @@ let () =
           Alcotest.test_case "bench history" `Quick
             test_bench_history_section;
           Alcotest.test_case "sparkline guards" `Quick test_sparkline_guards;
+        ] );
+      ( "fleet",
+        [
+          Alcotest.test_case "refresh tag" `Quick test_refresh_tag;
+          Alcotest.test_case "stale heartbeat" `Quick test_stale_heartbeat;
+          Alcotest.test_case "worker crash surfaced" `Quick
+            test_worker_crash_surfaced;
         ] );
     ]

@@ -78,6 +78,18 @@ let sample_events =
         o_ops = [ ("Add", [ ("crash", 1); ("pass", 9) ]); ("Relu", [ ("pass", 4) ]) ];
       };
     J.Dropped { d_at_ms = 650.; d_count = 3 };
+    J.Shard_done
+      { sd_at_ms = 660.; sd_worker = 2; sd_tests = 66; sd_last_index = 197 };
+    J.Worker_crash
+      {
+        wc_at_ms = 670.;
+        wc_worker = 1;
+        wc_index = 41;
+        wc_seed = 123456789;
+        wc_cause = "signal 9";
+        wc_restarts = 2;
+      };
+    J.Resume { rs_at_ms = 680.; rs_applied = 120; rs_tests = 200; rs_shards = 4 };
     J.Summary
       {
         f_at_ms = 700.;
@@ -233,6 +245,100 @@ let test_garbage_line () =
   check_int "good lines survive"
     (List.length sample_events)
     (List.length r.J.events)
+
+let test_live_appender_race () =
+  (* a reader (journal tail --follow, the dashboard) polling a journal
+     that a live campaign is appending to must, at every byte boundary of
+     an in-flight write, see exactly the intact prefix — never an error,
+     never a torn event counted as bad *)
+  with_tmp_dir (fun dir ->
+      let path = J.in_dir dir in
+      let oc = open_out_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          List.iteri
+            (fun n ev ->
+              let line =
+                Nnsmith_telemetry.Json.to_string (J.to_json ev) ^ "\n"
+              in
+              (* append this event one byte at a time, a racing reader
+                 polling after every byte *)
+              String.iter
+                (fun c ->
+                  output_char oc c;
+                  flush oc;
+                  match J.read_file path with
+                  | Error m -> Alcotest.failf "racing reader errored: %s" m
+                  | Ok r ->
+                      check_int "no bad lines mid-append" 0 r.J.bad_lines;
+                      let seen = List.length r.J.events in
+                      check "reader sees only the intact prefix" true
+                        ((seen = n || seen = n + 1)
+                        && r.J.events
+                           = List.filteri (fun i _ -> i < seen) sample_events))
+                line;
+              (* once the newline lands, event n is visible *)
+              match J.read_file path with
+              | Error m -> Alcotest.failf "read_file: %s" m
+              | Ok r ->
+                  check_int "completed events all visible" (n + 1)
+                    (List.length r.J.events);
+                  check "no tear after a complete line" false r.J.torn_tail)
+            sample_events))
+
+(* ------------------------------------------------------------------ *)
+(* Tail repair (fleet resume reopens the journal for append)           *)
+
+let journal_bytes events =
+  String.concat ""
+    (List.map
+       (fun ev -> Nnsmith_telemetry.Json.to_string (J.to_json ev) ^ "\n")
+       events)
+
+let test_repair_tail () =
+  with_tmp_dir (fun dir ->
+      let path = J.in_dir dir in
+      let write s =
+        let oc = open_out_bin path in
+        output_string oc s;
+        close_out oc
+      in
+      (* clean file: nothing to repair *)
+      let whole = journal_bytes sample_events in
+      write whole;
+      check_int "clean file untouched" 0 (J.repair_tail path);
+      check "bytes unchanged" true
+        (match J.read_file path with
+        | Ok r -> r.J.events = sample_events
+        | Error _ -> false);
+      (* torn tail: the partial final line is dropped, the file ends at a
+         newline, and a subsequent append-mode writer produces a journal
+         every event of which parses *)
+      let torn = String.sub whole 0 (String.length whole - 25) in
+      let partial =
+        (* the whole half-written final line goes, not just the cut *)
+        String.length torn
+        - (match String.rindex_opt torn '\n' with Some i -> i + 1 | None -> 0)
+      in
+      write torn;
+      check_int "torn bytes dropped" partial (J.repair_tail path);
+      let j = J.create ~path () in
+      J.emit j (List.hd sample_events);
+      J.close j;
+      (match J.read_file path with
+      | Error m -> Alcotest.failf "read_file after repair: %s" m
+      | Ok r ->
+          check "no bad lines after repair + append" true
+            (r.J.bad_lines = 0 && not r.J.torn_tail);
+          check_int "prefix plus the appended event"
+            (List.length sample_events)
+            (List.length r.J.events));
+      (* missing and empty files are no-ops *)
+      Sys.remove path;
+      check_int "missing file" 0 (J.repair_tail path);
+      write "";
+      check_int "empty file" 0 (J.repair_tail path))
 
 (* ------------------------------------------------------------------ *)
 (* Single-writer discipline with two producer domains                  *)
@@ -401,6 +507,9 @@ let () =
           Alcotest.test_case "torn at every byte" `Quick
             test_torn_tail_every_cut;
           Alcotest.test_case "garbage line" `Quick test_garbage_line;
+          Alcotest.test_case "live appender race" `Quick
+            test_live_appender_race;
+          Alcotest.test_case "repair tail" `Quick test_repair_tail;
         ] );
       ( "domains",
         [

@@ -55,6 +55,49 @@ else
 fi
 rm -rf "$dash_dir"
 
+note "fleet smoke (worker + supervisor kill -9, resume bit-identity)"
+# Two fleet campaigns with identical seeds and deterministic worker
+# crashes injected (each worker exit(66)s before indices 23 and 71 — a
+# crashing worker must not end the campaign).  The reference runs
+# uninterrupted; the second has one worker and then the supervisor
+# SIGKILLed mid-run and is finished with --resume.  The checkpointed
+# queue must land both on byte-identical corpus indexes (which carry the
+# failure-key set) and coverage exports.
+nn=_build/default/bin/nnsmith_cli.exe
+if [ -x "$nn" ]; then
+  fleet_ref=$(mktemp -d)
+  fleet_kill=$(mktemp -d)
+  fleet_args="--tests 300 --procs 2 --bugs --seed 7 --checkpoint-every 5"
+  export NNSMITH_FLEET_ABORT_INDICES="23,71"
+  if "$nn" fleet "$fleet_ref" $fleet_args >/dev/null 2>&1; then
+    "$nn" fleet "$fleet_kill" $fleet_args >/dev/null 2>&1 &
+    sup=$!
+    # wait for the campaign to be genuinely mid-flight (first checkpoint)
+    for _ in $(seq 1 250); do
+      [ -f "$fleet_kill/checkpoint.json" ] && break
+      sleep 0.02
+    done
+    worker=$(pgrep -P "$sup" 2>/dev/null | head -n1)
+    # worker first, supervisor immediately after — cold kill, no drain
+    kill -9 $worker "$sup" 2>/dev/null
+    wait "$sup" 2>/dev/null
+    if "$nn" fleet "$fleet_kill" --resume >/dev/null 2>&1; then
+      cmp -s "$fleet_ref/index.jsonl" "$fleet_kill/index.jsonl" \
+        || err "fleet resume: corpus index diverged from uninterrupted run"
+      cmp -s "$fleet_ref/coverage.json" "$fleet_kill/coverage.json" \
+        || err "fleet resume: coverage diverged from uninterrupted run"
+    else
+      err "fleet --resume failed after kill -9"
+    fi
+  else
+    err "fleet reference campaign failed (crash-injected workers must not kill it)"
+  fi
+  unset NNSMITH_FLEET_ABORT_INDICES
+  rm -rf "$fleet_ref" "$fleet_kill"
+else
+  err "fleet smoke: $nn missing (dune build @ci should have built it)"
+fi
+
 note "style gate"
 tracked_src=$(git ls-files '*.ml' '*.mli' 'dune' '*/dune' 'dune-project')
 ws=$(echo "$tracked_src" | xargs grep -l -E ' +$' 2>/dev/null)
