@@ -49,16 +49,27 @@ let bench_dir = "bench"
 let history_file = Filename.concat bench_dir "history.jsonl"
 let latest_file = Filename.concat bench_dir "latest.json"
 
-let record_bench ~experiment ~tests_per_sec ~digest =
+(* [gc] = (minor_words, major_words) allocated per test by one measured
+   round, from [Gc.quick_stat] deltas: allocation regressions are perf
+   regressions that a min-of-rounds timer can hide on a quiet machine, so
+   the history rows carry them alongside tests/sec. *)
+let record_bench ?gc ~experiment ~tests_per_sec ~digest () =
   let module Json = Nnsmith_telemetry.Json in
   let commit = Lazy.force git_commit in
   if not (Sys.file_exists bench_dir) then
     (try Unix.mkdir bench_dir 0o755
      with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let gc_fields =
+    match gc with
+    | None -> ""
+    | Some (minor, major) ->
+        Printf.sprintf ",\"gc_minor_per_test\":%.1f,\"gc_major_per_test\":%.1f"
+          minor major
+  in
   let row =
     Printf.sprintf
-      "{\"commit\":%S,\"experiment\":%S,\"tests_per_sec\":%.2f,\"digest\":%S}"
-      commit experiment tests_per_sec digest
+      "{\"commit\":%S,\"experiment\":%S,\"tests_per_sec\":%.2f,\"digest\":%S%s}"
+      commit experiment tests_per_sec digest gc_fields
   in
   let oc = open_out_gen [ Open_append; Open_creat ] 0o644 history_file in
   output_string oc (row ^ "\n");
@@ -876,6 +887,7 @@ let bench_parallel () =
   Printf.printf "appended to BENCH_parallel.json\n";
   record_bench ~experiment:"parallel" ~tests_per_sec:jobs1_tps
     ~digest:(Printf.sprintf "tests=%d" n)
+    ()
 
 (* ------------------------------------------------------------------ *)
 (* Shared machinery for the on/off A-B benches (solver cache, execution
@@ -893,6 +905,18 @@ let cpu_ms () =
    fixed calibration speed, stable across boosts, thermal throttling and
    machines.  The reference constant only fixes the unit. *)
 let calib_reference_ms = 25.0
+
+(* Allocation per test across one run of [f], from [Gc.quick_stat] deltas
+   ([major_words] already includes promotions).  Unlike the timings this
+   is exact and noise-free, so one measured round suffices. *)
+let gc_per_test ~tests f =
+  let g0 = Gc.quick_stat () in
+  let r = f () in
+  let g1 = Gc.quick_stat () in
+  let d = Float.max 1. (float_of_int tests) in
+  ( r,
+    ( (g1.Gc.minor_words -. g0.Gc.minor_words) /. d,
+      (g1.Gc.major_words -. g0.Gc.major_words) /. d ) )
 
 (* The kernel allocates like the generator does (small short-lived boxes),
    so memory-subsystem contention slows it in the same proportion and
@@ -983,9 +1007,9 @@ let bench_solver_cache () =
     d_on := on_d;
     d_off := off_d
   done;
-  (* one final cache-on round to report a hit rate for exactly this
-     workload *)
-  let final_ms, _ = run true in
+  (* one final cache-on round to report a hit rate (and allocation per
+     test) for exactly this workload *)
+  let (final_ms, _), gc = gc_per_test ~tests:(2 * n) (fun () -> run true) in
   on := Float.min !on final_ms;
   let st = Solver.cache_stats () in
   let hit_rate =
@@ -1021,8 +1045,131 @@ let bench_solver_cache () =
   output_string oc (line ^ "\n");
   close_out oc;
   Printf.printf "appended to BENCH_solver.json\n";
-  record_bench ~experiment:"solver_cache" ~tests_per_sec:on_tps
-    ~digest:(string_of_int !d_on)
+  record_bench ~gc ~experiment:"solver_cache" ~tests_per_sec:on_tps
+    ~digest:(string_of_int !d_on) ()
+
+(* ------------------------------------------------------------------ *)
+(* Batched engine: the same campaign + replay workload as the solver-   *)
+(* cache bench, batched incremental frames on vs off (caches on in both *)
+(* modes — batching is measured on top of the cached engine), appended  *)
+(* to BENCH_batch.json.  Also asserts bit-identical graphs across       *)
+(* modes — the batched engine's core correctness guarantee.             *)
+
+let bench_batch () =
+  section
+    "Batched engine: campaign + corpus replay, batch on vs off \
+     (BENCH_batch.json)";
+  let module Solver = Nnsmith_smt.Solver in
+  Faults.deactivate_all ();
+  Tel.reset ();
+  let seed = 20230325 in
+  let n = max 40 (int_of_float (!budget_ms /. 20.)) in
+  let digest = ref 0 in
+  (* One pass over the [n] fixed seeds; the digest accumulates across
+     passes so replayed graphs must match the campaign's bit for bit. *)
+  let gen_pass () =
+    let t0 = cpu_ms () in
+    for i = 0 to n - 1 do
+      let tseed = Nnsmith_parallel.Splitmix.derive ~root:seed ~index:i in
+      match
+        Gen.generate { Config.default with seed = tseed; max_nodes = 10 }
+      with
+      | exception Gen.Gen_failure _ -> ()
+      | g ->
+          digest :=
+            ((!digest * 31) + Hashtbl.hash (Graph.to_string g)) land max_int
+    done;
+    cpu_ms () -. t0
+  in
+  let batch_was = Solver.batch_enabled () in
+  (* Each round times the campaign pass (cold caches) and the replay pass
+     (fully warmed caches) separately: the batched frames' headline win is
+     replay throughput, where every component solve is answered from the
+     canonical cache and batching removes the per-constraint probe walk. *)
+  let run batched =
+    Solver.set_batch_enabled batched;
+    (* caches stay on and start cold each round, as in the solver-cache
+       bench's cache-on arm: the off arm here IS that baseline *)
+    Solver.cache_clear ();
+    digest := 0;
+    let c0 = calibrate () in
+    let campaign_ms = gen_pass () in
+    let replay_ms = gen_pass () in
+    let c1 = calibrate () in
+    let k = calib_reference_ms /. ((c0 +. c1) /. 2.) in
+    ((campaign_ms +. replay_ms) *. k, replay_ms *. k, !digest)
+  in
+  ignore (run true);  (* warm up allocator and op registry *)
+  let on = ref infinity and off = ref infinity in
+  let rep_on = ref infinity and rep_off = ref infinity in
+  let d_on = ref 0 and d_off = ref 0 in
+  let stale = ref 0 in
+  let rounds = ref 0 in
+  while !rounds < 24 && (!rounds < 6 || !stale < 6) do
+    incr rounds;
+    let first_on = !rounds land 1 = 1 in
+    let a_ms, a_rep, a_d = run first_on in
+    let b_ms, b_rep, b_d = run (not first_on) in
+    let (on_ms, on_rep, on_d), (off_ms, off_rep, off_d) =
+      if first_on then ((a_ms, a_rep, a_d), (b_ms, b_rep, b_d))
+      else ((b_ms, b_rep, b_d), (a_ms, a_rep, a_d))
+    in
+    if
+      on_ms < !on *. 0.98
+      || off_ms < !off *. 0.98
+      || on_rep < !rep_on *. 0.98
+    then stale := 0
+    else incr stale;
+    on := Float.min !on on_ms;
+    off := Float.min !off off_ms;
+    rep_on := Float.min !rep_on on_rep;
+    rep_off := Float.min !rep_off off_rep;
+    d_on := on_d;
+    d_off := off_d
+  done;
+  (* one final batch-on round for allocation per test *)
+  let (final_ms, final_rep, _), gc =
+    gc_per_test ~tests:(2 * n) (fun () -> run true)
+  in
+  on := Float.min !on final_ms;
+  rep_on := Float.min !rep_on final_rep;
+  Solver.set_batch_enabled batch_was;
+  if !d_on <> !d_off then begin
+    Printf.printf
+      "FAIL: batch-on and batch-off generated different graphs (digest %d \
+       vs %d)\n"
+      !d_on !d_off;
+    exit 1
+  end;
+  Printf.printf "determinism: batch-on/off graphs bit-identical (digest ok)\n";
+  let tests = 2 * n in
+  let on_tps = float_of_int tests /. (!on /. 1000.) in
+  let off_tps = float_of_int tests /. (!off /. 1000.) in
+  let rep_on_tps = float_of_int n /. (!rep_on /. 1000.) in
+  let rep_off_tps = float_of_int n /. (!rep_off /. 1000.) in
+  let speedup = on_tps /. Float.max 1e-9 off_tps in
+  Printf.printf "%-14s %5d tests in %7.0f norm-ms = %7.1f tests/s\n"
+    "batch-off" tests !off off_tps;
+  Printf.printf "%-14s %5d tests in %7.0f norm-ms = %7.1f tests/s (%.2fx)\n"
+    "batch-on" tests !on on_tps speedup;
+  Printf.printf "%-14s %5d tests in %7.0f norm-ms = %7.1f tests/s\n"
+    "replay-off" n !rep_off rep_off_tps;
+  Printf.printf
+    "%-14s %5d tests in %7.0f norm-ms = %7.1f tests/s (%.2fx vs 284/s \
+     solver-cache replay baseline)\n"
+    "replay-on" n !rep_on rep_on_tps (rep_on_tps /. 284.);
+  let line =
+    Printf.sprintf
+      "{\"bench\":\"batch\",\"workload_tests\":%d,\"replay\":true,\"seed\":%d,\"batch_off_tests_per_sec\":%.2f,\"batch_on_tests_per_sec\":%.2f,\"speedup\":%.3f,\"replay_off_tests_per_sec\":%.2f,\"replay_tests_per_sec\":%.2f,\"replay_speedup_vs_baseline\":%.3f,\"tests_per_sec\":%.2f}"
+      tests seed off_tps on_tps speedup rep_off_tps rep_on_tps
+      (rep_on_tps /. 284.) on_tps
+  in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 "BENCH_batch.json" in
+  output_string oc (line ^ "\n");
+  close_out oc;
+  Printf.printf "appended to BENCH_batch.json\n";
+  record_bench ~gc ~experiment:"batch" ~tests_per_sec:rep_on_tps
+    ~digest:(string_of_int !d_on) ()
 
 (* ------------------------------------------------------------------ *)
 (* Execution plans: fixed-seed gradient-search workload, plans on vs     *)
@@ -1122,6 +1269,7 @@ let bench_gradsearch () =
     d_on := on_d;
     d_off := off_d
   done;
+  let _, gc = gc_per_test ~tests (fun () -> run true) in
   Plan.set_enabled was_enabled;
   if !d_on <> !d_off then begin
     Printf.printf
@@ -1150,8 +1298,8 @@ let bench_gradsearch () =
   output_string oc (line ^ "\n");
   close_out oc;
   Printf.printf "appended to BENCH_gradsearch.json\n";
-  record_bench ~experiment:"gradsearch" ~tests_per_sec:on_tps
-    ~digest:(string_of_int !d_on)
+  record_bench ~gc ~experiment:"gradsearch" ~tests_per_sec:on_tps
+    ~digest:(string_of_int !d_on) ()
 
 (* ------------------------------------------------------------------ *)
 (* Fleet: the multi-process supervisor vs the in-process pool on the     *)
@@ -1269,6 +1417,7 @@ let bench_fleet () =
   Printf.printf "appended to BENCH_fleet.json\n";
   record_bench ~experiment:"fleet" ~tests_per_sec:shards1_tps
     ~digest:(Printf.sprintf "tests=%d" n)
+    ()
 
 (* ------------------------------------------------------------------ *)
 (* `bench regress`: the CI gate.  Compare the last BENCH_*.json row      *)
@@ -1379,6 +1528,7 @@ let experiments =
     ("parallel", bench_parallel);
     ("fleet", bench_fleet);
     ("solver_cache", bench_solver_cache);
+    ("batch", bench_batch);
     ("gradsearch", bench_gradsearch);
   ]
 

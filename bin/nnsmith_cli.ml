@@ -67,11 +67,40 @@ let no_plan_t =
            interpreter (results are bit-identical either way; useful for A/B \
            benchmarking and debugging).")
 
+(* ---- batched-engine escape hatches -------------------------------- *)
+
+let apply_engine no_batch cohort_size =
+  Nnsmith_smt.Solver.set_batch_enabled (not no_batch);
+  Option.iter Nnsmith_exec.Plan.set_cohort_size cohort_size
+
+let no_batch_t =
+  Arg.(
+    value
+    & flag
+    & info [ "no-batch" ]
+        ~doc:
+          "Disable batched incremental solver frames and probe each \
+           candidate operator's constraints individually (results are \
+           bit-identical either way; useful for A/B benchmarking and \
+           debugging).")
+
+let cohort_size_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "cohort-size" ] ~docv:"N"
+        ~doc:
+          "Number of execution plans kept per worker in the shared cohort \
+           pool (default 4).  Cohort members share one buffer arena; \
+           results are bit-identical for any size >= 1.")
+
 (* ---- generate ----------------------------------------------------- *)
 
-let generate seed nodes count search out no_cache no_plan =
+let generate seed nodes count search out no_cache no_plan no_batch
+    cohort_size =
   apply_no_cache no_cache;
   apply_no_plan no_plan;
+  apply_engine no_batch cohort_size;
   let failures = ref 0 in
   Option.iter mkdir_p out;
   for k = 0 to count - 1 do
@@ -129,7 +158,7 @@ let generate_cmd =
     (Cmd.info "generate" ~doc:"Generate valid random models and print them")
     Term.(
       const generate $ seed_t $ nodes_t $ count_t $ search_t $ gen_out_t
-      $ no_cache_t $ no_plan_t)
+      $ no_cache_t $ no_plan_t $ no_batch_t $ cohort_size_t)
 
 (* ---- fuzz --------------------------------------------------------- *)
 
@@ -260,9 +289,10 @@ let print_corpus_line report_dir (r : D.Pfuzz.result) =
     report_dir
 
 let fuzz system_name budget_s tests jobs bugs seed telemetry report_dir
-    journal_dir progress no_cache no_plan =
+    journal_dir progress no_cache no_plan no_batch cohort_size =
   apply_no_cache no_cache;
   apply_no_plan no_plan;
+  apply_engine no_batch cohort_size;
   match system_of_name system_name with
   | None ->
       Printf.eprintf "unknown system %s (oxrt | lotus | trt)\n" system_name;
@@ -333,7 +363,7 @@ let fuzz_cmd =
     Term.(
       const fuzz $ system_t $ budget_t $ tests_t $ jobs_t $ bugs_t $ seed_t
       $ telemetry_t $ report_dir_t $ journal_t $ progress_t $ no_cache_t
-      $ no_plan_t)
+      $ no_plan_t $ no_batch_t $ cohort_size_t)
 
 (* ---- replay / triage ----------------------------------------------- *)
 
@@ -404,9 +434,10 @@ let triage_cmd =
 (* ---- cov ---------------------------------------------------------- *)
 
 let cov budget_s tests jobs seed telemetry journal_dir progress no_cache
-    no_plan =
+    no_plan no_batch cohort_size =
   apply_no_cache no_cache;
   apply_no_plan no_plan;
+  apply_engine no_batch cohort_size;
   Faults.deactivate_all ();
   let write_failed = ref false in
   let generators =
@@ -465,14 +496,16 @@ let cov_cmd =
     (Cmd.info "cov" ~doc:"Coverage comparison of all fuzzers on all systems")
     Term.(
       const cov $ budget_t $ tests_t $ jobs_t $ seed_t $ telemetry_t
-      $ journal_t $ progress_t $ no_cache_t $ no_plan_t)
+      $ journal_t $ progress_t $ no_cache_t $ no_plan_t $ no_batch_t
+      $ cohort_size_t)
 
 (* ---- hunt --------------------------------------------------------- *)
 
 let hunt budget_s tests jobs seed telemetry report_dir journal_dir progress
-    no_cache no_plan =
+    no_cache no_plan no_batch cohort_size =
   apply_no_cache no_cache;
   apply_no_plan no_plan;
+  apply_engine no_batch cohort_size;
   Tel.reset ();
   let report_dir = default_report_dir report_dir journal_dir in
   with_campaign_lock ~dir:(first_some journal_dir report_dir) @@ fun () ->
@@ -502,15 +535,17 @@ let hunt_cmd =
        ~doc:"Hunt the seeded defect catalogue across all systems")
     Term.(
       const hunt $ budget_t $ tests_t $ jobs_t $ seed_t $ telemetry_t
-      $ report_dir_t $ journal_t $ progress_t $ no_cache_t $ no_plan_t)
+      $ report_dir_t $ journal_t $ progress_t $ no_cache_t $ no_plan_t
+      $ no_batch_t $ cohort_size_t)
 
 (* ---- fleet -------------------------------------------------------- *)
 
 let fleet dir tests procs hunt bugs seed system_names resume max_nodes
     hb_timeout_s checkpoint_every dashboard_every_s progress no_cache no_plan
-    =
+    no_batch cohort_size =
   apply_no_cache no_cache;
   apply_no_plan no_plan;
+  apply_engine no_batch cohort_size;
   Tel.reset ();
   let systems =
     match system_names with
@@ -677,7 +712,7 @@ let fleet_cmd =
       const fleet $ fleet_dir_t $ fleet_tests_t $ procs_t $ fleet_hunt_t
       $ bugs_t $ seed_t $ fleet_systems_t $ resume_t $ max_nodes_t
       $ hb_timeout_t $ checkpoint_every_t $ dashboard_every_t $ progress_t
-      $ no_cache_t $ no_plan_t)
+      $ no_cache_t $ no_plan_t $ no_batch_t $ cohort_size_t)
 
 (* ---- journal tail ------------------------------------------------- *)
 

@@ -45,11 +45,20 @@ type failure = {
   f_verdict : Harness.verdict;
 }
 
-(** A worker-to-writer channel message: a failure (must never be lost) or
-    a best-effort journal event (heartbeats). *)
-type msg = M_failure of failure | M_event of Journal.event
+(** A worker-to-writer channel message: a failure tagged with its global
+    test index (must never be lost), a per-index completion marker
+    (likewise durable — the sink's ordering depends on it), or a
+    best-effort journal event (heartbeats). *)
+type msg =
+  | M_failure of int * failure
+  | M_event of Journal.event
+  | M_done of int
 
-let is_failure = function M_failure _ -> true | M_event _ -> false
+let is_failure = function M_failure _ -> true | M_event _ | M_done _ -> false
+
+(* Failures and completion markers must survive channel saturation;
+   only heartbeat events are droppable. *)
+let is_durable = function M_event _ -> false | M_failure _ | M_done _ -> true
 
 (* Per-worker tallies; merged into the run result at join. *)
 type tally = {
@@ -162,48 +171,91 @@ let verdict_name = function
 (* The single-writer corpus/journal sink, run on the calling domain.
    Bug journal events originate in the corpus (the authority on novelty);
    when journaling without a corpus, a local dedup table stands in so the
-   journal still records first-vs-repeat. *)
+   journal still records first-vs-repeat.
+
+   Failures are applied in ascending test-index order, not arrival order:
+   with [jobs > 1] the worker domains' messages interleave
+   nondeterministically on the shared channel, and arrival-order corpus
+   writes would make index.jsonl (and which duplicate arrives first)
+   depend on the schedule.  Each worker's failures for index [i] precede
+   its [M_done i] marker (the channel is FIFO per producer), so buffering
+   until the next expected index is marked done replays the exact
+   jobs-independent order — the same discipline the multi-process fleet
+   applies to its per-index outcomes. *)
 let make_sink ?journal ?report_dir () =
   let corpus = Option.map (fun d -> Corpus.open_ ?journal d) report_dir in
   let saved = ref 0 and dups = ref 0 in
   let jemit ev = Option.iter (fun j -> Journal.emit j ev) journal in
   let seen = Hashtbl.create 16 in
+  let handle_failure f =
+    match corpus with
+    | Some c -> (
+        match
+          Report.save_failure c ~system:f.f_system ~generator:f.f_generator
+            ~seed:f.f_seed ~export_bugs:f.f_export_bugs f.f_graph f.f_binding
+            f.f_verdict
+        with
+        | `Saved _ -> incr saved
+        | `Duplicate _ -> incr dups
+        | `Not_failure -> ())
+    | None -> (
+        match Report.failure_key f.f_system f.f_verdict with
+        | None -> ()
+        | Some key ->
+            let n = 1 + Option.value ~default:0 (Hashtbl.find_opt seen key) in
+            Hashtbl.replace seen key n;
+            jemit
+              (Journal.Bug
+                 {
+                   b_at_ms = Journal.now_ms ();
+                   b_key = key;
+                   b_system = f.f_system.Systems.s_name;
+                   b_verdict = verdict_name f.f_verdict;
+                   b_case = "";
+                   b_nodes = Graph.size f.f_graph;
+                   b_count = n;
+                   b_new = n = 1;
+                   b_reducer = None;
+                 }))
+  in
+  let buf : (int, failure list) Hashtbl.t = Hashtbl.create 64 in
+  let finished : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let next = ref 0 in
+  let apply_index i =
+    match Hashtbl.find_opt buf i with
+    | None -> ()
+    | Some rev_fs ->
+        Hashtbl.remove buf i;
+        List.iter handle_failure (List.rev rev_fs)
+  in
+  let advance () =
+    while Hashtbl.mem finished !next do
+      Hashtbl.remove finished !next;
+      apply_index !next;
+      incr next
+    done
+  in
   let sink = function
     | M_event ev -> jemit ev
-    | M_failure f -> (
-        match corpus with
-        | Some c -> (
-            match
-              Report.save_failure c ~system:f.f_system
-                ~generator:f.f_generator ~seed:f.f_seed
-                ~export_bugs:f.f_export_bugs f.f_graph f.f_binding f.f_verdict
-            with
-            | `Saved _ -> incr saved
-            | `Duplicate _ -> incr dups
-            | `Not_failure -> ())
-        | None -> (
-            match Report.failure_key f.f_system f.f_verdict with
-            | None -> ()
-            | Some key ->
-                let n =
-                  1 + Option.value ~default:0 (Hashtbl.find_opt seen key)
-                in
-                Hashtbl.replace seen key n;
-                jemit
-                  (Journal.Bug
-                     {
-                       b_at_ms = Journal.now_ms ();
-                       b_key = key;
-                       b_system = f.f_system.Systems.s_name;
-                       b_verdict = verdict_name f.f_verdict;
-                       b_case = "";
-                       b_nodes = Graph.size f.f_graph;
-                       b_count = n;
-                       b_new = n = 1;
-                       b_reducer = None;
-                     })))
+    | M_failure (i, f) ->
+        Hashtbl.replace buf i
+          (f :: Option.value ~default:[] (Hashtbl.find_opt buf i))
+    | M_done i ->
+        Hashtbl.replace finished i ();
+        advance ()
   in
-  (sink, saved, dups)
+  (* Time budgets can leave index gaps (a worker hit its deadline before
+     reaching an index a faster worker passed); drain whatever is still
+     buffered in ascending index order.  Call after [Pool.run] returns —
+     the writer domain has been joined, so the buffers are safe to read. *)
+  let flush () =
+    Hashtbl.fold (fun i _ acc -> i :: acc) buf []
+    |> List.sort compare
+    |> List.iter apply_index;
+    Hashtbl.reset finished;
+    next := 0
+  in
+  (sink, flush, saved, dups)
 
 let assemble ~stats ~saved ~dups tallies =
   let total = fresh_tally () in
@@ -434,6 +486,14 @@ let run_one ?attribute_semantic ?(generator = "NNSmith") ?(max_nodes = 10)
   in
   outcome_of_tally t fs
 
+(* Persisting a verdict — journal append, minimization, corpus I/O — is
+   the only per-failure work still on the generation path at [jobs = 1];
+   when any persistence is configured, stream it through the pool's
+   writer domain instead ({!Pool.run}'s [async_sink]).  Without
+   persistence the sink is a no-op and the inline path is cheaper. *)
+let async_sink_wanted ~journal ~report_dir =
+  Option.is_some journal || Option.is_some report_dir
+
 (** Sharded NNSmith differential-testing campaign.  Runs with whatever
     fault set is active on the calling domain (workers inherit it).  With
     [report_dir] each failure is minimized and saved to the persistent
@@ -442,20 +502,24 @@ let fuzz ?jobs ?journal ?report_dir ?(max_nodes = 10) ?(binning = true)
     ?(systems = Systems.all) ~root_seed ~budget () : result =
   journal_start ?journal ~kind:"fuzz" ~systems ~generator:"NNSmith"
     ~root_seed ~jobs:(resolved_jobs jobs) ~budget ();
-  let sink, saved, dups = make_sink ?journal ?report_dir () in
+  let sink, flush, saved, dups = make_sink ?journal ?report_dir () in
   let journaling = journal <> None in
+  let async_sink = async_sink_wanted ~journal ~report_dir in
   let stats, tallies =
-    Pool.run ?jobs ~is_failure ~root_seed ~budget
+    Pool.run ?jobs ~is_failure ~is_durable ~async_sink ~root_seed ~budget
       ~init:(fun ~worker -> fresh_wstate worker)
-      ~test:(fun ws ~index:_ ~seed ->
+      ~test:(fun ws ~index ~seed ->
         let fs =
           run_index ws.w_tally ~generator:"NNSmith" ~max_nodes ~binning
             ~systems ~seed
         in
-        List.map (fun f -> M_failure f) fs @ maybe_heartbeat ~journaling ws)
+        List.map (fun f -> M_failure (index, f)) fs
+        @ maybe_heartbeat ~journaling ws
+        @ [ M_done index ])
       ~finish:(fun ws -> ws.w_tally)
       ~sink ()
   in
+  flush ();
   let r = assemble ~stats ~saved ~dups tallies in
   journal_finish ?journal r;
   r
@@ -470,18 +534,19 @@ let coverage ?jobs ?journal ?report_dir ?(generator = "generator")
   Cov.reset ();
   journal_start ?journal ~kind:"coverage" ~systems:[ system ] ~generator
     ~root_seed ~jobs:(resolved_jobs jobs) ~budget ();
-  let sink, saved, dups = make_sink ?journal ?report_dir () in
+  let sink, flush, saved, dups = make_sink ?journal ?report_dir () in
   let journaling = journal <> None in
+  let async_sink = async_sink_wanted ~journal ~report_dir in
   let stats, tallies =
-    Pool.run ?jobs ~is_failure ~root_seed ~budget
+    Pool.run ?jobs ~is_failure ~is_durable ~async_sink ~root_seed ~budget
       ~init:(fun ~worker ->
         (* Negative index space: disjoint from the test-seed derivations. *)
         let s = Splitmix.derive ~root:root_seed ~index:(-1 - worker) in
         (gen_of_seed s, fresh_wstate worker))
-      ~test:(fun (gen, ws) ~index:_ ~seed ->
+      ~test:(fun (gen, ws) ~index ~seed ->
         let t = ws.w_tally in
         let out = ref [] in
-        let emit f = out := M_failure f :: !out in
+        let emit f = out := M_failure (index, f) :: !out in
         (match gen.Generators.next () with
         | None -> incr_count t.verdicts "gen_fail"
         | Some g -> (
@@ -496,10 +561,12 @@ let coverage ?jobs ?journal ?report_dir ?(generator = "generator")
                     record_verdict t system ~generator:gen.Generators.g_name
                       ~seed ~export_bugs:[] g binding emit v
                 | exception _ -> incr_count t.verdicts "error")));
-        List.rev_append !out (maybe_heartbeat ~journaling ws))
+        List.rev_append !out (maybe_heartbeat ~journaling ws)
+        @ [ M_done index ])
       ~finish:(fun (_, ws) -> ws.w_tally)
       ~sink ()
   in
+  flush ();
   let r = assemble ~stats ~saved ~dups tallies in
   journal_finish ?journal r;
   r
@@ -514,23 +581,26 @@ let hunt ?jobs ?journal ?report_dir ?(max_nodes = 10) ~root_seed ~budget () :
   let all_ids = List.map (fun (b : Faults.bug) -> b.b_id) Faults.catalogue in
   journal_start ?journal ~kind:"hunt" ~systems:Systems.all
     ~generator:"NNSmith" ~root_seed ~jobs:(resolved_jobs jobs) ~budget ();
-  let sink, saved, dups = make_sink ?journal ?report_dir () in
+  let sink, flush, saved, dups = make_sink ?journal ?report_dir () in
   let journaling = journal <> None in
+  let async_sink = async_sink_wanted ~journal ~report_dir in
   Faults.with_bugs all_ids (fun () ->
       let stats, tallies =
-        Pool.run ?jobs ~is_failure ~root_seed ~budget
+        Pool.run ?jobs ~is_failure ~is_durable ~async_sink ~root_seed ~budget
           ~init:(fun ~worker -> fresh_wstate worker)
-          ~test:(fun ws ~index:_ ~seed ->
+          ~test:(fun ws ~index ~seed ->
             let fs =
               run_index ~attribute_semantic:true ws.w_tally
                 ~generator:"NNSmith" ~max_nodes ~binning:true
                 ~systems:Systems.all ~seed
             in
-            List.map (fun f -> M_failure f) fs
-            @ maybe_heartbeat ~journaling ws)
+            List.map (fun f -> M_failure (index, f)) fs
+            @ maybe_heartbeat ~journaling ws
+            @ [ M_done index ])
           ~finish:(fun ws -> ws.w_tally)
           ~sink ()
       in
+      flush ();
       let r = assemble ~stats ~saved ~dups tallies in
       journal_finish ?journal r;
       r)

@@ -20,9 +20,15 @@ type failure = {
 (** A failure observed by a worker, shipped over the pool's channel to
     the corpus-writer domain. *)
 
-type msg = M_failure of failure | M_event of Nnsmith_journal.Journal.event
-(** What rides the pool's worker-to-writer channel: failures (never
-    dropped) and best-effort journal events (worker heartbeats). *)
+type msg =
+  | M_failure of int * failure
+  | M_event of Nnsmith_journal.Journal.event
+  | M_done of int
+(** What rides the pool's worker-to-writer channel: failures tagged with
+    their global test index (never dropped), per-index completion markers
+    (also never dropped — the sink applies failures in ascending index
+    order so corpus bytes are jobs-independent), and best-effort journal
+    events (worker heartbeats). *)
 
 type outcome = {
   o_verdicts : (string * int) list;  (** sorted verdict-kind counts *)

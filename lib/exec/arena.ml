@@ -1,0 +1,62 @@
+(* Cross-plan buffer arena: a per-domain pool of retired plan buffers,
+   keyed by (representation kind, element count).
+
+   Plans compiled for different models in the same cohort allocate their
+   slot buffers here first — a retired plan's intermediate buffers are
+   exactly the sizes the next model of the same shape distribution needs,
+   so steady-state plan compilation stops allocating fresh megabyte-scale
+   arrays.  Tensor *contents* never survive the pool: every plan kernel is
+   destination-passing and fully overwrites its output buffer before any
+   consumer reads it (the same argument that makes the intra-plan liveness
+   arena of {!Plan.build} sound), so recycled storage cannot change any
+   computed value.
+
+   The pool is bounded per key and in total; beyond the caps, retired
+   buffers are dropped for the GC.  Per-domain (Domain.DLS) — buffers
+   never cross domains, mirroring the plan cache itself. *)
+
+module Nd = Nnsmith_tensor.Nd
+module Tel = Nnsmith_telemetry.Telemetry
+
+type pool = {
+  tbl : (int * int, Nd.data list ref) Hashtbl.t;
+  mutable retained : int;  (* buffers currently pooled, across keys *)
+}
+
+let per_key_cap = 8
+let total_cap = 256
+
+let pool_key : pool Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { tbl = Hashtbl.create 32; retained = 0 })
+
+let take ~kind ~numel =
+  let p = Domain.DLS.get pool_key in
+  match Hashtbl.find_opt p.tbl (kind, numel) with
+  | Some ({ contents = b :: rest } as r) ->
+      r := rest;
+      p.retained <- p.retained - 1;
+      Tel.incr "exec/arena_hit";
+      Some b
+  | _ ->
+      Tel.incr "exec/arena_miss";
+      None
+
+let give ~kind ~numel (b : Nd.data) =
+  let p = Domain.DLS.get pool_key in
+  if p.retained < total_cap then
+    match Hashtbl.find_opt p.tbl (kind, numel) with
+    | Some r ->
+        if List.length !r < per_key_cap then begin
+          r := b :: !r;
+          p.retained <- p.retained + 1
+        end
+    | None ->
+        Hashtbl.replace p.tbl (kind, numel) (ref [ b ]);
+        p.retained <- p.retained + 1
+
+let clear () =
+  let p = Domain.DLS.get pool_key in
+  Hashtbl.reset p.tbl;
+  p.retained <- 0
+
+let retained () = (Domain.DLS.get pool_key).retained

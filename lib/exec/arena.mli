@@ -1,0 +1,21 @@
+(** Per-domain cross-plan buffer arena.
+
+    Retired execution plans donate their slot storage here (keyed by
+    representation kind and element count); newly compiled plans draw
+    initial buffers from the pool before allocating.  Contents of pooled
+    buffers are garbage by contract — every plan kernel fully overwrites
+    its destination before it is read, so recycling cannot affect any
+    computed value.  Bounded per key and in total. *)
+
+val take : kind:int -> numel:int -> Nnsmith_tensor.Nd.data option
+(** Pop a pooled buffer of the given representation kind and element
+    count, if any. *)
+
+val give : kind:int -> numel:int -> Nnsmith_tensor.Nd.data -> unit
+(** Donate a buffer; silently dropped when the pool is at capacity. *)
+
+val clear : unit -> unit
+(** Drop every pooled buffer on the calling domain. *)
+
+val retained : unit -> int
+(** Number of buffers currently pooled on the calling domain. *)

@@ -72,7 +72,13 @@ let idx = function
 
 (* A shape/dtype-only stand-in for kernels that validate via functions taking
    tensors ([Linalg.conv2d_dims]); never read element-wise. *)
-let phantom dtype shape = { Nd.dtype; shape; data = Nd.F [||] }
+let phantom dtype shape = { Nd.dtype; shape; data = Nd.F Nd.empty_f }
+
+(* Unboxed-buffer accessors for the raw kernels below; soundness of the
+   unsafe variants is argued in the comment under "Specialised raw-array
+   float kernels". *)
+let fget : Nd.farray -> int -> float = Bigarray.Array1.unsafe_get
+let fset : Nd.farray -> int -> float -> unit = Bigarray.Array1.unsafe_set
 
 (* Specialised raw-array float kernels.
 
@@ -100,7 +106,7 @@ let gather_kernel dt map ~fill =
       let x = Nd.float_data ib.(0) and o = Nd.float_data dst in
       for i = 0 to nm - 1 do
         let j = Array.unsafe_get map i in
-        Array.unsafe_set o i (if j >= 0 then Array.unsafe_get x j else fill)
+        fset o i (if j >= 0 then fget x j else fill)
       done
   end
   else fun ib dst -> Transform.gather_into ib.(0) ~map ~fill ~dst
@@ -132,12 +138,11 @@ let compile_kernel (op : int Op.t) (ins : (Dtype.t * Shape.t) array)
               let x = Nd.float_data ib.(0) and o = Nd.float_data dst in
               if f64 then
                 for i = 0 to n - 1 do
-                  Array.unsafe_set o i (f (Array.unsafe_get x i))
+                  fset o i (f (fget x i))
                 done
               else
                 for i = 0 to n - 1 do
-                  Array.unsafe_set o i
-                    (Dtype.round_f32 (f (Array.unsafe_get x i)))
+                  fset o i (Dtype.round_f32 (f (fget x i)))
                 done)
       else (
         match Eval.unary_int_fn u with
@@ -159,10 +164,8 @@ let compile_kernel (op : int Op.t) (ins : (Dtype.t * Shape.t) array)
           let f = Eval.binary_float_fn b in
           let f64 = Dtype.equal od Dtype.F64 in
           let reader = function
-            | None -> fun (x : float array) i -> Array.unsafe_get x i
-            | Some m ->
-                fun (x : float array) i ->
-                  Array.unsafe_get x (Array.unsafe_get m i)
+            | None -> fun (x : Nd.farray) i -> fget x i
+            | Some m -> fun (x : Nd.farray) i -> fget x (Array.unsafe_get m i)
           in
           let ga = reader (map_of 0) and gb = reader (map_of 1) in
           Some
@@ -172,11 +175,11 @@ let compile_kernel (op : int Op.t) (ins : (Dtype.t * Shape.t) array)
               and o = Nd.float_data dst in
               if f64 then
                 for i = 0 to n - 1 do
-                  Array.unsafe_set o i (f (ga x i) (gb y i))
+                  fset o i (f (ga x i) (gb y i))
                 done
               else
                 for i = 0 to n - 1 do
-                  Array.unsafe_set o i (Dtype.round_f32 (f (ga x i) (gb y i)))
+                  fset o i (Dtype.round_f32 (f (ga x i) (gb y i)))
                 done)
       else (
         match Eval.binary_int_fn b with
@@ -253,14 +256,12 @@ let compile_kernel (op : int Op.t) (ins : (Dtype.t * Shape.t) array)
             let x = Nd.float_data ib.(0) and o = Nd.float_data dst in
             if f64 then
               for i = 0 to n - 1 do
-                Array.unsafe_set o i
-                  (Float.min c_hi (Float.max c_lo (Array.unsafe_get x i)))
+                fset o i (Float.min c_hi (Float.max c_lo (fget x i)))
               done
             else
               for i = 0 to n - 1 do
-                Array.unsafe_set o i
-                  (Dtype.round_f32
-                     (Float.min c_hi (Float.max c_lo (Array.unsafe_get x i))))
+                fset o i
+                  (Dtype.round_f32 (Float.min c_hi (Float.max c_lo (fget x i))))
               done)
   | Op.Leaky_relu { alpha } ->
       arity 1;
@@ -276,14 +277,13 @@ let compile_kernel (op : int Op.t) (ins : (Dtype.t * Shape.t) array)
             let x = Nd.float_data ib.(0) and o = Nd.float_data dst in
             if f64 then
               for i = 0 to n - 1 do
-                let v = Array.unsafe_get x i in
-                Array.unsafe_set o i (if v >= 0. then v else alpha *. v)
+                let v = fget x i in
+                fset o i (if v >= 0. then v else alpha *. v)
               done
             else
               for i = 0 to n - 1 do
-                let v = Array.unsafe_get x i in
-                Array.unsafe_set o i
-                  (Dtype.round_f32 (if v >= 0. then v else alpha *. v))
+                let v = fget x i in
+                fset o i (Dtype.round_f32 (if v >= 0. then v else alpha *. v))
               done)
   | Op.Cast target ->
       arity 1;
@@ -297,13 +297,13 @@ let compile_kernel (op : int Op.t) (ins : (Dtype.t * Shape.t) array)
               Some
                 (fun ib dst ->
                   let x = Nd.float_data ib.(0) and o = Nd.float_data dst in
-                  Array.blit x 0 o 0 n)
+                  Bigarray.Array1.blit x o)
             else
               Some
                 (fun ib dst ->
                   let x = Nd.float_data ib.(0) and o = Nd.float_data dst in
                   for i = 0 to n - 1 do
-                    Array.unsafe_set o i (Dtype.round_f32 (Array.unsafe_get x i))
+                    fset o i (Dtype.round_f32 (fget x i))
                   done)
         | Dtype.F32 | F64 -> Some (fun ib dst -> Nd.map_into Fun.id ib.(0) ~dst)
         | I32 | I64 ->
@@ -371,14 +371,12 @@ let compile_kernel (op : int Op.t) (ins : (Dtype.t * Shape.t) array)
               let abatch = Array.append batch [| m; k |] in
               let bbatch = Array.append batch [| k; nn |] in
               let reader src dsts len =
-                if Shape.equal src dsts then
-                  fun (x : float array) i -> Array.unsafe_get x i
+                if Shape.equal src dsts then fun (x : Nd.farray) i -> fget x i
                 else
                   let map =
                     Array.init len (Nd.broadcast_offsets ~src ~dst:dsts)
                   in
-                  fun (x : float array) i ->
-                    Array.unsafe_get x (Array.unsafe_get map i)
+                  fun (x : Nd.farray) i -> fget x (Array.unsafe_get map i)
               in
               let ga = reader sa abatch (nb * m * k) in
               let gb = reader sb bbatch (nb * k * nn) in
@@ -399,7 +397,7 @@ let compile_kernel (op : int Op.t) (ins : (Dtype.t * Shape.t) array)
                             +. ga a (arow + l)
                                *. gb b ((((bi * k) + l) * nn) + j)
                         done;
-                        Array.unsafe_set o
+                        fset o
                           ((((bi * m) + i) * nn) + j)
                           (if f64 then !acc else Dtype.round_f32 !acc)
                       done
@@ -438,16 +436,12 @@ let compile_kernel (op : int Op.t) (ins : (Dtype.t * Shape.t) array)
                     for kj = 0 to kw - 1 do
                       let wi = (ow_i * stride) - padding + kj in
                       if wi >= 0 && wi < w then
-                        acc :=
-                          !acc
-                          +. Array.unsafe_get x (xrow + wi)
-                             *. Array.unsafe_get wt (wrow + kj)
+                        acc := !acc +. (fget x (xrow + wi) *. fget wt (wrow + kj))
                     done
                   end
                 done
               done;
-              Array.unsafe_set o li
-                (if f64 then !acc else Dtype.round_f32 !acc)
+              fset o li (if f64 then !acc else Dtype.round_f32 !acc)
             done)
   | Op.Pool2d (kind, { p_kh; p_kw; p_stride; p_padding }) ->
       arity 1;
@@ -485,7 +479,7 @@ let compile_kernel (op : int Op.t) (ins : (Dtype.t * Shape.t) array)
                       for kj = 0 to p_kw - 1 do
                         let wi = (ow_i * p_stride) - p_padding + kj in
                         if wi >= 0 && wi < w then begin
-                          let v = Array.unsafe_get x (row + wi) in
+                          let v = fget x (row + wi) in
                           acc :=
                             (if Float.is_nan v || Float.is_nan !acc then
                                Float.nan
@@ -494,8 +488,7 @@ let compile_kernel (op : int Op.t) (ins : (Dtype.t * Shape.t) array)
                       done
                     end
                   done;
-                  Array.unsafe_set o li
-                    (if f64 then !acc else Dtype.round_f32 !acc)
+                  fset o li (if f64 then !acc else Dtype.round_f32 !acc)
                 done)
         | Avg_pool ->
             Some
@@ -512,7 +505,7 @@ let compile_kernel (op : int Op.t) (ins : (Dtype.t * Shape.t) array)
                         let wi = (ow_i * p_stride) - p_padding + kj in
                         if wi >= 0 && wi < w then begin
                           incr count;
-                          acc := !acc +. Array.unsafe_get x (row + wi)
+                          acc := !acc +. fget x (row + wi)
                         end
                       done
                     end
@@ -520,8 +513,7 @@ let compile_kernel (op : int Op.t) (ins : (Dtype.t * Shape.t) array)
                   let v =
                     if !count = 0 then 0. else !acc /. float_of_int !count
                   in
-                  Array.unsafe_set o li
-                    (if f64 then v else Dtype.round_f32 v)
+                  fset o li (if f64 then v else Dtype.round_f32 v)
                 done))
   | Op.Reshape dims ->
       arity 1;
@@ -647,8 +639,8 @@ let compile_kernel (op : int Op.t) (ins : (Dtype.t * Shape.t) array)
                     let srcs = Array.map Nd.float_data ib in
                     let o = Nd.float_data dst in
                     for i = 0 to n - 1 do
-                      Array.unsafe_set o i
-                        (Array.unsafe_get
+                      fset o i
+                        (fget
                            (Array.unsafe_get srcs (Array.unsafe_get part i))
                            (Array.unsafe_get off i))
                     done)
@@ -820,7 +812,13 @@ let build ~reuse g =
             let key = (repr_kind decl_dtype, Shape.numel decl_shape) in
             match if reuse then take key else None with
             | Some b -> { Nd.dtype = decl_dtype; shape = decl_shape; data = b.Nd.data }
-            | None -> Nd.create decl_dtype decl_shape
+            | None -> (
+                (* first try storage retired by an evicted cohort member:
+                   kernels fully overwrite destinations, so stale contents
+                   are unobservable *)
+                match Arena.take ~kind:(fst key) ~numel:(snd key) with
+                | Some data -> { Nd.dtype = decl_dtype; shape = decl_shape; data }
+                | None -> Nd.create decl_dtype decl_shape)
           end
         in
         (* release this node's dead inputs only after its own buffer is
@@ -1008,25 +1006,84 @@ let set_enabled b = enabled_flag := b
 let enabled () = !enabled_flag
 
 type cache_entry = {
-  ce_graph : Graph.t;
+  mutable ce_graph : Graph.t;
+  ce_key : string;  (* content key: the graph's canonical text form *)
   mutable ce_search : t option;
   mutable ce_oracle : t option;
 }
 
-(* One entry per domain, keyed by physical equality on the graph: the fuzzing
-   loop works one model at a time, so a single entry gives perfect reuse
-   across the search, the oracle probes, and the replay of that model. *)
-let cache : cache_entry option ref Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> ref None)
+(* Cohort plan pool: the [cohort_size] most recent graphs keep their
+   compiled plans alive, MRU-first, per domain.  Single-model loops hit
+   the head entry by physical equality, exactly as the old one-entry
+   cache did; corpus replays and cohort campaigns regenerate graphs as
+   physically distinct but content-identical values, which the content
+   key recognises so the replay reuses the campaign's plans instead of
+   recompiling.  Evicted entries retire their slot storage to the
+   {!Arena}, where the next compilation picks it up. *)
+let cohort_flag = ref 4
+let set_cohort_size n = cohort_flag := max 1 n
+let cohort_size () = !cohort_flag
+
+let cache : cache_entry list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+(* Donate a retired plan's slot storage.  Buffers are deduplicated by
+   physical identity (oracle plans share storage across slots); the leaf
+   placeholder is excluded by the [is_leaf] guard. *)
+let retire e =
+  let donate p =
+    let seen = ref [] in
+    Array.iter
+      (fun s ->
+        if not s.is_leaf then begin
+          let d = s.buffer.Nd.data in
+          if not (List.memq d !seen) then begin
+            seen := d :: !seen;
+            Arena.give
+              ~kind:(repr_kind s.decl_dtype)
+              ~numel:(Shape.numel s.decl_shape)
+              d
+          end
+        end)
+      p.slots
+  in
+  Option.iter donate e.ce_search;
+  Option.iter donate e.ce_oracle
+
+let cohort_clear () =
+  let slot = Domain.DLS.get cache in
+  slot := [];
+  Arena.clear ()
 
 let entry_for g =
   let slot = Domain.DLS.get cache in
-  match !slot with
-  | Some e when e.ce_graph == g -> e
-  | _ ->
-      let e = { ce_graph = g; ce_search = None; ce_oracle = None } in
-      slot := Some e;
-      e
+  let move_to_front e =
+    (match !slot with
+    | e0 :: _ when e0 == e -> ()
+    | _ -> slot := e :: List.filter (fun x -> not (x == e)) !slot);
+    e
+  in
+  match List.find_opt (fun e -> e.ce_graph == g) !slot with
+  | Some e -> move_to_front e
+  | None -> (
+      let key = Graph.to_string g in
+      match List.find_opt (fun e -> String.equal e.ce_key key) !slot with
+      | Some e ->
+          Tel.incr "exec/cohort_content_hit";
+          e.ce_graph <- g;
+          move_to_front e
+      | None ->
+          let e = { ce_graph = g; ce_key = key; ce_search = None; ce_oracle = None } in
+          let cap = cohort_size () in
+          let rec trim i l =
+            if i >= cap then begin
+              List.iter retire l;
+              []
+            end
+            else match l with [] -> [] | x :: tl -> x :: trim (i + 1) tl
+          in
+          slot := trim 0 (e :: !slot);
+          e)
 
 let for_search g =
   let e = entry_for g in

@@ -25,12 +25,14 @@ type t
 val graph : t -> Nnsmith_ir.Graph.t
 
 val for_search : Nnsmith_ir.Graph.t -> t
-(** Keep-all-buffers plan from the per-domain cache (compiled on first
-    request; the cache holds the plans of the most recent graph, keyed by
-    physical equality). *)
+(** Keep-all-buffers plan from the per-domain cohort pool (compiled on
+    first request; the pool holds the plans of the {!cohort_size} most
+    recent graphs, looked up by physical equality with a content-key
+    fallback so a replayed graph — regenerated as a physically distinct
+    but identical value — reuses the original's plans). *)
 
 val for_oracle : Nnsmith_ir.Graph.t -> t
-(** Arena plan (buffer reuse) from the per-domain cache. *)
+(** Arena plan (buffer reuse) from the per-domain cohort pool. *)
 
 val build : reuse:bool -> Nnsmith_ir.Graph.t -> t
 (** Compile a fresh plan, bypassing the cache; [reuse] enables the buffer
@@ -84,3 +86,14 @@ val enabled : unit -> bool
     [--no-exec-plan] clears it for A/B runs.  Defaults to [true]. *)
 
 val set_enabled : bool -> unit
+
+val cohort_size : unit -> int
+(** Number of models whose plans the per-domain pool keeps alive
+    (defaults to 4); evicted plans retire their buffers to {!Arena}. *)
+
+val set_cohort_size : int -> unit
+(** Set the pool capacity ([--cohort-size]); clamped to at least 1. *)
+
+val cohort_clear : unit -> unit
+(** Drop the calling domain's pooled plans and arena buffers — used by
+    A/B benches and tests to start from a cold pool. *)

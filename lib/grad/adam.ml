@@ -93,17 +93,17 @@ let update_into st ~id ~(param : Nd.t) ~(grad : Nd.t) :
   let t = float_of_int (st.step_count + 1) in
   let bc1 = 1. -. Float.pow st.beta1 t and bc2 = 1. -. Float.pow st.beta2 t in
   let md = Nd.float_data m and vd = Nd.float_data v in
-  let n = Array.length md in
+  let n = Bigarray.Array1.dim md in
   if Array.length st.scratch < n then st.scratch <- Array.make n 0.;
   let scratch = st.scratch in
   let pd = Nd.dtype param in
   let bad = ref false in
   for i = 0 to n - 1 do
     let gi = Nd.to_float grad i in
-    let mi = (st.beta1 *. md.(i)) +. ((1. -. st.beta1) *. gi) in
-    let vi = (st.beta2 *. vd.(i)) +. ((1. -. st.beta2) *. gi *. gi) in
-    md.(i) <- mi;
-    vd.(i) <- vi;
+    let mi = (st.beta1 *. md.{i}) +. ((1. -. st.beta1) *. gi) in
+    let vi = (st.beta2 *. vd.{i}) +. ((1. -. st.beta2) *. gi *. gi) in
+    md.{i} <- mi;
+    vd.{i} <- vi;
     let mhat = mi /. bc1 and vhat = vi /. bc2 in
     let p2 =
       Dtype.normalize_float pd
@@ -121,9 +121,9 @@ let update_into st ~id ~(param : Nd.t) ~(grad : Nd.t) :
         not
           (Int64.equal
              (Int64.bits_of_float scratch.(i))
-             (Int64.bits_of_float out.(i)))
+             (Int64.bits_of_float out.{i}))
       then changed := true;
-      out.(i) <- scratch.(i)
+      out.{i} <- scratch.(i)
     done;
     if !changed then `Changed else `Unchanged
   end

@@ -102,8 +102,14 @@ let legacy_engine ~lo ~hi ~adam rng (g : Graph.t) : engine =
         | _ -> assert false)
       leaves
   in
+  (* One scratch value table for the whole search: each forward resets it
+     instead of allocating a fresh one per iteration.  Safe because its
+     only escape, [e_values], is consumed by the backprop of the same
+     iteration, before the next forward. *)
+  let scratch : (int, Nd.t) Hashtbl.t = Hashtbl.create 32 in
   let e_forward () =
-    let tbl : (int, Nd.t) Hashtbl.t = Hashtbl.create 32 in
+    Hashtbl.reset scratch;
+    let tbl = scratch in
     let bad = ref None in
     let computed = ref 0 in
     (try
@@ -162,13 +168,27 @@ let plan_engine ~lo ~hi ~adam rng (g : Graph.t) : engine =
            if Dtype.is_float (Conc.dtype n.Graph.out_type) then
              Some (n.Graph.id, Conc.shape n.Graph.out_type)
            else None));
-  let e_fill_random () =
-    Array.iter
+  (* Engine-private leaf tensors, allocated once and refilled in place on
+     every restart ([refill_leaf_into] consumes the rng stream exactly as
+     [tensor_of_leaf] would, so draws — and everything downstream — are
+     unchanged).  Mutating them is safe: nothing outside this engine holds
+     a reference until [e_result] hands the binding out, after which the
+     search is over and no further refill can occur; a replayed graph gets
+     a fresh engine with fresh tensors even when the cohort pool returns
+     the same plan. *)
+  let slots =
+    Array.map
       (fun (n : Graph.node) ->
+        Nd.create (Conc.dtype n.Graph.out_type) (Conc.shape n.Graph.out_type))
+      leaves
+  in
+  let e_fill_random () =
+    Array.iteri
+      (fun i (n : Graph.node) ->
         match n.Graph.op with
         | Op.Leaf kind ->
-            Plan.set_leaf plan n.Graph.id
-              (Runner.tensor_of_leaf rng kind n.out_type ~lo ~hi)
+            Runner.refill_leaf_into rng kind n.out_type ~lo ~hi slots.(i);
+            Plan.set_leaf plan n.Graph.id slots.(i)
         | _ -> assert false)
       leaves;
     Plan.invalidate_all plan

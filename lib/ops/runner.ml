@@ -27,6 +27,24 @@ let tensor_of_leaf rng (kind : Op.leaf_kind) (t : Conc.t) ~lo ~hi : Nd.t =
             ~hi:(max (int_of_float lo) (int_of_float hi))
       | Bool -> Nd.random_b rng shape)
 
+(* In-place counterpart of [tensor_of_leaf] for the gradient search's
+   restart loop: overwrites [dst] (which must already have the leaf's
+   dtype and shape) drawing from [rng] exactly as [tensor_of_leaf] does,
+   so a restart that refills live tensors leaves the rng stream — and
+   therefore every subsequent draw of the campaign — unchanged. *)
+let refill_leaf_into rng (kind : Op.leaf_kind) (t : Conc.t) ~lo ~hi
+    (dst : Nd.t) =
+  match kind with
+  | Op.Const_fill v -> Nd.fill_const_into v dst
+  | Op.Model_input | Op.Model_weight -> (
+      match Conc.dtype t with
+      | Dtype.F32 | F64 -> Nd.refill_f_into rng ~lo ~hi dst
+      | I32 | I64 ->
+          Nd.refill_i_into rng ~lo:(int_of_float lo)
+            ~hi:(max (int_of_float lo) (int_of_float hi))
+            dst
+      | Bool -> Nd.refill_b_into rng dst)
+
 (** Random leaf initialisation; the [\[lo, hi\]] range follows the paper's
     empirically best Sampling baseline of [\[1, 9\]] unless overridden. *)
 let random_binding ?(lo = 1.) ?(hi = 9.) rng (g : Graph.t) : binding =

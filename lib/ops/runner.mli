@@ -17,6 +17,19 @@ val tensor_of_leaf :
 (** Value for one leaf: constants use their fill; inputs/weights are drawn
     uniformly from [\[lo, hi\]]. *)
 
+val refill_leaf_into :
+  Random.State.t ->
+  Nnsmith_ir.Op.leaf_kind ->
+  Nnsmith_ir.Ttype.Conc.t ->
+  lo:float ->
+  hi:float ->
+  Nnsmith_tensor.Nd.t ->
+  unit
+(** Overwrite a live tensor (already of the leaf's dtype and shape) with
+    the values {!tensor_of_leaf} would produce, consuming the rng stream
+    identically — the search's restart loop refills in place instead of
+    reallocating every leaf. *)
+
 val random_binding :
   ?lo:float -> ?hi:float -> Random.State.t -> Nnsmith_ir.Graph.t -> binding
 (** Random initialisation of every leaf; the default [\[1, 9\]] range is the

@@ -93,9 +93,13 @@ let shard_loop ~jobs ~worker ~root_seed ~limit ~deadline ~state ~test
 
 let default_event_capacity = 4096
 
-let run ?jobs ?(is_failure = fun _ -> true)
-    ?(event_capacity = default_event_capacity) ~root_seed ~budget ~init ~test
-    ~finish ~sink () =
+let run ?jobs ?(is_failure = fun _ -> true) ?is_durable
+    ?(event_capacity = default_event_capacity) ?(async_sink = false)
+    ~root_seed ~budget ~init ~test ~finish ~sink () =
+  (* [is_durable] items ride the unconditional blocking send (never
+     dropped) without counting as failures — e.g. per-index completion
+     markers that downstream ordering depends on. *)
+  let is_durable = Option.value is_durable ~default:is_failure in
   let jobs = max 1 (match jobs with Some j -> j | None -> default_jobs ()) in
   Tel.incr "parallel/runs";
   let t0 = Tel.now_ms () in
@@ -103,7 +107,7 @@ let run ?jobs ?(is_failure = fun _ -> true)
   let deadline =
     match budget with Time_ms b -> Some (t0 +. b) | Tests _ -> None
   in
-  if jobs = 1 then begin
+  if jobs = 1 && not async_sink then begin
     (* Inline fast path: no domain spawn, no channel — the failure sink is
        called synchronously, exactly like the pre-parallel campaign loop. *)
     let state = init ~worker:0 in
@@ -125,6 +129,65 @@ let run ?jobs ?(is_failure = fun _ -> true)
     record_worker_stats report;
     (mk_stats ~jobs:1 ~elapsed_ms [ report ], [ finish state ])
   end
+  else if jobs = 1 then begin
+    (* Async single-worker path: the test loop stays on the calling domain
+       (so the corpus replay sees identical domain-local caches to the
+       inline path), while [sink] — journal writes, minimization, corpus
+       I/O — runs on one writer domain fed through the same bounded MPSC
+       channel the sharded path uses.  The channel preserves emission
+       order, so the corpus index is written in the same byte order the
+       inline path produces; failures use the unconditional blocking send
+       and are never dropped. *)
+    let chan = Chan.create ~capacity:event_capacity ~producers:1 () in
+    let fault_ids = Faults.active_ids () in
+    let writer =
+      Domain.spawn (fun () ->
+          (* The sink may re-execute tests (minimization); it must see the
+             campaign's fault set, exactly as sharded workers do. *)
+          Faults.set_active fault_ids;
+          let rec drain () =
+            match Chan.recv chan with
+            | Some f ->
+                sink f;
+                drain ()
+            | None -> ()
+          in
+          drain ();
+          (Tel.current_sink (), Cov.export ()))
+    in
+    let dropped = ref 0 in
+    let emit f =
+      if is_failure f || is_durable f then Chan.send chan f
+      else if not (Chan.try_send chan f) then incr dropped
+    in
+    let state, tests, failures, errors =
+      Fun.protect
+        ~finally:(fun () -> Chan.producer_done chan)
+        (fun () ->
+          let state = init ~worker:0 in
+          let tests, failures, errors =
+            shard_loop ~jobs:1 ~worker:0 ~root_seed ~limit ~deadline ~state
+              ~test ~is_failure ~emit
+          in
+          (state, tests, failures, errors))
+    in
+    let tel, cov = Domain.join writer in
+    Tel.merge_sink tel;
+    Cov.absorb cov;
+    let elapsed_ms = Tel.now_ms () -. t0 in
+    let report =
+      {
+        wr_worker = 0;
+        wr_tests = tests;
+        wr_failures = failures;
+        wr_errors = errors;
+        wr_dropped = !dropped;
+        wr_elapsed_ms = elapsed_ms;
+      }
+    in
+    record_worker_stats report;
+    (mk_stats ~jobs:1 ~elapsed_ms [ report ], [ finish state ])
+  end
   else begin
     let chan = Chan.create ~capacity:event_capacity ~producers:jobs () in
     let fault_ids = Faults.active_ids () in
@@ -138,7 +201,7 @@ let run ?jobs ?(is_failure = fun _ -> true)
          (journal events) is best-effort against the capacity bound, with
          every refusal counted — dropped, never silently discarded. *)
       let emit f =
-        if is_failure f then Chan.send chan f
+        if is_failure f || is_durable f then Chan.send chan f
         else if not (Chan.try_send chan f) then incr dropped
       in
       let state, tests, failures, errors =

@@ -51,7 +51,9 @@ val default_event_capacity : int
 val run :
   ?jobs:int ->
   ?is_failure:('f -> bool) ->
+  ?is_durable:('f -> bool) ->
   ?event_capacity:int ->
+  ?async_sink:bool ->
   root_seed:int ->
   budget:budget ->
   init:(worker:int -> 'w) ->
@@ -69,6 +71,14 @@ val run :
     domain for every delivered item, interleaved with the workers'
     progress.
 
+    [async_sink] (default [false]) only affects [jobs = 1]: when set, the
+    test loop still runs on the calling domain but [sink] — journal
+    writes, minimization, corpus I/O — is moved to a dedicated writer
+    domain fed through the same bounded channel the sharded path uses, so
+    slow verdict persistence overlaps generation instead of stalling it.
+    Delivery order matches the inline path's call order, so corpus bytes
+    are identical; the writer is joined before [run] returns.
+
     [is_failure] (default: everything) splits the emitted stream in two:
     failures are counted in [wr_failures] and sent unconditionally, while
     the rest — observability events — only count as tests' side traffic
@@ -76,6 +86,12 @@ val run :
     [event_capacity] undelivered items, so a slow consumer can never
     stall the fuzzing hot path.  At [jobs = 1] everything reaches [sink]
     synchronously and nothing is ever dropped.
+
+    [is_durable] (default: [is_failure]) marks additional items that must
+    ride the unconditional blocking send — delivered even when the
+    channel is saturated — without being counted in [wr_failures].  Use
+    it for per-index completion markers or other control messages whose
+    loss would corrupt downstream ordering.
 
     Exceptions raised by [test] are counted in [wr_errors] and the shard
     continues; exceptions from [init]/[finish] kill that worker and are

@@ -95,7 +95,9 @@ and hc_bin st e tag a b rebuild =
 
 let hc_state () =
   let st = Domain.DLS.get hc_key in
-  if Hashtbl.length st.nodes > hc_capacity then begin
+  if
+    Hashtbl.length st.nodes > hc_capacity || Phys.length st.meta > hc_capacity
+  then begin
     Hashtbl.reset st.nodes;
     Phys.reset st.meta
   end;
@@ -105,8 +107,41 @@ let intern e = fst (hc_intern (hc_state ()) e)
 let id e = snd (hc_intern (hc_state ()) e)
 let hash = id
 
+(* Constructor-side interning: look the (tag, child ids) key up directly
+   instead of allocating a candidate node and re-interning it.  On the hit
+   path this skips both the candidate allocation and its deep structural
+   hash, and — crucially — never records the duplicate in [meta].  That
+   matters beyond wasted memory: [meta] hashes keys *structurally* but
+   compares them *physically*, so every duplicate box of one structure
+   lands in the same bucket and can never be coalesced — each repeated
+   construction grew the chain by one, and every later lookup of that
+   structure walked the whole chain before missing.  [Const]s built by
+   [int] (the numel cap rebuilds the same constant on every probe) turned
+   this into a process-lifetime quadratic slowdown. *)
+let mk_node st key rebuild =
+  match Hashtbl.find_opt st.nodes key with
+  | Some (t, _) -> t
+  | None ->
+      let e = rebuild () in
+      let i = st.next_id in
+      st.next_id <- i + 1;
+      Hashtbl.add st.nodes key (e, i);
+      Phys.replace st.meta e (e, i);
+      e
+
+let mk_bin tag rebuild a b =
+  let st = hc_state () in
+  let a, ia = hc_intern st a in
+  let b, ib = hc_intern st b in
+  mk_node st (tag, ia, ib) (fun () -> rebuild a b)
+
+let mk_un tag rebuild a =
+  let st = hc_state () in
+  let a, ia = hc_intern st a in
+  mk_node st (tag, ia, 0) (fun () -> rebuild a)
+
 let fresh ?lo ?hi name = intern (Var (fresh_var ?lo ?hi name))
-let int n = intern (Const n)
+let int n = mk_node (hc_state ()) (0, n, 0) (fun () -> Const n)
 let zero = int 0
 let one = int 1
 
@@ -124,47 +159,47 @@ let ( + ) a b =
   match (a, b) with
   | Const x, Const y -> int (Stdlib.( + ) x y)
   | Const 0, e | e, Const 0 -> e
-  | _ -> intern (Add (a, b))
+  | _ -> mk_bin 2 (fun a b -> Add (a, b)) a b
 
 let ( - ) a b =
   match (a, b) with
   | Const x, Const y -> int (Stdlib.( - ) x y)
   | e, Const 0 -> e
-  | _ -> intern (Sub (a, b))
+  | _ -> mk_bin 3 (fun a b -> Sub (a, b)) a b
 
 let ( * ) a b =
   match (a, b) with
   | Const x, Const y -> int (Stdlib.( * ) x y)
   | Const 0, _ | _, Const 0 -> zero
   | Const 1, e | e, Const 1 -> e
-  | _ -> intern (Mul (a, b))
+  | _ -> mk_bin 4 (fun a b -> Mul (a, b)) a b
 
 let ( / ) a b =
   match (a, b) with
   | Const x, Const y when y <> 0 -> int (fdiv x y)
   | e, Const 1 -> e
-  | _ -> intern (Div (a, b))
+  | _ -> mk_bin 5 (fun a b -> Div (a, b)) a b
 
 let ( mod ) a b =
   match (a, b) with
   | Const x, Const y when y <> 0 -> int (fmod x y)
   | _, Const 1 -> zero
-  | _ -> intern (Mod (a, b))
+  | _ -> mk_bin 6 (fun a b -> Mod (a, b)) a b
 
 let neg = function
   | Const x -> int (Stdlib.( ~- ) x)
   | Neg e -> e
-  | e -> intern (Neg e)
+  | e -> mk_un 7 (fun a -> Neg a) e
 
 let min_ a b =
   match (a, b) with
   | Const x, Const y -> int (Stdlib.min x y)
-  | _ -> intern (Min (a, b))
+  | _ -> mk_bin 8 (fun a b -> Min (a, b)) a b
 
 let max_ a b =
   match (a, b) with
   | Const x, Const y -> int (Stdlib.max x y)
-  | _ -> intern (Max (a, b))
+  | _ -> mk_bin 9 (fun a b -> Max (a, b)) a b
 
 let product = List.fold_left ( * ) one
 let sum = List.fold_left ( + ) zero

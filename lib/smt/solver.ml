@@ -1,4 +1,5 @@
 module Imap = Map.Make (Int)
+module ISet = Set.Make (Int)
 module Tel = Nnsmith_telemetry.Telemetry
 
 type result = Sat | Unsat | Unknown
@@ -9,6 +10,49 @@ type l1_entry = {
   l1_result : result;
   l1_steps : int;
   l1_model : Model.t option;  (* the model found on Sat *)
+}
+
+(* One connected component of the assertion set.  [cs_items] pairs each
+   formula (multiplicity preserved) with its global position in the
+   assertion order — canonical keys serialize formulas in order, so the
+   interleaving must survive component merges.  [cs_out] is the
+   component's canonical solve outcome (result, model, steps, from-cache);
+   [None] marks a component restructured by a merge since it was last
+   solved.  Solving is a pure function of the component's canonical form,
+   so a missing outcome can be recomputed on demand without changing any
+   verdict, model or step count. *)
+type comp_state = {
+  mutable cs_items : (Formula.t * int) list;  (* ascending by position *)
+  mutable cs_vars : ISet.t;  (* variable ids; empty = the var-free bucket *)
+  mutable cs_out : (result * Model.t option * int * bool) option;
+}
+
+(* Memo of the component decomposition of the current assertion set,
+   valid only while [bm_epoch] matches the solver's epoch (same epoch =
+   same assertion content).  Seeded by a full Sat [check], then maintained
+   incrementally: model-reuse and L1-hit merges restructure the touched
+   components without solving anything, and a batched probe re-solves only
+   the components sharing variables with the probed constraints.
+
+   [bm_index] maps every variable of every memoized component to its
+   (current) component, and [bm_varfree] points at the variable-free
+   bucket, so finding the components a probe touches costs one lookup per
+   probe variable instead of a scan of the whole decomposition — the scan
+   dominated replay profiles.  [bm_comps] is kept newest-first (descending
+   by first position): the hot append path is then a prepend, and walks
+   reverse it once per probe. *)
+type batch_memo = {
+  mutable bm_epoch : int;
+  mutable bm_comps : comp_state list;  (* descending by first position *)
+  mutable bm_count : int;  (* assertions covered = next free position *)
+  bm_index : (int, comp_state) Hashtbl.t;  (* var id -> owning component *)
+  mutable bm_varfree : comp_state option;  (* the variable-free bucket *)
+  mutable bm_pending : (Formula.t * int) list;
+      (* committed but not yet decomposed, newest first: commits that
+         needed no solving (model reuse, L1 hits, bare asserts) queue
+         here in O(1), and the queue folds into [bm_comps] only when a
+         probe actually has to solve — the common all-reuse streak pays
+         nothing for memo upkeep *)
 }
 
 type t = {
@@ -24,6 +68,16 @@ type t = {
   mutable epoch_src : int;
   mutable epoch_stack : int list;  (* epochs saved by [push] *)
   l1 : (int * Formula.t list, l1_entry) Hashtbl.t;
+  mutable memo : batch_memo option;  (* decomposition of the current epoch *)
+  (* Model-validity chain: while [vchain] matches [epoch], the assertion
+     set is (a validated prefix that [cached_model] satisfies and whose
+     variables it binds) plus [pending] (asserted since, newest first).
+     Model reuse then only needs to evaluate [pending] and the probe —
+     the same decision, and the same extended model, as evaluating the
+     whole assertion list.  Maintained whether or not batching is on: it
+     is a pure shortcut inside the reuse step, not a semantic change. *)
+  mutable vchain : int;
+  mutable pending : Formula.t list;
 }
 
 let l1_capacity = 2048
@@ -41,7 +95,16 @@ let create ?(max_steps = 2000) ?seed:_ () =
     epoch_src = 0;
     epoch_stack = [];
     l1 = Hashtbl.create 64;
+    memo = None;
+    vchain = -1;
+    pending = [];
   }
+
+(* [cached_model] is known to satisfy every current assertion (and to bind
+   every variable occurring in them): restart the validity chain here. *)
+let validate s =
+  s.vchain <- s.epoch;
+  s.pending <- []
 
 let fresh_epoch s =
   s.epoch_src <- s.epoch_src + 1;
@@ -66,15 +129,6 @@ let pop s =
           s.epoch_stack <- es
       | [] -> ())
 
-let assert_ s f =
-  Tel.incr "smt/assert";
-  match s.frames with
-  | frame :: rest ->
-      s.frames <- (f :: frame) :: rest;
-      s.epoch <- fresh_epoch s
-  | [] -> assert false
-
-let assert_all s fs = List.iter (assert_ s) fs
 let assertions s = List.concat_map List.rev (List.rev s.frames)
 
 (* ------------------------------------------------------------------ *)
@@ -647,6 +701,13 @@ let cache_flag = Atomic.make true
 let set_cache_enabled b = Atomic.set cache_flag b
 let cache_enabled () = Atomic.get cache_flag
 
+(* Batched incremental frames: like the caches, the switch is global (one
+   [--no-batch] flag governs every worker domain) while the memoized
+   decompositions live on individual solvers. *)
+let batch_flag = Atomic.make true
+let set_batch_enabled b = Atomic.set batch_flag b
+let batch_enabled () = Atomic.get batch_flag
+
 let set_cache_capacity n =
   let dc = dcache () in
   dc.lru.Lru.cap <- max 0 n;
@@ -805,99 +866,293 @@ let hydrate_entry (e : Lru.entry) vars fs :
           Some (Sat, Some m, e.e_steps)
         else None
 
+(* Solve one component: L2 lookup first, fresh solve + store on a miss.
+   Returns whether the component was answered from cache so the whole
+   check can be bucketed hit/miss honestly. *)
+let solve_component s dc comp : result * Model.t option * int * bool =
+  let key, vars = canonical_key ~max_steps:s.max_steps comp in
+  let cached =
+    if cache_enabled () then
+      match Lru.find dc.lru key with
+      | Some e -> hydrate_entry e vars comp
+      | None -> None
+    else None
+  in
+  match cached with
+  | Some (result, m, steps) ->
+      dc.hits <- dc.hits + 1;
+      Tel.incr "smt/cache/hit_canon";
+      (result, m, steps, true)
+  | None ->
+      dc.misses <- dc.misses + 1;
+      Tel.incr "smt/cache/miss";
+      let rng = Random.State.make [| hash_key key |] in
+      let result, m, steps =
+        solve_formulas ~max_steps:s.max_steps ~rng ~vars comp
+      in
+      if cache_enabled () then begin
+        let values =
+          match m with
+          | Some m ->
+              Array.of_list
+                (List.map
+                   (fun v ->
+                     match Model.find m v with Some n -> n | None -> v.Expr.lo)
+                   vars)
+          | None -> [||]
+        in
+        let ev =
+          Lru.add dc.lru key
+            { Lru.e_result = result; e_steps = steps; e_values = values }
+        in
+        if ev > 0 then begin
+          dc.evictions <- dc.evictions + ev;
+          Tel.incr ~by:ev "smt/cache/evict"
+        end
+      end;
+      (result, m, steps, false)
+
+let finish_check s ~t0 ~bucket result =
+  if Tel.is_enabled () then begin
+    let dt = Tel.now_ms () -. t0 in
+    Tel.observe "smt/solve_ms" dt;
+    Tel.observe ("smt/solve_ms/" ^ bucket) dt;
+    Tel.observe
+      ("smt/solve_ms/" ^ bucket ^ "_"
+      ^ (match result with
+        | Sat -> "sat"
+        | Unsat -> "unsat"
+        | Unknown -> "unknown"))
+      dt;
+    Tel.observe "smt/steps" (float_of_int s.last_steps);
+    match result with
+    | Unknown -> Tel.incr "smt/unknown"
+    | Unsat -> Tel.incr "smt/unsat"
+    | Sat -> Tel.incr "smt/sat"
+  end;
+  result
+
+let vars_of_comp comp =
+  List.fold_left
+    (fun acc f ->
+      List.fold_left
+        (fun acc (v : Expr.var) -> ISet.add v.id acc)
+        acc (fvars f))
+    ISet.empty comp
+
+let cs_pos c = match c.cs_items with (_, p) :: _ -> p | [] -> max_int
+
+(* Decompose positioned formulas into component states (outcomes unset).
+   Component order, per-component formula order and multiplicity all match
+   [components] on the bare formula list; duplicate physical formulas land
+   in the same bucket, so the first-wins index is total. *)
+let comp_states_of_items (items : (Formula.t * int) list) : comp_state list =
+  let buckets = components (List.map fst items) in
+  let idx : int FPhys.t = FPhys.create 32 in
+  List.iteri
+    (fun i b ->
+      List.iter (fun f -> if not (FPhys.mem idx f) then FPhys.add idx f i) b)
+    buckets;
+  let arr = Array.make (List.length buckets) [] in
+  List.iter
+    (fun ((f, _) as it) ->
+      let i = FPhys.find idx f in
+      arr.(i) <- it :: arr.(i))
+    items;
+  List.init (Array.length arr) (fun i ->
+      let its = List.rev arr.(i) in
+      {
+        cs_items = its;
+        cs_vars = vars_of_comp (List.map fst its);
+        cs_out = None;
+      })
+
+(* Point every variable of [c] (and the var-free slot, if [c] is the
+   var-free bucket) at [c].  Registering a merged component overwrites the
+   stale entries of the components it replaced — variables never leave the
+   assertion set, so no entry ever needs deleting. *)
+let register bm c =
+  if ISet.is_empty c.cs_vars then bm.bm_varfree <- Some c
+  else ISet.iter (fun id -> Hashtbl.replace bm.bm_index id c) c.cs_vars
+
+(* The components sharing a variable with the probe (plus the var-free
+   bucket for a probe with a var-free formula), via the index: one lookup
+   per probe variable.  Physical dedup — a component owns many vars. *)
+let touched_comps bm pvars p_varfree =
+  let acc = ref [] in
+  ISet.iter
+    (fun id ->
+      match Hashtbl.find_opt bm.bm_index id with
+      | Some c -> if not (List.memq c !acc) then acc := c :: !acc
+      | None -> ())
+    pvars;
+  (match bm.bm_varfree with
+  | Some c when p_varfree -> if not (List.memq c !acc) then acc := c :: !acc
+  | _ -> ());
+  !acc
+
+(* Insert into a descending-by-first-position list. *)
+let rec insert_desc c = function
+  | [] -> [ c ]
+  | hd :: tl as l -> if cs_pos c >= cs_pos hd then c :: l else hd :: insert_desc c tl
+
+(* Positioned sub-decomposition input for merging [touched] with the probe:
+   global assertion order (touched prefix formulas interleaved by position,
+   then the probe), so canonical keys — which number variables by first
+   occurrence — match the full check's. *)
+let sub_items_of touched probe_items =
+  List.sort
+    (fun ((_ : Formula.t), a) (_, b) -> compare (a : int) b)
+    (List.concat_map (fun c -> c.cs_items) touched)
+  @ probe_items
+
+let memo_of_states s states count =
+  let bm =
+    {
+      bm_epoch = s.epoch;
+      bm_comps = List.rev states;
+      bm_count = count;
+      bm_index = Hashtbl.create 64;
+      bm_varfree = None;
+      bm_pending = [];
+    }
+  in
+  List.iter (register bm) states;
+  bm
+
+(* O(1) memo upkeep for a commit that required no solving: assign the
+   new formulas their global positions and queue them.  The expensive
+   part — connectivity, variable sets, list surgery — is deferred to
+   [memo_flush], which runs only when a later probe actually needs the
+   decomposition.  Replay-shaped workloads commit long streaks of
+   model-reuse probes between solves, and eagerly decomposing each one
+   cost more than the unbatched path's whole check. *)
+let memo_defer s bm fs =
+  let items = List.mapi (fun i f -> (f, bm.bm_count + i)) fs in
+  bm.bm_pending <- List.rev_append items bm.bm_pending;
+  bm.bm_count <- bm.bm_count + List.length fs;
+  bm.bm_epoch <- s.epoch
+
+(* Fold the queued commits into the decomposition without solving:
+   components sharing variables with the queue merge with it (and lose
+   their outcome — it no longer describes the merged component), the
+   rest carry over untouched with their memoized outcomes.  Folding the
+   whole queue at once yields the same decomposition as absorbing each
+   commit as it happened — [comp_states_of_items] computes the exact
+   connected components of whatever it is given, and every queued
+   position exceeds every memoized one. *)
+let memo_flush bm =
+  match bm.bm_pending with
+  | [] -> ()
+  | pending ->
+      Tel.with_span "smt/absorb" @@ fun () ->
+      let items = List.rev pending in
+      bm.bm_pending <- [];
+      let fs = List.map fst items in
+      let pvars = vars_of_comp fs in
+      let p_varfree = List.exists (fun f -> fvars f = []) fs in
+      (match (touched_comps bm pvars p_varfree, items) with
+      | [], [ it ] ->
+          (* fresh single assert (placeholder dims): one new component,
+             highest position — prepend *)
+          let c = { cs_items = [ it ]; cs_vars = pvars; cs_out = None } in
+          register bm c;
+          bm.bm_comps <- c :: bm.bm_comps
+      | [], _ ->
+          let cs = comp_states_of_items items in
+          List.iter (register bm) cs;
+          bm.bm_comps <- List.rev_append cs bm.bm_comps
+      | [ c0 ], [ it ] ->
+          (* single assert into one existing component: the union is
+             connected, the new position exceeds all of [c0]'s, and
+             [c0]'s first position (its place in the walk order) is
+             unchanged — extend the component in place, no list surgery *)
+          c0.cs_items <- c0.cs_items @ [ it ];
+          c0.cs_vars <- ISet.union c0.cs_vars pvars;
+          c0.cs_out <- None;
+          ISet.iter (fun id -> Hashtbl.replace bm.bm_index id c0) pvars
+      | touched, _ ->
+          bm.bm_comps <-
+            List.filter (fun c -> not (List.memq c touched)) bm.bm_comps;
+          let cs = comp_states_of_items (sub_items_of touched items) in
+          List.iter (register bm) cs;
+          bm.bm_comps <-
+            List.fold_left (fun l c -> insert_desc c l) bm.bm_comps cs)
+
+(* [assert_] lives below the memo machinery so unchecked asserts can keep
+   both incremental structures alive: the formula extends the validity
+   chain's [pending] delta (the model has not been re-validated against
+   it) and is absorbed into the component decomposition without solving. *)
+let assert_ s f =
+  Tel.incr "smt/assert";
+  match s.frames with
+  | frame :: rest ->
+      let chain = s.vchain = s.epoch in
+      let memo =
+        if batch_enabled () then
+          match s.memo with
+          | Some bm when bm.bm_epoch = s.epoch -> Some bm
+          | _ -> None
+        else None
+      in
+      s.frames <- (f :: frame) :: rest;
+      s.epoch <- fresh_epoch s;
+      if chain then begin
+        s.pending <- f :: s.pending;
+        s.vchain <- s.epoch
+      end;
+      (match memo with Some bm -> memo_defer s bm [ f ] | None -> ())
+  | [] -> assert false
+
+let assert_all s fs = List.iter (assert_ s) fs
+
 let check s =
   Tel.with_span "smt/check" (fun () ->
       Tel.incr "smt/check";
       let t0 = if Tel.is_enabled () then Tel.now_ms () else 0. in
-      let fs = assertions s in
-      let finish ~bucket result =
-        if Tel.is_enabled () then begin
-          let dt = Tel.now_ms () -. t0 in
-          Tel.observe "smt/solve_ms" dt;
-          Tel.observe ("smt/solve_ms/" ^ bucket) dt;
-          Tel.observe
-            ("smt/solve_ms/" ^ bucket ^ "_"
-            ^ (match result with
-              | Sat -> "sat"
-              | Unsat -> "unsat"
-              | Unknown -> "unknown"))
-            dt;
-          Tel.observe "smt/steps" (float_of_int s.last_steps);
-          match result with
-          | Unknown -> Tel.incr "smt/unknown"
-          | Unsat -> Tel.incr "smt/unsat"
-          | Sat -> Tel.incr "smt/sat"
-        end;
-        result
-      in
-      match reuse_model s.cached_model fs with
+      (* With an intact validity chain, reuse only needs to evaluate the
+         formulas asserted since the model was last validated — it decides
+         (and extends the model) exactly as evaluating everything would. *)
+      let chain = s.vchain = s.epoch in
+      let reuse_fs = if chain then List.rev s.pending else assertions s in
+      match reuse_model s.cached_model reuse_fs with
       | Some m ->
           s.cached_model <- Some m;
           s.last_steps <- 0;
+          validate s;
           Tel.incr "smt/model_reuse";
-          finish ~bucket:"hit" Sat
+          (* Reuse proves [cached_model] satisfies the whole set — enough
+             to seed the batch memo structurally.  Outcomes stay unset;
+             later probes solve components on demand. *)
+          (if batch_enabled () then
+             match s.memo with
+             | Some bm when bm.bm_epoch = s.epoch -> ()
+             | _ ->
+                 let fs = assertions s in
+                 s.memo <-
+                   Some
+                     (memo_of_states s
+                        (comp_states_of_items (List.mapi (fun i f -> (f, i)) fs))
+                        (List.length fs)));
+          finish_check s ~t0 ~bucket:"hit" Sat
       | None ->
+          let fs = assertions s in
           let dc = dcache () in
-          (* Solve one component: L2 lookup first, fresh solve + store on a
-             miss.  Returns whether the component was answered from cache
-             so the whole check can be bucketed hit/miss honestly. *)
-          let solve_component comp : result * Model.t option * int * bool =
-            let key, vars = canonical_key ~max_steps:s.max_steps comp in
-            let cached =
-              if cache_enabled () then
-                match Lru.find dc.lru key with
-                | Some e -> hydrate_entry e vars comp
-                | None -> None
-              else None
-            in
-            match cached with
-            | Some (result, m, steps) ->
-                dc.hits <- dc.hits + 1;
-                Tel.incr "smt/cache/hit_canon";
-                (result, m, steps, true)
-            | None ->
-                dc.misses <- dc.misses + 1;
-                Tel.incr "smt/cache/miss";
-                let rng = Random.State.make [| hash_key key |] in
-                let result, m, steps =
-                  solve_formulas ~max_steps:s.max_steps ~rng ~vars comp
-                in
-                if cache_enabled () then begin
-                  let values =
-                    match m with
-                    | Some m ->
-                        Array.of_list
-                          (List.map
-                             (fun v ->
-                               match Model.find m v with
-                               | Some n -> n
-                               | None -> v.Expr.lo)
-                             vars)
-                    | None -> [||]
-                  in
-                  let ev =
-                    Lru.add dc.lru key
-                      {
-                        Lru.e_result = result;
-                        e_steps = steps;
-                        e_values = values;
-                      }
-                  in
-                  if ev > 0 then begin
-                    dc.evictions <- dc.evictions + ev;
-                    Tel.incr ~by:ev "smt/cache/evict"
-                  end
-                end;
-                (result, m, steps, false)
-          in
           (* Components are solved in deterministic order; the first
              non-Sat one decides the verdict.  Component models are
              variable-disjoint, so their union satisfies the whole set. *)
+          let states =
+            comp_states_of_items (List.mapi (fun i f -> (f, i)) fs)
+          in
           let rec go model steps all_hit = function
             | [] -> (Sat, Some model, steps, all_hit)
-            | comp :: rest -> (
-                match solve_component comp with
-                | Sat, m, st, hit ->
+            | c :: rest -> (
+                let ((r, m, st, hit) as out) =
+                  solve_component s dc (List.map fst c.cs_items)
+                in
+                c.cs_out <- Some out;
+                match r with
+                | Sat ->
                     let model =
                       match m with
                       | None -> model
@@ -907,12 +1162,17 @@ let check s =
                             model (Model.bindings m)
                     in
                     go model (steps + st) (all_hit && hit) rest
-                | result, _, st, hit -> (result, None, steps + st, all_hit && hit))
+                | _ -> (r, None, steps + st, all_hit && hit))
           in
-          let result, m, steps, all_hit = go Model.empty 0 true (components fs) in
+          let result, m, steps, all_hit = go Model.empty 0 true states in
           s.last_steps <- steps;
           (match m with Some _ -> s.cached_model <- m | None -> ());
-          finish ~bucket:(if all_hit then "hit" else "miss") result)
+          if result = Sat then validate s;
+          (* Memoize only on Sat: the memo's probe fast path assumes
+             [cached_model] satisfies the whole assertion set. *)
+          if result = Sat && batch_enabled () then
+            s.memo <- Some (memo_of_states s states (List.length fs));
+          finish_check s ~t0 ~bucket:(if all_hit then "hit" else "miss") result)
 
 (* Record a [try_add_constraints] outcome in the solver's L1 frame cache:
    keyed by the frame-stack epoch the probe ran against plus the normalized
@@ -932,6 +1192,131 @@ let l1_record s epoch fs result =
     Hashtbl.replace s.l1 (epoch, fs) entry
   end
 
+(* Keep the probed constraints: append them to the top frame (same final
+   content as push + assert + merge) and mint the epoch for the new state. *)
+let commit_probe s fs =
+  (match s.frames with
+  | top :: rest -> s.frames <- List.rev_append fs top :: rest
+  | [] -> assert false);
+  s.epoch <- fresh_epoch s
+
+(* Batched incremental probe: answer a [try_add_constraints] miss against
+   the memoized component decomposition of the shared frame prefix,
+   re-solving only the components that share variables with the probed
+   constraints instead of re-decomposing and re-solving the whole
+   assertion set.  Bit-identity with the unbatched push/check/pop path
+   rests on the same facts as the solve caches: components are
+   variable-disjoint, a component's solve is a pure function of its
+   canonical form, and the full model is the union of the component
+   models — so the verdict, the resulting model, the step count and the
+   L1 entry recorded here are exactly what the full re-check would have
+   produced.  Handles all solver-state updates itself and returns the
+   [try_add_constraints] verdict. *)
+let batched_probe s (bm : batch_memo) fs epoch0 =
+  Tel.with_span "smt/check" (fun () ->
+      Tel.incr "smt/check";
+      Tel.incr "smt/batched_probe";
+      let t0 = if Tel.is_enabled () then Tel.now_ms () else 0. in
+      (* Reuse the cached model over the probe plus the validity chain's
+         pending delta — the same decision, and the same extended model,
+         as the unbatched path's reuse over the whole assertion list. *)
+      let reuse_fs =
+        if s.vchain = s.epoch then List.rev_append s.pending fs
+        else assertions s @ fs
+      in
+      match reuse_model s.cached_model reuse_fs with
+      | Some m ->
+          s.cached_model <- Some m;
+          s.last_steps <- 0;
+          Tel.incr "smt/model_reuse";
+          ignore (finish_check s ~t0 ~bucket:"hit" Sat);
+          commit_probe s fs;
+          memo_defer s bm fs;
+          validate s;
+          l1_record s epoch0 fs Sat;
+          true
+      | None ->
+          let dc = dcache () in
+          memo_flush bm;
+          let pvars = vars_of_comp fs in
+          let p_varfree = List.exists (fun f -> fvars f = []) fs in
+          let touched = touched_comps bm pvars p_varfree in
+          let untouched =
+            match touched with
+            | [] -> bm.bm_comps
+            | _ -> List.filter (fun c -> not (List.memq c touched)) bm.bm_comps
+          in
+          let probe_items = List.mapi (fun i f -> (f, bm.bm_count + i)) fs in
+          let news = comp_states_of_items (sub_items_of touched probe_items) in
+          (* full walk order: ascending merge of the untouched components
+             (kept descending) with the merged sub-decomposition *)
+          let rec merge_asc a b =
+            match (a, b) with
+            | [], l | l, [] -> l
+            | x :: xs, y :: ys ->
+                if cs_pos x <= cs_pos y then x :: merge_asc xs b
+                else y :: merge_asc a ys
+          in
+          let all = merge_asc (List.rev untouched) news in
+          (* Walk every component in full assertion order, exactly as the
+             unbatched check's component loop: memoized outcomes answer
+             for the components the probe left alone, everything else
+             (merged by the probe, or dirtied by an earlier merge) solves
+             now and records its canonical outcome.  The first non-Sat
+             component decides, and on-demand solves stop there too. *)
+          let rec walk model steps all_hit = function
+            | [] -> (Sat, Some model, steps, all_hit)
+            | c :: rest -> (
+                let r, m, st, hit =
+                  match c.cs_out with
+                  | Some out -> out
+                  | None ->
+                      let out =
+                        solve_component s dc (List.map fst c.cs_items)
+                      in
+                      c.cs_out <- Some out;
+                      out
+                in
+                match r with
+                | Sat ->
+                    let model =
+                      match m with
+                      | None -> model
+                      | Some m ->
+                          List.fold_left
+                            (fun acc (v, n) -> Model.add v n acc)
+                            model (Model.bindings m)
+                    in
+                    walk model (steps + st) (all_hit && hit) rest
+                | _ -> (r, None, steps + st, all_hit && hit))
+          in
+          let result, m, steps, all_hit = walk Model.empty 0 true all in
+          s.last_steps <- steps;
+          let bucket = if all_hit then "hit" else "miss" in
+          (match result with
+          | Sat ->
+              (match m with Some _ -> s.cached_model <- m | None -> ());
+              ignore (finish_check s ~t0 ~bucket Sat);
+              commit_probe s fs;
+              (* Successor memo: the walk already solved the merged
+                 components, so [all] is the fully-solved decomposition of
+                 the merged assertion set. *)
+              bm.bm_comps <- List.rev all;
+              List.iter (register bm) news;
+              bm.bm_count <- bm.bm_count + List.length fs;
+              bm.bm_epoch <- s.epoch;
+              validate s;
+              l1_record s epoch0 fs Sat;
+              true
+          | (Unsat | Unknown) as r ->
+              (* Probe rolled back: prefix components (including any just
+                 solved on demand — their outcomes are prefix facts) stay
+                 memoized; the merged sub components are discarded with
+                 [all]. *)
+              ignore (finish_check s ~t0 ~bucket r);
+              l1_record s epoch0 fs r;
+              false))
+
 let try_add_constraints s fs =
   let fs = Formula.normalize fs in
   let hit =
@@ -948,35 +1333,70 @@ let try_add_constraints s fs =
           (match e.l1_model with
           | Some m -> s.cached_model <- Some m
           | None -> ());
-          (match s.frames with
-          | top :: rest -> s.frames <- List.rev_append fs top :: rest
-          | [] -> assert false);
-          s.epoch <- fresh_epoch s;
+          let memo =
+            if batch_enabled () then
+              match s.memo with
+              | Some bm when bm.bm_epoch = s.epoch -> Some bm
+              | _ -> None
+            else None
+          in
+          commit_probe s fs;
+          (* The L1 model was recorded against this same epoch + probe, so
+             the new [cached_model] satisfies the merged set (and binds
+             its variables): the memo can absorb the probe structurally
+             and the validity chain restarts here. *)
+          (match (memo, e.l1_model) with
+          | Some bm, Some _ -> memo_defer s bm fs
+          | _ -> ());
+          (match e.l1_model with Some _ -> validate s | None -> ());
           true
       | Unsat | Unknown -> false)
   | None -> (
       let epoch0 = s.epoch in
-      push s;
-      assert_all s fs;
-      match check s with
-      | Sat ->
-          (* merge the tentative frame into its parent so the constraints
-             stay; drop (without restoring) the epoch saved by [push] since
-             the merged content is a new state *)
-          (match s.frames with
-          | tentative :: parent :: rest ->
-              s.frames <- (tentative @ parent) :: rest
-          | [] | [ _ ] -> assert false);
-          (match s.epoch_stack with
-          | _ :: es -> s.epoch_stack <- es
-          | [] -> ());
-          s.epoch <- fresh_epoch s;
-          l1_record s epoch0 fs Sat;
-          true
-      | (Unsat | Unknown) as r ->
-          pop s;
-          l1_record s epoch0 fs r;
-          false)
+      let memo =
+        if batch_enabled () then
+          match s.memo with
+          | Some bm when bm.bm_epoch = epoch0 -> Some bm
+          | _ -> None
+        else None
+      in
+      match memo with
+      | Some bm -> batched_probe s bm fs epoch0
+      | None -> (
+          let vchain0 = s.vchain and pending0 = s.pending in
+          push s;
+          assert_all s fs;
+          let espec = s.epoch in
+          match check s with
+          | Sat ->
+              (* merge the tentative frame into its parent so the
+                 constraints stay; drop (without restoring) the epoch saved
+                 by [push] since the merged content is a new state *)
+              (match s.frames with
+              | tentative :: parent :: rest ->
+                  s.frames <- (tentative @ parent) :: rest
+              | [] | [ _ ] -> assert false);
+              (match s.epoch_stack with
+              | _ :: es -> s.epoch_stack <- es
+              | [] -> ());
+              s.epoch <- fresh_epoch s;
+              (* the merge leaves the assertion set the check just proved,
+                 so a memo recorded by that check stays valid under the new
+                 epoch, and the model it validated stays validated *)
+              (match s.memo with
+              | Some bm when bm.bm_epoch = espec -> bm.bm_epoch <- s.epoch
+              | _ -> ());
+              validate s;
+              l1_record s epoch0 fs Sat;
+              true
+          | (Unsat | Unknown) as r ->
+              pop s;
+              (* the rolled-back state is exactly the one the saved chain
+                 described, and a non-Sat check never touches the model *)
+              s.vchain <- vchain0;
+              s.pending <- pending0;
+              l1_record s epoch0 fs r;
+              false))
 
 let model s = s.cached_model
 let check_steps s = s.last_steps

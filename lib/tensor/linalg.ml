@@ -44,7 +44,7 @@ let matmul_into ~dst a b =
           let bv = Nd.to_float b (ob (((bi * k) + l) * n + j)) in
           acc := !acc +. (av *. bv)
         done;
-        out_data.((((bi * m) + i) * n) + j) <- Dtype.normalize_float dtype !acc
+        out_data.{(((bi * m) + i) * n) + j} <- Dtype.normalize_float dtype !acc
       done
     done
   done

@@ -1,5 +1,18 @@
-type data = F of float array | I of int array | B of bool array
+(* Float storage is a Bigarray: unboxed 64-bit elements outside the OCaml
+   heap, so tensor payloads are invisible to the GC (no scanning, no minor-heap
+   churn from kernel temporaries).  Both F32 and F64 tensors store float64
+   elements — F32 values are rounded through [Dtype.round_f32] at every write
+   site, exactly as the boxed representation did, so all bit-identity
+   properties are preserved.  Int/bool tensors stay boxed: they are small,
+   rare, and never on the kernel hot path. *)
+type farray = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type data = F of farray | I of int array | B of bool array
 type t = { dtype : Dtype.t; shape : Shape.t; data : data }
+
+let fcreate n : farray = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n
+
+let empty_f : farray = fcreate 0
 
 let numel t = Shape.numel t.shape
 let rank t = Shape.rank t.shape
@@ -10,7 +23,10 @@ let create dtype shape =
   let n = Shape.numel shape in
   let data =
     match dtype with
-    | Dtype.F32 | F64 -> F (Array.make n 0.)
+    | Dtype.F32 | F64 ->
+        let a = fcreate n in
+        Bigarray.Array1.fill a 0.;
+        F a
     | I32 | I64 -> I (Array.make n 0)
     | Bool -> B (Array.make n false)
   in
@@ -19,7 +35,11 @@ let create dtype shape =
 let init_f dtype shape f =
   if not (Dtype.is_float dtype) then invalid_arg "Nd.init_f: not a float dtype";
   let n = Shape.numel shape in
-  { dtype; shape; data = F (Array.init n (fun i -> Dtype.normalize_float dtype (f i))) }
+  let a = fcreate n in
+  for i = 0 to n - 1 do
+    a.{i} <- Dtype.normalize_float dtype (f i)
+  done;
+  { dtype; shape; data = F a }
 
 let init_i dtype shape f =
   if not (Dtype.is_int dtype) then invalid_arg "Nd.init_i: not an int dtype";
@@ -50,7 +70,10 @@ let of_ints dtype shape a =
 let copy t =
   let data =
     match t.data with
-    | F a -> F (Array.copy a)
+    | F a ->
+        let b = fcreate (Bigarray.Array1.dim a) in
+        Bigarray.Array1.blit a b;
+        F b
     | I a -> I (Array.copy a)
     | B a -> B (Array.copy a)
   in
@@ -58,12 +81,12 @@ let copy t =
 
 let get_f t i =
   match t.data with
-  | F a -> a.(i)
+  | F a -> a.{i}
   | I _ | B _ -> invalid_arg "Nd.get_f: not a float tensor"
 
 let set_f t i v =
   match t.data with
-  | F a -> a.(i) <- Dtype.normalize_float t.dtype v
+  | F a -> a.{i} <- Dtype.normalize_float t.dtype v
   | I _ | B _ -> invalid_arg "Nd.set_f: not a float tensor"
 
 let get_i t i =
@@ -88,14 +111,14 @@ let set_b t i v =
 
 let to_float t i =
   match t.data with
-  | F a -> a.(i)
+  | F a -> a.{i}
   | I a -> float_of_int a.(i)
   | B a -> if a.(i) then 1. else 0.
 
 let to_int t i =
   match t.data with
   | F a ->
-      let x = a.(i) in
+      let x = a.{i} in
       if Float.is_nan x then 0 else int_of_float (Float.trunc x)
   | I a -> a.(i)
   | B a -> if a.(i) then 1 else 0
@@ -105,6 +128,11 @@ let float_data t =
   | F a -> a
   | I _ | B _ -> invalid_arg "Nd.float_data: not a float tensor"
 
+let float_array t =
+  match t.data with
+  | F a -> Array.init (Bigarray.Array1.dim a) (fun i -> a.{i})
+  | I _ | B _ -> invalid_arg "Nd.float_array: not a float tensor"
+
 (* ------------------------------------------------------------------ *)
 (* Destination-passing primitives.  These write through [set_f]/[set_i],
    so results are normalised exactly as the allocating constructors
@@ -113,7 +141,7 @@ let float_data t =
 
 let fill_f t v =
   match t.data with
-  | F a -> Array.fill a 0 (Array.length a) (Dtype.normalize_float t.dtype v)
+  | F a -> Bigarray.Array1.fill a (Dtype.normalize_float t.dtype v)
   | I _ | B _ -> invalid_arg "Nd.fill_f: not a float tensor"
 
 let blit_into ~src ~dst =
@@ -122,7 +150,7 @@ let blit_into ~src ~dst =
   if not (Shape.equal src.shape dst.shape) then
     invalid_arg "Nd.blit_into: shape mismatch";
   match (src.data, dst.data) with
-  | F a, F b -> Array.blit a 0 b 0 (Array.length a)
+  | F a, F b -> Bigarray.Array1.blit a b
   | I a, I b -> Array.blit a 0 b 0 (Array.length a)
   | B a, B b -> Array.blit a 0 b 0 (Array.length a)
   | (F _ | I _ | B _), _ -> invalid_arg "Nd.blit_into: representation mismatch"
@@ -133,7 +161,7 @@ let copy_data_into ~src ~dst =
   if numel src <> numel dst then
     invalid_arg "Nd.copy_data_into: size mismatch";
   match (src.data, dst.data) with
-  | F a, F b -> Array.blit a 0 b 0 (Array.length a)
+  | F a, F b -> Bigarray.Array1.blit a b
   | I a, I b -> Array.blit a 0 b 0 (Array.length a)
   | B a, B b -> Array.blit a 0 b 0 (Array.length a)
   | (F _ | I _ | B _), _ ->
@@ -142,37 +170,37 @@ let copy_data_into ~src ~dst =
 let map_into f src ~dst =
   match dst.data with
   | F out ->
-      let n = Array.length out in
+      let n = Bigarray.Array1.dim out in
       if numel src <> n then invalid_arg "Nd.map_into: size mismatch";
       let dt = dst.dtype in
       for i = 0 to n - 1 do
-        out.(i) <- Dtype.normalize_float dt (f (to_float src i))
+        out.{i} <- Dtype.normalize_float dt (f (to_float src i))
       done
   | I _ | B _ -> invalid_arg "Nd.map_into: not a float destination"
 
 let map2_into ?oa ?ob f a b ~dst =
   match dst.data with
   | F out ->
-      let n = Array.length out in
+      let n = Bigarray.Array1.dim out in
       let dt = dst.dtype in
       (match (oa, ob) with
       | None, None ->
           for i = 0 to n - 1 do
-            out.(i) <- Dtype.normalize_float dt (f (to_float a i) (to_float b i))
+            out.{i} <- Dtype.normalize_float dt (f (to_float a i) (to_float b i))
           done
       | Some ma, None ->
           for i = 0 to n - 1 do
-            out.(i) <-
+            out.{i} <-
               Dtype.normalize_float dt (f (to_float a ma.(i)) (to_float b i))
           done
       | None, Some mb ->
           for i = 0 to n - 1 do
-            out.(i) <-
+            out.{i} <-
               Dtype.normalize_float dt (f (to_float a i) (to_float b mb.(i)))
           done
       | Some ma, Some mb ->
           for i = 0 to n - 1 do
-            out.(i) <-
+            out.{i} <-
               Dtype.normalize_float dt
                 (f (to_float a ma.(i)) (to_float b mb.(i)))
           done)
@@ -295,12 +323,19 @@ let is_bad = bad
 let count_bad t =
   match t.data with
   | F a ->
-      Array.fold_left (fun acc x -> if bad x then acc + 1 else acc) 0 a
+      let acc = ref 0 in
+      for i = 0 to Bigarray.Array1.dim a - 1 do
+        if bad a.{i} then incr acc
+      done;
+      !acc
   | I _ | B _ -> 0
 
 let has_bad t =
   match t.data with
-  | F a -> Array.exists bad a
+  | F a ->
+      let n = Bigarray.Array1.dim a in
+      let rec go i = i < n && (bad a.{i} || go (i + 1)) in
+      go 0
   | I _ | B _ -> false
 
 let max_abs t =
@@ -358,15 +393,63 @@ let random_i rng dtype shape ~lo ~hi =
 
 let random_b rng shape = init_b shape (fun _ -> Random.State.bool rng)
 
+(* In-place refills for the gradient search's restart loop: identical draw
+   order and normalization to [random_f]/[random_i]/[random_b]/[full_*]
+   (ascending element index, one draw per element), so refilling a live
+   tensor consumes the rng stream exactly as allocating a fresh one would.
+   [dst] must already have the target dtype and shape. *)
+
+let refill_f_into rng ~lo ~hi (dst : t) =
+  match dst.data with
+  | F a ->
+      let n = Shape.numel dst.shape in
+      for i = 0 to n - 1 do
+        a.{i} <-
+          Dtype.normalize_float dst.dtype (lo +. Random.State.float rng (hi -. lo))
+      done
+  | _ -> invalid_arg "Nd.refill_f_into: not a float tensor"
+
+let refill_i_into rng ~lo ~hi (dst : t) =
+  match dst.data with
+  | I a ->
+      let n = Shape.numel dst.shape in
+      for i = 0 to n - 1 do
+        a.(i) <-
+          Dtype.normalize_int dst.dtype
+            (lo + Random.State.int rng (max 1 (hi - lo + 1)))
+      done
+  | _ -> invalid_arg "Nd.refill_i_into: not an int tensor"
+
+let refill_b_into rng (dst : t) =
+  match dst.data with
+  | B a ->
+      let n = Shape.numel dst.shape in
+      for i = 0 to n - 1 do
+        a.(i) <- Random.State.bool rng
+      done
+  | _ -> invalid_arg "Nd.refill_b_into: not a bool tensor"
+
+let fill_const_into v (dst : t) =
+  match dst.data with
+  | F a ->
+      let v = Dtype.normalize_float dst.dtype v in
+      Bigarray.Array1.fill a v
+  | I a -> Array.fill a 0 (Array.length a) (Dtype.normalize_int dst.dtype (int_of_float v))
+  | B a -> Array.fill a 0 (Array.length a) (v <> 0.)
+
 let equal a b =
   Dtype.equal a.dtype b.dtype && Shape.equal a.shape b.shape
   &&
   match (a.data, b.data) with
   | F x, F y ->
       (* bitwise so that NaN = NaN *)
-      Array.for_all2
-        (fun u v -> Int64.equal (Int64.bits_of_float u) (Int64.bits_of_float v))
-        x y
+      let n = Bigarray.Array1.dim x in
+      let rec go i =
+        i >= n
+        || (Int64.equal (Int64.bits_of_float x.{i}) (Int64.bits_of_float y.{i})
+           && go (i + 1))
+      in
+      go 0
   | I x, I y -> x = y
   | B x, B y -> x = y
   | (F _ | I _ | B _), _ -> false
@@ -376,7 +459,7 @@ let pp ppf t =
   let k = min n 8 in
   let elt i =
     match t.data with
-    | F a -> Fmt.str "%g" a.(i)
+    | F a -> Fmt.str "%g" a.{i}
     | I a -> string_of_int a.(i)
     | B a -> string_of_bool a.(i)
   in

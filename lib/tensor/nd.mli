@@ -5,9 +5,18 @@
     client code should treat values as immutable and build them through the
     constructors here. *)
 
-type data = F of float array | I of int array | B of bool array
+type farray = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** Unboxed float storage: a flat 64-bit Bigarray outside the OCaml heap.
+    F32 tensors also store float64 elements, rounded through
+    [Dtype.round_f32] at every write site. *)
+
+type data = F of farray | I of int array | B of bool array
 
 type t = { dtype : Dtype.t; shape : Shape.t; data : data }
+
+val empty_f : farray
+(** A shared zero-length float buffer, for shape/dtype-only phantom
+    tensors that are never read element-wise. *)
 
 val create : Dtype.t -> Shape.t -> t
 (** Zero-initialised. *)
@@ -54,9 +63,14 @@ val to_int : t -> int -> int
 (** Linear read of any dtype as int (floats truncate toward zero; NaN reads
     as 0). *)
 
-val float_data : t -> float array
+val float_data : t -> farray
 (** Underlying buffer of a float tensor (shared, not copied).
     Raises [Invalid_argument] otherwise. *)
+
+val float_array : t -> float array
+(** Copy of a float tensor's elements as a boxed [float array] — the
+    boundary accessor for external runtimes that consume plain arrays.
+    Raises [Invalid_argument] on non-float tensors. *)
 
 val fill_f : t -> float -> unit
 (** Overwrite every element of a float tensor with the (normalised) value. *)
@@ -144,6 +158,18 @@ val max_rel_error : t -> t -> float
 val random_f : Random.State.t -> Dtype.t -> Shape.t -> lo:float -> hi:float -> t
 val random_i : Random.State.t -> Dtype.t -> Shape.t -> lo:int -> hi:int -> t
 val random_b : Random.State.t -> Shape.t -> t
+
+val refill_f_into : Random.State.t -> lo:float -> hi:float -> t -> unit
+(** Redraw every element in place, consuming the rng stream exactly as
+    {!random_f} would (same order, same normalization). *)
+
+val refill_i_into : Random.State.t -> lo:int -> hi:int -> t -> unit
+val refill_b_into : Random.State.t -> t -> unit
+
+val fill_const_into : float -> t -> unit
+(** Overwrite with the constant {!full_f}/{!full_i}/{!full_b} would use
+    for this tensor's dtype (float value truncated / compared as those
+    constructors do). *)
 
 val equal : t -> t -> bool
 (** Structural: dtype, shape and bitwise-identical contents. *)

@@ -376,7 +376,7 @@ let run (c : compiled) (binding : (int * Nd.t) list) : (int * Nd.t) list =
               List.map
                 (fun (t : Nd.t) ->
                   match Nd.dtype t with
-                  | Dtype.F32 | F64 -> Nd.float_data t
+                  | Dtype.F32 | F64 -> Nd.float_array t
                   | I32 | I64 | Bool ->
                       Array.init (Nd.numel t) (fun i -> Nd.to_float t i))
                 (ins ())

@@ -495,6 +495,76 @@ let test_plan_transparent_campaign () =
             true (got = reference))
         [ (true, 1); (false, 2); (true, 2) ])
 
+(* The batched cohort engine must be invisible to campaign outcomes: a
+   fixed-seed campaign writes bit-identical failure keys, coverage sites
+   and corpus index bytes with batched solver frames on or off, for any
+   cohort size, at one worker or two.  [report_dir] also routes the jobs=1
+   runs through the async writer-domain sink, so this doubles as the
+   byte-identity check for that path. *)
+let test_batch_cohort_transparent_campaign () =
+  let check = Alcotest.(check bool) in
+  let module D = Nnsmith_difftest in
+  let module S = Nnsmith_smt.Solver in
+  let module Plan = Nnsmith_exec.Plan in
+  let module Cov = Nnsmith_coverage.Coverage in
+  let rec remove path =
+    match Unix.lstat path with
+    | { Unix.st_kind = Unix.S_DIR; _ } ->
+        Sys.readdir path
+        |> Array.iter (fun f -> remove (Filename.concat path f));
+        (try Unix.rmdir path with Unix.Unix_error _ -> ())
+    | _ -> ( try Sys.remove path with Sys_error _ -> ())
+    | exception Unix.Unix_error _ -> ()
+  in
+  let with_tmp_dir k =
+    let dir = Filename.temp_file "nnsmith_props_test" "" in
+    Sys.remove dir;
+    Unix.mkdir dir 0o755;
+    Fun.protect ~finally:(fun () -> remove dir) (fun () -> k dir)
+  in
+  let read_file path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let batch_was = S.batch_enabled () and cohort_was = Plan.cohort_size () in
+  Nnsmith_faults.Faults.activate_all ();
+  Fun.protect
+    ~finally:(fun () ->
+      Nnsmith_faults.Faults.deactivate_all ();
+      S.set_batch_enabled batch_was;
+      Plan.set_cohort_size cohort_was;
+      Plan.cohort_clear ())
+    (fun () ->
+      let run ~batch ~cohort ~jobs =
+        with_tmp_dir @@ fun dir ->
+        S.set_batch_enabled batch;
+        S.cache_clear ();
+        Plan.set_cohort_size cohort;
+        Plan.cohort_clear ();
+        let r =
+          D.Pfuzz.fuzz ~jobs ~report_dir:dir ~systems:[ D.Systems.lotus ]
+            ~root_seed:20230325 ~budget:(Nnsmith_parallel.Pool.Tests 16) ()
+        in
+        ( r.r_failure_keys,
+          List.sort compare (Cov.to_list r.r_coverage),
+          read_file (Filename.concat dir "index.jsonl") )
+      in
+      let ref_keys, ref_cov, ref_index = run ~batch:false ~cohort:4 ~jobs:1 in
+      check "reference campaign found failures" true (ref_keys <> []);
+      List.iter
+        (fun (batch, cohort, jobs) ->
+          let keys, cov, index = run ~batch ~cohort ~jobs in
+          let tag fmt =
+            Printf.sprintf ("batch=%b cohort=%d jobs=%d: " ^^ fmt) batch cohort
+              jobs
+          in
+          check (tag "failure keys") true (keys = ref_keys);
+          check (tag "coverage sites") true (cov = ref_cov);
+          check (tag "corpus index bytes") true (String.equal index ref_index))
+        [ (true, 4, 1); (true, 1, 1); (true, 8, 2); (false, 2, 2) ])
+
 let () =
   Alcotest.run "props"
     [
@@ -514,6 +584,8 @@ let () =
           test_cache_transparent_campaign
         :: Alcotest.test_case "exec plan transparent to campaigns" `Quick
              test_plan_transparent_campaign
+        :: Alcotest.test_case "batch/cohort transparent to campaigns" `Quick
+             test_batch_cohort_transparent_campaign
         :: List.map QCheck_alcotest.to_alcotest
              [
                prop_plan_search_bit_identical;

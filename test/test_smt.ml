@@ -451,6 +451,111 @@ let test_component_decomposition () =
       check "composed model satisfies all" true
         (List.for_all (M.eval_formula m) fs)
 
+(* ------------------------------------------------------------------ *)
+(* Batched incremental frames                                          *)
+
+(* A deterministic random script of probe constraint sets over a shared
+   variable pool: some probes extend the frame, some conflict and roll
+   back, some touch several components at once. *)
+let probe_script seed =
+  let rng = Random.State.make [| seed |] in
+  let nvars = 3 + Random.State.int rng 6 in
+  let pool = Array.init nvars (fun i -> E.fresh (Printf.sprintf "b%d" i)) in
+  let nprobes = 5 + Random.State.int rng 12 in
+  List.init nprobes (fun _ ->
+      let npf = 1 + Random.State.int rng 3 in
+      List.init npf (fun _ ->
+          let v () = pool.(Random.State.int rng nvars) in
+          let c () = E.int (Random.State.int rng 30 - 5) in
+          match Random.State.int rng 6 with
+          | 0 -> F.(v () <= c ())
+          | 1 -> F.(c () <= v ())
+          | 2 -> F.(v () = c ())
+          | 3 -> F.(E.(v () + v ()) <= E.int (20 + Random.State.int rng 20))
+          | 4 -> F.(v () < v ())
+          | _ ->
+              let k = 1 + Random.State.int rng 3 in
+              let bound = Random.State.int rng 40 in
+              F.(E.(v () * int k) <= E.int bound)))
+
+(* Replay a probe script on a fresh solver under the given batch/cache
+   flags, recording everything observable: per-probe verdict and step
+   count, the final check verdict, and the final model bindings. *)
+let replay ~batch ~cache probes =
+  let batch_was = S.batch_enabled () and cache_was = S.cache_enabled () in
+  S.set_batch_enabled batch;
+  S.set_cache_enabled cache;
+  Fun.protect
+    ~finally:(fun () ->
+      S.set_batch_enabled batch_was;
+      S.set_cache_enabled cache_was)
+    (fun () ->
+      let s = S.create () in
+      let log =
+        List.map
+          (fun fs ->
+            let ok = S.try_add_constraints s fs in
+            (ok, S.check_steps s))
+          probes
+      in
+      let final = S.check s in
+      let m =
+        match S.model s with
+        | None -> []
+        | Some m ->
+            List.map (fun ((v : E.var), n) -> (v.id, n)) (M.bindings m)
+      in
+      (log, final, m))
+
+let qcheck_batch_identity =
+  QCheck.Test.make ~name:"batched = unbatched probe sequences" ~count:60
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      with_clean_cache (fun () ->
+          let probes = probe_script seed in
+          let reference = replay ~batch:false ~cache:true probes in
+          List.for_all
+            (fun (batch, cache) ->
+              replay ~batch ~cache probes = reference)
+            [ (true, true); (false, false); (true, false) ]))
+
+let test_batch_flag_roundtrip () =
+  let was = S.batch_enabled () in
+  check "default on" true was;
+  S.set_batch_enabled false;
+  check "off" false (S.batch_enabled ());
+  S.set_batch_enabled was;
+  check "restored" true (S.batch_enabled ())
+
+let test_batch_interleaved_with_push_pop () =
+  (* The decomposition memo must survive (or correctly invalidate across)
+     explicit push/pop and direct asserts interleaved with probes. *)
+  let run batch =
+    let was = S.batch_enabled () in
+    S.set_batch_enabled batch;
+    Fun.protect
+      ~finally:(fun () -> S.set_batch_enabled was)
+      (fun () ->
+        let x = E.fresh "x" and y = E.fresh "y" and z = E.fresh "z" in
+        let s = S.create () in
+        let r1 = S.try_add_constraints s F.[ E.(x + y) = E.int 10; x <= y ] in
+        let r2 = S.try_add_constraints s F.[ z <= E.int 4 ] in
+        let r3 = S.try_add_constraints s F.[ y < x ] (* conflict *) in
+        S.push s;
+        S.assert_ s F.(z > E.int 9) (* conflicts with z <= 4 *);
+        let inner = S.check s in
+        S.pop s;
+        let r4 = S.try_add_constraints s F.[ E.int 2 <= x ] in
+        let after = S.check s in
+        let vals =
+          match S.model s with
+          | None -> []
+          | Some m -> List.map (fun v -> M.eval_expr m v) [ x; y; z ]
+        in
+        (r1, r2, r3, inner, r4, after, vals))
+  in
+  check "batch on/off identical" true (run true = run false)
+
 let () =
   let tc = Alcotest.test_case in
   Alcotest.run "smt"
@@ -504,5 +609,11 @@ let () =
           tc "l1 frame hit" `Quick test_cache_l1_frame_hit;
           tc "model reuse zero steps" `Quick test_model_reuse_zero_steps;
           tc "component decomposition" `Quick test_component_decomposition;
+        ] );
+      ( "batch",
+        [
+          tc "flag roundtrip" `Quick test_batch_flag_roundtrip;
+          tc "interleaved push/pop" `Quick test_batch_interleaved_with_push_pop;
+          QCheck_alcotest.to_alcotest qcheck_batch_identity;
         ] );
     ]

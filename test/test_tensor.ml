@@ -324,6 +324,71 @@ let test_pool2d () =
   let avgp = L.pool2d ~kind:L.Avg_pool ~kernel:(2, 2) ~stride:(2, 2) ~padding:(1, 1) x in
   checkf "corner avg over 1 cell" 1. (Nd.get_f avgp 0)
 
+(* ------------------------------------------------------------------ *)
+(* Tser: serialization round-trips bit-for-bit over Bigarray storage    *)
+
+module Tser = Nnsmith_tensor.Tser
+
+let bits t i = Int64.bits_of_float (Nd.get_f t i)
+
+let check_roundtrip msg t =
+  let t' = Tser.parse_tensor (Tser.encode_tensor t) in
+  check (msg ^ ": dtype") true (Nd.dtype t' = Nd.dtype t);
+  check (msg ^ ": shape") true (Nd.shape t' = Nd.shape t);
+  (match Dtype.is_float (Nd.dtype t) with
+  | true ->
+      for i = 0 to Nd.numel t - 1 do
+        check
+          (Printf.sprintf "%s: bits @%d" msg i)
+          true
+          (Int64.equal (bits t i) (bits t' i))
+      done
+  | false ->
+      for i = 0 to Nd.numel t - 1 do
+        check
+          (Printf.sprintf "%s: elt @%d" msg i)
+          true
+          (Nd.to_int t i = Nd.to_int t' i)
+      done);
+  (* the canonical encoding is stable: encode . parse . encode = encode *)
+  check (msg ^ ": re-encode") true
+    (String.equal (Tser.encode_tensor t) (Tser.encode_tensor t'))
+
+let test_tser_roundtrip_all_dtypes () =
+  let specials =
+    [ Float.nan; Float.infinity; Float.neg_infinity; -0.0; 0.0; 0.1; -1.5e300 ]
+  in
+  List.iter
+    (fun dt ->
+      let t =
+        Nd.init_f dt [| 7 |] (fun i -> List.nth specials (i mod 7))
+      in
+      check_roundtrip (Dtype.to_string dt) t)
+    [ Dtype.F32; Dtype.F64 ];
+  (* -0.0 must keep its sign bit through the hex encoding *)
+  let z = Nd.scalar_f Dtype.F64 (-0.0) in
+  let z' = Tser.parse_tensor (Tser.encode_tensor z) in
+  check "-0.0 sign bit" true
+    (Int64.equal (Int64.bits_of_float (-0.0)) (bits z' 0));
+  List.iter
+    (fun dt ->
+      let t =
+        Nd.init_i dt [| 2; 3 |] (fun i ->
+            [| max_int; min_int; -1; 0; 1; 123456789 |].(i))
+      in
+      check_roundtrip (Dtype.to_string dt) t)
+    [ Dtype.I32; Dtype.I64 ];
+  check_roundtrip "bool" (Nd.init_b [| 4 |] (fun i -> i mod 2 = 0));
+  check_roundtrip "empty" (Nd.create Dtype.F32 [| 0 |]);
+  (* bindings: list order and ids survive *)
+  let b =
+    [ (3, Nd.scalar_f Dtype.F32 Float.nan); (1, Nd.scalar_i Dtype.I64 7) ]
+  in
+  let b' = Tser.parse_binding (Tser.encode_binding b) in
+  check "binding ids" true (List.map fst b' = [ 3; 1 ]);
+  check "binding bytes" true
+    (String.equal (Tser.encode_binding b) (Tser.encode_binding b'))
+
 let () =
   let tc = Alcotest.test_case in
   Alcotest.run "tensor"
@@ -350,6 +415,7 @@ let () =
           tc "NaN/Inf detection" `Quick test_nd_bad_detection;
           tc "approx equal" `Quick test_nd_approx_equal;
           tc "broadcast_to" `Quick test_nd_broadcast_to;
+          tc "tser round-trip all dtypes" `Quick test_tser_roundtrip_all_dtypes;
         ] );
       ( "transform",
         [

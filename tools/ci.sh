@@ -28,6 +28,12 @@ note "bench smoke (gradient search plans)"
 dune exec bench/main.exe -- --only gradsearch --budget 400 \
   || err "gradsearch bench smoke failed"
 
+note "bench smoke (batched cohort engine)"
+# Appends to BENCH_batch.json (picked up by the regress gate below) and
+# asserts bit-identical graphs between batched and unbatched solving.
+dune exec bench/main.exe -- --only batch --budget 400 \
+  || err "batched-cohort bench smoke failed"
+
 note "bench regress"
 dune exec bench/main.exe -- regress \
   || err "tests/sec regressed beyond threshold"
@@ -96,6 +102,32 @@ if [ -x "$nn" ]; then
   rm -rf "$fleet_ref" "$fleet_kill"
 else
   err "fleet smoke: $nn missing (dune build @ci should have built it)"
+fi
+
+note "batched-cohort smoke (batch/cohort/jobs campaign bit-identity)"
+# The batched solver frames, the shared cohort pool and the sharded
+# schedule are all meant to be invisible to campaign results: the same
+# seeded run with batching disabled, cohort size 1 and one worker must
+# produce a byte-identical corpus index to the default engine at jobs=2.
+if [ -x "$nn" ]; then
+  co_ref=$(mktemp -d)
+  co_var=$(mktemp -d)
+  co_args="fuzz --system lotus --tests 40 --bugs --seed 11"
+  if "$nn" $co_args --jobs 1 --no-batch --cohort-size 1 \
+       --report-dir "$co_ref" >/dev/null 2>&1 \
+    && "$nn" $co_args --jobs 2 --cohort-size 8 \
+         --report-dir "$co_var" >/dev/null 2>&1
+  then
+    [ -s "$co_ref/index.jsonl" ] \
+      || err "batched-cohort smoke: reference campaign saved no failures"
+    cmp -s "$co_ref/index.jsonl" "$co_var/index.jsonl" \
+      || err "batched-cohort smoke: corpus index depends on batch/cohort/jobs"
+  else
+    err "batched-cohort smoke campaign failed"
+  fi
+  rm -rf "$co_ref" "$co_var"
+else
+  err "batched-cohort smoke: $nn missing"
 fi
 
 note "style gate"
