@@ -29,79 +29,32 @@ let section title =
 
 (* ------------------------------------------------------------------ *)
 (* Per-commit bench history: every appending experiment also records a
-   normalized row — (commit, experiment, tests/sec, digest) — appended
-   to bench/history.jsonl forever and rewritten into bench/latest.json
-   for the current commit.  The dashboard charts the history; `bench
-   regress` keeps gating on the BENCH_*.json trails. *)
+   normalized row — schema-2: commit + parent, experiment, workload key,
+   advisory tests/sec, digest, and (for the gated experiments) the
+   deterministic work counters captured by Nnsmith_bench.Metrics —
+   appended to bench/history.jsonl forever and rewritten into
+   bench/latest.json for the current commit.  The dashboard charts the
+   history; `bench regress` gates on the counters. *)
 
-let git_commit =
-  lazy
-    (try
-       let ic =
-         Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null"
-       in
-       let line = try String.trim (input_line ic) with End_of_file -> "" in
-       ignore (Unix.close_process_in ic);
-       if line = "" then "unknown" else line
-     with _ -> "unknown")
+module Metrics = Nnsmith_bench.Metrics
+module History = Nnsmith_bench.History
 
 let bench_dir = "bench"
 let history_file = Filename.concat bench_dir "history.jsonl"
-let latest_file = Filename.concat bench_dir "latest.json"
 
 (* [gc] = (minor_words, major_words) allocated per test by one measured
-   round, from [Gc.quick_stat] deltas: allocation regressions are perf
-   regressions that a min-of-rounds timer can hide on a quiet machine, so
-   the history rows carry them alongside tests/sec. *)
-let record_bench ?gc ~experiment ~tests_per_sec ~digest () =
-  let module Json = Nnsmith_telemetry.Json in
-  let commit = Lazy.force git_commit in
-  if not (Sys.file_exists bench_dir) then
-    (try Unix.mkdir bench_dir 0o755
-     with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
-  let gc_fields =
-    match gc with
-    | None -> ""
-    | Some (minor, major) ->
-        Printf.sprintf ",\"gc_minor_per_test\":%.1f,\"gc_major_per_test\":%.1f"
-          minor major
-  in
+   round, kept alongside the full counter capture for continuity with the
+   pre-schema-2 rows. *)
+let record_bench ?gc ?counters ?workload ~experiment ~tests_per_sec ~digest
+    () =
   let row =
-    Printf.sprintf
-      "{\"commit\":%S,\"experiment\":%S,\"tests_per_sec\":%.2f,\"digest\":%S%s}"
-      commit experiment tests_per_sec digest gc_fields
+    History.make_row ?gc_per_test:gc ?counters ?workload ~experiment
+      ~tests_per_sec ~digest ()
   in
-  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 history_file in
-  output_string oc (row ^ "\n");
-  close_out oc;
-  (* latest.json: one row per experiment, current commit only (a new
-     commit's first experiment resets the file) *)
-  let keep =
-    if not (Sys.file_exists latest_file) then []
-    else begin
-      let ic = open_in latest_file in
-      let lines = ref [] in
-      (try
-         while true do
-           lines := input_line ic :: !lines
-         done
-       with End_of_file -> ());
-      close_in ic;
-      List.filter
-        (fun line ->
-          match Json.parse line with
-          | Error _ -> false
-          | Ok j ->
-              let str k = Option.bind (Json.member k j) Json.to_str in
-              str "commit" = Some commit && str "experiment" <> Some experiment)
-        (List.rev !lines)
-    end
-  in
-  let oc = open_out latest_file in
-  List.iter (fun l -> output_string oc (l ^ "\n")) (keep @ [ row ]);
-  close_out oc;
-  Printf.printf "recorded %s @ %s in %s and %s\n" experiment commit
-    history_file latest_file
+  History.append ~dir:bench_dir row;
+  Printf.printf "recorded %s @ %s in %s (schema %d%s)\n" experiment
+    row.History.hr_commit history_file row.History.hr_schema
+    (if counters = None then "" else ", with work counters")
 
 let pct a b = if b = 0 then 0. else 100. *. float_of_int a /. float_of_int b
 
@@ -885,9 +838,10 @@ let bench_parallel () =
   output_string oc (line ^ "\n");
   close_out oc;
   Printf.printf "appended to BENCH_parallel.json\n";
-  record_bench ~experiment:"parallel" ~tests_per_sec:jobs1_tps
-    ~digest:(Printf.sprintf "tests=%d" n)
-    ()
+  (* wall-clock-only experiment: schema-2 row with a workload key but no
+     counters, so `bench regress` reports it as advisory only *)
+  record_bench ~workload:(Printf.sprintf "tests=%d" n)
+    ~experiment:"parallel" ~tests_per_sec:jobs1_tps ~digest:"" ()
 
 (* ------------------------------------------------------------------ *)
 (* Shared machinery for the on/off A-B benches (solver cache, execution
@@ -931,6 +885,176 @@ let calibrate () =
   let dt = cpu_ms () -. t0 in
   ignore (Sys.opaque_identity !acc);
   Float.max 1e-3 dt
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic counter rounds: the primary regress metric.
+
+   Each gated experiment owns one fixed-seed round whose work counters
+   (solver checks / cache hits / component solves / search steps, compiled
+   kernel runs / dirty-set recomputes / arena reuses, generator tallies)
+   and allocation words are bit-stable run to run.  The round is captured
+   once per experiment and recorded into the schema-2 history row; `bench
+   regress` then demands exact counter equality against the last committed
+   row (±2% on allocation words), with wall-clock demoted to an advisory
+   column.  `bench check-determinism` runs every round twice in-process
+   and fails on any counter mismatch, so the gate cannot silently go
+   flaky again. *)
+
+(* Reset every piece of cross-test mutable state a counter round can see,
+   and pin the engine toggles to their defaults: a round must be a pure
+   function of (code, seed, workload size). *)
+let reset_workspace () =
+  Faults.deactivate_all ();
+  Nnsmith_smt.Solver.set_cache_enabled true;
+  Nnsmith_smt.Solver.set_batch_enabled true;
+  Nnsmith_exec.Plan.set_enabled true;
+  Nnsmith_smt.Solver.cache_clear ();
+  Nnsmith_exec.Plan.cohort_clear ();
+  (* after the caches: hc_clear restarts the fresh-variable counter and
+     intern tables, so allocation realigns bit for bit run to run *)
+  Nnsmith_smt.Expr.hc_clear ()
+
+let counter_seed = 20230325
+
+(* One generation pass over [n] index-pure seeds — the campaign shape the
+   solver-cache and batch benches time. *)
+let gen_seed_pass ~n () =
+  for i = 0 to n - 1 do
+    let tseed = Nnsmith_parallel.Splitmix.derive ~root:counter_seed ~index:i in
+    try ignore (Gen.generate { Config.default with seed = tseed; max_nodes = 10 })
+    with Gen.Gen_failure _ -> ()
+  done
+
+let campaign_n () = max 40 (int_of_float (!budget_ms /. 20.))
+
+(* Fixed model set for the gradient-search rounds: models whose initial
+   random binding produces NaN/Inf, i.e. the searches that iterate.
+   Shared by the gradsearch timing bench and its counter round. *)
+let gradsearch_graphs =
+  lazy
+    (let n = max 12 (int_of_float (!budget_ms /. 100.)) in
+     let acc = ref [] and found = ref 0 and i = ref 0 in
+     while !found < n && !i < n * 50 do
+       let tseed =
+         Nnsmith_parallel.Splitmix.derive ~root:counter_seed ~index:!i
+       in
+       incr i;
+       match
+         Gen.generate { Config.default with seed = tseed; max_nodes = 12 }
+       with
+       | exception Gen.Gen_failure _ -> ()
+       | g ->
+           let rng = Random.State.make [| tseed |] in
+           if Search.binding_is_bad g (Runner.random_binding rng g) then begin
+             acc := (tseed, g) :: !acc;
+             incr found
+           end
+     done;
+     List.rev !acc)
+
+let gradsearch_round () =
+  List.iter
+    (fun (tseed, g) ->
+      let rng = Random.State.make [| tseed; 1 |] in
+      ignore
+        (Search.search ~budget_ms:infinity ~max_iters:64
+           ~method_:Search.Gradient rng g))
+    (Lazy.force gradsearch_graphs)
+
+type counter_exp = {
+  ce_name : string;
+  ce_workload : unit -> string;  (* comparability key for history rows *)
+  ce_prepare : unit -> unit;  (* after reset, outside the capture *)
+  ce_body : unit -> unit;  (* the captured deterministic round *)
+}
+
+let counter_experiments =
+  [
+    (* cold-cache campaign + replay: generation solves everything once,
+       the second pass answers from the canonical cache *)
+    {
+      ce_name = "solver_cache";
+      ce_workload = (fun () -> Printf.sprintf "tests=%d" (2 * campaign_n ()));
+      ce_prepare = ignore;
+      ce_body =
+        (fun () ->
+          let n = campaign_n () in
+          gen_seed_pass ~n ();
+          gen_seed_pass ~n ());
+    };
+    (* warm-cache replay only — the batched frames' headline workload *)
+    {
+      ce_name = "batch";
+      ce_workload = (fun () -> Printf.sprintf "replay=%d" (campaign_n ()));
+      ce_prepare = (fun () -> gen_seed_pass ~n:(campaign_n ()) ());
+      ce_body = (fun () -> gen_seed_pass ~n:(campaign_n ()) ());
+    };
+    (* full gradient searches over the fixed bad-init model set *)
+    {
+      ce_name = "gradsearch";
+      ce_workload =
+        (fun () ->
+          Printf.sprintf "searches=%d"
+            (List.length (Lazy.force gradsearch_graphs)));
+      ce_prepare = (fun () -> ignore (Lazy.force gradsearch_graphs));
+      ce_body = gradsearch_round;
+    };
+  ]
+
+let run_counter_round ce =
+  reset_workspace ();
+  ce.ce_prepare ();
+  let (), c = Metrics.capture ce.ce_body in
+  (c, ce.ce_workload ())
+
+(* Capture the counter round for one experiment by name (used by the
+   timing experiments to enrich their history rows). *)
+let counter_capture name =
+  let ce = List.find (fun ce -> ce.ce_name = name) counter_experiments in
+  run_counter_round ce
+
+(* `bench check-determinism`: every gated round twice in-process, after a
+   warm-up that saturates process-lifetime state (operator registry,
+   hash-consed term interning), so run 1 and run 2 face identical
+   workspaces.  Any work-counter mismatch — or allocation drift beyond a
+   hair above zero — means the metric the regress gate relies on is not
+   deterministic, and CI must fail loudly rather than gate on noise. *)
+let check_determinism () =
+  section "bench check-determinism: counter rounds must be bit-stable";
+  let failed = ref 0 in
+  List.iter
+    (fun ce ->
+      reset_workspace ();
+      ce.ce_prepare ();
+      ce.ce_body ();
+      (* warmed up: now the two measured runs *)
+      let c1, workload = run_counter_round ce in
+      let c2, _ = run_counter_round ce in
+      let diffs = Metrics.work_diff c1 c2 in
+      let a1 = Metrics.alloc_words c1 and a2 = Metrics.alloc_words c2 in
+      let drift = Float.abs (a2 -. a1) /. Float.max 1. a1 in
+      let ok = diffs = [] && drift <= 1e-4 in
+      if not ok then incr failed;
+      Printf.printf
+        "%-14s %-14s work-counters=%-3d alloc-words=%.0f drift=%.5f%% %s\n"
+        ce.ce_name workload
+        (List.length c1.Metrics.mc_work)
+        a1 (100. *. drift)
+        (if ok then "ok" else "NOT DETERMINISTIC");
+      List.iter
+        (fun (k, v1, v2) ->
+          Printf.printf "  counter %s: run1=%d run2=%d\n" k v1 v2)
+        diffs;
+      if drift > 1e-4 then
+        Printf.printf "  alloc words: run1=%.0f run2=%.0f\n" a1 a2)
+    counter_experiments;
+  if !failed > 0 then begin
+    Printf.printf
+      "check-determinism: %d experiment(s) produced unstable counters\n"
+      !failed;
+    exit 1
+  end
+  else Printf.printf "check-determinism: all counter rounds bit-stable\n"
 
 (* ------------------------------------------------------------------ *)
 (* Solver cache: fixed-seed generation workload, cache on vs off,       *)
@@ -1045,8 +1169,9 @@ let bench_solver_cache () =
   output_string oc (line ^ "\n");
   close_out oc;
   Printf.printf "appended to BENCH_solver.json\n";
-  record_bench ~gc ~experiment:"solver_cache" ~tests_per_sec:on_tps
-    ~digest:(string_of_int !d_on) ()
+  let counters, workload = counter_capture "solver_cache" in
+  record_bench ~gc ~counters ~workload ~experiment:"solver_cache"
+    ~tests_per_sec:on_tps ~digest:(string_of_int !d_on) ()
 
 (* ------------------------------------------------------------------ *)
 (* Batched engine: the same campaign + replay workload as the solver-   *)
@@ -1168,8 +1293,9 @@ let bench_batch () =
   output_string oc (line ^ "\n");
   close_out oc;
   Printf.printf "appended to BENCH_batch.json\n";
-  record_bench ~gc ~experiment:"batch" ~tests_per_sec:rep_on_tps
-    ~digest:(string_of_int !d_on) ()
+  let counters, workload = counter_capture "batch" in
+  record_bench ~gc ~counters ~workload ~experiment:"batch"
+    ~tests_per_sec:rep_on_tps ~digest:(string_of_int !d_on) ()
 
 (* ------------------------------------------------------------------ *)
 (* Execution plans: fixed-seed gradient-search workload, plans on vs     *)
@@ -1184,30 +1310,14 @@ let bench_gradsearch () =
   let module Tser = Nnsmith_tensor.Tser in
   Faults.deactivate_all ();
   Tel.reset ();
-  let seed = 20230325 in
-  let n = max 12 (int_of_float (!budget_ms /. 100.)) in
+  let seed = counter_seed in
   (* Workload: models whose initial random binding produces NaN/Inf — the
      searches that actually iterate (the majority, per the paper's 56.8%
      stat).  The model set is fixed up front so every round searches the
-     same graphs; per-graph search rngs are re-seeded each round. *)
-  let graphs =
-    let acc = ref [] and found = ref 0 and i = ref 0 in
-    while !found < n && !i < n * 50 do
-      let tseed = Nnsmith_parallel.Splitmix.derive ~root:seed ~index:!i in
-      incr i;
-      match
-        Gen.generate { Config.default with seed = tseed; max_nodes = 12 }
-      with
-      | exception Gen.Gen_failure _ -> ()
-      | g ->
-          let rng = Random.State.make [| tseed |] in
-          if Search.binding_is_bad g (Runner.random_binding rng g) then begin
-            acc := (tseed, g) :: !acc;
-            incr found
-          end
-    done;
-    List.rev !acc
-  in
+     same graphs; per-graph search rngs are re-seeded each round.  Shared
+     with the counter round so the timing rows and the gated counters
+     describe the same workload. *)
+  let graphs = Lazy.force gradsearch_graphs in
   let tests = List.length graphs in
   if tests = 0 then begin
     Printf.printf "no bad-init models found; skipping\n";
@@ -1298,8 +1408,9 @@ let bench_gradsearch () =
   output_string oc (line ^ "\n");
   close_out oc;
   Printf.printf "appended to BENCH_gradsearch.json\n";
-  record_bench ~gc ~experiment:"gradsearch" ~tests_per_sec:on_tps
-    ~digest:(string_of_int !d_on) ()
+  let counters, workload = counter_capture "gradsearch" in
+  record_bench ~gc ~counters ~workload ~experiment:"gradsearch"
+    ~tests_per_sec:on_tps ~digest:(string_of_int !d_on) ()
 
 (* ------------------------------------------------------------------ *)
 (* Fleet: the multi-process supervisor vs the in-process pool on the     *)
@@ -1415,18 +1526,29 @@ let bench_fleet () =
   output_string oc (line ^ "\n");
   close_out oc;
   Printf.printf "appended to BENCH_fleet.json\n";
-  record_bench ~experiment:"fleet" ~tests_per_sec:shards1_tps
-    ~digest:(Printf.sprintf "tests=%d" n)
-    ()
+  (* wall-clock-only experiment; the digest is the deterministic hash of
+     failure keys + verdicts the shard-agreement check already computed *)
+  record_bench ~workload:(Printf.sprintf "tests=%d" n)
+    ~experiment:"fleet" ~tests_per_sec:shards1_tps
+    ~digest:(string_of_int inline_d) ()
 
 (* ------------------------------------------------------------------ *)
-(* `bench regress`: the CI gate.  Compare the last BENCH_*.json row      *)
-(* against the previous one and fail on a >15% tests/sec drop (the       *)
-(* append-a-row-then-diff pattern of nim-lang's ci_bench).               *)
+(* `bench regress`: the CI gate, rebuilt on deterministic counters.
 
-let regress_threshold = 0.15
+   The gate reads bench/history.jsonl and compares each experiment's
+   newest row against the last committed comparable row: work counters
+   must match exactly, allocation words may grow by at most
+   History.alloc_tolerance, and tests/sec is an advisory column only.
+   The old BENCH_*.json median-of-5 wall-clock comparison is kept below
+   as a printed advisory — useful context on a quiet machine, but it no
+   longer fails CI, because wall-clock on shared runners never earned
+   that right. *)
 
-let regress () =
+let legacy_regress_threshold = 0.15
+
+(* The pre-counter gate, demoted: prints the same per-file comparison it
+   used to fail on, now purely informational. *)
+let legacy_regress_advisory () =
   let module Json = Nnsmith_telemetry.Json in
   let files =
     Sys.readdir "." |> Array.to_list
@@ -1461,7 +1583,7 @@ let regress () =
   in
   let regressions = ref 0 in
   if files = [] then
-    print_endline "bench regress: no BENCH_*.json files, nothing to gate"
+    print_endline "wall-clock advisory: no BENCH_*.json files"
   else
     List.iter
       (fun file ->
@@ -1482,29 +1604,86 @@ let regress () =
                 let sorted = List.sort compare recent in
                 let prev = List.nth sorted (List.length sorted / 2) in
                 let delta = (last -. prev) /. Float.max 1e-9 prev in
-                let failed = last < prev *. (1. -. regress_threshold) in
-                if failed then incr regressions;
+                let slow = last < prev *. (1. -. legacy_regress_threshold) in
+                if slow then incr regressions;
                 Printf.printf
-                  "bench regress: %-24s baseline=%8.2f last=%8.2f (%+.1f%%) \
-                   %s\n"
+                  "wall-clock advisory: %-24s baseline=%8.2f last=%8.2f \
+                   (%+.1f%%) %s\n"
                   file prev last (100. *. delta)
-                  (if failed then "REGRESSION" else "ok")
+                  (if slow then "slower (non-gating)" else "ok")
             | [] ->
                 Printf.printf
-                  "bench regress: %-24s no earlier row with the same \
+                  "wall-clock advisory: %-24s no earlier row with the same \
                    workload; skipping\n"
                   file)
         | [] ->
             Printf.printf
-              "bench regress: %-24s no rows with tests_per_sec; skipping\n"
+              "wall-clock advisory: %-24s no rows with tests_per_sec; \
+               skipping\n"
               file)
       files;
-  if !regressions > 0 then begin
-    Printf.printf "bench regress: %d regression(s) beyond %.0f%%\n" !regressions
-      (100. *. regress_threshold);
-    exit 1
+  if !regressions > 0 then
+    Printf.printf
+      "wall-clock advisory: %d file(s) beyond %.0f%% — informational only, \
+       counters below are the gate\n"
+      !regressions
+      (100. *. legacy_regress_threshold)
+
+(* The gate proper: counter equality against the committed history. *)
+let regress () =
+  section "bench regress: deterministic counter gate";
+  legacy_regress_advisory ();
+  let { History.rr_rows; rr_bad_lines; rr_torn_tail } =
+    History.read history_file
+  in
+  if rr_bad_lines > 0 then
+    Printf.printf "warning: %s: skipped %d unparseable line(s)\n" history_file
+      rr_bad_lines;
+  if rr_torn_tail then
+    Printf.printf
+      "warning: %s: final line is torn (writer interrupted); ignored\n"
+      history_file;
+  if rr_rows = [] then
+    print_endline "bench regress: no history rows, nothing to gate"
+  else begin
+    let known =
+      List.map (fun ce -> ce.ce_name) counter_experiments
+      @ [ "parallel"; "fleet" ]
+    in
+    let verdicts = History.regress ~known rr_rows in
+    let failed = ref 0 in
+    List.iter
+      (fun v ->
+        let status, gated =
+          match v.History.v_status with
+          | `Ok -> ("ok", false)
+          | `Regressed fs ->
+              incr failed;
+              (Printf.sprintf "REGRESSED (%d failure(s))" (List.length fs), true)
+          | `Skipped reason -> ("skipped: " ^ reason, false)
+        in
+        Printf.printf "%-14s %-14s %s\n" v.History.v_experiment
+          (Option.value ~default:"-" v.History.v_workload)
+          status;
+        (match v.History.v_status with
+        | `Regressed fs ->
+            List.iter (fun f -> Printf.printf "  FAIL %s\n" f) fs
+        | _ -> ());
+        List.iter (fun n -> Printf.printf "  note %s\n" n) v.History.v_notes;
+        ignore gated)
+      verdicts;
+    if !failed > 0 then begin
+      Printf.printf
+        "bench regress: %d experiment(s) regressed.  If the change is \
+         intentional, re-run the bench and commit the new %s row to \
+         re-baseline.\n"
+        !failed history_file;
+      exit 1
+    end
+    else
+      print_endline
+        "bench regress: counters match the committed baseline"
   end
-  else print_endline "bench regress: within threshold"
 
 let experiments =
   [
@@ -1536,12 +1715,15 @@ let () =
   (* the fleet experiment spawns this binary back as its worker *)
   if Array.length Sys.argv > 1 && Sys.argv.(1) = "fleet-worker" then
     Nnsmith_fleet.Fleet.worker_main ();
-  (* `bench regress` is a verb, not an experiment: it only reads the
-     BENCH_*.json trails and gates on them. *)
-  if Array.length Sys.argv > 1 && Sys.argv.(1) = "regress" then begin
-    regress ();
-    exit 0
-  end;
+  (* verbs, not experiments: `regress` gates on the committed history,
+     `check-determinism` proves the gate's metric is bit-stable.  Both
+     honour --budget so CI compares rows at the workload it records. *)
+  let verb =
+    if Array.length Sys.argv > 1
+       && (Sys.argv.(1) = "regress" || Sys.argv.(1) = "check-determinism")
+    then Some Sys.argv.(1)
+    else None
+  in
   let rec parse = function
     | "--only" :: id :: rest ->
         only := Some id;
@@ -1556,6 +1738,14 @@ let () =
     | [] -> ()
   in
   parse (Array.to_list Sys.argv);
+  (match verb with
+  | Some "regress" ->
+      regress ();
+      exit 0
+  | Some "check-determinism" ->
+      check_determinism ();
+      exit 0
+  | _ -> ());
   let wanted =
     match !only with
     | None -> experiments

@@ -12,18 +12,13 @@ module Json = Nnsmith_telemetry.Json
 module Tel = Nnsmith_telemetry.Telemetry
 module Journal = Nnsmith_journal.Journal
 module Corpus = Nnsmith_corpus.Corpus
+module History = Nnsmith_bench.History
+module Metrics = Nnsmith_bench.Metrics
 
 (* ------------------------------------------------------------------ *)
 (* Gathered inputs                                                     *)
 
 type triage_entry = { te_row : Corpus.triage_row; te_ops : string list }
-
-type bench_row = {
-  br_experiment : string;
-  br_commit : string;
-  br_tests_per_sec : float;
-  br_digest : string;
-}
 
 type input = {
   in_title : string;
@@ -31,7 +26,7 @@ type input = {
   in_triage : triage_entry list;
   in_corpus_size : int;
   in_telemetry : Tel.snapshot list;
-  in_history : bench_row list;  (** chronological *)
+  in_history : History.row list;  (** chronological *)
   in_latest : (string * Json.t) list;  (** BENCH_*.json last rows, by file *)
   in_refresh_secs : int option;  (** emit a meta-refresh tag *)
   in_now_ms : float;  (** staleness reference clock (injectable in tests) *)
@@ -416,30 +411,72 @@ let bench_section b input =
     let body = Buffer.create 1024 in
     let by_exp = Hashtbl.create 8 in
     List.iter
-      (fun r ->
-        Hashtbl.replace by_exp r.br_experiment
+      (fun (r : History.row) ->
+        Hashtbl.replace by_exp r.History.hr_experiment
           (r
           :: Option.value ~default:[]
-               (Hashtbl.find_opt by_exp r.br_experiment)))
+               (Hashtbl.find_opt by_exp r.History.hr_experiment)))
       (List.rev input.in_history);
     (* insertion order of experiments, chronological rows *)
     let exps =
       List.sort_uniq compare
-        (List.map (fun r -> r.br_experiment) input.in_history)
+        (List.map
+           (fun (r : History.row) -> r.History.hr_experiment)
+           input.in_history)
     in
     List.iter
       (fun exp ->
         let rows = Option.value ~default:[] (Hashtbl.find_opt by_exp exp) in
         let pts =
-          List.mapi (fun i r -> (float_of_int i, r.br_tests_per_sec)) rows
+          List.mapi
+            (fun i (r : History.row) ->
+              (float_of_int i, r.History.hr_tests_per_sec))
+            rows
         in
-        Printf.bprintf body "<h3>%s</h3>%s%s" (esc exp)
+        (* counter trend: allocation words per run, from schema-2 rows *)
+        let alloc_pts =
+          List.mapi
+            (fun i (r : History.row) ->
+              Option.map
+                (fun c -> (float_of_int i, Metrics.alloc_words c))
+                r.History.hr_counters)
+            rows
+          |> List.filter_map Fun.id
+        in
+        (* a row whose parent is not the previous row's commit marks a gap
+           in per-commit history: commits passed without a bench run *)
+        let gaps =
+          let prev = ref None in
+          List.map
+            (fun (r : History.row) ->
+              let gap =
+                match (!prev, r.History.hr_parent) with
+                | Some p, Some parent -> parent <> p
+                | Some _, None | None, _ -> false
+              in
+              prev := Some r.History.hr_commit;
+              gap)
+            rows
+        in
+        Printf.bprintf body "<h3>%s</h3>%s%s%s" (esc exp)
           (sparkline ~h:80. ~css_class:"series-rate" pts)
-          (data_table ~summary:"runs" [ "commit"; "tests/sec"; "digest" ]
-             (List.map
-                (fun r ->
-                  [ r.br_commit; fmt_f r.br_tests_per_sec; r.br_digest ])
-                rows)))
+          (if alloc_pts = [] then ""
+           else sparkline ~h:80. ~css_class:"series-alloc" alloc_pts)
+          (data_table ~summary:"runs"
+             [ "commit"; "parent"; "tests/sec"; "alloc words"; "digest" ]
+             (List.map2
+                (fun (r : History.row) gap ->
+                  [
+                    (r.History.hr_commit
+                    ^ if gap then " (gap: commits unbenched)" else "");
+                    Option.value ~default:"–" r.History.hr_parent;
+                    fmt_f r.History.hr_tests_per_sec;
+                    (match r.History.hr_counters with
+                    | Some c -> fmt_f ~decimals:0 (Metrics.alloc_words c)
+                    | None -> "–");
+                    r.History.hr_digest;
+                  ])
+                rows gaps)))
       exps;
     if input.in_latest <> [] then
       Printf.bprintf body "%s"
@@ -554,7 +591,7 @@ body {
   --surface-1: #fcfcfb; --page: #f9f9f7;
   --text-primary: #0b0b0b; --text-secondary: #52514e; --muted: #898781;
   --grid: #e1e0d9; --baseline: #c3c2b7;
-  --series-1: #2a78d6; --series-2: #eb6834;
+  --series-1: #2a78d6; --series-2: #eb6834; --series-3: #3c9a5f;
   --warn: #ec835a;
   margin: 0; padding: 1.5rem; background: var(--page);
   color: var(--text-primary);
@@ -567,7 +604,7 @@ body {
     --surface-1: #1a1a19; --page: #0d0d0d;
     --text-primary: #ffffff; --text-secondary: #c3c2b7;
     --grid: #2c2c2a; --baseline: #383835;
-    --series-1: #3987e5; --series-2: #d95926;
+    --series-1: #3987e5; --series-2: #d95926; --series-3: #3fae6a;
   }
 }
 h1 { font-size: 1.3rem; margin: 0 0 1rem; }
@@ -594,6 +631,7 @@ code { font-size: .85em; }
 .spark { width: 100%; height: 120px; display: block; }
 .series-cov { stroke: var(--series-1); }
 .series-rate { stroke: var(--series-2); }
+.series-alloc { stroke: var(--series-3); }
 .axis-note {
   display: flex; justify-content: space-between;
   color: var(--muted); font-size: .75rem;
@@ -648,31 +686,7 @@ let read_lines path =
        with End_of_file -> ());
       List.rev !out)
 
-let bench_row_of_json j =
-  let str k = Option.bind (Json.member k j) Json.to_str in
-  let num k = Option.bind (Json.member k j) Json.to_float in
-  match (str "experiment", num "tests_per_sec") with
-  | Some e, Some tps ->
-      Some
-        {
-          br_experiment = e;
-          br_commit = Option.value ~default:"?" (str "commit");
-          br_tests_per_sec = tps;
-          br_digest = Option.value ~default:"" (str "digest");
-        }
-  | _ -> None
-
-let load_history path =
-  if not (Sys.file_exists path) then []
-  else
-    List.filter_map
-      (fun line ->
-        if String.trim line = "" then None
-        else
-          match Json.parse line with
-          | Ok j -> bench_row_of_json j
-          | Error _ -> None)
-      (read_lines path)
+let load_history path = (History.read path).History.rr_rows
 
 let load_latest_bench bench_dir =
   match Sys.readdir bench_dir with

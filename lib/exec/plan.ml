@@ -957,6 +957,9 @@ let forward_until_bad p =
        end
      done
    with Exit -> ());
+  (* one batched bump per pass, not per node: dirty-set recomputes are a
+     gated deterministic work counter (see Nnsmith_bench.Metrics) *)
+  if !computed > 0 then Tel.incr ~by:!computed "exec/dirty_recomputes";
   (!result, !computed)
 
 let run_reference p binding =
@@ -965,6 +968,7 @@ let run_reference p binding =
     (fun (id, v) -> if not (Hashtbl.mem btbl id) then Hashtbl.add btbl id v)
     binding;
   let any_bad = ref false in
+  let kernel_runs = ref 0 in
   for i = 0 to Array.length p.slots - 1 do
     let s = p.slots.(i) in
     (match s.node.Graph.op with
@@ -984,10 +988,13 @@ let run_reference p binding =
           Dtype.equal (Nd.dtype v) s.decl_dtype
           && Shape.equal (Nd.shape v) s.decl_shape;
         Hashtbl.replace p.values_tbl s.node.Graph.id v
-    | _ -> exec_node p i);
+    | _ ->
+        exec_node p i;
+        incr kernel_runs);
     s.valid <- false;
     if Nd.has_bad s.value then any_bad := true
   done;
+  if !kernel_runs > 0 then Tel.incr ~by:!kernel_runs "exec/kernel_runs";
   let outs =
     List.map
       (fun (n : Graph.node) ->

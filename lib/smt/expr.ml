@@ -107,6 +107,13 @@ let intern e = fst (hc_intern (hc_state ()) e)
 let id e = snd (hc_intern (hc_state ()) e)
 let hash = id
 
+let hc_clear () =
+  let st = Domain.DLS.get hc_key in
+  Hashtbl.reset st.nodes;
+  Phys.reset st.meta;
+  st.next_id <- 0;
+  Atomic.set counter 0
+
 (* Constructor-side interning: look the (tag, child ids) key up directly
    instead of allocating a candidate node and re-interning it.  On the hit
    path this skips both the candidate allocation and its deep structural

@@ -92,6 +92,15 @@ val hash : t -> int
 (** O(1) hash consistent with structural equality on a single domain
     (equal to {!id} of the canonical representative). *)
 
+val hc_clear : unit -> unit
+(** Drop the current domain's intern tables and restart both the intern id
+    sequence and the global fresh-variable counter.  For deterministic
+    measurement harnesses only: back-to-back fixed-seed runs separated by a
+    call allocate identically (table growth and variable ids realign run to
+    run).  Callers must first clear every cache keyed by interned terms or
+    variable ids (solver caches, plan pools) — stale entries from before
+    the clear would alias fresh terms. *)
+
 val compare : t -> t -> int
 
 val equal : t -> t -> bool

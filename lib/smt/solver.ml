@@ -735,12 +735,28 @@ let cache_stats () =
     cs_evictions = dc.evictions;
   }
 
+(* Domain-local memo of each formula's variable list, keyed by physical
+   identity: frames persist across checks, so the same formula is asked
+   for its variables hundreds of times. *)
+module FPhys = Hashtbl.Make (struct
+  type t = Formula.t
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+let fvars_key = Domain.DLS.new_key (fun () -> FPhys.create 1024)
+
 let cache_clear () =
   let dc = dcache () in
   Lru.clear dc.lru;
   dc.hits <- 0;
   dc.misses <- 0;
-  dc.evictions <- 0
+  dc.evictions <- 0;
+  (* the fvars memo is a cache too: keyed by physical formula identity, it
+     would otherwise pin every formula from earlier runs and grow (then
+     reset) at arbitrary points, making allocation run-order dependent *)
+  FPhys.reset (Domain.DLS.get fvars_key)
 
 (* ------------------------------------------------------------------ *)
 (* Model reuse: before solving, try to extend the previous model to the
@@ -781,18 +797,6 @@ let reuse_model cached fs =
    10-op graph no longer makes every probe pay for all 100+ atoms — and
    makes canonical keys component-local, so the same op/placeholder
    constraint shapes recur across unrelated graphs and hit the cache. *)
-
-(* Domain-local memo of each formula's variable list, keyed by physical
-   identity: frames persist across checks, so the same formula is asked
-   for its variables hundreds of times. *)
-module FPhys = Hashtbl.Make (struct
-  type t = Formula.t
-
-  let equal = ( == )
-  let hash = Hashtbl.hash
-end)
-
-let fvars_key = Domain.DLS.new_key (fun () -> FPhys.create 1024)
 
 let fvars (f : Formula.t) : Expr.var list =
   let tbl = Domain.DLS.get fvars_key in
@@ -890,6 +894,10 @@ let solve_component s dc comp : result * Model.t option * int * bool =
       let result, m, steps =
         solve_formulas ~max_steps:s.max_steps ~rng ~vars comp
       in
+      (* deterministic work counters: one fresh component solve, and the
+         search-node expansions it cost (cache hits do no search work) *)
+      Tel.incr "smt/component_solves";
+      if steps > 0 then Tel.incr ~by:steps "smt/search_steps";
       if cache_enabled () then begin
         let values =
           match m with

@@ -1,24 +1,94 @@
 #!/usr/bin/env bash
 # Repo CI gate — one command, non-zero exit on any failure:
 #
+#   tools/ci.sh            full gate (every stage below)
+#   tools/ci.sh --quick    build + tests only: `dune build @ci` and nothing
+#                          else — the inner-loop pre-push check
+#
+# Stages (full mode):
+#
 #   build+tests   dune build @ci         (whole tree + every test suite)
-#   bench smoke   bench/main.exe --only solver_cache / --only gradsearch
-#                 (append rows to BENCH_solver.json / BENCH_gradsearch.json;
+#   bench smoke   bench/main.exe --only solver_cache / gradsearch / batch
+#                 (append schema-2 counter rows to bench/history.jsonl;
 #                 fail on cache-on/off graph drift or plan-on/off bit drift)
-#   perf gate     bench/main.exe regress (>15% tests/sec drop fails)
+#   determinism   bench/main.exe check-determinism (each counter round runs
+#                 twice in-process; any work-counter mismatch fails)
+#   perf gate     bench/main.exe regress (work counters must equal the last
+#                 committed history row exactly; allocation words within 2%;
+#                 wall-clock is advisory only)
 #   dashboard     journaled mini-campaign -> static HTML (balanced tags,
 #                 non-empty triage table, no NaN, no scripts)
+#   fleet         worker + supervisor kill -9, resume bit-identity
+#   cohort        batch/cohort/jobs campaign bit-identity
 #   style         no tabs / trailing whitespace; new lib modules need .mli
 #   hygiene       no tracked _build/, CHANGES.md updated alongside HEAD
+#
+# Every stage is timed; a per-stage summary prints on exit (success or
+# failure) so slow stages are visible without re-running under `time`.
+#
+# Bench stages run at --budget 400 so history rows carry comparable
+# workload keys (the regress gate only compares rows at equal workloads).
 set -u
 cd "$(dirname "$0")/.."
 
+quick=0
+for arg in "$@"; do
+  case "$arg" in
+    --quick) quick=1 ;;
+    *) printf 'ci: unknown argument %s\n' "$arg" >&2; exit 2 ;;
+  esac
+done
+
 fail=0
-note() { printf '\nci: == %s ==\n' "$*"; }
+stage_names=()
+stage_ms=()
+cur_stage=""
+cur_start=0
+
+now_ms() { date +%s%3N; }
+
+stage_close() {
+  if [ -n "$cur_stage" ]; then
+    stage_names+=("$cur_stage")
+    stage_ms+=($(( $(now_ms) - cur_start )))
+    cur_stage=""
+  fi
+}
+
+note() {
+  stage_close
+  cur_stage="$*"
+  cur_start=$(now_ms)
+  printf '\nci: == %s ==\n' "$*"
+}
+
+summary() {
+  stage_close
+  if [ "${#stage_names[@]}" -gt 0 ]; then
+    printf '\nci: stage timing summary\n'
+    local i t
+    for i in "${!stage_names[@]}"; do
+      t=${stage_ms[$i]}
+      printf 'ci: %6d.%03ds  %s\n' $(( t / 1000 )) $(( t % 1000 )) \
+        "${stage_names[$i]}"
+    done
+  fi
+}
+trap summary EXIT
+
 err() { printf 'ci: FAIL: %s\n' "$*" >&2; fail=1; }
 
 note "dune build @ci (build + runtest)"
 dune build @ci || err "dune build @ci failed"
+
+if [ "$quick" -eq 1 ]; then
+  if [ "$fail" -ne 0 ]; then
+    printf '\nci: FAILED (quick)\n'
+    exit 1
+  fi
+  printf '\nci: OK (quick: build + tests only)\n'
+  exit 0
+fi
 
 note "bench smoke (solver cache)"
 dune exec bench/main.exe -- --only solver_cache --budget 400 \
@@ -34,9 +104,16 @@ note "bench smoke (batched cohort engine)"
 dune exec bench/main.exe -- --only batch --budget 400 \
   || err "batched-cohort bench smoke failed"
 
-note "bench regress"
-dune exec bench/main.exe -- regress \
-  || err "tests/sec regressed beyond threshold"
+note "bench check-determinism"
+# Each gated counter round twice in-process: any work-counter or
+# allocation-word mismatch means the regress gate below would be noise,
+# so this fails first and loudly.
+dune exec bench/main.exe -- check-determinism --budget 400 \
+  || err "bench counters are not deterministic"
+
+note "bench regress (counter gate)"
+dune exec bench/main.exe -- regress --budget 400 \
+  || err "work counters regressed vs the committed history row"
 
 note "dashboard smoke"
 # A tiny journaled campaign rendered end-to-end through the real CLI:
