@@ -84,6 +84,20 @@ let no_batch_t =
            bit-identical either way; useful for A/B benchmarking and \
            debugging).")
 
+let apply_no_prescreen no_prescreen =
+  Nnsmith_smt.Solver.set_prescreen_enabled (not no_prescreen)
+
+let no_prescreen_t =
+  Arg.(
+    value
+    & flag
+    & info [ "no-prescreen" ]
+        ~doc:
+          "Disable interval constraint pre-screening and send every \
+           candidate-operator feasibility query to the solver (results are \
+           bit-identical either way; useful for A/B benchmarking and \
+           debugging).")
+
 let cohort_size_t =
   Arg.(
     value
@@ -97,10 +111,11 @@ let cohort_size_t =
 (* ---- generate ----------------------------------------------------- *)
 
 let generate seed nodes count search out no_cache no_plan no_batch
-    cohort_size =
+    cohort_size no_prescreen =
   apply_no_cache no_cache;
   apply_no_plan no_plan;
   apply_engine no_batch cohort_size;
+  apply_no_prescreen no_prescreen;
   let failures = ref 0 in
   Option.iter mkdir_p out;
   for k = 0 to count - 1 do
@@ -158,7 +173,7 @@ let generate_cmd =
     (Cmd.info "generate" ~doc:"Generate valid random models and print them")
     Term.(
       const generate $ seed_t $ nodes_t $ count_t $ search_t $ gen_out_t
-      $ no_cache_t $ no_plan_t $ no_batch_t $ cohort_size_t)
+      $ no_cache_t $ no_plan_t $ no_batch_t $ cohort_size_t $ no_prescreen_t)
 
 (* ---- fuzz --------------------------------------------------------- *)
 
@@ -289,10 +304,11 @@ let print_corpus_line report_dir (r : D.Pfuzz.result) =
     report_dir
 
 let fuzz system_name budget_s tests jobs bugs seed telemetry report_dir
-    journal_dir progress no_cache no_plan no_batch cohort_size =
+    journal_dir progress no_cache no_plan no_batch cohort_size no_prescreen =
   apply_no_cache no_cache;
   apply_no_plan no_plan;
   apply_engine no_batch cohort_size;
+  apply_no_prescreen no_prescreen;
   match system_of_name system_name with
   | None ->
       Printf.eprintf "unknown system %s (oxrt | lotus | trt)\n" system_name;
@@ -363,7 +379,7 @@ let fuzz_cmd =
     Term.(
       const fuzz $ system_t $ budget_t $ tests_t $ jobs_t $ bugs_t $ seed_t
       $ telemetry_t $ report_dir_t $ journal_t $ progress_t $ no_cache_t
-      $ no_plan_t $ no_batch_t $ cohort_size_t)
+      $ no_plan_t $ no_batch_t $ cohort_size_t $ no_prescreen_t)
 
 (* ---- replay / triage ----------------------------------------------- *)
 
@@ -434,10 +450,11 @@ let triage_cmd =
 (* ---- cov ---------------------------------------------------------- *)
 
 let cov budget_s tests jobs seed telemetry journal_dir progress no_cache
-    no_plan no_batch cohort_size =
+    no_plan no_batch cohort_size no_prescreen =
   apply_no_cache no_cache;
   apply_no_plan no_plan;
   apply_engine no_batch cohort_size;
+  apply_no_prescreen no_prescreen;
   Faults.deactivate_all ();
   let write_failed = ref false in
   let generators =
@@ -497,15 +514,16 @@ let cov_cmd =
     Term.(
       const cov $ budget_t $ tests_t $ jobs_t $ seed_t $ telemetry_t
       $ journal_t $ progress_t $ no_cache_t $ no_plan_t $ no_batch_t
-      $ cohort_size_t)
+      $ cohort_size_t $ no_prescreen_t)
 
 (* ---- hunt --------------------------------------------------------- *)
 
 let hunt budget_s tests jobs seed telemetry report_dir journal_dir progress
-    no_cache no_plan no_batch cohort_size =
+    no_cache no_plan no_batch cohort_size no_prescreen =
   apply_no_cache no_cache;
   apply_no_plan no_plan;
   apply_engine no_batch cohort_size;
+  apply_no_prescreen no_prescreen;
   Tel.reset ();
   let report_dir = default_report_dir report_dir journal_dir in
   with_campaign_lock ~dir:(first_some journal_dir report_dir) @@ fun () ->
@@ -536,16 +554,17 @@ let hunt_cmd =
     Term.(
       const hunt $ budget_t $ tests_t $ jobs_t $ seed_t $ telemetry_t
       $ report_dir_t $ journal_t $ progress_t $ no_cache_t $ no_plan_t
-      $ no_batch_t $ cohort_size_t)
+      $ no_batch_t $ cohort_size_t $ no_prescreen_t)
 
 (* ---- fleet -------------------------------------------------------- *)
 
 let fleet dir tests procs hunt bugs seed system_names resume max_nodes
     hb_timeout_s checkpoint_every dashboard_every_s progress no_cache no_plan
-    no_batch cohort_size =
+    no_batch cohort_size no_prescreen =
   apply_no_cache no_cache;
   apply_no_plan no_plan;
   apply_engine no_batch cohort_size;
+  apply_no_prescreen no_prescreen;
   Tel.reset ();
   let systems =
     match system_names with
@@ -712,7 +731,7 @@ let fleet_cmd =
       const fleet $ fleet_dir_t $ fleet_tests_t $ procs_t $ fleet_hunt_t
       $ bugs_t $ seed_t $ fleet_systems_t $ resume_t $ max_nodes_t
       $ hb_timeout_t $ checkpoint_every_t $ dashboard_every_t $ progress_t
-      $ no_cache_t $ no_plan_t $ no_batch_t $ cohort_size_t)
+      $ no_cache_t $ no_plan_t $ no_batch_t $ cohort_size_t $ no_prescreen_t)
 
 (* ---- journal tail ------------------------------------------------- *)
 

@@ -396,10 +396,33 @@ let telemetry_section b input =
               (fun p ->
                 String.length k >= String.length p
                 && String.sub k 0 (String.length p) = p)
-              [ "journal/"; "parallel/"; "corpus/"; "exec/"; "cov/" ])
+              [
+                "journal/"; "parallel/"; "corpus/"; "exec/"; "cov/";
+                "smt/prescreen/"; "gen/prescreen/";
+              ])
           last.Tel.counters
       in
-      let rows = List.map (fun (k, v) -> [ k; fmt_i v ]) interesting in
+      (* derived pre-screening rates: screened probes never reach the check
+         machinery, so concrete + unsat is exactly the solver calls the
+         screen avoided *)
+      let c k = Option.value ~default:0 (List.assoc_opt k last.Tel.counters) in
+      let screened =
+        c "smt/prescreen/concrete" + c "smt/prescreen/unsat"
+      in
+      let attempts = screened + c "smt/prescreen/miss" in
+      let derived =
+        if attempts = 0 then []
+        else
+          [
+            [ "prescreen solver calls avoided"; fmt_i screened ];
+            [
+              "prescreen hit rate";
+              Printf.sprintf "%.1f%%"
+                (100. *. float_of_int screened /. float_of_int attempts);
+            ];
+          ]
+      in
+      let rows = List.map (fun (k, v) -> [ k; fmt_i v ]) interesting @ derived in
       if rows = [] then ()
       else
         section b "Telemetry counters (last snapshot)"

@@ -12,3 +12,10 @@ val add : t -> Nnsmith_ir.Graph.t -> int
 (** Record all operator instances of a model; returns how many were new. *)
 
 val count : t -> int
+
+val abs_count : t -> int
+(** Distinct abstract instances seen: operator name plus input
+    (dtype, rank) signature, ignoring attributes and dimension magnitudes.
+    This is the key space of the generator's per-op feasibility memo, so
+    the ratio [count / abs_count] explains the memo's hit rate.  Each new
+    abstract signature also bumps the [cov/abs_sigs] counter. *)

@@ -16,6 +16,7 @@ let unary_tpl ?(dtypes = Dtype.floats) (u : Op.unary) =
   {
     t_name = Op.unary_name u;
     t_arity = 1;
+    t_feas = Feas_none;
     accepts = (function [ (dt, _) ] -> List.mem dt dtypes | _ -> false);
     forward =
       (fun _rng inputs ->
@@ -35,6 +36,7 @@ let not_tpl =
   {
     t_name = "Not";
     t_arity = 1;
+    t_feas = Feas_none;
     accepts = (function [ (Dtype.Bool, _) ] -> true | _ -> false);
     forward =
       (fun _rng inputs ->
@@ -59,6 +61,7 @@ let clip_tpl =
   {
     t_name = "Clip";
     t_arity = 1;
+    t_feas = Feas_none;
     accepts = (function [ (dt, _) ] -> Dtype.is_float dt | _ -> false);
     forward =
       (fun rng inputs ->
@@ -79,6 +82,7 @@ let leaky_relu_tpl =
   {
     t_name = "LeakyRelu";
     t_arity = 1;
+    t_feas = Feas_none;
     accepts = (function [ (dt, _) ] -> Dtype.is_float dt | _ -> false);
     forward =
       (fun rng inputs ->
@@ -98,6 +102,7 @@ let cast_tpl =
   {
     t_name = "Cast";
     t_arity = 1;
+    t_feas = Feas_none;
     accepts = (function [ _ ] -> true | _ -> false);
     forward =
       (fun rng inputs ->
@@ -140,6 +145,7 @@ let binary_tpl ?(dtypes = Dtype.floats) (b : Op.binary) =
   {
     t_name = Op.binary_name b;
     t_arity = 2;
+    t_feas = Feas_bcast2;
     accepts =
       (function
       | [ (da, _); (db, _) ] -> da = db && List.mem da dtypes
@@ -169,6 +175,7 @@ let compare_tpl (c : Op.compare) =
   {
     t_name = Op.compare_name c;
     t_arity = 2;
+    t_feas = Feas_bcast2;
     accepts =
       (function
       | [ (da, _); (db, _) ] -> da = db && List.mem da numeric
@@ -196,6 +203,7 @@ let logical_tpl (l : Op.logical) =
   {
     t_name = Op.logical_name l;
     t_arity = 2;
+    t_feas = Feas_bcast2;
     accepts =
       (function
       | [ (Dtype.Bool, _); (Dtype.Bool, _) ] -> true
@@ -221,6 +229,7 @@ let where_tpl =
   {
     t_name = "Where";
     t_arity = 3;
+    t_feas = Feas_bcast2;
     accepts =
       (function
       | [ (Dtype.Bool, _); (dt, _); (df, _) ] -> dt = df && dt <> Dtype.Bool

@@ -14,6 +14,7 @@ let reshape_tpl =
   {
     t_name = "Reshape";
     t_arity = 1;
+    t_feas = Feas_none;
     accepts = (function [ _ ] -> true | _ -> false);
     forward =
       (fun rng inputs ->
@@ -48,6 +49,7 @@ let flatten_tpl =
   {
     t_name = "Flatten";
     t_arity = 1;
+    t_feas = Feas_none;
     accepts = (function [ (_, r) ] -> r >= 1 | _ -> false);
     forward =
       (fun rng inputs ->
@@ -68,6 +70,7 @@ let transpose_tpl =
   {
     t_name = "Transpose";
     t_arity = 1;
+    t_feas = Feas_none;
     accepts = (function [ (_, r) ] -> r >= 2 | _ -> false);
     forward =
       (fun rng inputs ->
@@ -100,6 +103,7 @@ let squeeze_tpl =
   {
     t_name = "Squeeze";
     t_arity = 1;
+    t_feas = Feas_none;
     accepts = (function [ (_, r) ] -> r >= 1 | _ -> false);
     forward =
       (fun rng inputs ->
@@ -130,6 +134,7 @@ let unsqueeze_tpl =
   {
     t_name = "Unsqueeze";
     t_arity = 1;
+    t_feas = Feas_none;
     accepts = (function [ (_, r) ] -> r < Shapegen.max_rank | _ -> false);
     forward =
       (fun rng inputs ->
@@ -161,6 +166,7 @@ let slice_tpl =
   {
     t_name = "Slice";
     t_arity = 1;
+    t_feas = Feas_none;
     accepts = (function [ (_, r) ] -> r >= 1 | _ -> false);
     forward =
       (fun rng inputs ->
@@ -221,6 +227,7 @@ let pad_tpl (mode : Op.pad_mode) =
   {
     t_name = Op.pad_mode_name mode;
     t_arity = 1;
+    t_feas = Feas_none;
     accepts =
       (function [ (dt, r) ] -> Dtype.is_float dt && r >= 1 | _ -> false);
     forward =
@@ -272,6 +279,7 @@ let concat_tpl n =
   {
     t_name = Printf.sprintf "Concat%d" n;
     t_arity = n;
+    t_feas = Feas_none;
     accepts =
       (fun sig_ ->
         match sig_ with
@@ -350,6 +358,7 @@ let expand_tpl =
   {
     t_name = "Expand";
     t_arity = 1;
+    t_feas = Feas_none;
     accepts = (function [ _ ] -> true | _ -> false);
     forward =
       (fun rng inputs ->
@@ -402,6 +411,7 @@ let gather_tpl =
   {
     t_name = "Gather";
     t_arity = 2;
+    t_feas = Feas_none;
     accepts =
       (function
       | [ (_, rd); (di, ri) ] ->
@@ -430,6 +440,7 @@ let tile_tpl =
   {
     t_name = "Tile";
     t_arity = 1;
+    t_feas = Feas_none;
     accepts = (function [ (_, r) ] -> r >= 1 | _ -> false);
     forward =
       (fun rng inputs ->

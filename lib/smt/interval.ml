@@ -66,3 +66,74 @@ let rem _ b =
 
 let equal a b = a.lo = b.lo && a.hi = b.hi
 let pp ppf i = Fmt.pf ppf "[%d, %d]" i.lo i.hi
+
+(* ------------------------------------------------------------------ *)
+(* Abstract evaluation over expressions and formulas.
+
+   The forward evaluator and the three-valued formula evaluator are the
+   single shared implementation behind both the solver's propagation loop
+   and the pre-screening layer: the screen may only report definitely-UNSAT
+   when the solver would also refute, so the two must agree on every
+   abstract-semantics detail (saturation, floor division, Mod widening). *)
+
+let eval_expr ~lookup e =
+  let rec go (e : Expr.t) =
+    match e with
+    | Expr.Const n -> point n
+    | Var v -> lookup v
+    | Add (a, b) -> add (go a) (go b)
+    | Sub (a, b) -> sub (go a) (go b)
+    | Mul (a, b) -> mul (go a) (go b)
+    | Div (a, b) -> div (go a) (go b)
+    | Mod (a, b) -> rem (go a) (go b)
+    | Neg a -> neg (go a)
+    | Min (a, b) -> min_ (go a) (go b)
+    | Max (a, b) -> max_ (go a) (go b)
+  in
+  go e
+
+type tv = T | F | U
+
+let eval_formula ~lookup f =
+  let rec go (f : Formula.t) =
+    match f with
+    | Formula.True -> T
+    | False -> F
+    | Cmp (c, a, b) -> (
+        let ia = eval_expr ~lookup a and ib = eval_expr ~lookup b in
+        match c with
+        | Le -> if ia.hi <= ib.lo then T else if ia.lo > ib.hi then F else U
+        | Lt -> if ia.hi < ib.lo then T else if ia.lo >= ib.hi then F else U
+        | Eq -> (
+            match inter ia ib with
+            | None -> F
+            | Some _ -> (
+                match (is_point ia, is_point ib) with
+                | Some x, Some y when x = y -> T
+                | _ -> U))
+        | Ne -> (
+            match inter ia ib with
+            | None -> T
+            | Some _ -> (
+                match (is_point ia, is_point ib) with
+                | Some x, Some y when x = y -> F
+                | _ -> U)))
+    | And fs ->
+        List.fold_left
+          (fun acc g ->
+            match (acc, go g) with
+            | F, _ | _, F -> F
+            | U, _ | _, U -> U
+            | T, T -> T)
+          T fs
+    | Or fs ->
+        List.fold_left
+          (fun acc g ->
+            match (acc, go g) with
+            | T, _ | _, T -> T
+            | U, _ | _, U -> U
+            | F, F -> F)
+          F fs
+    | Not g -> ( match go g with T -> F | F -> T | U -> U)
+  in
+  go f

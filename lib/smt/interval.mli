@@ -43,3 +43,25 @@ val rem : t -> t -> t
 
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit
+
+(** {1 Abstract evaluation}
+
+    The shared abstract semantics behind the solver's HC4 propagation and
+    the candidate pre-screening layer.  [lookup] supplies the interval of
+    each variable (typically its current narrowed domain, falling back to
+    the declared [lo]/[hi] bounds); over-approximating lookups yield
+    over-approximating results, which is the soundness property the screen
+    relies on: a {!F} verdict under sound domains proves the formula has no
+    model within them. *)
+
+val eval_expr : lookup:(Expr.var -> t) -> Expr.t -> t
+(** Forward interval evaluation of an expression. *)
+
+type tv = T | F | U
+(** Three-valued formula verdict: definitely true, definitely false,
+    unknown. *)
+
+val eval_formula : lookup:(Expr.var -> t) -> Formula.t -> tv
+(** Three-valued evaluation of a formula under interval domains.  [T]/[F]
+    mean every assignment within the domains satisfies/falsifies the
+    formula; [U] means the intervals cannot decide. *)

@@ -78,7 +78,19 @@ type t = {
      is a pure shortcut inside the reuse step, not a semantic change. *)
   mutable vchain : int;
   mutable pending : Formula.t list;
+  (* Screen domains: an interval over-approximation of the values every
+     variable can take under the current assertion set, maintained by
+     narrowing with each committed formula.  Soundness only needs the
+     over-approximation invariant — skipping a narrowing step (screen
+     disabled, residual disjunction, defensive Conflict recovery) is
+     always safe; what must never happen is keeping a narrowed domain
+     after the constraints that justified it are popped, so [push] saves
+     the map and [pop] restores it, exactly like [epoch_stack]. *)
+  mutable sd : screen_domains;
+  mutable sd_stack : screen_domains list;
 }
+
+and screen_domains = (Expr.var * Interval.t) Imap.t
 
 let l1_capacity = 2048
 
@@ -98,6 +110,8 @@ let create ?(max_steps = 2000) ?seed:_ () =
     memo = None;
     vchain = -1;
     pending = [];
+    sd = Imap.empty;
+    sd_stack = [];
   }
 
 (* [cached_model] is known to satisfy every current assertion (and to bind
@@ -115,6 +129,7 @@ let push s =
   if Tel.is_enabled () then
     Tel.observe "smt/frame_depth" (float_of_int (List.length s.frames));
   s.epoch_stack <- s.epoch :: s.epoch_stack;
+  s.sd_stack <- s.sd :: s.sd_stack;
   s.frames <- [] :: s.frames
 
 let pop s =
@@ -127,6 +142,11 @@ let pop s =
       | e :: es ->
           s.epoch <- e;
           s.epoch_stack <- es
+      | [] -> ());
+      (match s.sd_stack with
+      | d :: ds ->
+          s.sd <- d;
+          s.sd_stack <- ds
       | [] -> ())
 
 let assertions s = List.concat_map List.rev (List.rev s.frames)
@@ -180,18 +200,11 @@ let dom (d : domains) (v : Expr.var) =
   | Some (_, i) -> i
   | None -> Interval.make v.lo v.hi
 
-let rec fwd d (e : Expr.t) : Interval.t =
-  match e with
-  | Const n -> Interval.point n
-  | Var v -> dom d v
-  | Add (a, b) -> Interval.add (fwd d a) (fwd d b)
-  | Sub (a, b) -> Interval.sub (fwd d a) (fwd d b)
-  | Mul (a, b) -> Interval.mul (fwd d a) (fwd d b)
-  | Div (a, b) -> Interval.div (fwd d a) (fwd d b)
-  | Mod (a, b) -> Interval.rem (fwd d a) (fwd d b)
-  | Neg a -> Interval.neg (fwd d a)
-  | Min (a, b) -> Interval.min_ (fwd d a) (fwd d b)
-  | Max (a, b) -> Interval.max_ (fwd d a) (fwd d b)
+(* Forward evaluation and three-valued formula verdicts share one
+   implementation with the pre-screening layer (see interval.mli): the
+   screen's definitely-UNSAT answers are sound precisely because they use
+   the same abstract semantics as the propagation loop. *)
+let fwd d (e : Expr.t) : Interval.t = Interval.eval_expr ~lookup:(dom d) e
 
 let cdiv a b = -Expr.fdiv (-a) b
 
@@ -298,49 +311,8 @@ let narrow_atom ~ch d (f : Formula.t) =
       | None, None -> d)
   | True | False | And _ | Or _ | Not _ -> d
 
-(* Three-valued evaluation under interval domains. *)
-type tv = T | F | U
-
-let rec tv_eval d (f : Formula.t) : tv =
-  match f with
-  | True -> T
-  | False -> F
-  | Cmp (c, a, b) -> (
-      let ia = fwd d a and ib = fwd d b in
-      match c with
-      | Le -> if ia.hi <= ib.lo then T else if ia.lo > ib.hi then F else U
-      | Lt -> if ia.hi < ib.lo then T else if ia.lo >= ib.hi then F else U
-      | Eq -> (
-          match Interval.inter ia ib with
-          | None -> F
-          | Some _ -> (
-              match (Interval.is_point ia, Interval.is_point ib) with
-              | Some x, Some y when x = y -> T
-              | _ -> U))
-      | Ne -> (
-          match Interval.inter ia ib with
-          | None -> T
-          | Some _ -> (
-              match (Interval.is_point ia, Interval.is_point ib) with
-              | Some x, Some y when x = y -> F
-              | _ -> U)))
-  | And fs ->
-      List.fold_left
-        (fun acc g ->
-          match (acc, tv_eval d g) with
-          | F, _ | _, F -> F
-          | U, _ | _, U -> U
-          | T, T -> T)
-        T fs
-  | Or fs ->
-      List.fold_left
-        (fun acc g ->
-          match (acc, tv_eval d g) with
-          | T, _ | _, T -> T
-          | U, _ | _, U -> U
-          | F, F -> F)
-        F fs
-  | Not g -> ( match tv_eval d g with T -> F | F -> T | U -> U)
+let tv_eval d (f : Formula.t) : Interval.tv =
+  Interval.eval_formula ~lookup:(dom d) f
 
 (* One propagation pass: narrow with every atom, then exploit disjunctions
    whose branches are all refuted but one. *)
@@ -349,7 +321,7 @@ let propagate_once ~ch d atoms ors =
   let use_or d (orf : Formula.t) =
     match orf with
     | Or disjuncts -> (
-        match List.filter (fun g -> tv_eval d g <> F) disjuncts with
+        match List.filter (fun g -> tv_eval d g <> Interval.F) disjuncts with
         | [] -> raise Conflict
         | [ g ] -> (
             match split_conj [] [] g with
@@ -708,6 +680,128 @@ let batch_flag = Atomic.make true
 let set_batch_enabled b = Atomic.set batch_flag b
 let batch_enabled () = Atomic.get batch_flag
 
+(* Interval pre-screening (and the concrete model fast path): same global
+   switch pattern as the caches — one [--no-prescreen] flag governs every
+   worker domain, while the screen domains live on individual solvers.
+   Screening is semantically invisible: it only answers a probe when the
+   answer provably matches what the full solve would return. *)
+let prescreen_flag = Atomic.make true
+let set_prescreen_enabled b = Atomic.set prescreen_flag b
+let prescreen_enabled () = Atomic.get prescreen_flag
+
+(* Narrow the screen domains with newly committed formulas.  Narrowing with
+   any subset of the assertions preserves every solution of the full set,
+   so absorbing only the conjunctive atoms (and skipping residual
+   disjunctions) is sound.  A propagation Conflict can only arise when a
+   caller asserts an infeasible set without checking; recover by keeping
+   the domains as they were — not narrowing is always sound.
+
+   Most committed formulas are trivial shapes — positivity bounds
+   [1 <= d] and broadcast links [x = y] / [x = 1] — that need a single
+   interval intersection, not the nnf / split_conj / HC4 recursion.
+   [absorb_one] handles exactly those and deliberately ignores composite
+   formulas (numel caps, attribute arithmetic): absorbing them through the
+   generic HC4 pass was measured to cost more on the commit path than the
+   extra ~1% of screened probes recovered, and skipping narrowing keeps
+   [sd] an over-approximation either way. *)
+let absorb_bound d (v : Expr.var) lo hi =
+  let old = dom d v in
+  let nlo = max old.Interval.lo lo and nhi = min old.Interval.hi hi in
+  if nlo = old.Interval.lo && nhi = old.Interval.hi then d
+  else Imap.add v.id (v, mk nlo nhi) d
+
+let absorb_one d (f : Formula.t) =
+  match f with
+  | True -> d
+  | Cmp (Le, Const n, Var v) -> absorb_bound d v n Interval.big
+  | Cmp (Le, Var v, Const n) -> absorb_bound d v (-Interval.big) n
+  | Cmp (Lt, Const n, Var v) -> absorb_bound d v (n + 1) Interval.big
+  | Cmp (Lt, Var v, Const n) -> absorb_bound d v (-Interval.big) (n - 1)
+  | Cmp (Eq, Var v, Const n) | Cmp (Eq, Const n, Var v) ->
+      absorb_bound d v n n
+  | Cmp (Eq, Var x, Var y) ->
+      let ix = dom d x and iy = dom d y in
+      let m =
+        mk (max ix.Interval.lo iy.Interval.lo)
+          (min ix.Interval.hi iy.Interval.hi)
+      in
+      let d = if Interval.equal ix m then d else Imap.add x.id (x, m) d in
+      if Interval.equal iy m then d else Imap.add y.id (y, m) d
+  | _ -> d
+
+let screen_absorb s fs =
+  if prescreen_enabled () then begin
+    let d0 = s.sd in
+    let d = try List.fold_left absorb_one d0 fs with Conflict -> d0 in
+    s.sd <- d
+  end
+
+(* [assert_]'s single-formula case, avoiding the list and fold closure on
+   the hottest commit path. *)
+let screen_absorb1 s f =
+  if prescreen_enabled () then
+    match absorb_one s.sd f with
+    | d -> s.sd <- d
+    | exception Conflict -> ()
+
+(* The definitely-UNSAT screen: propagate the probe's atoms against the
+   screen domains.  [sd] over-approximates the feasible set of the asserted
+   prefix and HC4 narrowing never removes a solution, so a Conflict proves
+   prefix + probe unsatisfiable — the solver would have answered Unsat (or
+   Unknown), and [try_add_constraints] would have returned [false] either
+   way.  Anything short of a Conflict falls through to the real solve. *)
+let rec screen_unsat s fs =
+  match fs with
+  | [ (Formula.Cmp _ as f) ] -> (
+      (* single-atom probe — the most common shape by far; [nnf] and
+         [split_conj] would return it unchanged, so skip them *)
+      tv_eval s.sd f = Interval.F
+      ||
+      match
+        let ch = ref false in
+        let d = narrow_atom ~ch s.sd f in
+        if !ch then ignore (narrow_atom ~ch:(ref false) d f)
+      with
+      | exception Conflict -> true
+      | () -> false)
+  | _ -> screen_unsat_general s fs
+
+and screen_unsat_general s fs =
+  match
+    List.fold_left
+      (fun (atoms, ors) f -> split_conj atoms ors (nnf true f))
+      ([], []) fs
+  with
+  | exception Exit -> true
+  | atoms, ors ->
+      (* Forward evaluation refutes most infeasible probes (a numel cap
+         already blown by fixed dims, a broadcast between incompatible
+         points) without the narrowing pass; [tv_eval = F] under
+         over-approximating domains is exactly the Conflict [propagate]
+         would reach, just cheaper.  The narrowing fallback runs a short
+         bounded pass rather than the solver's full fixpoint: conflicts
+         reachable only through long narrowing chains are rare, and a
+         missed one just sends the probe to the solver — the screen stays
+         sound, it only answers less often. *)
+      List.exists (fun a -> tv_eval s.sd a = Interval.F) atoms
+      ||
+      (match
+         let ch = ref false in
+         let d = propagate_once ~ch s.sd atoms ors in
+         if !ch then ignore (propagate_once ~ch d atoms ors)
+       with
+      | exception Conflict -> true
+      | () -> false)
+
+(* Screened bounds of an expression under the current assertion set: the
+   generator's per-op feasibility memo keys on these (see Spec.feasible). *)
+let screen_interval s e =
+  let i = fwd s.sd e in
+  (i.Interval.lo, i.Interval.hi)
+
+(* Exposed for the soundness property test. *)
+let prescreen_unsat s fs = screen_unsat s (Formula.normalize fs)
+
 let set_cache_capacity n =
   let dc = dcache () in
   dc.lru.Lru.cap <- max 0 n;
@@ -767,25 +861,6 @@ let cache_clear () =
    it is part of the solving algorithm, so enabling the cache cannot change
    which model is found. *)
 
-let reuse_model cached fs =
-  match cached with
-  | None -> None
-  | Some m ->
-      let extra : (int, Expr.var * int) Hashtbl.t = Hashtbl.create 8 in
-      let env (v : Expr.var) =
-        match Model.find m v with
-        | Some n -> n
-        | None -> (
-            match Hashtbl.find_opt extra v.id with
-            | Some (_, n) -> n
-            | None ->
-                Hashtbl.add extra v.id (v, v.lo);
-                v.lo)
-      in
-      if List.for_all (Formula.eval env) fs then
-        Some (Hashtbl.fold (fun _ (v, n) acc -> Model.add v n acc) extra m)
-      else None
-
 (* ------------------------------------------------------------------ *)
 (* Connected components.
 
@@ -807,6 +882,25 @@ let fvars (f : Formula.t) : Expr.var list =
       if FPhys.length tbl > 65536 then FPhys.reset tbl;
       FPhys.add tbl f vs;
       vs
+
+let reuse_model cached fs =
+  match cached with
+  | None -> None
+  | Some m ->
+      let extra : (int, Expr.var * int) Hashtbl.t = Hashtbl.create 8 in
+      let env (v : Expr.var) =
+        match Model.find m v with
+        | Some n -> n
+        | None -> (
+            match Hashtbl.find_opt extra v.id with
+            | Some (_, n) -> n
+            | None ->
+                Hashtbl.add extra v.id (v, v.lo);
+                v.lo)
+      in
+      if List.for_all (Formula.eval env) fs then
+        Some (Hashtbl.fold (fun _ (v, n) acc -> Model.add v n acc) extra m)
+      else None
 
 (* Partition into components, deterministically: components are ordered by
    the first formula that belongs to them, formulas keep their original
@@ -851,10 +945,13 @@ let components (fs : Formula.t list) : Formula.t list list =
   List.rev_map (fun key -> List.rev (Hashtbl.find buckets key)) !order
 
 (* Rebuild a model for [vars] from the canonical value vector of a cached
-   Sat result; by alpha-renaming invariance the remapped model satisfies
-   the current constraint set, which [Formula.eval] re-verifies cheaply as
-   insurance (a failed verification falls back to a fresh solve). *)
-let hydrate_entry (e : Lru.entry) vars fs :
+   Sat result.  The LRU is keyed by the full canonical serialization with
+   structural string equality, so a hit means the components are identical
+   up to alpha-renaming and the remapped vector satisfies the current
+   constraint set by construction — no re-evaluation needed on this hot
+   path.  The length guard only defends against an impossible key
+   collision; it falls back to a fresh solve. *)
+let hydrate_entry (e : Lru.entry) vars _fs :
     (result * Model.t option * int) option =
   match e.Lru.e_result with
   | Unsat | Unknown -> Some (e.e_result, None, e.e_steps)
@@ -866,9 +963,7 @@ let hydrate_entry (e : Lru.entry) vars fs :
             (fun (m, i) v -> (Model.add v e.e_values.(i) m, i + 1))
             (Model.empty, 0) vars
         in
-        if List.for_all (Model.eval_formula m) fs then
-          Some (Sat, Some m, e.e_steps)
-        else None
+        Some (Sat, Some m, e.e_steps)
 
 (* Solve one component: L2 lookup first, fresh solve + store on a miss.
    Returns whether the component was answered from cache so the whole
@@ -1109,21 +1204,33 @@ let assert_ s f =
         s.pending <- f :: s.pending;
         s.vchain <- s.epoch
       end;
-      (match memo with Some bm -> memo_defer s bm [ f ] | None -> ())
+      (match memo with Some bm -> memo_defer s bm [ f ] | None -> ());
+      screen_absorb1 s f
   | [] -> assert false
 
 let assert_all s fs = List.iter (assert_ s) fs
 
-let check s =
+(* [skip_reuse] is set by the pre-screening layer when it already ran the
+   model-reuse attempt over this exact assertion set and saw it fail:
+   reuse is deterministic and no state changed since, so re-evaluating it
+   here could only fail again. *)
+let check_impl ~skip_reuse s =
   Tel.with_span "smt/check" (fun () ->
       Tel.incr "smt/check";
       let t0 = if Tel.is_enabled () then Tel.now_ms () else 0. in
       (* With an intact validity chain, reuse only needs to evaluate the
          formulas asserted since the model was last validated — it decides
          (and extends the model) exactly as evaluating everything would. *)
-      let chain = s.vchain = s.epoch in
-      let reuse_fs = if chain then List.rev s.pending else assertions s in
-      match reuse_model s.cached_model reuse_fs with
+      let reuse =
+        if skip_reuse then None
+        else
+          let chain = s.vchain = s.epoch in
+          let reuse_fs =
+            if chain then List.rev s.pending else assertions s
+          in
+          reuse_model s.cached_model reuse_fs
+      in
+      match reuse with
       | Some m ->
           s.cached_model <- Some m;
           s.last_steps <- 0;
@@ -1182,6 +1289,8 @@ let check s =
             s.memo <- Some (memo_of_states s states (List.length fs));
           finish_check s ~t0 ~bucket:(if all_hit then "hit" else "miss") result)
 
+let check s = check_impl ~skip_reuse:false s
+
 (* Record a [try_add_constraints] outcome in the solver's L1 frame cache:
    keyed by the frame-stack epoch the probe ran against plus the normalized
    probe constraints.  Algorithm 1 re-probes the same frame with the same
@@ -1206,7 +1315,8 @@ let commit_probe s fs =
   (match s.frames with
   | top :: rest -> s.frames <- List.rev_append fs top :: rest
   | [] -> assert false);
-  s.epoch <- fresh_epoch s
+  s.epoch <- fresh_epoch s;
+  screen_absorb s fs
 
 (* Batched incremental probe: answer a [try_add_constraints] miss against
    the memoized component decomposition of the shared frame prefix,
@@ -1220,19 +1330,26 @@ let commit_probe s fs =
    L1 entry recorded here are exactly what the full re-check would have
    produced.  Handles all solver-state updates itself and returns the
    [try_add_constraints] verdict. *)
-let batched_probe s (bm : batch_memo) fs epoch0 =
+let batched_probe ?(skip_reuse = false) s (bm : batch_memo) fs epoch0 =
   Tel.with_span "smt/check" (fun () ->
       Tel.incr "smt/check";
       Tel.incr "smt/batched_probe";
       let t0 = if Tel.is_enabled () then Tel.now_ms () else 0. in
       (* Reuse the cached model over the probe plus the validity chain's
          pending delta — the same decision, and the same extended model,
-         as the unbatched path's reuse over the whole assertion list. *)
-      let reuse_fs =
-        if s.vchain = s.epoch then List.rev_append s.pending fs
-        else assertions s @ fs
+         as the unbatched path's reuse over the whole assertion list.
+         [skip_reuse] as in [check_impl]: the screen already saw this
+         exact attempt fail. *)
+      let reuse =
+        if skip_reuse then None
+        else
+          let reuse_fs =
+            if s.vchain = s.epoch then List.rev_append s.pending fs
+            else assertions s @ fs
+          in
+          reuse_model s.cached_model reuse_fs
       in
-      match reuse_model s.cached_model reuse_fs with
+      match reuse with
       | Some m ->
           s.cached_model <- Some m;
           s.last_steps <- 0;
@@ -1325,6 +1442,53 @@ let batched_probe s (bm : batch_memo) fs epoch0 =
               l1_record s epoch0 fs r;
               false))
 
+(* Satellite fix for the batch-on campaign regression: a single-component
+   prefix gives the batched walk nothing to reuse — a probe either merges
+   with the lone component (re-solving exactly what the unbatched check
+   would) or starts a disjoint sub-solve, so the decomposition bookkeeping
+   is pure overhead on the small probes that dominate generation-heavy
+   workloads.  Probe those the plain way; the memo reseeds on the next
+   full Sat check and batching resumes once the prefix grows. *)
+let single_component bm =
+  bm.bm_pending = []
+  && (match bm.bm_comps with [] | [ _ ] -> true | _ -> false)
+
+(* The pre-screening layer: answer a probe without entering the check
+   machinery when the answer provably matches the full solve's.
+   - Concrete fast path: extend the cached model over the probe — exactly
+     the model-reuse step every check runs first, so a success commits the
+     same model, verdict and state, minus the whole check round-trip.
+   - Interval screen: a propagation conflict of the probe's atoms against
+     the screen domains proves prefix + probe UNSAT, so the rolled-back
+     [false] verdict is forced.
+   Returns [None] when the screen cannot decide (counted as a miss). *)
+let prescreen s memo fs epoch0 =
+  let reuse_fs =
+    if s.vchain = s.epoch then List.rev_append s.pending fs
+    else assertions s @ fs
+  in
+  match reuse_model s.cached_model reuse_fs with
+  | Some m ->
+      Tel.incr "smt/prescreen/concrete";
+      s.cached_model <- Some m;
+      s.last_steps <- 0;
+      commit_probe s fs;
+      (match memo with Some bm -> memo_defer s bm fs | None -> ());
+      validate s;
+      l1_record s epoch0 fs Sat;
+      Some true
+  | None ->
+      if screen_unsat s fs then begin
+        Tel.incr "smt/prescreen/unsat";
+        s.last_steps <- 0;
+        l1_record s epoch0 fs Unsat;
+        Some false
+      end
+      else begin
+        Tel.incr "smt/prescreen/miss";
+        None
+      end
+
 let try_add_constraints s fs =
   let fs = Formula.normalize fs in
   let hit =
@@ -1368,14 +1532,23 @@ let try_add_constraints s fs =
           | _ -> None
         else None
       in
-      match memo with
-      | Some bm -> batched_probe s bm fs epoch0
+      let screening = prescreen_enabled () in
+      let screened = if screening then prescreen s memo fs epoch0 else None in
+      match screened with
+      | Some verdict -> verdict
       | None -> (
+      (* a screen miss already ran (and failed) the model-reuse attempt
+         over exactly this assertion set; don't pay for it twice *)
+      let skip_reuse = screening in
+      match memo with
+      | Some bm when not (single_component bm) ->
+          batched_probe ~skip_reuse s bm fs epoch0
+      | _ -> (
           let vchain0 = s.vchain and pending0 = s.pending in
           push s;
           assert_all s fs;
           let espec = s.epoch in
-          match check s with
+          match check_impl ~skip_reuse s with
           | Sat ->
               (* merge the tentative frame into its parent so the
                  constraints stay; drop (without restoring) the epoch saved
@@ -1386,6 +1559,12 @@ let try_add_constraints s fs =
               | [] | [ _ ] -> assert false);
               (match s.epoch_stack with
               | _ :: es -> s.epoch_stack <- es
+              | [] -> ());
+              (* likewise drop the screen domains saved by [push]: the
+                 probed constraints stay asserted, so the narrowing their
+                 [assert_]s performed stays justified *)
+              (match s.sd_stack with
+              | _ :: ds -> s.sd_stack <- ds
               | [] -> ());
               s.epoch <- fresh_epoch s;
               (* the merge leaves the assertion set the check just proved,
@@ -1404,7 +1583,7 @@ let try_add_constraints s fs =
               s.vchain <- vchain0;
               s.pending <- pending0;
               l1_record s epoch0 fs r;
-              false))
+              false)))
 
 let model s = s.cached_model
 let check_steps s = s.last_steps

@@ -96,6 +96,34 @@ val set_batch_enabled : bool -> unit
 
 val batch_enabled : unit -> bool
 
+val set_prescreen_enabled : bool -> unit
+(** Enable/disable the constraint pre-screening layer globally (default:
+    enabled; the CLI's [--no-prescreen]).  When on, each solver maintains
+    interval screen domains — an over-approximation of the values its
+    variables can take under the current assertions — and answers a
+    {!try_add_constraints} probe without entering the check machinery
+    whenever the answer is forced: either the cached model extends over the
+    probe (the concrete fast path — same model and state as the reuse step
+    of a full check), or interval propagation of the probe against the
+    screen domains conflicts (definitely-UNSAT — the solve could only have
+    answered Unsat/Unknown, both of which reject the probe).  Screening is
+    semantically invisible: verdicts, models and whole campaigns are
+    bit-identical with the screen on or off. *)
+
+val prescreen_enabled : unit -> bool
+
+val prescreen_unsat : t -> Formula.t list -> bool
+(** The interval screen's verdict on probing the given constraints against
+    the current assertions: [true] means definitely unsatisfiable
+    ({!try_add_constraints} must return [false]).  Sound, never complete —
+    [false] just means the screen cannot decide.  Exposed for the
+    soundness property test. *)
+
+val screen_interval : t -> Expr.t -> int * int
+(** Bounds of an expression under the screen domains of the current
+    assertion set (declared variable bounds when nothing narrowed them).
+    The generator's per-op feasibility memo keys on these. *)
+
 val set_cache_capacity : int -> unit
 (** Resize the calling domain's L2 LRU (default 4096 entries), evicting
     least-recently-used entries if needed. *)

@@ -48,7 +48,11 @@ let run_campaign dir =
         (D.Pfuzz.fuzz ~jobs:2 ~journal:j ~report_dir:dir
            ~systems:[ D.Systems.oxrt ] ~root_seed:3
            ~budget:(P.Pool.Tests 40) ());
-      J.close j)
+      J.close j;
+      (* the CLI appends a final snapshot next to the journal; the
+         telemetry section (incl. the derived pre-screen rates) renders
+         from it *)
+      Tel.append_jsonl (Filename.concat dir "telemetry.jsonl") (Tel.snapshot ()))
 
 let well_formed html =
   (* every opened tag we emit is explicitly closed; check the pairs we
@@ -71,6 +75,10 @@ let test_render_full_campaign () =
       check "triage table present" true (contains html "Bug triage");
       check "triage rows non-empty" true (contains html "oxrt.import");
       check "journal health" true (contains html "Journal health");
+      check "prescreen hit rate surfaced" true
+        (contains html "prescreen hit rate");
+      check "prescreen avoided calls surfaced" true
+        (contains html "prescreen solver calls avoided");
       check "zero JS" false (contains html "<script"))
 
 let test_render_torn_journal () =

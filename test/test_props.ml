@@ -501,33 +501,33 @@ let test_plan_transparent_campaign () =
    cohort size, at one worker or two.  [report_dir] also routes the jobs=1
    runs through the async writer-domain sink, so this doubles as the
    byte-identity check for that path. *)
+let rec remove_path path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Sys.readdir path
+      |> Array.iter (fun f -> remove_path (Filename.concat path f));
+      (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Sys.remove path with Sys_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+let with_tmp_dir k =
+  let dir = Filename.temp_file "nnsmith_props_test" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> remove_path dir) (fun () -> k dir)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
 let test_batch_cohort_transparent_campaign () =
   let check = Alcotest.(check bool) in
   let module D = Nnsmith_difftest in
   let module S = Nnsmith_smt.Solver in
   let module Plan = Nnsmith_exec.Plan in
   let module Cov = Nnsmith_coverage.Coverage in
-  let rec remove path =
-    match Unix.lstat path with
-    | { Unix.st_kind = Unix.S_DIR; _ } ->
-        Sys.readdir path
-        |> Array.iter (fun f -> remove (Filename.concat path f));
-        (try Unix.rmdir path with Unix.Unix_error _ -> ())
-    | _ -> ( try Sys.remove path with Sys_error _ -> ())
-    | exception Unix.Unix_error _ -> ()
-  in
-  let with_tmp_dir k =
-    let dir = Filename.temp_file "nnsmith_props_test" "" in
-    Sys.remove dir;
-    Unix.mkdir dir 0o755;
-    Fun.protect ~finally:(fun () -> remove dir) (fun () -> k dir)
-  in
-  let read_file path =
-    let ic = open_in_bin path in
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  in
   let batch_was = S.batch_enabled () and cohort_was = Plan.cohort_size () in
   Nnsmith_faults.Faults.activate_all ();
   Fun.protect
@@ -565,6 +565,120 @@ let test_batch_cohort_transparent_campaign () =
           check (tag "corpus index bytes") true (String.equal index ref_index))
         [ (true, 4, 1); (true, 1, 1); (true, 8, 2); (false, 2, 2) ])
 
+(* Soundness of the interval pre-screen: [prescreen_unsat] claims the full
+   solve is forced to reject the probe, so finding a model for
+   prefix + probe refutes any definitely-UNSAT answer.  The same scenario
+   also cross-checks transparency: [try_add_constraints] must return the
+   same verdict with screening on or off. *)
+let prop_prescreen_sound =
+  QCheck.Test.make
+    ~name:"interval screen never refutes a satisfiable probe" ~count:400
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let module S = Nnsmith_smt.Solver in
+      let module E = Nnsmith_smt.Expr in
+      let module F = Nnsmith_smt.Formula in
+      let rng = rng_of seed in
+      let nv = 2 + Random.State.int rng 4 in
+      let vars =
+        Array.init nv (fun i ->
+            let lo = 1 + Random.State.int rng 4 in
+            E.fresh ~lo ~hi:(lo + Random.State.int rng 12)
+              (Printf.sprintf "ps%d" i))
+      in
+      let rec expr depth =
+        if depth = 0 || Random.State.int rng 2 = 0 then
+          if Random.State.bool rng then vars.(Random.State.int rng nv)
+          else E.int (1 + Random.State.int rng 10)
+        else
+          let a = expr (depth - 1) and b = expr (depth - 1) in
+          match Random.State.int rng 5 with
+          | 0 -> E.(a + b)
+          | 1 -> E.(a - b)
+          | 2 -> E.(a * b)
+          | 3 -> E.min_ a b
+          | _ -> E.max_ a b
+      in
+      let atom () =
+        let a = expr 2 and b = expr 2 in
+        match Random.State.int rng 4 with
+        | 0 -> F.(a = b)
+        | 1 -> F.(a <= b)
+        | 2 -> F.(a < b)
+        | _ -> F.(a >= b)
+      in
+      let rec formula depth =
+        if depth = 0 || Random.State.int rng 2 = 0 then atom ()
+        else
+          match Random.State.int rng 3 with
+          | 0 -> F.conj (formula (depth - 1)) (formula (depth - 1))
+          | 1 -> F.disj (formula (depth - 1)) (formula (depth - 1))
+          | _ -> F.not_ (formula (depth - 1))
+      in
+      let prefix = List.init (Random.State.int rng 4) (fun _ -> formula 2) in
+      let probe =
+        List.init (1 + Random.State.int rng 2) (fun _ -> formula 2)
+      in
+      let was = S.prescreen_enabled () in
+      Fun.protect
+        ~finally:(fun () -> S.set_prescreen_enabled was)
+        (fun () ->
+          S.set_prescreen_enabled true;
+          let s = S.create () in
+          S.assert_all s prefix;
+          let screened_unsat = S.prescreen_unsat s probe in
+          let model = S.solve ~max_steps:20_000 (prefix @ probe) in
+          (not (screened_unsat && model <> None))
+          &&
+          let verdict on =
+            S.set_prescreen_enabled on;
+            let s = S.create () in
+            S.assert_all s prefix;
+            S.try_add_constraints s probe
+          in
+          verdict true = verdict false))
+
+(* The pre-screen must be invisible to complete campaign outcomes: a
+   fixed-seed campaign writes bit-identical failure keys, coverage sites
+   and corpus index bytes with the screen on or off, at one worker or
+   two. *)
+let test_prescreen_transparent_campaign () =
+  let check = Alcotest.(check bool) in
+  let module D = Nnsmith_difftest in
+  let module S = Nnsmith_smt.Solver in
+  let module Cov = Nnsmith_coverage.Coverage in
+  let was = S.prescreen_enabled () in
+  Nnsmith_faults.Faults.activate_all ();
+  Fun.protect
+    ~finally:(fun () ->
+      Nnsmith_faults.Faults.deactivate_all ();
+      S.set_prescreen_enabled was)
+    (fun () ->
+      let run ~screen ~jobs =
+        with_tmp_dir @@ fun dir ->
+        S.set_prescreen_enabled screen;
+        S.cache_clear ();
+        let r =
+          D.Pfuzz.fuzz ~jobs ~report_dir:dir ~systems:[ D.Systems.lotus ]
+            ~root_seed:20230325 ~budget:(Nnsmith_parallel.Pool.Tests 16) ()
+        in
+        ( r.r_failure_keys,
+          List.sort compare (Cov.to_list r.r_coverage),
+          read_file (Filename.concat dir "index.jsonl") )
+      in
+      let ref_keys, ref_cov, ref_index = run ~screen:false ~jobs:1 in
+      check "reference campaign found failures" true (ref_keys <> []);
+      List.iter
+        (fun (screen, jobs) ->
+          let keys, cov, index = run ~screen ~jobs in
+          let tag fmt =
+            Printf.sprintf ("screen=%b jobs=%d: " ^^ fmt) screen jobs
+          in
+          check (tag "failure keys") true (keys = ref_keys);
+          check (tag "coverage sites") true (cov = ref_cov);
+          check (tag "corpus index bytes") true (String.equal index ref_index))
+        [ (true, 1); (true, 2); (false, 2) ])
+
 let () =
   Alcotest.run "props"
     [
@@ -586,8 +700,11 @@ let () =
              test_plan_transparent_campaign
         :: Alcotest.test_case "batch/cohort transparent to campaigns" `Quick
              test_batch_cohort_transparent_campaign
+        :: Alcotest.test_case "pre-screen transparent to campaigns" `Quick
+             test_prescreen_transparent_campaign
         :: List.map QCheck_alcotest.to_alcotest
              [
+               prop_prescreen_sound;
                prop_plan_search_bit_identical;
                prop_runtime_types_match_declared;
                prop_compilers_agree_with_reference;

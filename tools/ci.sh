@@ -8,9 +8,10 @@
 # Stages (full mode):
 #
 #   build+tests   dune build @ci         (whole tree + every test suite)
-#   bench smoke   bench/main.exe --only solver_cache / gradsearch / batch
-#                 (append schema-2 counter rows to bench/history.jsonl;
-#                 fail on cache-on/off graph drift or plan-on/off bit drift)
+#   bench smoke   bench/main.exe --only solver_cache / gradsearch / batch /
+#                 prescreen (append schema-2 counter rows to
+#                 bench/history.jsonl; fail on cache-on/off graph drift,
+#                 plan-on/off bit drift or screen-on/off digest drift)
 #   determinism   bench/main.exe check-determinism (each counter round runs
 #                 twice in-process; any work-counter mismatch fails)
 #   perf gate     bench/main.exe regress (work counters must equal the last
@@ -20,6 +21,7 @@
 #                 non-empty triage table, no NaN, no scripts)
 #   fleet         worker + supervisor kill -9, resume bit-identity
 #   cohort        batch/cohort/jobs campaign bit-identity
+#   prescreen     screen-on vs --no-prescreen campaign bit-identity
 #   style         no tabs / trailing whitespace; new lib modules need .mli
 #   hygiene       no tracked _build/, CHANGES.md updated alongside HEAD
 #
@@ -103,6 +105,13 @@ note "bench smoke (batched cohort engine)"
 # asserts bit-identical graphs between batched and unbatched solving.
 dune exec bench/main.exe -- --only batch --budget 400 \
   || err "batched-cohort bench smoke failed"
+
+note "bench smoke (constraint pre-screening)"
+# Appends to BENCH_prescreen.json and asserts bit-identical campaign
+# digests between screen-on and screen-off runs; the counter capture
+# feeds the determinism and regress gates below.
+dune exec bench/main.exe -- --only prescreen --budget 400 \
+  || err "prescreen bench smoke failed"
 
 note "bench check-determinism"
 # Each gated counter round twice in-process: any work-counter or
@@ -205,6 +214,30 @@ if [ -x "$nn" ]; then
   rm -rf "$co_ref" "$co_var"
 else
   err "batched-cohort smoke: $nn missing"
+fi
+
+note "prescreen smoke (screen on/off campaign bit-identity)"
+# The interval pre-screen only answers definitely-UNSAT queries the
+# solver would also reject, so disabling it must not change campaign
+# results — same seeded run with and without --no-prescreen must land on
+# byte-identical corpus indexes.
+if [ -x "$nn" ]; then
+  ps_ref=$(mktemp -d)
+  ps_off=$(mktemp -d)
+  ps_args="fuzz --system lotus --tests 40 --bugs --seed 11"
+  if "$nn" $ps_args --report-dir "$ps_ref" >/dev/null 2>&1 \
+    && "$nn" $ps_args --no-prescreen --report-dir "$ps_off" >/dev/null 2>&1
+  then
+    [ -s "$ps_ref/index.jsonl" ] \
+      || err "prescreen smoke: reference campaign saved no failures"
+    cmp -s "$ps_ref/index.jsonl" "$ps_off/index.jsonl" \
+      || err "prescreen smoke: corpus index depends on pre-screening"
+  else
+    err "prescreen smoke campaign failed"
+  fi
+  rm -rf "$ps_ref" "$ps_off"
+else
+  err "prescreen smoke: $nn missing"
 fi
 
 note "style gate"
